@@ -1,0 +1,118 @@
+(* meerkat_sim: ad-hoc experiment driver.
+
+   Run any of the four systems under any workload/contention/transport
+   combination and print goodput, abort rate, latency percentiles and
+   protocol counters — the knobs behind every figure, exposed for
+   exploration.
+
+     dune exec bin/meerkat_sim.exe -- --system meerkat --threads 32
+     dune exec bin/meerkat_sim.exe -- --system tapir --workload retwis --zipf 0.9
+     dune exec bin/meerkat_sim.exe -- --transport udp --drop 0.01 *)
+
+module Engine = Mk_sim.Engine
+module Transport = Mk_net.Transport
+module Cluster = Mk_cluster.Cluster
+module Systems = Mk_systems.Systems
+module Workload = Mk_workload.Workload
+module Runner = Mk_harness.Runner
+
+let system_of_string = function
+  | "meerkat" -> Ok Systems.Meerkat
+  | "meerkat-pb" | "pb" -> Ok Systems.Meerkat_pb
+  | "tapir" -> Ok Systems.Tapir
+  | "kuafu" | "kuafu++" -> Ok Systems.Kuafupp
+  | s -> Error (`Msg (Printf.sprintf "unknown system %S" s))
+
+let run system workload_name threads replicas zipf keys_per_thread clients_per_thread
+    transport_name drop measure seed peak =
+  let transport =
+    match transport_name with
+    | "erpc" -> Transport.erpc
+    | "udp" -> Transport.udp
+    | s -> failwith (Printf.sprintf "unknown transport %S (erpc|udp)" s)
+  in
+  let transport = if drop > 0.0 then Transport.with_drop transport drop else transport in
+  let keys = keys_per_thread * threads in
+  let workload ~rng ~keys =
+    match workload_name with
+    | "ycsb-t" | "ycsbt" -> Workload.ycsb_t ~rng ~keys ~theta:zipf
+    | "retwis" -> Workload.retwis ~rng ~keys ~theta:zipf
+    | s -> failwith (Printf.sprintf "unknown workload %S (ycsb-t|retwis)" s)
+  in
+  let config =
+    {
+      Cluster.default_config with
+      n_replicas = replicas;
+      threads;
+      keys;
+      transport;
+      seed;
+    }
+  in
+  Format.printf "system=%s workload=%s replicas=%d threads=%d keys=%d zipf=%.2f %a@."
+    (Systems.name system) workload_name replicas threads keys zipf Transport.pp
+    transport;
+  let clients, result =
+    if peak then
+      Systems.sweep system ~config ~workload ~warmup:(measure /. 2.0) ~measure
+    else begin
+      let n_clients = clients_per_thread * threads in
+      let engine = Engine.create ~seed () in
+      let packed, busy = Systems.build system engine { config with n_clients } in
+      let wl = workload ~rng:(Mk_util.Rng.create ~seed:(seed + 7919)) ~keys in
+      ( n_clients,
+        Runner.run ~engine ~system:packed ~workload:wl ~n_clients
+          ~warmup:(measure /. 2.0) ~measure ~busy )
+    end
+  in
+  Format.printf "clients=%d (%s)@." clients
+    (if peak then "peak search" else "fixed");
+  Format.printf "%a@." Runner.pp_result result;
+  Format.printf
+    "window: %d committed, %d aborted; %d retransmissions@."
+    result.Runner.committed result.Runner.aborted result.Runner.retransmits
+
+let () =
+  let open Cmdliner in
+  let system =
+    let sys_conv =
+      Arg.conv
+        ( (fun s -> system_of_string s),
+          fun ppf k -> Format.pp_print_string ppf (Systems.name k) )
+    in
+    Arg.(value & opt sys_conv Systems.Meerkat
+         & info [ "system"; "s" ] ~doc:"System: meerkat, meerkat-pb, tapir, kuafu.")
+  in
+  let workload =
+    Arg.(value & opt string "ycsb-t" & info [ "workload"; "w" ] ~doc:"ycsb-t or retwis.")
+  in
+  let threads =
+    Arg.(value & opt int 16 & info [ "threads"; "t" ] ~doc:"Server threads per replica.")
+  in
+  let replicas = Arg.(value & opt int 3 & info [ "replicas"; "n" ] ~doc:"Replica count (odd).") in
+  let zipf = Arg.(value & opt float 0.0 & info [ "zipf"; "z" ] ~doc:"Zipf coefficient in [0,1).") in
+  let keys_per_thread =
+    Arg.(value & opt int 4096 & info [ "keys-per-thread" ] ~doc:"Keyspace scale (paper: 1M).")
+  in
+  let clients_per_thread =
+    Arg.(value & opt int 8 & info [ "clients-per-thread" ] ~doc:"Closed-loop clients per thread.")
+  in
+  let transport = Arg.(value & opt string "erpc" & info [ "transport" ] ~doc:"erpc or udp.") in
+  let drop =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"Message drop probability.")
+  in
+  let measure =
+    Arg.(value & opt float 2000.0 & info [ "measure" ] ~doc:"Measurement window, simulated us.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.") in
+  let peak =
+    Arg.(value & flag & info [ "peak" ] ~doc:"Search client counts for peak throughput.")
+  in
+  let term =
+    Term.(const run $ system $ workload $ threads $ replicas $ zipf $ keys_per_thread
+          $ clients_per_thread $ transport $ drop $ measure $ seed $ peak)
+  in
+  let info =
+    Cmd.info "meerkat_sim" ~doc:"Run one simulated experiment on the Meerkat systems"
+  in
+  exit (Cmd.eval (Cmd.v info term))

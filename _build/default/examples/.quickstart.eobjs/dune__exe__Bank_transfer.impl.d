@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Format List Mk_meerkat Mk_model Mk_sim Mk_util

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Array Format List Mk_clock Mk_meerkat Mk_model Mk_sim Mk_storage

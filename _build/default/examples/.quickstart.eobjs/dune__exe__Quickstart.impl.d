@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Mk_meerkat Mk_model Mk_sim Printf String

@@ -1,0 +1,1 @@
+examples/retwis_app.ml: Format List Mk_harness Mk_meerkat Mk_model Mk_sim Mk_util Mk_workload

@@ -1,0 +1,1 @@
+examples/retwis_app.mli:

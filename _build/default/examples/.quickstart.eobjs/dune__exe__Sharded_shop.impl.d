@@ -1,0 +1,1 @@
+examples/sharded_shop.ml: Array Format Mk_cluster Mk_meerkat Mk_model Mk_sim Mk_util Option

@@ -1,0 +1,1 @@
+lib/baselines/meerkat_pb.ml: Array Mk_clock Mk_cluster Mk_meerkat Mk_model Mk_net Mk_sim Mk_storage

@@ -1,0 +1,1 @@
+lib/baselines/meerkat_pb.mli: Mk_cluster Mk_model Mk_sim

@@ -1,0 +1,1 @@
+lib/baselines/tapir.ml: Array Float Mk_clock Mk_cluster Mk_meerkat Mk_model Mk_net Mk_sim Mk_storage Mk_util Printf

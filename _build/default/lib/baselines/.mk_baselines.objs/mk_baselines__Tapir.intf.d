@@ -1,0 +1,1 @@
+lib/baselines/tapir.mli: Mk_cluster Mk_model Mk_sim

@@ -1,0 +1,168 @@
+module Engine = Mk_sim.Engine
+module Resource = Mk_sim.Resource
+module Network = Mk_net.Network
+module Costs = Mk_model.Costs
+module Intf = Mk_model.System_intf
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Cluster = Mk_cluster.Cluster
+module Quorum = Mk_meerkat.Quorum
+module Replica = Mk_meerkat.Replica
+
+let primary = 0
+
+type t = {
+  cluster : Cluster.t;
+  quorum : Quorum.t;
+  replicas : Replica.t array;
+  counter : Resource.t;  (** Shared atomic commit-sequence counter. *)
+  mutable next_seq : int;
+  logs : Resource.t array;  (** Per-replica shared-log mutex. *)
+  mutable log_length : int;
+}
+
+let create engine cfg =
+  let cluster = Cluster.create engine cfg in
+  let quorum = Quorum.create ~n:cfg.Cluster.n_replicas in
+  let replicas =
+    Array.init cfg.Cluster.n_replicas (fun id ->
+        Replica.create ~id ~quorum ~cores:1)
+  in
+  Array.iter
+    (fun r ->
+      for key = 0 to cfg.Cluster.keys - 1 do
+        Replica.load r ~key ~value:0
+      done)
+    replicas;
+  {
+    cluster;
+    quorum;
+    replicas;
+    counter = Resource.create engine ~name:"kuafu-counter";
+    next_seq = 0;
+    logs =
+      Array.init cfg.Cluster.n_replicas (fun i ->
+          Resource.create engine ~name:(Printf.sprintf "kuafu-log-%d" i));
+    log_length = 0;
+  }
+
+let name _ = "KuaFu++"
+let threads t = t.cluster.Cluster.cfg.Cluster.threads
+let counters t = Cluster.counters t.cluster
+let server_busy_fraction t = Cluster.server_busy_fraction t.cluster
+let net t = t.cluster.Cluster.net
+let costs t = t.cluster.Cluster.cfg.Cluster.costs
+let core t r c = t.cluster.Cluster.cores.(r).(c)
+
+let random_core t client r =
+  core t r (Mk_util.Rng.int client.Cluster.rng (threads t))
+
+let submit t ~client (req : Intf.txn_request) ~on_done =
+  let ctx = t.cluster.Cluster.clients.(client) in
+  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
+  let alive r = not (Replica.is_crashed t.replicas.(r)) in
+  Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive (fun read_set _values ->
+      let tid = Cluster.fresh_tid t.cluster ctx in
+      let write_set =
+        Array.to_list
+          (Array.map (fun (key, value) -> ({ key; value } : Txn.write_entry)) req.writes)
+      in
+      let txn = Txn.make ~tid ~read_set ~write_set in
+      let n = t.cluster.Cluster.cfg.Cluster.n_replicas in
+      let needed_acks = Quorum.majority t.quorum - 1 in
+      let acks = ref 0 and replied = ref false in
+      let primary_core = random_core t ctx primary in
+      let trecord_core = 0 in
+      (* All state lives in core 0's partition: KuaFu++ has one shared
+         record (the log) per replica; mutual exclusion is modelled by
+         the log/counter resources, not by partitioning. *)
+      let finish_commit () =
+        if not !replied then begin
+          replied := true;
+          Cluster.note_decision t.cluster ~committed:true ~fast:false;
+          Network.send_to_client (net t) (fun () -> on_done ~committed:true)
+        end
+      in
+      let on_backup_ack () =
+        Network.send_work_to_core (net t) ~dst:primary_core ~cost:0.2 (fun () ->
+            incr acks;
+            if !acks >= needed_acks then finish_commit ())
+      in
+      let validate_cost =
+        Costs.validate (costs t) ~nkeys:(Txn.nkeys txn) +. Cluster.tx_cpu t.cluster
+      in
+      (* Commit request to the primary. The handling core first bumps
+         the shared commit counter (every transaction pays the
+         cache-line ping-pong), then validates, then — commits only —
+         appends to the shared log under its mutex. *)
+      Network.send_to_core (net t) ~dst:primary_core ~cost:validate_cost
+        (fun ~finish ->
+          Resource.use t.counter ~hold:(costs t).Costs.atomic_counter (fun () ->
+              t.next_seq <- t.next_seq + 1;
+              let ts =
+                (* Commit sequence numbers order transactions; encode
+                   them as timestamps so the shared OCC machinery
+                   applies unchanged. *)
+                Timestamp.make ~time:(float_of_int t.next_seq) ~client_id:0
+              in
+              match
+                Replica.handle_validate t.replicas.(primary) ~core:trecord_core ~txn
+                  ~ts
+              with
+              | None | Some Txn.Validated_abort ->
+                  ignore
+                    (Replica.handle_commit t.replicas.(primary) ~core:trecord_core
+                       ~txn ~ts ~commit:false);
+                  Cluster.note_decision t.cluster ~committed:false ~fast:true;
+                  Network.send_to_client (net t) (fun () -> on_done ~committed:false);
+                  finish ()
+              | Some _ ->
+                  (* Append to the shared log (critical section), apply
+                     at the primary, ship log entries to the backups. *)
+                  Resource.use t.logs.(primary) ~hold:(costs t).Costs.shared_log
+                    (fun () ->
+                      t.log_length <- t.log_length + 1;
+                      let apply_cost =
+                        Costs.commit (costs t)
+                          ~nwrites:(Array.length txn.Txn.write_set)
+                        +. (Cluster.tx_cpu t.cluster *. float_of_int (n - 1))
+                      in
+                      Network.send_work_to_core (net t) ~dst:primary_core
+                        ~cost:apply_cost (fun () ->
+                          ignore
+                            (Replica.handle_commit t.replicas.(primary)
+                               ~core:trecord_core ~txn ~ts ~commit:true));
+                      for r = 0 to n - 1 do
+                        if r <> primary && not (Replica.is_crashed t.replicas.(r))
+                        then begin
+                          let backup_core = random_core t ctx r in
+                          let consume_cost =
+                            Costs.commit (costs t)
+                              ~nwrites:(Array.length txn.Txn.write_set)
+                            +. Cluster.tx_cpu t.cluster
+                          in
+                          (* Concurrent log replay: any backup core picks
+                             the entry up, but must take the log mutex to
+                             consume it. *)
+                          Network.send_to_core (net t) ~dst:backup_core
+                            ~cost:consume_cost (fun ~finish ->
+                              Resource.use t.logs.(r)
+                                ~hold:(costs t).Costs.shared_log (fun () ->
+                                  ignore
+                                    (Replica.handle_commit t.replicas.(r)
+                                       ~core:trecord_core ~txn ~ts ~commit:true);
+                                  Network.send_to_client (net t) on_backup_ack;
+                                  finish ()))
+                        end
+                      done;
+                      finish ())))
+        )
+
+let read_committed t ~replica ~key =
+  match Mk_storage.Vstore.find (Replica.vstore t.replicas.(replica)) key with
+  | None -> None
+  | Some e -> Some (fst (Mk_storage.Vstore.read_versioned e))
+
+let log_length t = t.log_length
+let counter_busy t = Resource.busy_time t.counter
+let log_busy t = Array.map Resource.busy_time t.logs

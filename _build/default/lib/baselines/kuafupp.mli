@@ -1,0 +1,40 @@
+(** KuaFu++ (§6.1): the classic log-based primary-backup baseline that
+    violates both halves of ZCP.
+
+    The primary orders committing transactions with a {e shared atomic
+    counter}, validates them with the same OCC checks as the other
+    systems, and appends each committed transaction to a {e shared
+    log} that is also the replication channel; backups consume the log
+    concurrently, but every append/consume passes through the log's
+    mutex. Unlike the original KuaFu it needs no replay barriers —
+    OCC validation at the primary already rejects transactions that
+    observed inconsistent backup reads (hence the "++").
+
+    Cross-core cost: counter + log critical sections serialize all
+    primary (and backup) cores — the Fig. 4 cap near 0.6 M txn/s at ~6
+    threads. Cross-replica cost: the client reply waits for a backup
+    ack, an extra message delay per transaction. *)
+
+type t
+
+val create : Mk_sim.Engine.t -> Mk_cluster.Cluster.config -> t
+val name : t -> string
+val threads : t -> int
+
+val submit :
+  t ->
+  client:int ->
+  Mk_model.System_intf.txn_request ->
+  on_done:(committed:bool -> unit) ->
+  unit
+
+val counters : t -> Mk_model.System_intf.counters
+val server_busy_fraction : t -> float
+val read_committed : t -> replica:int -> key:int -> int option
+
+val log_length : t -> int
+(** Committed transactions appended to the shared log. *)
+
+val counter_busy : t -> float
+val log_busy : t -> float array
+(** Hold time of the atomic counter / each replica's log mutex. *)

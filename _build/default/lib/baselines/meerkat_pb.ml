@@ -1,0 +1,136 @@
+module Engine = Mk_sim.Engine
+module Network = Mk_net.Network
+module Costs = Mk_model.Costs
+module Intf = Mk_model.System_intf
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Cluster = Mk_cluster.Cluster
+module Quorum = Mk_meerkat.Quorum
+module Replica = Mk_meerkat.Replica
+
+let primary = 0
+
+type t = {
+  cluster : Cluster.t;
+  quorum : Quorum.t;
+  replicas : Replica.t array;
+}
+
+let create engine cfg =
+  let cluster = Cluster.create engine cfg in
+  let quorum = Quorum.create ~n:cfg.Cluster.n_replicas in
+  let replicas =
+    Array.init cfg.Cluster.n_replicas (fun id ->
+        Replica.create ~id ~quorum ~cores:cfg.Cluster.threads)
+  in
+  Array.iter
+    (fun r ->
+      for key = 0 to cfg.Cluster.keys - 1 do
+        Replica.load r ~key ~value:0
+      done)
+    replicas;
+  { cluster; quorum; replicas }
+
+let name _ = "MEERKAT-PB"
+let threads t = t.cluster.Cluster.cfg.Cluster.threads
+let counters t = Cluster.counters t.cluster
+let server_busy_fraction t = Cluster.server_busy_fraction t.cluster
+let net t = t.cluster.Cluster.net
+let costs t = t.cluster.Cluster.cfg.Cluster.costs
+let core t r c = t.cluster.Cluster.cores.(r).(c)
+
+(* One transaction in flight at the primary. *)
+type attempt = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  core_id : int;
+  mutable backup_acks : int;
+  mutable replied : bool;
+}
+
+let submit t ~client (req : Intf.txn_request) ~on_done =
+  let ctx = t.cluster.Cluster.clients.(client) in
+  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
+  let alive r = not (Replica.is_crashed t.replicas.(r)) in
+  Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive (fun read_set _values ->
+      let tid = Cluster.fresh_tid t.cluster ctx in
+      let write_set =
+        Array.to_list
+          (Array.map (fun (key, value) -> ({ key; value } : Txn.write_entry)) req.writes)
+      in
+      let txn = Txn.make ~tid ~read_set ~write_set in
+      let ts = Cluster.fresh_timestamp t.cluster ctx in
+      let core_id = Timestamp.Tid.hash tid mod threads t in
+      let a = { txn; ts; core_id; backup_acks = 0; replied = false } in
+      let n = t.cluster.Cluster.cfg.Cluster.n_replicas in
+      let needed_acks = Quorum.majority t.quorum - 1 (* primary counts itself *) in
+      let finish_commit () =
+        if not a.replied then begin
+          a.replied <- true;
+          Cluster.note_decision t.cluster ~committed:true ~fast:false;
+          Network.send_to_client (net t) (fun () -> on_done ~committed:true)
+        end
+      in
+      (* Backup ack arriving at the primary's matched core. *)
+      let on_backup_ack () =
+        Network.send_work_to_core (net t) ~dst:(core t primary a.core_id) ~cost:0.2
+          (fun () ->
+            a.backup_acks <- a.backup_acks + 1;
+            if a.backup_acks >= needed_acks then finish_commit ())
+      in
+      (* The client's commit request, steered to the chosen core of the
+         primary. Validation cost plus the replication fan-out
+         (marshalling + ack handling) paid by the primary alone. *)
+      let validate_cost =
+        Costs.validate (costs t) ~nkeys:(Txn.nkeys txn) +. Cluster.tx_cpu t.cluster
+      in
+      Network.send_work_to_core (net t) ~dst:(core t primary a.core_id)
+        ~cost:validate_cost (fun () ->
+          match
+            Replica.handle_validate t.replicas.(primary) ~core:a.core_id ~txn ~ts
+          with
+          | None | Some Txn.Validated_abort ->
+              (* Primary-only decision: abort immediately; nothing was
+                 replicated, so nothing needs undoing at backups. *)
+              ignore
+                (Replica.handle_commit t.replicas.(primary) ~core:a.core_id ~txn ~ts
+                   ~commit:false);
+              Cluster.note_decision t.cluster ~committed:false ~fast:true;
+              Network.send_to_client (net t) (fun () -> on_done ~committed:false)
+          | Some _ ->
+              (* Commit decided. Apply at the primary, then replicate to
+                 every backup's matched core; reply once a majority of
+                 the group holds the transaction. *)
+              let apply_cost =
+                Costs.commit (costs t) ~nwrites:(Array.length txn.Txn.write_set)
+              in
+              let replication_cost =
+                (costs t).Costs.pb_replication
+                +. (Cluster.tx_cpu t.cluster *. float_of_int (n - 1))
+              in
+              Network.send_work_to_core (net t) ~dst:(core t primary a.core_id)
+                ~cost:(apply_cost +. replication_cost) (fun () ->
+                  ignore
+                    (Replica.handle_commit t.replicas.(primary) ~core:a.core_id ~txn
+                       ~ts ~commit:true));
+              for r = 0 to n - 1 do
+                if r <> primary && not (Replica.is_crashed t.replicas.(r)) then begin
+                  let backup_cost =
+                    Costs.commit (costs t) ~nwrites:(Array.length txn.Txn.write_set)
+                    +. Cluster.tx_cpu t.cluster
+                  in
+                  Network.send_work_to_core (net t) ~dst:(core t r a.core_id)
+                    ~cost:backup_cost (fun () ->
+                      (* Timestamp-ordered and conflict-free: backups
+                         apply in arrival order with no checks. *)
+                      ignore
+                        (Replica.handle_commit t.replicas.(r) ~core:a.core_id ~txn
+                           ~ts ~commit:true);
+                      Network.send_to_client (net t) on_backup_ack)
+                end
+              done))
+
+let read_committed t ~replica ~key =
+  match Mk_storage.Vstore.find (Replica.vstore t.replicas.(replica)) key with
+  | None -> None
+  | Some e -> Some (fst (Mk_storage.Vstore.read_versioned e))

@@ -1,0 +1,31 @@
+(** Meerkat-PB (§6.1): Meerkat's data structures and concurrency
+    control, but primary-backup replication — no cross-core
+    coordination, cross-replica coordination retained.
+
+    Clients still pick timestamps, but submit every transaction to the
+    primary, whose cores run the only OCC validation; conflicting
+    transactions are therefore resolved by a single site (fewer aborts
+    under contention than Meerkat — Fig. 6/7). Each backup core is
+    matched to a primary core and applies exactly its transactions, so
+    no structure is shared between cores anywhere. The primary answers
+    the client only after a majority of the replica group (itself plus
+    f backups) holds the transaction, costing one extra message delay
+    and per-transaction replication CPU at the primary — the price of
+    cross-replica coordination that Fig. 4/5 isolates. *)
+
+type t
+
+val create : Mk_sim.Engine.t -> Mk_cluster.Cluster.config -> t
+val name : t -> string
+val threads : t -> int
+
+val submit :
+  t ->
+  client:int ->
+  Mk_model.System_intf.txn_request ->
+  on_done:(committed:bool -> unit) ->
+  unit
+
+val counters : t -> Mk_model.System_intf.counters
+val server_busy_fraction : t -> float
+val read_committed : t -> replica:int -> key:int -> int option

@@ -1,0 +1,255 @@
+module Engine = Mk_sim.Engine
+module Resource = Mk_sim.Resource
+module Network = Mk_net.Network
+module Costs = Mk_model.Costs
+module Intf = Mk_model.System_intf
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Cluster = Mk_cluster.Cluster
+module Quorum = Mk_meerkat.Quorum
+module Replica = Mk_meerkat.Replica
+module Decision = Mk_meerkat.Decision
+
+type t = {
+  cluster : Cluster.t;
+  quorum : Quorum.t;
+  replicas : Replica.t array;
+  record_mutex : Resource.t array;
+      (** One shared-record mutex per replica: the cross-core
+          coordination point TAPIR keeps and Meerkat eliminates. *)
+}
+
+let create engine cfg =
+  let cluster = Cluster.create engine cfg in
+  let quorum = Quorum.create ~n:cfg.Cluster.n_replicas in
+  let replicas =
+    (* cores:1 — a single trecord partition is exactly the shared
+       record of the TAPIR prototype. *)
+    Array.init cfg.Cluster.n_replicas (fun id -> Replica.create ~id ~quorum ~cores:1)
+  in
+  Array.iter
+    (fun r ->
+      for key = 0 to cfg.Cluster.keys - 1 do
+        Replica.load r ~key ~value:0
+      done)
+    replicas;
+  let record_mutex =
+    Array.init cfg.Cluster.n_replicas (fun i ->
+        Resource.create engine ~name:(Printf.sprintf "tapir-record-%d" i))
+  in
+  { cluster; quorum; replicas; record_mutex }
+
+let name _ = "TAPIR"
+let threads t = t.cluster.Cluster.cfg.Cluster.threads
+let counters t = Cluster.counters t.cluster
+let server_busy_fraction t = Cluster.server_busy_fraction t.cluster
+let net t = t.cluster.Cluster.net
+let costs t = t.cluster.Cluster.cfg.Cluster.costs
+
+(* Any core may process any message (no steering is needed — the
+   record is shared anyway), so spread load uniformly. *)
+let random_core t client r =
+  t.cluster.Cluster.cores.(r).(Mk_util.Rng.int client.Cluster.rng (threads t))
+
+type attempt = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  started : Engine.time;
+  client : Cluster.client;
+  replies : Txn.status option array;
+  mutable in_accept : bool;
+  mutable accept_acks : int;
+  mutable decided : bool;
+  mutable fast_grace_armed : bool;
+}
+
+let broadcast_commit t a ~commit =
+  let nwrites = if commit then Array.length a.txn.Txn.write_set else 0 in
+  let cost = Costs.commit (costs t) ~nwrites in
+  Array.iteri
+    (fun r replica ->
+      if not (Replica.is_crashed replica) then
+        Network.send_to_core (net t) ~dst:(random_core t a.client r) ~cost
+          (fun ~finish ->
+            (* The write phase must update the shared record: one more
+               pass through the record mutex. *)
+            Resource.use t.record_mutex.(r)
+              ~hold:(costs t).Costs.record_mutex
+              (fun () ->
+                ignore
+                  (Replica.handle_commit replica ~core:0 ~txn:a.txn ~ts:a.ts ~commit);
+                finish ())))
+    t.replicas
+
+let decide t a ~commit ~fast ~on_done =
+  if not a.decided then begin
+    a.decided <- true;
+    Cluster.note_decision t.cluster ~committed:commit ~fast;
+    broadcast_commit t a ~commit;
+    (* Coordinator and application share the client machine: the
+       outcome handoff does not cross the lossy network. *)
+    Engine.schedule t.cluster.Cluster.engine ~delay:0.0 (fun () ->
+        on_done ~committed:commit)
+  end
+
+let send_accepts t a ~commit ~on_done =
+  let decision = if commit then `Commit else `Abort in
+  Array.iteri
+    (fun r replica ->
+      if not (Replica.is_crashed replica) then
+        Network.send_to_core (net t) ~dst:(random_core t a.client r)
+          ~cost:((costs t).Costs.accept +. Cluster.tx_cpu t.cluster)
+          (fun ~finish ->
+            Resource.use t.record_mutex.(r)
+              ~hold:(costs t).Costs.record_mutex
+              (fun () ->
+                (match
+                   Replica.handle_accept replica ~core:0 ~txn:a.txn ~ts:a.ts
+                     ~decision ~view:0
+                 with
+                | None -> ()
+                | Some reply ->
+                    Network.send_to_client (net t) (fun () ->
+                        if not a.decided then begin
+                          match reply with
+                          | `Accepted ->
+                              a.accept_acks <- a.accept_acks + 1;
+                              if a.accept_acks >= Quorum.majority t.quorum then
+                                decide t a ~commit ~fast:false ~on_done
+                          | `Finalized st ->
+                              decide t a ~commit:(st = Txn.Committed) ~fast:false
+                                ~on_done
+                          | `Stale _ -> ()
+                        end));
+                finish ())))
+    t.replicas
+
+let majority_ok t a =
+  Array.fold_left
+    (fun acc reply -> if reply = Some Txn.Validated_ok then acc + 1 else acc)
+    0 a.replies
+  >= Quorum.majority t.quorum
+
+let evaluate t a ~on_done =
+  if not a.decided then begin
+    match Decision.evaluate ~quorum:t.quorum ~replies:a.replies with
+    | Decision.Wait ->
+        (* Same fast-path grace period as the Meerkat coordinator. *)
+        let received =
+          Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies
+        in
+        if
+          (not a.fast_grace_armed)
+          && (not a.in_accept)
+          && received >= Quorum.majority t.quorum
+        then begin
+          a.fast_grace_armed <- true;
+          let tr = t.cluster.Cluster.cfg.Cluster.transport in
+          let base =
+            (3.0 *. (tr.Mk_net.Transport.latency +. tr.Mk_net.Transport.jitter)) +. 2.0
+          in
+          let elapsed = Engine.now t.cluster.Cluster.engine -. a.started in
+          Engine.schedule t.cluster.Cluster.engine ~delay:(Float.max base (2.0 *. elapsed))
+            (fun () ->
+              if (not a.decided) && not a.in_accept then begin
+                a.in_accept <- true;
+                send_accepts t a ~commit:(majority_ok t a) ~on_done
+              end)
+        end
+    | Decision.Final commit -> decide t a ~commit ~fast:false ~on_done
+    | Decision.Fast commit -> decide t a ~commit ~fast:true ~on_done
+    | Decision.Slow commit ->
+        if not a.in_accept then begin
+          a.in_accept <- true;
+          send_accepts t a ~commit ~on_done
+        end
+  end
+
+let send_validates t a ~only_missing ~on_done =
+  let cost =
+    Costs.validate (costs t) ~nkeys:(Txn.nkeys a.txn) +. Cluster.tx_cpu t.cluster
+  in
+  Array.iteri
+    (fun r replica ->
+      if ((not only_missing) || a.replies.(r) = None)
+         && not (Replica.is_crashed replica)
+      then
+        Network.send_to_core (net t) ~dst:(random_core t a.client r) ~cost
+          (fun ~finish ->
+            (* Creating the entry in the shared record serializes all
+               cores of the replica on its mutex. *)
+            Resource.use t.record_mutex.(r)
+              ~hold:(costs t).Costs.record_mutex
+              (fun () ->
+                (match Replica.handle_validate replica ~core:0 ~txn:a.txn ~ts:a.ts with
+                | None -> ()
+                | Some st ->
+                    Network.send_to_client (net t) (fun () ->
+                        if a.replies.(r) = None then begin
+                          a.replies.(r) <- Some st;
+                          evaluate t a ~on_done
+                        end));
+                finish ())))
+    t.replicas
+
+let rec arm_timer t a ~rto ~on_done =
+  Engine.schedule t.cluster.Cluster.engine ~delay:rto (fun () ->
+      if not a.decided then begin
+        t.cluster.Cluster.retransmits <- t.cluster.Cluster.retransmits + 1;
+        let received = Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies in
+        let ok =
+          Array.fold_left
+            (fun acc reply -> if reply = Some Txn.Validated_ok then acc + 1 else acc)
+            0 a.replies
+        in
+        if a.in_accept then begin
+          (* Restart the accept round; replicas are idempotent for a
+             same-view proposal, so acks are simply recounted. *)
+          a.accept_acks <- 0;
+          send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_done
+        end
+        else if received >= Quorum.majority t.quorum then begin
+          (* The fast path did not complete within the timeout (slow or
+             crashed replicas): settle for the slow path with the
+             majority in hand, per §5.2.2 step 4. *)
+          a.in_accept <- true;
+          send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_done
+        end
+        else send_validates t a ~only_missing:true ~on_done;
+        arm_timer t a ~rto:(rto *. 2.0) ~on_done
+      end)
+
+let submit t ~client (req : Intf.txn_request) ~on_done =
+  let ctx = t.cluster.Cluster.clients.(client) in
+  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
+  let alive r = not (Replica.is_crashed t.replicas.(r)) in
+  Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive (fun read_set _values ->
+      let tid = Cluster.fresh_tid t.cluster ctx in
+      let write_set =
+        Array.to_list
+          (Array.map (fun (key, value) -> ({ key; value } : Txn.write_entry)) req.writes)
+      in
+      let txn = Txn.make ~tid ~read_set ~write_set in
+      let ts = Cluster.fresh_timestamp t.cluster ctx in
+      let a =
+        {
+          txn;
+          ts;
+          started = Engine.now t.cluster.Cluster.engine;
+          client = ctx;
+          replies = Array.make t.cluster.Cluster.cfg.Cluster.n_replicas None;
+          in_accept = false;
+          accept_acks = 0;
+          decided = false;
+          fast_grace_armed = false;
+        }
+      in
+      send_validates t a ~only_missing:false ~on_done;
+      arm_timer t a ~rto:t.cluster.Cluster.rto ~on_done)
+
+let read_committed t ~replica ~key =
+  match Mk_storage.Vstore.find (Replica.vstore t.replicas.(replica)) key with
+  | None -> None
+  | Some e -> Some (fst (Mk_storage.Vstore.read_versioned e))
+
+let record_mutex_busy t = Array.map Resource.busy_time t.record_mutex

@@ -1,0 +1,31 @@
+(** The TAPIR-emulating baseline (§6.1): no cross-replica
+    coordination, but cross-core coordination remains.
+
+    Like Meerkat, replicas are leaderless, clients pick timestamps,
+    and the coordinator uses the same fast/slow-path quorum rule. The
+    difference is the transaction record: one {e shared} record per
+    replica, protected by a mutex (the paper's prototype uses a C++
+    [std::mutex]). Every validation and every write-phase message
+    serializes on that mutex, so per-replica throughput caps at
+    roughly 1 / (2 × critical section) no matter how many cores the
+    replica has — the Fig. 4 bottleneck at ~8 threads. *)
+
+type t
+
+val create : Mk_sim.Engine.t -> Mk_cluster.Cluster.config -> t
+val name : t -> string
+val threads : t -> int
+
+val submit :
+  t ->
+  client:int ->
+  Mk_model.System_intf.txn_request ->
+  on_done:(committed:bool -> unit) ->
+  unit
+
+val counters : t -> Mk_model.System_intf.counters
+val server_busy_fraction : t -> float
+val read_committed : t -> replica:int -> key:int -> int option
+val record_mutex_busy : t -> float array
+(** Total hold time of each replica's record mutex — the contended
+    resource (observability for tests/benches). *)

@@ -1,0 +1,1 @@
+lib/clock/sync_clock.ml: Mk_util

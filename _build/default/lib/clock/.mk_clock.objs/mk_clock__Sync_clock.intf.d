@@ -1,0 +1,1 @@
+lib/clock/sync_clock.mli: Mk_util

@@ -1,0 +1,1 @@
+lib/clock/timestamp.ml: Float Format Int Set

@@ -1,0 +1,1 @@
+lib/clock/timestamp.mli: Format Set

@@ -1,0 +1,12 @@
+type t = { offset : float; drift : float }
+
+let create ~offset ~drift = { offset; drift }
+let perfect = { offset = 0.0; drift = 0.0 }
+
+let random rng ~max_offset ~max_drift =
+  let sym r bound = Mk_util.Rng.float r (2.0 *. bound) -. bound in
+  { offset = sym rng max_offset; drift = sym rng max_drift }
+
+let read t ~now = (now *. (1.0 +. t.drift)) +. t.offset
+let offset t = t.offset
+let drift t = t.drift

@@ -1,0 +1,28 @@
+(** Loosely synchronized per-client clocks (§3).
+
+    Meerkat needs clock synchronization only for performance, never
+    for correctness: a skewed clock merely proposes timestamps that
+    are more likely to lose OCC validation. Each simulated client gets
+    a clock with a fixed offset and a drift rate relative to simulated
+    time; PTP-grade sync (the paper's setup) corresponds to small
+    offsets. *)
+
+type t
+
+val create : offset:float -> drift:float -> t
+(** [create ~offset ~drift]: reading at true time [now] returns
+    [now *. (1. +. drift) +. offset] microseconds. *)
+
+val perfect : t
+(** Zero offset, zero drift. *)
+
+val random : Mk_util.Rng.t -> max_offset:float -> max_drift:float -> t
+(** Offset uniform in \[-max_offset, max_offset\], drift uniform in
+    \[-max_drift, max_drift\]. *)
+
+val read : t -> now:float -> float
+(** Monotone in [now] for drift > -1; the protocol additionally
+    enforces per-client timestamp monotonicity at the coordinator. *)
+
+val offset : t -> float
+val drift : t -> float

@@ -1,0 +1,32 @@
+type t = { time : float; client_id : int }
+
+let compare a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.client_id b.client_id
+
+let equal a b = compare a b = 0
+let zero = { time = neg_infinity; client_id = min_int }
+let infinity = { time = Float.infinity; client_id = max_int }
+let make ~time ~client_id = { time; client_id }
+let pp ppf t = Format.fprintf ppf "%.3f@@c%d" t.time t.client_id
+let to_string t = Format.asprintf "%a" pp t
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tid = struct
+  type t = { seq : int; client_id : int }
+
+  let compare a b =
+    let c = Int.compare a.client_id b.client_id in
+    if c <> 0 then c else Int.compare a.seq b.seq
+
+  let equal a b = a.seq = b.seq && a.client_id = b.client_id
+  let hash t = (t.client_id * 1_000_003) + t.seq
+  let make ~seq ~client_id = { seq; client_id }
+  let pp ppf t = Format.fprintf ppf "t%d.%d" t.client_id t.seq
+  let to_string t = Format.asprintf "%a" pp t
+end

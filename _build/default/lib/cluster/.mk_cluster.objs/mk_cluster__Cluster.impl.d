@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Float Mk_clock Mk_model Mk_net Mk_sim Mk_storage Mk_util

@@ -1,0 +1,197 @@
+module Engine = Mk_sim.Engine
+module Core = Mk_sim.Core
+module Network = Mk_net.Network
+module Transport = Mk_net.Transport
+module Timestamp = Mk_clock.Timestamp
+module Sync_clock = Mk_clock.Sync_clock
+module Rng = Mk_util.Rng
+module Intf = Mk_model.System_intf
+
+type config = {
+  n_replicas : int;
+  threads : int;
+  n_clients : int;
+  keys : int;
+  transport : Transport.t;
+  costs : Mk_model.Costs.t;
+  clock_offset : float;
+  clock_drift : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    n_replicas = 3;
+    threads = 8;
+    n_clients = 64;
+    keys = 65536;
+    transport = Transport.erpc;
+    costs = Mk_model.Costs.default;
+    clock_offset = 5.0;
+    clock_drift = 1e-4;
+    seed = 42;
+  }
+
+type client = {
+  cid : int;
+  clock : Sync_clock.t;
+  rng : Rng.t;
+  mutable seq : int;
+  mutable last_time : float;
+}
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  net : Network.t;
+  cores : Core.t array array;
+  clients : client array;
+  rto : float;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable fast_path : int;
+  mutable slow_path : int;
+  mutable retransmits : int;
+}
+
+let create engine cfg =
+  if cfg.n_replicas < 1 || cfg.n_replicas mod 2 = 0 then
+    invalid_arg "Cluster.create: n_replicas must be odd";
+  let rng = Rng.split (Engine.rng engine) in
+  let net = Network.create engine ~rng:(Rng.split rng) ~transport:cfg.transport in
+  let cores =
+    Array.init cfg.n_replicas (fun r ->
+        Array.init cfg.threads (fun c -> Core.create engine ~id:((r * 1000) + c)))
+  in
+  let clients =
+    Array.init cfg.n_clients (fun cid ->
+        {
+          cid;
+          clock =
+            Sync_clock.random (Rng.split rng) ~max_offset:cfg.clock_offset
+              ~max_drift:cfg.clock_drift;
+          rng = Rng.split rng;
+          seq = 0;
+          last_time = 0.0;
+        })
+  in
+  (* The RTO must sit well above worst-case queueing delay at
+     saturation (peak-throughput measurements imply deep server
+     queues), or retransmissions amplify overload into congestion
+     collapse. Kernel-bypass stacks use adaptive RTOs; a generous
+     constant with exponential backoff serves the same purpose. *)
+  let tr = cfg.transport in
+  let rto = Float.max 500.0 (20.0 *. (tr.Transport.latency +. tr.Transport.jitter)) in
+  {
+    engine;
+    cfg;
+    net;
+    cores;
+    clients;
+    rto;
+    committed = 0;
+    aborted = 0;
+    fast_path = 0;
+    slow_path = 0;
+    retransmits = 0;
+  }
+
+let tx_cpu t = Network.tx_cpu t.net
+
+let fresh_tid _t client =
+  client.seq <- client.seq + 1;
+  Timestamp.Tid.make ~seq:client.seq ~client_id:client.cid
+
+let fresh_timestamp t client =
+  let now = Engine.now t.engine in
+  let time = Sync_clock.read client.clock ~now in
+  let time = if time <= client.last_time then client.last_time +. 1e-6 else time in
+  client.last_time <- time;
+  Timestamp.make ~time ~client_id:client.cid
+
+let counters t : Intf.counters =
+  {
+    committed = t.committed;
+    aborted = t.aborted;
+    fast_path = t.fast_path;
+    slow_path = t.slow_path;
+    retransmits = t.retransmits;
+  }
+
+let note_decision t ~committed ~fast =
+  if committed then t.committed <- t.committed + 1 else t.aborted <- t.aborted + 1;
+  if fast then t.fast_path <- t.fast_path + 1 else t.slow_path <- t.slow_path + 1
+
+let pick_replica t client ~alive =
+  let n = t.cfg.n_replicas in
+  let start = Rng.int client.rng n in
+  let rec probe i =
+    if i = n then None
+    else begin
+      let r = (start + i) mod n in
+      if alive r then Some r else probe (i + 1)
+    end
+  in
+  probe 0
+
+let do_get t client ~key ~read ~alive k =
+  let rec attempt ~rto =
+    match pick_replica t client ~alive with
+    | None ->
+        (* Every replica looks down; retry later, as a client library
+           would. *)
+        Engine.schedule t.engine ~delay:rto (fun () -> attempt ~rto:(rto *. 2.0))
+    | Some r ->
+        let core = t.cores.(r).(Rng.int client.rng t.cfg.threads) in
+        let answered = ref false in
+        Network.send_work_to_core t.net ~dst:core
+          ~cost:(t.cfg.costs.Mk_model.Costs.get +. tx_cpu t)
+          (fun () ->
+            match read ~replica:r ~key with
+            | None -> ()
+            | Some versioned ->
+                Network.send_to_client t.net (fun () ->
+                    if not !answered then begin
+                      answered := true;
+                      k versioned
+                    end));
+        Engine.schedule t.engine ~delay:rto (fun () ->
+            if not !answered then begin
+              t.retransmits <- t.retransmits + 1;
+              answered := true;
+              attempt ~rto:(rto *. 2.0)
+            end)
+  in
+  attempt ~rto:t.rto
+
+let execute_reads t client ~keys ~read ~alive k =
+  let nreads = Array.length keys in
+  let read_set =
+    Array.make nreads ({ key = 0; wts = Timestamp.zero } : Mk_storage.Txn.read_entry)
+  in
+  let values = Array.make nreads 0 in
+  let rec exec i =
+    if i >= nreads then k (Array.to_list read_set) values
+    else
+      do_get t client ~key:keys.(i) ~read ~alive (fun (value, wts) ->
+          read_set.(i) <- { key = keys.(i); wts };
+          values.(i) <- value;
+          exec (i + 1))
+  in
+  exec 0
+
+let server_busy_fraction t =
+  let now = Engine.now t.engine in
+  if now <= 0.0 then 0.0
+  else begin
+    let busy = ref 0.0 and ncores = ref 0 in
+    Array.iter
+      (fun percore ->
+        Array.iter
+          (fun c ->
+            busy := !busy +. Core.busy_time c;
+            incr ncores)
+          percore)
+      t.cores;
+    !busy /. (now *. float_of_int !ncores)
+  end

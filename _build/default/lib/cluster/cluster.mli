@@ -1,0 +1,86 @@
+(** Shared deployment scaffolding for all four simulated systems
+    (Meerkat, Meerkat-PB, TAPIR, KuaFu++).
+
+    The paper gives every prototype the same three-layer structure
+    with a shared transport and storage substrate so that measured
+    differences come from coordination alone (§6.1); this module is
+    that shared substrate: replica servers with per-thread cores, a
+    population of closed-loop client machines with loosely
+    synchronized clocks, versioned-GET plumbing with retransmission,
+    and protocol counters. Each system adds its own commit protocol on
+    top. *)
+
+type config = {
+  n_replicas : int;
+  threads : int;  (** Server threads (cores) per replica. *)
+  n_clients : int;
+  keys : int;
+  transport : Mk_net.Transport.t;
+  costs : Mk_model.Costs.t;
+  clock_offset : float;
+  clock_drift : float;
+  seed : int;
+}
+
+val default_config : config
+
+type client = {
+  cid : int;
+  clock : Mk_clock.Sync_clock.t;
+  rng : Mk_util.Rng.t;
+  mutable seq : int;
+  mutable last_time : float;
+}
+
+type t = {
+  engine : Mk_sim.Engine.t;
+  cfg : config;
+  net : Mk_net.Network.t;
+  cores : Mk_sim.Core.t array array;  (** [cores.(replica).(thread)]. *)
+  clients : client array;
+  rto : float;  (** Initial retransmission timeout, µs. *)
+  mutable committed : int;
+  mutable aborted : int;
+  mutable fast_path : int;
+  mutable slow_path : int;
+  mutable retransmits : int;
+}
+
+val create : Mk_sim.Engine.t -> config -> t
+val tx_cpu : t -> float
+
+val fresh_tid : t -> client -> Mk_clock.Timestamp.Tid.t
+val fresh_timestamp : t -> client -> Mk_clock.Timestamp.t
+(** Client-local clock reading, forced strictly monotone per client. *)
+
+val counters : t -> Mk_model.System_intf.counters
+
+val note_decision : t -> committed:bool -> fast:bool -> unit
+
+val do_get :
+  t ->
+  client ->
+  key:int ->
+  read:(replica:int -> key:int -> (int * Mk_clock.Timestamp.t) option) ->
+  alive:(int -> bool) ->
+  ((int * Mk_clock.Timestamp.t) -> unit) ->
+  unit
+(** Execute-phase GET: pick a live replica (uniform load-balancing
+    over replicas and their cores), charge the server core, call
+    [read]; retransmit with exponential backoff until an answer
+    arrives. [read] returning [None] models a server that cannot
+    answer (paused or crashed after the message was sent). *)
+
+val execute_reads :
+  t ->
+  client ->
+  keys:int array ->
+  read:(replica:int -> key:int -> (int * Mk_clock.Timestamp.t) option) ->
+  alive:(int -> bool) ->
+  (Mk_storage.Txn.read_entry list -> int array -> unit) ->
+  unit
+(** Interactive execute phase: issue {!do_get} for each key in order,
+    one at a time, and deliver the accumulated read set together with
+    the values read (for transactions whose writes depend on them). *)
+
+val server_busy_fraction : t -> float

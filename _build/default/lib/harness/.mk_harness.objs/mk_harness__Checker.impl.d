@@ -1,0 +1,1 @@
+lib/harness/checker.ml: Array Format Hashtbl List Mk_clock Mk_storage

@@ -1,0 +1,1 @@
+lib/harness/checker.mli: Format Hashtbl Mk_clock Mk_storage

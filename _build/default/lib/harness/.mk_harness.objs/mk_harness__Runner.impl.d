@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Format List Mk_model Mk_sim Mk_util Mk_workload

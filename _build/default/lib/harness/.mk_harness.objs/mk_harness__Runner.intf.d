@@ -1,0 +1,1 @@
+lib/harness/runner.mli: Format Mk_model Mk_sim Mk_workload

@@ -1,0 +1,69 @@
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+
+type violation = {
+  tid : Timestamp.Tid.t;
+  key : int;
+  expected_wts : Timestamp.t;
+  observed_wts : Timestamp.t;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "txn %a read key %d at version %a but latest committed write was %a"
+    Timestamp.Tid.pp v.tid v.key Timestamp.pp v.observed_wts Timestamp.pp
+    v.expected_wts
+
+let sorted committed =
+  List.sort
+    (fun (a, tsa) (b, tsb) ->
+      let c = Timestamp.compare tsa tsb in
+      if c <> 0 then c else Timestamp.Tid.compare a.Txn.tid b.Txn.tid)
+    committed
+
+let check committed =
+  let model : (int, Timestamp.t) Hashtbl.t = Hashtbl.create 4096 in
+  let wts_of key =
+    match Hashtbl.find_opt model key with Some ts -> ts | None -> Timestamp.zero
+  in
+  let rec replay = function
+    | [] -> Ok ()
+    | (txn, ts) :: rest ->
+        let bad =
+          Array.fold_left
+            (fun acc (r : Txn.read_entry) ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  let expected = wts_of r.key in
+                  if Timestamp.equal expected r.wts then None
+                  else
+                    Some
+                      {
+                        tid = txn.Txn.tid;
+                        key = r.key;
+                        expected_wts = expected;
+                        observed_wts = r.wts;
+                      })
+            None txn.Txn.read_set
+        in
+        begin
+          match bad with
+          | Some v -> Error v
+          | None ->
+              Array.iter
+                (fun (w : Txn.write_entry) -> Hashtbl.replace model w.key ts)
+                txn.Txn.write_set;
+              replay rest
+        end
+  in
+  replay (sorted committed)
+
+let final_state committed =
+  let model = Hashtbl.create 4096 in
+  List.iter
+    (fun (txn, ts) ->
+      Array.iter
+        (fun (w : Txn.write_entry) -> Hashtbl.replace model w.key (w.value, ts))
+        txn.Txn.write_set)
+    (sorted committed);
+  model

@@ -1,0 +1,30 @@
+(** One-copy-serializability checker for committed histories.
+
+    Meerkat serializes committed transactions in timestamp order
+    (§3), so serializability has a direct witness: replaying the
+    committed set in timestamp order must show every committed reader
+    the exact version it actually observed — i.e. each read's recorded
+    [wts] equals the largest committed write timestamp below the
+    reader's own commit timestamp. Tests feed in every commit the
+    clients were acknowledged, across all coordinators. *)
+
+type violation = {
+  tid : Mk_clock.Timestamp.Tid.t;
+  key : int;
+  expected_wts : Mk_clock.Timestamp.t;  (** Version the replay holds. *)
+  observed_wts : Mk_clock.Timestamp.t;  (** Version the reader saw. *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list -> (unit, violation) result
+(** [check committed] replays the committed transactions (any input
+    order) in commit-timestamp order and reports the first read that
+    observed a version other than the latest preceding committed
+    write. *)
+
+val final_state :
+  (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list -> (int, int * Mk_clock.Timestamp.t) Hashtbl.t
+(** The key → (value, wts) state a correct replica must converge to
+    after applying exactly the committed transactions. *)

@@ -1,0 +1,105 @@
+module Engine = Mk_sim.Engine
+module Intf = Mk_model.System_intf
+module Workload = Mk_workload.Workload
+
+type result = {
+  committed : int;
+  aborted : int;
+  goodput : float;
+  abort_rate : float;
+  mean_latency : float;
+  p50_latency : float;
+  p99_latency : float;
+  fast_fraction : float;
+  retransmits : int;
+  busy : float;
+}
+
+let run ~engine ~system:(Intf.Packed ((module S), sys)) ~workload ~n_clients ~warmup
+    ~measure ~busy =
+  let horizon = warmup +. measure in
+  let committed = ref 0 and aborted = ref 0 in
+  let latencies = Mk_util.Histogram.create () in
+  let lat_stats = Mk_util.Stats.create () in
+  let in_window () =
+    let now = Engine.now engine in
+    now >= warmup && now < horizon
+  in
+  let base_counters = ref Intf.zero_counters in
+  let window_started = ref false in
+  (* Snapshot protocol counters when the window opens so fast-path
+     fractions and retransmit counts cover the window only. *)
+  Engine.schedule_at engine warmup (fun () ->
+      window_started := true;
+      base_counters := S.counters sys);
+  let rec client_loop c =
+    if Engine.now engine < horizon then begin
+      let req = Workload.next workload in
+      let started = Engine.now engine in
+      attempt c req ~started
+    end
+  and attempt c req ~started =
+    S.submit sys ~client:c req ~on_done:(fun ~committed:ok ->
+        if ok then begin
+          if in_window () && started >= warmup then begin
+            incr committed;
+            let lat = Engine.now engine -. started in
+            Mk_util.Histogram.add latencies lat;
+            Mk_util.Stats.add lat_stats lat
+          end
+          else if in_window () then incr committed;
+          client_loop c
+        end
+        else begin
+          if in_window () then incr aborted;
+          (* Retry the same transaction with fresh reads and a fresh
+             timestamp, as the paper's closed-loop clients do. *)
+          if Engine.now engine < horizon then attempt c req ~started
+        end)
+  in
+  for c = 0 to n_clients - 1 do
+    client_loop c
+  done;
+  Engine.run ~until:horizon engine;
+  let counters = S.counters sys in
+  let base = !base_counters in
+  let fast = counters.Intf.fast_path - base.Intf.fast_path in
+  let slow = counters.Intf.slow_path - base.Intf.slow_path in
+  let decided = fast + slow in
+  let total = !committed + !aborted in
+  {
+    committed = !committed;
+    aborted = !aborted;
+    goodput = float_of_int !committed /. measure *. 1e6;
+    abort_rate = (if total = 0 then 0.0 else float_of_int !aborted /. float_of_int total);
+    mean_latency = (if Mk_util.Stats.count lat_stats = 0 then nan else Mk_util.Stats.mean lat_stats);
+    p50_latency = Mk_util.Histogram.percentile latencies 50.0;
+    p99_latency = Mk_util.Histogram.percentile latencies 99.0;
+    fast_fraction =
+      (if decided = 0 then 1.0 else float_of_int fast /. float_of_int decided);
+    retransmits = counters.Intf.retransmits - base.Intf.retransmits;
+    busy = busy ();
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "goodput=%.3fM/s aborts=%.1f%% lat(mean/p50/p99)=%.1f/%.1f/%.1fus fast=%.1f%% \
+     busy=%.2f"
+    (r.goodput /. 1e6) (100.0 *. r.abort_rate) r.mean_latency r.p50_latency
+    r.p99_latency (100.0 *. r.fast_fraction) r.busy
+
+let peak ~make ~workload ~ladder ~warmup ~measure =
+  let best = ref None in
+  List.iter
+    (fun n_clients ->
+      let engine, system, busy = make ~n_clients in
+      let r =
+        run ~engine ~system ~workload:(workload ()) ~n_clients ~warmup ~measure ~busy
+      in
+      match !best with
+      | Some (_, prev) when prev.goodput >= r.goodput -> ()
+      | _ -> best := Some (n_clients, r))
+    ladder;
+  match !best with
+  | Some result -> result
+  | None -> invalid_arg "Runner.peak: empty ladder"

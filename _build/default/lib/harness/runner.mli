@@ -1,0 +1,53 @@
+(** Closed-loop benchmark driver (§6.2 methodology).
+
+    [n_clients] closed-loop clients each run transactions
+    back-to-back: draw a request from the workload, submit it, and on
+    abort retry the same request (with fresh reads and a fresh
+    timestamp) until it commits, then move on. After a warm-up period,
+    commits and aborts completing within the measurement window are
+    counted; goodput is committed transactions per second and the
+    abort rate is aborts / (commits + aborts), exactly the paper's
+    metrics. *)
+
+type result = {
+  committed : int;  (** Commits inside the measurement window. *)
+  aborted : int;  (** Aborted attempts inside the window. *)
+  goodput : float;  (** Committed transactions per simulated second. *)
+  abort_rate : float;
+  mean_latency : float;  (** Mean commit latency, µs (attempt chains). *)
+  p50_latency : float;
+  p99_latency : float;
+  fast_fraction : float;  (** Fraction of decisions on the fast path. *)
+  retransmits : int;
+  busy : float;  (** Mean server-core utilization over the run. *)
+}
+
+val run :
+  engine:Mk_sim.Engine.t ->
+  system:Mk_model.System_intf.packed ->
+  workload:Mk_workload.Workload.t ->
+  n_clients:int ->
+  warmup:float ->
+  measure:float ->
+  busy:(unit -> float) ->
+  result
+(** Drives the simulation to [warmup +. measure] µs and reports. The
+    engine must be freshly created together with the system. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+val peak :
+  make:
+    (n_clients:int ->
+    Mk_sim.Engine.t * Mk_model.System_intf.packed * (unit -> float)) ->
+  workload:(unit -> Mk_workload.Workload.t) ->
+  ladder:int list ->
+  warmup:float ->
+  measure:float ->
+  int * result
+(** Peak-throughput search, the paper's measurement discipline: run
+    the experiment once per client count in [ladder] (each run gets a
+    fresh engine/system/workload from the factories) and return the
+    client count and result with the highest goodput. Closed-loop
+    systems past saturation lose goodput to queueing, so a simple max
+    over an exponential ladder recovers the peak. *)

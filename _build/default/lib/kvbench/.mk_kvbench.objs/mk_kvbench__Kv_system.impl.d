@@ -1,0 +1,1 @@
+lib/kvbench/kv_system.ml: Array Hashtbl Mk_model Mk_net Mk_sim Mk_util Printf

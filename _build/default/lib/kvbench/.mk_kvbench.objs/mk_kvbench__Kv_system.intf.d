@@ -1,0 +1,1 @@
+lib/kvbench/kv_system.mli: Mk_model Mk_net Mk_sim

@@ -1,0 +1,108 @@
+module Engine = Mk_sim.Engine
+module Core = Mk_sim.Core
+module Resource = Mk_sim.Resource
+module Network = Mk_net.Network
+module Transport = Mk_net.Transport
+module Costs = Mk_model.Costs
+module Intf = Mk_model.System_intf
+module Rng = Mk_util.Rng
+
+type config = {
+  threads : int;
+  transport : Transport.t;
+  atomic_counter : bool;
+  keys : int;
+  costs : Costs.t;
+  seed : int;
+}
+
+let default_config =
+  {
+    threads = 8;
+    transport = Transport.erpc;
+    atomic_counter = false;
+    keys = 65536;
+    costs = Costs.default;
+    seed = 42;
+  }
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  net : Network.t;
+  cores : Core.t array;
+  table : (int, int) Hashtbl.t;
+  counter : Resource.t option;
+  rng : Rng.t;
+  mutable counter_value : int;
+  mutable puts : int;
+}
+
+let create engine cfg =
+  let rng = Rng.split (Engine.rng engine) in
+  {
+    engine;
+    cfg;
+    net = Network.create engine ~rng:(Rng.split rng) ~transport:cfg.transport;
+    cores = Array.init cfg.threads (fun id -> Core.create engine ~id);
+    table = Hashtbl.create (max 16 cfg.keys);
+    counter =
+      (if cfg.atomic_counter then Some (Resource.create engine ~name:"put-counter")
+       else None);
+    rng;
+    counter_value = 0;
+    puts = 0;
+  }
+
+let name t =
+  Printf.sprintf "%s%s" t.cfg.transport.Transport.name
+    (if t.cfg.atomic_counter then "+counter" else "")
+
+let threads t = t.cfg.threads
+
+let submit t ~client:_ (req : Intf.txn_request) ~on_done =
+  let nputs = Array.length req.writes in
+  let remaining = ref nputs in
+  let finish_one () =
+    decr remaining;
+    if !remaining = 0 then
+      Network.send_to_client t.net (fun () -> on_done ~committed:true)
+  in
+  if nputs = 0 then Network.send_to_client t.net (fun () -> on_done ~committed:true)
+  else
+    Array.iter
+      (fun (key, value) ->
+        let core = t.cores.(Rng.int t.rng t.cfg.threads) in
+        let cost = t.cfg.costs.Costs.put +. Network.tx_cpu t.net in
+        Network.send_to_core t.net ~dst:core ~cost (fun ~finish ->
+            let apply () =
+              Hashtbl.replace t.table key value;
+              t.puts <- t.puts + 1;
+              finish_one ();
+              finish ()
+            in
+            match t.counter with
+            | None -> apply ()
+            | Some counter ->
+                (* The artificial bottleneck: a fetch-and-add on a
+                   shared cache line serializes every PUT. *)
+                Resource.use counter ~hold:t.cfg.costs.Costs.atomic_counter
+                  (fun () ->
+                    t.counter_value <- t.counter_value + 1;
+                    apply ())))
+      req.writes
+
+let counters t : Intf.counters =
+  { Intf.zero_counters with committed = t.puts }
+
+let puts t = t.puts
+let counter_value t = t.counter_value
+let get t ~key = Hashtbl.find_opt t.table key
+
+let server_busy_fraction t =
+  let now = Engine.now t.engine in
+  if now <= 0.0 then 0.0
+  else begin
+    let busy = Array.fold_left (fun acc c -> acc +. Core.busy_time c) 0.0 t.cores in
+    busy /. (now *. float_of_int t.cfg.threads)
+  end

@@ -1,0 +1,42 @@
+(** The Figure 1 microbenchmark system: a single unreplicated
+    key-value server handling PUTs.
+
+    Two transports (Linux UDP vs eRPC kernel-bypass) and an optional
+    artificial scalability bottleneck — a shared atomic counter
+    incremented on every PUT. The paper's punchline: with the UDP
+    stack the counter is invisible (the network stack is the
+    bottleneck), with eRPC it caps the whole server near 11 M op/s —
+    application-level cross-core coordination suddenly matters. *)
+
+type config = {
+  threads : int;
+  transport : Mk_net.Transport.t;
+  atomic_counter : bool;
+      (** Increment a shared counter on every PUT (the artificial
+          bottleneck of Fig. 1). *)
+  keys : int;
+  costs : Mk_model.Costs.t;
+  seed : int;
+}
+
+val default_config : config
+
+type t
+
+val create : Mk_sim.Engine.t -> config -> t
+val name : t -> string
+val threads : t -> int
+
+val submit :
+  t -> client:int -> Mk_model.System_intf.txn_request -> on_done:(committed:bool -> unit) -> unit
+(** Each write pair in the request is executed as one PUT; the reply
+    arrives after the last PUT completes. Reads are ignored (the
+    Fig. 1 workload is PUT-only). Always commits. *)
+
+val counters : t -> Mk_model.System_intf.counters
+val puts : t -> int
+val counter_value : t -> int
+(** Value of the shared counter (equals {!puts} when enabled). *)
+
+val get : t -> key:int -> int option
+val server_busy_fraction : t -> float

@@ -1,0 +1,1 @@
+lib/meerkat/decision.ml: Array Mk_storage Quorum

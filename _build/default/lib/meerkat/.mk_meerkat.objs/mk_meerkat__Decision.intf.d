@@ -1,0 +1,1 @@
+lib/meerkat/decision.mli: Mk_storage Quorum

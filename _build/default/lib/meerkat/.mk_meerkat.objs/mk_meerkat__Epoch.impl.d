@@ -1,0 +1,1 @@
+lib/meerkat/epoch.ml: Array Hashtbl List Mk_clock Mk_storage Quorum Replica

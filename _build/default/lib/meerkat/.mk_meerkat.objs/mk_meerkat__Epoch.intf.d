@@ -1,0 +1,1 @@
+lib/meerkat/epoch.mli: Quorum Replica

@@ -1,0 +1,1 @@
+lib/meerkat/quorum.ml: Format

@@ -1,0 +1,1 @@
+lib/meerkat/recovery.ml: List Mk_storage Quorum Replica

@@ -1,0 +1,1 @@
+lib/meerkat/recovery.mli: Quorum Replica

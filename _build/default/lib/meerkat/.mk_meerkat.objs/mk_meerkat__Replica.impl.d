@@ -1,0 +1,1 @@
+lib/meerkat/replica.ml: List Mk_clock Mk_storage Printf Quorum

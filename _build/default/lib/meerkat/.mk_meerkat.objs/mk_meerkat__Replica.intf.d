@@ -1,0 +1,1 @@
+lib/meerkat/replica.mli: Mk_clock Mk_storage Quorum

@@ -1,0 +1,1 @@
+lib/meerkat/sharded.ml: Array Hashtbl List Mk_clock Mk_cluster Mk_model Mk_sim Mk_storage Printf Sim_system

@@ -1,0 +1,1 @@
+lib/meerkat/sharded.mli: Mk_cluster Mk_model Mk_sim Sim_system

@@ -1,0 +1,1 @@
+lib/meerkat/sim_system.ml: Array Decision Epoch Float Hashtbl List Mk_clock Mk_cluster Mk_model Mk_net Mk_sim Mk_storage Quorum Replica

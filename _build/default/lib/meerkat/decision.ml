@@ -1,0 +1,40 @@
+module Txn = Mk_storage.Txn
+
+type verdict = Wait | Fast of bool | Slow of bool | Final of bool
+
+let evaluate ~quorum ~replies =
+  let n = Array.length replies in
+  let received = ref 0 and ok = ref 0 and vabort = ref 0 and accepted = ref 0 in
+  let finalized = ref None in
+  Array.iter
+    (fun reply ->
+      match reply with
+      | None -> ()
+      | Some st ->
+          incr received;
+          (match st with
+          | Txn.Validated_ok -> incr ok
+          | Txn.Validated_abort -> incr vabort
+          | Txn.Committed -> finalized := Some true
+          | Txn.Aborted -> finalized := Some false
+          | Txn.Accepted_commit | Txn.Accepted_abort -> incr accepted))
+    replies;
+  match !finalized with
+  | Some commit -> Final commit
+  | None ->
+      let outstanding = n - !received in
+      let fastq = Quorum.fast quorum in
+      if !ok >= fastq then Fast true
+      else if !vabort >= fastq then Fast false
+      else if !accepted > 0 then
+        (* An Accepted_* reply means a (backup) coordinator is already
+           running the slow path for this transaction; interfering with
+           a view-0 proposal could only be fenced. Wait — the
+           retransmission path will observe the final status. *)
+        Wait
+      else if
+        !received >= Quorum.majority quorum
+        && !ok + outstanding < fastq
+        && !vabort + outstanding < fastq
+      then Slow (!ok >= Quorum.majority quorum)
+      else Wait

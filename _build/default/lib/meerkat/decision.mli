@@ -1,0 +1,22 @@
+(** Pure quorum-decision rule for validation replies (§5.2.2 steps
+    3–4), shared by the Meerkat and TAPIR coordinators.
+
+    Given the replies collected so far, decide whether the transaction
+    can be completed on the fast path (a supermajority of matching
+    VALIDATED-* replies), must take the slow path (fast path
+    impossible and a majority of replies in hand), is already final at
+    some replica (a retransmission raced a backup coordinator), or
+    must keep waiting. *)
+
+type verdict =
+  | Wait
+  | Fast of bool  (** Supermajority matched; [true] = commit. *)
+  | Slow of bool
+      (** Propose via accept round; [true] = commit (a majority replied
+          VALIDATED-OK). *)
+  | Final of bool  (** Some replica already holds the final outcome. *)
+
+val evaluate :
+  quorum:Quorum.t -> replies:Mk_storage.Txn.status option array -> verdict
+(** [replies] is indexed by replica; [None] marks replicas that have
+    not answered. The array length must be the quorum's n. *)

@@ -1,0 +1,31 @@
+(** The epoch-change merge (§5.3.1): compute the consistent trecord a
+    recovery coordinator installs after polling a majority of
+    replicas.
+
+    Pure logic — the driver that pauses replicas, collects reports and
+    distributes the result lives in {!Sim_system} (simulation) and in
+    the tests. Given reports from at least f+1 replicas, [merge]
+    produces a trecord in which {e every} entry is final, applying the
+    paper's rules in order:
+
+    + transactions COMMITTED or ABORTED anywhere keep that outcome;
+    + transactions with an accepted slow-path proposal adopt the
+      decision with the highest view;
+    + transactions with ≥ f+1 matching VALIDATED-* reports become
+      COMMITTED / ABORTED accordingly;
+    + transactions with ≥ ⌈f/2⌉+1 VALIDATED-OK reports — the ones that
+      may have committed on the fast path — are re-validated with OCC
+      checks (Alg. 1) against a scratch store replaying the already
+      merged commits in timestamp order;
+    + everything else is ABORTED. *)
+
+type report = {
+  replica : int;
+  records : (int * Replica.record_view) list;  (** (core, record). *)
+}
+
+val merge :
+  quorum:Quorum.t -> reports:report list -> (int * Replica.record_view) list
+(** @raise Invalid_argument if fewer than [majority quorum] reports
+    are supplied. The result preserves each record's core partition
+    and is sorted by commit timestamp (deterministic). *)

@@ -1,0 +1,15 @@
+type t = { n : int; f : int }
+
+let create ~n =
+  if n < 1 || n mod 2 = 0 then
+    invalid_arg "Quorum.create: n must be odd and positive";
+  { n; f = (n - 1) / 2 }
+
+let of_f ~f =
+  if f < 0 then invalid_arg "Quorum.of_f: f must be non-negative";
+  { n = (2 * f) + 1; f }
+
+let majority t = t.f + 1
+let fast t = t.f + ((t.f + 1) / 2) + 1
+let fast_recovery t = ((t.f + 1) / 2) + 1
+let pp ppf t = Format.fprintf ppf "n=%d f=%d maj=%d fast=%d" t.n t.f (majority t) (fast t)

@@ -1,0 +1,24 @@
+(** Quorum arithmetic for n = 2f + 1 replicas (§5.2.2).
+
+    The fast path needs a supermajority of f + ⌈f/2⌉ + 1 matching
+    validation replies (> 3/4 of the replicas); the slow path and all
+    recovery protocols use simple majorities of f + 1. *)
+
+type t = private { n : int; f : int }
+
+val create : n:int -> t
+(** @raise Invalid_argument unless [n] is odd and >= 1. *)
+
+val of_f : f:int -> t
+val majority : t -> int
+(** f + 1. *)
+
+val fast : t -> int
+(** f + ⌈f/2⌉ + 1. *)
+
+val fast_recovery : t -> int
+(** ⌈f/2⌉ + 1 — the minimum number of epoch-change participants that
+    must have validated-ok a transaction for it to possibly have
+    committed on the fast path (§5.3.1). *)
+
+val pp : Format.formatter -> t -> unit

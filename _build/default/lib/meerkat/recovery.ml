@@ -1,0 +1,37 @@
+module Txn = Mk_storage.Txn
+
+type reply = No_record | Record of Replica.record_view
+
+let choose ~quorum ~replies =
+  if List.length replies < Quorum.majority quorum then
+    invalid_arg "Recovery.choose: needs a majority of replies";
+  let records =
+    List.filter_map
+      (function No_record -> None | Record v -> Some v)
+      replies
+  in
+  let count pred = List.length (List.filter pred records) in
+  let final_commit = count (fun v -> v.Replica.status = Txn.Committed) > 0 in
+  let final_abort = count (fun v -> v.Replica.status = Txn.Aborted) > 0 in
+  if final_commit then `Commit
+  else if final_abort then `Abort
+  else begin
+    let accepted =
+      List.fold_left
+        (fun best (v : Replica.record_view) ->
+          match (v.accept_view, v.status) with
+          | Some av, (Txn.Accepted_commit | Txn.Accepted_abort) -> begin
+              match best with
+              | Some (bv, _) when bv >= av -> best
+              | _ -> Some (av, v.status = Txn.Accepted_commit)
+            end
+          | _ -> best)
+        None records
+    in
+    match accepted with
+    | Some (_, true) -> `Commit
+    | Some (_, false) -> `Abort
+    | None ->
+        let ok = count (fun v -> v.Replica.status = Txn.Validated_ok) in
+        if ok >= Quorum.fast_recovery quorum then `Commit else `Abort
+  end

@@ -1,0 +1,260 @@
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Vstore = Mk_storage.Vstore
+module Trecord = Mk_storage.Trecord
+module Occ = Mk_storage.Occ
+
+type record_view = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  status : Txn.status;
+  view : int;
+  accept_view : int option;
+}
+
+(* Temporary debug tracing hook (set from debug harnesses). *)
+let tracer : (string -> unit) option ref = ref None
+let trace fmt = Printf.ksprintf (fun s -> match !tracer with Some f -> f s | None -> ()) fmt
+
+type t = {
+  id : int;
+  quorum : Quorum.t;
+  ncores : int;
+  mutable vstore : Vstore.t;
+  mutable trecord : Trecord.t;
+  mutable epoch : int;
+  mutable installed_epoch : int;
+      (** Highest epoch whose epoch-change-complete has been applied;
+          retransmitted completes for it are acknowledged without
+          re-installing (a re-install would erase records of
+          transactions that finished after the first install). *)
+  mutable paused : bool;
+  mutable crashed : bool;
+  mutable validations_ok : int;
+  mutable validations_abort : int;
+  mutable committed : int;
+  mutable aborted : int;
+}
+
+let create ~id ~quorum ~cores =
+  {
+    id;
+    quorum;
+    ncores = cores;
+    vstore = Vstore.create ();
+    trecord = Trecord.create ~cores;
+    epoch = 0;
+    installed_epoch = 0;
+    paused = false;
+    crashed = false;
+    validations_ok = 0;
+    validations_abort = 0;
+    committed = 0;
+    aborted = 0;
+  }
+
+let id t = t.id
+let cores t = t.ncores
+let quorum t = t.quorum
+let vstore t = t.vstore
+let trecord t = t.trecord
+let epoch t = t.epoch
+let is_available t = (not t.crashed) && not t.paused
+let load t ~key ~value = Vstore.load t.vstore ~key ~value
+
+let crash t =
+  t.crashed <- true;
+  (* Fail-stop without stable storage: all state is gone (§5.3.1). *)
+  t.vstore <- Vstore.create ();
+  t.trecord <- Trecord.create ~cores:t.ncores
+
+let is_crashed t = t.crashed
+
+let begin_recovery t =
+  t.crashed <- false;
+  t.paused <- true
+
+let view_of_entry (e : Trecord.entry) =
+  { txn = e.txn; ts = e.ts; status = e.status; view = e.view; accept_view = e.accept_view }
+
+let entry_of_view (v : record_view) : Trecord.entry =
+  { txn = v.txn; ts = v.ts; status = v.status; view = v.view; accept_view = v.accept_view }
+
+(* Guard: handlers answer only when the replica is up; a paused
+   replica still answers reads and write-phase messages (the paper
+   pauses only the *validation* of new transactions during an epoch
+   change), but nothing is answered after a crash. *)
+
+let handle_get t ~key =
+  if t.crashed || t.paused then None
+  else begin
+    match Vstore.find t.vstore key with
+    | Some e -> Some (Vstore.read_versioned e)
+    | None -> Some (0, Timestamp.zero)
+  end
+
+let handle_validate t ~core ~txn ~ts =
+  if t.crashed || t.paused then None
+  else begin
+    match Trecord.find t.trecord ~core txn.Txn.tid with
+    | Some entry -> Some entry.status
+    | None ->
+        let status =
+          match Occ.validate t.vstore txn ~ts with
+          | `Ok ->
+              t.validations_ok <- t.validations_ok + 1;
+              Txn.Validated_ok
+          | `Abort ->
+              t.validations_abort <- t.validations_abort + 1;
+              Txn.Validated_abort
+        in
+        let (_ : Trecord.entry) = Trecord.add t.trecord ~core ~txn ~ts ~status in
+        trace "r%d validate %s ts=%s -> %s" t.id
+          (Timestamp.Tid.to_string txn.Txn.tid) (Timestamp.to_string ts)
+          (Txn.status_to_string status);
+        Some status
+  end
+
+let handle_accept t ~core ~txn ~ts ~decision ~view =
+  if t.crashed then None
+  else begin
+    let entry =
+      match Trecord.find t.trecord ~core txn.Txn.tid with
+      | Some e -> e
+      | None ->
+          (* This replica missed the validate message: record the
+             proposal anyway — consensus is on the outcome, not on
+             having validated. *)
+          Trecord.add t.trecord ~core ~txn ~ts ~status:Txn.Validated_abort
+    in
+    if Txn.is_final entry.status then Some (`Finalized entry.status)
+    else if view < entry.view then Some (`Stale entry.view)
+    else begin
+      entry.view <- view;
+      entry.accept_view <- Some view;
+      entry.status <-
+        (match decision with
+        | `Commit -> Txn.Accepted_commit
+        | `Abort -> Txn.Accepted_abort);
+      Some `Accepted
+    end
+  end
+
+let finalize_entry t (entry : Trecord.entry) ~commit =
+  entry.status <- (if commit then Txn.Committed else Txn.Aborted);
+  if commit then begin
+    t.committed <- t.committed + 1;
+    Occ.finish t.vstore entry.txn ~ts:entry.ts ~commit:true
+  end
+  else begin
+    t.aborted <- t.aborted + 1;
+    (* Removing pending marks that were never added is a no-op, so we
+       need not track whether this replica's validation succeeded. *)
+    Occ.abort_pending t.vstore entry.txn ~ts:entry.ts
+  end
+
+let handle_commit t ~core ~txn ~ts ~commit =
+  if t.crashed then None
+  else begin
+    let entry =
+      match Trecord.find t.trecord ~core txn.Txn.tid with
+      | Some e -> e
+      | None -> Trecord.add t.trecord ~core ~txn ~ts ~status:Txn.Validated_abort
+    in
+    if Txn.is_final entry.status then Some () (* retransmission *)
+    else begin
+      finalize_entry t entry ~commit;
+      trace "r%d commit %s ts=%s commit=%b" t.id
+        (Timestamp.Tid.to_string txn.Txn.tid) (Timestamp.to_string ts) commit;
+      Some ()
+    end
+  end
+
+let handle_coord_change t ~core ~tid ~view =
+  if t.crashed then None
+  else begin
+    match Trecord.find t.trecord ~core tid with
+    | None -> Some (`View_ok None)
+    | Some entry ->
+        if view <= entry.view && entry.view > 0 then Some (`Stale entry.view)
+        else begin
+          entry.view <- view;
+          Some (`View_ok (Some (view_of_entry entry)))
+        end
+  end
+
+let handle_epoch_change t ~epoch =
+  if t.crashed then None
+  else if epoch <= t.epoch then None
+  else begin
+    t.epoch <- epoch;
+    t.paused <- true;
+    trace "r%d epoch-change e=%d reporting %d records" t.id epoch
+      (Trecord.size t.trecord);
+    Some (List.map (fun (_, e) -> view_of_entry e) (Trecord.entries t.trecord))
+  end
+
+let handle_epoch_complete t ~epoch ~records ~store =
+  if t.crashed then None
+  else if epoch <= t.installed_epoch then
+    (* Duplicate or stale: acknowledge so the recovery coordinator
+       stops retransmitting, but do NOT re-install — the merged record
+       predates transactions that may have finished since. *)
+    Some ()
+  else if epoch < t.epoch then None
+  else begin
+    t.epoch <- epoch;
+    t.installed_epoch <- epoch;
+    (match store with
+    | None -> ()
+    | Some rows ->
+        let fresh = Vstore.create () in
+        List.iter
+          (fun (key, value, wts, rts) ->
+            let e = Vstore.find_or_create fresh key in
+            e.Vstore.value <- value;
+            e.Vstore.wts <- wts;
+            e.Vstore.rts <- rts)
+          rows;
+        t.vstore <- fresh);
+    (* Adopt the merged trecord. Every entry in it is final
+       (COMMITTED/ABORTED) by construction of the merge (§5.3.1); we
+       re-apply committed writes, which the Thomas write rule makes
+       idempotent, so replicas that already executed them converge
+       with ones that did not. *)
+    Vstore.clear_pending t.vstore;
+    let pairs = List.map (fun (core, v) -> (core, entry_of_view v)) records in
+    let merged = Trecord.create ~cores:t.ncores in
+    Trecord.replace_all merged pairs;
+    t.trecord <- merged;
+    List.iter
+      (fun (_, (e : Trecord.entry)) ->
+        match e.status with
+        | Txn.Committed -> Occ.finish t.vstore e.txn ~ts:e.ts ~commit:true
+        | Txn.Aborted -> Occ.abort_pending t.vstore e.txn ~ts:e.ts
+        | Txn.Validated_ok | Txn.Validated_abort | Txn.Accepted_commit
+        | Txn.Accepted_abort ->
+            (* The merge never emits non-final records. *)
+            assert false)
+      (Trecord.entries merged);
+    t.paused <- false;
+    trace "r%d epoch-complete e=%d installed %d records" t.id epoch
+      (Trecord.size t.trecord);
+    Some ()
+  end
+
+let store_snapshot t =
+  let acc = ref [] in
+  Vstore.iter t.vstore (fun e ->
+      acc := (e.Vstore.key, e.Vstore.value, e.Vstore.wts, e.Vstore.rts) :: !acc);
+  !acc
+
+let record_views t =
+  List.map (fun (core, e) -> (core, view_of_entry e)) (Trecord.entries t.trecord)
+
+let trim_record t ~before = Trecord.trim_finalized t.trecord ~before
+
+let validations_ok t = t.validations_ok
+let validations_abort t = t.validations_abort
+let committed t = t.committed
+let aborted t = t.aborted

@@ -1,0 +1,144 @@
+(** A Meerkat replica: one instance of the multicore transactional
+    database (§4.1) — versioned storage + concurrency control +
+    replication record.
+
+    This module is pure protocol logic: handlers take requests and
+    return replies, with no knowledge of the simulator. The simulation
+    wiring (cores, network, CPU costs) lives in {!Sim_system}; tests
+    drive handlers directly; the real-parallelism layer reuses the
+    same logic from OCaml domains.
+
+    A handler returns [None] when the replica cannot respond — it has
+    crashed, or has paused transaction processing for an epoch change
+    (§5.3.1). Coordinators handle this with retransmission, exactly as
+    the paper's footnote prescribes. *)
+
+type t
+
+(** Immutable snapshot of a trecord entry, exchanged by the recovery
+    protocols (records themselves are never shared between replicas). *)
+type record_view = {
+  txn : Mk_storage.Txn.t;
+  ts : Mk_clock.Timestamp.t;
+  status : Mk_storage.Txn.status;
+  view : int;
+  accept_view : int option;
+}
+
+val tracer : (string -> unit) option ref
+(** Debug hook: when set, receives one line per record transition. *)
+
+val create : id:int -> quorum:Quorum.t -> cores:int -> t
+val id : t -> int
+val cores : t -> int
+val quorum : t -> Quorum.t
+val vstore : t -> Mk_storage.Vstore.t
+val trecord : t -> Mk_storage.Trecord.t
+val epoch : t -> int
+
+val is_available : t -> bool
+(** Neither crashed nor paused for an epoch change. *)
+
+val load : t -> key:int -> value:int -> unit
+
+(** {2 Failure injection} *)
+
+val crash : t -> unit
+(** Fail-stop: lose all state; every handler returns [None] until the
+    epoch-change protocol re-integrates the replica. *)
+
+val is_crashed : t -> bool
+
+val begin_recovery : t -> unit
+(** Restart after a crash with empty state: the replica is up (it can
+    take part in the epoch change that will rebuild it) but does not
+    process transactions until {!install_epoch} completes. *)
+
+(** {2 Normal-case handlers (§5.2)} *)
+
+val handle_get : t -> key:int -> (int * Mk_clock.Timestamp.t) option
+(** Versioned read for the execute phase. *)
+
+val handle_validate :
+  t ->
+  core:int ->
+  txn:Mk_storage.Txn.t ->
+  ts:Mk_clock.Timestamp.t ->
+  Mk_storage.Txn.status option
+(** Create the trecord entry and run Alg. 1 at timestamp [ts].
+    Retransmission-safe: if the record exists, its current status is
+    returned without re-validating. *)
+
+val handle_accept :
+  t ->
+  core:int ->
+  txn:Mk_storage.Txn.t ->
+  ts:Mk_clock.Timestamp.t ->
+  decision:[ `Commit | `Abort ] ->
+  view:int ->
+  [ `Accepted | `Stale of int | `Finalized of Mk_storage.Txn.status ] option
+(** Slow-path accept (Paxos phase 2a): adopt the proposal unless this
+    replica has joined a higher view for the transaction ([`Stale]) or
+    already knows the final outcome ([`Finalized]). Carries the
+    transaction so a replica that missed validation can still record
+    the decision. *)
+
+val handle_commit :
+  t ->
+  core:int ->
+  txn:Mk_storage.Txn.t ->
+  ts:Mk_clock.Timestamp.t ->
+  commit:bool ->
+  unit option
+(** Write phase (§5.2.3): finalize the record and, on commit, install
+    the writes (Thomas write rule) and advance read timestamps.
+    Idempotent. *)
+
+(** {2 Coordinator-recovery handlers (§5.3.2)} *)
+
+val handle_coord_change :
+  t ->
+  core:int ->
+  tid:Mk_clock.Timestamp.Tid.t ->
+  view:int ->
+  [ `View_ok of record_view option | `Stale of int ] option
+(** Paxos-prepare analogue: join [view] (refusing proposals from lower
+    views) and report this replica's record state, or [`Stale] if a
+    higher view was already joined. [`View_ok None] means this replica
+    has no record of the transaction. *)
+
+(** {2 Epoch-change handlers (§5.3.1)} *)
+
+val handle_epoch_change : t -> epoch:int -> record_view list option
+(** Enter [epoch] (pausing new validations) and return the aggregated
+    trecord; [None] if crashed or [epoch] is not newer. *)
+
+val handle_epoch_complete :
+  t ->
+  epoch:int ->
+  records:(int * record_view) list ->
+  store:(int * int * Mk_clock.Timestamp.t * Mk_clock.Timestamp.t) list option ->
+  unit option
+(** Adopt the merged trecord (pairs of core id and record), apply every
+    committed transaction it contains, optionally restore a vstore
+    snapshot first (for a replica recovering from scratch), and resume
+    processing. *)
+
+val store_snapshot : t -> (int * int * Mk_clock.Timestamp.t * Mk_clock.Timestamp.t) list
+(** (key, value, wts, rts) rows for state transfer to a recovering
+    replica. *)
+
+val record_views : t -> (int * record_view) list
+(** Snapshot of the whole trecord as [(core, view)] pairs. *)
+
+val trim_record : t -> before:Mk_clock.Timestamp.t -> int
+(** Checkpoint-style trecord truncation (see
+    {!Mk_storage.Trecord.trim_finalized}); keeps the record bounded in
+    long runs. *)
+
+(** {2 Introspection} *)
+
+val validations_ok : t -> int
+val validations_abort : t -> int
+val committed : t -> int
+val aborted : t -> int

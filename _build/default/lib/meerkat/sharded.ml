@@ -1,0 +1,139 @@
+module Engine = Mk_sim.Engine
+module Intf = Mk_model.System_intf
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Cluster = Mk_cluster.Cluster
+
+type t = {
+  engine : Engine.t;
+  groups : Sim_system.t array;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable fast_path : int;
+  mutable slow_path : int;
+}
+
+let create engine ~partitions cfg =
+  if partitions < 1 then invalid_arg "Sharded.create: partitions must be >= 1";
+  (* Each group preloads the local images of its keys: global key k
+     lives in group (k mod partitions) as local key (k / partitions). *)
+  let local_keys = ((cfg.Cluster.keys - 1) / partitions) + 1 in
+  let groups =
+    Array.init partitions (fun p ->
+        Sim_system.create engine
+          { cfg with Cluster.keys = local_keys; seed = cfg.Cluster.seed + p })
+  in
+  { engine; groups; committed = 0; aborted = 0; fast_path = 0; slow_path = 0 }
+
+let partitions t = Array.length t.groups
+let partition_of_key t key = key mod Array.length t.groups
+let local_key t key = key / Array.length t.groups
+let group t p = t.groups.(p)
+let name t = Printf.sprintf "MEERKAT-%dP" (Array.length t.groups)
+let threads t = Sim_system.threads t.groups.(0)
+
+let counters t : Intf.counters =
+  let retransmits =
+    Array.fold_left
+      (fun acc g -> acc + (Sim_system.counters g).Intf.retransmits)
+      0 t.groups
+  in
+  {
+    committed = t.committed;
+    aborted = t.aborted;
+    fast_path = t.fast_path;
+    slow_path = t.slow_path;
+    retransmits;
+  }
+
+let submit_gen t ~client ~reads ~mk_writes ~on_done =
+  let nreads = Array.length reads in
+  let read_entries =
+    Array.make nreads ({ key = 0; wts = Timestamp.zero } : Txn.read_entry)
+  in
+  let values = Array.make nreads 0 in
+  (* Interactive execution against the owning partitions, one read at
+     a time. Read-set entries carry the *global* key; the sub-read_set
+     sent to each partition is translated to local keys below. *)
+  let rec exec i k =
+    if i >= nreads then k ()
+    else begin
+      let key = reads.(i) in
+      let p = partition_of_key t key in
+      Sim_system.execute_read t.groups.(p) ~client ~key:(local_key t key)
+        (fun (value, wts) ->
+          read_entries.(i) <- { key; wts };
+          values.(i) <- value;
+          exec (i + 1) k)
+    end
+  in
+  exec 0 (fun () ->
+      let writes : (int * int) array = mk_writes values in
+      (* One global tid and timestamp for all partitions: the
+         serialization point must be the same everywhere. *)
+      let tid, ts = Sim_system.fresh_txn_stamp t.groups.(0) ~client in
+      let involved = Hashtbl.create 4 in
+      let add p = if not (Hashtbl.mem involved p) then Hashtbl.add involved p () in
+      Array.iter (fun (r : Txn.read_entry) -> add (partition_of_key t r.key)) read_entries;
+      Array.iter (fun (key, _) -> add (partition_of_key t key)) writes;
+      let parts = Hashtbl.fold (fun p () acc -> p :: acc) involved [] in
+      let sub_txn p =
+        let read_set =
+          Array.to_list read_entries
+          |> List.filter_map (fun (r : Txn.read_entry) ->
+                 if partition_of_key t r.key = p then
+                   Some ({ r with key = local_key t r.key } : Txn.read_entry)
+                 else None)
+        in
+        let write_set =
+          Array.to_list writes
+          |> List.filter_map (fun (key, value) ->
+                 if partition_of_key t key = p then
+                   Some ({ key = local_key t key; value } : Txn.write_entry)
+                 else None)
+        in
+        Txn.make ~tid ~read_set ~write_set
+      in
+      let sub_txns = List.map (fun p -> (p, sub_txn p)) parts in
+      if sub_txns = [] then begin
+        (* Empty transaction: trivially committed. *)
+        t.committed <- t.committed + 1;
+        on_done ~committed:true
+      end
+      else begin
+        let pending = ref (List.length sub_txns) in
+        let all_commit = ref true in
+        List.iter
+          (fun (p, txn) ->
+            Sim_system.prepare_txn t.groups.(p) ~txn ~ts ~on_prepared:(fun commit ->
+                if not commit then all_commit := false;
+                decr pending;
+                if !pending = 0 then begin
+                  let commit = !all_commit in
+                  if commit then t.committed <- t.committed + 1
+                  else t.aborted <- t.aborted + 1;
+                  List.iter
+                    (fun (p, txn) ->
+                      Sim_system.finalize_txn t.groups.(p) ~txn ~ts ~commit)
+                    sub_txns;
+                  on_done ~committed:commit
+                end))
+          sub_txns
+      end)
+
+let submit t ~client (req : Intf.txn_request) ~on_done =
+  submit_gen t ~client ~reads:req.reads ~mk_writes:(fun _ -> req.writes) ~on_done
+
+let submit_interactive t ~client ~reads ~compute ~on_done =
+  submit_gen t ~client ~reads ~mk_writes:compute ~on_done
+
+let server_busy_fraction t =
+  let sum =
+    Array.fold_left (fun acc g -> acc +. Sim_system.server_busy_fraction g) 0.0 t.groups
+  in
+  sum /. float_of_int (Array.length t.groups)
+
+let read_committed t ~replica ~key =
+  Sim_system.read_committed
+    t.groups.(partition_of_key t key)
+    ~replica ~key:(local_key t key)

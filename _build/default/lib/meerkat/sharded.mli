@@ -1,0 +1,54 @@
+(** Distributed transactions over partitioned data (§5.2.4).
+
+    The keyspace is range-partitioned by [key mod partitions]; each
+    partition is a full replicated Meerkat group (its own 2f+1
+    replicas). A transaction coordinator executes reads against the
+    owning partitions, then runs the {e validation phase in every
+    involved partition in parallel}; because the per-partition commit
+    protocol already provides decentralized atomic-commitment-style
+    validation, the global outcome is simply the conjunction of the
+    partitions' decisions, after which each partition's write phase
+    runs with that outcome.
+
+    The paper sketches but does not evaluate this extension; tests and
+    an example exercise it here. *)
+
+type t
+
+val create :
+  Mk_sim.Engine.t -> partitions:int -> Mk_cluster.Cluster.config -> t
+(** [create engine ~partitions cfg] builds [partitions] independent
+    Meerkat groups. [cfg.keys] is the {e global} keyspace size;
+    partition p owns the keys congruent to p. *)
+
+val partitions : t -> int
+val partition_of_key : t -> int -> int
+val group : t -> int -> Sim_system.t
+val name : t -> string
+val threads : t -> int
+
+val submit :
+  t ->
+  client:int ->
+  Mk_model.System_intf.txn_request ->
+  on_done:(committed:bool -> unit) ->
+  unit
+
+val submit_interactive :
+  t ->
+  client:int ->
+  reads:int array ->
+  compute:(int array -> (int * int) array) ->
+  on_done:(committed:bool -> unit) ->
+  unit
+(** Cross-partition interactive transaction: writes are computed from
+    the values the execute phase read (see
+    {!Sim_system.submit_interactive}); the conjunction of per-partition
+    validations guarantees atomicity. *)
+
+val counters : t -> Mk_model.System_intf.counters
+val server_busy_fraction : t -> float
+
+val read_committed : t -> replica:int -> key:int -> int option
+(** Read a key's committed value at the given replica of its owning
+    partition. *)

@@ -1,0 +1,558 @@
+module Engine = Mk_sim.Engine
+module Network = Mk_net.Network
+module Costs = Mk_model.Costs
+module Intf = Mk_model.System_intf
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Cluster = Mk_cluster.Cluster
+
+type config = Cluster.config = {
+  n_replicas : int;
+  threads : int;
+  n_clients : int;
+  keys : int;
+  transport : Mk_net.Transport.t;
+  costs : Costs.t;
+  clock_offset : float;
+  clock_drift : float;
+  seed : int;
+}
+
+let default_config = Cluster.default_config
+
+type t = {
+  cluster : Cluster.t;
+  quorum : Quorum.t;
+  replicas : Replica.t array;
+}
+
+let create engine cfg =
+  let cluster = Cluster.create engine cfg in
+  let quorum = Quorum.create ~n:cfg.n_replicas in
+  let replicas =
+    Array.init cfg.n_replicas (fun id ->
+        Replica.create ~id ~quorum ~cores:cfg.threads)
+  in
+  Array.iter
+    (fun r ->
+      for key = 0 to cfg.keys - 1 do
+        Replica.load r ~key ~value:0
+      done)
+    replicas;
+  { cluster; quorum; replicas }
+
+let engine t = t.cluster.Cluster.engine
+let config t = t.cluster.Cluster.cfg
+let replicas t = t.replicas
+let name _ = "MEERKAT"
+let threads t = t.cluster.Cluster.cfg.threads
+let counters t = Cluster.counters t.cluster
+let net t = t.cluster.Cluster.net
+let costs t = t.cluster.Cluster.cfg.costs
+let core t r c = t.cluster.Cluster.cores.(r).(c)
+let alive t r = not (Replica.is_crashed t.replicas.(r))
+
+(* --- Commit protocol (§5.2.2): validation + fast/slow path. --- *)
+
+type attempt = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  core_id : int;
+  started : Engine.time;
+  replies : Txn.status option array;
+  mutable in_accept : bool;
+  mutable accept_acks : int;
+  mutable decided : bool;
+  mutable fast_grace_armed : bool;
+      (** A short timer started once a majority has replied: if the
+          fast quorum does not complete within a few RTTs (slow or
+          failed replicas), settle for the slow path without waiting
+          for the full retransmission timeout. *)
+  count_stats : bool;
+      (** False when driven by a multi-partition coordinator, which
+          does its own accounting (§5.2.4). *)
+}
+
+let broadcast_commit t a ~commit =
+  let nwrites = if commit then Array.length a.txn.Txn.write_set else 0 in
+  let cost = Costs.commit (costs t) ~nwrites in
+  Array.iteri
+    (fun r replica ->
+      if not (Replica.is_crashed replica) then
+        Network.send_work_to_core (net t) ~dst:(core t r a.core_id) ~cost (fun () ->
+            ignore
+              (Replica.handle_commit replica ~core:a.core_id ~txn:a.txn ~ts:a.ts
+                 ~commit)))
+    t.replicas
+
+(* The decision is reached: stop the attempt and report. The caller's
+   [on_decided] is responsible for the write phase (single-partition
+   transactions broadcast commit immediately; a multi-partition
+   coordinator first combines the partitions' outcomes). *)
+let decide t a ~commit ~fast ~on_decided =
+  if not a.decided then begin
+    a.decided <- true;
+    if a.count_stats then Cluster.note_decision t.cluster ~committed:commit ~fast;
+    on_decided ~commit ~fast
+  end
+
+let send_accepts t a ~commit ~on_decided =
+  let decision = if commit then `Commit else `Abort in
+  Array.iteri
+    (fun r replica ->
+      if not (Replica.is_crashed replica) then
+        Network.send_work_to_core (net t) ~dst:(core t r a.core_id)
+          ~cost:((costs t).Costs.accept +. Cluster.tx_cpu t.cluster)
+          (fun () ->
+            match
+              Replica.handle_accept replica ~core:a.core_id ~txn:a.txn ~ts:a.ts
+                ~decision ~view:0
+            with
+            | None -> ()
+            | Some reply ->
+                Network.send_to_client (net t) (fun () ->
+                    if not a.decided then begin
+                      match reply with
+                      | `Accepted ->
+                          a.accept_acks <- a.accept_acks + 1;
+                          if a.accept_acks >= Quorum.majority t.quorum then
+                            decide t a ~commit ~fast:false ~on_decided
+                      | `Finalized st ->
+                          decide t a ~commit:(st = Txn.Committed) ~fast:false
+                            ~on_decided
+                      | `Stale _ ->
+                          (* A backup coordinator superseded us and will
+                             finish the transaction; the retransmission
+                             path learns the final status from the
+                             replicas' records. *)
+                          ()
+                    end)))
+    t.replicas
+
+let majority_ok t a =
+  Array.fold_left
+    (fun acc reply -> if reply = Some Txn.Validated_ok then acc + 1 else acc)
+    0 a.replies
+  >= Quorum.majority t.quorum
+
+let received t a =
+  ignore t;
+  Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies
+
+let go_slow t a ~on_decided =
+  if (not a.decided) && not a.in_accept then begin
+    a.in_accept <- true;
+    send_accepts t a ~commit:(majority_ok t a) ~on_decided
+  end
+
+let evaluate t a ~on_decided =
+  if not a.decided then begin
+    match Decision.evaluate ~quorum:t.quorum ~replies:a.replies with
+    | Decision.Wait ->
+        (* A majority answered but the fast quorum has not completed.
+           Give stragglers a few RTTs, then settle for the slow path —
+           without this grace timer a crashed replica would pin every
+           transaction to the full retransmission timeout. *)
+        if
+          (not a.fast_grace_armed)
+          && (not a.in_accept)
+          && received t a >= Quorum.majority t.quorum
+        then begin
+          a.fast_grace_armed <- true;
+          (* Scale the grace with the time the majority itself took:
+             under deep queueing the straggler is probably just queued
+             like everyone else; after a crash the majority arrived in
+             one RTT and the grace stays short. *)
+          let tr = (config t).transport in
+          let base =
+            (3.0 *. (tr.Mk_net.Transport.latency +. tr.Mk_net.Transport.jitter)) +. 2.0
+          in
+          let elapsed = Engine.now (engine t) -. a.started in
+          Engine.schedule (engine t) ~delay:(Float.max base (2.0 *. elapsed)) (fun () ->
+              go_slow t a ~on_decided)
+        end
+    | Decision.Final commit -> decide t a ~commit ~fast:false ~on_decided
+    | Decision.Fast commit -> decide t a ~commit ~fast:true ~on_decided
+    | Decision.Slow commit ->
+        if not a.in_accept then begin
+          (* Fast path impossible: slow path (§5.2.2 step 4). *)
+          a.in_accept <- true;
+          send_accepts t a ~commit ~on_decided
+        end
+  end
+
+let send_validates t a ~only_missing ~on_decided =
+  let cost =
+    Costs.validate (costs t) ~nkeys:(Txn.nkeys a.txn) +. Cluster.tx_cpu t.cluster
+  in
+  Array.iteri
+    (fun r replica ->
+      if ((not only_missing) || a.replies.(r) = None)
+         && not (Replica.is_crashed replica)
+      then
+        Network.send_to_core (net t) ~dst:(core t r a.core_id) ~cost (fun ~finish ->
+            (match
+               Replica.handle_validate replica ~core:a.core_id ~txn:a.txn ~ts:a.ts
+             with
+            | None -> ()
+            | Some st ->
+                Network.send_to_client (net t) (fun () ->
+                    if a.replies.(r) = None then begin
+                      a.replies.(r) <- Some st;
+                      evaluate t a ~on_decided
+                    end));
+            finish ()))
+    t.replicas
+
+let rec arm_timer t a ~rto ~on_decided =
+  Engine.schedule (engine t) ~delay:rto (fun () ->
+      if not a.decided then begin
+        t.cluster.Cluster.retransmits <- t.cluster.Cluster.retransmits + 1;
+        let received = Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies in
+        let ok =
+          Array.fold_left
+            (fun acc reply -> if reply = Some Txn.Validated_ok then acc + 1 else acc)
+            0 a.replies
+        in
+        if a.in_accept then begin
+          (* Restart the accept round; replicas are idempotent for a
+             same-view proposal, so acks are simply recounted. *)
+          a.accept_acks <- 0;
+          send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_decided
+        end
+        else if received >= Quorum.majority t.quorum then begin
+          (* The fast path did not complete within the timeout (slow or
+             crashed replicas): settle for the slow path with the
+             majority in hand, per §5.2.2 step 4. *)
+          a.in_accept <- true;
+          send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_decided
+        end
+        else send_validates t a ~only_missing:true ~on_decided;
+        arm_timer t a ~rto:(rto *. 2.0) ~on_decided
+      end)
+
+let start_attempt t ~txn ~ts ~count_stats ~on_decided =
+  let core_id = Timestamp.Tid.hash txn.Txn.tid mod threads t in
+  let a =
+    {
+      txn;
+      ts;
+      core_id;
+      started = Engine.now (engine t);
+      replies = Array.make (Array.length t.replicas) None;
+      in_accept = false;
+      accept_acks = 0;
+      decided = false;
+      fast_grace_armed = false;
+      count_stats;
+    }
+  in
+  send_validates t a ~only_missing:false ~on_decided;
+  arm_timer t a ~rto:t.cluster.Cluster.rto ~on_decided;
+  a
+
+let finalize_txn t ~txn ~ts ~commit =
+  let a =
+    {
+      txn;
+      ts;
+      core_id = Timestamp.Tid.hash txn.Txn.tid mod threads t;
+      started = 0.0;
+      replies = [||];
+      in_accept = false;
+      accept_acks = 0;
+      decided = true;
+      fast_grace_armed = true;
+      count_stats = false;
+    }
+  in
+  broadcast_commit t a ~commit
+
+let prepare_txn t ~txn ~ts ~on_prepared =
+  ignore
+    (start_attempt t ~txn ~ts ~count_stats:false ~on_decided:(fun ~commit ~fast ->
+         ignore fast;
+         on_prepared commit))
+
+let fresh_txn_stamp t ~client =
+  let ctx = t.cluster.Cluster.clients.(client) in
+  (Cluster.fresh_tid t.cluster ctx, Cluster.fresh_timestamp t.cluster ctx)
+
+let execute_read t ~client ~key k =
+  let ctx = t.cluster.Cluster.clients.(client) in
+  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
+  Cluster.do_get t.cluster ctx ~key ~read ~alive:(alive t) k
+
+let commit_txn t client ~read_set ~writes ~on_done =
+  let tid = Cluster.fresh_tid t.cluster client in
+  let write_set =
+    List.map (fun (key, value) -> ({ key; value } : Txn.write_entry)) writes
+  in
+  let txn = Txn.make ~tid ~read_set ~write_set in
+  let ts = Cluster.fresh_timestamp t.cluster client in
+  let a = ref None in
+  let attempt =
+    start_attempt t ~txn ~ts ~count_stats:true ~on_decided:(fun ~commit ~fast ->
+        ignore fast;
+        (match !a with
+        | Some attempt -> broadcast_commit t attempt ~commit
+        | None -> ());
+        (* The coordinator runs on the client machine, so handing the
+           outcome to the application does not cross the (lossy)
+           network; the write-phase commit message above is
+           asynchronous (piggybacked in the paper). *)
+        Engine.schedule (engine t) ~delay:0.0 (fun () -> on_done ~committed:commit))
+  in
+  a := Some attempt
+
+let submit t ~client (req : Intf.txn_request) ~on_done =
+  let ctx = t.cluster.Cluster.clients.(client) in
+  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
+  Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive:(alive t)
+    (fun read_set _values ->
+      commit_txn t ctx ~read_set ~writes:(Array.to_list req.writes) ~on_done)
+
+let submit_interactive t ~client ~reads ~compute ~on_done =
+  let ctx = t.cluster.Cluster.clients.(client) in
+  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
+  Cluster.execute_reads t.cluster ctx ~keys:reads ~read ~alive:(alive t)
+    (fun read_set values ->
+      let writes = Array.to_list (compute values) in
+      commit_txn t ctx ~read_set ~writes ~on_done)
+
+let read_committed t ~replica ~key =
+  match Mk_storage.Vstore.find (Replica.vstore t.replicas.(replica)) key with
+  | None -> None
+  | Some e -> Some (fst (Mk_storage.Vstore.read_versioned e))
+
+let crash_replica t r = Replica.crash t.replicas.(r)
+
+let run_epoch_change t ~recovering =
+  let healthy =
+    Array.to_list t.replicas
+    |> List.filter (fun r ->
+           (not (Replica.is_crashed r)) && not (List.mem (Replica.id r) recovering))
+  in
+  if List.length healthy < Quorum.majority t.quorum then false
+  else begin
+    List.iter (fun id -> Replica.begin_recovery t.replicas.(id)) recovering;
+    let epoch =
+      1 + Array.fold_left (fun acc r -> max acc (Replica.epoch r)) 0 t.replicas
+    in
+    let reports =
+      List.filter_map
+        (fun r ->
+          match Replica.handle_epoch_change r ~epoch with
+          | None -> None
+          | Some views ->
+              ignore views;
+              Some { Epoch.replica = Replica.id r; records = Replica.record_views r })
+        healthy
+    in
+    if List.length reports < Quorum.majority t.quorum then false
+    else begin
+      let merged = Epoch.merge ~quorum:t.quorum ~reports in
+      (* Healthy replicas install first so the snapshot sent to the
+         recovering replicas reflects every merged commit. *)
+      List.iter
+        (fun r ->
+          ignore (Replica.handle_epoch_complete r ~epoch ~records:merged ~store:None))
+        healthy;
+      let snapshot =
+        match healthy with
+        | r :: _ -> Replica.store_snapshot r
+        | [] -> []
+      in
+      List.iter
+        (fun id ->
+          ignore
+            (Replica.handle_epoch_complete t.replicas.(id) ~epoch ~records:merged
+               ~store:(Some snapshot)))
+        recovering;
+      true
+    end
+  end
+
+(* --- Message-driven epoch change (§5.3.1). ---
+
+   CPU costs (µs) for the recovery path; these are cold-path constants
+   kept local rather than in {!Costs} (they never affect steady-state
+   figures, only the length of the availability gap measured by the
+   recovery bench/test). *)
+
+let epoch_gather_base = 2.0
+let epoch_per_record = 0.05
+let epoch_merge_per_record = 0.2
+let epoch_install_base = 2.0
+let epoch_install_per_record = 0.1
+let epoch_snapshot_per_row = 0.005
+
+type epoch_state = {
+  epoch : int;
+  coordinator : int;
+  targets : int list;  (** All replicas that must install. *)
+  recovering : int list;
+  reports : (int, Epoch.report) Hashtbl.t;
+  mutable merged : (int * Replica.record_view) list option;
+  mutable installed : (int, unit) Hashtbl.t option;  (* None until merge *)
+  mutable finished : bool;
+}
+
+let trigger_epoch_change t ~recovering ~on_complete =
+  let n = Array.length t.replicas in
+  let healthy r =
+    (not (Replica.is_crashed t.replicas.(r))) && not (List.mem r recovering)
+  in
+  let healthy_ids = List.filter healthy (List.init n (fun r -> r)) in
+  if List.length healthy_ids < Quorum.majority t.quorum then
+    Engine.schedule (engine t) ~delay:0.0 (fun () -> on_complete ~success:false)
+  else begin
+    List.iter (fun id -> Replica.begin_recovery t.replicas.(id)) recovering;
+    let base_epoch =
+      1 + Array.fold_left (fun acc r -> max acc (Replica.epoch r)) 0 t.replicas
+    in
+    (* The (epoch mod n)th replica coordinates; skip over replicas that
+       cannot (crashed or themselves recovering) by bumping the epoch,
+       the standard liveness trick. *)
+    let rec pick epoch = if healthy (epoch mod n) then epoch else pick (epoch + 1) in
+    let epoch = pick base_epoch in
+    let coordinator = epoch mod n in
+    let st =
+      {
+        epoch;
+        coordinator;
+        targets = healthy_ids @ recovering;
+        recovering;
+        reports = Hashtbl.create 8;
+        merged = None;
+        installed = None;
+        finished = false;
+      }
+    in
+    let coord_core = core t coordinator 0 in
+    let record_count records = List.length records in
+    (* Phase 2: install the merged trecord everywhere; the recovering
+       replicas additionally receive a store snapshot taken from the
+       coordinator after its own install. *)
+    let send_complete merged snapshot target =
+      let is_recovering = List.mem target st.recovering in
+      let store = if is_recovering then Some snapshot else None in
+      let cost =
+        epoch_install_base
+        +. (epoch_install_per_record *. float_of_int (record_count merged))
+        +. (if is_recovering then
+              epoch_snapshot_per_row *. float_of_int (List.length snapshot)
+            else 0.0)
+      in
+      Network.send_work_to_core (net t) ~dst:(core t target 0) ~cost (fun () ->
+          match
+            Replica.handle_epoch_complete t.replicas.(target) ~epoch:st.epoch
+              ~records:merged ~store
+          with
+          | None -> ()
+          | Some () ->
+              Network.send_to_client (net t) (fun () ->
+                  match st.installed with
+                  | None -> ()
+                  | Some table ->
+                      Hashtbl.replace table target ();
+                      if
+                        (not st.finished)
+                        && Hashtbl.length table >= List.length st.targets
+                      then begin
+                        st.finished <- true;
+                        on_complete ~success:true
+                      end))
+    in
+    let do_merge () =
+      if st.merged = None then begin
+        let reports = Hashtbl.fold (fun _ r acc -> r :: acc) st.reports [] in
+        let merged = Epoch.merge ~quorum:t.quorum ~reports in
+        st.merged <- Some merged;
+        st.installed <- Some (Hashtbl.create 8);
+        let merge_cost =
+          epoch_merge_per_record *. float_of_int (record_count merged)
+        in
+        Mk_sim.Core.submit_work coord_core ~cost:merge_cost (fun () ->
+            (* Coordinator installs first so the snapshot reflects the
+               merged commits. *)
+            (match
+               Replica.handle_epoch_complete t.replicas.(st.coordinator)
+                 ~epoch:st.epoch ~records:merged ~store:None
+             with
+            | Some () -> begin
+                match st.installed with
+                | Some table -> Hashtbl.replace table st.coordinator ()
+                | None -> ()
+              end
+            | None -> ());
+            let snapshot = Replica.store_snapshot t.replicas.(st.coordinator) in
+            List.iter
+              (fun target ->
+                if target <> st.coordinator then send_complete merged snapshot target)
+              st.targets)
+      end
+    in
+    (* Phase 1: gather trecords from the healthy replicas. *)
+    let send_gather target =
+      Network.send_to_core (net t) ~dst:(core t target 0)
+        ~cost:
+          (epoch_gather_base
+          +. (epoch_per_record
+             *. float_of_int
+                  (Mk_storage.Trecord.size (Replica.trecord t.replicas.(target)))))
+        (fun ~finish ->
+          let replica = t.replicas.(target) in
+          let records =
+            match Replica.handle_epoch_change replica ~epoch:st.epoch with
+            | Some _ -> Some (Replica.record_views replica)
+            | None ->
+                (* Duplicate request for the epoch we already joined:
+                   replying again keeps the gather idempotent. *)
+                if (not (Replica.is_crashed replica)) && Replica.epoch replica = st.epoch
+                then Some (Replica.record_views replica)
+                else None
+          in
+          (match records with
+          | None -> ()
+          | Some records ->
+              let reply_cost =
+                epoch_gather_base
+                +. (epoch_per_record *. float_of_int (List.length records))
+              in
+              Network.send_work_to_core (net t) ~dst:coord_core ~cost:reply_cost
+                (fun () ->
+                  if st.merged = None then begin
+                    Hashtbl.replace st.reports target
+                      { Epoch.replica = target; records };
+                    if Hashtbl.length st.reports >= Quorum.majority t.quorum then
+                      do_merge ()
+                  end));
+          finish ())
+    in
+    List.iter send_gather healthy_ids;
+    (* Retransmission: re-gather from missing reporters, or re-send
+       completes to replicas that have not installed. *)
+    let rec retry ~rto =
+      Engine.schedule (engine t) ~delay:rto (fun () ->
+          if not st.finished then begin
+            (match (st.merged, st.installed) with
+            | Some merged, Some table ->
+                let snapshot = Replica.store_snapshot t.replicas.(st.coordinator) in
+                List.iter
+                  (fun target ->
+                    if not (Hashtbl.mem table target) then
+                      send_complete merged snapshot target)
+                  st.targets
+            | _ ->
+                List.iter
+                  (fun target ->
+                    if not (Hashtbl.mem st.reports target) then send_gather target)
+                  healthy_ids);
+            retry ~rto:(rto *. 2.0)
+          end)
+    in
+    retry ~rto:t.cluster.Cluster.rto
+  end
+
+let server_busy_fraction t = Cluster.server_busy_fraction t.cluster

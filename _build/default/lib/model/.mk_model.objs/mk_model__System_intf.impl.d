@@ -1,0 +1,1 @@
+lib/model/system_intf.ml:

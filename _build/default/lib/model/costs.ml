@@ -1,0 +1,38 @@
+type t = {
+  get : float;
+  validate_base : float;
+  validate_per_key : float;
+  commit_base : float;
+  commit_per_write : float;
+  accept : float;
+  put : float;
+  atomic_counter : float;
+  shared_log : float;
+  record_mutex : float;
+  pb_replication : float;
+}
+
+let default =
+  {
+    get = 2.3;
+    validate_base = 1.6;
+    validate_per_key = 2.0;
+    commit_base = 0.9;
+    commit_per_write = 1.5;
+    accept = 0.8;
+    put = 1.0;
+    atomic_counter = 0.09;
+    shared_log = 1.5;
+    record_mutex = 0.6;
+    pb_replication = 3.0;
+  }
+
+let validate t ~nkeys = t.validate_base +. (t.validate_per_key *. float_of_int nkeys)
+let commit t ~nwrites = t.commit_base +. (t.commit_per_write *. float_of_int nwrites)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "get=%.2f validate=%.2f+%.2f/key commit=%.2f+%.2f/w accept=%.2f put=%.2f \
+     atomic=%.3f log=%.2f recmtx=%.2f pbrep=%.2f"
+    t.get t.validate_base t.validate_per_key t.commit_base t.commit_per_write t.accept
+    t.put t.atomic_counter t.shared_log t.record_mutex t.pb_replication

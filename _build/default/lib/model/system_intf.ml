@@ -1,0 +1,43 @@
+(** The interface every simulated storage system exposes to the
+    benchmark harness.
+
+    A transaction request carries the keys to read and the key/value
+    pairs to write; the system executes the interactive
+    execute/validate/write lifecycle (reads first, buffered writes,
+    then its own commit protocol) and reports whether the transaction
+    committed. The harness owns closed-loop clients and retry
+    policy. *)
+
+type txn_request = { reads : int array; writes : (int * int) array }
+
+(** Per-run protocol counters, aggregated across replicas. *)
+type counters = {
+  committed : int;
+  aborted : int;
+  fast_path : int;  (** Transactions decided on the fast path. *)
+  slow_path : int;  (** Transactions that needed the accept round. *)
+  retransmits : int;
+}
+
+module type SYSTEM = sig
+  type t
+
+  val name : t -> string
+
+  val threads : t -> int
+  (** Server threads per replica (the x-axis of Figs. 4 and 5). *)
+
+  val submit :
+    t -> client:int -> txn_request -> on_done:(committed:bool -> unit) -> unit
+  (** Run one transaction attempt on behalf of client [client]
+      (0-based, must be < the system's configured client count).
+      [on_done] fires exactly once, when the coordinator learns the
+      outcome. *)
+
+  val counters : t -> counters
+end
+
+type packed = Packed : (module SYSTEM with type t = 'a) * 'a -> packed
+
+let zero_counters =
+  { committed = 0; aborted = 0; fast_path = 0; slow_path = 0; retransmits = 0 }

@@ -1,0 +1,1 @@
+lib/multicore/counter_bench.ml: Array Atomic Domain List Unix

@@ -1,0 +1,1 @@
+lib/multicore/counter_bench.mli:

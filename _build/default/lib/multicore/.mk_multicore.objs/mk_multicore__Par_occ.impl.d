@@ -1,0 +1,1 @@
+lib/multicore/par_occ.ml: Array Domain Hashtbl List Mk_clock Mk_storage Mk_util Mk_workload Unix

@@ -1,0 +1,1 @@
+lib/multicore/par_occ.mli: Mk_clock Mk_storage

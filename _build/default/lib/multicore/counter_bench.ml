@@ -1,0 +1,49 @@
+type result = {
+  domains : int;
+  increments : int;
+  wall_seconds : float;
+  ops_per_second : float;
+}
+
+let time_domains ~domains f =
+  let t0 = Unix.gettimeofday () in
+  let spawned = List.init domains (fun id -> Domain.spawn (fun () -> f id)) in
+  List.iter Domain.join spawned;
+  Unix.gettimeofday () -. t0
+
+let shared_atomic ~domains ~increments_per_domain =
+  let counter = Atomic.make 0 in
+  let wall_seconds =
+    time_domains ~domains (fun _ ->
+        for _ = 1 to increments_per_domain do
+          Atomic.incr counter
+        done)
+  in
+  let increments = Atomic.get counter in
+  {
+    domains;
+    increments;
+    wall_seconds;
+    ops_per_second = float_of_int increments /. wall_seconds;
+  }
+
+let sharded ~domains ~increments_per_domain =
+  (* Pad slots to distinct cache lines (8 ints ≈ 64 bytes apart). *)
+  let slots = Array.make (domains * 8) 0 in
+  let wall_seconds =
+    time_domains ~domains (fun id ->
+        let slot = id * 8 in
+        for _ = 1 to increments_per_domain do
+          slots.(slot) <- slots.(slot) + 1
+        done)
+  in
+  let increments = ref 0 in
+  for id = 0 to domains - 1 do
+    increments := !increments + slots.(id * 8)
+  done;
+  {
+    domains;
+    increments = !increments;
+    wall_seconds;
+    ops_per_second = float_of_int !increments /. wall_seconds;
+  }

@@ -1,0 +1,121 @@
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Vstore = Mk_storage.Vstore
+module Occ = Mk_storage.Occ
+module Rng = Mk_util.Rng
+
+type report = {
+  committed : (Txn.t * Timestamp.t) list;
+  aborted : int;
+  wall_seconds : float;
+  throughput : float;
+}
+
+(* One domain's closed loop: generate, read versions, validate, finish. *)
+let worker ~store ~domain_id ~txns ~keys ~theta ~reads ~writes ~seed =
+  let rng = Rng.create ~seed:(seed + (1009 * (domain_id + 1))) in
+  let zipf = Mk_workload.Zipf.create ~rng ~n:keys ~theta () in
+  let committed = ref [] in
+  let aborted = ref 0 in
+  let distinct count =
+    let chosen = Array.make count (-1) in
+    let rec draw i =
+      if i < count then begin
+        let key = Mk_workload.Zipf.sample zipf in
+        if Array.exists (fun k -> k = key) chosen then draw i
+        else begin
+          chosen.(i) <- key;
+          draw (i + 1)
+        end
+      end
+    in
+    draw 0;
+    chosen
+  in
+  for seq = 1 to txns do
+    (* Execute phase: snapshot versions of the keys we will touch. The
+       first [writes] keys are read-modify-written; [reads] extra keys
+       are read-only. *)
+    let keys_touched = distinct (writes + reads) in
+    let read_set =
+      Array.to_list
+        (Array.map
+           (fun key ->
+             let e = Vstore.find_or_create store key in
+             let _, wts = Vstore.read_versioned e in
+             ({ key; wts } : Txn.read_entry))
+           keys_touched)
+    in
+    let write_set =
+      List.init writes (fun i ->
+          ({ key = keys_touched.(i); value = (seq * 1000) + domain_id }
+            : Txn.write_entry))
+    in
+    let tid = Timestamp.Tid.make ~seq ~client_id:domain_id in
+    let txn = Txn.make ~tid ~read_set ~write_set in
+    let ts = Timestamp.make ~time:(float_of_int seq) ~client_id:domain_id in
+    match Occ.validate store txn ~ts with
+    | `Ok ->
+        Occ.finish store txn ~ts ~commit:true;
+        committed := (txn, ts) :: !committed
+    | `Abort -> incr aborted
+  done;
+  (!committed, !aborted)
+
+let run_with_store ~store ~domains ~txns_per_domain ~keys ~theta
+    ?(reads_per_txn = 0) ?(writes_per_txn = 1) ~seed () =
+  if domains < 1 then invalid_arg "Par_occ.run: domains must be >= 1";
+  for key = 0 to keys - 1 do
+    Vstore.load store ~key ~value:0
+  done;
+  let t0 = Unix.gettimeofday () in
+  let spawned =
+    List.init domains (fun domain_id ->
+        Domain.spawn (fun () ->
+            worker ~store ~domain_id ~txns:txns_per_domain ~keys ~theta
+              ~reads:reads_per_txn ~writes:writes_per_txn ~seed))
+  in
+  let results = List.map Domain.join spawned in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let committed = List.concat_map fst results in
+  let aborted = List.fold_left (fun acc (_, a) -> acc + a) 0 results in
+  {
+    committed;
+    aborted;
+    wall_seconds;
+    throughput = float_of_int (List.length committed) /. wall_seconds;
+  }
+
+let run ~domains ~txns_per_domain ~keys ~theta ?reads_per_txn ?writes_per_txn ~seed ()
+    =
+  let store = Vstore.create () in
+  run_with_store ~store ~domains ~txns_per_domain ~keys ~theta ?reads_per_txn
+    ?writes_per_txn ~seed ()
+
+let final_store_matches report store =
+  let model = Hashtbl.create 4096 in
+  let sorted =
+    List.sort
+      (fun (a, tsa) (b, tsb) ->
+        let c = Timestamp.compare tsa tsb in
+        if c <> 0 then c else Timestamp.Tid.compare a.Txn.tid b.Txn.tid)
+      report.committed
+  in
+  List.iter
+    (fun ((txn : Txn.t), _) ->
+      Array.iter
+        (fun (w : Txn.write_entry) -> Hashtbl.replace model w.key w.value)
+        txn.write_set)
+    sorted;
+  let bad = ref None in
+  Hashtbl.iter
+    (fun key expected ->
+      if !bad = None then begin
+        match Vstore.find store key with
+        | None -> bad := Some (key, expected, min_int)
+        | Some e ->
+            let got, _ = Vstore.read_versioned e in
+            if got <> expected then bad := Some (key, expected, got)
+      end)
+    model;
+  !bad

@@ -1,0 +1,1 @@
+lib/net/network.ml: Mk_sim Mk_util Transport

@@ -1,0 +1,1 @@
+lib/net/network.mli: Mk_sim Mk_util Transport

@@ -1,0 +1,46 @@
+type t = {
+  engine : Mk_sim.Engine.t;
+  rng : Mk_util.Rng.t;
+  transport : Transport.t;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create engine ~rng ~transport = { engine; rng; transport; sent = 0; dropped = 0 }
+let engine t = t.engine
+let transport t = t.transport
+let tx_cpu t = t.transport.Transport.tx_cpu
+
+let delay t =
+  let tr = t.transport in
+  let jitter =
+    if tr.Transport.jitter > 0.0 then Mk_util.Rng.float t.rng tr.Transport.jitter
+    else 0.0
+  in
+  tr.Transport.latency +. jitter
+
+let dropped t =
+  let p = t.transport.Transport.drop_prob in
+  p > 0.0 && Mk_util.Rng.uniform t.rng < p
+
+let send_to_core t ~dst ~cost body =
+  t.sent <- t.sent + 1;
+  if dropped t then t.dropped <- t.dropped + 1
+  else begin
+    let cost = t.transport.Transport.rx_cpu +. cost in
+    Mk_sim.Engine.schedule t.engine ~delay:(delay t) (fun () ->
+        Mk_sim.Core.submit dst ~cost body)
+  end
+
+let send_work_to_core t ~dst ~cost k =
+  send_to_core t ~dst ~cost (fun ~finish ->
+      k ();
+      finish ())
+
+let send_to_client t k =
+  t.sent <- t.sent + 1;
+  if dropped t then t.dropped <- t.dropped + 1
+  else Mk_sim.Engine.schedule t.engine ~delay:(delay t) k
+
+let messages_sent t = t.sent
+let messages_dropped t = t.dropped

@@ -1,0 +1,41 @@
+(** Message delivery between clients and server cores.
+
+    Server threads poll their own NIC receive queue; the coordinator
+    steers every message of a transaction to the same core id on each
+    replica by choosing the UDP port, so Receive-Side Scaling delivers
+    it to that core's queue (§5.2.2). We model this by addressing
+    messages directly to a {!Mk_sim.Core.t}.
+
+    Clients (application servers) are not CPU-modelled: the paper
+    provisions enough client machines that servers are always the
+    bottleneck, and so do we. A message to a client is therefore just
+    a delayed callback. *)
+
+type t
+
+val create : Mk_sim.Engine.t -> rng:Mk_util.Rng.t -> transport:Transport.t -> t
+val engine : t -> Mk_sim.Engine.t
+val transport : t -> Transport.t
+
+val tx_cpu : t -> float
+(** Per-message send cost; server handlers add this to their job cost
+    for each message they emit. *)
+
+val send_to_core :
+  t -> dst:Mk_sim.Core.t -> cost:float -> (finish:(unit -> unit) -> unit) -> unit
+(** [send_to_core t ~dst ~cost body] delivers a message: after
+    latency+jitter, a job of cost [transport.rx_cpu +. cost] runs on
+    [dst], then [body ~finish] (see {!Mk_sim.Core.submit}). The
+    message may be dropped (with the transport's probability), in
+    which case nothing runs. *)
+
+val send_work_to_core : t -> dst:Mk_sim.Core.t -> cost:float -> (unit -> unit) -> unit
+(** Like {!send_to_core} with a simple handler that releases the core
+    when it returns. *)
+
+val send_to_client : t -> (unit -> unit) -> unit
+(** Deliver a message to a (un-modelled) client machine: runs the
+    callback after latency+jitter, unless dropped. *)
+
+val messages_sent : t -> int
+val messages_dropped : t -> int

@@ -1,0 +1,34 @@
+type t = {
+  name : string;
+  rx_cpu : float;
+  tx_cpu : float;
+  latency : float;
+  jitter : float;
+  drop_prob : float;
+}
+
+let erpc =
+  {
+    name = "eRPC";
+    rx_cpu = 0.25;
+    tx_cpu = 0.20;
+    latency = 2.0;
+    jitter = 0.8;
+    drop_prob = 0.0;
+  }
+
+let udp =
+  {
+    name = "UDP";
+    rx_cpu = 6.0;
+    tx_cpu = 4.6;
+    latency = 15.0;
+    jitter = 4.0;
+    drop_prob = 0.0;
+  }
+
+let with_drop t p = { t with drop_prob = p }
+
+let pp ppf t =
+  Format.fprintf ppf "%s(rx=%.2f tx=%.2f lat=%.1f±%.1f drop=%.3f)" t.name t.rx_cpu
+    t.tx_cpu t.latency t.jitter t.drop_prob

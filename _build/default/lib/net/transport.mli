@@ -1,0 +1,32 @@
+(** Transport cost models.
+
+    The paper's prototype runs every system over eRPC, a kernel-bypass
+    RPC library; Figure 1 contrasts it with the Linux UDP stack. We
+    model a transport as per-message CPU costs at the receiving and
+    sending server core plus a one-way propagation latency with
+    jitter. The jitter term matters beyond realism: it makes replicas
+    receive validation requests in different orders, which is the
+    mechanism behind Meerkat's extra aborts under contention
+    (Fig. 6/7). Calibration sources: eRPC reports sub-µs per-RPC CPU
+    and ~2 µs one-way latency on 40 GbE (Kalia et al., NSDI'19); a
+    Linux UDP round trip costs several µs of kernel time per packet. *)
+
+type t = {
+  name : string;
+  rx_cpu : float;  (** CPU µs a core spends receiving one message. *)
+  tx_cpu : float;  (** CPU µs a core spends sending one message. *)
+  latency : float;  (** One-way propagation delay, µs. *)
+  jitter : float;  (** Uniform extra delay in [0, jitter), µs. *)
+  drop_prob : float;  (** Probability a message is silently dropped. *)
+}
+
+val erpc : t
+(** Kernel-bypass transport: cheap messages, low latency. *)
+
+val udp : t
+(** Kernel UDP stack: ~8x more expensive per message (Fig. 1). *)
+
+val with_drop : t -> float -> t
+(** Same transport with a message-drop probability, for fault tests. *)
+
+val pp : Format.formatter -> t -> unit

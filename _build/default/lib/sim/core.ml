@@ -1,0 +1,54 @@
+type job = { cost : Engine.time; body : finish:(unit -> unit) -> unit }
+
+type t = {
+  engine : Engine.t;
+  id : int;
+  jobs : job Queue.t;
+  mutable running : bool;
+  mutable completed : int;
+  mutable busy_time : Engine.time;
+  mutable job_started : Engine.time;
+}
+
+let create engine ~id =
+  {
+    engine;
+    id;
+    jobs = Queue.create ();
+    running = false;
+    completed = 0;
+    busy_time = 0.0;
+    job_started = 0.0;
+  }
+
+let id t = t.id
+
+let rec start_next t =
+  match Queue.take_opt t.jobs with
+  | None -> t.running <- false
+  | Some job ->
+      t.running <- true;
+      t.job_started <- Engine.now t.engine;
+      Engine.schedule t.engine ~delay:job.cost (fun () ->
+          let finished = ref false in
+          let finish () =
+            if !finished then invalid_arg "Core: finish called twice";
+            finished := true;
+            t.completed <- t.completed + 1;
+            t.busy_time <- t.busy_time +. (Engine.now t.engine -. t.job_started);
+            start_next t
+          in
+          job.body ~finish)
+
+let submit t ~cost body =
+  Queue.add { cost; body } t.jobs;
+  if not t.running then start_next t
+
+let submit_work t ~cost k =
+  submit t ~cost (fun ~finish ->
+      k ();
+      finish ())
+
+let queue_length t = Queue.length t.jobs
+let completed t = t.completed
+let busy_time t = t.busy_time

@@ -1,0 +1,28 @@
+(** A simulated CPU core (one server thread pinned to a hyperthread,
+    as in the paper's setup).
+
+    A core executes jobs one at a time, FCFS — the polling loop of an
+    eRPC server thread. A job has a fixed compute cost and an optional
+    continuation body that may extend the job (e.g. by spinning on a
+    {!Resource} that models a shared lock); the core stays busy until
+    the body signals completion, which is exactly how a spinning
+    thread behaves. *)
+
+type t
+
+val create : Engine.t -> id:int -> t
+val id : t -> int
+
+val submit : t -> cost:Engine.time -> (finish:(unit -> unit) -> unit) -> unit
+(** [submit t ~cost body] enqueues a job. When the core reaches it,
+    [cost] microseconds elapse, then [body ~finish] runs; the core is
+    released only when [finish ()] is called (call it exactly once). *)
+
+val submit_work : t -> cost:Engine.time -> (unit -> unit) -> unit
+(** [submit_work t ~cost k] enqueues a simple job: burn [cost], run
+    [k], release the core. *)
+
+val queue_length : t -> int
+val completed : t -> int
+val busy_time : t -> Engine.time
+(** Total time this core spent occupied (including spin-waiting). *)

@@ -1,0 +1,62 @@
+type time = float
+
+type event = { at : time; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : time;
+  mutable seq : int;
+  queue : event Mk_util.Heap.t;
+  rng : Mk_util.Rng.t;
+}
+
+let compare_events a b =
+  let c = compare a.at b.at in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1) () =
+  {
+    now = 0.0;
+    seq = 0;
+    queue = Mk_util.Heap.create ~cmp:compare_events;
+    rng = Mk_util.Rng.create ~seed;
+  }
+
+let now t = t.now
+let rng t = t.rng
+
+let schedule_at t at run =
+  let at = if at < t.now then t.now else at in
+  let seq = t.seq in
+  t.seq <- seq + 1;
+  Mk_util.Heap.push t.queue { at; seq; run }
+
+let schedule t ~delay run =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t (t.now +. delay) run
+
+let pending t = Mk_util.Heap.length t.queue
+
+let step t =
+  match Mk_util.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.now <- ev.at;
+      ev.run ();
+      true
+
+let run ?(until = infinity) ?(max_events = max_int) t =
+  let rec loop dispatched =
+    if dispatched >= max_events then ()
+    else begin
+      match Mk_util.Heap.peek t.queue with
+      | None -> ()
+      | Some ev when ev.at > until ->
+          (* Advance the clock to the horizon so repeated bounded runs
+             make progress, but leave future events queued. *)
+          if until < infinity then t.now <- until
+      | Some _ ->
+          ignore (step t);
+          loop (dispatched + 1)
+    end
+  in
+  loop 0

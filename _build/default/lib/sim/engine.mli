@@ -1,0 +1,38 @@
+(** Deterministic discrete-event simulation engine.
+
+    Simulated time is a [float] in microseconds. Events scheduled for
+    the same instant fire in scheduling order (a sequence number
+    breaks ties), so a run is a pure function of the seed and the
+    model — the property every test and benchmark relies on. *)
+
+type time = float
+(** Simulated time, in microseconds since simulation start. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes an engine whose root RNG is seeded with
+    [seed] (default 1). *)
+
+val now : t -> time
+val rng : t -> Mk_util.Rng.t
+(** The engine's root RNG; split it per entity for isolation. *)
+
+val schedule : t -> delay:time -> (unit -> unit) -> unit
+(** [schedule t ~delay f] runs [f] at [now t +. delay]. Negative
+    delays are clamped to zero. *)
+
+val schedule_at : t -> time -> (unit -> unit) -> unit
+(** [schedule_at t at f] runs [f] at absolute time [at] (clamped to
+    [now t] if in the past). *)
+
+val pending : t -> int
+(** Number of events not yet dispatched. *)
+
+val run : ?until:time -> ?max_events:int -> t -> unit
+(** Dispatch events in timestamp order until the queue is empty, the
+    clock passes [until], or [max_events] events have run. Events
+    scheduled beyond [until] remain queued. *)
+
+val step : t -> bool
+(** Dispatch a single event; [false] if the queue was empty. *)

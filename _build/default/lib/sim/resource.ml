@@ -1,0 +1,27 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable next_free : Engine.time;
+  mutable acquisitions : int;
+  mutable busy_time : Engine.time;
+  mutable wait_time : Engine.time;
+}
+
+let create engine ~name =
+  { engine; name; next_free = 0.0; acquisitions = 0; busy_time = 0.0; wait_time = 0.0 }
+
+let name t = t.name
+
+let use t ~hold k =
+  if hold < 0.0 then invalid_arg "Resource.use: negative hold";
+  let now = Engine.now t.engine in
+  let start = if t.next_free > now then t.next_free else now in
+  t.wait_time <- t.wait_time +. (start -. now);
+  t.busy_time <- t.busy_time +. hold;
+  t.acquisitions <- t.acquisitions + 1;
+  t.next_free <- start +. hold;
+  Engine.schedule_at t.engine t.next_free k
+
+let acquisitions t = t.acquisitions
+let busy_time t = t.busy_time
+let wait_time t = t.wait_time

@@ -1,0 +1,32 @@
+(** A serially-used shared resource — the simulator's model of a
+    cross-core coordination point.
+
+    A resource serves requests FCFS: a request arriving while the
+    resource is busy waits until every earlier request has finished
+    its hold time. This is how we model the shared atomic counter and
+    shared log of KuaFu++ and the shared-record mutex of TAPIR: each
+    access excludes all others for its critical-section length, so
+    aggregate throughput through the resource is capped at
+    [1 / hold] regardless of core count — the cross-core bottleneck
+    the paper isolates.
+
+    Because callers invoke [use] from inside simulation events,
+    arrival order equals simulated-time order and FCFS reduces to a
+    simple "next free at" clock; no explicit queue is needed. *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+val name : t -> string
+
+val use : t -> hold:Engine.time -> (unit -> unit) -> unit
+(** [use t ~hold k] waits for the resource, occupies it for [hold]
+    microseconds, then runs [k]. The calling core is expected to model
+    spin-waiting by staying busy until [k] runs (see {!Core}). *)
+
+val acquisitions : t -> int
+val busy_time : t -> Engine.time
+(** Total time the resource has been held. *)
+
+val wait_time : t -> Engine.time
+(** Total time requests spent queued before being served. *)

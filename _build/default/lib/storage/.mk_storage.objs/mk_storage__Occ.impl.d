@@ -1,0 +1,1 @@
+lib/storage/occ.ml: Array Mk_clock Mutex Txn Vstore

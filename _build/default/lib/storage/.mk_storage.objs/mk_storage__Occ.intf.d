@@ -1,0 +1,1 @@
+lib/storage/occ.mli: Mk_clock Txn Vstore

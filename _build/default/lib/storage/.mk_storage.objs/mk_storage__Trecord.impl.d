@@ -1,0 +1,1 @@
+lib/storage/trecord.ml: Array Hashtbl List Mk_clock Printf Txn

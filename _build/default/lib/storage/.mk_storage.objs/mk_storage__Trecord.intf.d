@@ -1,0 +1,1 @@
+lib/storage/trecord.mli: Mk_clock Txn

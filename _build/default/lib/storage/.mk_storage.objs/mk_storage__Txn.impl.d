@@ -1,0 +1,1 @@
+lib/storage/txn.ml: Array Format Mk_clock

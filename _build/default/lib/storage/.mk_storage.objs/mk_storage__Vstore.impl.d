@@ -1,0 +1,1 @@
+lib/storage/vstore.ml: Array Hashtbl Mk_clock Mutex Printf Txn

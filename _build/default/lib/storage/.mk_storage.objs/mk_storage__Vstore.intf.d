@@ -1,0 +1,1 @@
+lib/storage/vstore.mli: Mk_clock Mutex Txn

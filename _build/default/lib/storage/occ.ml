@@ -1,0 +1,118 @@
+module Timestamp = Mk_clock.Timestamp
+
+type outcome = [ `Ok | `Abort ]
+
+let with_lock (e : Vstore.entry) f =
+  Mutex.lock e.lock;
+  let r = f e in
+  Mutex.unlock e.lock;
+  r
+
+(* Remove [ts] from the reader sets of read-set entries [0, upto) and
+   the writer sets of write-set entries [0, wupto) — Alg. 1's
+   cleanup_readers_writers, restricted to what was actually added. *)
+let cleanup store (txn : Txn.t) ~ts ~upto ~wupto =
+  for i = 0 to upto - 1 do
+    let e = Vstore.find_or_create store txn.read_set.(i).key in
+    with_lock e (fun e -> e.readers <- Timestamp.Set.remove ts e.readers)
+  done;
+  for i = 0 to wupto - 1 do
+    let e = Vstore.find_or_create store txn.write_set.(i).key in
+    with_lock e (fun e -> e.writers <- Timestamp.Set.remove ts e.writers)
+  done
+
+let validate store (txn : Txn.t) ~ts =
+  let nreads = Array.length txn.read_set in
+  let nwrites = Array.length txn.write_set in
+  (* Validate the read set. *)
+  let rec check_reads i =
+    if i >= nreads then `Ok
+    else begin
+      let r = txn.read_set.(i) in
+      let e = Vstore.find_or_create store r.key in
+      let ok =
+        with_lock e (fun e ->
+            let stale = Timestamp.compare e.wts r.wts > 0 in
+            (* Not in Alg. 1 as printed, but required once clocks may
+               be far apart: a client whose clock lags can read a
+               version written at a *larger* timestamp than its own
+               proposal. Serializing that reader below the version it
+               observed is not sound (it may simultaneously read other
+               keys as of its own, earlier, timestamp), so reject —
+               another conservative check in the spirit of the paper's
+               "small atomic regions at the cost of precision". With
+               PTP-grade synchronization it essentially never fires. *)
+            let future = Timestamp.compare r.wts ts > 0 in
+            let behind_writer =
+              (not (Timestamp.Set.is_empty e.writers))
+              && Timestamp.compare ts (Timestamp.Set.min_elt e.writers) > 0
+            in
+            if stale || future || behind_writer then false
+            else begin
+              e.readers <- Timestamp.Set.add ts e.readers;
+              true
+            end)
+      in
+      if ok then check_reads (i + 1) else `Abort_at i
+    end
+  in
+  (* Validate the write set. *)
+  let rec check_writes i =
+    if i >= nwrites then `Ok
+    else begin
+      let w = txn.write_set.(i) in
+      let e = Vstore.find_or_create store w.key in
+      let ok =
+        with_lock e (fun e ->
+            let before_rts = Timestamp.compare ts e.rts < 0 in
+            let before_reader =
+              (not (Timestamp.Set.is_empty e.readers))
+              && Timestamp.compare ts (Timestamp.Set.max_elt e.readers) < 0
+            in
+            if before_rts || before_reader then false
+            else begin
+              e.writers <- Timestamp.Set.add ts e.writers;
+              true
+            end)
+      in
+      if ok then check_writes (i + 1) else `Abort_at i
+    end
+  in
+  match check_reads 0 with
+  | `Abort_at i ->
+      cleanup store txn ~ts ~upto:i ~wupto:0;
+      `Abort
+  | `Ok -> begin
+      match check_writes 0 with
+      | `Abort_at i ->
+          cleanup store txn ~ts ~upto:nreads ~wupto:i;
+          `Abort
+      | `Ok -> `Ok
+    end
+
+let abort_pending store (txn : Txn.t) ~ts =
+  cleanup store txn ~ts ~upto:(Array.length txn.read_set)
+    ~wupto:(Array.length txn.write_set)
+
+let finish store (txn : Txn.t) ~ts ~commit =
+  if commit then begin
+    Array.iter
+      (fun (w : Txn.write_entry) ->
+        let e = Vstore.find_or_create store w.key in
+        with_lock e (fun e ->
+            (* Thomas write rule: an older write is simply skipped. *)
+            if Timestamp.compare ts e.wts > 0 then begin
+              e.value <- w.value;
+              e.wts <- ts
+            end;
+            e.writers <- Timestamp.Set.remove ts e.writers))
+      txn.write_set;
+    Array.iter
+      (fun (r : Txn.read_entry) ->
+        let e = Vstore.find_or_create store r.key in
+        with_lock e (fun e ->
+            if Timestamp.compare ts e.rts > 0 then e.rts <- ts;
+            e.readers <- Timestamp.Set.remove ts e.readers))
+      txn.read_set
+  end
+  else abort_pending store txn ~ts

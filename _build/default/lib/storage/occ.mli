@@ -1,0 +1,39 @@
+(** Meerkat's parallel OCC checks — Algorithm 1 of the paper — plus
+    the write phase (§5.2.3).
+
+    The checks run with only per-key locks held, one key at a time
+    (small atomic regions at the cost of precision: some serializable
+    histories are rejected, exactly as the paper accepts). They are
+    shared by Meerkat, Meerkat-PB, TAPIR and KuaFu++, which differ in
+    *where* the checks run and what coordination surrounds them, not
+    in the checks themselves. *)
+
+type outcome = [ `Ok | `Abort ]
+
+val validate : Vstore.t -> Txn.t -> ts:Mk_clock.Timestamp.t -> outcome
+(** Validate [txn] at proposed commit timestamp [ts]:
+
+    - each read must still see the latest committed version as of [ts]
+      ([e.wts > r.wts] or [ts > MIN(writers)] aborts);
+    - each write must not interpose before a committed or pending read
+      ([ts < e.rts] or [ts < MAX(readers)] aborts).
+
+    On [`Ok], [ts] has been added to the [readers]/[writers] pending
+    sets of the accessed keys; on [`Abort], any additions made along
+    the way have been backed out (the [cleanup_readers_writers] of
+    Alg. 1). Unloaded keys are created on demand with the zero
+    version. *)
+
+val finish : Vstore.t -> Txn.t -> ts:Mk_clock.Timestamp.t -> commit:bool -> unit
+(** The write phase. If [commit], install each write under the Thomas
+    write rule (only if [ts] is newer than the entry's [wts]) and
+    advance [rts] for each read. Whether committing or aborting,
+    remove [ts] from the pending sets. Idempotent, and safe on a
+    replica that locally validated-abort (or never validated) the
+    transaction: removal of absent pending entries is a no-op and the
+    writes are still applied, which the protocol needs when a slow
+    path commits a transaction some replica rejected. *)
+
+val abort_pending : Vstore.t -> Txn.t -> ts:Mk_clock.Timestamp.t -> unit
+(** Remove [ts] from the pending sets without touching versions —
+    clean-up when a validated transaction is aborted. *)

@@ -1,0 +1,84 @@
+module Tid = Mk_clock.Timestamp.Tid
+
+type entry = {
+  txn : Txn.t;
+  mutable ts : Mk_clock.Timestamp.t;
+  mutable status : Txn.status;
+  mutable view : int;
+  mutable accept_view : int option;
+}
+
+module Tid_table = Hashtbl.Make (struct
+  type t = Tid.t
+
+  let equal = Tid.equal
+  let hash = Tid.hash
+end)
+
+type t = { partitions : entry Tid_table.t array }
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Trecord.create: cores must be positive";
+  { partitions = Array.init cores (fun _ -> Tid_table.create 256) }
+
+let cores t = Array.length t.partitions
+
+let partition_of_tid t tid = Tid.hash tid mod Array.length t.partitions
+
+let check_core t core =
+  if core < 0 || core >= Array.length t.partitions then
+    invalid_arg (Printf.sprintf "Trecord: core %d out of range" core)
+
+let find t ~core tid =
+  check_core t core;
+  Tid_table.find_opt t.partitions.(core) tid
+
+let add t ~core ~txn ~ts ~status =
+  check_core t core;
+  let entry = { txn; ts; status; view = 0; accept_view = None } in
+  Tid_table.replace t.partitions.(core) txn.Txn.tid entry;
+  entry
+
+let remove t ~core tid =
+  check_core t core;
+  Tid_table.remove t.partitions.(core) tid
+
+let size t = Array.fold_left (fun acc p -> acc + Tid_table.length p) 0 t.partitions
+
+let entries t =
+  let acc = ref [] in
+  Array.iteri
+    (fun core p -> Tid_table.iter (fun _ e -> acc := (core, e) :: !acc) p)
+    t.partitions;
+  !acc
+
+let replace_all t pairs =
+  Array.iter Tid_table.reset t.partitions;
+  List.iter
+    (fun (core, e) ->
+      check_core t core;
+      Tid_table.replace t.partitions.(core) e.txn.Txn.tid e)
+    pairs
+
+let trim_finalized t ~before =
+  let removed = ref 0 in
+  Array.iter
+    (fun p ->
+      let victims =
+        Tid_table.fold
+          (fun tid e acc ->
+            if Txn.is_final e.status && Mk_clock.Timestamp.compare e.ts before < 0
+            then tid :: acc
+            else acc)
+          p []
+      in
+      List.iter
+        (fun tid ->
+          Tid_table.remove p tid;
+          incr removed)
+        victims)
+    t.partitions;
+  !removed
+
+let count_status t status =
+  List.length (List.filter (fun (_, e) -> e.status = status) (entries t))

@@ -1,0 +1,61 @@
+module Timestamp = Mk_clock.Timestamp
+
+type key = int
+type value = int
+type read_entry = { key : key; wts : Timestamp.t }
+type write_entry = { key : key; value : value }
+
+type t = {
+  tid : Timestamp.Tid.t;
+  read_set : read_entry array;
+  write_set : write_entry array;
+}
+
+let make ~tid ~read_set ~write_set =
+  { tid; read_set = Array.of_list read_set; write_set = Array.of_list write_set }
+
+let nkeys t = Array.length t.read_set + Array.length t.write_set
+let reads_key t key = Array.exists (fun (r : read_entry) -> r.key = key) t.read_set
+let writes_key t key = Array.exists (fun (w : write_entry) -> w.key = key) t.write_set
+
+let conflicts a b =
+  let rw x y =
+    Array.exists (fun (r : read_entry) -> writes_key y r.key) x.read_set
+  in
+  let ww x y =
+    Array.exists (fun (w : write_entry) -> writes_key y w.key) x.write_set
+  in
+  rw a b || rw b a || ww a b
+
+let pp ppf t =
+  let pp_read ppf (r : read_entry) =
+    Format.fprintf ppf "%d@%a" r.key Timestamp.pp r.wts
+  in
+  let pp_write ppf (w : write_entry) = Format.fprintf ppf "%d:=%d" w.key w.value in
+  Format.fprintf ppf "{%a r=[%a] w=[%a]}" Timestamp.Tid.pp t.tid
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp_read)
+    (Array.to_seq t.read_set)
+    (Format.pp_print_seq ~pp_sep:(fun ppf () -> Format.fprintf ppf ";") pp_write)
+    (Array.to_seq t.write_set)
+
+type status =
+  | Validated_ok
+  | Validated_abort
+  | Accepted_commit
+  | Accepted_abort
+  | Committed
+  | Aborted
+
+let status_to_string = function
+  | Validated_ok -> "VALIDATED-OK"
+  | Validated_abort -> "VALIDATED-ABORT"
+  | Accepted_commit -> "ACCEPT-COMMIT"
+  | Accepted_abort -> "ACCEPT-ABORT"
+  | Committed -> "COMMITTED"
+  | Aborted -> "ABORTED"
+
+let pp_status ppf s = Format.pp_print_string ppf (status_to_string s)
+
+let is_final = function
+  | Committed | Aborted -> true
+  | Validated_ok | Validated_abort | Accepted_commit | Accepted_abort -> false

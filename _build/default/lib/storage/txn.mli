@@ -1,0 +1,55 @@
+(** Transactions: read/write sets and lifecycle status (§4.2).
+
+    Keys are integers (the paper's 64-byte keys hash to a table slot
+    anyway; the payload size is part of the CPU cost model). Values
+    are integers for the same reason. *)
+
+type key = int
+type value = int
+
+type read_entry = {
+  key : key;
+  wts : Mk_clock.Timestamp.t;  (** Version observed during the execute phase. *)
+}
+
+type write_entry = { key : key; value : value }
+
+type t = {
+  tid : Mk_clock.Timestamp.Tid.t;
+  read_set : read_entry array;
+  write_set : write_entry array;
+}
+
+val make :
+  tid:Mk_clock.Timestamp.Tid.t -> read_set:read_entry list -> write_set:write_entry list -> t
+
+val nkeys : t -> int
+(** Total read-set + write-set cardinality (drives validation cost). *)
+
+val reads_key : t -> key -> bool
+val writes_key : t -> key -> bool
+
+val conflicts : t -> t -> bool
+(** [conflicts a b] iff the transactions have a read-write or
+    write-write overlap — the paper's definition of "conflicting";
+    non-conflicting transactions must commute and never coordinate. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Transaction status as stored in the trecord. [Accepted_*] is the
+    slow-path consensus state: a proposal from the (possibly backup)
+    coordinator of some view, recorded with that view in the entry's
+    [accept_view]. *)
+type status =
+  | Validated_ok
+  | Validated_abort
+  | Accepted_commit
+  | Accepted_abort
+  | Committed
+  | Aborted
+
+val status_to_string : status -> string
+val pp_status : Format.formatter -> status -> unit
+
+val is_final : status -> bool
+(** [Committed] or [Aborted]. *)

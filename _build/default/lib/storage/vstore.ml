@@ -1,0 +1,99 @@
+module Timestamp = Mk_clock.Timestamp
+
+type entry = {
+  key : Txn.key;
+  lock : Mutex.t;
+  mutable value : Txn.value;
+  mutable wts : Timestamp.t;
+  mutable rts : Timestamp.t;
+  mutable readers : Timestamp.Set.t;
+  mutable writers : Timestamp.Set.t;
+}
+
+type shard = { table : (Txn.key, entry) Hashtbl.t; shard_lock : Mutex.t }
+type t = { shards : shard array; mask : int }
+
+let create ?(shards = 64) () =
+  if shards <= 0 || shards land (shards - 1) <> 0 then
+    invalid_arg "Vstore.create: shards must be a positive power of two";
+  {
+    shards =
+      Array.init shards (fun _ ->
+          { table = Hashtbl.create 1024; shard_lock = Mutex.create () });
+    mask = shards - 1;
+  }
+
+(* Finalize-style mix so adjacent keys land in different shards. *)
+let hash_key k =
+  let k = k * 0x9E3779B1 in
+  (k lxor (k lsr 16)) land max_int
+
+let shard_of t key = t.shards.(hash_key key land t.mask)
+
+let fresh_entry key value =
+  {
+    key;
+    lock = Mutex.create ();
+    value;
+    wts = Timestamp.zero;
+    rts = Timestamp.zero;
+    readers = Timestamp.Set.empty;
+    writers = Timestamp.Set.empty;
+  }
+
+let load t ~key ~value =
+  let s = shard_of t key in
+  Mutex.lock s.shard_lock;
+  Hashtbl.replace s.table key (fresh_entry key value);
+  Mutex.unlock s.shard_lock
+
+let find t key =
+  let s = shard_of t key in
+  Hashtbl.find_opt s.table key
+
+let find_exn t key =
+  match find t key with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Vstore.find_exn: key %d not loaded" key)
+
+let find_or_create t key =
+  let s = shard_of t key in
+  match Hashtbl.find_opt s.table key with
+  | Some e -> e
+  | None ->
+      Mutex.lock s.shard_lock;
+      let e =
+        match Hashtbl.find_opt s.table key with
+        | Some e -> e
+        | None ->
+            let e = fresh_entry key 0 in
+            Hashtbl.add s.table key e;
+            e
+      in
+      Mutex.unlock s.shard_lock;
+      e
+
+let size t = Array.fold_left (fun acc s -> acc + Hashtbl.length s.table) 0 t.shards
+
+let read_versioned e =
+  Mutex.lock e.lock;
+  let v = (e.value, e.wts) in
+  Mutex.unlock e.lock;
+  v
+
+let iter t f =
+  Array.iter (fun s -> Hashtbl.iter (fun _ e -> f e) s.table) t.shards
+
+let clear_pending t =
+  iter t (fun e ->
+      Mutex.lock e.lock;
+      e.readers <- Timestamp.Set.empty;
+      e.writers <- Timestamp.Set.empty;
+      Mutex.unlock e.lock)
+
+let pending_counts t =
+  let readers = ref 0 and writers = ref 0 in
+  iter t (fun e ->
+      readers := !readers + Timestamp.Set.cardinal e.readers;
+      writers := !writers + Timestamp.Set.cardinal e.writers);
+  (!readers, !writers)

@@ -1,0 +1,60 @@
+(** The vstore: versioned backing storage shared by all cores of a
+    replica (§4.2).
+
+    Each key carries its committed value, the write timestamp [wts] of
+    the transaction that installed it, the read timestamp [rts] of the
+    latest committed reader, and the pending [readers]/[writers]
+    timestamp sets used by Alg. 1. State is partitioned per key —
+    there is no structure shared between non-conflicting transactions,
+    which is what DAP demands.
+
+    The table is sharded and every entry has its own mutex, so the
+    same implementation serves both the (single-threaded,
+    deterministic) simulator and the real-parallelism layer in
+    [Mk_multicore], where OCaml domains genuinely race on entries. *)
+
+type entry = {
+  key : Txn.key;
+  lock : Mutex.t;  (** The paper's fine-grained per-key lock. *)
+  mutable value : Txn.value;
+  mutable wts : Mk_clock.Timestamp.t;
+  mutable rts : Mk_clock.Timestamp.t;
+  mutable readers : Mk_clock.Timestamp.Set.t;
+      (** Pending validated readers (uncommitted). *)
+  mutable writers : Mk_clock.Timestamp.Set.t;
+      (** Pending validated writers (uncommitted). *)
+}
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] must be a power of two (default 64). *)
+
+val load : t -> key:Txn.key -> value:Txn.value -> unit
+(** Pre-load a key with the initial version (timestamp zero), as the
+    paper loads the database before each run. Replaces any previous
+    entry. *)
+
+val find : t -> Txn.key -> entry option
+val find_exn : t -> Txn.key -> entry
+
+val find_or_create : t -> Txn.key -> entry
+(** Used by blind writes to keys never loaded. Thread-safe. *)
+
+val size : t -> int
+
+val read_versioned : entry -> Txn.value * Mk_clock.Timestamp.t
+(** Atomically snapshot (value, wts) under the entry lock — the GET
+    handler. *)
+
+val iter : t -> (entry -> unit) -> unit
+
+val clear_pending : t -> unit
+(** Empty every entry's pending reader/writer sets. Used when an epoch
+    change finishes: all in-flight transactions of the old epoch have
+    been decided, so marks left behind by non-participant replicas are
+    stale and would otherwise block future validations forever. *)
+
+val pending_counts : t -> int * int
+(** Totals of pending (readers, writers) across all entries; test and
+    invariant-checking helper. *)

@@ -1,0 +1,1 @@
+lib/systems/systems.ml: List Mk_baselines Mk_cluster Mk_harness Mk_meerkat Mk_model Mk_sim Mk_util

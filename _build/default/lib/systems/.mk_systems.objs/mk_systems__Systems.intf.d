@@ -1,0 +1,1 @@
+lib/systems/systems.mli: Mk_cluster Mk_harness Mk_model Mk_sim Mk_util Mk_workload

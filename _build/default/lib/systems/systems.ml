@@ -1,0 +1,95 @@
+module Intf = Mk_model.System_intf
+module Cluster = Mk_cluster.Cluster
+
+type kind = Meerkat | Meerkat_pb | Tapir | Kuafupp
+
+let all = [ Meerkat; Meerkat_pb; Tapir; Kuafupp ]
+
+let name = function
+  | Meerkat -> "MEERKAT"
+  | Meerkat_pb -> "MEERKAT-PB"
+  | Tapir -> "TAPIR"
+  | Kuafupp -> "KuaFu++"
+
+let coordination = function
+  | Meerkat -> (false, false)
+  | Meerkat_pb -> (false, true)
+  | Tapir -> (true, false)
+  | Kuafupp -> (true, true)
+
+let build kind engine cfg =
+  match kind with
+  | Meerkat ->
+      let module S = Mk_meerkat.Sim_system in
+      let s = S.create engine cfg in
+      ( Intf.Packed
+          ( (module struct
+              type t = S.t
+
+              let name = S.name
+              let threads = S.threads
+              let submit = S.submit
+              let counters = S.counters
+            end),
+            s ),
+        fun () -> S.server_busy_fraction s )
+  | Meerkat_pb ->
+      let module S = Mk_baselines.Meerkat_pb in
+      let s = S.create engine cfg in
+      ( Intf.Packed
+          ( (module struct
+              type t = S.t
+
+              let name = S.name
+              let threads = S.threads
+              let submit = S.submit
+              let counters = S.counters
+            end),
+            s ),
+        fun () -> S.server_busy_fraction s )
+  | Tapir ->
+      let module S = Mk_baselines.Tapir in
+      let s = S.create engine cfg in
+      ( Intf.Packed
+          ( (module struct
+              type t = S.t
+
+              let name = S.name
+              let threads = S.threads
+              let submit = S.submit
+              let counters = S.counters
+            end),
+            s ),
+        fun () -> S.server_busy_fraction s )
+  | Kuafupp ->
+      let module S = Mk_baselines.Kuafupp in
+      let s = S.create engine cfg in
+      ( Intf.Packed
+          ( (module struct
+              type t = S.t
+
+              let name = S.name
+              let threads = S.threads
+              let submit = S.submit
+              let counters = S.counters
+            end),
+            s ),
+        fun () -> S.server_busy_fraction s )
+
+let peak_ladder ~threads = List.map (fun m -> m * threads) [ 2; 6; 16 ]
+
+let sweep kind ~config ~workload ~warmup ~measure =
+  let make ~n_clients =
+    let engine = Mk_sim.Engine.create ~seed:config.Cluster.seed () in
+    let cfg = { config with Cluster.n_clients } in
+    let packed, busy = build kind engine cfg in
+    (engine, packed, busy)
+  in
+  let mk_workload () =
+    workload
+      ~rng:(Mk_util.Rng.create ~seed:(config.Cluster.seed + 7919))
+      ~keys:config.Cluster.keys
+  in
+  Mk_harness.Runner.peak ~make ~workload:mk_workload
+    ~ladder:(peak_ladder ~threads:config.Cluster.threads)
+    ~warmup ~measure

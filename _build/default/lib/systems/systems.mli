@@ -1,0 +1,42 @@
+(** Uniform construction of the four evaluation prototypes (Table 1).
+
+    | System     | Cross-core coord. | Cross-replica coord. |
+    |------------|-------------------|----------------------|
+    | KuaFu++    | yes               | yes                  |
+    | TAPIR      | yes               | no                   |
+    | Meerkat-PB | no                | yes                  |
+    | Meerkat    | no                | no                   | *)
+
+type kind = Meerkat | Meerkat_pb | Tapir | Kuafupp
+
+val all : kind list
+(** In the paper's Fig. 4 legend order: Meerkat, Meerkat-PB, TAPIR,
+    KuaFu++. *)
+
+val name : kind -> string
+
+val coordination : kind -> bool * bool
+(** [(cross_core, cross_replica)] — Table 1. *)
+
+val build :
+  kind ->
+  Mk_sim.Engine.t ->
+  Mk_cluster.Cluster.config ->
+  Mk_model.System_intf.packed * (unit -> float)
+(** Construct a system and its busy-fraction probe on a fresh
+    engine. *)
+
+val peak_ladder : threads:int -> int list
+(** Client-count ladder used for peak-throughput search, scaled to the
+    server thread count. *)
+
+val sweep :
+  kind ->
+  config:Mk_cluster.Cluster.config ->
+  workload:(rng:Mk_util.Rng.t -> keys:int -> Mk_workload.Workload.t) ->
+  warmup:float ->
+  measure:float ->
+  int * Mk_harness.Runner.result
+(** Peak-throughput measurement of one system under one workload:
+    builds fresh engine+system per ladder point (seeded from
+    [config.seed]) and returns the best (clients, result). *)

@@ -1,0 +1,26 @@
+(** Array-backed binary min-heap, the event queue of the simulator.
+
+    Elements are ordered by a user-supplied comparison. The heap is
+    not stable by itself; callers that need FIFO tie-breaking (the
+    event queue does, for determinism) must fold a sequence number
+    into their comparison. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum element. *)
+
+val peek : 'a t -> 'a option
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Snapshot of contents in unspecified order (for testing). *)

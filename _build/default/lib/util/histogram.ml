@@ -1,0 +1,55 @@
+(* Log-scaled buckets: bucket i covers [lo * r^i, lo * r^(i+1)).
+   With r = 1.04 and lo = 0.01, 640 buckets reach past 10^9 ns. *)
+
+let lo = 0.01
+let ratio = 1.04
+let log_ratio = log ratio
+let nbuckets = 640
+
+type t = {
+  buckets : int array;
+  mutable n : int;
+  mutable sum : float;
+}
+
+let create () = { buckets = Array.make nbuckets 0; n = 0; sum = 0.0 }
+
+let bucket_of v =
+  if v <= lo then 0
+  else begin
+    let i = int_of_float (log (v /. lo) /. log_ratio) in
+    if i >= nbuckets then nbuckets - 1 else i
+  end
+
+let midpoint i = lo *. (ratio ** (float_of_int i +. 0.5))
+
+let add t v =
+  let v = if v < 0.0 then 0.0 else v in
+  let i = bucket_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. v
+
+let count t = t.n
+let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+
+let percentile t p =
+  if t.n = 0 then nan
+  else begin
+    let target = p /. 100.0 *. float_of_int t.n in
+    let rec loop i acc =
+      if i >= nbuckets then midpoint (nbuckets - 1)
+      else begin
+        let acc = acc + t.buckets.(i) in
+        if float_of_int acc >= target then midpoint i else loop (i + 1) acc
+      end
+    in
+    loop 0 0
+  end
+
+let merge_into ~dst ~src =
+  for i = 0 to nbuckets - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum +. src.sum

@@ -1,0 +1,22 @@
+(** Fixed-resolution latency histogram (log-scaled buckets).
+
+    Records microsecond-scale latencies with bounded memory and gives
+    approximate percentiles good enough for the harness reports. *)
+
+type t
+
+val create : unit -> t
+(** Buckets cover \[0.01 µs, ~1 s) with ~4% relative resolution. *)
+
+val add : t -> float -> unit
+(** [add t v] records a non-negative value (values are clamped into
+    the covered range). *)
+
+val count : t -> int
+val mean : t -> float
+
+val percentile : t -> float -> float
+(** Approximate percentile (bucket midpoint), [p] in \[0, 100\].
+    Returns [nan] on an empty histogram. *)
+
+val merge_into : dst:t -> src:t -> unit

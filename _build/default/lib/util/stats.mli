@@ -1,0 +1,22 @@
+(** Streaming statistics used by the measurement harness. *)
+
+type t
+(** Running mean/variance/min/max accumulator (Welford's algorithm). *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+val variance : t -> float
+val stddev : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+
+val merge : t -> t -> t
+(** [merge a b] is the accumulator for the union of both samples. *)
+
+val percentile : float array -> float -> float
+(** [percentile samples p] with [p] in \[0, 100\], linear
+    interpolation; sorts a copy of [samples].
+    @raise Invalid_argument on an empty array. *)

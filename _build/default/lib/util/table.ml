@@ -1,0 +1,38 @@
+type t = { header : string list; mutable rows : string list list }
+
+let create ~header = { header; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.header :: rows in
+  let ncols = List.fold_left (fun acc r -> Stdlib.max acc (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  let note_widths row =
+    List.iteri
+      (fun i cell -> widths.(i) <- Stdlib.max widths.(i) (String.length cell))
+      row
+  in
+  List.iter note_widths all;
+  let buf = Buffer.create 256 in
+  let emit_row row =
+    List.iteri
+      (fun i cell ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf cell;
+        (* Pad all but the last column. *)
+        if i < ncols - 1 then
+          Buffer.add_string buf (String.make (widths.(i) - String.length cell) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit_row t.header;
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter emit_row rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)

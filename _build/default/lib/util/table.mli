@@ -1,0 +1,10 @@
+(** Plain-text table rendering for benchmark and example output. *)
+
+type t
+
+val create : header:string list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+(** Column-aligned rendering with a header separator. *)
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Mk_model Mk_util Zipf

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Mk_model Mk_util

@@ -1,0 +1,1 @@
+lib/workload/zipf.ml: Mk_util

@@ -1,0 +1,118 @@
+module Intf = Mk_model.System_intf
+module Rng = Mk_util.Rng
+
+type shape = { label : string; weight : float; gets : Rng.t -> int; puts : int }
+
+type t = {
+  name : string;
+  rng : Rng.t;
+  zipf : Zipf.t;
+  shapes : shape array;
+  cumulative : float array;
+  counts : int array;
+  rmw : bool;  (** Read-modify-write: read set = write set (YCSB-T). *)
+  mutable next_value : int;
+}
+
+let name t = t.name
+let keys t = Zipf.n t.zipf
+
+let make ?(rmw = false) ~name ~rng ~keys ~theta shapes =
+  let shapes = Array.of_list shapes in
+  let total = Array.fold_left (fun acc s -> acc +. s.weight) 0.0 shapes in
+  let acc = ref 0.0 in
+  let cumulative =
+    Array.map
+      (fun s ->
+        acc := !acc +. (s.weight /. total);
+        !acc)
+      shapes
+  in
+  {
+    name;
+    rng;
+    zipf = Zipf.create ~rng ~n:keys ~theta ();
+    shapes;
+    cumulative;
+    counts = Array.make (Array.length shapes) 0;
+    rmw;
+    next_value = 1;
+  }
+
+let pick_shape t =
+  let u = Rng.uniform t.rng in
+  let rec find i =
+    if i = Array.length t.cumulative - 1 || u < t.cumulative.(i) then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Draw [count] distinct keys; resampling terminates because workloads
+   always use far fewer keys per transaction than the keyspace holds. *)
+let distinct_keys t count =
+  let chosen = Array.make count (-1) in
+  let rec draw i =
+    if i < count then begin
+      let key = Zipf.sample t.zipf in
+      let dup = Array.exists (fun k -> k = key) chosen in
+      if dup then draw i
+      else begin
+        chosen.(i) <- key;
+        draw (i + 1)
+      end
+    end
+  in
+  draw 0;
+  chosen
+
+let next t =
+  let idx = pick_shape t in
+  let shape = t.shapes.(idx) in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  let ngets = shape.gets t.rng in
+  let value = t.next_value in
+  if t.rmw then begin
+    (* Read-modify-write every key of the transaction. *)
+    let keys = distinct_keys t ngets in
+    t.next_value <- value + ngets;
+    {
+      Intf.reads = keys;
+      writes = Array.mapi (fun i key -> (key, value + i)) keys;
+    }
+  end
+  else begin
+    let keys = distinct_keys t (ngets + shape.puts) in
+    let reads = Array.sub keys 0 ngets in
+    t.next_value <- value + shape.puts;
+    let writes = Array.init shape.puts (fun i -> (keys.(ngets + i), value + i)) in
+    { Intf.reads; writes }
+  end
+
+let const n = fun (_ : Rng.t) -> n
+let rand_range lo hi = fun rng -> lo + Rng.int rng (hi - lo + 1)
+
+let ycsb_t ~rng ~keys ~theta =
+  (* YCSB workload F, transactional: one read-modify-write — the read
+     and the write hit the same key. *)
+  make ~rmw:true ~name:"YCSB-T" ~rng ~keys ~theta
+    [ { label = "RMW"; weight = 1.0; gets = const 1; puts = 0 } ]
+
+let retwis ~rng ~keys ~theta =
+  make ~name:"Retwis" ~rng ~keys ~theta
+    [
+      { label = "Add User"; weight = 0.05; gets = const 1; puts = 3 };
+      { label = "Follow/Unfollow"; weight = 0.15; gets = const 2; puts = 2 };
+      { label = "Post Tweet"; weight = 0.30; gets = const 3; puts = 5 };
+      { label = "Load Timeline"; weight = 0.50; gets = rand_range 1 10; puts = 0 };
+    ]
+
+let read_only ~rng ~keys ~theta ~nreads =
+  make ~name:"read-only" ~rng ~keys ~theta
+    [ { label = "read"; weight = 1.0; gets = const nreads; puts = 0 } ]
+
+let write_only ~rng ~keys ~theta ~nwrites =
+  make ~name:"write-only" ~rng ~keys ~theta
+    [ { label = "write"; weight = 1.0; gets = const 0; puts = nwrites } ]
+
+let mix_report t =
+  Array.to_list (Array.mapi (fun i s -> (s.label, t.counts.(i))) t.shapes)

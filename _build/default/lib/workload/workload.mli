@@ -1,0 +1,41 @@
+(** Benchmark workload generators (§6.2).
+
+    A workload is a stream of transaction requests (read keys plus
+    write key/value pairs) over a keyspace, with key popularity
+    following a Zipf distribution. Following the paper's methodology,
+    the database is sized at [keys_per_core × total threads] so that
+    the contention level stays constant as the system scales. *)
+
+type t
+
+val name : t -> string
+val keys : t -> int
+
+val next : t -> Mk_model.System_intf.txn_request
+(** Generate the next transaction request. Keys within one request
+    are distinct. *)
+
+val ycsb_t : rng:Mk_util.Rng.t -> keys:int -> theta:float -> t
+(** YCSB-T, transactional YCSB workload F: each transaction is a
+    single read-modify-write on one key — short transactions with an
+    even read/write mix (Fig. 4, 6a, 7a). *)
+
+val retwis : rng:Mk_util.Rng.t -> keys:int -> theta:float -> t
+(** Retwis (Table 2): a Twitter-like mix of longer, read-heavy
+    transactions —
+
+    - 5%  Add User          (1 get, 3 puts)
+    - 15% Follow/Unfollow   (2 gets, 2 puts)
+    - 30% Post Tweet        (3 gets, 5 puts)
+    - 50% Load Timeline     (rand(1,10) gets, 0 puts). *)
+
+val read_only : rng:Mk_util.Rng.t -> keys:int -> theta:float -> nreads:int -> t
+(** Pure reader workload, used by tests. *)
+
+val write_only : rng:Mk_util.Rng.t -> keys:int -> theta:float -> nwrites:int -> t
+(** Blind-writer workload, used by tests (exercises the Thomas write
+    rule). *)
+
+val mix_report : t -> (string * int) list
+(** Count of generated transactions by type name (verifies Table 2's
+    mix in the benches). *)

@@ -1,0 +1,65 @@
+type t = {
+  rng : Mk_util.Rng.t;
+  n : int;
+  theta : float;
+  zetan : float;
+  alpha : float;
+  eta : float;
+  stride : int;  (** 1 when scrambling is off. *)
+}
+
+let zeta ~n ~theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int i ** theta))
+  done;
+  !acc
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+(* A stride coprime with n gives a bijection r -> r*stride mod n that
+   scatters consecutive ranks across the keyspace. *)
+let scatter_stride n =
+  if n <= 2 then 1
+  else begin
+    let rec fix s = if gcd s n = 1 then s else fix (s + 1) in
+    fix ((int_of_float (0.6180339887 *. float_of_int n) lor 1) mod n |> max 1)
+  end
+
+let create ?(scramble = true) ~rng ~n ~theta () =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 || theta >= 1.0 then invalid_arg "Zipf.create: theta must be in [0,1)";
+  let zetan = if theta = 0.0 then float_of_int n else zeta ~n ~theta in
+  let zeta2 = if theta = 0.0 then 2.0 else zeta ~n:(min n 2) ~theta in
+  let alpha = 1.0 /. (1.0 -. theta) in
+  let eta =
+    if n = 1 then 0.0
+    else
+      (1.0 -. ((2.0 /. float_of_int n) ** (1.0 -. theta)))
+      /. (1.0 -. (zeta2 /. zetan))
+  in
+  let stride = if scramble then scatter_stride n else 1 in
+  { rng; n; theta; zetan; alpha; eta; stride }
+
+let sample_rank t =
+  if t.theta = 0.0 then Mk_util.Rng.int t.rng t.n
+  else begin
+    let u = Mk_util.Rng.uniform t.rng in
+    let uz = u *. t.zetan in
+    if uz < 1.0 then 0
+    else if uz < 1.0 +. (0.5 ** t.theta) then 1
+    else begin
+      let r = float_of_int t.n *. (((t.eta *. u) -. t.eta +. 1.0) ** t.alpha) in
+      let r = int_of_float r in
+      if r >= t.n then t.n - 1 else if r < 0 then 0 else r
+    end
+  end
+
+let sample t = sample_rank t * t.stride mod t.n
+let n t = t.n
+let theta t = t.theta
+
+let probability t ~rank =
+  if rank < 0 || rank >= t.n then invalid_arg "Zipf.probability: rank out of range";
+  if t.theta = 0.0 then 1.0 /. float_of_int t.n
+  else 1.0 /. (float_of_int (rank + 1) ** t.theta) /. t.zetan

@@ -1,0 +1,23 @@
+(** Zipf-distributed key sampling (§6.2).
+
+    The benchmarks vary a Zipf coefficient θ from 0 (uniform) past 0.9
+    (highly skewed). Rank r is drawn with probability proportional to
+    1/r^θ using the standard Gray et al. rejection-free inverse
+    method; ranks are then scattered over the keyspace with a bijective
+    hash so that hot keys are not adjacent (adjacency would create
+    false sharing the paper's hash-table stores do not have). *)
+
+type t
+
+val create : ?scramble:bool -> rng:Mk_util.Rng.t -> n:int -> theta:float -> unit -> t
+(** [create ~rng ~n ~theta ()]: sample from \[0, n). [theta] must be in
+    \[0, 1); 0 gives the uniform distribution. [scramble] (default
+    true) applies the rank-scattering hash. *)
+
+val sample : t -> int
+val n : t -> int
+val theta : t -> float
+
+val probability : t -> rank:int -> float
+(** Exact probability of drawing the key of rank [rank] (0 = hottest);
+    used by tests to cross-check the sampler. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array List Mk_baselines Mk_cluster Mk_model Mk_sim Mk_systems Printf

@@ -1,0 +1,1 @@
+test/test_chaos.ml: Alcotest Array Format Hashtbl List Mk_harness Mk_meerkat Mk_model Mk_net Mk_sim Mk_storage Mk_util Printf

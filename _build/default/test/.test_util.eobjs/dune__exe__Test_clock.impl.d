@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Mk_clock Mk_util

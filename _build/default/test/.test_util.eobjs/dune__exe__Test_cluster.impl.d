@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Hashtbl List Mk_clock Mk_cluster Mk_model Mk_sim Mk_storage

@@ -1,0 +1,1 @@
+test/test_epoch.ml: Alcotest List Mk_clock Mk_meerkat Mk_storage

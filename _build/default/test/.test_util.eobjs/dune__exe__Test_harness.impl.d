@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Format Hashtbl List Mk_clock Mk_harness Mk_model Mk_sim Mk_storage Mk_util Mk_workload Option String

@@ -1,0 +1,1 @@
+test/test_kvbench.ml: Alcotest Mk_kvbench Mk_model Mk_net Mk_sim

@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest Format List Mk_harness Mk_multicore Mk_storage

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest List Mk_net Mk_sim Mk_util

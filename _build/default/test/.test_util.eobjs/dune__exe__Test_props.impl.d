@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Hashtbl List Mk_clock Mk_harness Mk_meerkat Mk_storage Mk_util Mk_workload QCheck QCheck_alcotest

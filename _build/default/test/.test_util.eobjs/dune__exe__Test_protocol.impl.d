@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Array Format Hashtbl List Mk_clock Mk_harness Mk_meerkat Mk_model Mk_net Mk_sim Mk_storage Printf

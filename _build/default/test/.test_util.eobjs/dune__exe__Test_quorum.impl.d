@@ -1,0 +1,1 @@
+test/test_quorum.ml: Alcotest List Mk_meerkat Mk_storage Printf

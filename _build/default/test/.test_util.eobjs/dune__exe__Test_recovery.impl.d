@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array List Mk_clock Mk_meerkat Mk_storage

@@ -1,0 +1,1 @@
+test/test_replica.ml: Alcotest List Mk_clock Mk_meerkat Mk_storage

@@ -1,0 +1,1 @@
+test/test_sharded.ml: Alcotest Array Format Hashtbl List Mk_clock Mk_cluster Mk_meerkat Mk_model Mk_sim Mk_storage Printf

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest List Mk_sim Mk_util

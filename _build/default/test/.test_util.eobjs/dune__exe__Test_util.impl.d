@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Mk_util String

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Hashtbl List Mk_model Mk_util Mk_workload Printf

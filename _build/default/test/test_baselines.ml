@@ -1,0 +1,248 @@
+(* Correctness tests for the three comparison systems (§6.1): they
+   must produce correct, convergent results — their differences from
+   Meerkat are performance differences, not semantic ones. *)
+
+module Engine = Mk_sim.Engine
+module Intf = Mk_model.System_intf
+module Cluster = Mk_cluster.Cluster
+module Tapir = Mk_baselines.Tapir
+module Pb = Mk_baselines.Meerkat_pb
+module Kuafu = Mk_baselines.Kuafupp
+module Systems = Mk_systems.Systems
+
+let base_cfg =
+  { Cluster.default_config with threads = 4; n_clients = 8; keys = 64; seed = 9 }
+
+(* Drive [per_client] closed-loop transactions per client through any
+   packed system. *)
+let drive engine (Intf.Packed ((module S), sys)) ~clients ~per_client ~request =
+  let outcomes = ref [] in
+  let rec loop c remaining =
+    if remaining > 0 then
+      S.submit sys ~client:c (request c remaining) ~on_done:(fun ~committed ->
+          outcomes := (c, remaining, committed) :: !outcomes;
+          loop c (remaining - 1))
+  in
+  for c = 0 to clients - 1 do
+    loop c per_client
+  done;
+  Engine.run ~max_events:20_000_000 engine;
+  List.rev !outcomes
+
+let rmw_request c i =
+  let key = ((c * 7) + (i * 13)) mod 64 in
+  { Intf.reads = [| key |]; writes = [| (key, (c * 1000) + i) |] }
+
+let disjoint_request c i =
+  let key = (c * 8) + (i mod 8) in
+  { Intf.reads = [| key |]; writes = [| (key, i) |] }
+
+let all_kinds =
+  [ Systems.Meerkat; Systems.Meerkat_pb; Systems.Tapir; Systems.Kuafupp ]
+
+let test_every_system_completes () =
+  List.iter
+    (fun kind ->
+      let engine = Engine.create ~seed:1 () in
+      let packed, _ = Systems.build kind engine base_cfg in
+      let outcomes =
+        drive engine packed ~clients:8 ~per_client:10 ~request:rmw_request
+      in
+      Alcotest.(check int)
+        (Systems.name kind ^ " all decided")
+        80 (List.length outcomes))
+    all_kinds
+
+let test_disjoint_txns_commit_everywhere () =
+  List.iter
+    (fun kind ->
+      let engine = Engine.create ~seed:2 () in
+      let packed, _ = Systems.build kind engine base_cfg in
+      let outcomes =
+        drive engine packed ~clients:8 ~per_client:8 ~request:disjoint_request
+      in
+      List.iter
+        (fun (_, _, committed) ->
+          Alcotest.(check bool) (Systems.name kind ^ " commits") true committed)
+        outcomes)
+    all_kinds
+
+(* Per-system convergence: after quiescence all replicas hold the same
+   committed values. *)
+let converged name read n_keys =
+  for key = 0 to n_keys - 1 do
+    let v0 = read ~replica:0 ~key in
+    let v1 = read ~replica:1 ~key in
+    let v2 = read ~replica:2 ~key in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s key %d converged" name key)
+      true
+      (v0 = v1 && v1 = v2)
+  done
+
+let test_tapir_convergence () =
+  let engine = Engine.create ~seed:3 () in
+  let sys = Tapir.create engine base_cfg in
+  let packed =
+    Intf.Packed
+      ( (module struct
+          type t = Tapir.t
+
+          let name = Tapir.name
+          let threads = Tapir.threads
+          let submit = Tapir.submit
+          let counters = Tapir.counters
+        end),
+        sys )
+  in
+  ignore (drive engine packed ~clients:8 ~per_client:15 ~request:rmw_request);
+  converged "TAPIR" (fun ~replica ~key -> Tapir.read_committed sys ~replica ~key) 64
+
+let test_pb_convergence () =
+  let engine = Engine.create ~seed:4 () in
+  let sys = Pb.create engine base_cfg in
+  let packed =
+    Intf.Packed
+      ( (module struct
+          type t = Pb.t
+
+          let name = Pb.name
+          let threads = Pb.threads
+          let submit = Pb.submit
+          let counters = Pb.counters
+        end),
+        sys )
+  in
+  ignore (drive engine packed ~clients:8 ~per_client:15 ~request:rmw_request);
+  converged "MEERKAT-PB" (fun ~replica ~key -> Pb.read_committed sys ~replica ~key) 64
+
+let test_kuafu_convergence () =
+  let engine = Engine.create ~seed:5 () in
+  let sys = Kuafu.create engine base_cfg in
+  let packed =
+    Intf.Packed
+      ( (module struct
+          type t = Kuafu.t
+
+          let name = Kuafu.name
+          let threads = Kuafu.threads
+          let submit = Kuafu.submit
+          let counters = Kuafu.counters
+        end),
+        sys )
+  in
+  let outcomes = drive engine packed ~clients:8 ~per_client:15 ~request:rmw_request in
+  converged "KuaFu++" (fun ~replica ~key -> Kuafu.read_committed sys ~replica ~key) 64;
+  (* Every commit passed through the shared log. *)
+  let commits = List.length (List.filter (fun (_, _, ok) -> ok) outcomes) in
+  Alcotest.(check int) "log length = commits" commits (Kuafu.log_length sys);
+  (* And the shared counter/log resources were actually exercised. *)
+  Alcotest.(check bool) "counter used" true (Kuafu.counter_busy sys > 0.0);
+  Alcotest.(check bool) "logs used" true
+    (Array.for_all (fun b -> b > 0.0) (Kuafu.log_busy sys))
+
+let test_tapir_record_mutex_contended () =
+  let engine = Engine.create ~seed:6 () in
+  let sys = Tapir.create engine base_cfg in
+  let packed =
+    Intf.Packed
+      ( (module struct
+          type t = Tapir.t
+
+          let name = Tapir.name
+          let threads = Tapir.threads
+          let submit = Tapir.submit
+          let counters = Tapir.counters
+        end),
+        sys )
+  in
+  ignore (drive engine packed ~clients:8 ~per_client:10 ~request:rmw_request);
+  Array.iter
+    (fun busy -> Alcotest.(check bool) "record mutex held" true (busy > 0.0))
+    (Tapir.record_mutex_busy sys)
+
+let test_pb_primary_decides_conflicts () =
+  (* Two clients race on one key; the primary decides alone, so
+     exactly one of each colliding pair aborts and the system never
+     double-commits conflicting values: final value equals some
+     client's last committed write. *)
+  let cfg = { base_cfg with keys = 1; n_clients = 2 } in
+  let engine = Engine.create ~seed:7 () in
+  let sys = Pb.create engine cfg in
+  let packed =
+    Intf.Packed
+      ( (module struct
+          type t = Pb.t
+
+          let name = Pb.name
+          let threads = Pb.threads
+          let submit = Pb.submit
+          let counters = Pb.counters
+        end),
+        sys )
+  in
+  let outcomes =
+    drive engine packed ~clients:2 ~per_client:20 ~request:(fun c i ->
+        { Intf.reads = [| 0 |]; writes = [| (0, (c * 100) + i) |] })
+  in
+  let commits = List.filter (fun (_, _, ok) -> ok) outcomes in
+  Alcotest.(check bool) "some commits" true (List.length commits > 0);
+  Alcotest.(check bool) "some aborts under contention" true
+    (List.exists (fun (_, _, ok) -> not ok) outcomes);
+  converged "PB hot key" (fun ~replica ~key -> Pb.read_committed sys ~replica ~key) 1
+
+let test_counters_accounting () =
+  List.iter
+    (fun kind ->
+      let engine = Engine.create ~seed:8 () in
+      let packed, _ = Systems.build kind engine base_cfg in
+      let outcomes =
+        drive engine packed ~clients:4 ~per_client:10 ~request:rmw_request
+      in
+      let (Intf.Packed ((module S), sys)) = packed in
+      let counters = S.counters sys in
+      let commits = List.length (List.filter (fun (_, _, ok) -> ok) outcomes) in
+      let aborts = List.length (List.filter (fun (_, _, ok) -> not ok) outcomes) in
+      Alcotest.(check int) (Systems.name kind ^ " commit count") commits
+        counters.Intf.committed;
+      Alcotest.(check int) (Systems.name kind ^ " abort count") aborts
+        counters.Intf.aborted)
+    all_kinds
+
+let test_table1_coordination_matrix () =
+  Alcotest.(check (pair bool bool)) "Meerkat" (false, false)
+    (Systems.coordination Systems.Meerkat);
+  Alcotest.(check (pair bool bool)) "Meerkat-PB" (false, true)
+    (Systems.coordination Systems.Meerkat_pb);
+  Alcotest.(check (pair bool bool)) "TAPIR" (true, false)
+    (Systems.coordination Systems.Tapir);
+  Alcotest.(check (pair bool bool)) "KuaFu++" (true, true)
+    (Systems.coordination Systems.Kuafupp)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "completion",
+        [
+          Alcotest.test_case "every system decides all txns" `Quick
+            test_every_system_completes;
+          Alcotest.test_case "disjoint txns commit" `Quick
+            test_disjoint_txns_commit_everywhere;
+          Alcotest.test_case "counter accounting" `Quick test_counters_accounting;
+        ] );
+      ( "convergence",
+        [
+          Alcotest.test_case "TAPIR replicas converge" `Quick test_tapir_convergence;
+          Alcotest.test_case "Meerkat-PB replicas converge" `Quick test_pb_convergence;
+          Alcotest.test_case "KuaFu++ replicas converge" `Quick test_kuafu_convergence;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "TAPIR record mutex contended" `Quick
+            test_tapir_record_mutex_contended;
+          Alcotest.test_case "PB primary decides conflicts" `Quick
+            test_pb_primary_decides_conflicts;
+          Alcotest.test_case "Table 1 coordination matrix" `Quick
+            test_table1_coordination_matrix;
+        ] );
+    ]

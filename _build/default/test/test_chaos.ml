@@ -1,0 +1,129 @@
+(* Chaos test: a long run with message loss, repeated replica crashes
+   and message-driven epoch-change recoveries, while closed-loop
+   clients keep submitting. At the end, every acknowledged commit must
+   form a serializable history and all live replicas must agree.
+
+   This is the closest thing to a Jepsen run the simulator offers: the
+   fault schedule is random but seeded, so failures interleave with the
+   protocol differently on every seed yet reproducibly. *)
+
+module Engine = Mk_sim.Engine
+module Transport = Mk_net.Transport
+module Intf = Mk_model.System_intf
+module Txn = Mk_storage.Txn
+module S = Mk_meerkat.Sim_system
+module Replica = Mk_meerkat.Replica
+module Checker = Mk_harness.Checker
+module Rng = Mk_util.Rng
+
+let run_chaos ?(keys = 64) ~seed ~drop ~crashes () =
+  let cfg =
+    {
+      S.default_config with
+      threads = 2;
+      n_clients = 8;
+      keys;
+      transport = Transport.with_drop Transport.erpc drop;
+      seed;
+    }
+  in
+  let engine = Engine.create ~seed () in
+  let sys = S.create engine cfg in
+  let rng = Rng.create ~seed:(seed * 31) in
+  let committed_acks = ref 0 and aborted_acks = ref 0 in
+  let horizon = 60_000.0 in
+  (* Closed-loop clients on a small hot keyspace. *)
+  let rec client c =
+    let key1 = Rng.int rng keys and key2 = Rng.int rng keys in
+    S.submit sys ~client:c
+      { Intf.reads = [| key1 |]; writes = [| (key1, Rng.int rng 1000); (key2, c) |] }
+      ~on_done:(fun ~committed ->
+        if committed then incr committed_acks else incr aborted_acks;
+        if Engine.now engine < horizon then client c)
+  in
+  for c = 0 to cfg.S.n_clients - 1 do
+    client c
+  done;
+  (* Fault schedule: [crashes] crash→recover cycles at random times,
+     never taking down more than one replica at once (f = 1). *)
+  let slot = horizon /. float_of_int (crashes + 1) in
+  for i = 0 to crashes - 1 do
+    let at = (float_of_int (i + 1) *. slot) +. Rng.float rng (slot /. 4.0) in
+    let victim = Rng.int rng 3 in
+    Engine.schedule_at engine at (fun () ->
+        if Array.for_all (fun r -> not (Replica.is_crashed r)) (S.replicas sys) then begin
+          S.crash_replica sys victim;
+          (* Recover through the message-driven protocol shortly after. *)
+          Engine.schedule engine ~delay:(2_000.0 +. Rng.float rng 2_000.0) (fun () ->
+              S.trigger_epoch_change sys ~recovering:[ victim ]
+                ~on_complete:(fun ~success:_ -> ()))
+        end)
+  done;
+  Engine.run ~until:(horizon +. 30_000.0) ~max_events:40_000_000 engine;
+  (* Collect the union of committed records across replicas. *)
+  let seen = Hashtbl.create 1024 in
+  let committed = ref [] in
+  Array.iter
+    (fun r ->
+      if not (Replica.is_crashed r) then
+        List.iter
+          (fun (_, (e : Mk_storage.Trecord.entry)) ->
+            if e.status = Txn.Committed && not (Hashtbl.mem seen e.txn.Txn.tid) then begin
+              Hashtbl.add seen e.txn.Txn.tid ();
+              committed := (e.txn, e.ts) :: !committed
+            end)
+          (Mk_storage.Trecord.entries (Replica.trecord r)))
+    (S.replicas sys);
+  (sys, !committed_acks, !aborted_acks, !committed)
+
+let check_serializable committed =
+  match Checker.check committed with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "serializability violated: %s"
+        (Format.asprintf "%a" Checker.pp_violation v)
+
+let test_chaos_drops_only () =
+  (* A roomy keyspace: this case isolates loss tolerance, not
+     contention. *)
+  let _, acks, _, committed = run_chaos ~keys:1024 ~seed:101 ~drop:0.1 ~crashes:0 () in
+  Alcotest.(check bool) "progress" true (acks > 500);
+  check_serializable committed
+
+let test_chaos_crashes_only () =
+  let sys, acks, _, committed = run_chaos ~keys:1024 ~seed:202 ~drop:0.0 ~crashes:3 () in
+  Alcotest.(check bool) "progress" true (acks > 500);
+  check_serializable committed;
+  (* After the final recovery all replicas are up and share the same
+     epoch-era state for every key they agree on. *)
+  Array.iter
+    (fun r -> Alcotest.(check bool) "replica up" true (Replica.is_available r))
+    (S.replicas sys)
+
+let test_chaos_everything () =
+  let _, acks, aborts, committed = run_chaos ~seed:303 ~drop:0.08 ~crashes:3 () in
+  Alcotest.(check bool) "progress" true (acks > 100);
+  (* Contention on 64 hot keys guarantees real aborts too. *)
+  Alcotest.(check bool) "aborts occurred" true (aborts > 0);
+  check_serializable committed
+
+let test_chaos_seeds_vary_but_all_safe () =
+  List.iter
+    (fun seed ->
+      let _, acks, _, committed = run_chaos ~keys:256 ~seed ~drop:0.05 ~crashes:2 () in
+      Alcotest.(check bool) (Printf.sprintf "seed %d progress" seed) true (acks > 200);
+      check_serializable committed)
+    [ 7; 77; 777 ]
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "message loss only" `Quick test_chaos_drops_only;
+          Alcotest.test_case "crash/recover cycles" `Quick test_chaos_crashes_only;
+          Alcotest.test_case "losses + crashes + contention" `Quick
+            test_chaos_everything;
+          Alcotest.test_case "multiple seeds" `Slow test_chaos_seeds_vary_but_all_safe;
+        ] );
+    ]

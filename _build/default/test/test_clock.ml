@@ -1,0 +1,93 @@
+(* Unit tests for timestamps, tids and loosely synchronized clocks. *)
+
+module Timestamp = Mk_clock.Timestamp
+module Tid = Mk_clock.Timestamp.Tid
+module Sync_clock = Mk_clock.Sync_clock
+
+let ts time client_id = Timestamp.make ~time ~client_id
+
+let test_timestamp_order () =
+  Alcotest.(check bool) "time dominates" true
+    (Timestamp.compare (ts 1.0 9) (ts 2.0 1) < 0);
+  Alcotest.(check bool) "client id breaks ties" true
+    (Timestamp.compare (ts 1.0 1) (ts 1.0 2) < 0);
+  Alcotest.(check bool) "equal" true (Timestamp.equal (ts 1.0 1) (ts 1.0 1));
+  Alcotest.(check bool) "total order antisymmetric" true
+    (Timestamp.compare (ts 2.0 1) (ts 1.0 9) > 0)
+
+let test_timestamp_extremes () =
+  Alcotest.(check bool) "zero below all" true
+    (Timestamp.compare Timestamp.zero (ts (-1e18) min_int) < 0
+    || Timestamp.equal Timestamp.zero (ts (-1e18) min_int));
+  Alcotest.(check bool) "zero < normal" true
+    (Timestamp.compare Timestamp.zero (ts 0.0 0) < 0);
+  Alcotest.(check bool) "infinity above all" true
+    (Timestamp.compare Timestamp.infinity (ts 1e18 max_int) > 0)
+
+let test_timestamp_set_min_max () =
+  let set =
+    Timestamp.Set.of_list [ ts 3.0 1; ts 1.0 2; ts 2.0 1; ts 1.0 1 ]
+  in
+  Alcotest.(check bool) "min" true (Timestamp.equal (Timestamp.Set.min_elt set) (ts 1.0 1));
+  Alcotest.(check bool) "max" true (Timestamp.equal (Timestamp.Set.max_elt set) (ts 3.0 1))
+
+let test_timestamp_render () =
+  Alcotest.(check string) "pp" "1.500@c3" (Timestamp.to_string (ts 1.5 3))
+
+let test_tid_identity () =
+  let a = Tid.make ~seq:1 ~client_id:2 in
+  let b = Tid.make ~seq:1 ~client_id:2 in
+  let c = Tid.make ~seq:2 ~client_id:2 in
+  Alcotest.(check bool) "equal" true (Tid.equal a b);
+  Alcotest.(check bool) "not equal" false (Tid.equal a c);
+  Alcotest.(check int) "hash stable" (Tid.hash a) (Tid.hash b);
+  Alcotest.(check bool) "ordered by client then seq" true (Tid.compare a c < 0);
+  Alcotest.(check string) "pp" "t2.1" (Tid.to_string a)
+
+let test_sync_clock_perfect () =
+  Alcotest.(check (float 1e-9)) "identity" 123.0
+    (Sync_clock.read Sync_clock.perfect ~now:123.0)
+
+let test_sync_clock_offset_drift () =
+  let c = Sync_clock.create ~offset:10.0 ~drift:0.01 in
+  Alcotest.(check (float 1e-9)) "offset+drift" (10.0 +. 101.0)
+    (Sync_clock.read c ~now:100.0);
+  Alcotest.(check (float 1e-9)) "offset accessor" 10.0 (Sync_clock.offset c);
+  Alcotest.(check (float 1e-9)) "drift accessor" 0.01 (Sync_clock.drift c)
+
+let test_sync_clock_monotone () =
+  let c = Sync_clock.create ~offset:(-50.0) ~drift:(-0.5) in
+  let prev = ref neg_infinity in
+  for i = 0 to 1000 do
+    let v = Sync_clock.read c ~now:(float_of_int i) in
+    Alcotest.(check bool) "monotone for drift > -1" true (v > !prev);
+    prev := v
+  done
+
+let test_sync_clock_random_bounds () =
+  let rng = Mk_util.Rng.create ~seed:4 in
+  for _ = 1 to 100 do
+    let c = Sync_clock.random rng ~max_offset:5.0 ~max_drift:0.001 in
+    Alcotest.(check bool) "offset bounded" true (abs_float (Sync_clock.offset c) <= 5.0);
+    Alcotest.(check bool) "drift bounded" true (abs_float (Sync_clock.drift c) <= 0.001)
+  done
+
+let () =
+  Alcotest.run "clock"
+    [
+      ( "timestamp",
+        [
+          Alcotest.test_case "lexicographic order" `Quick test_timestamp_order;
+          Alcotest.test_case "zero and infinity" `Quick test_timestamp_extremes;
+          Alcotest.test_case "set min/max" `Quick test_timestamp_set_min_max;
+          Alcotest.test_case "rendering" `Quick test_timestamp_render;
+        ] );
+      ("tid", [ Alcotest.test_case "identity and order" `Quick test_tid_identity ]);
+      ( "sync-clock",
+        [
+          Alcotest.test_case "perfect" `Quick test_sync_clock_perfect;
+          Alcotest.test_case "offset and drift" `Quick test_sync_clock_offset_drift;
+          Alcotest.test_case "monotone" `Quick test_sync_clock_monotone;
+          Alcotest.test_case "random bounds" `Quick test_sync_clock_random_bounds;
+        ] );
+    ]

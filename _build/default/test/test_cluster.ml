@@ -1,0 +1,158 @@
+(* Direct tests for the shared deployment scaffolding: client
+   timestamp discipline, GET retransmission, load balancing. *)
+
+module Engine = Mk_sim.Engine
+module Timestamp = Mk_clock.Timestamp
+module Cluster = Mk_cluster.Cluster
+
+let small_cfg =
+  { Cluster.default_config with threads = 2; n_clients = 4; keys = 16 }
+
+let make () =
+  let engine = Engine.create ~seed:9 () in
+  (engine, Cluster.create engine small_cfg)
+
+let test_config_validation () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "even replicas rejected"
+    (Invalid_argument "Cluster.create: n_replicas must be odd") (fun () ->
+      ignore (Cluster.create engine { small_cfg with Cluster.n_replicas = 2 }))
+
+let test_fresh_timestamp_monotone_per_client () =
+  let engine, cluster = make () in
+  let client = cluster.Cluster.clients.(0) in
+  let prev = ref Timestamp.zero in
+  for i = 1 to 100 do
+    (* Even with zero elapsed simulated time, timestamps must advance. *)
+    if i mod 10 = 0 then Engine.schedule engine ~delay:0.0 (fun () -> ());
+    let ts = Cluster.fresh_timestamp cluster client in
+    Alcotest.(check bool) "strictly increasing" true (Timestamp.compare ts !prev > 0);
+    Alcotest.(check int) "carries client id" 0 ts.Timestamp.client_id;
+    prev := ts
+  done
+
+let test_fresh_tids_unique_across_clients () =
+  let _, cluster = make () in
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun client ->
+      for _ = 1 to 10 do
+        let tid = Cluster.fresh_tid cluster client in
+        Alcotest.(check bool) "unique" false (Hashtbl.mem seen tid);
+        Hashtbl.add seen tid ()
+      done)
+    cluster.Cluster.clients;
+  Alcotest.(check int) "count" 40 (Hashtbl.length seen)
+
+let test_do_get_answers () =
+  let engine, cluster = make () in
+  let client = cluster.Cluster.clients.(0) in
+  let got = ref None in
+  Cluster.do_get cluster client ~key:3
+    ~read:(fun ~replica ~key -> Some ((replica * 100) + key, Timestamp.zero))
+    ~alive:(fun _ -> true)
+    (fun (v, _) -> got := Some v);
+  Engine.run engine;
+  match !got with
+  | Some v -> Alcotest.(check int) "key part" 3 (v mod 100)
+  | None -> Alcotest.fail "no answer"
+
+let test_do_get_skips_dead_replicas () =
+  let engine, cluster = make () in
+  let client = cluster.Cluster.clients.(1) in
+  let got = ref None in
+  (* Only replica 2 is alive. *)
+  Cluster.do_get cluster client ~key:5
+    ~read:(fun ~replica ~key:_ -> Some (replica, Timestamp.zero))
+    ~alive:(fun r -> r = 2)
+    (fun (v, _) -> got := Some v);
+  Engine.run engine;
+  Alcotest.(check (option int)) "served by replica 2" (Some 2) !got
+
+let test_do_get_retries_unresponsive () =
+  let engine, cluster = make () in
+  let client = cluster.Cluster.clients.(2) in
+  let attempts = ref 0 in
+  let got = ref false in
+  (* The first two attempts get no reply (paused replica); the third
+     answers. Alive-looking but silent is exactly the paused case. *)
+  Cluster.do_get cluster client ~key:1
+    ~read:(fun ~replica:_ ~key:_ ->
+      incr attempts;
+      if !attempts < 3 then None else Some (7, Timestamp.zero))
+    ~alive:(fun _ -> true)
+    (fun (v, _) ->
+      got := true;
+      Alcotest.(check int) "value" 7 v);
+  Engine.run ~until:1_000_000.0 engine;
+  Alcotest.(check bool) "eventually answered" true !got;
+  Alcotest.(check bool) "retried" true (!attempts >= 3);
+  Alcotest.(check bool) "retransmits counted" true
+    ((Cluster.counters cluster).Mk_model.System_intf.retransmits >= 2)
+
+let test_do_get_waits_out_total_outage () =
+  let engine, cluster = make () in
+  let client = cluster.Cluster.clients.(3) in
+  let got = ref false in
+  let now_alive = ref false in
+  Cluster.do_get cluster client ~key:1
+    ~read:(fun ~replica:_ ~key:_ -> Some (1, Timestamp.zero))
+    ~alive:(fun _ -> !now_alive)
+    (fun _ -> got := true);
+  (* Nothing alive for a while... *)
+  Engine.run ~until:2_000.0 engine;
+  Alcotest.(check bool) "no answer during outage" false !got;
+  (* ...then the cluster comes back and the pending get completes. *)
+  now_alive := true;
+  Engine.run ~until:60_000.0 engine;
+  Alcotest.(check bool) "answered after outage" true !got
+
+let test_execute_reads_order_and_values () =
+  let engine, cluster = make () in
+  let client = cluster.Cluster.clients.(0) in
+  let result = ref None in
+  Cluster.execute_reads cluster client ~keys:[| 4; 9; 2 |]
+    ~read:(fun ~replica:_ ~key -> Some (key * 10, Timestamp.make ~time:(float_of_int key) ~client_id:0))
+    ~alive:(fun _ -> true)
+    (fun read_set values -> result := Some (read_set, values));
+  Engine.run engine;
+  match !result with
+  | None -> Alcotest.fail "no callback"
+  | Some (read_set, values) ->
+      Alcotest.(check (list int)) "read-set keys in order" [ 4; 9; 2 ]
+        (List.map (fun (r : Mk_storage.Txn.read_entry) -> r.key) read_set);
+      Alcotest.(check (array int)) "values in order" [| 40; 90; 20 |] values
+
+let test_counters_roundtrip () =
+  let _, cluster = make () in
+  Cluster.note_decision cluster ~committed:true ~fast:true;
+  Cluster.note_decision cluster ~committed:false ~fast:false;
+  let c = Cluster.counters cluster in
+  Alcotest.(check int) "committed" 1 c.Mk_model.System_intf.committed;
+  Alcotest.(check int) "aborted" 1 c.Mk_model.System_intf.aborted;
+  Alcotest.(check int) "fast" 1 c.Mk_model.System_intf.fast_path;
+  Alcotest.(check int) "slow" 1 c.Mk_model.System_intf.slow_path
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "clients",
+        [
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "timestamps strictly monotone" `Quick
+            test_fresh_timestamp_monotone_per_client;
+          Alcotest.test_case "tids globally unique" `Quick
+            test_fresh_tids_unique_across_clients;
+          Alcotest.test_case "counters" `Quick test_counters_roundtrip;
+        ] );
+      ( "gets",
+        [
+          Alcotest.test_case "answers" `Quick test_do_get_answers;
+          Alcotest.test_case "skips dead replicas" `Quick test_do_get_skips_dead_replicas;
+          Alcotest.test_case "retries unresponsive" `Quick test_do_get_retries_unresponsive;
+          Alcotest.test_case "waits out total outage" `Quick
+            test_do_get_waits_out_total_outage;
+          Alcotest.test_case "execute_reads order" `Quick
+            test_execute_reads_order_and_values;
+        ] );
+    ]

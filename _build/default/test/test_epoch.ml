@@ -1,0 +1,211 @@
+(* Unit tests for the epoch-change merge rules (§5.3.1). *)
+
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Quorum = Mk_meerkat.Quorum
+module Replica = Mk_meerkat.Replica
+module Epoch = Mk_meerkat.Epoch
+
+let q3 = Quorum.create ~n:3
+let q5 = Quorum.create ~n:5
+let ts time = Timestamp.make ~time ~client_id:1
+
+let rmw ~seq key =
+  Txn.make
+    ~tid:(Timestamp.Tid.make ~seq ~client_id:1)
+    ~read_set:[ { key; wts = Timestamp.zero } ]
+    ~write_set:[ { key; value = seq } ]
+
+let view ?(v = 0) ?accept_view ~status ~ts:t txn : Replica.record_view =
+  { txn; ts = t; status; view = v; accept_view }
+
+let report replica records = { Epoch.replica; records }
+
+let merge_status ~quorum reports tid =
+  let merged = Epoch.merge ~quorum ~reports in
+  match List.find_opt (fun (_, (v : Replica.record_view)) -> Timestamp.Tid.equal v.txn.Txn.tid tid) merged with
+  | Some (_, v) -> Some v.Replica.status
+  | None -> None
+
+let test_needs_majority () =
+  Alcotest.check_raises "one report rejected"
+    (Invalid_argument "Epoch.merge: needs reports from a majority of replicas")
+    (fun () -> ignore (Epoch.merge ~quorum:q3 ~reports:[ report 0 [] ]))
+
+let test_rule1_final_wins () =
+  let t = rmw ~seq:1 0 in
+  (* One replica knows COMMITTED, another only VALIDATED-ABORT: the
+     final outcome wins. *)
+  let reports =
+    [
+      report 0 [ (0, view ~status:Txn.Committed ~ts:(ts 1.0) t) ];
+      report 1 [ (0, view ~status:Txn.Validated_abort ~ts:(ts 1.0) t) ];
+    ]
+  in
+  Alcotest.(check bool) "committed wins" true
+    (merge_status ~quorum:q3 reports t.Txn.tid = Some Txn.Committed);
+  let reports_abort =
+    [
+      report 0 [ (0, view ~status:Txn.Aborted ~ts:(ts 1.0) t) ];
+      report 1 [ (0, view ~status:Txn.Validated_ok ~ts:(ts 1.0) t) ];
+    ]
+  in
+  Alcotest.(check bool) "aborted wins" true
+    (merge_status ~quorum:q3 reports_abort t.Txn.tid = Some Txn.Aborted)
+
+let test_rule2_latest_accepted_view_wins () =
+  let t = rmw ~seq:1 0 in
+  let reports =
+    [
+      report 0
+        [ (0, view ~v:1 ~accept_view:1 ~status:Txn.Accepted_abort ~ts:(ts 1.0) t) ];
+      report 1
+        [ (0, view ~v:3 ~accept_view:3 ~status:Txn.Accepted_commit ~ts:(ts 1.0) t) ];
+    ]
+  in
+  Alcotest.(check bool) "view 3 decision adopted" true
+    (merge_status ~quorum:q3 reports t.Txn.tid = Some Txn.Committed)
+
+let test_rule3_majority_validated () =
+  let t = rmw ~seq:1 0 in
+  let ok = view ~status:Txn.Validated_ok ~ts:(ts 1.0) t in
+  let reports = [ report 0 [ (0, ok) ]; report 1 [ (0, ok) ] ] in
+  Alcotest.(check bool) "majority ok commits" true
+    (merge_status ~quorum:q3 reports t.Txn.tid = Some Txn.Committed);
+  let ab = view ~status:Txn.Validated_abort ~ts:(ts 1.0) t in
+  let reports = [ report 0 [ (0, ab) ]; report 1 [ (0, ab) ] ] in
+  Alcotest.(check bool) "majority abort aborts" true
+    (merge_status ~quorum:q3 reports t.Txn.tid = Some Txn.Aborted)
+
+let test_rule4_fast_path_candidate_revalidated () =
+  (* n=5: reports from 3 replicas, 2 say VALIDATED-OK (= ⌈f/2⌉+1), one
+     never saw the transaction. No conflicting commit in the merge:
+     re-validation succeeds, the transaction commits. *)
+  let t = rmw ~seq:1 0 in
+  let ok = view ~status:Txn.Validated_ok ~ts:(ts 1.0) t in
+  let reports = [ report 0 [ (0, ok) ]; report 1 [ (0, ok) ]; report 2 [] ] in
+  Alcotest.(check bool) "fast-path candidate survives" true
+    (merge_status ~quorum:q5 reports t.Txn.tid = Some Txn.Committed)
+
+let test_rule4_candidate_conflicting_commit_aborts () =
+  (* Same, but the merge already contains a committed conflicting
+     transaction at a higher timestamp: re-validation must reject the
+     candidate (its read would be stale). *)
+  let cand = rmw ~seq:1 0 in
+  let winner = rmw ~seq:2 0 in
+  let ok_cand = view ~status:Txn.Validated_ok ~ts:(ts 5.0) cand in
+  let committed_winner = view ~status:Txn.Committed ~ts:(ts 2.0) winner in
+  let reports =
+    [
+      report 0 [ (0, ok_cand); (1, committed_winner) ];
+      report 1 [ (0, ok_cand) ];
+      report 2 [ (1, committed_winner) ];
+    ]
+  in
+  let merged = Epoch.merge ~quorum:q5 ~reports in
+  let status_of tid =
+    List.find_map
+      (fun (_, (v : Replica.record_view)) ->
+        if Timestamp.Tid.equal v.txn.Txn.tid tid then Some v.status else None)
+      merged
+  in
+  Alcotest.(check bool) "winner stays committed" true
+    (status_of winner.Txn.tid = Some Txn.Committed);
+  (* The candidate read version zero of key 0, but the winner installed
+     version ts=2 below the candidate's ts=5: stale read, abort. *)
+  Alcotest.(check bool) "candidate aborted" true
+    (status_of cand.Txn.tid = Some Txn.Aborted)
+
+let test_rule5_everything_else_aborts () =
+  (* A single VALIDATED-OK report (below ⌈f/2⌉+1 = 2 for n=5) and a
+     lone VALIDATED-ABORT both fall through to abort. *)
+  let t1 = rmw ~seq:1 0 in
+  let t2 = rmw ~seq:2 1 in
+  let reports =
+    [
+      report 0 [ (0, view ~status:Txn.Validated_ok ~ts:(ts 1.0) t1) ];
+      report 1 [ (1, view ~status:Txn.Validated_abort ~ts:(ts 2.0) t2) ];
+      report 2 [];
+    ]
+  in
+  Alcotest.(check bool) "lone ok aborts (n=5)" true
+    (merge_status ~quorum:q5 reports t1.Txn.tid = Some Txn.Aborted);
+  Alcotest.(check bool) "lone abort aborts" true
+    (merge_status ~quorum:q5 reports t2.Txn.tid = Some Txn.Aborted)
+
+let test_merge_all_final () =
+  (* Whatever goes in, everything that comes out is final. *)
+  let t1 = rmw ~seq:1 0 and t2 = rmw ~seq:2 1 and t3 = rmw ~seq:3 2 in
+  let reports =
+    [
+      report 0
+        [
+          (0, view ~status:Txn.Validated_ok ~ts:(ts 1.0) t1);
+          (1, view ~v:1 ~accept_view:1 ~status:Txn.Accepted_commit ~ts:(ts 2.0) t2);
+        ];
+      report 1
+        [
+          (0, view ~status:Txn.Validated_ok ~ts:(ts 1.0) t1);
+          (2, view ~status:Txn.Validated_abort ~ts:(ts 3.0) t3);
+        ];
+    ]
+  in
+  let merged = Epoch.merge ~quorum:q3 ~reports in
+  Alcotest.(check int) "all transactions present" 3 (List.length merged);
+  List.iter
+    (fun (_, (v : Replica.record_view)) ->
+      Alcotest.(check bool) "final" true (Txn.is_final v.status))
+    merged
+
+let test_merge_preserves_core_partition () =
+  let t = rmw ~seq:1 0 in
+  let reports =
+    [
+      report 0 [ (3, view ~status:Txn.Validated_ok ~ts:(ts 1.0) t) ];
+      report 1 [ (3, view ~status:Txn.Validated_ok ~ts:(ts 1.0) t) ];
+    ]
+  in
+  match Epoch.merge ~quorum:q3 ~reports with
+  | [ (core, _) ] -> Alcotest.(check int) "core preserved" 3 core
+  | merged -> Alcotest.failf "expected one record, got %d" (List.length merged)
+
+let test_merge_sorted_by_timestamp () =
+  let t1 = rmw ~seq:1 0 and t2 = rmw ~seq:2 1 in
+  let reports =
+    [
+      report 0
+        [
+          (0, view ~status:Txn.Committed ~ts:(ts 9.0) t1);
+          (0, view ~status:Txn.Committed ~ts:(ts 2.0) t2);
+        ];
+      report 1 [];
+    ]
+  in
+  match Epoch.merge ~quorum:q3 ~reports with
+  | [ (_, a); (_, b) ] ->
+      Alcotest.(check bool) "ascending ts" true (Timestamp.compare a.Replica.ts b.Replica.ts < 0)
+  | _ -> Alcotest.fail "expected two records"
+
+let () =
+  Alcotest.run "epoch"
+    [
+      ( "merge",
+        [
+          Alcotest.test_case "requires majority" `Quick test_needs_majority;
+          Alcotest.test_case "rule 1: final outcome wins" `Quick test_rule1_final_wins;
+          Alcotest.test_case "rule 2: latest accepted view" `Quick
+            test_rule2_latest_accepted_view_wins;
+          Alcotest.test_case "rule 3: majority validated" `Quick
+            test_rule3_majority_validated;
+          Alcotest.test_case "rule 4: fast-path candidate commits" `Quick
+            test_rule4_fast_path_candidate_revalidated;
+          Alcotest.test_case "rule 4: conflicting commit rejects candidate" `Quick
+            test_rule4_candidate_conflicting_commit_aborts;
+          Alcotest.test_case "rule 5: fallback abort" `Quick
+            test_rule5_everything_else_aborts;
+          Alcotest.test_case "output is all-final" `Quick test_merge_all_final;
+          Alcotest.test_case "core partition preserved" `Quick
+            test_merge_preserves_core_partition;
+          Alcotest.test_case "sorted by timestamp" `Quick test_merge_sorted_by_timestamp;
+        ] );
+    ]

@@ -1,0 +1,214 @@
+(* The measurement harness: closed-loop runner, peak search, and the
+   serializability checker itself. *)
+
+module Engine = Mk_sim.Engine
+module Intf = Mk_model.System_intf
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Runner = Mk_harness.Runner
+module Checker = Mk_harness.Checker
+module Workload = Mk_workload.Workload
+
+(* A synthetic in-simulator system with known service behaviour, so
+   runner numbers can be verified analytically: every transaction
+   takes exactly [latency] µs and commits unless its first write key
+   is odd. *)
+let fake_system engine ~latency =
+  let module Fake = struct
+    type t = unit
+
+    let name () = "fake"
+    let threads () = 1
+    let count = ref Intf.zero_counters
+
+    let submit () ~client:_ (req : Intf.txn_request) ~on_done =
+      Engine.schedule engine ~delay:latency (fun () ->
+          let committed =
+            match Array.to_list req.writes with
+            | (key, _) :: _ -> key mod 2 = 0
+            | [] -> true
+          in
+          count :=
+            {
+              !count with
+              Intf.committed = (!count).Intf.committed + (if committed then 1 else 0);
+              aborted = (!count).Intf.aborted + (if committed then 0 else 1);
+              fast_path = (!count).Intf.fast_path + 1;
+            };
+          on_done ~committed)
+
+    let counters () = !count
+  end in
+  Intf.Packed ((module Fake), ())
+
+let test_runner_goodput_matches_littles_law () =
+  let engine = Engine.create ~seed:1 () in
+  let system = fake_system engine ~latency:10.0 in
+  (* Workload over even keys only: everything commits. One client,
+     10 µs per txn -> 100k txn/s. *)
+  let wl =
+    Workload.write_only ~rng:(Mk_util.Rng.create ~seed:2) ~keys:1 ~theta:0.0 ~nwrites:1
+  in
+  let r =
+    Runner.run ~engine ~system ~workload:wl ~n_clients:1 ~warmup:100.0 ~measure:1000.0
+      ~busy:(fun () -> 0.5)
+  in
+  Alcotest.(check int) "commits in window" 100 r.Runner.committed;
+  Alcotest.(check bool) "goodput = 100k/s" true (abs_float (r.Runner.goodput -. 1e5) < 1e3);
+  Alcotest.(check (float 1e-9)) "abort rate 0" 0.0 r.Runner.abort_rate;
+  Alcotest.(check bool) "latency = 10us" true (abs_float (r.Runner.mean_latency -. 10.0) < 0.01);
+  Alcotest.(check (float 1e-9)) "busy passthrough" 0.5 r.Runner.busy
+
+(* Like [fake_system] but aborts every third attempt: retries then
+   succeed, so the runner sees both outcomes deterministically. *)
+let flaky_system engine ~latency =
+  let module Flaky = struct
+    type t = unit
+
+    let name () = "flaky"
+    let threads () = 1
+    let count = ref Intf.zero_counters
+    let attempts = ref 0
+
+    let submit () ~client:_ (_ : Intf.txn_request) ~on_done =
+      Engine.schedule engine ~delay:latency (fun () ->
+          incr attempts;
+          let committed = !attempts mod 3 <> 0 in
+          count :=
+            {
+              !count with
+              Intf.committed = (!count).Intf.committed + (if committed then 1 else 0);
+              aborted = (!count).Intf.aborted + (if committed then 0 else 1);
+            };
+          on_done ~committed)
+
+    let counters () = !count
+  end in
+  Intf.Packed ((module Flaky), ())
+
+let test_runner_counts_aborts_and_retries () =
+  let engine = Engine.create ~seed:3 () in
+  let system = flaky_system engine ~latency:10.0 in
+  let wl =
+    Workload.write_only ~rng:(Mk_util.Rng.create ~seed:4) ~keys:2 ~theta:0.0 ~nwrites:1
+  in
+  let r =
+    Runner.run ~engine ~system ~workload:wl ~n_clients:2 ~warmup:50.0 ~measure:2000.0
+      ~busy:(fun () -> 0.0)
+  in
+  Alcotest.(check bool) "some commits" true (r.Runner.committed > 0);
+  Alcotest.(check bool) "some aborts" true (r.Runner.aborted > 0);
+  Alcotest.(check bool) "abort rate in (0,1)" true
+    (r.Runner.abort_rate > 0.0 && r.Runner.abort_rate < 1.0)
+
+let test_peak_picks_best () =
+  (* A fake whose goodput peaks at 2 clients (service center with two
+     slots: more clients queue and add latency but not throughput —
+     modelled directly by capping concurrency). *)
+  let make ~n_clients =
+    let engine = Engine.create ~seed:5 () in
+    (* With 1 server slot of 10 µs: goodput is the same for any client
+       count; emulate degradation by inflating latency superlinearly
+       past 2 clients. *)
+    let latency = if n_clients <= 2 then 10.0 else 10.0 *. float_of_int n_clients in
+    (engine, fake_system engine ~latency, fun () -> 0.0)
+  in
+  let workload () =
+    Workload.write_only ~rng:(Mk_util.Rng.create ~seed:6) ~keys:1 ~theta:0.0 ~nwrites:1
+  in
+  let clients, r =
+    Runner.peak ~make ~workload ~ladder:[ 1; 2; 8 ] ~warmup:0.0 ~measure:1000.0
+  in
+  Alcotest.(check int) "picks 2 clients" 2 clients;
+  Alcotest.(check bool) "peak goodput ~200k/s" true
+    (abs_float (r.Runner.goodput -. 2e5) < 2e4)
+
+(* --- Checker --- *)
+
+let tsn time = Timestamp.make ~time ~client_id:0
+
+let txn ~seq ~reads ~writes =
+  Txn.make
+    ~tid:(Timestamp.Tid.make ~seq ~client_id:1)
+    ~read_set:(List.map (fun (key, wts) -> ({ key; wts } : Txn.read_entry)) reads)
+    ~write_set:(List.map (fun (key, value) -> ({ key; value } : Txn.write_entry)) writes)
+
+let test_checker_accepts_serial_history () =
+  let t1 = txn ~seq:1 ~reads:[ (0, Timestamp.zero) ] ~writes:[ (0, 1) ] in
+  let t2 = txn ~seq:2 ~reads:[ (0, tsn 1.0) ] ~writes:[ (0, 2) ] in
+  let t3 = txn ~seq:3 ~reads:[ (0, tsn 2.0) ] ~writes:[] in
+  Alcotest.(check bool) "valid chain" true
+    (Checker.check [ (t3, tsn 3.0); (t1, tsn 1.0); (t2, tsn 2.0) ] = Ok ())
+
+let test_checker_rejects_stale_read () =
+  let t1 = txn ~seq:1 ~reads:[] ~writes:[ (0, 1) ] in
+  (* t2 at ts 2 read version zero although t1 wrote at ts 1. *)
+  let t2 = txn ~seq:2 ~reads:[ (0, Timestamp.zero) ] ~writes:[] in
+  match Checker.check [ (t1, tsn 1.0); (t2, tsn 2.0) ] with
+  | Error v ->
+      Alcotest.(check int) "key" 0 v.Checker.key;
+      Alcotest.(check bool) "expected version is t1's" true
+        (Timestamp.equal v.Checker.expected_wts (tsn 1.0))
+  | Ok () -> Alcotest.fail "stale read not caught"
+
+let test_checker_rejects_future_read () =
+  (* t1 at ts 1 claims to have read t2's ts-2 version: impossible. *)
+  let t1 = txn ~seq:1 ~reads:[ (0, tsn 2.0) ] ~writes:[] in
+  let t2 = txn ~seq:2 ~reads:[] ~writes:[ (0, 9) ] in
+  match Checker.check [ (t1, tsn 1.0); (t2, tsn 2.0) ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "future read not caught"
+
+let test_checker_empty_history () =
+  Alcotest.(check bool) "empty ok" true (Checker.check [] = Ok ())
+
+let test_checker_final_state () =
+  let t1 = txn ~seq:1 ~reads:[] ~writes:[ (0, 1); (1, 10) ] in
+  let t2 = txn ~seq:2 ~reads:[] ~writes:[ (0, 2) ] in
+  let state = Checker.final_state [ (t2, tsn 2.0); (t1, tsn 1.0) ] in
+  Alcotest.(check (option (pair int bool))) "key 0 last write"
+    (Some (2, true))
+    (Option.map
+       (fun (v, ts) -> (v, Timestamp.equal ts (tsn 2.0)))
+       (Hashtbl.find_opt state 0));
+  Alcotest.(check (option int)) "key 1" (Some 10)
+    (Option.map fst (Hashtbl.find_opt state 1))
+
+let test_checker_violation_printer () =
+  let v =
+    {
+      Checker.tid = Timestamp.Tid.make ~seq:1 ~client_id:2;
+      key = 5;
+      expected_wts = tsn 1.0;
+      observed_wts = Timestamp.zero;
+    }
+  in
+  let s = Format.asprintf "%a" Checker.pp_violation v in
+  let contains ~sub s =
+    let n = String.length sub and m = String.length s in
+    let rec probe i = i + n <= m && (String.sub s i n = sub || probe (i + 1)) in
+    probe 0
+  in
+  Alcotest.(check bool) "mentions key" true (contains ~sub:"key 5" s)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "goodput and latency" `Quick
+            test_runner_goodput_matches_littles_law;
+          Alcotest.test_case "aborts counted" `Quick test_runner_counts_aborts_and_retries;
+          Alcotest.test_case "peak search" `Quick test_peak_picks_best;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "accepts serial history" `Quick
+            test_checker_accepts_serial_history;
+          Alcotest.test_case "rejects stale read" `Quick test_checker_rejects_stale_read;
+          Alcotest.test_case "rejects future read" `Quick test_checker_rejects_future_read;
+          Alcotest.test_case "empty history" `Quick test_checker_empty_history;
+          Alcotest.test_case "final state" `Quick test_checker_final_state;
+          Alcotest.test_case "violation printer" `Quick test_checker_violation_printer;
+        ] );
+    ]

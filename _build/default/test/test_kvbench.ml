@@ -1,0 +1,138 @@
+(* The Figure 1 microbenchmark system. *)
+
+module Engine = Mk_sim.Engine
+module Transport = Mk_net.Transport
+module Intf = Mk_model.System_intf
+module KV = Mk_kvbench.Kv_system
+
+let make ?(cfg = KV.default_config) () =
+  let engine = Engine.create ~seed:cfg.KV.seed () in
+  (engine, KV.create engine cfg)
+
+let put sys ~key ~value ~on_done =
+  KV.submit sys ~client:0 { Intf.reads = [||]; writes = [| (key, value) |] } ~on_done
+
+let test_put_stores () =
+  let engine, sys = make () in
+  let done_ = ref false in
+  put sys ~key:7 ~value:42 ~on_done:(fun ~committed ->
+      Alcotest.(check bool) "committed" true committed;
+      done_ := true);
+  Engine.run engine;
+  Alcotest.(check bool) "done" true !done_;
+  Alcotest.(check (option int)) "stored" (Some 42) (KV.get sys ~key:7);
+  Alcotest.(check int) "puts counted" 1 (KV.puts sys)
+
+let test_multi_put_single_reply () =
+  let engine, sys = make () in
+  let replies = ref 0 in
+  KV.submit sys ~client:0
+    { Intf.reads = [||]; writes = [| (1, 1); (2, 2); (3, 3) |] }
+    ~on_done:(fun ~committed:_ -> incr replies);
+  Engine.run engine;
+  Alcotest.(check int) "one reply" 1 !replies;
+  Alcotest.(check int) "three puts" 3 (KV.puts sys);
+  Alcotest.(check (option int)) "key 2" (Some 2) (KV.get sys ~key:2)
+
+let test_empty_request_commits () =
+  let engine, sys = make () in
+  let done_ = ref false in
+  KV.submit sys ~client:0 { Intf.reads = [||]; writes = [||] }
+    ~on_done:(fun ~committed -> done_ := committed);
+  Engine.run engine;
+  Alcotest.(check bool) "empty commits" true !done_
+
+let test_counter_counts_when_enabled () =
+  let cfg = { KV.default_config with atomic_counter = true } in
+  let engine, sys = make ~cfg () in
+  for i = 0 to 9 do
+    put sys ~key:i ~value:i ~on_done:(fun ~committed:_ -> ())
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "counter tracked every put" 10 (KV.counter_value sys);
+  Alcotest.(check int) "puts" 10 (KV.puts sys)
+
+let test_counter_off_by_default () =
+  let engine, sys = make () in
+  put sys ~key:0 ~value:0 ~on_done:(fun ~committed:_ -> ());
+  Engine.run engine;
+  Alcotest.(check int) "no counter" 0 (KV.counter_value sys)
+
+let test_name_reflects_config () =
+  let _, e = make ~cfg:{ KV.default_config with transport = Transport.erpc } () in
+  Alcotest.(check string) "erpc" "eRPC" (KV.name e);
+  let _, u =
+    make
+      ~cfg:{ KV.default_config with transport = Transport.udp; atomic_counter = true }
+      ()
+  in
+  Alcotest.(check string) "udp+counter" "UDP+counter" (KV.name u)
+
+(* The Fig. 1 relationships, in miniature: same offered load, four
+   configurations. *)
+let throughput ~transport ~atomic_counter ~threads =
+  let cfg = { KV.default_config with transport; atomic_counter; threads } in
+  let engine, sys = make ~cfg () in
+  (* Closed loop: 32*threads outstanding single-PUT clients. *)
+  let horizon = 3000.0 in
+  let rec client i =
+    put sys ~key:(i mod 1024) ~value:i ~on_done:(fun ~committed:_ ->
+        if Engine.now engine < horizon then client (i + 7))
+  in
+  for i = 0 to (32 * threads) - 1 do
+    client i
+  done;
+  Engine.run ~until:horizon engine;
+  float_of_int (KV.puts sys) /. horizon
+
+let test_fig1_relationships () =
+  let threads = 8 in
+  let erpc = throughput ~transport:Transport.erpc ~atomic_counter:false ~threads in
+  let erpc_ctr = throughput ~transport:Transport.erpc ~atomic_counter:true ~threads in
+  let udp = throughput ~transport:Transport.udp ~atomic_counter:false ~threads in
+  let udp_ctr = throughput ~transport:Transport.udp ~atomic_counter:true ~threads in
+  Alcotest.(check bool) "eRPC >> UDP" true (erpc > 4.0 *. udp);
+  (* At 8 threads the counter is not yet the eRPC bottleneck but costs
+     a little; for UDP it is invisible. *)
+  Alcotest.(check bool) "counter never helps" true (erpc_ctr <= erpc +. 0.01);
+  Alcotest.(check bool) "counter invisible on UDP" true
+    (abs_float (udp -. udp_ctr) /. udp < 0.05)
+
+let test_fig1_counter_cap () =
+  (* At 20 threads the shared counter must cap eRPC hard: throughput
+     with the counter stays near 1/hold regardless of threads. *)
+  let t20 = throughput ~transport:Transport.erpc ~atomic_counter:true ~threads:20 in
+  let t14 = throughput ~transport:Transport.erpc ~atomic_counter:true ~threads:14 in
+  let cap = 1.0 /. Mk_model.Costs.default.Mk_model.Costs.atomic_counter in
+  Alcotest.(check bool) "near the 1/hold cap" true (t20 < cap *. 1.05);
+  (* Scaling has flattened: 20 threads buy little over 14. *)
+  Alcotest.(check bool) "flattened" true (t20 -. t14 < 0.35 *. t14)
+
+let test_busy_fraction_sane () =
+  let engine, sys = make () in
+  for i = 0 to 99 do
+    put sys ~key:i ~value:i ~on_done:(fun ~committed:_ -> ())
+  done;
+  Engine.run engine;
+  let busy = KV.server_busy_fraction sys in
+  Alcotest.(check bool) "in [0,1]" true (busy > 0.0 && busy <= 1.0)
+
+let () =
+  Alcotest.run "kvbench"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "put stores" `Quick test_put_stores;
+          Alcotest.test_case "multi-put, one reply" `Quick test_multi_put_single_reply;
+          Alcotest.test_case "empty request" `Quick test_empty_request_commits;
+          Alcotest.test_case "counter on" `Quick test_counter_counts_when_enabled;
+          Alcotest.test_case "counter off" `Quick test_counter_off_by_default;
+          Alcotest.test_case "names" `Quick test_name_reflects_config;
+          Alcotest.test_case "busy fraction" `Quick test_busy_fraction_sane;
+        ] );
+      ( "figure-1",
+        [
+          Alcotest.test_case "transport relationships" `Quick test_fig1_relationships;
+          Alcotest.test_case "counter caps eRPC" `Quick test_fig1_counter_cap;
+        ] );
+    ]

@@ -1,0 +1,102 @@
+(* Unit tests for the transport cost model and message delivery. *)
+
+module Engine = Mk_sim.Engine
+module Core = Mk_sim.Core
+module Transport = Mk_net.Transport
+module Network = Mk_net.Network
+
+let make_net ?(transport = Transport.erpc) () =
+  let engine = Engine.create ~seed:2 () in
+  let rng = Mk_util.Rng.create ~seed:3 in
+  (engine, Network.create engine ~rng ~transport)
+
+let test_transport_presets () =
+  Alcotest.(check bool) "erpc cheaper rx" true
+    (Transport.erpc.Transport.rx_cpu < Transport.udp.Transport.rx_cpu);
+  Alcotest.(check bool) "erpc cheaper tx" true
+    (Transport.erpc.Transport.tx_cpu < Transport.udp.Transport.tx_cpu);
+  Alcotest.(check bool) "erpc lower latency" true
+    (Transport.erpc.Transport.latency < Transport.udp.Transport.latency);
+  (* The per-message CPU gap is what produces Fig. 1's ~8x. *)
+  let total t = t.Transport.rx_cpu +. t.Transport.tx_cpu in
+  Alcotest.(check bool) "per-message gap is large" true
+    (total Transport.udp /. total Transport.erpc > 5.0);
+  Alcotest.(check (float 1e-9)) "no drops by default" 0.0
+    Transport.erpc.Transport.drop_prob
+
+let test_with_drop () =
+  let t = Transport.with_drop Transport.erpc 0.25 in
+  Alcotest.(check (float 1e-9)) "drop set" 0.25 t.Transport.drop_prob;
+  Alcotest.(check string) "otherwise unchanged" Transport.erpc.Transport.name
+    t.Transport.name
+
+let test_delivery_latency_and_rx_cost () =
+  let engine, net = make_net ~transport:{ Transport.erpc with jitter = 0.0 } () in
+  let dst = Core.create engine ~id:0 in
+  let handled_at = ref 0.0 in
+  Network.send_work_to_core net ~dst ~cost:1.0 (fun () -> handled_at := Engine.now engine);
+  Engine.run engine;
+  (* latency 2.0 + (rx 0.25 + handler 1.0) of core time. *)
+  Alcotest.(check (float 1e-9)) "arrival + service" (2.0 +. 0.25 +. 1.0) !handled_at;
+  Alcotest.(check (float 1e-9)) "core charged rx+handler" 1.25 (Core.busy_time dst);
+  Alcotest.(check int) "sent" 1 (Network.messages_sent net)
+
+let test_jitter_within_bounds () =
+  let engine, net =
+    make_net ~transport:{ Transport.erpc with latency = 5.0; jitter = 2.0 } ()
+  in
+  let arrivals = ref [] in
+  for _ = 1 to 200 do
+    Network.send_to_client net (fun () -> arrivals := Engine.now engine :: !arrivals)
+  done;
+  Engine.run engine;
+  List.iter
+    (fun at -> Alcotest.(check bool) "within [5,7)" true (at >= 5.0 && at < 7.0))
+    !arrivals;
+  (* Jitter actually varies. *)
+  let distinct = List.sort_uniq compare !arrivals in
+  Alcotest.(check bool) "jitter varies" true (List.length distinct > 100)
+
+let test_drops () =
+  let engine, net = make_net ~transport:(Transport.with_drop Transport.erpc 0.5) () in
+  let delivered = ref 0 in
+  let n = 2000 in
+  for _ = 1 to n do
+    Network.send_to_client net (fun () -> incr delivered)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "accounting" n (Network.messages_sent net);
+  Alcotest.(check int) "dropped + delivered = sent" n
+    (!delivered + Network.messages_dropped net);
+  let rate = float_of_int (Network.messages_dropped net) /. float_of_int n in
+  Alcotest.(check bool) "drop rate near 0.5" true (abs_float (rate -. 0.5) < 0.05)
+
+let test_send_to_client_no_core_cost () =
+  let engine, net = make_net () in
+  let got = ref false in
+  Network.send_to_client net (fun () -> got := true);
+  Engine.run engine;
+  Alcotest.(check bool) "delivered" true !got
+
+let test_tx_cpu_accessor () =
+  let _, net = make_net () in
+  Alcotest.(check (float 1e-9)) "tx cpu" Transport.erpc.Transport.tx_cpu
+    (Network.tx_cpu net)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "transport",
+        [
+          Alcotest.test_case "preset relationships" `Quick test_transport_presets;
+          Alcotest.test_case "with_drop" `Quick test_with_drop;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "latency and rx cost" `Quick test_delivery_latency_and_rx_cost;
+          Alcotest.test_case "jitter bounds" `Quick test_jitter_within_bounds;
+          Alcotest.test_case "drops" `Quick test_drops;
+          Alcotest.test_case "client delivery" `Quick test_send_to_client_no_core_cost;
+          Alcotest.test_case "tx_cpu accessor" `Quick test_tx_cpu_accessor;
+        ] );
+    ]

@@ -1,0 +1,389 @@
+(* Property-based tests (qcheck, registered as alcotest cases):
+   invariants of the OCC checks, the epoch merge, recovery outcome
+   selection, the zipf sampler and the data-structure substrate. *)
+
+module Q = QCheck
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Vstore = Mk_storage.Vstore
+module Occ = Mk_storage.Occ
+module Quorum = Mk_meerkat.Quorum
+module Replica = Mk_meerkat.Replica
+module Epoch = Mk_meerkat.Epoch
+module Recovery = Mk_meerkat.Recovery
+module Checker = Mk_harness.Checker
+
+let ts time client_id = Timestamp.make ~time ~client_id
+
+(* --- generators --- *)
+
+(* A random transaction over a small keyspace: reads a subset at
+   version zero-or-given, RMWs some keys. The version fields are
+   filled during replay, not generation. *)
+let gen_op_plan =
+  Q.Gen.(
+    list_size (int_range 1 60)
+      (pair (int_bound 7) (* key *) (int_bound 999) (* value *)))
+
+(* Sequential OCC oracle: apply transactions one at a time in arrival
+   order; track a model of what should be visible. *)
+let arb_plan = Q.make ~print:(fun l -> string_of_int (List.length l)) gen_op_plan
+
+(* Property: after any sequence of single-key RMW transactions driven
+   through validate/finish (arrival order = timestamp order), the
+   committed set is serializable and the store equals its replay. *)
+let prop_occ_serializable plan =
+  let store = Vstore.create ~shards:8 () in
+  for key = 0 to 7 do
+    Vstore.load store ~key ~value:0
+  done;
+  let committed = ref [] in
+  List.iteri
+    (fun i (key, value) ->
+      let e = Vstore.find_exn store key in
+      let _, wts = Vstore.read_versioned e in
+      let txn =
+        Txn.make
+          ~tid:(Timestamp.Tid.make ~seq:i ~client_id:1)
+          ~read_set:[ { key; wts } ]
+          ~write_set:[ { key; value } ]
+      in
+      let stamp = ts (float_of_int (i + 1)) 1 in
+      match Occ.validate store txn ~ts:stamp with
+      | `Ok ->
+          Occ.finish store txn ~ts:stamp ~commit:true;
+          committed := (txn, stamp) :: !committed
+      | `Abort -> ())
+    plan;
+  (* Sequential, immediately-finished RMWs never conflict: all commit. *)
+  List.length !committed = List.length plan
+  && Checker.check !committed = Ok ()
+
+(* Property: interleaved validations (validate all, then finish all)
+   never let two conflicting transactions both commit. *)
+let prop_occ_no_conflicting_commits plan =
+  let store = Vstore.create ~shards:8 () in
+  for key = 0 to 7 do
+    Vstore.load store ~key ~value:0
+  done;
+  let validated = ref [] in
+  List.iteri
+    (fun i (key, value) ->
+      let e = Vstore.find_exn store key in
+      let _, wts = Vstore.read_versioned e in
+      let txn =
+        Txn.make
+          ~tid:(Timestamp.Tid.make ~seq:i ~client_id:1)
+          ~read_set:[ { key; wts } ]
+          ~write_set:[ { key; value } ]
+      in
+      let stamp = ts (float_of_int (i + 1)) 1 in
+      match Occ.validate store txn ~ts:stamp with
+      | `Ok -> validated := (txn, stamp) :: !validated
+      | `Abort -> ())
+    plan;
+  (* Everything validated concurrently-pending; commit them all now.
+     Pairwise conflict-freedom must hold among the validated set. *)
+  let validated = List.rev !validated in
+  let rec pairwise = function
+    | [] -> true
+    | (a, _) :: rest ->
+        List.for_all (fun (b, _) -> not (Txn.conflicts a b)) rest && pairwise rest
+  in
+  let ok = pairwise validated in
+  List.iter (fun (txn, stamp) -> Occ.finish store txn ~ts:stamp ~commit:true) validated;
+  ok
+  && Checker.check validated = Ok ()
+  && Vstore.pending_counts store = (0, 0)
+
+(* Property: validation followed by abort leaves the store exactly as
+   before (values, versions, pending sets). *)
+let prop_occ_abort_is_clean plan =
+  let store = Vstore.create ~shards:8 () in
+  for key = 0 to 7 do
+    Vstore.load store ~key ~value:0
+  done;
+  let snapshot () =
+    let acc = ref [] in
+    Vstore.iter store (fun e ->
+        acc :=
+          (e.Vstore.key, e.Vstore.value, e.Vstore.wts, e.Vstore.rts) :: !acc);
+    List.sort compare !acc
+  in
+  let before = snapshot () in
+  List.iteri
+    (fun i (key, value) ->
+      let txn =
+        Txn.make
+          ~tid:(Timestamp.Tid.make ~seq:i ~client_id:1)
+          ~read_set:[ { key; wts = Timestamp.zero } ]
+          ~write_set:[ { key; value } ]
+      in
+      let stamp = ts (float_of_int (i + 1)) 1 in
+      match Occ.validate store txn ~ts:stamp with
+      | `Ok -> Occ.finish store txn ~ts:stamp ~commit:false
+      | `Abort -> ())
+    plan;
+  snapshot () = before && Vstore.pending_counts store = (0, 0)
+
+(* --- epoch merge properties --- *)
+
+let gen_status =
+  Q.Gen.oneofl
+    [
+      Txn.Validated_ok;
+      Txn.Validated_abort;
+      Txn.Committed;
+      Txn.Aborted;
+      Txn.Accepted_commit;
+      Txn.Accepted_abort;
+    ]
+
+(* Random reports for 8 transactions across 3 replicas, each replica
+   knowing a random subset with random statuses. *)
+let gen_reports =
+  Q.Gen.(
+    let txns =
+      List.init 8 (fun i ->
+          Txn.make
+            ~tid:(Timestamp.Tid.make ~seq:i ~client_id:1)
+            ~read_set:[ { key = i mod 4; wts = Timestamp.zero } ]
+            ~write_set:[ { key = i mod 4; value = i } ])
+    in
+    let gen_record txn =
+      gen_status >>= fun status ->
+      let accept_view =
+        match status with
+        | Txn.Accepted_commit | Txn.Accepted_abort -> Some 1
+        | _ -> None
+      in
+      return
+        ( 0,
+          ({
+             txn;
+             ts = ts (float_of_int (Timestamp.Tid.hash txn.Txn.tid mod 100)) 1;
+             status;
+             view = (match accept_view with Some v -> v | None -> 0);
+             accept_view;
+           }
+            : Replica.record_view) )
+    in
+    let gen_report replica =
+      list_size (int_bound 8)
+        (oneofl txns >>= gen_record)
+      >>= fun records ->
+      (* Dedupe by tid within one replica's report. *)
+      let seen = Hashtbl.create 8 in
+      let records =
+        List.filter
+          (fun (_, (v : Replica.record_view)) ->
+            if Hashtbl.mem seen v.txn.Txn.tid then false
+            else begin
+              Hashtbl.add seen v.txn.Txn.tid ();
+              true
+            end)
+          records
+      in
+      return { Epoch.replica; records }
+    in
+    gen_report 0 >>= fun r0 ->
+    gen_report 1 >>= fun r1 -> return [ r0; r1 ])
+
+let arb_reports = Q.make gen_reports
+
+let prop_merge_all_final reports =
+  let merged = Epoch.merge ~quorum:(Quorum.create ~n:3) ~reports in
+  List.for_all (fun (_, (v : Replica.record_view)) -> Txn.is_final v.status) merged
+
+let prop_merge_respects_final_outcomes reports =
+  let merged = Epoch.merge ~quorum:(Quorum.create ~n:3) ~reports in
+  let merged_status tid =
+    List.find_map
+      (fun (_, (v : Replica.record_view)) ->
+        if Timestamp.Tid.equal v.txn.Txn.tid tid then Some v.status else None)
+      merged
+  in
+  List.for_all
+    (fun report ->
+      List.for_all
+        (fun (_, (v : Replica.record_view)) ->
+          match v.Replica.status with
+          | Txn.Committed -> merged_status v.txn.Txn.tid = Some Txn.Committed
+          | Txn.Aborted -> merged_status v.txn.Txn.tid = Some Txn.Aborted
+          | Txn.Validated_ok | Txn.Validated_abort | Txn.Accepted_commit
+          | Txn.Accepted_abort ->
+              merged_status v.txn.Txn.tid <> None)
+        report.Epoch.records)
+    reports
+
+(* Caveat: random reports can claim both COMMITTED and ABORTED for one
+   tid — impossible in real executions; filter those out. *)
+let consistent_reports reports =
+  let final = Hashtbl.create 16 in
+  let consistent = ref true in
+  List.iter
+    (fun report ->
+      List.iter
+        (fun (_, (v : Replica.record_view)) ->
+          match v.Replica.status with
+          | Txn.Committed | Txn.Aborted -> begin
+              match Hashtbl.find_opt final v.txn.Txn.tid with
+              | Some s when s <> v.Replica.status -> consistent := false
+              | _ -> Hashtbl.replace final v.txn.Txn.tid v.Replica.status
+            end
+          | _ -> ())
+        report.Epoch.records)
+    reports;
+  !consistent
+
+(* --- recovery choose properties --- *)
+
+let gen_replies =
+  Q.Gen.(
+    let txn =
+      Txn.make
+        ~tid:(Timestamp.Tid.make ~seq:1 ~client_id:1)
+        ~read_set:[ { key = 0; wts = Timestamp.zero } ]
+        ~write_set:[ { key = 0; value = 1 } ]
+    in
+    list_size (int_range 2 3)
+      (oneof
+         [
+           return Recovery.No_record;
+           ( gen_status >>= fun status ->
+             let accept_view =
+               match status with
+               | Txn.Accepted_commit | Txn.Accepted_abort -> Some 1
+               | _ -> None
+             in
+             return
+               (Recovery.Record
+                  {
+                    txn;
+                    ts = ts 1.0 1;
+                    status;
+                    view = (match accept_view with Some v -> v | None -> 0);
+                    accept_view;
+                  }) );
+         ]))
+
+let arb_replies = Q.make gen_replies
+
+let prop_choose_total replies =
+  (* choose never raises on a majority and always returns a verdict. *)
+  match Recovery.choose ~quorum:(Quorum.create ~n:3) ~replies with
+  | `Commit | `Abort -> true
+
+let prop_choose_respects_finals replies =
+  let finals =
+    List.filter_map
+      (function
+        | Recovery.Record { Replica.status = Txn.Committed; _ } -> Some `Commit
+        | Recovery.Record { Replica.status = Txn.Aborted; _ } -> Some `Abort
+        | _ -> None)
+      replies
+  in
+  match finals with
+  | [] -> true
+  | f :: rest when List.for_all (fun x -> x = f) rest ->
+      Recovery.choose ~quorum:(Quorum.create ~n:3) ~replies = f
+  | _ -> true (* inconsistent random input; not a real execution *)
+
+(* --- checker sanity: it accepts exactly replay-consistent histories --- *)
+
+let prop_checker_accepts_generated_serial plan =
+  (* Build a history that is serial by construction; checker must
+     accept. *)
+  let model = Hashtbl.create 8 in
+  let committed =
+    List.mapi
+      (fun i (key, value) ->
+        let wts =
+          match Hashtbl.find_opt model key with
+          | Some ts -> ts
+          | None -> Timestamp.zero
+        in
+        let stamp = ts (float_of_int (i + 1)) 1 in
+        Hashtbl.replace model key stamp;
+        ( Txn.make
+            ~tid:(Timestamp.Tid.make ~seq:i ~client_id:1)
+            ~read_set:[ { key; wts } ]
+            ~write_set:[ { key; value } ],
+          stamp ))
+      plan
+  in
+  Checker.check committed = Ok ()
+
+(* --- zipf --- *)
+
+let prop_zipf_in_range =
+  Q.Test.make ~name:"zipf samples in range" ~count:200
+    Q.(pair (int_range 1 500) (float_bound_exclusive 1.0))
+    (fun (n, theta) ->
+      let rng = Mk_util.Rng.create ~seed:(n + int_of_float (theta *. 1000.0)) in
+      let z = Mk_workload.Zipf.create ~rng ~n ~theta () in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let k = Mk_workload.Zipf.sample z in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+(* --- heap vs sort --- *)
+
+let prop_heap_sorts =
+  Q.Test.make ~name:"heap drains in sorted order" ~count:200
+    Q.(list (int_bound 10_000))
+    (fun xs ->
+      let h = Mk_util.Heap.create ~cmp:compare in
+      List.iter (Mk_util.Heap.push h) xs;
+      let rec drain acc =
+        match Mk_util.Heap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* --- stats merge --- *)
+
+let prop_stats_merge =
+  Q.Test.make ~name:"stats merge = concatenation" ~count:200
+    Q.(pair (list (float_bound_exclusive 1000.0)) (list (float_bound_exclusive 1000.0)))
+    (fun (xs, ys) ->
+      let a = Mk_util.Stats.create () and b = Mk_util.Stats.create () in
+      let whole = Mk_util.Stats.create () in
+      List.iter (Mk_util.Stats.add a) xs;
+      List.iter (Mk_util.Stats.add b) ys;
+      List.iter (Mk_util.Stats.add whole) (xs @ ys);
+      let m = Mk_util.Stats.merge a b in
+      Mk_util.Stats.count m = Mk_util.Stats.count whole
+      && abs_float (Mk_util.Stats.mean m -. Mk_util.Stats.mean whole) < 1e-6
+      && abs_float (Mk_util.Stats.variance m -. Mk_util.Stats.variance whole) < 1e-4)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      Q.Test.make ~name:"sequential RMWs all commit serializably" ~count:300 arb_plan
+        prop_occ_serializable;
+      Q.Test.make ~name:"pending validations never conflict" ~count:300 arb_plan
+        prop_occ_no_conflicting_commits;
+      Q.Test.make ~name:"abort leaves no trace" ~count:300 arb_plan
+        prop_occ_abort_is_clean;
+      Q.Test.make ~name:"epoch merge emits only final records" ~count:300 arb_reports
+        prop_merge_all_final;
+      Q.Test.make ~name:"epoch merge respects reported outcomes" ~count:300
+        (Q.make Q.Gen.(gen_reports >>= fun r -> if consistent_reports r then return r else return [
+          { Epoch.replica = 0; records = [] }; { Epoch.replica = 1; records = [] } ]))
+        prop_merge_respects_final_outcomes;
+      Q.Test.make ~name:"recovery choose is total" ~count:300 arb_replies
+        prop_choose_total;
+      Q.Test.make ~name:"recovery choose respects finals" ~count:300 arb_replies
+        prop_choose_respects_finals;
+      Q.Test.make ~name:"checker accepts serial histories" ~count:300 arb_plan
+        prop_checker_accepts_generated_serial;
+      prop_zipf_in_range;
+      prop_heap_sorts;
+      prop_stats_merge;
+    ]
+
+let () = Alcotest.run "props" [ ("qcheck", qtests) ]

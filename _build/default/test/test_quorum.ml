@@ -1,0 +1,180 @@
+(* Quorum arithmetic and the coordinator's reply-evaluation rule. *)
+
+module Quorum = Mk_meerkat.Quorum
+module Decision = Mk_meerkat.Decision
+module Txn = Mk_storage.Txn
+
+let test_quorum_sizes () =
+  let q3 = Quorum.create ~n:3 in
+  Alcotest.(check int) "n=3 f" 1 q3.Quorum.f;
+  Alcotest.(check int) "n=3 majority" 2 (Quorum.majority q3);
+  Alcotest.(check int) "n=3 fast" 3 (Quorum.fast q3);
+  Alcotest.(check int) "n=3 fast_recovery" 2 (Quorum.fast_recovery q3);
+  let q5 = Quorum.create ~n:5 in
+  Alcotest.(check int) "n=5 majority" 3 (Quorum.majority q5);
+  Alcotest.(check int) "n=5 fast" 4 (Quorum.fast q5);
+  Alcotest.(check int) "n=5 fast_recovery" 2 (Quorum.fast_recovery q5);
+  let q7 = Quorum.create ~n:7 in
+  Alcotest.(check int) "n=7 fast" 6 (Quorum.fast q7);
+  Alcotest.(check int) "n=7 fast_recovery" 3 (Quorum.fast_recovery q7)
+
+let test_quorum_of_f () =
+  let q = Quorum.of_f ~f:2 in
+  Alcotest.(check int) "n" 5 q.Quorum.n
+
+let test_quorum_validation () =
+  Alcotest.check_raises "even n" (Invalid_argument "Quorum.create: n must be odd and positive")
+    (fun () -> ignore (Quorum.create ~n:4));
+  Alcotest.check_raises "negative f" (Invalid_argument "Quorum.of_f: f must be non-negative")
+    (fun () -> ignore (Quorum.of_f ~f:(-1)))
+
+let test_fast_quorum_is_supermajority () =
+  (* fast > 3n/4, the paper's supermajority condition. *)
+  List.iter
+    (fun n ->
+      let q = Quorum.create ~n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d supermajority" n)
+        true
+        (float_of_int (Quorum.fast q) > 0.75 *. float_of_int n))
+    [ 1; 3; 5; 7; 9; 11 ]
+
+let test_fast_quorum_intersection_property () =
+  (* Any majority must intersect a fast quorum in at least
+     fast_recovery replicas — the bound the recovery protocols rely
+     on. *)
+  List.iter
+    (fun n ->
+      let q = Quorum.create ~n in
+      let intersection = Quorum.fast q + Quorum.majority q - n in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d intersection" n)
+        true
+        (intersection >= Quorum.fast_recovery q))
+    [ 1; 3; 5; 7; 9; 11 ]
+
+(* --- Decision.evaluate --- *)
+
+let q3 = Quorum.create ~n:3
+
+let ev replies = Decision.evaluate ~quorum:q3 ~replies
+
+let test_decision_wait_no_replies () =
+  Alcotest.(check bool) "no replies" true (ev [| None; None; None |] = Decision.Wait)
+
+let test_decision_wait_one_ok () =
+  Alcotest.(check bool) "one ok waits" true
+    (ev [| Some Txn.Validated_ok; None; None |] = Decision.Wait)
+
+let test_decision_fast_commit () =
+  Alcotest.(check bool) "3 ok = fast commit" true
+    (ev [| Some Txn.Validated_ok; Some Txn.Validated_ok; Some Txn.Validated_ok |]
+    = Decision.Fast true)
+
+let test_decision_fast_abort () =
+  Alcotest.(check bool) "3 abort = fast abort" true
+    (ev
+       [|
+         Some Txn.Validated_abort; Some Txn.Validated_abort; Some Txn.Validated_abort;
+       |]
+    = Decision.Fast false)
+
+let test_decision_two_ok_waits_for_third () =
+  (* With n=3 the fast quorum is 3; two matching replies leave the
+     fast path still possible, so the coordinator waits. *)
+  Alcotest.(check bool) "2 ok waits" true
+    (ev [| Some Txn.Validated_ok; Some Txn.Validated_ok; None |] = Decision.Wait)
+
+let test_decision_split_goes_slow () =
+  (* One ok + one abort: the fast path is impossible, a majority has
+     answered; only 1 < f+1 ok so the proposal is abort. *)
+  Alcotest.(check bool) "1-1 split proposes abort" true
+    (ev [| Some Txn.Validated_ok; Some Txn.Validated_abort; None |]
+    = Decision.Slow false)
+
+let test_decision_majority_ok_slow_commit () =
+  Alcotest.(check bool) "2 ok 1 abort proposes commit" true
+    (ev
+       [| Some Txn.Validated_ok; Some Txn.Validated_ok; Some Txn.Validated_abort |]
+    = Decision.Slow true)
+
+let test_decision_final_short_circuits () =
+  Alcotest.(check bool) "committed reply ends it" true
+    (ev [| Some Txn.Committed; None; None |] = Decision.Final true);
+  Alcotest.(check bool) "aborted reply ends it" true
+    (ev [| Some Txn.Aborted; Some Txn.Validated_ok; None |] = Decision.Final false)
+
+let test_decision_accepted_replies_dont_count () =
+  (* Accepted_* replies are a backup coordinator's business; they are
+     neither VALIDATED votes nor final. *)
+  Alcotest.(check bool) "accepted alone waits" true
+    (ev [| Some Txn.Accepted_commit; Some Txn.Accepted_commit; None |] = Decision.Wait)
+
+let test_decision_n5_fast_possible_waits () =
+  let q5 = Quorum.create ~n:5 in
+  let ev5 replies = Decision.evaluate ~quorum:q5 ~replies in
+  (* 3 ok, 1 abort, 1 outstanding: fast (4 ok) still possible. *)
+  Alcotest.(check bool) "waits while fast possible" true
+    (ev5
+       [|
+         Some Txn.Validated_ok;
+         Some Txn.Validated_ok;
+         Some Txn.Validated_ok;
+         Some Txn.Validated_abort;
+         None;
+       |]
+    = Decision.Wait);
+  (* 3 ok, 2 abort: fast impossible, majority ok -> slow commit. *)
+  Alcotest.(check bool) "slow commit" true
+    (ev5
+       [|
+         Some Txn.Validated_ok;
+         Some Txn.Validated_ok;
+         Some Txn.Validated_ok;
+         Some Txn.Validated_abort;
+         Some Txn.Validated_abort;
+       |]
+    = Decision.Slow true);
+  (* 4 ok: fast commit even with 1 abort. *)
+  Alcotest.(check bool) "fast commit with one dissent" true
+    (ev5
+       [|
+         Some Txn.Validated_ok;
+         Some Txn.Validated_ok;
+         Some Txn.Validated_ok;
+         Some Txn.Validated_ok;
+         Some Txn.Validated_abort;
+       |]
+    = Decision.Fast true)
+
+let () =
+  Alcotest.run "quorum"
+    [
+      ( "sizes",
+        [
+          Alcotest.test_case "majority/fast per n" `Quick test_quorum_sizes;
+          Alcotest.test_case "of_f" `Quick test_quorum_of_f;
+          Alcotest.test_case "input validation" `Quick test_quorum_validation;
+          Alcotest.test_case "fast is a supermajority" `Quick
+            test_fast_quorum_is_supermajority;
+          Alcotest.test_case "recovery intersection bound" `Quick
+            test_fast_quorum_intersection_property;
+        ] );
+      ( "decision",
+        [
+          Alcotest.test_case "waits with no replies" `Quick test_decision_wait_no_replies;
+          Alcotest.test_case "waits with one ok" `Quick test_decision_wait_one_ok;
+          Alcotest.test_case "fast commit" `Quick test_decision_fast_commit;
+          Alcotest.test_case "fast abort" `Quick test_decision_fast_abort;
+          Alcotest.test_case "two ok still waits (n=3)" `Quick
+            test_decision_two_ok_waits_for_third;
+          Alcotest.test_case "split proposes abort" `Quick test_decision_split_goes_slow;
+          Alcotest.test_case "majority ok proposes commit" `Quick
+            test_decision_majority_ok_slow_commit;
+          Alcotest.test_case "final reply short-circuits" `Quick
+            test_decision_final_short_circuits;
+          Alcotest.test_case "accepted replies don't vote" `Quick
+            test_decision_accepted_replies_dont_count;
+          Alcotest.test_case "n=5 cases" `Quick test_decision_n5_fast_possible_waits;
+        ] );
+    ]

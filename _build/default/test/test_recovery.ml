@@ -1,0 +1,250 @@
+(* Coordinator recovery (§5.3.2): outcome selection and an end-to-end
+   backup-coordinator run over real replicas. *)
+
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Quorum = Mk_meerkat.Quorum
+module Replica = Mk_meerkat.Replica
+module Recovery = Mk_meerkat.Recovery
+
+let q3 = Quorum.create ~n:3
+let q5 = Quorum.create ~n:5
+let ts time = Timestamp.make ~time ~client_id:1
+
+let rmw ~seq key =
+  Txn.make
+    ~tid:(Timestamp.Tid.make ~seq ~client_id:1)
+    ~read_set:[ { key; wts = Timestamp.zero } ]
+    ~write_set:[ { key; value = seq } ]
+
+let record ?(v = 0) ?accept_view ~status txn : Recovery.reply =
+  Recovery.Record
+    { Replica.txn; ts = ts 1.0; status; view = v; accept_view }
+
+let test_needs_majority () =
+  Alcotest.check_raises "one reply"
+    (Invalid_argument "Recovery.choose: needs a majority of replies") (fun () ->
+      ignore (Recovery.choose ~quorum:q3 ~replies:[ Recovery.No_record ]))
+
+let test_priority1_final () =
+  let t = rmw ~seq:1 0 in
+  Alcotest.(check bool) "committed anywhere -> commit" true
+    (Recovery.choose ~quorum:q3
+       ~replies:[ record ~status:Txn.Committed t; Recovery.No_record ]
+    = `Commit);
+  Alcotest.(check bool) "aborted anywhere -> abort" true
+    (Recovery.choose ~quorum:q3
+       ~replies:[ record ~status:Txn.Aborted t; record ~status:Txn.Validated_ok t ]
+    = `Abort)
+
+let test_priority2_accepted () =
+  let t = rmw ~seq:1 0 in
+  Alcotest.(check bool) "accepted commit wins over validated" true
+    (Recovery.choose ~quorum:q3
+       ~replies:
+         [
+           record ~v:1 ~accept_view:1 ~status:Txn.Accepted_commit t;
+           record ~status:Txn.Validated_abort t;
+         ]
+    = `Commit);
+  (* Competing accepted proposals: the higher view decides. *)
+  Alcotest.(check bool) "higher accept view wins" true
+    (Recovery.choose ~quorum:q3
+       ~replies:
+         [
+           record ~v:2 ~accept_view:2 ~status:Txn.Accepted_abort t;
+           record ~v:5 ~accept_view:5 ~status:Txn.Accepted_commit t;
+         ]
+    = `Commit)
+
+let test_priority3_fast_path_possibility () =
+  let t = rmw ~seq:1 0 in
+  (* n=3, fast_recovery = 2: two VALIDATED-OK replies mean the fast
+     path may have committed; propose commit. *)
+  Alcotest.(check bool) "2 ok -> commit" true
+    (Recovery.choose ~quorum:q3
+       ~replies:[ record ~status:Txn.Validated_ok t; record ~status:Txn.Validated_ok t ]
+    = `Commit);
+  (* One OK, one no-record: a fast commit (3 matching) would have left
+     ≥2 OKs in any majority; safe to abort. *)
+  Alcotest.(check bool) "1 ok -> abort" true
+    (Recovery.choose ~quorum:q3
+       ~replies:[ record ~status:Txn.Validated_ok t; Recovery.No_record ]
+    = `Abort)
+
+let test_priority4_default_abort () =
+  let t = rmw ~seq:1 0 in
+  Alcotest.(check bool) "no records -> abort" true
+    (Recovery.choose ~quorum:q3 ~replies:[ Recovery.No_record; Recovery.No_record ]
+    = `Abort);
+  Alcotest.(check bool) "all validated-abort -> abort" true
+    (Recovery.choose ~quorum:q3
+       ~replies:
+         [ record ~status:Txn.Validated_abort t; record ~status:Txn.Validated_abort t ]
+    = `Abort)
+
+let test_n5_thresholds () =
+  let t = rmw ~seq:1 0 in
+  (* n=5, fast_recovery = 2: a majority (3) with 2 OKs must commit. *)
+  Alcotest.(check bool) "2 of 3 ok -> commit" true
+    (Recovery.choose ~quorum:q5
+       ~replies:
+         [
+           record ~status:Txn.Validated_ok t;
+           record ~status:Txn.Validated_ok t;
+           record ~status:Txn.Validated_abort t;
+         ]
+    = `Commit);
+  Alcotest.(check bool) "1 of 3 ok -> abort" true
+    (Recovery.choose ~quorum:q5
+       ~replies:
+         [
+           record ~status:Txn.Validated_ok t;
+           record ~status:Txn.Validated_abort t;
+           Recovery.No_record;
+         ]
+    = `Abort)
+
+(* --- End-to-end: a backup coordinator finishes an orphaned
+   transaction across three real replicas. --- *)
+
+let make_cluster () =
+  let replicas = Array.init 3 (fun id -> Replica.create ~id ~quorum:q3 ~cores:2) in
+  Array.iter
+    (fun r ->
+      for key = 0 to 7 do
+        Replica.load r ~key ~value:0
+      done)
+    replicas;
+  replicas
+
+(* Drive the full §5.3.2 procedure: prepare (coord-change) at a
+   majority, choose, accept at the new view, commit everywhere. *)
+let run_backup_coordinator replicas ~core ~txn ~ts:tstamp ~view =
+  let replies =
+    Array.to_list replicas
+    |> List.filter_map (fun r ->
+           match Replica.handle_coord_change r ~core ~tid:txn.Txn.tid ~view with
+           | Some (`View_ok None) -> Some Recovery.No_record
+           | Some (`View_ok (Some record)) -> Some (Recovery.Record record)
+           | Some (`Stale _) | None -> None)
+  in
+  let outcome = Recovery.choose ~quorum:q3 ~replies in
+  let decision = match outcome with `Commit -> `Commit | `Abort -> `Abort in
+  let acks =
+    Array.to_list replicas
+    |> List.filter_map (fun r ->
+           Replica.handle_accept r ~core ~txn ~ts:tstamp ~decision ~view)
+    |> List.filter (fun reply -> reply = `Accepted)
+  in
+  Alcotest.(check bool) "accept quorum" true (List.length acks >= Quorum.majority q3);
+  Array.iter
+    (fun r ->
+      ignore
+        (Replica.handle_commit r ~core:0 ~txn ~ts:tstamp
+           ~commit:(outcome = `Commit)))
+    replicas;
+  outcome
+
+let test_backup_finishes_validated_txn () =
+  let replicas = make_cluster () in
+  let t = rmw ~seq:1 3 in
+  (* The original coordinator validated at 2 of 3 replicas, then died
+     before sending any commit. *)
+  ignore (Replica.handle_validate replicas.(0) ~core:0 ~txn:t ~ts:(ts 1.0));
+  ignore (Replica.handle_validate replicas.(1) ~core:0 ~txn:t ~ts:(ts 1.0));
+  let outcome = run_backup_coordinator replicas ~core:0 ~txn:t ~ts:(ts 1.0) ~view:1 in
+  Alcotest.(check bool) "committed" true (outcome = `Commit);
+  (* All replicas converge on the value. *)
+  Array.iter
+    (fun r ->
+      match Replica.handle_get r ~key:3 with
+      | Some (1, _) -> ()
+      | _ -> Alcotest.fail "value missing after recovery")
+    replicas
+
+let test_backup_aborts_unseen_txn () =
+  let replicas = make_cluster () in
+  let t = rmw ~seq:2 4 in
+  (* Only one replica ever validated it. *)
+  ignore (Replica.handle_validate replicas.(2) ~core:0 ~txn:t ~ts:(ts 2.0));
+  let outcome = run_backup_coordinator replicas ~core:0 ~txn:t ~ts:(ts 2.0) ~view:1 in
+  Alcotest.(check bool) "aborted" true (outcome = `Abort);
+  Array.iter
+    (fun r ->
+      match Replica.handle_get r ~key:4 with
+      | Some (0, _) -> ()
+      | _ -> Alcotest.fail "aborted write leaked")
+    replicas;
+  (* The pending marks the lone validation installed were cleaned. *)
+  Alcotest.(check (pair int int)) "no residue" (0, 0)
+    (Mk_storage.Vstore.pending_counts (Replica.vstore replicas.(2)))
+
+let test_two_backups_agree () =
+  (* Two successive backup coordinators (views 1 then 2) must reach
+     the same outcome even though the second starts after the first
+     already drove accepts. *)
+  let replicas = make_cluster () in
+  let t = rmw ~seq:3 5 in
+  ignore (Replica.handle_validate replicas.(0) ~core:0 ~txn:t ~ts:(ts 3.0));
+  ignore (Replica.handle_validate replicas.(1) ~core:0 ~txn:t ~ts:(ts 3.0));
+  (* Backup 1 (view 1) runs prepare + accept but dies before commit. *)
+  let replies =
+    [ 0; 1 ]
+    |> List.filter_map (fun i ->
+           match
+             Replica.handle_coord_change replicas.(i) ~core:0 ~tid:t.Txn.tid ~view:1
+           with
+           | Some (`View_ok (Some record)) -> Some (Recovery.Record record)
+           | Some (`View_ok None) -> Some Recovery.No_record
+           | Some (`Stale _) | None -> None)
+  in
+  let outcome1 = Recovery.choose ~quorum:q3 ~replies in
+  ignore
+    (Replica.handle_accept replicas.(0) ~core:0 ~txn:t ~ts:(ts 3.0)
+       ~decision:(outcome1 :> [ `Commit | `Abort ])
+       ~view:1);
+  (* Backup 2 (view 2) takes over and completes. *)
+  let outcome2 = run_backup_coordinator replicas ~core:0 ~txn:t ~ts:(ts 3.0) ~view:2 in
+  Alcotest.(check bool) "same decision" true (outcome1 = outcome2)
+
+let test_original_coordinator_fenced () =
+  (* After a backup coordinator moved the transaction to view 1, the
+     original coordinator's view-0 accept must be rejected. *)
+  let replicas = make_cluster () in
+  let t = rmw ~seq:4 6 in
+  ignore (Replica.handle_validate replicas.(0) ~core:0 ~txn:t ~ts:(ts 4.0));
+  ignore
+    (Replica.handle_coord_change replicas.(0) ~core:0 ~tid:t.Txn.tid ~view:1);
+  match
+    Replica.handle_accept replicas.(0) ~core:0 ~txn:t ~ts:(ts 4.0) ~decision:`Commit
+      ~view:0
+  with
+  | Some (`Stale 1) -> ()
+  | _ -> Alcotest.fail "view-0 accept should be fenced"
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "choose",
+        [
+          Alcotest.test_case "requires majority" `Quick test_needs_majority;
+          Alcotest.test_case "priority 1: final" `Quick test_priority1_final;
+          Alcotest.test_case "priority 2: accepted" `Quick test_priority2_accepted;
+          Alcotest.test_case "priority 3: fast-path possibility" `Quick
+            test_priority3_fast_path_possibility;
+          Alcotest.test_case "priority 4: default abort" `Quick
+            test_priority4_default_abort;
+          Alcotest.test_case "n=5 thresholds" `Quick test_n5_thresholds;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "backup commits validated txn" `Quick
+            test_backup_finishes_validated_txn;
+          Alcotest.test_case "backup aborts unseen txn" `Quick
+            test_backup_aborts_unseen_txn;
+          Alcotest.test_case "successive backups agree" `Quick test_two_backups_agree;
+          Alcotest.test_case "original coordinator fenced" `Quick
+            test_original_coordinator_fenced;
+        ] );
+    ]

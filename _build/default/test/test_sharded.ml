@@ -1,0 +1,188 @@
+(* Distributed transactions across partitioned Meerkat groups
+   (§5.2.4). *)
+
+module Engine = Mk_sim.Engine
+module Intf = Mk_model.System_intf
+module Cluster = Mk_cluster.Cluster
+module Sharded = Mk_meerkat.Sharded
+
+let base_cfg =
+  { Cluster.default_config with threads = 2; n_clients = 8; keys = 64; seed = 3 }
+
+let make ?(partitions = 2) ?(cfg = base_cfg) () =
+  let engine = Engine.create ~seed:cfg.Cluster.seed () in
+  (engine, Sharded.create engine ~partitions cfg)
+
+let drive engine sys ~clients ~per_client ~request =
+  let outcomes = ref [] in
+  let rec loop c remaining =
+    if remaining > 0 then
+      Sharded.submit sys ~client:c (request c remaining) ~on_done:(fun ~committed ->
+          outcomes := committed :: !outcomes;
+          loop c (remaining - 1))
+  in
+  for c = 0 to clients - 1 do
+    loop c per_client
+  done;
+  Engine.run ~max_events:20_000_000 engine;
+  !outcomes
+
+let test_key_ownership () =
+  let _, sys = make ~partitions:3 () in
+  Alcotest.(check int) "partitions" 3 (Sharded.partitions sys);
+  Alcotest.(check int) "key 4 owner" 1 (Sharded.partition_of_key sys 4);
+  Alcotest.(check int) "key 6 owner" 0 (Sharded.partition_of_key sys 6)
+
+let test_single_partition_txn () =
+  let engine, sys = make () in
+  let result = ref None in
+  (* Keys 0 and 2 both live in partition 0. *)
+  Sharded.submit sys ~client:0
+    { Intf.reads = [| 0; 2 |]; writes = [| (0, 5) |] }
+    ~on_done:(fun ~committed -> result := Some committed);
+  Engine.run engine;
+  Alcotest.(check (option bool)) "committed" (Some true) !result;
+  Alcotest.(check (option int)) "applied" (Some 5)
+    (Sharded.read_committed sys ~replica:0 ~key:0)
+
+let test_cross_partition_txn () =
+  let engine, sys = make () in
+  let result = ref None in
+  (* Keys 0 (partition 0) and 1 (partition 1): a genuinely distributed
+     transaction. *)
+  Sharded.submit sys ~client:0
+    { Intf.reads = [| 0; 1 |]; writes = [| (0, 10); (1, 11) |] }
+    ~on_done:(fun ~committed -> result := Some committed);
+  Engine.run engine;
+  Alcotest.(check (option bool)) "committed" (Some true) !result;
+  (* Both partitions applied their half, on every replica. *)
+  for replica = 0 to 2 do
+    Alcotest.(check (option int)) "partition 0 half" (Some 10)
+      (Sharded.read_committed sys ~replica ~key:0);
+    Alcotest.(check (option int)) "partition 1 half" (Some 11)
+      (Sharded.read_committed sys ~replica ~key:1)
+  done
+
+let test_atomicity_across_partitions () =
+  (* Many racing cross-partition transactions, each writing the SAME
+     value tag to one key in partition 0 and one key in partition 1.
+     Atomicity means: for every tag committed on one side, the other
+     side committed it too (observable as: final values of the pair
+     (key0, key1) written by the same transaction must both be from
+     committed transactions; we verify via the per-group trecords). *)
+  let cfg = { base_cfg with keys = 4; n_clients = 8 } in
+  let engine, sys = make ~cfg () in
+  ignore
+    (drive engine sys ~clients:8 ~per_client:20 ~request:(fun c i ->
+         let tag = (c * 1000) + i in
+         (* keys 0/2 are partition 0; 1/3 partition 1 *)
+         let k0 = if (c + i) mod 2 = 0 then 0 else 2 in
+         let k1 = if (c + i) mod 3 = 0 then 1 else 3 in
+         { Intf.reads = [| k0; k1 |]; writes = [| (k0, tag); (k1, tag) |] }));
+  (* Every tid must have the same final status in both groups'
+     trecords (when present in both). *)
+  let module Replica = Mk_meerkat.Replica in
+  let module Trecord = Mk_storage.Trecord in
+  let module Txn = Mk_storage.Txn in
+  let status_table group =
+    let table = Hashtbl.create 256 in
+    Array.iter
+      (fun r ->
+        List.iter
+          (fun (_, (e : Trecord.entry)) ->
+            if Txn.is_final e.status then
+              Hashtbl.replace table e.txn.Txn.tid e.status)
+          (Trecord.entries (Replica.trecord r)))
+      (Mk_meerkat.Sim_system.replicas (Sharded.group sys group));
+    table
+  in
+  let t0 = status_table 0 and t1 = status_table 1 in
+  let compared = ref 0 in
+  Hashtbl.iter
+    (fun tid status0 ->
+      match Hashtbl.find_opt t1 tid with
+      | Some status1 ->
+          incr compared;
+          Alcotest.(check bool)
+            (Format.asprintf "tid %a same fate" Mk_clock.Timestamp.Tid.pp tid)
+            true (status0 = status1)
+      | None -> ())
+    t0;
+  Alcotest.(check bool) "cross-partition txns compared" true (!compared > 50)
+
+let test_contention_aborts_and_progress () =
+  let cfg = { base_cfg with keys = 4 } in
+  let engine, sys = make ~cfg () in
+  let outcomes =
+    drive engine sys ~clients:8 ~per_client:20 ~request:(fun c i ->
+        let k = (c + i) mod 4 in
+        { Intf.reads = [| k |]; writes = [| (k, i) |] })
+  in
+  Alcotest.(check int) "all decided" 160 (List.length outcomes);
+  let counters = Sharded.counters sys in
+  Alcotest.(check int) "accounting adds up" 160
+    (counters.Intf.committed + counters.Intf.aborted)
+
+let test_interactive_cross_partition_conservation () =
+  (* Shared counters on both partitions, incremented together by an
+     interactive cross-partition transaction: after the dust settles
+     the two totals must be equal on every replica. *)
+  let cfg = { base_cfg with keys = 4; n_clients = 6 } in
+  let engine, sys = make ~cfg () in
+  let commits = ref 0 in
+  let rec bump c remaining =
+    if remaining > 0 then
+      Sharded.submit_interactive sys ~client:c ~reads:[| 0; 1 |]
+        ~compute:(fun values -> [| (0, values.(0) + 1); (1, values.(1) + 1) |])
+        ~on_done:(fun ~committed ->
+          if committed then begin
+            incr commits;
+            bump c (remaining - 1)
+          end
+          else bump c remaining)
+  in
+  for c = 0 to 5 do
+    bump c 8
+  done;
+  Engine.run ~max_events:20_000_000 engine;
+  Alcotest.(check int) "all committed eventually" 48 !commits;
+  for replica = 0 to 2 do
+    Alcotest.(check (option int)) "partition-0 counter" (Some 48)
+      (Sharded.read_committed sys ~replica ~key:0);
+    Alcotest.(check (option int)) "partition-1 counter" (Some 48)
+      (Sharded.read_committed sys ~replica ~key:1)
+  done
+
+let test_many_partitions () =
+  let engine, sys = make ~partitions:4 ~cfg:{ base_cfg with keys = 64 } () in
+  let result = ref None in
+  (* Touch all four partitions in one transaction. *)
+  Sharded.submit sys ~client:0
+    { Intf.reads = [| 0; 1; 2; 3 |]; writes = [| (0, 1); (1, 1); (2, 1); (3, 1) |] }
+    ~on_done:(fun ~committed -> result := Some committed);
+  Engine.run engine;
+  Alcotest.(check (option bool)) "4-partition txn commits" (Some true) !result;
+  for key = 0 to 3 do
+    Alcotest.(check (option int))
+      (Printf.sprintf "key %d" key)
+      (Some 1)
+      (Sharded.read_committed sys ~replica:1 ~key)
+  done
+
+let () =
+  Alcotest.run "sharded"
+    [
+      ( "distributed-txns",
+        [
+          Alcotest.test_case "key ownership" `Quick test_key_ownership;
+          Alcotest.test_case "single-partition txn" `Quick test_single_partition_txn;
+          Alcotest.test_case "cross-partition txn" `Quick test_cross_partition_txn;
+          Alcotest.test_case "atomicity across partitions" `Quick
+            test_atomicity_across_partitions;
+          Alcotest.test_case "contention and accounting" `Quick
+            test_contention_aborts_and_progress;
+          Alcotest.test_case "four partitions" `Quick test_many_partitions;
+          Alcotest.test_case "interactive cross-partition conservation" `Quick
+            test_interactive_cross_partition_conservation;
+        ] );
+    ]

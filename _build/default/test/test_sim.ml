@@ -1,0 +1,250 @@
+(* Unit tests for the discrete-event engine, FCFS resources and the
+   core model. *)
+
+module Engine = Mk_sim.Engine
+module Resource = Mk_sim.Resource
+module Core = Mk_sim.Core
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- Engine --- *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:5.0 (fun () -> log := 5 :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := 3 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "timestamp order" [ 1; 3; 5 ] (List.rev !log);
+  feq "clock at last event" 5.0 (Engine.now e)
+
+let test_engine_fifo_ties () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:2.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "ties dispatch in scheduling order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      log := `A :: !log;
+      Engine.schedule e ~delay:1.0 (fun () -> log := `B :: !log));
+  Engine.run e;
+  Alcotest.(check int) "two events" 2 (List.length !log);
+  feq "clock" 2.0 (Engine.now e)
+
+let test_engine_until_horizon () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule e ~delay:1.0 (fun () -> incr fired);
+  Engine.schedule e ~delay:10.0 (fun () -> incr fired);
+  Engine.run ~until:5.0 e;
+  Alcotest.(check int) "only early event" 1 !fired;
+  feq "clock advanced to horizon" 5.0 (Engine.now e);
+  Alcotest.(check int) "late event still queued" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "late event eventually fires" 2 !fired
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  Engine.schedule e ~delay:3.0 (fun () ->
+      Engine.schedule e ~delay:(-7.0) (fun () -> ()));
+  Engine.run e;
+  feq "no time travel" 3.0 (Engine.now e)
+
+let test_engine_schedule_at_past_clamped () =
+  let e = Engine.create () in
+  let at = ref 0.0 in
+  Engine.schedule e ~delay:4.0 (fun () ->
+      Engine.schedule_at e 1.0 (fun () -> at := Engine.now e));
+  Engine.run e;
+  feq "clamped to now" 4.0 !at
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let rec forever () =
+    incr fired;
+    Engine.schedule e ~delay:1.0 forever
+  in
+  Engine.schedule e ~delay:0.0 forever;
+  Engine.run ~max_events:50 e;
+  Alcotest.(check int) "bounded" 50 !fired
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "step on empty" false (Engine.step e);
+  Engine.schedule e ~delay:1.0 (fun () -> ());
+  Alcotest.(check bool) "step dispatches" true (Engine.step e);
+  Alcotest.(check bool) "empty again" false (Engine.step e)
+
+let test_engine_determinism () =
+  (* Two engines with the same seed and same stimulus trace run
+     identically, including RNG draws. *)
+  let trace seed =
+    let e = Engine.create ~seed () in
+    let rng = Engine.rng e in
+    let log = ref [] in
+    for i = 1 to 20 do
+      Engine.schedule e
+        ~delay:(Mk_util.Rng.float rng 10.0)
+        (fun () -> log := (i, Engine.now e) :: !log)
+    done;
+    Engine.run e;
+    !log
+  in
+  Alcotest.(check bool) "same seed, same trace" true (trace 9 = trace 9);
+  Alcotest.(check bool) "different seed, different trace" true (trace 9 <> trace 10)
+
+(* --- Resource --- *)
+
+let test_resource_serializes () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"mutex" in
+  let done_at = ref [] in
+  (* Three requests at t=0 holding 2 each: finish at 2, 4, 6. *)
+  for _ = 1 to 3 do
+    Resource.use r ~hold:2.0 (fun () -> done_at := Engine.now e :: !done_at)
+  done;
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "FCFS completion" [ 2.0; 4.0; 6.0 ]
+    (List.rev !done_at);
+  Alcotest.(check int) "acquisitions" 3 (Resource.acquisitions r);
+  feq "busy time" 6.0 (Resource.busy_time r);
+  feq "wait time" (2.0 +. 4.0) (Resource.wait_time r)
+
+let test_resource_idle_gap () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"mutex" in
+  let finished = ref 0.0 in
+  Resource.use r ~hold:1.0 (fun () -> ());
+  Engine.schedule e ~delay:10.0 (fun () ->
+      Resource.use r ~hold:1.0 (fun () -> finished := Engine.now e));
+  Engine.run e;
+  feq "no queueing after idle gap" 11.0 !finished;
+  feq "wait time zero" 0.0 (Resource.wait_time r)
+
+let test_resource_negative_hold () =
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"mutex" in
+  Alcotest.check_raises "negative hold" (Invalid_argument "Resource.use: negative hold")
+    (fun () -> Resource.use r ~hold:(-1.0) (fun () -> ()))
+
+let test_resource_throughput_cap () =
+  (* The punchline the whole evaluation rests on: pushing load from
+     many cores through one resource caps throughput at 1/hold. *)
+  let e = Engine.create () in
+  let r = Resource.create e ~name:"shared-log" in
+  let completed = ref 0 in
+  for _ = 1 to 1000 do
+    Resource.use r ~hold:1.5 (fun () -> incr completed)
+  done;
+  Engine.run e;
+  feq "serialized makespan" 1500.0 (Engine.now e);
+  Alcotest.(check int) "all served" 1000 !completed
+
+(* --- Core --- *)
+
+let test_core_fcfs_jobs () =
+  let e = Engine.create () in
+  let c = Core.create e ~id:0 in
+  let log = ref [] in
+  Core.submit_work c ~cost:2.0 (fun () -> log := (1, Engine.now e) :: !log);
+  Core.submit_work c ~cost:3.0 (fun () -> log := (2, Engine.now e) :: !log);
+  Engine.run e;
+  Alcotest.(check (list (pair int (float 1e-9)))) "sequential" [ (1, 2.0); (2, 5.0) ]
+    (List.rev !log);
+  Alcotest.(check int) "completed" 2 (Core.completed c);
+  feq "busy time" 5.0 (Core.busy_time c)
+
+let test_core_blocked_by_body () =
+  (* A job body that waits on a resource keeps the core busy (spinning)
+     until it finishes; queued jobs wait. *)
+  let e = Engine.create () in
+  let c = Core.create e ~id:0 in
+  let r = Resource.create e ~name:"lock" in
+  (* Occupy the resource from elsewhere until t=10. *)
+  Resource.use r ~hold:10.0 (fun () -> ());
+  let first_done = ref 0.0 and second_done = ref 0.0 in
+  Core.submit c ~cost:1.0 (fun ~finish ->
+      Resource.use r ~hold:1.0 (fun () ->
+          first_done := Engine.now e;
+          finish ()));
+  Core.submit_work c ~cost:1.0 (fun () -> second_done := Engine.now e);
+  Engine.run e;
+  feq "job 1 spun on the lock" 11.0 !first_done;
+  feq "job 2 queued behind the spin" 12.0 !second_done;
+  feq "core busy the whole time" 12.0 (Core.busy_time c)
+
+let test_core_idle_between_jobs () =
+  let e = Engine.create () in
+  let c = Core.create e ~id:0 in
+  Core.submit_work c ~cost:1.0 (fun () -> ());
+  Engine.schedule e ~delay:5.0 (fun () -> Core.submit_work c ~cost:1.0 (fun () -> ()));
+  Engine.run e;
+  feq "busy excludes idle gap" 2.0 (Core.busy_time c);
+  feq "finished at 6" 6.0 (Engine.now e)
+
+let test_core_double_finish_rejected () =
+  let e = Engine.create () in
+  let c = Core.create e ~id:0 in
+  let saw_error = ref false in
+  Core.submit c ~cost:1.0 (fun ~finish ->
+      finish ();
+      (try finish () with Invalid_argument _ -> saw_error := true));
+  Engine.run e;
+  Alcotest.(check bool) "second finish rejected" true !saw_error
+
+let test_core_queue_length () =
+  let e = Engine.create () in
+  let c = Core.create e ~id:0 in
+  Core.submit_work c ~cost:5.0 (fun () -> ());
+  Core.submit_work c ~cost:5.0 (fun () -> ());
+  Core.submit_work c ~cost:5.0 (fun () -> ());
+  (* First job started immediately; two remain queued. *)
+  Alcotest.(check int) "queued" 2 (Core.queue_length c);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Core.queue_length c)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "timestamp order" `Quick test_engine_time_order;
+          Alcotest.test_case "FIFO tie-break" `Quick test_engine_fifo_ties;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run until horizon" `Quick test_engine_until_horizon;
+          Alcotest.test_case "negative delay clamped" `Quick
+            test_engine_negative_delay_clamped;
+          Alcotest.test_case "schedule_at in past clamped" `Quick
+            test_engine_schedule_at_past_clamped;
+          Alcotest.test_case "max_events bound" `Quick test_engine_max_events;
+          Alcotest.test_case "single step" `Quick test_engine_step;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "FCFS serialization" `Quick test_resource_serializes;
+          Alcotest.test_case "no queueing after idle" `Quick test_resource_idle_gap;
+          Alcotest.test_case "negative hold rejected" `Quick test_resource_negative_hold;
+          Alcotest.test_case "throughput capped at 1/hold" `Quick
+            test_resource_throughput_cap;
+        ] );
+      ( "core",
+        [
+          Alcotest.test_case "FCFS jobs" `Quick test_core_fcfs_jobs;
+          Alcotest.test_case "spin-wait keeps core busy" `Quick test_core_blocked_by_body;
+          Alcotest.test_case "idle gaps not counted busy" `Quick
+            test_core_idle_between_jobs;
+          Alcotest.test_case "double finish rejected" `Quick
+            test_core_double_finish_rejected;
+          Alcotest.test_case "queue length" `Quick test_core_queue_length;
+        ] );
+    ]
