@@ -24,7 +24,7 @@ let system_of_string = function
   | s -> Error (`Msg (Printf.sprintf "unknown system %S" s))
 
 let run system workload_name threads replicas zipf keys_per_thread clients_per_thread
-    transport_name drop measure seed peak =
+    transport_name drop measure seed peak trace metrics =
   let transport =
     match transport_name with
     | "erpc" -> Transport.erpc
@@ -52,17 +52,33 @@ let run system workload_name threads replicas zipf keys_per_thread clients_per_t
   Format.printf "system=%s workload=%s replicas=%d threads=%d keys=%d zipf=%.2f %a@."
     (Systems.name system) workload_name replicas threads keys zipf Transport.pp
     transport;
-  let clients, result =
-    if peak then
-      Systems.sweep system ~config ~workload ~warmup:(measure /. 2.0) ~measure
+  if peak && (trace <> None || metrics) then begin
+    Format.eprintf "meerkat_sim: --trace/--metrics need a single run: drop --peak@.";
+    exit 2
+  end;
+  let clients, result, obs =
+    if peak then begin
+      let clients, result =
+        Systems.sweep system ~config ~workload ~warmup:(measure /. 2.0) ~measure
+      in
+      (clients, result, None)
+    end
     else begin
       let n_clients = clients_per_thread * threads in
       let engine = Engine.create ~seed () in
-      let packed, busy = Systems.build system engine { config with n_clients } in
+      let obs =
+        Mk_obs.Obs.create ~trace:(trace <> None)
+          ~clock:(fun () -> Engine.now engine)
+          ()
+      in
+      let packed, busy =
+        Systems.build ~obs system engine { config with n_clients }
+      in
       let wl = workload ~rng:(Mk_util.Rng.create ~seed:(seed + 7919)) ~keys in
       ( n_clients,
         Runner.run ~engine ~system:packed ~workload:wl ~n_clients
-          ~warmup:(measure /. 2.0) ~measure ~busy )
+          ~warmup:(measure /. 2.0) ~measure ~busy,
+        Some obs )
     end
   in
   Format.printf "clients=%d (%s)@." clients
@@ -70,7 +86,22 @@ let run system workload_name threads replicas zipf keys_per_thread clients_per_t
   Format.printf "%a@." Runner.pp_result result;
   Format.printf
     "window: %d committed, %d aborted; %d retransmissions@."
-    result.Runner.committed result.Runner.aborted result.Runner.retransmits
+    result.Runner.committed result.Runner.aborted result.Runner.retransmits;
+  match obs with
+  | None -> ()
+  | Some obs ->
+      (match trace with
+      | None -> ()
+      | Some path -> (
+          try
+            Mk_obs.Obs.write_chrome_trace obs ~path;
+            Format.printf "wrote %d trace events to %s@."
+              (Mk_obs.Tracer.length (Mk_obs.Obs.tracer obs))
+              path
+          with Sys_error msg ->
+            Format.eprintf "meerkat_sim: cannot write trace: %s@." msg;
+            exit 1));
+      if metrics then print_string (Mk_obs.Obs.metrics_dump obs)
 
 let () =
   let open Cmdliner in
@@ -108,9 +139,21 @@ let () =
   let peak =
     Arg.(value & flag & info [ "peak" ] ~doc:"Search client counts for peak throughput.")
   in
+  let trace =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace (trace_event JSON) of the run to $(docv). \
+                   Fixed-clients runs only (not --peak).")
+  in
+  let metrics =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Print the metrics registry dump after the run (not --peak).")
+  in
   let term =
     Term.(const run $ system $ workload $ threads $ replicas $ zipf $ keys_per_thread
-          $ clients_per_thread $ transport $ drop $ measure $ seed $ peak)
+          $ clients_per_thread $ transport $ drop $ measure $ seed $ peak $ trace
+          $ metrics)
   in
   let info =
     Cmd.info "meerkat_sim" ~doc:"Run one simulated experiment on the Meerkat systems"

@@ -39,7 +39,7 @@ let () =
               let name = Meerkat.name
               let threads = Meerkat.threads
               let submit = Meerkat.submit
-              let counters = Meerkat.counters
+              let obs = Meerkat.obs
             end),
             sys )
       in

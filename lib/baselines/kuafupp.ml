@@ -8,6 +8,8 @@ module Txn = Mk_storage.Txn
 module Cluster = Mk_cluster.Cluster
 module Quorum = Mk_meerkat.Quorum
 module Replica = Mk_meerkat.Replica
+module Obs = Mk_obs.Obs
+module Span = Mk_obs.Span
 
 let primary = 0
 
@@ -21,8 +23,8 @@ type t = {
   mutable log_length : int;
 }
 
-let create engine cfg =
-  let cluster = Cluster.create engine cfg in
+let create ?obs engine cfg =
+  let cluster = Cluster.create ?obs engine cfg in
   let quorum = Quorum.create ~n:cfg.Cluster.n_replicas in
   let replicas =
     Array.init cfg.Cluster.n_replicas (fun id ->
@@ -48,6 +50,7 @@ let create engine cfg =
 
 let name _ = "KuaFu++"
 let threads t = t.cluster.Cluster.cfg.Cluster.threads
+let obs t = Cluster.obs t.cluster
 let counters t = Cluster.counters t.cluster
 let server_busy_fraction t = Cluster.server_busy_fraction t.cluster
 let net t = t.cluster.Cluster.net
@@ -61,7 +64,11 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
   let ctx = t.cluster.Cluster.clients.(client) in
   let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
   let alive r = not (Replica.is_crashed t.replicas.(r)) in
+  let exec_started = Engine.now t.cluster.Cluster.engine in
   Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive (fun read_set _values ->
+      if Array.length req.reads > 0 then
+        Obs.span (Cluster.obs t.cluster) Span.Execute ~tid:ctx.Cluster.cid
+          ~start:exec_started ();
       let tid = Cluster.fresh_tid t.cluster ctx in
       let write_set =
         Array.to_list
@@ -95,6 +102,7 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
          the shared commit counter (every transaction pays the
          cache-line ping-pong), then validates, then — commits only —
          appends to the shared log under its mutex. *)
+      let validate_sent = Engine.now t.cluster.Cluster.engine in
       Network.send_to_core (net t) ~dst:primary_core ~cost:validate_cost
         (fun ~finish ->
           Resource.use t.counter ~hold:(costs t).Costs.atomic_counter (fun () ->
@@ -105,10 +113,14 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
                    applies unchanged. *)
                 Timestamp.make ~time:(float_of_int t.next_seq) ~client_id:0
               in
-              match
+              let verdict =
                 Replica.handle_validate t.replicas.(primary) ~core:trecord_core ~txn
                   ~ts
-              with
+              in
+              (* Validation = counter bump + OCC check at the primary. *)
+              Obs.span (Cluster.obs t.cluster) Span.Validate ~tid:ctx.Cluster.cid
+                ~start:validate_sent ();
+              match verdict with
               | None | Some Txn.Validated_abort ->
                   ignore
                     (Replica.handle_commit t.replicas.(primary) ~core:trecord_core
@@ -122,6 +134,7 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
                   Resource.use t.logs.(primary) ~hold:(costs t).Costs.shared_log
                     (fun () ->
                       t.log_length <- t.log_length + 1;
+                      let apply_sent = Engine.now t.cluster.Cluster.engine in
                       let apply_cost =
                         Costs.commit (costs t)
                           ~nwrites:(Array.length txn.Txn.write_set)
@@ -131,7 +144,10 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
                         ~cost:apply_cost (fun () ->
                           ignore
                             (Replica.handle_commit t.replicas.(primary)
-                               ~core:trecord_core ~txn ~ts ~commit:true));
+                               ~core:trecord_core ~txn ~ts ~commit:true);
+                          Obs.span (Cluster.obs t.cluster) Span.Write_back
+                            ~pid:(Obs.replica_pid primary) ~tid:trecord_core
+                            ~start:apply_sent ());
                       for r = 0 to n - 1 do
                         if r <> primary && not (Replica.is_crashed t.replicas.(r))
                         then begin
@@ -151,6 +167,9 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
                                   ignore
                                     (Replica.handle_commit t.replicas.(r)
                                        ~core:trecord_core ~txn ~ts ~commit:true);
+                                  Obs.span (Cluster.obs t.cluster) Span.Write_back
+                                    ~pid:(Obs.replica_pid r) ~tid:trecord_core
+                                    ~start:apply_sent ();
                                   Network.send_to_client (net t) on_backup_ack;
                                   finish ()))
                         end

@@ -7,6 +7,8 @@ module Txn = Mk_storage.Txn
 module Cluster = Mk_cluster.Cluster
 module Quorum = Mk_meerkat.Quorum
 module Replica = Mk_meerkat.Replica
+module Obs = Mk_obs.Obs
+module Span = Mk_obs.Span
 
 let primary = 0
 
@@ -16,8 +18,8 @@ type t = {
   replicas : Replica.t array;
 }
 
-let create engine cfg =
-  let cluster = Cluster.create engine cfg in
+let create ?obs engine cfg =
+  let cluster = Cluster.create ?obs engine cfg in
   let quorum = Quorum.create ~n:cfg.Cluster.n_replicas in
   let replicas =
     Array.init cfg.Cluster.n_replicas (fun id ->
@@ -33,6 +35,7 @@ let create engine cfg =
 
 let name _ = "MEERKAT-PB"
 let threads t = t.cluster.Cluster.cfg.Cluster.threads
+let obs t = Cluster.obs t.cluster
 let counters t = Cluster.counters t.cluster
 let server_busy_fraction t = Cluster.server_busy_fraction t.cluster
 let net t = t.cluster.Cluster.net
@@ -52,7 +55,11 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
   let ctx = t.cluster.Cluster.clients.(client) in
   let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
   let alive r = not (Replica.is_crashed t.replicas.(r)) in
+  let exec_started = Engine.now t.cluster.Cluster.engine in
   Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive (fun read_set _values ->
+      if Array.length req.reads > 0 then
+        Obs.span (Cluster.obs t.cluster) Span.Execute ~tid:ctx.Cluster.cid
+          ~start:exec_started ();
       let tid = Cluster.fresh_tid t.cluster ctx in
       let write_set =
         Array.to_list
@@ -84,11 +91,16 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
       let validate_cost =
         Costs.validate (costs t) ~nkeys:(Txn.nkeys txn) +. Cluster.tx_cpu t.cluster
       in
+      let validate_sent = Engine.now t.cluster.Cluster.engine in
       Network.send_work_to_core (net t) ~dst:(core t primary a.core_id)
         ~cost:validate_cost (fun () ->
-          match
+          let verdict =
             Replica.handle_validate t.replicas.(primary) ~core:a.core_id ~txn ~ts
-          with
+          in
+          (* The validation round is a single primary-side check. *)
+          Obs.span (Cluster.obs t.cluster) Span.Validate ~tid:ctx.Cluster.cid
+            ~start:validate_sent ();
+          match verdict with
           | None | Some Txn.Validated_abort ->
               (* Primary-only decision: abort immediately; nothing was
                  replicated, so nothing needs undoing at backups. *)
@@ -108,11 +120,14 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
                 (costs t).Costs.pb_replication
                 +. (Cluster.tx_cpu t.cluster *. float_of_int (n - 1))
               in
+              let apply_sent = Engine.now t.cluster.Cluster.engine in
               Network.send_work_to_core (net t) ~dst:(core t primary a.core_id)
                 ~cost:(apply_cost +. replication_cost) (fun () ->
                   ignore
                     (Replica.handle_commit t.replicas.(primary) ~core:a.core_id ~txn
-                       ~ts ~commit:true));
+                       ~ts ~commit:true);
+                  Obs.span (Cluster.obs t.cluster) Span.Write_back
+                    ~pid:(Obs.replica_pid primary) ~tid:a.core_id ~start:apply_sent ());
               for r = 0 to n - 1 do
                 if r <> primary && not (Replica.is_crashed t.replicas.(r)) then begin
                   let backup_cost =
@@ -126,6 +141,8 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
                       ignore
                         (Replica.handle_commit t.replicas.(r) ~core:a.core_id ~txn
                            ~ts ~commit:true);
+                      Obs.span (Cluster.obs t.cluster) Span.Write_back
+                        ~pid:(Obs.replica_pid r) ~tid:a.core_id ~start:apply_sent ();
                       Network.send_to_client (net t) on_backup_ack)
                 end
               done))

@@ -9,6 +9,8 @@ module Cluster = Mk_cluster.Cluster
 module Quorum = Mk_meerkat.Quorum
 module Replica = Mk_meerkat.Replica
 module Decision = Mk_meerkat.Decision
+module Obs = Mk_obs.Obs
+module Span = Mk_obs.Span
 
 type t = {
   cluster : Cluster.t;
@@ -19,8 +21,8 @@ type t = {
           coordination point TAPIR keeps and Meerkat eliminates. *)
 }
 
-let create engine cfg =
-  let cluster = Cluster.create engine cfg in
+let create ?obs engine cfg =
+  let cluster = Cluster.create ?obs engine cfg in
   let quorum = Quorum.create ~n:cfg.Cluster.n_replicas in
   let replicas =
     (* cores:1 — a single trecord partition is exactly the shared
@@ -41,6 +43,7 @@ let create engine cfg =
 
 let name _ = "TAPIR"
 let threads t = t.cluster.Cluster.cfg.Cluster.threads
+let obs t = Cluster.obs t.cluster
 let counters t = Cluster.counters t.cluster
 let server_busy_fraction t = Cluster.server_busy_fraction t.cluster
 let net t = t.cluster.Cluster.net
@@ -58,14 +61,34 @@ type attempt = {
   client : Cluster.client;
   replies : Txn.status option array;
   mutable in_accept : bool;
+  mutable accept_started : Engine.time;  (** NaN until the slow path. *)
   mutable accept_acks : int;
   mutable decided : bool;
+  mutable validated : bool;
   mutable fast_grace_armed : bool;
 }
+
+(* Same span discipline as the Meerkat coordinator: the validation
+   span closes when a majority of replies is in (or the attempt moves
+   on); the slow-accept span covers the whole accept round including
+   retransmissions. *)
+let note_validated t a =
+  if not a.validated then begin
+    a.validated <- true;
+    Obs.span (Cluster.obs t.cluster) Span.Validate ~tid:a.client.Cluster.cid
+      ~start:a.started ()
+  end
+
+let enter_accept t a =
+  a.in_accept <- true;
+  note_validated t a;
+  if Float.is_nan a.accept_started then
+    a.accept_started <- Engine.now t.cluster.Cluster.engine
 
 let broadcast_commit t a ~commit =
   let nwrites = if commit then Array.length a.txn.Txn.write_set else 0 in
   let cost = Costs.commit (costs t) ~nwrites in
+  let sent_at = Engine.now t.cluster.Cluster.engine in
   Array.iteri
     (fun r replica ->
       if not (Replica.is_crashed replica) then
@@ -78,12 +101,22 @@ let broadcast_commit t a ~commit =
               (fun () ->
                 ignore
                   (Replica.handle_commit replica ~core:0 ~txn:a.txn ~ts:a.ts ~commit);
+                (* tid 0: any core may apply (shared record). *)
+                Obs.span (Cluster.obs t.cluster) Span.Write_back
+                  ~pid:(Obs.replica_pid r) ~tid:0 ~start:sent_at ();
                 finish ())))
     t.replicas
 
 let decide t a ~commit ~fast ~on_done =
   if not a.decided then begin
     a.decided <- true;
+    note_validated t a;
+    (if fast then
+       Obs.span (Cluster.obs t.cluster) Span.Fast_quorum ~tid:a.client.Cluster.cid
+         ~start:a.started ()
+     else if not (Float.is_nan a.accept_started) then
+       Obs.span (Cluster.obs t.cluster) Span.Slow_accept ~tid:a.client.Cluster.cid
+         ~start:a.accept_started ());
     Cluster.note_decision t.cluster ~committed:commit ~fast;
     broadcast_commit t a ~commit;
     (* Coordinator and application share the client machine: the
@@ -152,7 +185,7 @@ let evaluate t a ~on_done =
           Engine.schedule t.cluster.Cluster.engine ~delay:(Float.max base (2.0 *. elapsed))
             (fun () ->
               if (not a.decided) && not a.in_accept then begin
-                a.in_accept <- true;
+                enter_accept t a;
                 send_accepts t a ~commit:(majority_ok t a) ~on_done
               end)
         end
@@ -160,7 +193,7 @@ let evaluate t a ~on_done =
     | Decision.Fast commit -> decide t a ~commit ~fast:true ~on_done
     | Decision.Slow commit ->
         if not a.in_accept then begin
-          a.in_accept <- true;
+          enter_accept t a;
           send_accepts t a ~commit ~on_done
         end
   end
@@ -187,6 +220,13 @@ let send_validates t a ~only_missing ~on_done =
                     Network.send_to_client (net t) (fun () ->
                         if a.replies.(r) = None then begin
                           a.replies.(r) <- Some st;
+                          let received =
+                            Array.fold_left
+                              (fun acc x -> if x = None then acc else acc + 1)
+                              0 a.replies
+                          in
+                          if received >= Quorum.majority t.quorum then
+                            note_validated t a;
                           evaluate t a ~on_done
                         end));
                 finish ())))
@@ -195,7 +235,7 @@ let send_validates t a ~only_missing ~on_done =
 let rec arm_timer t a ~rto ~on_done =
   Engine.schedule t.cluster.Cluster.engine ~delay:rto (fun () ->
       if not a.decided then begin
-        t.cluster.Cluster.retransmits <- t.cluster.Cluster.retransmits + 1;
+        Cluster.note_retransmit t.cluster ~rto ~tid:a.client.Cluster.cid;
         let received = Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies in
         let ok =
           Array.fold_left
@@ -212,7 +252,7 @@ let rec arm_timer t a ~rto ~on_done =
           (* The fast path did not complete within the timeout (slow or
              crashed replicas): settle for the slow path with the
              majority in hand, per §5.2.2 step 4. *)
-          a.in_accept <- true;
+          enter_accept t a;
           send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_done
         end
         else send_validates t a ~only_missing:true ~on_done;
@@ -223,7 +263,11 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
   let ctx = t.cluster.Cluster.clients.(client) in
   let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
   let alive r = not (Replica.is_crashed t.replicas.(r)) in
+  let exec_started = Engine.now t.cluster.Cluster.engine in
   Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive (fun read_set _values ->
+      if Array.length req.reads > 0 then
+        Obs.span (Cluster.obs t.cluster) Span.Execute ~tid:ctx.Cluster.cid
+          ~start:exec_started ();
       let tid = Cluster.fresh_tid t.cluster ctx in
       let write_set =
         Array.to_list
@@ -239,8 +283,10 @@ let submit t ~client (req : Intf.txn_request) ~on_done =
           client = ctx;
           replies = Array.make t.cluster.Cluster.cfg.Cluster.n_replicas None;
           in_accept = false;
+          accept_started = Float.nan;
           accept_acks = 0;
           decided = false;
+          validated = false;
           fast_grace_armed = false;
         }
       in

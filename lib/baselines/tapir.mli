@@ -12,7 +12,7 @@
 
 type t
 
-val create : Mk_sim.Engine.t -> Mk_cluster.Cluster.config -> t
+val create : ?obs:Mk_obs.Obs.t -> Mk_sim.Engine.t -> Mk_cluster.Cluster.config -> t
 val name : t -> string
 val threads : t -> int
 
@@ -23,6 +23,7 @@ val submit :
   on_done:(committed:bool -> unit) ->
   unit
 
+val obs : t -> Mk_obs.Obs.t
 val counters : t -> Mk_model.System_intf.counters
 val server_busy_fraction : t -> float
 val read_committed : t -> replica:int -> key:int -> int option

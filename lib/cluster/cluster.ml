@@ -6,6 +6,7 @@ module Timestamp = Mk_clock.Timestamp
 module Sync_clock = Mk_clock.Sync_clock
 module Rng = Mk_util.Rng
 module Intf = Mk_model.System_intf
+module Obs = Mk_obs.Obs
 
 type config = {
   n_replicas : int;
@@ -47,14 +48,10 @@ type t = {
   cores : Core.t array array;
   clients : client array;
   rto : float;
-  mutable committed : int;
-  mutable aborted : int;
-  mutable fast_path : int;
-  mutable slow_path : int;
-  mutable retransmits : int;
+  obs : Obs.t;
 }
 
-let create engine cfg =
+let create ?obs engine cfg =
   if cfg.n_replicas < 1 || cfg.n_replicas mod 2 = 0 then
     invalid_arg "Cluster.create: n_replicas must be odd";
   let rng = Rng.split (Engine.rng engine) in
@@ -82,19 +79,34 @@ let create engine cfg =
      constant with exponential backoff serves the same purpose. *)
   let tr = cfg.transport in
   let rto = Float.max 500.0 (20.0 *. (tr.Transport.latency +. tr.Transport.jitter)) in
-  {
-    engine;
-    cfg;
-    net;
-    cores;
-    clients;
-    rto;
-    committed = 0;
-    aborted = 0;
-    fast_path = 0;
-    slow_path = 0;
-    retransmits = 0;
-  }
+  let obs =
+    match obs with
+    | Some obs -> obs
+    | None -> Obs.create ~clock:(fun () -> Engine.now engine) ()
+  in
+  Network.set_observer net (function
+    | `Sent -> Obs.note_send obs
+    | `Dropped -> Obs.note_drop obs);
+  if Obs.tracing obs then begin
+    (* Name the trace tracks and mirror each core's busy intervals;
+       wired only when tracing so idle runs pay nothing per job. *)
+    let tracer = Obs.tracer obs in
+    Mk_obs.Tracer.set_process_name tracer ~pid:Obs.client_pid "clients";
+    Mk_obs.Tracer.set_process_name tracer ~pid:Obs.net_pid "network";
+    Array.iteri
+      (fun r percore ->
+        let pid = Obs.replica_pid r in
+        Mk_obs.Tracer.set_process_name tracer ~pid (Printf.sprintf "replica %d" r);
+        Array.iteri
+          (fun c core ->
+            Mk_obs.Tracer.set_thread_name tracer ~pid ~tid:c
+              (Printf.sprintf "core %d" c);
+            Core.set_observer core (fun ~start ~finish ->
+                Obs.core_busy obs ~pid ~tid:c ~start ~finish))
+          percore)
+      cores
+  end;
+  { engine; cfg; net; cores; clients; rto; obs }
 
 let tx_cpu t = Network.tx_cpu t.net
 
@@ -109,18 +121,16 @@ let fresh_timestamp t client =
   client.last_time <- time;
   Timestamp.make ~time ~client_id:client.cid
 
-let counters t : Intf.counters =
-  {
-    committed = t.committed;
-    aborted = t.aborted;
-    fast_path = t.fast_path;
-    slow_path = t.slow_path;
-    retransmits = t.retransmits;
-  }
+let obs t = t.obs
+let counters t : Intf.counters = Intf.counters_of_obs t.obs
+let note_decision t ~committed ~fast = Obs.note_decision t.obs ~committed ~fast
 
-let note_decision t ~committed ~fast =
-  if committed then t.committed <- t.committed + 1 else t.aborted <- t.aborted + 1;
-  if fast then t.fast_path <- t.fast_path + 1 else t.slow_path <- t.slow_path + 1
+let note_retransmit t ~rto ~tid =
+  Obs.note_retransmit t.obs;
+  (* The span covers the wait that timed out: armed rto ago, fired
+     now. *)
+  let now = Engine.now t.engine in
+  Obs.span t.obs Mk_obs.Span.Retransmit ~tid ~start:(now -. rto) ~finish:now ()
 
 let pick_replica t client ~alive =
   let n = t.cfg.n_replicas in
@@ -157,7 +167,7 @@ let do_get t client ~key ~read ~alive k =
                     end));
         Engine.schedule t.engine ~delay:rto (fun () ->
             if not !answered then begin
-              t.retransmits <- t.retransmits + 1;
+              note_retransmit t ~rto ~tid:client.cid;
               answered := true;
               attempt ~rto:(rto *. 2.0)
             end)

@@ -39,23 +39,31 @@ type t = {
   cores : Mk_sim.Core.t array array;  (** [cores.(replica).(thread)]. *)
   clients : client array;
   rto : float;  (** Initial retransmission timeout, µs. *)
-  mutable committed : int;
-  mutable aborted : int;
-  mutable fast_path : int;
-  mutable slow_path : int;
-  mutable retransmits : int;
+  obs : Mk_obs.Obs.t;
+      (** Protocol counters, per-phase latencies and (optionally) the
+          span trace — see {!Mk_obs.Obs}. *)
 }
 
-val create : Mk_sim.Engine.t -> config -> t
+val create : ?obs:Mk_obs.Obs.t -> Mk_sim.Engine.t -> config -> t
+(** [?obs] injects a shared observability handle (e.g. one with
+    tracing enabled); by default the cluster creates its own with
+    tracing off. Either way the network and — when tracing — every
+    core is wired into it. *)
+
 val tx_cpu : t -> float
 
 val fresh_tid : t -> client -> Mk_clock.Timestamp.Tid.t
 val fresh_timestamp : t -> client -> Mk_clock.Timestamp.t
 (** Client-local clock reading, forced strictly monotone per client. *)
 
+val obs : t -> Mk_obs.Obs.t
 val counters : t -> Mk_model.System_intf.counters
 
 val note_decision : t -> committed:bool -> fast:bool -> unit
+
+val note_retransmit : t -> rto:float -> tid:int -> unit
+(** Count a retransmission and record a [Retransmit] span covering the
+    [rto] wait that just timed out, on client track [tid]. *)
 
 val do_get :
   t ->

@@ -13,6 +13,7 @@ type result = {
   fast_fraction : float;
   retransmits : int;
   busy : float;
+  phases : (Mk_obs.Span.kind * Mk_obs.Registry.histogram_summary) list;
 }
 
 let run ~engine ~system:(Intf.Packed ((module S), sys)) ~workload ~n_clients ~warmup
@@ -25,13 +26,17 @@ let run ~engine ~system:(Intf.Packed ((module S), sys)) ~workload ~n_clients ~wa
     let now = Engine.now engine in
     now >= warmup && now < horizon
   in
+  let obs = S.obs sys in
   let base_counters = ref Intf.zero_counters in
   let window_started = ref false in
-  (* Snapshot protocol counters when the window opens so fast-path
-     fractions and retransmit counts cover the window only. *)
+  (* Snapshot protocol counters (and reset the per-phase latency
+     histograms) when the window opens so fast-path fractions,
+     retransmit counts and the phase breakdown cover the window
+     only. *)
   Engine.schedule_at engine warmup (fun () ->
       window_started := true;
-      base_counters := S.counters sys);
+      base_counters := Intf.counters_of_obs obs;
+      Mk_obs.Obs.reset_phases obs);
   let rec client_loop c =
     if Engine.now engine < horizon then begin
       let req = Workload.next workload in
@@ -61,7 +66,7 @@ let run ~engine ~system:(Intf.Packed ((module S), sys)) ~workload ~n_clients ~wa
     client_loop c
   done;
   Engine.run ~until:horizon engine;
-  let counters = S.counters sys in
+  let counters = Intf.counters_of_obs obs in
   let base = !base_counters in
   let fast = counters.Intf.fast_path - base.Intf.fast_path in
   let slow = counters.Intf.slow_path - base.Intf.slow_path in
@@ -79,14 +84,40 @@ let run ~engine ~system:(Intf.Packed ((module S), sys)) ~workload ~n_clients ~wa
       (if decided = 0 then 1.0 else float_of_int fast /. float_of_int decided);
     retransmits = counters.Intf.retransmits - base.Intf.retransmits;
     busy = busy ();
+    phases = Mk_obs.Obs.phase_summary obs;
   }
 
+let pp_phases ppf phases =
+  let nonempty =
+    List.filter
+      (fun ((_ : Mk_obs.Span.kind), (s : Mk_obs.Registry.histogram_summary)) ->
+        s.Mk_obs.Registry.count > 0)
+      phases
+  in
+  Format.fprintf ppf "@[<v>phase %-14s %10s %10s %10s %10s" "" "n" "mean(us)"
+    "p50(us)" "p99(us)";
+  List.iter
+    (fun (kind, (s : Mk_obs.Registry.histogram_summary)) ->
+      Format.fprintf ppf "@,phase %-14s %10d %10.1f %10.1f %10.1f"
+        (Mk_obs.Span.to_string kind)
+        s.Mk_obs.Registry.count s.Mk_obs.Registry.mean s.Mk_obs.Registry.p50
+        s.Mk_obs.Registry.p99)
+    nonempty;
+  Format.fprintf ppf "@]"
+
 let pp_result ppf r =
+  Format.fprintf ppf "@[<v>";
   Format.fprintf ppf
     "goodput=%.3fM/s aborts=%.1f%% lat(mean/p50/p99)=%.1f/%.1f/%.1fus fast=%.1f%% \
      busy=%.2f"
     (r.goodput /. 1e6) (100.0 *. r.abort_rate) r.mean_latency r.p50_latency
-    r.p99_latency (100.0 *. r.fast_fraction) r.busy
+    r.p99_latency (100.0 *. r.fast_fraction) r.busy;
+  if List.exists
+       (fun (_, (s : Mk_obs.Registry.histogram_summary)) ->
+         s.Mk_obs.Registry.count > 0)
+       r.phases
+  then Format.fprintf ppf "@,%a" pp_phases r.phases;
+  Format.fprintf ppf "@]"
 
 let peak ~make ~workload ~ladder ~warmup ~measure =
   let best = ref None in

@@ -20,6 +20,10 @@ type result = {
   fast_fraction : float;  (** Fraction of decisions on the fast path. *)
   retransmits : int;
   busy : float;  (** Mean server-core utilization over the run. *)
+  phases : (Mk_obs.Span.kind * Mk_obs.Registry.histogram_summary) list;
+      (** Per-phase latency breakdown over the measurement window, one
+          entry per {!Mk_obs.Span.kind} (empty phases have
+          [count = 0]). *)
 }
 
 val run :
@@ -35,6 +39,13 @@ val run :
     engine must be freshly created together with the system. *)
 
 val pp_result : Format.formatter -> result -> unit
+(** One summary line, followed — when any phase was recorded — by the
+    per-phase n/mean/p50/p99 table. *)
+
+val pp_phases :
+  Format.formatter ->
+  (Mk_obs.Span.kind * Mk_obs.Registry.histogram_summary) list ->
+  unit
 
 val peak :
   make:

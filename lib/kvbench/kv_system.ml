@@ -6,6 +6,7 @@ module Transport = Mk_net.Transport
 module Costs = Mk_model.Costs
 module Intf = Mk_model.System_intf
 module Rng = Mk_util.Rng
+module Obs = Mk_obs.Obs
 
 type config = {
   threads : int;
@@ -34,24 +35,33 @@ type t = {
   table : (int, int) Hashtbl.t;
   counter : Resource.t option;
   rng : Rng.t;
+  obs : Obs.t;  (** Applied PUTs count as committed transactions. *)
   mutable counter_value : int;
-  mutable puts : int;
 }
 
-let create engine cfg =
+let create ?obs engine cfg =
   let rng = Rng.split (Engine.rng engine) in
+  let net = Network.create engine ~rng:(Rng.split rng) ~transport:cfg.transport in
+  let obs =
+    match obs with
+    | Some obs -> obs
+    | None -> Obs.create ~clock:(fun () -> Engine.now engine) ()
+  in
+  Network.set_observer net (function
+    | `Sent -> Obs.note_send obs
+    | `Dropped -> Obs.note_drop obs);
   {
     engine;
     cfg;
-    net = Network.create engine ~rng:(Rng.split rng) ~transport:cfg.transport;
+    net;
     cores = Array.init cfg.threads (fun id -> Core.create engine ~id);
     table = Hashtbl.create (max 16 cfg.keys);
     counter =
       (if cfg.atomic_counter then Some (Resource.create engine ~name:"put-counter")
        else None);
     rng;
+    obs;
     counter_value = 0;
-    puts = 0;
   }
 
 let name t =
@@ -77,7 +87,10 @@ let submit t ~client:_ (req : Intf.txn_request) ~on_done =
         Network.send_to_core t.net ~dst:core ~cost (fun ~finish ->
             let apply () =
               Hashtbl.replace t.table key value;
-              t.puts <- t.puts + 1;
+              (* No commit protocol here: a PUT is just a committed
+                 write, with no fast/slow classification. *)
+              Mk_obs.Registry.incr
+                (Mk_obs.Registry.counter (Obs.registry t.obs) "txn.committed");
               finish_one ();
               finish ()
             in
@@ -92,10 +105,12 @@ let submit t ~client:_ (req : Intf.txn_request) ~on_done =
                     apply ())))
       req.writes
 
-let counters t : Intf.counters =
-  { Intf.zero_counters with committed = t.puts }
+let obs t = t.obs
 
-let puts t = t.puts
+let counters t : Intf.counters =
+  { Intf.zero_counters with committed = Obs.counter_value t.obs "txn.committed" }
+
+let puts t = Obs.counter_value t.obs "txn.committed"
 let counter_value t = t.counter_value
 let get t ~key = Hashtbl.find_opt t.table key
 

@@ -23,7 +23,7 @@ val default_config : config
 
 type t
 
-val create : Mk_sim.Engine.t -> config -> t
+val create : ?obs:Mk_obs.Obs.t -> Mk_sim.Engine.t -> config -> t
 val name : t -> string
 val threads : t -> int
 
@@ -33,6 +33,7 @@ val submit :
     arrives after the last PUT completes. Reads are ignored (the
     Fig. 1 workload is PUT-only). Always commits. *)
 
+val obs : t -> Mk_obs.Obs.t
 val counters : t -> Mk_model.System_intf.counters
 val puts : t -> int
 val counter_value : t -> int

@@ -3,27 +3,33 @@ module Intf = Mk_model.System_intf
 module Timestamp = Mk_clock.Timestamp
 module Txn = Mk_storage.Txn
 module Cluster = Mk_cluster.Cluster
+module Obs = Mk_obs.Obs
+module Registry = Mk_obs.Registry
 
 type t = {
   engine : Engine.t;
+  obs : Obs.t;  (** Shared with every group, so the per-phase
+                    histograms and retransmit counts aggregate across
+                    partitions. *)
   groups : Sim_system.t array;
-  mutable committed : int;
-  mutable aborted : int;
-  mutable fast_path : int;
-  mutable slow_path : int;
 }
 
-let create engine ~partitions cfg =
+let create ?obs engine ~partitions cfg =
   if partitions < 1 then invalid_arg "Sharded.create: partitions must be >= 1";
+  let obs =
+    match obs with
+    | Some obs -> obs
+    | None -> Obs.create ~clock:(fun () -> Engine.now engine) ()
+  in
   (* Each group preloads the local images of its keys: global key k
      lives in group (k mod partitions) as local key (k / partitions). *)
   let local_keys = ((cfg.Cluster.keys - 1) / partitions) + 1 in
   let groups =
     Array.init partitions (fun p ->
-        Sim_system.create engine
+        Sim_system.create ~obs engine
           { cfg with Cluster.keys = local_keys; seed = cfg.Cluster.seed + p })
   in
-  { engine; groups; committed = 0; aborted = 0; fast_path = 0; slow_path = 0 }
+  { engine; obs; groups }
 
 let partitions t = Array.length t.groups
 let partition_of_key t key = key mod Array.length t.groups
@@ -32,19 +38,17 @@ let group t p = t.groups.(p)
 let name t = Printf.sprintf "MEERKAT-%dP" (Array.length t.groups)
 let threads t = Sim_system.threads t.groups.(0)
 
-let counters t : Intf.counters =
-  let retransmits =
-    Array.fold_left
-      (fun acc g -> acc + (Sim_system.counters g).Intf.retransmits)
-      0 t.groups
-  in
-  {
-    committed = t.committed;
-    aborted = t.aborted;
-    fast_path = t.fast_path;
-    slow_path = t.slow_path;
-    retransmits;
-  }
+let obs t = t.obs
+let counters t : Intf.counters = Intf.counters_of_obs t.obs
+
+(* The global outcome is a conjunction of per-partition decisions, so
+   it has no fast/slow classification of its own: only
+   committed/aborted move here (the sub-attempts run with
+   [count_stats:false]). *)
+let note_outcome t ~committed =
+  Registry.incr
+    (Registry.counter (Obs.registry t.obs)
+       (if committed then "txn.committed" else "txn.aborted"))
 
 let submit_gen t ~client ~reads ~mk_writes ~on_done =
   let nreads = Array.length reads in
@@ -67,7 +71,10 @@ let submit_gen t ~client ~reads ~mk_writes ~on_done =
           exec (i + 1) k)
     end
   in
+  let exec_started = Engine.now t.engine in
   exec 0 (fun () ->
+      if nreads > 0 then
+        Obs.span t.obs Mk_obs.Span.Execute ~tid:client ~start:exec_started ();
       let writes : (int * int) array = mk_writes values in
       (* One global tid and timestamp for all partitions: the
          serialization point must be the same everywhere. *)
@@ -97,7 +104,7 @@ let submit_gen t ~client ~reads ~mk_writes ~on_done =
       let sub_txns = List.map (fun p -> (p, sub_txn p)) parts in
       if sub_txns = [] then begin
         (* Empty transaction: trivially committed. *)
-        t.committed <- t.committed + 1;
+        note_outcome t ~committed:true;
         on_done ~committed:true
       end
       else begin
@@ -110,8 +117,7 @@ let submit_gen t ~client ~reads ~mk_writes ~on_done =
                 decr pending;
                 if !pending = 0 then begin
                   let commit = !all_commit in
-                  if commit then t.committed <- t.committed + 1
-                  else t.aborted <- t.aborted + 1;
+                  note_outcome t ~committed:commit;
                   List.iter
                     (fun (p, txn) ->
                       Sim_system.finalize_txn t.groups.(p) ~txn ~ts ~commit)

@@ -16,10 +16,16 @@
 type t
 
 val create :
-  Mk_sim.Engine.t -> partitions:int -> Mk_cluster.Cluster.config -> t
+  ?obs:Mk_obs.Obs.t ->
+  Mk_sim.Engine.t ->
+  partitions:int ->
+  Mk_cluster.Cluster.config ->
+  t
 (** [create engine ~partitions cfg] builds [partitions] independent
     Meerkat groups. [cfg.keys] is the {e global} keyspace size;
-    partition p owns the keys congruent to p. *)
+    partition p owns the keys congruent to p. The observability handle
+    (given or created) is shared with every group, so phase histograms
+    and counters aggregate across partitions. *)
 
 val partitions : t -> int
 val partition_of_key : t -> int -> int
@@ -46,6 +52,7 @@ val submit_interactive :
     {!Sim_system.submit_interactive}); the conjunction of per-partition
     validations guarantees atomicity. *)
 
+val obs : t -> Mk_obs.Obs.t
 val counters : t -> Mk_model.System_intf.counters
 val server_busy_fraction : t -> float
 

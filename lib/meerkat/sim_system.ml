@@ -5,6 +5,8 @@ module Intf = Mk_model.System_intf
 module Timestamp = Mk_clock.Timestamp
 module Txn = Mk_storage.Txn
 module Cluster = Mk_cluster.Cluster
+module Obs = Mk_obs.Obs
+module Span = Mk_obs.Span
 
 type config = Cluster.config = {
   n_replicas : int;
@@ -26,8 +28,8 @@ type t = {
   replicas : Replica.t array;
 }
 
-let create engine cfg =
-  let cluster = Cluster.create engine cfg in
+let create ?obs engine cfg =
+  let cluster = Cluster.create ?obs engine cfg in
   let quorum = Quorum.create ~n:cfg.n_replicas in
   let replicas =
     Array.init cfg.n_replicas (fun id ->
@@ -46,6 +48,7 @@ let config t = t.cluster.Cluster.cfg
 let replicas t = t.replicas
 let name _ = "MEERKAT"
 let threads t = t.cluster.Cluster.cfg.threads
+let obs t = Cluster.obs t.cluster
 let counters t = Cluster.counters t.cluster
 let net t = t.cluster.Cluster.net
 let costs t = t.cluster.Cluster.cfg.costs
@@ -58,11 +61,19 @@ type attempt = {
   txn : Txn.t;
   ts : Timestamp.t;
   core_id : int;
+  track : int;
+      (** Trace track (client id, from the tid) lifecycle spans land
+          on. *)
   started : Engine.time;
   replies : Txn.status option array;
   mutable in_accept : bool;
+  mutable accept_started : Engine.time;
+      (** When the slow path was first entered; NaN before that. *)
   mutable accept_acks : int;
   mutable decided : bool;
+  mutable validated : bool;
+      (** Whether the validation span has been closed (a majority of
+          validation replies arrived, or the attempt moved on). *)
   mutable fast_grace_armed : bool;
       (** A short timer started once a majority has replied: if the
           fast quorum does not complete within a few RTTs (slow or
@@ -73,16 +84,39 @@ type attempt = {
           does its own accounting (§5.2.4). *)
 }
 
+(* Close the validation span: from the attempt's start to the moment a
+   majority of validation replies is in hand (or the attempt moved on
+   to a decision / the slow path without one, e.g. learning a
+   finalized status from a retransmission). *)
+let note_validated t a =
+  if not a.validated then begin
+    a.validated <- true;
+    Obs.span (obs t) Span.Validate ~tid:a.track ~start:a.started ()
+  end
+
+(* First entry into the slow path (§5.2.2 step 4). Retransmissions of
+   the accept round keep the original [accept_started], so the
+   slow-accept span covers the whole round including retries. *)
+let enter_accept t a =
+  a.in_accept <- true;
+  note_validated t a;
+  if Float.is_nan a.accept_started then a.accept_started <- Engine.now (engine t)
+
 let broadcast_commit t a ~commit =
   let nwrites = if commit then Array.length a.txn.Txn.write_set else 0 in
   let cost = Costs.commit (costs t) ~nwrites in
+  let sent_at = Engine.now (engine t) in
   Array.iteri
     (fun r replica ->
       if not (Replica.is_crashed replica) then
         Network.send_work_to_core (net t) ~dst:(core t r a.core_id) ~cost (fun () ->
             ignore
               (Replica.handle_commit replica ~core:a.core_id ~txn:a.txn ~ts:a.ts
-                 ~commit)))
+                 ~commit);
+            (* Write-back latency as seen by replica [r]: from the
+               asynchronous commit broadcast to the local apply. *)
+            Obs.span (obs t) Span.Write_back ~pid:(Obs.replica_pid r)
+              ~tid:a.core_id ~start:sent_at ()))
     t.replicas
 
 (* The decision is reached: stop the attempt and report. The caller's
@@ -92,6 +126,10 @@ let broadcast_commit t a ~commit =
 let decide t a ~commit ~fast ~on_decided =
   if not a.decided then begin
     a.decided <- true;
+    note_validated t a;
+    if fast then Obs.span (obs t) Span.Fast_quorum ~tid:a.track ~start:a.started ()
+    else if not (Float.is_nan a.accept_started) then
+      Obs.span (obs t) Span.Slow_accept ~tid:a.track ~start:a.accept_started ();
     if a.count_stats then Cluster.note_decision t.cluster ~committed:commit ~fast;
     on_decided ~commit ~fast
   end
@@ -141,7 +179,7 @@ let received t a =
 
 let go_slow t a ~on_decided =
   if (not a.decided) && not a.in_accept then begin
-    a.in_accept <- true;
+    enter_accept t a;
     send_accepts t a ~commit:(majority_ok t a) ~on_decided
   end
 
@@ -176,7 +214,7 @@ let evaluate t a ~on_decided =
     | Decision.Slow commit ->
         if not a.in_accept then begin
           (* Fast path impossible: slow path (§5.2.2 step 4). *)
-          a.in_accept <- true;
+          enter_accept t a;
           send_accepts t a ~commit ~on_decided
         end
   end
@@ -199,6 +237,8 @@ let send_validates t a ~only_missing ~on_decided =
                 Network.send_to_client (net t) (fun () ->
                     if a.replies.(r) = None then begin
                       a.replies.(r) <- Some st;
+                      if received t a >= Quorum.majority t.quorum then
+                        note_validated t a;
                       evaluate t a ~on_decided
                     end));
             finish ()))
@@ -207,7 +247,7 @@ let send_validates t a ~only_missing ~on_decided =
 let rec arm_timer t a ~rto ~on_decided =
   Engine.schedule (engine t) ~delay:rto (fun () ->
       if not a.decided then begin
-        t.cluster.Cluster.retransmits <- t.cluster.Cluster.retransmits + 1;
+        Cluster.note_retransmit t.cluster ~rto ~tid:a.track;
         let received = Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies in
         let ok =
           Array.fold_left
@@ -224,7 +264,7 @@ let rec arm_timer t a ~rto ~on_decided =
           (* The fast path did not complete within the timeout (slow or
              crashed replicas): settle for the slow path with the
              majority in hand, per §5.2.2 step 4. *)
-          a.in_accept <- true;
+          enter_accept t a;
           send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_decided
         end
         else send_validates t a ~only_missing:true ~on_decided;
@@ -238,11 +278,14 @@ let start_attempt t ~txn ~ts ~count_stats ~on_decided =
       txn;
       ts;
       core_id;
+      track = txn.Txn.tid.Timestamp.Tid.client_id;
       started = Engine.now (engine t);
       replies = Array.make (Array.length t.replicas) None;
       in_accept = false;
+      accept_started = Float.nan;
       accept_acks = 0;
       decided = false;
+      validated = false;
       fast_grace_armed = false;
       count_stats;
     }
@@ -257,11 +300,14 @@ let finalize_txn t ~txn ~ts ~commit =
       txn;
       ts;
       core_id = Timestamp.Tid.hash txn.Txn.tid mod threads t;
+      track = txn.Txn.tid.Timestamp.Tid.client_id;
       started = 0.0;
       replies = [||];
       in_accept = false;
+      accept_started = Float.nan;
       accept_acks = 0;
       decided = true;
+      validated = true;
       fast_grace_armed = true;
       count_stats = false;
     }
@@ -305,18 +351,27 @@ let commit_txn t client ~read_set ~writes ~on_done =
   in
   a := Some attempt
 
+(* Interactive execute phase (client-side GETs), bracketed by an
+   [Execute] span on the client's track. Write-only transactions have
+   no execute phase, so no span. *)
+let execute_phase t ctx ~keys k =
+  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
+  let started = Engine.now (engine t) in
+  Cluster.execute_reads t.cluster ctx ~keys ~read ~alive:(alive t)
+    (fun read_set values ->
+      if Array.length keys > 0 then
+        Obs.span (Cluster.obs t.cluster) Span.Execute ~tid:ctx.Cluster.cid
+          ~start:started ();
+      k read_set values)
+
 let submit t ~client (req : Intf.txn_request) ~on_done =
   let ctx = t.cluster.Cluster.clients.(client) in
-  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
-  Cluster.execute_reads t.cluster ctx ~keys:req.reads ~read ~alive:(alive t)
-    (fun read_set _values ->
+  execute_phase t ctx ~keys:req.reads (fun read_set _values ->
       commit_txn t ctx ~read_set ~writes:(Array.to_list req.writes) ~on_done)
 
 let submit_interactive t ~client ~reads ~compute ~on_done =
   let ctx = t.cluster.Cluster.clients.(client) in
-  let read ~replica ~key = Replica.handle_get t.replicas.(replica) ~key in
-  Cluster.execute_reads t.cluster ctx ~keys:reads ~read ~alive:(alive t)
-    (fun read_set values ->
+  execute_phase t ctx ~keys:reads (fun read_set values ->
       let writes = Array.to_list (compute values) in
       commit_txn t ctx ~read_set ~writes ~on_done)
 

@@ -25,7 +25,11 @@ type config = Mk_cluster.Cluster.config = {
 
 val default_config : config
 
-val create : Mk_sim.Engine.t -> config -> t
+val create : ?obs:Mk_obs.Obs.t -> Mk_sim.Engine.t -> config -> t
+(** [?obs] injects the observability handle (see
+    {!Mk_cluster.Cluster.create}); defaults to a fresh one with
+    tracing off. *)
+
 val engine : t -> Mk_sim.Engine.t
 val config : t -> config
 val replicas : t -> Replica.t array
@@ -39,6 +43,7 @@ val submit :
   on_done:(committed:bool -> unit) ->
   unit
 
+val obs : t -> Mk_obs.Obs.t
 val counters : t -> Mk_model.System_intf.counters
 
 val submit_interactive :

@@ -10,7 +10,10 @@
 
 type txn_request = { reads : int array; writes : (int * int) array }
 
-(** Per-run protocol counters, aggregated across replicas. *)
+(** Per-run protocol counters, aggregated across replicas. Derived
+    from the system's metrics registry (see {!counters_of_obs}); kept
+    as a plain record so harness code can snapshot and diff windows
+    cheaply. *)
 type counters = {
   committed : int;
   aborted : int;
@@ -34,10 +37,26 @@ module type SYSTEM = sig
       [on_done] fires exactly once, when the coordinator learns the
       outcome. *)
 
-  val counters : t -> counters
+  val obs : t -> Mk_obs.Obs.t
+  (** The system's observability handle: protocol counters, per-phase
+      latency histograms, and (when enabled) the span trace all live
+      here — one reporting API for every prototype. *)
 end
 
 type packed = Packed : (module SYSTEM with type t = 'a) * 'a -> packed
 
 let zero_counters =
   { committed = 0; aborted = 0; fast_path = 0; slow_path = 0; retransmits = 0 }
+
+(* The five standard instrument names every system's registry carries
+   (pre-created by {!Mk_obs.Obs.create}). *)
+let counters_of_obs obs =
+  {
+    committed = Mk_obs.Obs.counter_value obs "txn.committed";
+    aborted = Mk_obs.Obs.counter_value obs "txn.aborted";
+    fast_path = Mk_obs.Obs.counter_value obs "txn.fast_path";
+    slow_path = Mk_obs.Obs.counter_value obs "txn.slow_path";
+    retransmits = Mk_obs.Obs.counter_value obs "net.retransmits";
+  }
+
+let counters_of_packed (Packed ((module S), sys)) = counters_of_obs (S.obs sys)

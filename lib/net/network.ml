@@ -4,9 +4,15 @@ type t = {
   transport : Transport.t;
   mutable sent : int;
   mutable dropped : int;
+  mutable observer : ([ `Sent | `Dropped ] -> unit) option;
 }
 
-let create engine ~rng ~transport = { engine; rng; transport; sent = 0; dropped = 0 }
+let create engine ~rng ~transport =
+  { engine; rng; transport; sent = 0; dropped = 0; observer = None }
+
+let set_observer t f = t.observer <- Some f
+
+let notify t ev = match t.observer with Some f -> f ev | None -> ()
 let engine t = t.engine
 let transport t = t.transport
 let tx_cpu t = t.transport.Transport.tx_cpu
@@ -25,7 +31,11 @@ let dropped t =
 
 let send_to_core t ~dst ~cost body =
   t.sent <- t.sent + 1;
-  if dropped t then t.dropped <- t.dropped + 1
+  notify t `Sent;
+  if dropped t then begin
+    t.dropped <- t.dropped + 1;
+    notify t `Dropped
+  end
   else begin
     let cost = t.transport.Transport.rx_cpu +. cost in
     Mk_sim.Engine.schedule t.engine ~delay:(delay t) (fun () ->
@@ -39,7 +49,11 @@ let send_work_to_core t ~dst ~cost k =
 
 let send_to_client t k =
   t.sent <- t.sent + 1;
-  if dropped t then t.dropped <- t.dropped + 1
+  notify t `Sent;
+  if dropped t then begin
+    t.dropped <- t.dropped + 1;
+    notify t `Dropped
+  end
   else Mk_sim.Engine.schedule t.engine ~delay:(delay t) k
 
 let messages_sent t = t.sent

@@ -39,3 +39,9 @@ val send_to_client : t -> (unit -> unit) -> unit
 
 val messages_sent : t -> int
 val messages_dropped : t -> int
+
+val set_observer : t -> ([ `Sent | `Dropped ] -> unit) -> unit
+(** Register a callback fired on every message send and on every drop
+    (a dropped message fires both, [`Sent] then [`Dropped]). Used by
+    the observability layer to mirror traffic into its registry and
+    trace; at most one observer, the last registration wins. *)

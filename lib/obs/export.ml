@@ -1,0 +1,104 @@
+(* Exporters: Chrome trace_event JSON (load in chrome://tracing or
+   https://ui.perfetto.dev) and the plain-text metrics dump.
+
+   JSON is written by hand — the repo carries no JSON dependency and
+   the trace_event format needs only objects of scalars. All floats
+   print with a fixed format so traces are byte-stable across runs. *)
+
+let buf_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* Sim time is in microseconds, exactly the unit trace_event wants for
+   "ts"/"dur". Three decimals = nanosecond resolution. *)
+let buf_time b v = Buffer.add_string b (Printf.sprintf "%.3f" v)
+
+let buf_arg b = function
+  | Tracer.Str s -> buf_json_string b s
+  | Tracer.Int i -> Buffer.add_string b (string_of_int i)
+  | Tracer.Float f -> Buffer.add_string b (Printf.sprintf "%.6g" f)
+
+let buf_args b args =
+  Buffer.add_string b "\"args\":{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      buf_json_string b k;
+      Buffer.add_char b ':';
+      buf_arg b v)
+    args;
+  Buffer.add_char b '}'
+
+let buf_event b (ev : Tracer.event) =
+  let common ph =
+    Buffer.add_string b "{\"name\":";
+    buf_json_string b ev.Tracer.name;
+    Buffer.add_string b ",\"cat\":";
+    buf_json_string b ev.Tracer.cat;
+    Buffer.add_string b (Printf.sprintf ",\"ph\":\"%s\",\"ts\":" ph);
+    buf_time b ev.Tracer.ts;
+    Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" ev.Tracer.pid ev.Tracer.tid)
+  in
+  (match ev.Tracer.phase with
+  | Tracer.Complete dur ->
+      common "X";
+      Buffer.add_string b ",\"dur\":";
+      buf_time b dur;
+      if ev.Tracer.args <> [] then begin
+        Buffer.add_char b ',';
+        buf_args b ev.Tracer.args
+      end
+  | Tracer.Begin ->
+      common "B";
+      if ev.Tracer.args <> [] then begin
+        Buffer.add_char b ',';
+        buf_args b ev.Tracer.args
+      end
+  | Tracer.End -> common "E"
+  | Tracer.Instant ->
+      common "i";
+      Buffer.add_string b ",\"s\":\"t\"";
+      if ev.Tracer.args <> [] then begin
+        Buffer.add_char b ',';
+        buf_args b ev.Tracer.args
+      end
+  | Tracer.Counter v ->
+      common "C";
+      Buffer.add_char b ',';
+      buf_args b [ ("value", Tracer.Float v) ]
+  | Tracer.Metadata value ->
+      common "M";
+      Buffer.add_char b ',';
+      buf_args b [ ("name", Tracer.Str value) ]);
+  Buffer.add_char b '}'
+
+let chrome_trace tracer =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n";
+      buf_event b ev)
+    (Tracer.events tracer);
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_chrome_trace tracer ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace tracer))
+
+let metrics_dump registry = Format.asprintf "%a" Registry.pp registry

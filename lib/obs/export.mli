@@ -1,0 +1,15 @@
+(** Exporters for the observability subsystem.
+
+    {!chrome_trace} renders a tracer's events in Chrome trace_event
+    JSON — open the file in [chrome://tracing] or Perfetto
+    ([https://ui.perfetto.dev]) to see the per-core and per-client
+    timelines. All numbers print with fixed formats, so traces from
+    identical seeds are byte-identical. *)
+
+val chrome_trace : Tracer.t -> string
+(** The full trace as a JSON document ({["traceEvents"]} form). *)
+
+val write_chrome_trace : Tracer.t -> path:string -> unit
+
+val metrics_dump : Registry.t -> string
+(** Plain-text snapshot of every instrument, sorted by name. *)

@@ -1,0 +1,101 @@
+(* The per-system observability handle: one registry, one tracer, and
+   a flat array of per-phase latency histograms indexed by Span.kind.
+
+   Protocol counters (committed/aborted/fast/slow/retransmits) are
+   pre-created here so every system increments the same five
+   instruments through one code path — this is the single home of the
+   bookkeeping that used to be duplicated across Cluster, Sharded and
+   the baselines. *)
+
+type t = {
+  registry : Registry.t;
+  tracer : Tracer.t;
+  clock : unit -> float;
+  phases : Mk_util.Histogram.t array;  (* indexed by Span.index *)
+  committed : Registry.counter;
+  aborted : Registry.counter;
+  fast_path : Registry.counter;
+  slow_path : Registry.counter;
+  retransmits : Registry.counter;
+  sent : Registry.counter;
+  dropped : Registry.counter;
+}
+
+(* Track layout of the exported trace. *)
+let client_pid = 0
+let replica_pid r = 1 + r
+let net_pid = 99
+
+let create ?(trace = false) ~clock () =
+  let registry = Registry.create () in
+  {
+    registry;
+    tracer = Tracer.create ~enabled:trace ~clock ();
+    clock;
+    phases = Array.init Span.count (fun _ -> Mk_util.Histogram.create ());
+    committed = Registry.counter registry "txn.committed";
+    aborted = Registry.counter registry "txn.aborted";
+    fast_path = Registry.counter registry "txn.fast_path";
+    slow_path = Registry.counter registry "txn.slow_path";
+    retransmits = Registry.counter registry "net.retransmits";
+    sent = Registry.counter registry "net.sent";
+    dropped = Registry.counter registry "net.dropped";
+  }
+
+let registry t = t.registry
+let tracer t = t.tracer
+let now t = t.clock ()
+let tracing t = Tracer.enabled t.tracer
+
+(* --- Protocol counters (the one increment path). --- *)
+
+let note_decision t ~committed ~fast =
+  Registry.incr (if committed then t.committed else t.aborted);
+  Registry.incr (if fast then t.fast_path else t.slow_path)
+
+let note_retransmit t = Registry.incr t.retransmits
+let note_send t = Registry.incr t.sent
+
+let note_drop t =
+  Registry.incr t.dropped;
+  Tracer.instant t.tracer ~cat:"net" ~name:"msg.drop" ~pid:net_pid ~tid:0 ()
+
+let counter_value t name = Registry.value (Registry.counter t.registry name)
+
+(* --- Lifecycle spans. --- *)
+
+let span t kind ?(pid = client_pid) ?(tid = 0) ?args ~start ?finish () =
+  let finish = match finish with Some f -> f | None -> t.clock () in
+  let dur = finish -. start in
+  let dur = if dur < 0.0 then 0.0 else dur in
+  Mk_util.Histogram.add t.phases.(Span.index kind) dur;
+  Tracer.complete t.tracer ?args ~name:(Span.to_string kind) ~pid ~tid ~start ~finish
+    ()
+
+let core_busy t ~pid ~tid ~start ~finish =
+  Tracer.complete t.tracer ~cat:"core" ~name:"busy" ~pid ~tid ~start ~finish ()
+
+let phase_histogram t kind = t.phases.(Span.index kind)
+
+let phase_summary t =
+  List.map (fun kind -> (kind, Registry.summarize t.phases.(Span.index kind))) Span.all
+
+let reset_phases t =
+  Array.iteri (fun i _ -> t.phases.(i) <- Mk_util.Histogram.create ()) t.phases
+
+(* --- Reports. --- *)
+
+let metrics_dump t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Export.metrics_dump t.registry);
+  List.iter
+    (fun (kind, (s : Registry.histogram_summary)) ->
+      Buffer.add_string b
+        (Printf.sprintf "phase   %-28s n=%d mean=%.2f p50=%.2f p99=%.2f\n"
+           (Span.to_string kind) s.Registry.count s.Registry.mean s.Registry.p50
+           s.Registry.p99))
+    (phase_summary t);
+  Buffer.contents b
+
+let chrome_trace t = Export.chrome_trace t.tracer
+let write_chrome_trace t ~path = Export.write_chrome_trace t.tracer ~path

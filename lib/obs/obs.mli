@@ -1,0 +1,78 @@
+(** Per-system observability handle: metrics registry + span tracer +
+    per-phase latency histograms.
+
+    Every simulated system carries one of these. Protocol counters and
+    lifecycle spans all flow through it; the harness reads the
+    per-phase breakdown from it, and the exporters turn it into a
+    Chrome trace and a metrics dump. Tracing is off by default and
+    every span call is a cheap no-op then; the registry and phase
+    histograms are always live (they are what the benchmark reports
+    are built from). *)
+
+type t
+
+val create : ?trace:bool -> clock:(unit -> float) -> unit -> t
+(** [clock] supplies timestamps — in this repo always
+    [fun () -> Engine.now engine], so all times are simulated
+    microseconds. *)
+
+val registry : t -> Registry.t
+val tracer : t -> Tracer.t
+val now : t -> float
+val tracing : t -> bool
+
+(** {2 Trace track layout} *)
+
+val client_pid : int
+(** Track of client-side lifecycle spans; [tid] = client id. *)
+
+val replica_pid : int -> int
+(** Track of replica [r]; [tid] = core index. *)
+
+val net_pid : int
+(** Track of network events (drops). *)
+
+(** {2 Protocol counters — the single increment path} *)
+
+val note_decision : t -> committed:bool -> fast:bool -> unit
+val note_retransmit : t -> unit
+val note_send : t -> unit
+val note_drop : t -> unit
+
+val counter_value : t -> string -> int
+(** Current value of the named counter (0 if never incremented). *)
+
+(** {2 Lifecycle spans} *)
+
+val span :
+  t ->
+  Span.kind ->
+  ?pid:int ->
+  ?tid:int ->
+  ?args:(string * Tracer.arg) list ->
+  start:float ->
+  ?finish:float ->
+  unit ->
+  unit
+(** Record one completed phase: always feeds the per-kind histogram,
+    and also emits a trace span when tracing is on. [finish] defaults
+    to the clock now. *)
+
+val core_busy : t -> pid:int -> tid:int -> start:float -> finish:float -> unit
+(** Trace-only busy interval of a server core (idle time is the gap
+    between busy spans). *)
+
+val phase_histogram : t -> Span.kind -> Mk_util.Histogram.t
+
+val phase_summary : t -> (Span.kind * Registry.histogram_summary) list
+(** One entry per {!Span.kind}, in {!Span.all} order. *)
+
+val reset_phases : t -> unit
+(** Forget phase latencies recorded so far (the harness calls this
+    when the measurement window opens). *)
+
+(** {2 Reports} *)
+
+val metrics_dump : t -> string
+val chrome_trace : t -> string
+val write_chrome_trace : t -> path:string -> unit

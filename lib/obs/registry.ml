@@ -1,0 +1,92 @@
+(* Named instruments behind stable handles: looking an instrument up
+   costs a list scan, but call sites do that once at construction and
+   then increment through the handle, so the hot path is a plain field
+   write. Instrument lists keep creation order; snapshots sort by name
+   so dumps are deterministic regardless of wiring order. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+type histogram = { h_name : string; h : Mk_util.Histogram.t }
+
+type t = {
+  mutable counters : counter list;  (* newest first *)
+  mutable gauges : gauge list;
+  mutable histograms : histogram list;
+}
+
+let create () = { counters = []; gauges = []; histograms = [] }
+
+let counter t name =
+  match List.find_opt (fun c -> c.c_name = name) t.counters with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      t.counters <- c :: t.counters;
+      c
+
+let gauge t name =
+  match List.find_opt (fun g -> g.g_name = name) t.gauges with
+  | Some g -> g
+  | None ->
+      let g = { g_name = name; g_value = 0.0 } in
+      t.gauges <- g :: t.gauges;
+      g
+
+let histogram t name =
+  match List.find_opt (fun h -> h.h_name = name) t.histograms with
+  | Some h -> h.h
+  | None ->
+      let h = Mk_util.Histogram.create () in
+      t.histograms <- { h_name = name; h } :: t.histograms;
+      h
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let value c = c.c_value
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+let observe h v = Mk_util.Histogram.add h v
+
+type histogram_summary = { count : int; mean : float; p50 : float; p99 : float }
+
+let summarize h =
+  let count = Mk_util.Histogram.count h in
+  {
+    count;
+    mean = (if count = 0 then 0.0 else Mk_util.Histogram.mean h);
+    p50 = Mk_util.Histogram.percentile h 50.0;
+    p99 = Mk_util.Histogram.percentile h 99.0;
+  }
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_summary) list;
+}
+
+let by_name name_of a b = compare (name_of a) (name_of b)
+
+let snapshot (t : t) =
+  {
+    counters =
+      List.sort (by_name fst)
+        (List.map (fun c -> (c.c_name, c.c_value)) t.counters);
+    gauges =
+      List.sort (by_name fst) (List.map (fun g -> (g.g_name, g.g_value)) t.gauges);
+    histograms =
+      List.sort (by_name fst)
+        (List.map (fun h -> (h.h_name, summarize h.h)) t.histograms);
+  }
+
+let pp_snapshot ppf s =
+  List.iter (fun (name, v) -> Format.fprintf ppf "counter %-28s %d@." name v) s.counters;
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "gauge   %-28s %.3f@." name v)
+    s.gauges;
+  List.iter
+    (fun (name, (h : histogram_summary)) ->
+      Format.fprintf ppf "histo   %-28s n=%d mean=%.2f p50=%.2f p99=%.2f@." name
+        h.count h.mean h.p50 h.p99)
+    s.histograms
+
+let pp ppf t = pp_snapshot ppf (snapshot t)

@@ -1,0 +1,45 @@
+(** Metrics registry: named counters, gauges, and histograms.
+
+    Instruments are found-or-created by name and then driven through
+    their handle, so the recording path is a single field write (or a
+    {!Mk_util.Histogram.add}); snapshots are sorted by name and hence
+    deterministic. One registry per simulated system replaces the
+    ad-hoc mutable counter fields that each prototype used to carry. *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find or create the counter named [name]. *)
+
+val gauge : t -> string -> gauge
+val histogram : t -> string -> Mk_util.Histogram.t
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+val observe : Mk_util.Histogram.t -> float -> unit
+
+type histogram_summary = { count : int; mean : float; p50 : float; p99 : float }
+
+val summarize : Mk_util.Histogram.t -> histogram_summary
+(** Empty histograms summarize to all-zero (no NaNs in reports). *)
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_summary) list;
+}
+
+val snapshot : t -> snapshot
+(** Sorted by instrument name: deterministic across runs. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+val pp : Format.formatter -> t -> unit
+(** The plain-text metrics dump behind [--metrics]. *)

@@ -1,0 +1,33 @@
+(* The span taxonomy: one kind per phase of the transaction lifecycle
+   (Alg. 1 / §5.2 of the paper). Fixed and closed so per-kind
+   histograms can live in a flat array with no hashing on the hot
+   path. *)
+
+type kind =
+  | Execute  (** Interactive read phase: client GETs, one key at a time. *)
+  | Validate  (** Validation round: broadcast to decision or accept entry. *)
+  | Fast_quorum  (** Whole commit decided on the fast path (§5.2.2 step 3). *)
+  | Slow_accept  (** Accept round of the slow path (§5.2.2 step 4). *)
+  | Write_back  (** Asynchronous commit/abort application at a replica. *)
+  | Retransmit  (** A retransmission timer fired before the decision. *)
+
+let all = [ Execute; Validate; Fast_quorum; Slow_accept; Write_back; Retransmit ]
+let count = List.length all
+
+let index = function
+  | Execute -> 0
+  | Validate -> 1
+  | Fast_quorum -> 2
+  | Slow_accept -> 3
+  | Write_back -> 4
+  | Retransmit -> 5
+
+let to_string = function
+  | Execute -> "execute"
+  | Validate -> "validate"
+  | Fast_quorum -> "fast-quorum"
+  | Slow_accept -> "slow-accept"
+  | Write_back -> "write-back"
+  | Retransmit -> "retransmit"
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

@@ -1,0 +1,24 @@
+(** The span taxonomy of the transaction lifecycle.
+
+    Each kind names one phase of the commit protocol as the paper
+    describes it (Alg. 1 / §5.2); the tracer and the per-phase latency
+    breakdown in the harness both key on these. *)
+
+type kind =
+  | Execute  (** Interactive read phase: client GETs, one key at a time. *)
+  | Validate  (** Validation round: broadcast to decision or accept entry. *)
+  | Fast_quorum  (** Whole commit decided on the fast path (§5.2.2 step 3). *)
+  | Slow_accept  (** Accept round of the slow path (§5.2.2 step 4). *)
+  | Write_back  (** Asynchronous commit/abort application at a replica. *)
+  | Retransmit  (** A retransmission timer fired before the decision. *)
+
+val all : kind list
+(** In [index] order. *)
+
+val count : int
+
+val index : kind -> int
+(** Dense index in \[0, {!count}), for flat per-kind arrays. *)
+
+val to_string : kind -> string
+val pp : Format.formatter -> kind -> unit

@@ -1,0 +1,79 @@
+(** Span tracer: records timeline events against an injected clock.
+
+    In this repo the clock is simulated time ({!Mk_sim.Engine.now}),
+    so traces are deterministic — two runs with the same seed produce
+    identical event streams. Every recording function is a no-op when
+    the tracer is disabled (one load and branch), so always-on call
+    sites cost nothing in ordinary benchmark runs.
+
+    Tracks follow the Chrome trace model: a [pid] names a process
+    (replica, client population, network) and a [tid] a thread within
+    it (core, client). *)
+
+type arg = Str of string | Int of int | Float of float
+
+type phase =
+  | Complete of float  (** A span with the given duration. *)
+  | Begin
+  | End
+  | Instant
+  | Counter of float
+  | Metadata of string
+
+type event = {
+  name : string;
+  cat : string;
+  ts : float;
+  pid : int;
+  tid : int;
+  phase : phase;
+  args : (string * arg) list;
+}
+
+type t
+
+val create : ?enabled:bool -> clock:(unit -> float) -> unit -> t
+(** Disabled unless [~enabled:true]. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val now : t -> float
+(** The tracer's clock reading (handy for capturing span starts). *)
+
+val complete :
+  t ->
+  ?cat:string ->
+  ?args:(string * arg) list ->
+  name:string ->
+  pid:int ->
+  tid:int ->
+  start:float ->
+  ?finish:float ->
+  unit ->
+  unit
+(** Record a complete span \[start, finish\] ([finish] defaults to the
+    clock now; a [finish] before [start] is clamped to zero width). *)
+
+val begin_span :
+  t -> ?cat:string -> ?args:(string * arg) list -> name:string -> pid:int ->
+  tid:int -> unit -> unit
+(** Open a nested span on a track; close with {!end_span}. Chrome
+    B/E events nest by track containment. *)
+
+val end_span : t -> ?cat:string -> name:string -> pid:int -> tid:int -> unit -> unit
+
+val instant :
+  t -> ?cat:string -> ?args:(string * arg) list -> name:string -> pid:int ->
+  tid:int -> unit -> unit
+
+val counter : t -> ?cat:string -> name:string -> pid:int -> value:float -> unit -> unit
+
+val set_process_name : t -> pid:int -> string -> unit
+val set_thread_name : t -> pid:int -> tid:int -> string -> unit
+
+val length : t -> int
+val events : t -> event list
+(** In recording order. *)
+
+val clear : t -> unit

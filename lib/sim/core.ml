@@ -8,6 +8,9 @@ type t = {
   mutable completed : int;
   mutable busy_time : Engine.time;
   mutable job_started : Engine.time;
+  mutable observer : (start:Engine.time -> finish:Engine.time -> unit) option;
+      (** Called once per completed job with its busy interval. Wired
+          by the observability layer (which mk_sim cannot depend on). *)
 }
 
 let create engine ~id =
@@ -19,9 +22,11 @@ let create engine ~id =
     completed = 0;
     busy_time = 0.0;
     job_started = 0.0;
+    observer = None;
   }
 
 let id t = t.id
+let set_observer t f = t.observer <- Some f
 
 let rec start_next t =
   match Queue.take_opt t.jobs with
@@ -35,7 +40,11 @@ let rec start_next t =
             if !finished then invalid_arg "Core: finish called twice";
             finished := true;
             t.completed <- t.completed + 1;
-            t.busy_time <- t.busy_time +. (Engine.now t.engine -. t.job_started);
+            let finish_time = Engine.now t.engine in
+            t.busy_time <- t.busy_time +. (finish_time -. t.job_started);
+            (match t.observer with
+            | Some f -> f ~start:t.job_started ~finish:finish_time
+            | None -> ());
             start_next t
           in
           job.body ~finish)

@@ -13,6 +13,12 @@ type t
 val create : Engine.t -> id:int -> t
 val id : t -> int
 
+val set_observer : t -> (start:Engine.time -> finish:Engine.time -> unit) -> unit
+(** Register a callback fired once per completed job with the busy
+    interval it occupied (queue wait excluded). Used by the tracing
+    layer to reconstruct per-core busy/idle timelines; at most one
+    observer, the last registration wins. *)
+
 val submit : t -> cost:Engine.time -> (finish:(unit -> unit) -> unit) -> unit
 (** [submit t ~cost body] enqueues a job. When the core reaches it,
     [cost] microseconds elapse, then [body ~finish] runs; the core is

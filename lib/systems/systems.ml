@@ -17,11 +17,11 @@ let coordination = function
   | Tapir -> (true, false)
   | Kuafupp -> (true, true)
 
-let build kind engine cfg =
+let build ?obs kind engine cfg =
   match kind with
   | Meerkat ->
       let module S = Mk_meerkat.Sim_system in
-      let s = S.create engine cfg in
+      let s = S.create ?obs engine cfg in
       ( Intf.Packed
           ( (module struct
               type t = S.t
@@ -29,13 +29,13 @@ let build kind engine cfg =
               let name = S.name
               let threads = S.threads
               let submit = S.submit
-              let counters = S.counters
+              let obs = S.obs
             end),
             s ),
         fun () -> S.server_busy_fraction s )
   | Meerkat_pb ->
       let module S = Mk_baselines.Meerkat_pb in
-      let s = S.create engine cfg in
+      let s = S.create ?obs engine cfg in
       ( Intf.Packed
           ( (module struct
               type t = S.t
@@ -43,13 +43,13 @@ let build kind engine cfg =
               let name = S.name
               let threads = S.threads
               let submit = S.submit
-              let counters = S.counters
+              let obs = S.obs
             end),
             s ),
         fun () -> S.server_busy_fraction s )
   | Tapir ->
       let module S = Mk_baselines.Tapir in
-      let s = S.create engine cfg in
+      let s = S.create ?obs engine cfg in
       ( Intf.Packed
           ( (module struct
               type t = S.t
@@ -57,13 +57,13 @@ let build kind engine cfg =
               let name = S.name
               let threads = S.threads
               let submit = S.submit
-              let counters = S.counters
+              let obs = S.obs
             end),
             s ),
         fun () -> S.server_busy_fraction s )
   | Kuafupp ->
       let module S = Mk_baselines.Kuafupp in
-      let s = S.create engine cfg in
+      let s = S.create ?obs engine cfg in
       ( Intf.Packed
           ( (module struct
               type t = S.t
@@ -71,7 +71,7 @@ let build kind engine cfg =
               let name = S.name
               let threads = S.threads
               let submit = S.submit
-              let counters = S.counters
+              let obs = S.obs
             end),
             s ),
         fun () -> S.server_busy_fraction s )

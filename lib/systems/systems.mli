@@ -19,12 +19,13 @@ val coordination : kind -> bool * bool
 (** [(cross_core, cross_replica)] — Table 1. *)
 
 val build :
+  ?obs:Mk_obs.Obs.t ->
   kind ->
   Mk_sim.Engine.t ->
   Mk_cluster.Cluster.config ->
   Mk_model.System_intf.packed * (unit -> float)
-(** Construct a system and its busy-fraction probe on a fresh
-    engine. *)
+(** Construct a system and its busy-fraction probe on a fresh engine.
+    [?obs] injects an observability handle (e.g. with tracing on). *)
 
 val peak_ladder : threads:int -> int list
 (** Client-count ladder used for peak-throughput search, scaled to the

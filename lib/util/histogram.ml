@@ -34,7 +34,7 @@ let count t = t.n
 let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
 
 let percentile t p =
-  if t.n = 0 then nan
+  if t.n = 0 then 0.0
   else begin
     let target = p /. 100.0 *. float_of_int t.n in
     let rec loop i acc =
@@ -53,3 +53,9 @@ let merge_into ~dst ~src =
   done;
   dst.n <- dst.n + src.n;
   dst.sum <- dst.sum +. src.sum
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t ~src:a;
+  merge_into ~dst:t ~src:b;
+  t

@@ -17,6 +17,12 @@ val mean : t -> float
 
 val percentile : t -> float -> float
 (** Approximate percentile (bucket midpoint), [p] in \[0, 100\].
-    Returns [nan] on an empty histogram. *)
+    Returns [0.0] on an empty histogram (reports print zeros, never
+    NaN). *)
 
 val merge_into : dst:t -> src:t -> unit
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram holding both inputs' samples —
+    for combining per-core histograms into a per-replica or global
+    view. The inputs are unchanged. *)

@@ -91,7 +91,7 @@ let test_tapir_convergence () =
           let name = Tapir.name
           let threads = Tapir.threads
           let submit = Tapir.submit
-          let counters = Tapir.counters
+          let obs = Tapir.obs
         end),
         sys )
   in
@@ -109,7 +109,7 @@ let test_pb_convergence () =
           let name = Pb.name
           let threads = Pb.threads
           let submit = Pb.submit
-          let counters = Pb.counters
+          let obs = Pb.obs
         end),
         sys )
   in
@@ -127,7 +127,7 @@ let test_kuafu_convergence () =
           let name = Kuafu.name
           let threads = Kuafu.threads
           let submit = Kuafu.submit
-          let counters = Kuafu.counters
+          let obs = Kuafu.obs
         end),
         sys )
   in
@@ -152,7 +152,7 @@ let test_tapir_record_mutex_contended () =
           let name = Tapir.name
           let threads = Tapir.threads
           let submit = Tapir.submit
-          let counters = Tapir.counters
+          let obs = Tapir.obs
         end),
         sys )
   in
@@ -177,7 +177,7 @@ let test_pb_primary_decides_conflicts () =
           let name = Pb.name
           let threads = Pb.threads
           let submit = Pb.submit
-          let counters = Pb.counters
+          let obs = Pb.obs
         end),
         sys )
   in
@@ -199,8 +199,7 @@ let test_counters_accounting () =
       let outcomes =
         drive engine packed ~clients:4 ~per_client:10 ~request:rmw_request
       in
-      let (Intf.Packed ((module S), sys)) = packed in
-      let counters = S.counters sys in
+      let counters = Intf.counters_of_packed packed in
       let commits = List.length (List.filter (fun (_, _, ok) -> ok) outcomes) in
       let aborts = List.length (List.filter (fun (_, _, ok) -> not ok) outcomes) in
       Alcotest.(check int) (Systems.name kind ^ " commit count") commits

@@ -19,7 +19,9 @@ let fake_system engine ~latency =
 
     let name () = "fake"
     let threads () = 1
-    let count = ref Intf.zero_counters
+
+    let handle =
+      Mk_obs.Obs.create ~clock:(fun () -> Engine.now engine) ()
 
     let submit () ~client:_ (req : Intf.txn_request) ~on_done =
       Engine.schedule engine ~delay:latency (fun () ->
@@ -28,16 +30,10 @@ let fake_system engine ~latency =
             | (key, _) :: _ -> key mod 2 = 0
             | [] -> true
           in
-          count :=
-            {
-              !count with
-              Intf.committed = (!count).Intf.committed + (if committed then 1 else 0);
-              aborted = (!count).Intf.aborted + (if committed then 0 else 1);
-              fast_path = (!count).Intf.fast_path + 1;
-            };
+          Mk_obs.Obs.note_decision handle ~committed ~fast:true;
           on_done ~committed)
 
-    let counters () = !count
+    let obs () = handle
   end in
   Intf.Packed ((module Fake), ())
 
@@ -67,22 +63,19 @@ let flaky_system engine ~latency =
 
     let name () = "flaky"
     let threads () = 1
-    let count = ref Intf.zero_counters
     let attempts = ref 0
+
+    let handle =
+      Mk_obs.Obs.create ~clock:(fun () -> Engine.now engine) ()
 
     let submit () ~client:_ (_ : Intf.txn_request) ~on_done =
       Engine.schedule engine ~delay:latency (fun () ->
           incr attempts;
           let committed = !attempts mod 3 <> 0 in
-          count :=
-            {
-              !count with
-              Intf.committed = (!count).Intf.committed + (if committed then 1 else 0);
-              aborted = (!count).Intf.aborted + (if committed then 0 else 1);
-            };
+          Mk_obs.Obs.note_decision handle ~committed ~fast:true;
           on_done ~committed)
 
-    let counters () = !count
+    let obs () = handle
   end in
   Intf.Packed ((module Flaky), ())
 

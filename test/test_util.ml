@@ -180,9 +180,21 @@ let test_histogram_mean_and_merge () =
 
 let test_histogram_empty () =
   let h = Histogram.create () in
-  Alcotest.(check bool) "empty percentile is nan" true
-    (Float.is_nan (Histogram.percentile h 50.0));
+  Alcotest.(check (float 1e-9)) "empty percentile is 0" 0.0
+    (Histogram.percentile h 50.0);
   Alcotest.(check bool) "empty mean is nan" true (Float.is_nan (Histogram.mean h))
+
+let test_histogram_merge_pure () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 10.0;
+  Histogram.add a 10.0;
+  Histogram.add b 30.0;
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "merged count" 3 (Histogram.count m);
+  Alcotest.(check (float 1e-6)) "merged mean" (50.0 /. 3.0) (Histogram.mean m);
+  (* Inputs untouched. *)
+  Alcotest.(check int) "a unchanged" 2 (Histogram.count a);
+  Alcotest.(check int) "b unchanged" 1 (Histogram.count b)
 
 (* --- Table --- *)
 
@@ -232,6 +244,7 @@ let () =
           Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
           Alcotest.test_case "mean and merge" `Quick test_histogram_mean_and_merge;
           Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "pure merge" `Quick test_histogram_merge_pure;
         ] );
       ("table", [ Alcotest.test_case "render" `Quick test_table_render ]);
     ]
