@@ -1,0 +1,49 @@
+(* ZCP-conformance linter CLI.
+
+   Usage: mk_lint [--config mk_lint.toml] PATH...
+   Exits 0 when clean, 1 on findings, 2 on usage/config errors — so CI
+   can gate on it. *)
+
+module Lint_config = Mk_check_lint.Lint_config
+module Lint_engine = Mk_check_lint.Lint_engine
+
+let usage = "usage: mk_lint [--config FILE] PATH...\n"
+
+let rec parse_args (config, paths) = function
+  | [] -> (config, List.rev paths)
+  | "--config" :: file :: rest -> parse_args (Some file, paths) rest
+  | [ "--config" ] ->
+      prerr_string usage;
+      exit 2
+  | ("-h" | "--help") :: _ ->
+      print_string usage;
+      exit 0
+  | p :: rest -> parse_args (config, p :: paths) rest
+
+let () =
+  let config_path, paths =
+    parse_args (None, []) (List.tl (Array.to_list Sys.argv))
+  in
+  if paths = [] then begin
+    prerr_string usage;
+    exit 2
+  end;
+  let config =
+    match config_path with
+    | Some file -> begin
+        match Lint_config.load file with
+        | cfg -> cfg
+        | exception Lint_config.Parse_error msg ->
+            Printf.eprintf "mk_lint: %s: %s\n" file msg;
+            exit 2
+        | exception Sys_error msg ->
+            Printf.eprintf "mk_lint: %s\n" msg;
+            exit 2
+      end
+    | None ->
+        if Sys.file_exists "mk_lint.toml" then Lint_config.load "mk_lint.toml"
+        else Lint_config.default
+  in
+  let result = Lint_engine.run ~config ~paths in
+  print_string (Lint_engine.render result);
+  exit (if result.Lint_engine.findings = [] then 0 else 1)

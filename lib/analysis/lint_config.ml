@@ -1,0 +1,129 @@
+type t = {
+  coordination_modules : string list;
+  coordination_allow : string list;
+  tainted_idents : string list;
+  shared_modules : string list;
+  lock_guards : string list;
+  mli_required_under : string list;
+  mli_exempt_suffixes : string list;
+}
+
+let default =
+  {
+    coordination_modules =
+      [ "Mutex"; "Atomic"; "Domain"; "Condition"; "Semaphore"; "Thread" ];
+    coordination_allow =
+      [ "lib/storage"; "lib/multicore"; "lib/baselines"; "lib/analysis"; "bench" ];
+    tainted_idents = [ "ts"; "wts"; "rts"; "tid"; "timestamp"; "tsa"; "tsb" ];
+    shared_modules = [ "lib/storage/vstore.ml" ];
+    lock_guards = [ "with_shard"; "with_entry" ];
+    mli_required_under = [ "lib" ];
+    mli_exempt_suffixes = [ "_intf.ml" ];
+  }
+
+exception Parse_error of string
+
+(* --- A minimal TOML subset: [section] headers, `key = "str"` and
+   `key = ["a", "b"]`, '#' comments. That is all the config needs, and
+   hand-rolling it keeps the linter dependency-free (the container has
+   no toml package). --- *)
+
+let strip s =
+  let is_space c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do
+    incr i
+  done;
+  while !j >= !i && is_space s.[!j] do
+    decr j
+  done;
+  String.sub s !i (!j - !i + 1)
+
+let strip_comment line =
+  (* '#' outside quotes starts a comment. *)
+  let buf = Buffer.create (String.length line) in
+  let in_str = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then in_str := not !in_str;
+         if c = '#' && not !in_str then raise Exit;
+         Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let parse_string_list ~line s =
+  let s = strip s in
+  let fail () =
+    raise
+      (Parse_error (Printf.sprintf "line %d: expected a string or [\"...\"] list" line))
+  in
+  let parse_quoted s =
+    let s = strip s in
+    let n = String.length s in
+    if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then fail ()
+    else String.sub s 1 (n - 2)
+  in
+  if s = "" then fail ()
+  else if s.[0] = '[' then begin
+    let n = String.length s in
+    if s.[n - 1] <> ']' then fail ();
+    let inner = strip (String.sub s 1 (n - 2)) in
+    if inner = "" then []
+    else List.map parse_quoted (String.split_on_char ',' inner)
+  end
+  else [ parse_quoted s ]
+
+let apply cfg ~section ~key ~value ~line =
+  match (section, key) with
+  | "z1", "modules" -> { cfg with coordination_modules = value }
+  | "z1", "allow" -> { cfg with coordination_allow = value }
+  | "z2", "tainted" -> { cfg with tainted_idents = value }
+  | "z3", "shared" -> { cfg with shared_modules = value }
+  | "z3", "guards" -> { cfg with lock_guards = value }
+  | "z4", "require_under" -> { cfg with mli_required_under = value }
+  | "z4", "exempt" -> { cfg with mli_exempt_suffixes = value }
+  | _ ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d: unknown key %s.%s" line section key))
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let cfg = ref default in
+  let section = ref "" in
+  List.iteri
+    (fun i raw ->
+      let lineno = i + 1 in
+      let line = strip (strip_comment raw) in
+      if line = "" then ()
+      else if line.[0] = '[' then begin
+        let n = String.length line in
+        if n < 3 || line.[n - 1] <> ']' then
+          raise (Parse_error (Printf.sprintf "line %d: malformed section" lineno));
+        section := String.sub line 1 (n - 2)
+      end
+      else begin
+        match String.index_opt line '=' with
+        | None ->
+            raise
+              (Parse_error (Printf.sprintf "line %d: expected key = value" lineno))
+        | Some eq ->
+            let key = strip (String.sub line 0 eq) in
+            let value =
+              parse_string_list ~line:lineno
+                (String.sub line (eq + 1) (String.length line - eq - 1))
+            in
+            cfg := apply !cfg ~section:!section ~key ~value ~line:lineno
+      end)
+    lines;
+  !cfg
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  of_string text

@@ -1,0 +1,35 @@
+(** Lint configuration: the rule parameters and the coordination
+    allowlist, normally read from the checked-in [mk_lint.toml]. *)
+
+type t = {
+  coordination_modules : string list;
+      (** Z1: module names whose use means cross-core coordination. *)
+  coordination_allow : string list;
+      (** Z1: path prefixes (repo-relative, '/'-separated) where
+          coordination is sanctioned by the paper's design. *)
+  tainted_idents : string list;
+      (** Z2: identifier/field names that mark a value as timestamp- or
+          tid-bearing (compared lowercase, exact match). *)
+  shared_modules : string list;
+      (** Z3: domain-shared files whose [Hashtbl] operations must be
+          lexically guarded. *)
+  lock_guards : string list;
+      (** Z3: names of the guard helpers ([with_shard], ...). *)
+  mli_required_under : string list;
+      (** Z4: path prefixes whose [.ml] files must ship an [.mli]. *)
+  mli_exempt_suffixes : string list;
+      (** Z4: basename suffixes exempt from the [.mli] requirement
+          (module-type-only files such as [_intf.ml]). *)
+}
+
+val default : t
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a TOML-subset config text; unknown keys raise {!Parse_error}
+    so typos cannot silently disable a rule. Starts from {!default}, so
+    a config file only overrides the keys it mentions. *)
+
+val load : string -> t
+(** [load path] — {!of_string} on the file contents. *)

@@ -1,0 +1,59 @@
+(* Driver: walk the requested paths, parse each .ml with compiler-libs,
+   run the rules, and render a deterministic report. *)
+
+type result = { findings : Lint_findings.t list; files : int }
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then begin
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        if name = "_build" || (String.length name > 0 && name.[0] = '.') then acc
+        else collect_ml acc (Filename.concat path name))
+      acc entries
+  end
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let parse_implementation path =
+  (* Fresh location bookkeeping per file so positions are exact. *)
+  Location.input_name := path;
+  Pparse.parse_implementation ~tool_name:"mk_lint" path
+
+let lint_file config path =
+  let ast_findings =
+    match parse_implementation path with
+    | structure -> Lint_rules.check_structure config ~path structure
+    | exception exn ->
+        [
+          Lint_findings.make ~rule:"PARSE" ~file:path ~line:1 ~col:0
+            (Printf.sprintf "cannot parse: %s" (Printexc.to_string exn));
+        ]
+  in
+  ast_findings @ Lint_rules.check_mli config ~path
+
+let run ~config ~paths =
+  let files =
+    List.fold_left (fun acc p -> collect_ml acc p) [] paths
+    |> List.sort_uniq String.compare
+  in
+  let findings = List.concat_map (lint_file config) files in
+  { findings = List.sort_uniq Lint_findings.compare findings; files = List.length files }
+
+let render r =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string b (Lint_findings.to_string f);
+      Buffer.add_char b '\n')
+    r.findings;
+  Buffer.add_string b
+    (if r.findings = [] then
+       Printf.sprintf "mk_lint: %d files checked, no findings\n" r.files
+     else
+       Printf.sprintf "mk_lint: %d finding%s in %d files checked\n"
+         (List.length r.findings)
+         (if List.length r.findings = 1 then "" else "s")
+         r.files);
+  Buffer.contents b

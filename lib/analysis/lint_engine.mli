@@ -1,0 +1,16 @@
+(** Lint driver: collect [.ml] files, parse with compiler-libs, apply
+    {!Lint_rules}, report deterministically. *)
+
+type result = { findings : Lint_findings.t list; files : int }
+
+val lint_file : Lint_config.t -> string -> Lint_findings.t list
+(** All rules over a single file (unsorted). A file that does not parse
+    yields one [PARSE] finding. *)
+
+val run : config:Lint_config.t -> paths:string list -> result
+(** [paths] are files or directories (recursed, [_build] and dotfiles
+    skipped, files sorted), relative to the current directory; findings
+    come back sorted by file/line/col/rule. *)
+
+val render : result -> string
+(** One line per finding plus a summary line. *)

@@ -1,0 +1,30 @@
+type t = { rule : string; file : string; line : int; col : int; msg : string }
+
+let make ~rule ~file ~line ~col msg = { rule; file; line; col; msg }
+
+let of_location ~rule ~file (loc : Location.t) msg =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    msg;
+  }
+
+(* Deterministic report order: position first, then rule id so two
+   findings on one expression always print the same way. *)
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else begin
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+    end
+  end
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg

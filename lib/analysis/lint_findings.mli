@@ -1,0 +1,15 @@
+(** A single lint finding: stable rule id + location + message. *)
+
+type t = { rule : string; file : string; line : int; col : int; msg : string }
+
+val make : rule:string -> file:string -> line:int -> col:int -> string -> t
+
+val of_location : rule:string -> file:string -> Location.t -> string -> t
+(** Location of the offending AST node within [file]. *)
+
+val compare : t -> t -> int
+(** Total order: file, line, column, rule — report order is
+    deterministic. *)
+
+val to_string : t -> string
+(** [file:line:col: [RULE] message]. *)

@@ -1,0 +1,351 @@
+(* The four ZCP-conformance rules, as one pass over a parsed
+   implementation (untyped AST via compiler-libs' [Ast_iterator]).
+
+   Z1  no coordination primitives (Mutex/Atomic/Domain/...) and no
+       top-level mutable state outside the configured allowlist — the
+       zero-coordination principle, mechanized.
+   Z2  no polymorphic [=]/[compare]/[Hashtbl.hash] applied to
+       timestamp- or tid-bearing expressions; use [Timestamp.compare],
+       [Tid.equal], [Tid.hash].
+   Z3  in domain-shared modules, every [Hashtbl] operation must be
+       lexically inside the module's lock-guard helper.
+   Z4  every [.ml] under the configured prefixes ships an [.mli]
+       (checked from the filesystem, not the AST).
+
+   The pass is purely syntactic: with no type information it
+   over-approximates taint by identifier and field names, which is
+   exactly what makes findings cheap, local and deterministic. A rule
+   can be silenced at a binding or expression with
+   [[@mk_lint.allow "Z3"]]. *)
+
+open Parsetree
+module Findings = Lint_findings
+
+let rec lid_components = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> lid_components p @ [ s ]
+  | Longident.Lapply (a, b) -> lid_components a @ lid_components b
+
+(* Module components of a value path: everything but the final name. *)
+let module_components lid =
+  match List.rev (lid_components lid) with [] -> [] | _ :: mods -> List.rev mods
+
+let last_component lid =
+  match List.rev (lid_components lid) with [] -> None | x :: _ -> Some x
+
+(* --- [@mk_lint.allow "Z1 Z3"] suppression --- *)
+
+let allowed_rules_of_attrs attrs =
+  List.concat_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "mk_lint.allow" then []
+      else begin
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+                _;
+              };
+            ] ->
+            String.split_on_char ' ' s
+            |> List.concat_map (String.split_on_char ',')
+            |> List.filter (fun r -> r <> "")
+        | _ -> []
+      end)
+    attrs
+
+(* --- the pass --- *)
+
+type state = {
+  cfg : Lint_config.t;
+  file : string;
+  mutable findings : Findings.t list;
+  z1_active : bool;
+  z3_active : bool;
+  mutable guard_depth : int;
+  mutable suppressed : string list list;
+}
+
+let path_has_prefix ~prefix path =
+  String.length path >= String.length prefix
+  && String.sub path 0 (String.length prefix) = prefix
+  && (String.length path = String.length prefix
+     || path.[String.length prefix] = '/')
+
+let emit st ~rule loc msg =
+  if not (List.exists (List.mem rule) st.suppressed) then
+    st.findings <- Findings.of_location ~rule ~file:st.file loc msg :: st.findings
+
+let check_z1_path st loc comps =
+  if st.z1_active then
+    List.iter
+      (fun c ->
+        if List.mem c st.cfg.coordination_modules then
+          emit st ~rule:"Z1" loc
+            (Printf.sprintf
+               "use of %s: coordination primitives are forbidden outside the \
+                allowlist (ZCP)"
+               c))
+      (List.sort_uniq String.compare comps)
+
+(* Top-level mutable state: a module-level binding whose right-hand
+   side creates a ref/table/buffer outside any function body is a
+   process-global — exactly the shared counter the paper's Fig. 1
+   measures the cost of. *)
+let mutable_ctor lid =
+  match lid_components lid with
+  | [ "ref" ] | [ "Stdlib"; "ref" ] -> Some "ref"
+  | [ m; f ] | [ "Stdlib"; m; f ] -> begin
+      match (m, f) with
+      | ("Hashtbl" | "Queue" | "Stack" | "Buffer"), "create" -> Some (m ^ ".create")
+      | "Atomic", "make" -> Some "Atomic.make"
+      | "Array", "make" -> Some "Array.make"
+      | "Bytes", ("create" | "make") -> Some ("Bytes." ^ f)
+      | _ -> None
+    end
+  | _ -> None
+
+let scan_toplevel_mutable st (vb : value_binding) =
+  let sub =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ ->
+              () (* created per call: per-transaction state is fine *)
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+            when mutable_ctor txt <> None ->
+              let what = Option.get (mutable_ctor txt) in
+              emit st ~rule:"Z1" e.pexp_loc
+                (Printf.sprintf
+                   "top-level mutable state (%s): shared globals are forbidden \
+                    outside the allowlist (ZCP)"
+                   what)
+          | _ -> Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  sub.expr sub vb.pvb_expr
+
+(* --- Z2: polymorphic comparison / hashing on timestamp-ish values --- *)
+
+let poly_callee (f : expression) =
+  match f.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident (("=" | "<>" | "compare") as op); _ } ->
+      Some op
+  | Pexp_ident
+      { txt = Longident.Ldot (Lident "Stdlib", (("=" | "<>" | "compare") as op)); _ }
+    ->
+      Some ("Stdlib." ^ op)
+  | Pexp_ident { txt = Longident.Ldot (Lident "Hashtbl", "hash"); _ }
+  | Pexp_ident
+      { txt = Longident.Ldot (Ldot (Lident "Stdlib", "Hashtbl"), "hash"); _ } ->
+      Some "Hashtbl.hash"
+  | _ -> None
+
+let name_tainted st s = List.mem (String.lowercase_ascii s) st.cfg.tainted_idents
+
+(* Does the expression syntactically carry a timestamp/tid? Results of
+   dedicated [X.compare]/[X.equal]/[X.hash] calls are plain ints/bools,
+   so those subtrees are skipped — [Timestamp.compare a b = 0] is fine. *)
+let tainted_expr st e0 =
+  let found = ref false in
+  let sub =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          if !found then ()
+          else begin
+            match e.pexp_desc with
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+              when (match last_component txt with
+                   | Some ("compare" | "equal" | "hash") ->
+                       module_components txt <> []
+                   | _ -> false) ->
+                ()
+            | Pexp_ident { txt; _ } ->
+                (match last_component txt with
+                | Some last when name_tainted st last -> found := true
+                | _ -> ());
+                if
+                  List.exists
+                    (fun m -> m = "Timestamp" || m = "Tid")
+                    (module_components txt)
+                then found := true
+            | Pexp_field (_, { txt; _ }) ->
+                (match last_component txt with
+                | Some last when name_tainted st last -> found := true
+                | _ -> ());
+                Ast_iterator.default_iterator.expr it e
+            | _ -> Ast_iterator.default_iterator.expr it e
+          end);
+    }
+  in
+  sub.expr sub e0;
+  !found
+
+let check_z2 st (e : expression) =
+  match e.pexp_desc with
+  | Pexp_apply (f, args) -> begin
+      match poly_callee f with
+      | Some op when List.exists (fun (_, a) -> tainted_expr st a) args ->
+          emit st ~rule:"Z2" e.pexp_loc
+            (Printf.sprintf
+               "polymorphic %s on a timestamp/tid-bearing expression; use \
+                Timestamp.compare / Tid.equal / Tid.hash"
+               op)
+      | _ -> ()
+    end
+  | _ -> ()
+
+(* --- Z3: Hashtbl operations in domain-shared modules --- *)
+
+let hashtbl_op (lid : Longident.t) =
+  match lid_components lid with
+  | [ "Hashtbl"; op ] | [ "Stdlib"; "Hashtbl"; op ] ->
+      if op = "create" || op = "hash" || op = "seeded_hash" then None else Some op
+  | _ -> None
+
+let check_z3 st (e : expression) =
+  if st.z3_active && st.guard_depth = 0 then begin
+    match e.pexp_desc with
+    | Pexp_ident { txt; _ } -> begin
+        match hashtbl_op txt with
+        | Some op ->
+            emit st ~rule:"Z3" e.pexp_loc
+              (Printf.sprintf
+                 "Hashtbl.%s outside the module's lock guard (%s): domain-shared \
+                  tables must be accessed under their shard lock"
+                 op
+                 (String.concat "/" st.cfg.lock_guards))
+        | None -> ()
+      end
+    | _ -> ()
+  end
+
+let is_guard_callee st (f : expression) =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> begin
+      match last_component txt with
+      | Some n -> List.mem n st.cfg.lock_guards
+      | None -> false
+    end
+  | _ -> false
+
+let rec pattern_name (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> Some txt
+  | Ppat_constraint (p, _) -> pattern_name p
+  | _ -> None
+
+let check_structure cfg ~path structure =
+  let z1_active =
+    not
+      (List.exists
+         (fun prefix -> path_has_prefix ~prefix path)
+         cfg.Lint_config.coordination_allow)
+  in
+  let z3_active = List.mem path cfg.Lint_config.shared_modules in
+  let st =
+    {
+      cfg;
+      file = path;
+      findings = [];
+      z1_active;
+      z3_active;
+      guard_depth = 0;
+      suppressed = [];
+    }
+  in
+  let with_suppressed st rules f =
+    if rules = [] then f ()
+    else begin
+      st.suppressed <- rules :: st.suppressed;
+      f ();
+      st.suppressed <- List.tl st.suppressed
+    end
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          with_suppressed st (allowed_rules_of_attrs e.pexp_attributes) (fun () ->
+              let bump =
+                match e.pexp_desc with
+                | Pexp_apply (f, _) when is_guard_callee st f -> true
+                | _ -> false
+              in
+              (match e.pexp_desc with
+              | Pexp_ident { txt; loc } -> check_z1_path st loc (module_components txt)
+              | _ -> ());
+              check_z2 st e;
+              check_z3 st e;
+              if bump then st.guard_depth <- st.guard_depth + 1;
+              Ast_iterator.default_iterator.expr it e;
+              if bump then st.guard_depth <- st.guard_depth - 1));
+      typ =
+        (fun it t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; loc }, _) ->
+              if st.z1_active then check_z1_path st loc (module_components txt)
+          | _ -> ());
+          Ast_iterator.default_iterator.typ it t);
+      module_expr =
+        (fun it m ->
+          (match m.pmod_desc with
+          | Pmod_ident { txt; loc } ->
+              if st.z1_active then check_z1_path st loc (lid_components txt)
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr it m);
+      value_binding =
+        (fun it vb ->
+          with_suppressed st (allowed_rules_of_attrs vb.pvb_attributes) (fun () ->
+              let bump =
+                match pattern_name vb.pvb_pat with
+                | Some n -> List.mem n st.cfg.lock_guards
+                | None -> false
+              in
+              if bump then st.guard_depth <- st.guard_depth + 1;
+              Ast_iterator.default_iterator.value_binding it vb;
+              if bump then st.guard_depth <- st.guard_depth - 1));
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_value (_, vbs) when st.z1_active ->
+              List.iter
+                (fun vb ->
+                  with_suppressed st
+                    (allowed_rules_of_attrs vb.pvb_attributes)
+                    (fun () -> scan_toplevel_mutable st vb))
+                vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item it si);
+    }
+  in
+  iter.structure iter structure;
+  List.rev st.findings
+
+(* --- Z4: .mli presence (filesystem, not AST) --- *)
+
+let check_mli ?(file_exists = Sys.file_exists) cfg ~path =
+  let applies =
+    List.exists
+      (fun prefix -> path_has_prefix ~prefix path)
+      cfg.Lint_config.mli_required_under
+  in
+  let exempt =
+    List.exists
+      (fun suffix -> Filename.check_suffix path suffix)
+      cfg.Lint_config.mli_exempt_suffixes
+  in
+  if applies && (not exempt) && not (file_exists (path ^ "i")) then
+    [
+      Findings.make ~rule:"Z4" ~file:path ~line:1 ~col:0
+        "module has no .mli: every lib/ module must declare its interface";
+    ]
+  else []

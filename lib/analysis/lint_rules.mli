@@ -1,0 +1,26 @@
+(** The ZCP-conformance rules (Z1–Z4), as passes over one file.
+
+    Rule ids are stable: they appear in findings, in CI output, and in
+    [[@mk_lint.allow "..."]] suppressions.
+
+    - [Z1] — coordination primitives ([Mutex]/[Atomic]/[Domain]/...)
+      or top-level mutable state outside the configured allowlist.
+    - [Z2] — polymorphic [=]/[<>]/[compare]/[Hashtbl.hash] applied to a
+      timestamp- or tid-bearing expression (syntactic taint by
+      identifier/field name and [Timestamp.]/[Tid.] paths).
+    - [Z3] — in a configured domain-shared module, a [Hashtbl]
+      operation lexically outside the module's lock-guard helper.
+    - [Z4] — a [.ml] under the configured prefixes with no [.mli]. *)
+
+val check_structure :
+  Lint_config.t -> path:string -> Parsetree.structure -> Lint_findings.t list
+(** AST rules (Z1–Z3) over one parsed implementation. [path] is the
+    repo-relative path used both for findings and for allowlist
+    matching. *)
+
+val check_mli :
+  ?file_exists:(string -> bool) ->
+  Lint_config.t ->
+  path:string ->
+  Lint_findings.t list
+(** Z4 for one [.ml] path. [file_exists] is injectable for tests. *)

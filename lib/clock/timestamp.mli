@@ -33,6 +33,10 @@ module Tid : sig
   val compare : t -> t -> int
   val equal : t -> t -> bool
   val hash : t -> int
+  (** Mixed hash of both fields, always non-negative (safe as
+      [hash mod n] for partition steering). Use this — never
+      [Hashtbl.hash] — on tids (lint rule Z2). *)
+
   val make : seq:int -> client_id:int -> t
   val pp : Format.formatter -> t -> unit
   val to_string : t -> string

@@ -110,18 +110,20 @@ let merge ~quorum ~reports =
       Array.iter
         (fun (w : Txn.write_entry) ->
           let e = Vstore.find_or_create scratch w.key in
-          if Timestamp.compare v.ts e.Vstore.wts > 0 then begin
-            e.Vstore.value <- w.value;
-            e.Vstore.wts <- v.ts
-          end)
+          Vstore.with_entry e (fun e ->
+              if Timestamp.compare v.ts e.Vstore.wts > 0 then begin
+                Vstore.set_value e w.value;
+                Vstore.set_wts e v.ts
+              end))
         v.txn.Txn.write_set;
       Array.iter
         (fun (r : Txn.read_entry) ->
           let e = Vstore.find_or_create scratch r.key in
-          if Timestamp.compare v.ts e.Vstore.rts > 0 then e.Vstore.rts <- v.ts;
-          (* Reflect the version the reader observed so later writers
-             below it are rejected consistently. *)
-          if Timestamp.compare r.wts e.Vstore.wts > 0 then e.Vstore.wts <- r.wts)
+          Vstore.with_entry e (fun e ->
+              if Timestamp.compare v.ts e.Vstore.rts > 0 then Vstore.set_rts e v.ts;
+              (* Reflect the version the reader observed so later writers
+                 below it are rejected consistently. *)
+              if Timestamp.compare r.wts e.Vstore.wts > 0 then Vstore.set_wts e r.wts))
         v.txn.Txn.read_set
     end
   in

@@ -3,6 +3,7 @@ module Txn = Mk_storage.Txn
 module Vstore = Mk_storage.Vstore
 module Trecord = Mk_storage.Trecord
 module Occ = Mk_storage.Occ
+module Owner = Mk_check.Owner
 
 type record_view = {
   txn : Txn.t;
@@ -11,10 +12,6 @@ type record_view = {
   view : int;
   accept_view : int option;
 }
-
-(* Temporary debug tracing hook (set from debug harnesses). *)
-let tracer : (string -> unit) option ref = ref None
-let trace fmt = Printf.ksprintf (fun s -> match !tracer with Some f -> f s | None -> ()) fmt
 
 type t = {
   id : int;
@@ -93,31 +90,33 @@ let handle_get t ~key =
     | None -> Some (0, Timestamp.zero)
   end
 
+(* The per-core handlers run under [Owner.with_core]: when the dynamic
+   checker is on, any touch of a foreign trecord partition inside the
+   handler body raises instead of silently breaking DAP. *)
+
 let handle_validate t ~core ~txn ~ts =
   if t.crashed || t.paused then None
-  else begin
-    match Trecord.find t.trecord ~core txn.Txn.tid with
-    | Some entry -> Some entry.status
-    | None ->
-        let status =
-          match Occ.validate t.vstore txn ~ts with
-          | `Ok ->
-              t.validations_ok <- t.validations_ok + 1;
-              Txn.Validated_ok
-          | `Abort ->
-              t.validations_abort <- t.validations_abort + 1;
-              Txn.Validated_abort
-        in
-        let (_ : Trecord.entry) = Trecord.add t.trecord ~core ~txn ~ts ~status in
-        trace "r%d validate %s ts=%s -> %s" t.id
-          (Timestamp.Tid.to_string txn.Txn.tid) (Timestamp.to_string ts)
-          (Txn.status_to_string status);
-        Some status
-  end
+  else
+    Owner.with_core core (fun () ->
+        match Trecord.find t.trecord ~core txn.Txn.tid with
+        | Some entry -> Some entry.status
+        | None ->
+            let status =
+              match Occ.validate t.vstore txn ~ts with
+              | `Ok ->
+                  t.validations_ok <- t.validations_ok + 1;
+                  Txn.Validated_ok
+              | `Abort ->
+                  t.validations_abort <- t.validations_abort + 1;
+                  Txn.Validated_abort
+            in
+            let (_ : Trecord.entry) = Trecord.add t.trecord ~core ~txn ~ts ~status in
+            Some status)
 
 let handle_accept t ~core ~txn ~ts ~decision ~view =
   if t.crashed then None
-  else begin
+  else
+    Owner.with_core core (fun () ->
     let entry =
       match Trecord.find t.trecord ~core txn.Txn.tid with
       | Some e -> e
@@ -137,8 +136,7 @@ let handle_accept t ~core ~txn ~ts ~decision ~view =
         | `Commit -> Txn.Accepted_commit
         | `Abort -> Txn.Accepted_abort);
       Some `Accepted
-    end
-  end
+    end)
 
 let finalize_entry t (entry : Trecord.entry) ~commit =
   entry.status <- (if commit then Txn.Committed else Txn.Aborted);
@@ -155,33 +153,31 @@ let finalize_entry t (entry : Trecord.entry) ~commit =
 
 let handle_commit t ~core ~txn ~ts ~commit =
   if t.crashed then None
-  else begin
-    let entry =
-      match Trecord.find t.trecord ~core txn.Txn.tid with
-      | Some e -> e
-      | None -> Trecord.add t.trecord ~core ~txn ~ts ~status:Txn.Validated_abort
-    in
-    if Txn.is_final entry.status then Some () (* retransmission *)
-    else begin
-      finalize_entry t entry ~commit;
-      trace "r%d commit %s ts=%s commit=%b" t.id
-        (Timestamp.Tid.to_string txn.Txn.tid) (Timestamp.to_string ts) commit;
-      Some ()
-    end
-  end
+  else
+    Owner.with_core core (fun () ->
+        let entry =
+          match Trecord.find t.trecord ~core txn.Txn.tid with
+          | Some e -> e
+          | None -> Trecord.add t.trecord ~core ~txn ~ts ~status:Txn.Validated_abort
+        in
+        if Txn.is_final entry.status then Some () (* retransmission *)
+        else begin
+          finalize_entry t entry ~commit;
+          Some ()
+        end)
 
 let handle_coord_change t ~core ~tid ~view =
   if t.crashed then None
-  else begin
-    match Trecord.find t.trecord ~core tid with
-    | None -> Some (`View_ok None)
-    | Some entry ->
-        if view <= entry.view && entry.view > 0 then Some (`Stale entry.view)
-        else begin
-          entry.view <- view;
-          Some (`View_ok (Some (view_of_entry entry)))
-        end
-  end
+  else
+    Owner.with_core core (fun () ->
+        match Trecord.find t.trecord ~core tid with
+        | None -> Some (`View_ok None)
+        | Some entry ->
+            if view <= entry.view && entry.view > 0 then Some (`Stale entry.view)
+            else begin
+              entry.view <- view;
+              Some (`View_ok (Some (view_of_entry entry)))
+            end)
 
 let handle_epoch_change t ~epoch =
   if t.crashed then None
@@ -189,8 +185,6 @@ let handle_epoch_change t ~epoch =
   else begin
     t.epoch <- epoch;
     t.paused <- true;
-    trace "r%d epoch-change e=%d reporting %d records" t.id epoch
-      (Trecord.size t.trecord);
     Some (List.map (fun (_, e) -> view_of_entry e) (Trecord.entries t.trecord))
   end
 
@@ -212,9 +206,10 @@ let handle_epoch_complete t ~epoch ~records ~store =
         List.iter
           (fun (key, value, wts, rts) ->
             let e = Vstore.find_or_create fresh key in
-            e.Vstore.value <- value;
-            e.Vstore.wts <- wts;
-            e.Vstore.rts <- rts)
+            Vstore.with_entry e (fun e ->
+                Vstore.set_value e value;
+                Vstore.set_wts e wts;
+                Vstore.set_rts e rts))
           rows;
         t.vstore <- fresh);
     (* Adopt the merged trecord. Every entry in it is final
@@ -238,8 +233,6 @@ let handle_epoch_complete t ~epoch ~records ~store =
             assert false)
       (Trecord.entries merged);
     t.paused <- false;
-    trace "r%d epoch-complete e=%d installed %d records" t.id epoch
-      (Trecord.size t.trecord);
     Some ()
   end
 

@@ -25,9 +25,6 @@ type record_view = {
   accept_view : int option;
 }
 
-val tracer : (string -> unit) option ref
-(** Debug hook: when set, receives one line per record transition. *)
-
 val create : id:int -> quorum:Quorum.t -> cores:int -> t
 val id : t -> int
 val cores : t -> int

@@ -2,11 +2,7 @@ module Timestamp = Mk_clock.Timestamp
 
 type outcome = [ `Ok | `Abort ]
 
-let with_lock (e : Vstore.entry) f =
-  Mutex.lock e.lock;
-  let r = f e in
-  Mutex.unlock e.lock;
-  r
+let with_lock = Vstore.with_entry
 
 (* Remove [ts] from the reader sets of read-set entries [0, upto) and
    the writer sets of write-set entries [0, wupto) — Alg. 1's
@@ -14,11 +10,13 @@ let with_lock (e : Vstore.entry) f =
 let cleanup store (txn : Txn.t) ~ts ~upto ~wupto =
   for i = 0 to upto - 1 do
     let e = Vstore.find_or_create store txn.read_set.(i).key in
-    with_lock e (fun e -> e.readers <- Timestamp.Set.remove ts e.readers)
+    with_lock e (fun e ->
+        Vstore.set_readers e (Timestamp.Set.remove ts e.readers))
   done;
   for i = 0 to wupto - 1 do
     let e = Vstore.find_or_create store txn.write_set.(i).key in
-    with_lock e (fun e -> e.writers <- Timestamp.Set.remove ts e.writers)
+    with_lock e (fun e ->
+        Vstore.set_writers e (Timestamp.Set.remove ts e.writers))
   done
 
 let validate store (txn : Txn.t) ~ts =
@@ -49,7 +47,7 @@ let validate store (txn : Txn.t) ~ts =
             in
             if stale || future || behind_writer then false
             else begin
-              e.readers <- Timestamp.Set.add ts e.readers;
+              Vstore.set_readers e (Timestamp.Set.add ts e.readers);
               true
             end)
       in
@@ -71,7 +69,7 @@ let validate store (txn : Txn.t) ~ts =
             in
             if before_rts || before_reader then false
             else begin
-              e.writers <- Timestamp.Set.add ts e.writers;
+              Vstore.set_writers e (Timestamp.Set.add ts e.writers);
               true
             end)
       in
@@ -102,17 +100,17 @@ let finish store (txn : Txn.t) ~ts ~commit =
         with_lock e (fun e ->
             (* Thomas write rule: an older write is simply skipped. *)
             if Timestamp.compare ts e.wts > 0 then begin
-              e.value <- w.value;
-              e.wts <- ts
+              Vstore.set_value e w.value;
+              Vstore.set_wts e ts
             end;
-            e.writers <- Timestamp.Set.remove ts e.writers))
+            Vstore.set_writers e (Timestamp.Set.remove ts e.writers)))
       txn.write_set;
     Array.iter
       (fun (r : Txn.read_entry) ->
         let e = Vstore.find_or_create store r.key in
         with_lock e (fun e ->
-            if Timestamp.compare ts e.rts > 0 then e.rts <- ts;
-            e.readers <- Timestamp.Set.remove ts e.readers))
+            if Timestamp.compare ts e.rts > 0 then Vstore.set_rts e ts;
+            Vstore.set_readers e (Timestamp.Set.remove ts e.readers)))
       txn.read_set
   end
   else abort_pending store txn ~ts

@@ -1,4 +1,5 @@
 module Tid = Mk_clock.Timestamp.Tid
+module Owner = Mk_check.Owner
 
 type entry = {
   txn : Txn.t;
@@ -29,18 +30,27 @@ let check_core t core =
   if core < 0 || core >= Array.length t.partitions then
     invalid_arg (Printf.sprintf "Trecord: core %d out of range" core)
 
+(* Partition ownership (ZCP): each partition belongs to one core;
+   normal-case operations assert the ambient actor set by the replica
+   handlers matches. Whole-record maintenance ([entries],
+   [replace_all], [trim_finalized]) runs outside any actor scope
+   during epoch changes and is exempt by construction. *)
+
 let find t ~core tid =
   check_core t core;
+  Owner.check_partition ~core ~what:"find";
   Tid_table.find_opt t.partitions.(core) tid
 
 let add t ~core ~txn ~ts ~status =
   check_core t core;
+  Owner.check_partition ~core ~what:"add";
   let entry = { txn; ts; status; view = 0; accept_view = None } in
   Tid_table.replace t.partitions.(core) txn.Txn.tid entry;
   entry
 
 let remove t ~core tid =
   check_core t core;
+  Owner.check_partition ~core ~what:"remove";
   Tid_table.remove t.partitions.(core) tid
 
 let size t = Array.fold_left (fun acc p -> acc + Tid_table.length p) 0 t.partitions

@@ -6,7 +6,13 @@
     operation a partition is only ever touched by its own core and no
     cross-core synchronization exists (DAP). Only the epoch-change
     protocol aggregates across partitions, and it runs with normal
-    processing paused. *)
+    processing paused.
+
+    When [Mk_check.Owner] is enabled, {!find}/{!add}/{!remove} assert
+    that the ambient actor (set by the replica handlers with
+    [Owner.with_core]) matches the partition touched; the cross-core
+    maintenance operations ({!entries}, {!replace_all},
+    {!trim_finalized}) run outside any actor scope and are exempt. *)
 
 type entry = {
   txn : Txn.t;

@@ -1,8 +1,10 @@
 module Timestamp = Mk_clock.Timestamp
+module Owner = Mk_check.Owner
 
 type entry = {
   key : Txn.key;
   lock : Mutex.t;
+  owner : Owner.slot;
   mutable value : Txn.value;
   mutable wts : Timestamp.t;
   mutable rts : Timestamp.t;
@@ -10,7 +12,12 @@ type entry = {
   mutable writers : Timestamp.Set.t;
 }
 
-type shard = { table : (Txn.key, entry) Hashtbl.t; shard_lock : Mutex.t }
+type shard = {
+  table : (Txn.key, entry) Hashtbl.t;
+  shard_lock : Mutex.t;
+  shard_owner : Owner.slot;
+}
+
 type t = { shards : shard array; mask : int }
 
 let create ?(shards = 64) () =
@@ -18,8 +25,12 @@ let create ?(shards = 64) () =
     invalid_arg "Vstore.create: shards must be a positive power of two";
   {
     shards =
-      Array.init shards (fun _ ->
-          { table = Hashtbl.create 1024; shard_lock = Mutex.create () });
+      Array.init shards (fun i ->
+          {
+            table = Hashtbl.create 1024;
+            shard_lock = Mutex.create ();
+            shard_owner = Owner.slot (Printf.sprintf "vstore.shard[%d]" i);
+          });
     mask = shards - 1;
   }
 
@@ -30,10 +41,63 @@ let hash_key k =
 
 let shard_of t key = t.shards.(hash_key key land t.mask)
 
+(* The only place the shard lock is taken: every table operation runs
+   inside [with_shard] (Z3), and the dynamic checker learns who holds
+   the lock so unguarded accesses fail loudly (Mk_check.Owner). *)
+let with_shard s f =
+  Mutex.lock s.shard_lock;
+  Owner.acquired s.shard_owner;
+  match f () with
+  | r ->
+      Owner.released s.shard_owner;
+      Mutex.unlock s.shard_lock;
+      r
+  | exception e ->
+      Owner.released s.shard_owner;
+      Mutex.unlock s.shard_lock;
+      raise e
+
+(* Likewise for the per-key entry lock. *)
+let with_entry e f =
+  Mutex.lock e.lock;
+  Owner.acquired e.owner;
+  match f e with
+  | r ->
+      Owner.released e.owner;
+      Mutex.unlock e.lock;
+      r
+  | exception exn ->
+      Owner.released e.owner;
+      Mutex.unlock e.lock;
+      raise exn
+
+(* Entry mutations go through these so the checker can assert, at the
+   mutation itself, that the mutating domain holds the entry lock. *)
+let set_value e v =
+  Owner.check e.owner ~what:"value<-";
+  e.value <- v
+
+let set_wts e ts =
+  Owner.check e.owner ~what:"wts<-";
+  e.wts <- ts
+
+let set_rts e ts =
+  Owner.check e.owner ~what:"rts<-";
+  e.rts <- ts
+
+let set_readers e s =
+  Owner.check e.owner ~what:"readers<-";
+  e.readers <- s
+
+let set_writers e s =
+  Owner.check e.owner ~what:"writers<-";
+  e.writers <- s
+
 let fresh_entry key value =
   {
     key;
     lock = Mutex.create ();
+    owner = Owner.slot (Printf.sprintf "vstore.entry[%d]" key);
     value;
     wts = Timestamp.zero;
     rts = Timestamp.zero;
@@ -43,13 +107,14 @@ let fresh_entry key value =
 
 let load t ~key ~value =
   let s = shard_of t key in
-  Mutex.lock s.shard_lock;
-  Hashtbl.replace s.table key (fresh_entry key value);
-  Mutex.unlock s.shard_lock
+  with_shard s (fun () -> Hashtbl.replace s.table key (fresh_entry key value))
 
+(* Readers take the shard lock too: a bare [Hashtbl.find_opt] races
+   with a concurrent resize in [load]/[find_or_create] under real
+   domains (the pre-fix bug this module is the regression site for). *)
 let find t key =
   let s = shard_of t key in
-  Hashtbl.find_opt s.table key
+  with_shard s (fun () -> Hashtbl.find_opt s.table key)
 
 let find_exn t key =
   match find t key with
@@ -58,42 +123,50 @@ let find_exn t key =
 
 let find_or_create t key =
   let s = shard_of t key in
-  match Hashtbl.find_opt s.table key with
-  | Some e -> e
-  | None ->
-      Mutex.lock s.shard_lock;
-      let e =
-        match Hashtbl.find_opt s.table key with
-        | Some e -> e
-        | None ->
-            let e = fresh_entry key 0 in
-            Hashtbl.add s.table key e;
-            e
-      in
-      Mutex.unlock s.shard_lock;
-      e
+  with_shard s (fun () ->
+      match Hashtbl.find_opt s.table key with
+      | Some e -> e
+      | None ->
+          let e = fresh_entry key 0 in
+          Hashtbl.add s.table key e;
+          e)
 
-let size t = Array.fold_left (fun acc s -> acc + Hashtbl.length s.table) 0 t.shards
+let size t =
+  Array.fold_left
+    (fun acc s -> acc + with_shard s (fun () -> Hashtbl.length s.table))
+    0 t.shards
 
-let read_versioned e =
-  Mutex.lock e.lock;
-  let v = (e.value, e.wts) in
-  Mutex.unlock e.lock;
-  v
+let read_versioned e = with_entry e (fun e -> (e.value, e.wts))
 
 let iter t f =
-  Array.iter (fun s -> Hashtbl.iter (fun _ e -> f e) s.table) t.shards
+  Array.iter
+    (fun s -> with_shard s (fun () -> Hashtbl.iter (fun _ e -> f e) s.table))
+    t.shards
 
 let clear_pending t =
   iter t (fun e ->
-      Mutex.lock e.lock;
-      e.readers <- Timestamp.Set.empty;
-      e.writers <- Timestamp.Set.empty;
-      Mutex.unlock e.lock)
+      with_entry e (fun e ->
+          set_readers e Timestamp.Set.empty;
+          set_writers e Timestamp.Set.empty))
 
 let pending_counts t =
   let readers = ref 0 and writers = ref 0 in
   iter t (fun e ->
-      readers := !readers + Timestamp.Set.cardinal e.readers;
-      writers := !writers + Timestamp.Set.cardinal e.writers);
+      with_entry e (fun e ->
+          readers := !readers + Timestamp.Set.cardinal e.readers;
+          writers := !writers + Timestamp.Set.cardinal e.writers));
   (!readers, !writers)
+
+module For_testing = struct
+  (* The pre-fix shape of [find]: a table read that takes no shard
+     lock. Kept (never called by production code) so the dynamic
+     checker's ability to catch the original race stays demonstrable;
+     the static twin lives in test/lint_fixtures/. *)
+  let[@mk_lint.allow "Z3"] unguarded_find t key =
+    let s = shard_of t key in
+    Owner.check s.shard_owner ~what:"Hashtbl.find_opt (pre-fix Vstore.find shape)";
+    Hashtbl.find_opt s.table key
+
+  (* An entry mutation that skips the entry lock. *)
+  let unguarded_bump_rts e ts = set_rts e ts
+end

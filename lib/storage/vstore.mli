@@ -11,11 +11,19 @@
     The table is sharded and every entry has its own mutex, so the
     same implementation serves both the (single-threaded,
     deterministic) simulator and the real-parallelism layer in
-    [Mk_multicore], where OCaml domains genuinely race on entries. *)
+    [Mk_multicore], where OCaml domains genuinely race on entries.
+
+    Lock discipline (enforced by [bin/mk_lint.exe] rule Z3 statically
+    and by [Mk_check.Owner] dynamically): table lookups run under the
+    shard lock via {!with_shard}; entry field mutations run under the
+    entry lock via {!with_entry} and the [set_*] mutators. *)
 
 type entry = {
   key : Txn.key;
   lock : Mutex.t;  (** The paper's fine-grained per-key lock. *)
+  owner : Mk_check.Owner.slot;
+      (** Dynamic-checker shadow of [lock]; maintained by
+          {!with_entry}. *)
   mutable value : Txn.value;
   mutable wts : Mk_clock.Timestamp.t;
   mutable rts : Mk_clock.Timestamp.t;
@@ -43,11 +51,29 @@ val find_or_create : t -> Txn.key -> entry
 
 val size : t -> int
 
+val with_entry : entry -> (entry -> 'a) -> 'a
+(** Run [f] with the entry lock held (and the dynamic checker told).
+    All reads of related fields that must be consistent, and every
+    mutation, belong inside. *)
+
+val set_value : entry -> Txn.value -> unit
+val set_wts : entry -> Mk_clock.Timestamp.t -> unit
+val set_rts : entry -> Mk_clock.Timestamp.t -> unit
+val set_readers : entry -> Mk_clock.Timestamp.Set.t -> unit
+
+val set_writers : entry -> Mk_clock.Timestamp.Set.t -> unit
+(** The [set_*] mutators assert (when [Mk_check.Owner] is enabled)
+    that the caller holds the entry lock, i.e. runs inside
+    {!with_entry}. *)
+
 val read_versioned : entry -> Txn.value * Mk_clock.Timestamp.t
 (** Atomically snapshot (value, wts) under the entry lock — the GET
     handler. *)
 
 val iter : t -> (entry -> unit) -> unit
+(** Iterates shard by shard under each shard lock. [f] may take entry
+    locks (shard → entry is the global lock order) but must not touch
+    the store's tables. *)
 
 val clear_pending : t -> unit
 (** Empty every entry's pending reader/writer sets. Used when an epoch
@@ -58,3 +84,15 @@ val clear_pending : t -> unit
 val pending_counts : t -> int * int
 (** Totals of pending (readers, writers) across all entries; test and
     invariant-checking helper. *)
+
+(** Deliberately broken access paths for exercising the dynamic
+    checker; never called by production code. *)
+module For_testing : sig
+  val unguarded_find : t -> Txn.key -> entry option
+  (** The pre-fix shape of {!find}: no shard lock. Raises
+      [Mk_check.Owner.Violation] when the checker is enabled — the
+      regression demonstration for the original race. *)
+
+  val unguarded_bump_rts : entry -> Mk_clock.Timestamp.t -> unit
+  (** An entry mutation outside {!with_entry}; caught the same way. *)
+end

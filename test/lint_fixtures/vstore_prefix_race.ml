@@ -1,0 +1,13 @@
+(* The pre-fix shape of Vstore.find (lib/storage/vstore.ml as of the
+   seed): a Hashtbl read of a domain-shared shard table with no
+   shard_lock, racing with table resizes in load/find_or_create under
+   real domains. Kept as a lint fixture — never compiled — so
+   test_lint pins that rule Z3 catches the original bug; the dynamic
+   twin is Vstore.For_testing.unguarded_find. *)
+type shard = { table : (int, int) Hashtbl.t; shard_lock : Mutex.t }
+
+let shard_of t key = t.shards.(key land t.mask)
+
+let find t key =
+  let s = shard_of t key in
+  Hashtbl.find_opt s.table key

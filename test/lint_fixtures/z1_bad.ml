@@ -1,0 +1,6 @@
+(* Z1 violation fixture: coordination primitives and top-level mutable
+   state in a module outside the allowlist. Parsed by test_lint, never
+   compiled. *)
+let global_lock = Mutex.create ()
+let hits = ref 0
+let bump counter = Atomic.incr counter

@@ -1,0 +1,8 @@
+(* Z1 passing fixture: per-call state is fine; only globals and
+   coordination primitives are findings. *)
+let count xs = List.length xs
+
+let histogram xs =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun x -> Hashtbl.replace tbl x ()) xs;
+  Hashtbl.length tbl

@@ -1,0 +1,4 @@
+(* Z2 violation fixture: polymorphic comparison/hash on timestamp- and
+   tid-bearing expressions. *)
+let stale e r = e.wts = r.wts
+let bucket tid n = Hashtbl.hash tid mod n

@@ -1,0 +1,5 @@
+(* Z2 passing fixture: dedicated comparators, and the result of a
+   dedicated comparator is a plain int — comparing it with 0 is fine. *)
+let stale e r = Timestamp.compare e.wts r.wts > 0
+let same a b = Timestamp.Tid.equal a b
+let is_zero ts = Timestamp.compare ts Timestamp.zero = 0

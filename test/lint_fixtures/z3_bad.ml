@@ -1,0 +1,3 @@
+(* Z3 violation fixture: a table operation on a domain-shared module
+   outside the lock-guard helper. *)
+let find s key = Hashtbl.find_opt s.table key

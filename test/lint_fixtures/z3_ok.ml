@@ -1,0 +1,10 @@
+(* Z3 passing fixture: every table operation runs inside the guard —
+   either as an argument to a call of it, or in its own body. *)
+let with_shard s f =
+  Mutex.lock s.shard_lock;
+  let r = f () in
+  Mutex.unlock s.shard_lock;
+  r
+
+let find s key = with_shard s (fun () -> Hashtbl.find_opt s.table key)
+let add s key v = with_shard s (fun () -> Hashtbl.add s.table key v)

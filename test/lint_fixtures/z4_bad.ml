@@ -1,0 +1,2 @@
+(* Z4 violation fixture: no .mli sibling. *)
+let answer = 42

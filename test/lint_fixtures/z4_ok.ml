@@ -1,0 +1,2 @@
+(* Z4 passing fixture: ships the .mli next door. *)
+let answer = 42

@@ -116,6 +116,9 @@ let test_chaos_seeds_vary_but_all_safe () =
     [ 7; 77; 777 ]
 
 let () =
+  (* Chaos runs double as lock-discipline stress: the dynamic checker
+     is armed for the whole matrix. *)
+  Mk_check.Owner.enable ();
   Alcotest.run "chaos"
     [
       ( "chaos",

@@ -44,6 +44,30 @@ let test_tid_identity () =
   Alcotest.(check bool) "ordered by client then seq" true (Tid.compare a c < 0);
   Alcotest.(check string) "pp" "t2.1" (Tid.to_string a)
 
+let test_tid_hash_nonnegative () =
+  (* Regression: the old [seq * prime + client_id] overflowed for
+     large operands and a negative [hash mod partitions] crashed
+     trecord steering. The mixed hash must stay non-negative on the
+     whole input range. *)
+  let extremes = [ 0; 1; 12345; max_int / 2; max_int - 1; max_int ] in
+  List.iter
+    (fun seq ->
+      List.iter
+        (fun client_id ->
+          let h = Tid.hash (Tid.make ~seq ~client_id) in
+          Alcotest.(check bool)
+            (Printf.sprintf "hash >= 0 for seq=%d client=%d" seq client_id)
+            true (h >= 0);
+          Alcotest.(check bool) "in partition range" true (h mod 80 >= 0))
+        extremes)
+    extremes;
+  (* and it still discriminates: both fields matter *)
+  let base = Tid.hash (Tid.make ~seq:1 ~client_id:1) in
+  Alcotest.(check bool) "seq mixed in" true
+    (base <> Tid.hash (Tid.make ~seq:2 ~client_id:1));
+  Alcotest.(check bool) "client mixed in" true
+    (base <> Tid.hash (Tid.make ~seq:1 ~client_id:2))
+
 let test_sync_clock_perfect () =
   Alcotest.(check (float 1e-9)) "identity" 123.0
     (Sync_clock.read Sync_clock.perfect ~now:123.0)
@@ -82,7 +106,11 @@ let () =
           Alcotest.test_case "set min/max" `Quick test_timestamp_set_min_max;
           Alcotest.test_case "rendering" `Quick test_timestamp_render;
         ] );
-      ("tid", [ Alcotest.test_case "identity and order" `Quick test_tid_identity ]);
+      ( "tid",
+        [
+          Alcotest.test_case "identity and order" `Quick test_tid_identity;
+          Alcotest.test_case "hash never negative" `Quick test_tid_hash_nonnegative;
+        ] );
       ( "sync-clock",
         [
           Alcotest.test_case "perfect" `Quick test_sync_clock_perfect;

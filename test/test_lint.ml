@@ -1,0 +1,221 @@
+(* The ZCP-conformance tooling, tested from both layers: the static
+   lint against the fixture files in lint_fixtures/ (exact rule ids and
+   locations), and the dynamic lock-discipline checker against real
+   stores — including the pre-fix Vstore.find shape that motivated it. *)
+
+module Config = Mk_check_lint.Lint_config
+module Engine = Mk_check_lint.Lint_engine
+module Findings = Mk_check_lint.Lint_findings
+module Owner = Mk_check.Owner
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Vstore = Mk_storage.Vstore
+module Occ = Mk_storage.Occ
+module Trecord = Mk_storage.Trecord
+
+let finding = Alcotest.(triple string int int)
+
+let lint cfg path =
+  let r = Engine.run ~config:cfg ~paths:[ path ] in
+  List.map (fun f -> (f.Findings.rule, f.Findings.line, f.Findings.col)) r.findings
+
+let fx name = Filename.concat "lint_fixtures" name
+
+(* --- layer 1: the static rules, one fixture pair per rule --- *)
+
+let test_z1_violations () =
+  Alcotest.(check (list finding))
+    "coordination + global state flagged"
+    [ ("Z1", 4, 18); ("Z1", 5, 11); ("Z1", 6, 19) ]
+    (lint Config.default (fx "z1_bad.ml"))
+
+let test_z1_clean () =
+  Alcotest.(check (list finding)) "per-call state passes" []
+    (lint Config.default (fx "z1_ok.ml"))
+
+let test_z2_violations () =
+  Alcotest.(check (list finding))
+    "polymorphic =/hash on ts/tid flagged"
+    [ ("Z2", 3, 16); ("Z2", 4, 19) ]
+    (lint Config.default (fx "z2_bad.ml"))
+
+let test_z2_clean () =
+  (* Includes [Timestamp.compare x y = 0]: the comparator's int result
+     is not tainted. *)
+  Alcotest.(check (list finding)) "dedicated comparators pass" []
+    (lint Config.default (fx "z2_ok.ml"))
+
+let z3_cfg =
+  {
+    Config.default with
+    Config.coordination_allow = [ "lint_fixtures" ];
+    shared_modules =
+      [ fx "z3_bad.ml"; fx "z3_ok.ml"; fx "vstore_prefix_race.ml" ];
+  }
+
+let test_z3_violations () =
+  Alcotest.(check (list finding))
+    "unguarded Hashtbl op flagged"
+    [ ("Z3", 3, 17) ]
+    (lint z3_cfg (fx "z3_bad.ml"))
+
+let test_z3_clean () =
+  Alcotest.(check (list finding)) "guarded ops pass" [] (lint z3_cfg (fx "z3_ok.ml"))
+
+let test_z3_catches_prefix_vstore_race () =
+  (* Regression pin: the exact pre-fix shape of Vstore.find (table
+     read, no shard_lock) is a Z3 finding. *)
+  Alcotest.(check (list finding))
+    "pre-fix Vstore.find shape flagged"
+    [ ("Z3", 13, 2) ]
+    (lint z3_cfg (fx "vstore_prefix_race.ml"))
+
+let z4_cfg = { Config.default with Config.mli_required_under = [ "lint_fixtures" ] }
+
+let test_z4_violation () =
+  Alcotest.(check (list finding))
+    "missing .mli flagged"
+    [ ("Z4", 1, 0) ]
+    (lint z4_cfg (fx "z4_bad.ml"))
+
+let test_z4_clean () =
+  Alcotest.(check (list finding)) ".mli present passes" []
+    (lint z4_cfg (fx "z4_ok.ml"))
+
+let test_deterministic () =
+  let run () = Engine.render (Engine.run ~config:Config.default ~paths:[ fx "z1_bad.ml"; fx "z2_bad.ml" ]) in
+  Alcotest.(check string) "same report twice" (run ()) (run ())
+
+(* --- config parsing --- *)
+
+let test_config_overrides () =
+  let cfg =
+    Config.of_string
+      "# comment\n[z1]\nallow = [\"lib/x\", \"lib/y\"]\n[z3]\nshared = \"m.ml\"\n"
+  in
+  Alcotest.(check (list string)) "allow" [ "lib/x"; "lib/y" ] cfg.Config.coordination_allow;
+  Alcotest.(check (list string)) "shared" [ "m.ml" ] cfg.Config.shared_modules;
+  (* untouched keys keep their defaults *)
+  Alcotest.(check (list string))
+    "guards" Config.default.Config.lock_guards cfg.Config.lock_guards
+
+let test_config_unknown_key_rejected () =
+  match Config.of_string "[z1]\nallwo = [\"lib\"]\n" with
+  | _ -> Alcotest.fail "typo'd key accepted"
+  | exception Config.Parse_error _ -> ()
+
+(* --- layer 2: the dynamic checker --- *)
+
+let ts time = Timestamp.make ~time ~client_id:7
+
+let with_checker f =
+  Owner.enable ();
+  Fun.protect ~finally:Owner.disable f
+
+let expect_violation what f =
+  match f () with
+  | _ -> Alcotest.failf "%s: violation not caught" what
+  | exception Owner.Violation _ -> ()
+
+let test_owner_disabled_is_noop () =
+  Owner.disable ();
+  let store = Vstore.create ~shards:4 () in
+  Vstore.load store ~key:1 ~value:10;
+  (* Both deliberately broken paths run silently when the checker is
+     off — zero-cost mode changes no behavior. *)
+  (match Vstore.For_testing.unguarded_find store 1 with
+  | Some _ -> ()
+  | None -> Alcotest.fail "entry missing");
+  Vstore.For_testing.unguarded_bump_rts (Vstore.find_exn store 1) (ts 1.0)
+
+let test_owner_catches_prefix_find_race () =
+  with_checker (fun () ->
+      let store = Vstore.create ~shards:4 () in
+      Vstore.load store ~key:1 ~value:10;
+      (* The fixed paths pass... *)
+      (match Vstore.find store 1 with
+      | Some e -> ignore (Vstore.read_versioned e)
+      | None -> Alcotest.fail "entry missing");
+      (* ...the pre-fix shape of Vstore.find is caught. *)
+      expect_violation "unguarded find" (fun () ->
+          Vstore.For_testing.unguarded_find store 1))
+
+let test_owner_catches_unguarded_mutation () =
+  with_checker (fun () ->
+      let store = Vstore.create ~shards:4 () in
+      Vstore.load store ~key:1 ~value:10;
+      let e = Vstore.find_exn store 1 in
+      (* Guarded mutation passes... *)
+      Vstore.with_entry e (fun e -> Vstore.set_rts e (ts 1.0));
+      (* ...the same mutation outside with_entry is caught. *)
+      expect_violation "unguarded mutation" (fun () ->
+          Vstore.For_testing.unguarded_bump_rts e (ts 2.0)))
+
+let test_owner_passes_occ_roundtrip () =
+  with_checker (fun () ->
+      let store = Vstore.create ~shards:4 () in
+      for key = 0 to 7 do
+        Vstore.load store ~key ~value:0
+      done;
+      let e = Vstore.find_exn store 3 in
+      let _, wts = Vstore.read_versioned e in
+      let txn =
+        Txn.make
+          ~tid:(Timestamp.Tid.make ~seq:1 ~client_id:7)
+          ~read_set:[ { key = 3; wts } ]
+          ~write_set:[ { key = 3; value = 99 } ]
+      in
+      (match Occ.validate store txn ~ts:(ts 1.0) with
+      | `Ok -> Occ.finish store txn ~ts:(ts 1.0) ~commit:true
+      | `Abort -> Alcotest.fail "validation aborted");
+      Alcotest.(check (pair int int)) "no pending residue" (0, 0)
+        (Vstore.pending_counts store))
+
+let test_owner_partition_ownership () =
+  with_checker (fun () ->
+      let tr = Trecord.create ~cores:2 in
+      let tid = Timestamp.Tid.make ~seq:1 ~client_id:0 in
+      (* Own partition under an actor scope: fine. *)
+      Owner.with_core 0 (fun () -> ignore (Trecord.find tr ~core:0 tid));
+      (* Maintenance outside any actor scope: fine. *)
+      ignore (Trecord.find tr ~core:1 tid);
+      (* A foreign partition inside an actor scope: caught. *)
+      expect_violation "foreign partition" (fun () ->
+          Owner.with_core 0 (fun () -> Trecord.find tr ~core:1 tid)))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "Z1 violations" `Quick test_z1_violations;
+          Alcotest.test_case "Z1 clean" `Quick test_z1_clean;
+          Alcotest.test_case "Z2 violations" `Quick test_z2_violations;
+          Alcotest.test_case "Z2 clean" `Quick test_z2_clean;
+          Alcotest.test_case "Z3 violations" `Quick test_z3_violations;
+          Alcotest.test_case "Z3 clean" `Quick test_z3_clean;
+          Alcotest.test_case "Z3 catches pre-fix Vstore.find" `Quick
+            test_z3_catches_prefix_vstore_race;
+          Alcotest.test_case "Z4 violation" `Quick test_z4_violation;
+          Alcotest.test_case "Z4 clean" `Quick test_z4_clean;
+          Alcotest.test_case "deterministic output" `Quick test_deterministic;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "overrides" `Quick test_config_overrides;
+          Alcotest.test_case "unknown key rejected" `Quick
+            test_config_unknown_key_rejected;
+        ] );
+      ( "owner",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick test_owner_disabled_is_noop;
+          Alcotest.test_case "catches pre-fix find race" `Quick
+            test_owner_catches_prefix_find_race;
+          Alcotest.test_case "catches unguarded mutation" `Quick
+            test_owner_catches_unguarded_mutation;
+          Alcotest.test_case "occ roundtrip passes" `Quick
+            test_owner_passes_occ_roundtrip;
+          Alcotest.test_case "trecord partition ownership" `Quick
+            test_owner_partition_ownership;
+        ] );
+    ]

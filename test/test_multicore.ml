@@ -79,6 +79,9 @@ let test_counter_benches_count () =
   Alcotest.(check int) "sharded total" 100_000 sharded.Counter_bench.increments
 
 let () =
+  (* Arm the lock-discipline checker before any domain spawns; the
+     par-occ matrix is exactly the workload it polices. *)
+  Mk_check.Owner.enable ();
   Alcotest.run "multicore"
     [
       ( "par-occ",

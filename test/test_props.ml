@@ -386,4 +386,9 @@ let qtests =
       prop_stats_merge;
     ]
 
-let () = Alcotest.run "props" [ ("qcheck", qtests) ]
+let () =
+  (* Run the whole property matrix with the lock-discipline checker
+     armed: any unguarded vstore/trecord access a shrunk case finds
+     fails loudly instead of racing silently. *)
+  Mk_check.Owner.enable ();
+  Alcotest.run "props" [ ("qcheck", qtests) ]
