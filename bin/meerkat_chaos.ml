@@ -1,0 +1,141 @@
+(* meerkat_chaos: the Jepsen-style chaos matrix as a command.
+
+   Runs the Mk_harness.Chaos runner over a seed × nemesis-profile
+   matrix with detector-driven recovery only, prints one report line
+   per run, and exits non-zero if any invariant failed. Failing runs
+   are re-run deterministically with tracing on and their Chrome
+   traces written to --trace-dir for offline forensics.
+
+     dune exec bin/meerkat_chaos.exe -- --seeds 8 --profiles all
+     dune exec bin/meerkat_chaos.exe -- --profiles combo --seeds 2 --trace-dir /tmp/chaos *)
+
+module Chaos = Mk_harness.Chaos
+module Nemesis = Mk_fault.Nemesis
+
+let parse_profiles s =
+  if s = "all" then Ok Nemesis.all
+  else begin
+    let names = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | name :: rest -> (
+          match Nemesis.of_string (String.trim name) with
+          | Some p -> go (p :: acc) rest
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown profile %S (known: %s, or 'all')" name
+                      (String.concat ", " (List.map Nemesis.to_string Nemesis.all)))))
+    in
+    go [] names
+  end
+
+let run nseeds seed_base profiles horizon grace threads clients keys trace_dir
+    verbose =
+  let seeds = List.init nseeds (fun i -> seed_base + i) in
+  let cfg =
+    {
+      Chaos.default_cfg with
+      horizon;
+      grace;
+      threads;
+      n_clients = clients;
+      keys;
+    }
+  in
+  Format.printf "chaos matrix: %d seeds x %d profiles (horizon %.0fus, grace %.0fus)@."
+    nseeds (List.length profiles) horizon grace;
+  let reports = Chaos.matrix ~seeds ~profiles ~cfg in
+  let failures = List.filter (fun r -> not (Chaos.passed r)) reports in
+  List.iter
+    (fun r ->
+      if verbose || not (Chaos.passed r) then
+        Format.printf "%a" Chaos.pp_report r
+      else
+        Format.printf "seed %d, profile %s: PASS (%d commits, %d aborts, %d ec, %d vc)@."
+          r.Chaos.r_cfg.Chaos.seed
+          (Nemesis.to_string r.Chaos.r_cfg.Chaos.profile)
+          r.Chaos.committed_acks r.Chaos.aborted_acks r.Chaos.epoch_changes
+          r.Chaos.view_changes)
+    reports;
+  (match trace_dir with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun (r : Chaos.report) ->
+          (* Same cfg + same seed = the same run, this time traced. *)
+          let traced = Chaos.run { r.Chaos.r_cfg with trace = true } in
+          let path =
+            Filename.concat dir
+              (Printf.sprintf "chaos-%s-seed%d.json"
+                 (Nemesis.to_string r.Chaos.r_cfg.Chaos.profile)
+                 r.Chaos.r_cfg.Chaos.seed)
+          in
+          (try
+             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+             Mk_obs.Obs.write_chrome_trace traced.Chaos.obs ~path;
+             Format.printf "wrote failing-run trace to %s@." path
+           with Sys_error msg ->
+             Format.eprintf "meerkat_chaos: cannot write trace: %s@." msg))
+        failures);
+  if failures = [] then
+    Format.printf "all %d runs passed@." (List.length reports)
+  else begin
+    Format.printf "%d of %d runs FAILED@." (List.length failures)
+      (List.length reports);
+    exit 1
+  end
+
+let () =
+  let open Cmdliner in
+  let profiles_conv =
+    Arg.conv
+      ( parse_profiles,
+        fun ppf ps ->
+          Format.pp_print_string ppf
+            (String.concat "," (List.map Nemesis.to_string ps)) )
+  in
+  let nseeds =
+    Arg.(value & opt int 8 & info [ "seeds" ] ~doc:"Number of seeds to run.")
+  in
+  let seed_base =
+    Arg.(value & opt int 1 & info [ "seed-base" ] ~doc:"First seed of the range.")
+  in
+  let profiles =
+    Arg.(value & opt profiles_conv Nemesis.all
+         & info [ "profiles"; "p" ]
+             ~doc:"Comma-separated nemesis profiles, or 'all'.")
+  in
+  let horizon =
+    Arg.(value & opt float 60_000.0
+         & info [ "horizon" ] ~doc:"Client submission horizon, simulated us.")
+  in
+  let grace =
+    Arg.(value & opt float 30_000.0
+         & info [ "grace" ] ~doc:"Drain/recovery window after the horizon, us.")
+  in
+  let threads =
+    Arg.(value & opt int 2 & info [ "threads"; "t" ] ~doc:"Server threads per replica.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.")
+  in
+  let keys = Arg.(value & opt int 256 & info [ "keys" ] ~doc:"Hot keyspace size.") in
+  let trace_dir =
+    Arg.(value & opt (some string) None
+         & info [ "trace-dir" ] ~docv:"DIR"
+             ~doc:"Re-run failing seeds with tracing and write their Chrome \
+                   traces into $(docv).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Full report for passing runs too.")
+  in
+  let term =
+    Term.(const run $ nseeds $ seed_base $ profiles $ horizon $ grace $ threads
+          $ clients $ keys $ trace_dir $ verbose)
+  in
+  let info =
+    Cmd.info "meerkat_chaos"
+      ~doc:"Seeded chaos matrix over the simulated Meerkat deployment"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -16,6 +16,8 @@ module Systems = Mk_systems.Systems
 module Workload = Mk_workload.Workload
 module Runner = Mk_harness.Runner
 
+module Nemesis = Mk_fault.Nemesis
+
 let system_of_string = function
   | "meerkat" -> Ok Systems.Meerkat
   | "meerkat-pb" | "pb" -> Ok Systems.Meerkat_pb
@@ -23,8 +25,44 @@ let system_of_string = function
   | "kuafu" | "kuafu++" -> Ok Systems.Kuafupp
   | s -> Error (`Msg (Printf.sprintf "unknown system %S" s))
 
+(* Build the Meerkat system directly (rather than through
+   [Systems.build]) so the nemesis can reach its crash entry points and
+   failure detectors: injected crashes must be recovered by the
+   in-system detectors, not by the driver. *)
+let build_with_nemesis ~obs ~engine ~config ~profile ~nemesis_seed ~horizon =
+  let module S = Mk_meerkat.Sim_system in
+  let sys = S.create ~obs engine config in
+  let plan =
+    Nemesis.plan ~seed:nemesis_seed ~profile ~horizon
+      ~n_replicas:config.Cluster.n_replicas ~n_clients:config.Cluster.n_clients
+  in
+  Format.printf "nemesis: %a@." Nemesis.pp_plan plan;
+  Nemesis.install ~engine ~net:(S.network sys) ~obs
+    ~callbacks:
+      {
+        Nemesis.crash_replica =
+          (fun ~victim ~down_for -> S.crash_replica ~down_for sys victim);
+        crash_coordinator =
+          (fun ~client ~down_for -> S.crash_coordinator sys ~client ~down_for);
+      }
+    plan;
+  S.start_detectors sys ~until:horizon ();
+  let packed =
+    Mk_model.System_intf.Packed
+      ( (module struct
+          type t = S.t
+
+          let name = S.name
+          let threads = S.threads
+          let submit = S.submit
+          let obs = S.obs
+        end),
+        sys )
+  in
+  (packed, fun () -> S.server_busy_fraction sys)
+
 let run system workload_name threads replicas zipf keys_per_thread clients_per_thread
-    transport_name drop measure seed peak trace metrics =
+    transport_name drop measure seed peak trace metrics nemesis nemesis_seed =
   let transport =
     match transport_name with
     | "erpc" -> Transport.erpc
@@ -56,6 +94,19 @@ let run system workload_name threads replicas zipf keys_per_thread clients_per_t
     Format.eprintf "meerkat_sim: --trace/--metrics need a single run: drop --peak@.";
     exit 2
   end;
+  (match nemesis with
+  | None -> ()
+  | Some _ ->
+      if peak then begin
+        Format.eprintf "meerkat_sim: --nemesis needs a single run: drop --peak@.";
+        exit 2
+      end;
+      if system <> Systems.Meerkat then begin
+        Format.eprintf
+          "meerkat_sim: --nemesis needs --system meerkat (the only system with \
+           detector-driven recovery)@.";
+        exit 2
+      end);
   let clients, result, obs =
     if peak then begin
       let clients, result =
@@ -72,7 +123,13 @@ let run system workload_name threads replicas zipf keys_per_thread clients_per_t
           ()
       in
       let packed, busy =
-        Systems.build ~obs system engine { config with n_clients }
+        match nemesis with
+        | None -> Systems.build ~obs system engine { config with n_clients }
+        | Some profile ->
+            build_with_nemesis ~obs ~engine ~config:{ config with n_clients }
+              ~profile
+              ~nemesis_seed:(Option.value nemesis_seed ~default:seed)
+              ~horizon:(1.5 *. measure)
       in
       let wl = workload ~rng:(Mk_util.Rng.create ~seed:(seed + 7919)) ~keys in
       ( n_clients,
@@ -90,6 +147,12 @@ let run system workload_name threads replicas zipf keys_per_thread clients_per_t
   match obs with
   | None -> ()
   | Some obs ->
+      if nemesis <> None then
+        Format.printf
+          "nemesis outcome: %d fault events, %d epoch changes, %d view changes@."
+          (Mk_obs.Obs.counter_value obs "fault.windows")
+          (Mk_obs.Obs.counter_value obs "recovery.epoch_changes")
+          (Mk_obs.Obs.counter_value obs "recovery.view_changes");
       (match trace with
       | None -> ()
       | Some path -> (
@@ -150,10 +213,35 @@ let () =
          & info [ "metrics" ]
              ~doc:"Print the metrics registry dump after the run (not --peak).")
   in
+  let nemesis =
+    let profile_conv =
+      Arg.conv
+        ( (fun s ->
+            match Nemesis.of_string s with
+            | Some p -> Ok p
+            | None ->
+                Error
+                  (`Msg
+                     (Printf.sprintf "unknown nemesis profile %S; known: %s" s
+                        (String.concat ", "
+                           (List.map Nemesis.to_string Nemesis.all))))),
+          fun ppf p -> Format.pp_print_string ppf (Nemesis.to_string p) )
+    in
+    Arg.(value & opt (some profile_conv) None
+         & info [ "nemesis" ] ~docv:"PROFILE"
+             ~doc:"Inject a seeded nemesis fault schedule (calm, dup, reorder, \
+                   partition, crash-replica, crash-coordinator, combo) and arm \
+                   the failure detectors. Meerkat only, not --peak.")
+  in
+  let nemesis_seed =
+    Arg.(value & opt (some int) None
+         & info [ "nemesis-seed" ]
+             ~doc:"Seed for the nemesis schedule (default: --seed).")
+  in
   let term =
     Term.(const run $ system $ workload $ threads $ replicas $ zipf $ keys_per_thread
           $ clients_per_thread $ transport $ drop $ measure $ seed $ peak $ trace
-          $ metrics)
+          $ metrics $ nemesis $ nemesis_seed)
   in
   let info =
     Cmd.info "meerkat_sim" ~doc:"Run one simulated experiment on the Meerkat systems"

@@ -99,8 +99,8 @@ let () =
     List.filter_map
       (fun r ->
         match Replica.handle_coord_change r ~core ~tid:orphan.Txn.tid ~view:1 with
-        | Some (`View_ok None) -> Some Recovery.No_record
-        | Some (`View_ok (Some record)) -> Some (Recovery.Record record)
+        | Some (`View_ok None) -> Some (Replica.id r, Recovery.No_record)
+        | Some (`View_ok (Some record)) -> Some (Replica.id r, Recovery.Record record)
         | Some (`Stale _) | None -> None)
       [ replicas.(0); replicas.(1); replicas.(2) ]
   in

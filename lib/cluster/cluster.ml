@@ -86,7 +86,9 @@ let create ?obs engine cfg =
   in
   Network.set_observer net (function
     | `Sent -> Obs.note_send obs
-    | `Dropped -> Obs.note_drop obs);
+    | `Dropped -> Obs.note_drop obs
+    | `Duplicated -> Obs.note_duplicate obs
+    | `Delayed -> Obs.note_delay obs);
   if Obs.tracing obs then begin
     (* Name the trace tracks and mirror each core's busy intervals;
        wired only when tracing so idle runs pay nothing per job. *)
@@ -154,13 +156,17 @@ let do_get t client ~key ~read ~alive k =
     | Some r ->
         let core = t.cores.(r).(Rng.int client.rng t.cfg.threads) in
         let answered = ref false in
-        Network.send_work_to_core t.net ~dst:core
+        Network.send_work_to_core t.net
+          ~link:(Network.Client client.cid, Network.Replica r)
+          ~dst:core
           ~cost:(t.cfg.costs.Mk_model.Costs.get +. tx_cpu t)
           (fun () ->
             match read ~replica:r ~key with
             | None -> ()
             | Some versioned ->
-                Network.send_to_client t.net (fun () ->
+                Network.send_to_client t.net
+                  ~link:(Network.Replica r, Network.Client client.cid)
+                  (fun () ->
                     if not !answered then begin
                       answered := true;
                       k versioned

@@ -1,0 +1,245 @@
+module Engine = Mk_sim.Engine
+module Network = Mk_net.Network
+module Rng = Mk_util.Rng
+module Obs = Mk_obs.Obs
+
+type profile =
+  | Calm
+  | Dup_storm
+  | Reorder
+  | Partition
+  | Crash_replica
+  | Crash_coordinator
+  | Combo
+
+let all =
+  [ Calm; Dup_storm; Reorder; Partition; Crash_replica; Crash_coordinator; Combo ]
+
+let to_string = function
+  | Calm -> "calm"
+  | Dup_storm -> "dup"
+  | Reorder -> "reorder"
+  | Partition -> "partition"
+  | Crash_replica -> "crash-replica"
+  | Crash_coordinator -> "crash-coordinator"
+  | Combo -> "combo"
+
+let of_string s =
+  List.find_opt (fun p -> to_string p = s) all
+
+type scope =
+  | All_links
+  | From_replica of int
+  | To_replica of int
+  | Between of Network.endpoint * Network.endpoint
+
+let scope_applies scope ~src ~dst =
+  match scope with
+  | All_links -> true
+  | From_replica r -> src = Network.Replica r
+  | To_replica r -> dst = Network.Replica r
+  | Between (a, b) -> src = a && dst = b
+
+type window = {
+  w_name : string;
+  from_t : float;
+  until_t : float;  (** [infinity] = never closes. *)
+  scope : scope;
+  rule : Network.link_rule;
+}
+
+type crash =
+  | Replica_crash of { at : float; victim : int; down_for : float }
+  | Coordinator_crash of { at : float; client : int; down_for : float }
+
+type plan = { windows : window list; crashes : crash list }
+
+type callbacks = {
+  crash_replica : victim:int -> down_for:float -> unit;
+  crash_coordinator : client:int -> down_for:float -> unit;
+}
+
+let dup_all ~prob =
+  {
+    windows =
+      [
+        {
+          w_name = "dup-all";
+          from_t = 0.0;
+          until_t = Float.infinity;
+          scope = All_links;
+          rule = { Network.pass with dup = prob };
+        };
+      ];
+    crashes = [];
+  }
+
+(* Spike magnitude for reorder windows: far above the transport
+   latencies used in this repo (eRPC-class, single-digit µs), so a
+   spiked message really is overtaken by tens of later messages. *)
+let default_spike = 200.0
+
+(* Jittered window over [lo, hi] fractions of the horizon. *)
+let frac rng ~horizon lo hi =
+  let span = (hi -. lo) /. 4.0 in
+  let a = (lo +. Rng.float rng span) *. horizon in
+  let b = (hi -. Rng.float rng span) *. horizon in
+  (a, Float.max b (a +. (0.05 *. horizon)))
+
+let plan ~seed ~profile ~horizon ~n_replicas ~n_clients =
+  let rng = Rng.create ~seed:(seed lxor 0x6d656b61 (* "meka" *)) in
+  let victim () = Rng.int rng n_replicas in
+  let client () = Rng.int rng n_clients in
+  let dup_window ?(prob = 0.5) lo hi =
+    let from_t, until_t = frac rng ~horizon lo hi in
+    {
+      w_name = "dup";
+      from_t;
+      until_t;
+      scope = All_links;
+      rule = { Network.pass with dup = prob };
+    }
+  in
+  let reorder_window ?(prob = 0.3) lo hi =
+    let from_t, until_t = frac rng ~horizon lo hi in
+    {
+      w_name = "reorder";
+      from_t;
+      until_t;
+      scope = All_links;
+      rule = { Network.pass with delay_prob = prob; delay = default_spike };
+    }
+  in
+  (* Asymmetric partition: the victim's *outbound* traffic is dropped
+     while its inbound still flows — peers hear silence and suspect a
+     crash, yet the victim keeps receiving (and uselessly answering).
+     The nastier direction for a failure detector. *)
+  let partition_window v lo hi =
+    let from_t, until_t = frac rng ~horizon lo hi in
+    {
+      w_name = Printf.sprintf "partition-r%d" v;
+      from_t;
+      until_t;
+      scope = From_replica v;
+      rule = Network.block;
+    }
+  in
+  match profile with
+  | Calm -> { windows = []; crashes = [] }
+  | Dup_storm -> { windows = [ dup_window 0.1 0.7 ]; crashes = [] }
+  | Reorder -> { windows = [ reorder_window 0.1 0.7 ]; crashes = [] }
+  | Partition -> { windows = [ partition_window (victim ()) 0.2 0.5 ]; crashes = [] }
+  | Crash_replica ->
+      let at = (0.2 +. Rng.float rng 0.1) *. horizon in
+      {
+        windows = [];
+        crashes =
+          [ Replica_crash { at; victim = victim (); down_for = 0.2 *. horizon } ];
+      }
+  | Crash_coordinator ->
+      let at = (0.2 +. Rng.float rng 0.15) *. horizon in
+      {
+        windows = [];
+        crashes =
+          [ Coordinator_crash { at; client = client (); down_for = 0.1 *. horizon } ];
+      }
+  | Combo ->
+      (* Every fault class at once, staggered so that at most one
+         replica is unavailable at any instant (f = 1 for n = 3): the
+         partition isolates [v] early, and the same [v] is the crash
+         victim after the partition heals. Coordinator crashes are
+         client-side and do not count against f. *)
+      let v = victim () in
+      let crash_at = (0.45 +. Rng.float rng 0.05) *. horizon in
+      {
+        windows =
+          [
+            dup_window ~prob:0.3 0.05 0.8;
+            reorder_window ~prob:0.2 0.2 0.6;
+            partition_window v 0.15 0.35;
+          ];
+        crashes =
+          [
+            Replica_crash { at = crash_at; victim = v; down_for = 0.15 *. horizon };
+            Coordinator_crash
+              {
+                at = (0.25 +. Rng.float rng 0.05) *. horizon;
+                client = client ();
+                down_for = 0.1 *. horizon;
+              };
+            Coordinator_crash
+              {
+                at = (0.6 +. Rng.float rng 0.05) *. horizon;
+                client = client ();
+                down_for = 0.08 *. horizon;
+              };
+          ];
+      }
+
+let install ~engine ~net ~obs ~callbacks plan =
+  (* One fault function folding every open window; windows are
+     time-gated at send time, so a single install covers the whole
+     schedule. *)
+  let fault_fn ~src ~dst =
+    let now = Engine.now engine in
+    List.fold_left
+      (fun acc w ->
+        if now >= w.from_t && now < w.until_t && scope_applies w.scope ~src ~dst
+        then
+          Some
+            (match acc with
+            | None -> w.rule
+            | Some r -> Network.combine r w.rule)
+        else acc)
+      None plan.windows
+  in
+  if plan.windows <> [] then Network.set_link_faults net (Some fault_fn);
+  List.iter
+    (fun w ->
+      Engine.schedule_at engine w.from_t (fun () ->
+          Obs.note_fault obs ~name:(w.w_name ^ ":open"));
+      if w.until_t < Float.infinity then
+        Engine.schedule_at engine w.until_t (fun () ->
+            Obs.note_fault obs ~name:(w.w_name ^ ":close")))
+    plan.windows;
+  List.iter
+    (fun c ->
+      match c with
+      | Replica_crash { at; victim; down_for } ->
+          Engine.schedule_at engine at (fun () ->
+              Obs.note_fault obs ~name:(Printf.sprintf "crash-r%d" victim);
+              callbacks.crash_replica ~victim ~down_for)
+      | Coordinator_crash { at; client; down_for } ->
+          Engine.schedule_at engine at (fun () ->
+              Obs.note_fault obs ~name:(Printf.sprintf "crash-c%d" client);
+              callbacks.crash_coordinator ~client ~down_for))
+    plan.crashes
+
+let pp_scope ppf = function
+  | All_links -> Format.fprintf ppf "*->*"
+  | From_replica r -> Format.fprintf ppf "r%d->*" r
+  | To_replica r -> Format.fprintf ppf "*->r%d" r
+  | Between (a, b) ->
+      let pp_ep ppf = function
+        | Network.Client c -> Format.fprintf ppf "c%d" c
+        | Network.Replica r -> Format.fprintf ppf "r%d" r
+      in
+      Format.fprintf ppf "%a->%a" pp_ep a pp_ep b
+
+let pp_plan ppf plan =
+  List.iter
+    (fun w ->
+      Format.fprintf ppf "window %-12s %a [%.0f, %.0f) drop=%.2f dup=%.2f spike=%.2f@%.0fus@."
+        w.w_name pp_scope w.scope w.from_t w.until_t w.rule.Network.drop
+        w.rule.Network.dup w.rule.Network.delay_prob w.rule.Network.delay)
+    plan.windows;
+  List.iter
+    (fun c ->
+      match c with
+      | Replica_crash { at; victim; down_for } ->
+          Format.fprintf ppf "crash replica %d at %.0f (down %.0fus)@." victim at
+            down_for
+      | Coordinator_crash { at; client; down_for } ->
+          Format.fprintf ppf "crash coordinator %d at %.0f (down %.0fus)@." client
+            at down_for)
+    plan.crashes

@@ -1,0 +1,90 @@
+(** Seeded nemesis schedules: timed fault windows and crash
+    injections, in the style of a Jepsen nemesis.
+
+    A {!plan} is a pure value — derived deterministically from a seed,
+    a profile and the run horizon — listing per-link fault {!window}s
+    (drop / duplicate / delay-spike rules over an interval of
+    simulated time) and {!crash} injections (replica fail-stop and
+    coordinator kill). {!install} compiles the windows into one
+    {!Mk_net.Network.fault_fn} (overlapping windows combine with
+    {!Mk_net.Network.combine}), schedules the crash callbacks, and
+    mirrors every window open/close and crash into the observability
+    registry ([fault.windows], with a trace instant per event).
+
+    The plan's RNG is private to this module: installing a nemesis
+    never perturbs the engine's or the network's random streams, so a
+    [Calm] run is bit-identical to a run with no nemesis at all. *)
+
+type profile =
+  | Calm  (** No faults; the control group. *)
+  | Dup_storm  (** Every link duplicates messages for part of the run. *)
+  | Reorder  (** Delay spikes reorder messages against their peers. *)
+  | Partition
+      (** Asymmetric partition: one replica's outbound traffic is
+          dropped while its inbound still flows. *)
+  | Crash_replica  (** Fail-stop a replica, rebooting later. *)
+  | Crash_coordinator
+      (** Kill a client-side coordinator between validate and write. *)
+  | Combo  (** All of the above, staggered to keep f = 1. *)
+
+val all : profile list
+val to_string : profile -> string
+val of_string : string -> profile option
+
+type scope =
+  | All_links
+  | From_replica of int
+  | To_replica of int
+  | Between of Mk_net.Network.endpoint * Mk_net.Network.endpoint
+
+type window = {
+  w_name : string;
+  from_t : float;
+  until_t : float;  (** [infinity] = never closes. *)
+  scope : scope;
+  rule : Mk_net.Network.link_rule;
+}
+
+type crash =
+  | Replica_crash of { at : float; victim : int; down_for : float }
+  | Coordinator_crash of { at : float; client : int; down_for : float }
+
+type plan = { windows : window list; crashes : crash list }
+
+type callbacks = {
+  crash_replica : victim:int -> down_for:float -> unit;
+  crash_coordinator : client:int -> down_for:float -> unit;
+}
+
+val plan :
+  seed:int ->
+  profile:profile ->
+  horizon:float ->
+  n_replicas:int ->
+  n_clients:int ->
+  plan
+(** Deterministic in all five arguments. Fault windows sit inside the
+    first ~80% of [horizon] and crashes reboot well before it, so a
+    run with a grace period after the horizon ends fault-free. *)
+
+val dup_all : prob:float -> plan
+(** A single never-closing window duplicating every link with
+    probability [prob] — the schedule behind the determinism test
+    (duplicating everything must change no outcome). *)
+
+val install :
+  engine:Mk_sim.Engine.t ->
+  net:Mk_net.Network.t ->
+  obs:Mk_obs.Obs.t ->
+  callbacks:callbacks ->
+  plan ->
+  unit
+(** Must be called at simulated time 0, before [Engine.run]: window
+    bounds and crash times are absolute. Installs the network fault
+    function only when the plan has windows, so a windowless plan
+    leaves the network untouched. *)
+
+val scope_applies :
+  scope -> src:Mk_net.Network.endpoint -> dst:Mk_net.Network.endpoint -> bool
+
+val pp_plan : Format.formatter -> plan -> unit

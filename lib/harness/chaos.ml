@@ -1,0 +1,280 @@
+module Engine = Mk_sim.Engine
+module Transport = Mk_net.Transport
+module Network = Mk_net.Network
+module Intf = Mk_model.System_intf
+module Txn = Mk_storage.Txn
+module Timestamp = Mk_clock.Timestamp
+module S = Mk_meerkat.Sim_system
+module Replica = Mk_meerkat.Replica
+module Nemesis = Mk_fault.Nemesis
+module Obs = Mk_obs.Obs
+module Rng = Mk_util.Rng
+
+type cfg = {
+  seed : int;
+  profile : Nemesis.profile;
+  threads : int;
+  n_clients : int;
+  keys : int;
+  horizon : float;
+  grace : float;
+  transport : Transport.t;
+  detector : S.detector_cfg;
+  trace : bool;
+}
+
+let default_cfg =
+  {
+    seed = 1;
+    profile = Nemesis.Combo;
+    threads = 2;
+    n_clients = 8;
+    keys = 256;
+    horizon = 60_000.0;
+    grace = 30_000.0;
+    transport = Transport.erpc;
+    detector = S.default_detector_cfg;
+    trace = false;
+  }
+
+type report = {
+  r_cfg : cfg;
+  committed_acks : int;
+  aborted_acks : int;
+  submitted : int;
+  acked : int;
+  committed : (Txn.t * Timestamp.t) list;
+      (** Union of committed trecord entries across replicas. *)
+  stuck : int;  (** Non-final trecord entries left at the end. *)
+  serializable : (unit, Checker.violation) result;
+  agreement : (unit, string) result;
+  bounded : (unit, string) result;
+  available : (unit, string) result;
+  acks_consistent : (unit, string) result;
+  epoch_changes : int;
+  view_changes : int;
+  duplicated : int;
+  delayed : int;
+  dropped : int;
+  fault_events : int;
+  obs : Obs.t;
+}
+
+let passed r =
+  Result.is_ok r.serializable
+  && Result.is_ok r.agreement
+  && Result.is_ok r.bounded
+  && Result.is_ok r.available
+  && Result.is_ok r.acks_consistent
+
+(* The workload RNG is derived from the seed but independent of the
+   engine's: neither nemesis draws nor network fault draws ever shift
+   which keys the clients touch. *)
+let workload_rng seed = Rng.create ~seed:(seed lxor 0x63616f73 (* "caos" *))
+
+let run cfg =
+  let sys_cfg =
+    {
+      S.default_config with
+      threads = cfg.threads;
+      n_clients = cfg.n_clients;
+      keys = cfg.keys;
+      transport = cfg.transport;
+      seed = cfg.seed;
+    }
+  in
+  let engine = Engine.create ~seed:cfg.seed () in
+  let obs = Obs.create ~trace:cfg.trace ~clock:(fun () -> Engine.now engine) () in
+  let sys = S.create ~obs engine sys_cfg in
+  (* Nemesis: derived from the same seed, installed before anything
+     runs so window bounds are absolute. *)
+  let plan =
+    Nemesis.plan ~seed:cfg.seed ~profile:cfg.profile ~horizon:cfg.horizon
+      ~n_replicas:sys_cfg.S.n_replicas ~n_clients:cfg.n_clients
+  in
+  Nemesis.install ~engine ~net:(S.network sys) ~obs
+    ~callbacks:
+      {
+        Nemesis.crash_replica =
+          (fun ~victim ~down_for -> S.crash_replica ~down_for sys victim);
+        crash_coordinator =
+          (fun ~client ~down_for -> S.crash_coordinator sys ~client ~down_for);
+      }
+    plan;
+  (* Recovery is detector-driven: the harness never calls
+     run_epoch_change or any view-change entry point itself. *)
+  S.start_detectors ~cfg:cfg.detector sys ~until:(cfg.horizon +. (cfg.grace /. 2.0)) ();
+  (* Closed-loop read-modify-write clients on a hot keyspace. *)
+  let rng = workload_rng cfg.seed in
+  let committed_acks = ref 0 and aborted_acks = ref 0 in
+  let submitted = ref 0 and acked = ref 0 in
+  let rec client c =
+    if Engine.now engine < cfg.horizon then begin
+      incr submitted;
+      let key1 = Rng.int rng cfg.keys in
+      (* Distinct second key: a write-set with two writes to one key
+         has no defined ordering between them (the replica's
+         Thomas-rule apply keeps the first, a naive replay the last),
+         so the workload never produces one. *)
+      let key2 =
+        let k = Rng.int rng cfg.keys in
+        if k = key1 then (k + 1) mod cfg.keys else k
+      in
+      S.submit sys ~client:c
+        {
+          Intf.reads = [| key1 |];
+          writes = [| (key1, Rng.int rng 1_000_000); (key2, c) |];
+        }
+        ~on_done:(fun ~committed ->
+          incr acked;
+          if committed then incr committed_acks else incr aborted_acks;
+          client c)
+    end
+  in
+  for c = 0 to cfg.n_clients - 1 do
+    client c
+  done;
+  Engine.run ~until:(cfg.horizon +. cfg.grace) ~max_events:100_000_000 engine;
+  (* --- End-of-run invariants. --- *)
+  let replicas = S.replicas sys in
+  (* Union of committed records across replicas (every replica is
+     expected up by now; tolerate a crashed one so the report can say
+     *which* invariant failed rather than raising). *)
+  let seen = Hashtbl.create 1024 in
+  let committed = ref [] in
+  let stuck = ref 0 in
+  Array.iter
+    (fun r ->
+      if not (Replica.is_crashed r) then
+        List.iter
+          (fun (_, (e : Mk_storage.Trecord.entry)) ->
+            if Txn.is_final e.status then begin
+              if
+                e.status = Txn.Committed
+                && not (Hashtbl.mem seen e.txn.Txn.tid)
+              then begin
+                Hashtbl.add seen e.txn.Txn.tid ();
+                committed := (e.txn, e.ts) :: !committed
+              end
+            end
+            else incr stuck)
+          (Mk_storage.Trecord.entries (Replica.trecord r)))
+    replicas;
+  let committed = !committed in
+  (* I1: every acknowledged commit forms one serializable history. *)
+  let serializable = Checker.check committed in
+  (* I2: all replicas are back up and agree on the final state. *)
+  let available =
+    match
+      Array.to_list replicas
+      |> List.filter_map (fun r ->
+             if Replica.is_available r then None else Some (Replica.id r))
+    with
+    | [] -> Ok ()
+    | down ->
+        Error
+          (Printf.sprintf "replicas not available at end: %s"
+             (String.concat ", " (List.map string_of_int down)))
+  in
+  let agreement =
+    let expected = Checker.final_state committed in
+    let err = ref None in
+    Array.iter
+      (fun r ->
+        if Replica.is_crashed r then ()
+        else
+          for key = 0 to cfg.keys - 1 do
+            let want =
+              match Hashtbl.find_opt expected key with
+              | Some (v, _) -> v
+              | None -> 0 (* preloaded value, never overwritten *)
+            in
+            match S.read_committed sys ~replica:(Replica.id r) ~key with
+            | Some got when got = want -> ()
+            | got ->
+                if !err = None then
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "replica %d key %d: expected %d, found %s" (Replica.id r)
+                         key want
+                         (match got with
+                         | Some v -> string_of_int v
+                         | None -> "nothing"))
+          done)
+      replicas;
+    match !err with None -> Ok () | Some e -> Error e
+  in
+  (* I3: no transaction is stuck past the end of the grace period —
+     every submission was acknowledged and every trecord entry reached
+     a final state (the stuck-record detector swept the stragglers). *)
+  let bounded =
+    if !submitted = !acked && !stuck = 0 then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d of %d submissions unacked, %d non-final records"
+           (!submitted - !acked) !submitted !stuck)
+  in
+  (* I4: commit acknowledgements and committed records tell the same
+     story — an acked commit must be durable on the replicas, and a
+     replica-committed transaction must have been acked to its client
+     (the closed loop waits for every outcome). *)
+  let acks_consistent =
+    let ncommitted = List.length committed in
+    if !committed_acks = ncommitted then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d commits acked but %d committed records"
+           !committed_acks ncommitted)
+  in
+  {
+    r_cfg = cfg;
+    committed_acks = !committed_acks;
+    aborted_acks = !aborted_acks;
+    submitted = !submitted;
+    acked = !acked;
+    committed;
+    stuck = !stuck;
+    serializable;
+    agreement;
+    bounded;
+    available;
+    acks_consistent;
+    epoch_changes = Obs.counter_value obs "recovery.epoch_changes";
+    view_changes = Obs.counter_value obs "recovery.view_changes";
+    duplicated = Network.messages_duplicated (S.network sys);
+    delayed = Network.messages_delayed (S.network sys);
+    dropped = Network.messages_dropped (S.network sys);
+    fault_events = Obs.counter_value obs "fault.windows";
+    obs;
+  }
+
+let pp_invariant ppf (name, r) =
+  match r with
+  | Ok () -> Format.fprintf ppf "  %-14s ok@." name
+  | Error e -> Format.fprintf ppf "  %-14s FAILED: %s@." name e
+
+let pp_report ppf r =
+  Format.fprintf ppf "seed %d, profile %s: %s@." r.r_cfg.seed
+    (Nemesis.to_string r.r_cfg.profile)
+    (if passed r then "PASS" else "FAIL");
+  Format.fprintf ppf
+    "  %d commits, %d aborts (%d/%d acked); %d dup, %d delayed, %d dropped; %d \
+     epoch changes, %d view changes, %d fault events@."
+    r.committed_acks r.aborted_acks r.acked r.submitted r.duplicated r.delayed
+    r.dropped r.epoch_changes r.view_changes r.fault_events;
+  pp_invariant ppf
+    ( "serializable",
+      Result.map_error
+        (fun v -> Format.asprintf "%a" Checker.pp_violation v)
+        r.serializable );
+  pp_invariant ppf ("agreement", r.agreement);
+  pp_invariant ppf ("bounded", r.bounded);
+  pp_invariant ppf ("available", r.available);
+  pp_invariant ppf ("acks", r.acks_consistent)
+
+let matrix ~seeds ~profiles ~cfg =
+  List.concat_map
+    (fun profile ->
+      List.map (fun seed -> run { cfg with seed; profile }) seeds)
+    profiles

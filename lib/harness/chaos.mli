@@ -1,0 +1,76 @@
+(** Jepsen-style chaos runner: a seeded nemesis × the simulated
+    Meerkat system × end-of-run invariants.
+
+    One {!run} builds a fresh engine and system from the seed,
+    installs the {!Mk_fault.Nemesis} schedule for the chosen profile,
+    arms the in-system failure detectors ({!Mk_meerkat.Sim_system}),
+    and drives closed-loop read-modify-write clients to the horizon.
+    All recovery is detector-driven — the runner itself never calls an
+    epoch change or view change. After a grace period it checks:
+
+    - {b serializable}: the union of committed records across replicas
+      replays as one serializable history ({!Checker.check});
+    - {b agreement}: every replica's committed store matches the
+      checker's replay of that history, key by key;
+    - {b bounded}: every submission was acknowledged and no trecord
+      entry is left in a non-final state (nothing is stuck past the
+      grace bound);
+    - {b available}: every replica is back up (crashed ones were
+      reintegrated by the heartbeat detector's epoch change);
+    - {b acks}: the number of acknowledged commits equals the number
+      of committed records (no lost or phantom acks). *)
+
+type cfg = {
+  seed : int;
+  profile : Mk_fault.Nemesis.profile;
+  threads : int;
+  n_clients : int;
+  keys : int;
+  horizon : float;  (** Clients stop submitting at this time (µs). *)
+  grace : float;
+      (** Extra time for in-flight work and detector-driven recovery
+          to drain before the invariants are checked. *)
+  transport : Mk_net.Transport.t;
+  detector : Mk_meerkat.Sim_system.detector_cfg;
+  trace : bool;  (** Record a Chrome trace (see {!report.obs}). *)
+}
+
+val default_cfg : cfg
+(** Combo profile, 8 clients × 2 cores × 256 hot keys, 60 ms horizon,
+    30 ms grace. *)
+
+type report = {
+  r_cfg : cfg;
+  committed_acks : int;
+  aborted_acks : int;
+  submitted : int;
+  acked : int;
+  committed : (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list;
+      (** Union of committed trecord entries across replicas. *)
+  stuck : int;  (** Non-final trecord entries left at the end. *)
+  serializable : (unit, Checker.violation) result;
+  agreement : (unit, string) result;
+  bounded : (unit, string) result;
+  available : (unit, string) result;
+  acks_consistent : (unit, string) result;
+  epoch_changes : int;  (** Detector-initiated §5.3.1 completions. *)
+  view_changes : int;  (** Detector-initiated §5.3.2 completions. *)
+  duplicated : int;
+  delayed : int;
+  dropped : int;
+  fault_events : int;  (** Nemesis window opens/closes and crashes. *)
+  obs : Mk_obs.Obs.t;
+      (** The run's observability handle — export a Chrome trace from
+          it when [trace] was set. *)
+}
+
+val run : cfg -> report
+val passed : report -> bool
+(** All five invariants hold. *)
+
+val matrix :
+  seeds:int list -> profiles:Mk_fault.Nemesis.profile list -> cfg:cfg -> report list
+(** One {!run} per (profile, seed) pair, sharing everything else from
+    [cfg]. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -49,7 +49,9 @@ let create ?obs engine cfg =
   in
   Network.set_observer net (function
     | `Sent -> Obs.note_send obs
-    | `Dropped -> Obs.note_drop obs);
+    | `Dropped -> Obs.note_drop obs
+    | `Duplicated -> Obs.note_duplicate obs
+    | `Delayed -> Obs.note_delay obs);
   {
     engine;
     cfg;

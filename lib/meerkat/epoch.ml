@@ -52,9 +52,24 @@ let latest_accepted views =
       | _ -> best)
     None views
 
+(* One report per replica (first wins): a duplicated report must not
+   double-count its records toward the majority or fast-recovery
+   bounds below. *)
+let dedup_reports reports =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun r ->
+      if Hashtbl.mem seen r.replica then false
+      else begin
+        Hashtbl.add seen r.replica ();
+        true
+      end)
+    reports
+
 let merge ~quorum ~reports =
+  let reports = dedup_reports reports in
   if List.length reports < Quorum.majority quorum then
-    invalid_arg "Epoch.merge: needs reports from a majority of replicas";
+    invalid_arg "Epoch.merge: needs reports from a majority of distinct replicas";
   let gathered = gather reports in
   (* Deterministic processing order: the proposed serialization order. *)
   let gathered =

@@ -26,6 +26,9 @@ type report = {
 
 val merge :
   quorum:Quorum.t -> reports:report list -> (int * Replica.record_view) list
-(** @raise Invalid_argument if fewer than [majority quorum] reports
-    are supplied. The result preserves each record's core partition
-    and is sorted by commit timestamp (deterministic). *)
+(** @raise Invalid_argument if reports from fewer than
+    [majority quorum] {e distinct} replicas are supplied. Duplicate
+    reports from the same replica are dropped (first wins) before any
+    counting, so a retransmitted report can not inflate the majority
+    or fast-recovery tallies. The result preserves each record's core
+    partition and is sorted by commit timestamp (deterministic). *)

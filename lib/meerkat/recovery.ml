@@ -2,12 +2,28 @@ module Txn = Mk_storage.Txn
 
 type reply = No_record | Record of Replica.record_view
 
+(* Keep one reply per replica (the first — under duplication or
+   reordering later copies of the same view-change reply carry no new
+   information, and counting them would let a single replica reach the
+   ⌈f/2⌉+1 fast-recovery bound alone). *)
+let dedup replies =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (replica, _) ->
+      if Hashtbl.mem seen replica then false
+      else begin
+        Hashtbl.add seen replica ();
+        true
+      end)
+    replies
+
 let choose ~quorum ~replies =
+  let replies = dedup replies in
   if List.length replies < Quorum.majority quorum then
-    invalid_arg "Recovery.choose: needs a majority of replies";
+    invalid_arg "Recovery.choose: needs a majority of distinct replicas";
   let records =
     List.filter_map
-      (function No_record -> None | Record v -> Some v)
+      (function _, No_record -> None | _, Record v -> Some v)
       replies
   in
   let count pred = List.length (List.filter pred records) in

@@ -21,5 +21,12 @@
 
 type reply = No_record | Record of Replica.record_view
 
-val choose : quorum:Quorum.t -> replies:reply list -> [ `Commit | `Abort ]
-(** @raise Invalid_argument on fewer than a majority of replies. *)
+val choose : quorum:Quorum.t -> replies:(int * reply) list -> [ `Commit | `Abort ]
+(** [choose ~quorum ~replies] picks the safe outcome from replica
+    replies tagged with the replying replica's id. Replies are
+    deduplicated by replica (first one wins) before any counting, so a
+    duplicated or retransmitted reply can not double-count toward the
+    ⌈f/2⌉+1 fast-recovery bound.
+
+    @raise Invalid_argument on replies from fewer than a majority of
+    {e distinct} replicas. *)

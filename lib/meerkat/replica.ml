@@ -66,6 +66,7 @@ let crash t =
   t.trecord <- Trecord.create ~cores:t.ncores
 
 let is_crashed t = t.crashed
+let is_paused t = t.paused
 
 let begin_recovery t =
   t.crashed <- false;

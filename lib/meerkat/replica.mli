@@ -46,6 +46,11 @@ val crash : t -> unit
 
 val is_crashed : t -> bool
 
+val is_paused : t -> bool
+(** Up but not processing transactions (mid epoch change). Heartbeats
+    report this so the failure detector can tell a stuck epoch change
+    from a crash. *)
+
 val begin_recovery : t -> unit
 (** Restart after a crash with empty state: the replica is up (it can
     take part in the epoch change that will rebuild it) but does not

@@ -8,6 +8,13 @@ module Cluster = Mk_cluster.Cluster
 module Obs = Mk_obs.Obs
 module Span = Mk_obs.Span
 
+module Tid_table = Hashtbl.Make (struct
+  type t = Timestamp.Tid.t
+
+  let equal = Timestamp.Tid.equal
+  let hash = Timestamp.Tid.hash
+end)
+
 type config = Cluster.config = {
   n_replicas : int;
   threads : int;
@@ -22,10 +29,60 @@ type config = Cluster.config = {
 
 let default_config = Cluster.default_config
 
+(* --- Commit protocol (§5.2.2): validation + fast/slow path. --- *)
+
+type attempt = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  core_id : int;
+  track : int;
+      (** Trace track (client id, from the tid) lifecycle spans land
+          on; also the coordinator's identity for fault injection. *)
+  started : Engine.time;
+  replies : Txn.status option array;
+  mutable in_accept : bool;
+  mutable accept_started : Engine.time;
+      (** When the slow path was first entered; NaN before that. *)
+  mutable accept_commit : bool;
+      (** The decision proposed when the slow path was entered. Frozen
+          there: a view-0 proposal must never change across
+          retransmissions of the same accept round, or two replicas
+          could hold different accepted decisions for the same view. *)
+  accept_from : bool array;
+      (** Which replicas acknowledged the current accept round. A
+          per-replica flag rather than a counter: a duplicated
+          [`Accepted] reply must not double-count toward the
+          majority. *)
+  mutable decided : bool;
+  mutable validated : bool;
+      (** Whether the validation span has been closed (a majority of
+          validation replies arrived, or the attempt moved on). *)
+  mutable fast_grace_armed : bool;
+      (** A short timer started once a majority has replied: if the
+          fast quorum does not complete within a few RTTs (slow or
+          failed replicas), settle for the slow path without waiting
+          for the full retransmission timeout. *)
+  count_stats : bool;
+      (** False when driven by a multi-partition coordinator, which
+          does its own accounting (§5.2.4). *)
+  mutable on_decided : commit:bool -> fast:bool -> unit;
+}
+
 type t = {
   cluster : Cluster.t;
   quorum : Quorum.t;
   replicas : Replica.t array;
+  inflight : (int, attempt list) Hashtbl.t;
+      (** Undecided attempts per coordinator (client) id, so a
+          coordinator crash can freeze and later resume them. *)
+  coord_down : (int, unit) Hashtbl.t;
+  down_until : float array;
+      (** Earliest time a crashed replica can be reintegrated (models
+          the machine reboot); indexed by replica. *)
+  vc_inflight : unit Tid_table.t;
+      (** Transactions currently driven by a backup coordinator. *)
+  mutable ec_inflight : bool;
+  mutable ec_cooldown_until : float;
 }
 
 let create ?obs engine cfg =
@@ -41,7 +98,17 @@ let create ?obs engine cfg =
         Replica.load r ~key ~value:0
       done)
     replicas;
-  { cluster; quorum; replicas }
+  {
+    cluster;
+    quorum;
+    replicas;
+    inflight = Hashtbl.create 64;
+    coord_down = Hashtbl.create 8;
+    down_until = Array.make cfg.n_replicas 0.0;
+    vc_inflight = Tid_table.create 64;
+    ec_inflight = false;
+    ec_cooldown_until = 0.0;
+  }
 
 let engine t = t.cluster.Cluster.engine
 let config t = t.cluster.Cluster.cfg
@@ -51,38 +118,24 @@ let threads t = t.cluster.Cluster.cfg.threads
 let obs t = Cluster.obs t.cluster
 let counters t = Cluster.counters t.cluster
 let net t = t.cluster.Cluster.net
+let network = net
 let costs t = t.cluster.Cluster.cfg.costs
 let core t r c = t.cluster.Cluster.cores.(r).(c)
 let alive t r = not (Replica.is_crashed t.replicas.(r))
+let coord_down t track = Hashtbl.mem t.coord_down track
 
-(* --- Commit protocol (§5.2.2): validation + fast/slow path. --- *)
+let register_attempt t a =
+  let l = Option.value ~default:[] (Hashtbl.find_opt t.inflight a.track) in
+  Hashtbl.replace t.inflight a.track (a :: l)
 
-type attempt = {
-  txn : Txn.t;
-  ts : Timestamp.t;
-  core_id : int;
-  track : int;
-      (** Trace track (client id, from the tid) lifecycle spans land
-          on. *)
-  started : Engine.time;
-  replies : Txn.status option array;
-  mutable in_accept : bool;
-  mutable accept_started : Engine.time;
-      (** When the slow path was first entered; NaN before that. *)
-  mutable accept_acks : int;
-  mutable decided : bool;
-  mutable validated : bool;
-      (** Whether the validation span has been closed (a majority of
-          validation replies arrived, or the attempt moved on). *)
-  mutable fast_grace_armed : bool;
-      (** A short timer started once a majority has replied: if the
-          fast quorum does not complete within a few RTTs (slow or
-          failed replicas), settle for the slow path without waiting
-          for the full retransmission timeout. *)
-  count_stats : bool;
-      (** False when driven by a multi-partition coordinator, which
-          does its own accounting (§5.2.4). *)
-}
+let unregister_attempt t a =
+  match Hashtbl.find_opt t.inflight a.track with
+  | None -> ()
+  | Some l -> begin
+      match List.filter (fun x -> x != a) l with
+      | [] -> Hashtbl.remove t.inflight a.track
+      | l -> Hashtbl.replace t.inflight a.track l
+    end
 
 (* Close the validation span: from the attempt's start to the moment a
    majority of validation replies is in hand (or the attempt moved on
@@ -94,13 +147,17 @@ let note_validated t a =
     Obs.span (obs t) Span.Validate ~tid:a.track ~start:a.started ()
   end
 
-(* First entry into the slow path (§5.2.2 step 4). Retransmissions of
-   the accept round keep the original [accept_started], so the
+(* First entry into the slow path (§5.2.2 step 4). The proposed
+   decision is frozen here; retransmissions of the accept round keep
+   both the proposal and the original [accept_started], so the
    slow-accept span covers the whole round including retries. *)
-let enter_accept t a =
-  a.in_accept <- true;
-  note_validated t a;
-  if Float.is_nan a.accept_started then a.accept_started <- Engine.now (engine t)
+let enter_accept t a ~commit =
+  if not a.in_accept then begin
+    a.in_accept <- true;
+    a.accept_commit <- commit;
+    note_validated t a;
+    if Float.is_nan a.accept_started then a.accept_started <- Engine.now (engine t)
+  end
 
 let broadcast_commit t a ~commit =
   let nwrites = if commit then Array.length a.txn.Txn.write_set else 0 in
@@ -109,7 +166,9 @@ let broadcast_commit t a ~commit =
   Array.iteri
     (fun r replica ->
       if not (Replica.is_crashed replica) then
-        Network.send_work_to_core (net t) ~dst:(core t r a.core_id) ~cost (fun () ->
+        Network.send_work_to_core (net t)
+          ~link:(Network.Client a.track, Network.Replica r)
+          ~dst:(core t r a.core_id) ~cost (fun () ->
             ignore
               (Replica.handle_commit replica ~core:a.core_id ~txn:a.txn ~ts:a.ts
                  ~commit);
@@ -119,27 +178,35 @@ let broadcast_commit t a ~commit =
               ~tid:a.core_id ~start:sent_at ()))
     t.replicas
 
-(* The decision is reached: stop the attempt and report. The caller's
+(* The decision is reached: stop the attempt and report. The attempt's
    [on_decided] is responsible for the write phase (single-partition
    transactions broadcast commit immediately; a multi-partition
    coordinator first combines the partitions' outcomes). *)
-let decide t a ~commit ~fast ~on_decided =
+let decide t a ~commit ~fast =
   if not a.decided then begin
     a.decided <- true;
+    unregister_attempt t a;
     note_validated t a;
     if fast then Obs.span (obs t) Span.Fast_quorum ~tid:a.track ~start:a.started ()
     else if not (Float.is_nan a.accept_started) then
       Obs.span (obs t) Span.Slow_accept ~tid:a.track ~start:a.accept_started ();
     if a.count_stats then Cluster.note_decision t.cluster ~committed:commit ~fast;
-    on_decided ~commit ~fast
+    a.on_decided ~commit ~fast
   end
 
-let send_accepts t a ~commit ~on_decided =
+let accept_acks t a =
+  ignore t;
+  Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 a.accept_from
+
+let send_accepts t a =
+  let commit = a.accept_commit in
   let decision = if commit then `Commit else `Abort in
   Array.iteri
     (fun r replica ->
       if not (Replica.is_crashed replica) then
-        Network.send_work_to_core (net t) ~dst:(core t r a.core_id)
+        Network.send_work_to_core (net t)
+          ~link:(Network.Client a.track, Network.Replica r)
+          ~dst:(core t r a.core_id)
           ~cost:((costs t).Costs.accept +. Cluster.tx_cpu t.cluster)
           (fun () ->
             match
@@ -148,16 +215,19 @@ let send_accepts t a ~commit ~on_decided =
             with
             | None -> ()
             | Some reply ->
-                Network.send_to_client (net t) (fun () ->
-                    if not a.decided then begin
+                Network.send_to_client (net t)
+                  ~link:(Network.Replica r, Network.Client a.track)
+                  (fun () ->
+                    if (not a.decided) && not (coord_down t a.track) then begin
                       match reply with
                       | `Accepted ->
-                          a.accept_acks <- a.accept_acks + 1;
-                          if a.accept_acks >= Quorum.majority t.quorum then
-                            decide t a ~commit ~fast:false ~on_decided
+                          if not a.accept_from.(r) then begin
+                            a.accept_from.(r) <- true;
+                            if accept_acks t a >= Quorum.majority t.quorum then
+                              decide t a ~commit ~fast:false
+                          end
                       | `Finalized st ->
                           decide t a ~commit:(st = Txn.Committed) ~fast:false
-                            ~on_decided
                       | `Stale _ ->
                           (* A backup coordinator superseded us and will
                              finish the transaction; the retransmission
@@ -177,13 +247,13 @@ let received t a =
   ignore t;
   Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies
 
-let go_slow t a ~on_decided =
-  if (not a.decided) && not a.in_accept then begin
-    enter_accept t a;
-    send_accepts t a ~commit:(majority_ok t a) ~on_decided
+let go_slow t a =
+  if (not a.decided) && (not a.in_accept) && not (coord_down t a.track) then begin
+    enter_accept t a ~commit:(majority_ok t a);
+    send_accepts t a
   end
 
-let evaluate t a ~on_decided =
+let evaluate t a =
   if not a.decided then begin
     match Decision.evaluate ~quorum:t.quorum ~replies:a.replies with
     | Decision.Wait ->
@@ -207,19 +277,19 @@ let evaluate t a ~on_decided =
           in
           let elapsed = Engine.now (engine t) -. a.started in
           Engine.schedule (engine t) ~delay:(Float.max base (2.0 *. elapsed)) (fun () ->
-              go_slow t a ~on_decided)
+              go_slow t a)
         end
-    | Decision.Final commit -> decide t a ~commit ~fast:false ~on_decided
-    | Decision.Fast commit -> decide t a ~commit ~fast:true ~on_decided
+    | Decision.Final commit -> decide t a ~commit ~fast:false
+    | Decision.Fast commit -> decide t a ~commit ~fast:true
     | Decision.Slow commit ->
         if not a.in_accept then begin
           (* Fast path impossible: slow path (§5.2.2 step 4). *)
-          enter_accept t a;
-          send_accepts t a ~commit ~on_decided
+          enter_accept t a ~commit;
+          send_accepts t a
         end
   end
 
-let send_validates t a ~only_missing ~on_decided =
+let send_validates t a ~only_missing =
   let cost =
     Costs.validate (costs t) ~nkeys:(Txn.nkeys a.txn) +. Cluster.tx_cpu t.cluster
   in
@@ -228,47 +298,60 @@ let send_validates t a ~only_missing ~on_decided =
       if ((not only_missing) || a.replies.(r) = None)
          && not (Replica.is_crashed replica)
       then
-        Network.send_to_core (net t) ~dst:(core t r a.core_id) ~cost (fun ~finish ->
+        Network.send_to_core (net t)
+          ~link:(Network.Client a.track, Network.Replica r)
+          ~dst:(core t r a.core_id) ~cost (fun ~finish ->
             (match
                Replica.handle_validate replica ~core:a.core_id ~txn:a.txn ~ts:a.ts
              with
             | None -> ()
             | Some st ->
-                Network.send_to_client (net t) (fun () ->
-                    if a.replies.(r) = None then begin
+                Network.send_to_client (net t)
+                  ~link:(Network.Replica r, Network.Client a.track)
+                  (fun () ->
+                    if a.replies.(r) = None && not (coord_down t a.track) then begin
                       a.replies.(r) <- Some st;
                       if received t a >= Quorum.majority t.quorum then
                         note_validated t a;
-                      evaluate t a ~on_decided
+                      evaluate t a
                     end));
             finish ()))
     t.replicas
 
-let rec arm_timer t a ~rto ~on_decided =
+let rec arm_timer t a ~rto =
   Engine.schedule (engine t) ~delay:rto (fun () ->
       if not a.decided then begin
-        Cluster.note_retransmit t.cluster ~rto ~tid:a.track;
-        let received = Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies in
-        let ok =
-          Array.fold_left
-            (fun acc reply -> if reply = Some Txn.Validated_ok then acc + 1 else acc)
-            0 a.replies
-        in
-        if a.in_accept then begin
-          (* Restart the accept round; replicas are idempotent for a
-             same-view proposal, so acks are simply recounted. *)
-          a.accept_acks <- 0;
-          send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_decided
+        if coord_down t a.track then
+          (* The coordinator process is down: no retransmissions. The
+             timer stays armed so the attempt resumes its backoff
+             schedule when the coordinator restarts. *)
+          arm_timer t a ~rto
+        else begin
+          Cluster.note_retransmit t.cluster ~rto ~tid:a.track;
+          let received = received t a in
+          let ok =
+            Array.fold_left
+              (fun acc reply ->
+                if reply = Some Txn.Validated_ok then acc + 1 else acc)
+              0 a.replies
+          in
+          if a.in_accept then begin
+            (* Restart the accept round with the frozen proposal;
+               replicas are idempotent for a same-view proposal, so
+               acks are simply recollected. *)
+            Array.fill a.accept_from 0 (Array.length a.accept_from) false;
+            send_accepts t a
+          end
+          else if received >= Quorum.majority t.quorum then begin
+            (* The fast path did not complete within the timeout (slow
+               or crashed replicas): settle for the slow path with the
+               majority in hand, per §5.2.2 step 4. *)
+            enter_accept t a ~commit:(ok >= Quorum.majority t.quorum);
+            send_accepts t a
+          end
+          else send_validates t a ~only_missing:true;
+          arm_timer t a ~rto:(rto *. 2.0)
         end
-        else if received >= Quorum.majority t.quorum then begin
-          (* The fast path did not complete within the timeout (slow or
-             crashed replicas): settle for the slow path with the
-             majority in hand, per §5.2.2 step 4. *)
-          enter_accept t a;
-          send_accepts t a ~commit:(ok >= Quorum.majority t.quorum) ~on_decided
-        end
-        else send_validates t a ~only_missing:true ~on_decided;
-        arm_timer t a ~rto:(rto *. 2.0) ~on_decided
       end)
 
 let start_attempt t ~txn ~ts ~count_stats ~on_decided =
@@ -283,15 +366,18 @@ let start_attempt t ~txn ~ts ~count_stats ~on_decided =
       replies = Array.make (Array.length t.replicas) None;
       in_accept = false;
       accept_started = Float.nan;
-      accept_acks = 0;
+      accept_commit = false;
+      accept_from = Array.make (Array.length t.replicas) false;
       decided = false;
       validated = false;
       fast_grace_armed = false;
       count_stats;
+      on_decided;
     }
   in
-  send_validates t a ~only_missing:false ~on_decided;
-  arm_timer t a ~rto:t.cluster.Cluster.rto ~on_decided;
+  register_attempt t a;
+  send_validates t a ~only_missing:false;
+  arm_timer t a ~rto:t.cluster.Cluster.rto;
   a
 
 let finalize_txn t ~txn ~ts ~commit =
@@ -305,11 +391,13 @@ let finalize_txn t ~txn ~ts ~commit =
       replies = [||];
       in_accept = false;
       accept_started = Float.nan;
-      accept_acks = 0;
+      accept_commit = commit;
+      accept_from = [||];
       decided = true;
       validated = true;
       fast_grace_armed = true;
       count_stats = false;
+      on_decided = (fun ~commit:_ ~fast:_ -> ());
     }
   in
   broadcast_commit t a ~commit
@@ -380,7 +468,60 @@ let read_committed t ~replica ~key =
   | None -> None
   | Some e -> Some (fst (Mk_storage.Vstore.read_versioned e))
 
-let crash_replica t r = Replica.crash t.replicas.(r)
+(* --- Fault injection. --- *)
+
+let crash_replica ?(down_for = 0.0) t r =
+  t.down_until.(r) <- Engine.now (engine t) +. down_for;
+  Replica.crash t.replicas.(r)
+
+(* Resume a frozen attempt after its coordinator restarts: re-fetch
+   whatever is missing and re-evaluate. If a backup coordinator
+   finished the transaction meanwhile, the retransmitted validates
+   return the final status and the attempt learns the outcome. *)
+let resume_attempt t a =
+  if not a.decided then begin
+    if a.in_accept then begin
+      Array.fill a.accept_from 0 (Array.length a.accept_from) false;
+      send_accepts t a
+    end
+    else begin
+      send_validates t a ~only_missing:true;
+      evaluate t a
+    end
+  end
+
+let crash_coordinator t ~client ~down_for =
+  (* Prefer a coordinator that is actually mid-protocol (between
+     validate and write): crashing an idle client exercises nothing. *)
+  let victim =
+    if Hashtbl.mem t.inflight client then client
+    else begin
+      let best = ref client in
+      (try
+         Hashtbl.iter
+           (fun c attempts ->
+             if attempts <> [] then begin
+               best := c;
+               raise Exit
+             end)
+           t.inflight
+       with Exit -> ());
+      !best
+    end
+  in
+  if not (Hashtbl.mem t.coord_down victim) then begin
+    Hashtbl.replace t.coord_down victim ();
+    Engine.schedule (engine t) ~delay:down_for (fun () ->
+        Hashtbl.remove t.coord_down victim;
+        match Hashtbl.find_opt t.inflight victim with
+        | None -> ()
+        | Some attempts -> List.iter (resume_attempt t) attempts)
+  end
+
+let coordinator_is_down t ~client = coord_down t client
+let inflight_attempts t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.inflight 0
+
+(* --- Synchronous epoch change (test helper, §5.3.1). --- *)
 
 let run_epoch_change t ~recovering =
   let healthy =
@@ -453,7 +594,7 @@ type epoch_state = {
   mutable finished : bool;
 }
 
-let trigger_epoch_change t ~recovering ~on_complete =
+let trigger_epoch_change ?(max_rto = Float.infinity) t ~recovering ~on_complete =
   let n = Array.length t.replicas in
   let healthy r =
     (not (Replica.is_crashed t.replicas.(r))) && not (List.mem r recovering)
@@ -486,6 +627,13 @@ let trigger_epoch_change t ~recovering ~on_complete =
     in
     let coord_core = core t coordinator 0 in
     let record_count records = List.length records in
+    let finish ~success =
+      if not st.finished then begin
+        st.finished <- true;
+        if success then Obs.note_epoch_change (obs t);
+        on_complete ~success
+      end
+    in
     (* Phase 2: install the merged trecord everywhere; the recovering
        replicas additionally receive a store snapshot taken from the
        coordinator after its own install. *)
@@ -499,14 +647,18 @@ let trigger_epoch_change t ~recovering ~on_complete =
               epoch_snapshot_per_row *. float_of_int (List.length snapshot)
             else 0.0)
       in
-      Network.send_work_to_core (net t) ~dst:(core t target 0) ~cost (fun () ->
+      Network.send_work_to_core (net t)
+        ~link:(Network.Replica st.coordinator, Network.Replica target)
+        ~dst:(core t target 0) ~cost (fun () ->
           match
             Replica.handle_epoch_complete t.replicas.(target) ~epoch:st.epoch
               ~records:merged ~store
           with
           | None -> ()
           | Some () ->
-              Network.send_to_client (net t) (fun () ->
+              Network.send_to_client (net t)
+                ~link:(Network.Replica target, Network.Replica st.coordinator)
+                (fun () ->
                   match st.installed with
                   | None -> ()
                   | Some table ->
@@ -514,10 +666,7 @@ let trigger_epoch_change t ~recovering ~on_complete =
                       if
                         (not st.finished)
                         && Hashtbl.length table >= List.length st.targets
-                      then begin
-                        st.finished <- true;
-                        on_complete ~success:true
-                      end))
+                      then finish ~success:true))
     in
     let do_merge () =
       if st.merged = None then begin
@@ -550,7 +699,9 @@ let trigger_epoch_change t ~recovering ~on_complete =
     in
     (* Phase 1: gather trecords from the healthy replicas. *)
     let send_gather target =
-      Network.send_to_core (net t) ~dst:(core t target 0)
+      Network.send_to_core (net t)
+        ~link:(Network.Replica st.coordinator, Network.Replica target)
+        ~dst:(core t target 0)
         ~cost:
           (epoch_gather_base
           +. (epoch_per_record
@@ -575,7 +726,9 @@ let trigger_epoch_change t ~recovering ~on_complete =
                 epoch_gather_base
                 +. (epoch_per_record *. float_of_int (List.length records))
               in
-              Network.send_work_to_core (net t) ~dst:coord_core ~cost:reply_cost
+              Network.send_work_to_core (net t)
+                ~link:(Network.Replica target, Network.Replica st.coordinator)
+                ~dst:coord_core ~cost:reply_cost
                 (fun () ->
                   if st.merged = None then begin
                     Hashtbl.replace st.reports target
@@ -587,27 +740,364 @@ let trigger_epoch_change t ~recovering ~on_complete =
     in
     List.iter send_gather healthy_ids;
     (* Retransmission: re-gather from missing reporters, or re-send
-       completes to replicas that have not installed. *)
+       completes to replicas that have not installed. Bounded by
+       [max_rto]: when a partition keeps some target unreachable the
+       change gives up rather than retrying forever — the run counts
+       as a success if a majority installed (the system serves), and
+       the replicas left behind stay paused until a later epoch change
+       reintegrates them (the failure detector sees them as paused and
+       arranges exactly that). *)
     let rec retry ~rto =
       Engine.schedule (engine t) ~delay:rto (fun () ->
           if not st.finished then begin
-            (match (st.merged, st.installed) with
-            | Some merged, Some table ->
-                let snapshot = Replica.store_snapshot t.replicas.(st.coordinator) in
-                List.iter
-                  (fun target ->
-                    if not (Hashtbl.mem table target) then
-                      send_complete merged snapshot target)
-                  st.targets
-            | _ ->
-                List.iter
-                  (fun target ->
-                    if not (Hashtbl.mem st.reports target) then send_gather target)
-                  healthy_ids);
-            retry ~rto:(rto *. 2.0)
+            if rto > max_rto then begin
+              let success =
+                match st.installed with
+                | Some table -> Hashtbl.length table >= Quorum.majority t.quorum
+                | None -> false
+              in
+              finish ~success
+            end
+            else begin
+              (match (st.merged, st.installed) with
+              | Some merged, Some table ->
+                  let snapshot = Replica.store_snapshot t.replicas.(st.coordinator) in
+                  List.iter
+                    (fun target ->
+                      if not (Hashtbl.mem table target) then
+                        send_complete merged snapshot target)
+                    st.targets
+              | _ ->
+                  List.iter
+                    (fun target ->
+                      if not (Hashtbl.mem st.reports target) then send_gather target)
+                    healthy_ids);
+              retry ~rto:(rto *. 2.0)
+            end
           end)
     in
     retry ~rto:t.cluster.Cluster.rto
   end
+
+(* --- Failure detectors (the robustness layer). ---
+
+   Two in-system detectors replace the test-driven recovery calls:
+
+   - a heartbeat detector: every replica pings its peers; silence
+     beyond [heartbeat_timeout] (crash or partition), or a peer
+     reporting itself paused for longer than [pause_timeout] (an epoch
+     change that lost its coordinator), makes the observer suspect the
+     peer. The lowest-numbered unsuspected replica initiates a §5.3.1
+     epoch change to reintegrate the suspects.
+
+   - a stuck-record scanner: each replica watches its own trecord for
+     entries sitting in a non-final state past [stuck_timeout] — the
+     signature of a coordinator that crashed between validate and
+     write — and drives the §5.3.2 view change (coord-change gather,
+     {!Recovery.choose}, accept at the new view, commit) for them. *)
+
+type detector_cfg = {
+  heartbeat_every : float;
+  heartbeat_timeout : float;
+  pause_timeout : float;
+  stuck_timeout : float;
+  scan_every : float;
+  epoch_cooldown : float;
+  give_up_after : float;
+}
+
+let default_detector_cfg =
+  {
+    heartbeat_every = 300.0;
+    heartbeat_timeout = 1500.0;
+    pause_timeout = 4000.0;
+    stuck_timeout = 4000.0;
+    scan_every = 500.0;
+    epoch_cooldown = 3000.0;
+    give_up_after = 8000.0;
+  }
+
+(* Backup-coordinator view change for one stuck record (§5.3.2),
+   initiated by replica [o]. *)
+let start_view_change t ~cfg o (e : Mk_storage.Trecord.entry) ~first_seen =
+  let n = Array.length t.replicas in
+  let tid = e.txn.Txn.tid in
+  let now () = Engine.now (engine t) in
+  Tid_table.replace t.vc_inflight tid ();
+  let deadline = now () +. cfg.give_up_after in
+  let core_id = Timestamp.Tid.hash tid mod threads t in
+  (* The smallest view above the record's current one that this
+     replica proposes for: view v is owned by replica (v mod n). *)
+  let rec pick v = if v mod n = o then v else pick (v + 1) in
+  let view = pick (e.view + 1) in
+  let finished = ref false in
+  let abandon () =
+    if not !finished then begin
+      finished := true;
+      Tid_table.remove t.vc_inflight tid;
+      (* Restart the stuck clock: if the record is still not final the
+         scanner will retry, at a higher view. *)
+      Tid_table.replace first_seen tid (now ())
+    end
+  in
+  (* Phase 3: write-back the chosen outcome everywhere. *)
+  let finish_commit ~commit =
+    if not !finished then begin
+      finished := true;
+      let nwrites = if commit then Array.length e.txn.Txn.write_set else 0 in
+      Array.iteri
+        (fun r replica ->
+          if not (Replica.is_crashed replica) then
+            Network.send_work_to_core (net t)
+              ~link:(Network.Replica o, Network.Replica r)
+              ~dst:(core t r core_id)
+              ~cost:(Costs.commit (costs t) ~nwrites)
+              (fun () ->
+                ignore
+                  (Replica.handle_commit replica ~core:core_id ~txn:e.txn ~ts:e.ts
+                     ~commit)))
+        t.replicas;
+      Tid_table.remove t.vc_inflight tid;
+      Tid_table.remove first_seen tid;
+      Obs.note_view_change (obs t)
+    end
+  in
+  (* Phase 2: accept the chosen decision at the new view. *)
+  let accept_from = Array.make n false in
+  let chosen = ref None in
+  let send_vc_accepts decision =
+    Array.iteri
+      (fun r replica ->
+        if (not (Replica.is_crashed replica)) && not accept_from.(r) then
+          Network.send_work_to_core (net t)
+            ~link:(Network.Replica o, Network.Replica r)
+            ~dst:(core t r core_id)
+            ~cost:(costs t).Costs.accept
+            (fun () ->
+              match
+                Replica.handle_accept replica ~core:core_id ~txn:e.txn ~ts:e.ts
+                  ~decision ~view
+              with
+              | None -> ()
+              | Some reply ->
+                  Network.send_to_client (net t)
+                    ~link:(Network.Replica r, Network.Replica o)
+                    (fun () ->
+                      if not !finished then begin
+                        match reply with
+                        | `Accepted ->
+                            if not accept_from.(r) then begin
+                              accept_from.(r) <- true;
+                              let acks =
+                                Array.fold_left
+                                  (fun acc ok -> if ok then acc + 1 else acc)
+                                  0 accept_from
+                              in
+                              if acks >= Quorum.majority t.quorum then
+                                finish_commit ~commit:(decision = `Commit)
+                            end
+                        | `Finalized st ->
+                            finish_commit ~commit:(st = Txn.Committed)
+                        | `Stale _ ->
+                            (* Another backup moved to a higher view;
+                               leave the transaction to it. *)
+                            abandon ()
+                      end)))
+      t.replicas
+  in
+  (* Phase 1: join the view at every replica and gather record state
+     (Paxos-prepare analogue). Replies are keyed by replica so a
+     duplicated reply cannot double-count — and {!Recovery.choose}
+     dedups again on its side. *)
+  let gathered : (int, Recovery.reply) Hashtbl.t = Hashtbl.create 8 in
+  let send_gather r =
+    let replica = t.replicas.(r) in
+    if not (Replica.is_crashed replica) then
+      Network.send_work_to_core (net t)
+        ~link:(Network.Replica o, Network.Replica r)
+        ~dst:(core t r core_id) ~cost:epoch_gather_base
+        (fun () ->
+          match Replica.handle_coord_change replica ~core:core_id ~tid ~view with
+          | None -> ()
+          | Some reply ->
+              Network.send_to_client (net t)
+                ~link:(Network.Replica r, Network.Replica o)
+                (fun () ->
+                  if (not !finished) && !chosen = None then begin
+                    match reply with
+                    | `Stale _ -> abandon ()
+                    | `View_ok record ->
+                        if not (Hashtbl.mem gathered r) then
+                          Hashtbl.replace gathered r
+                            (match record with
+                            | None -> Recovery.No_record
+                            | Some v -> Recovery.Record v);
+                        if Hashtbl.length gathered >= Quorum.majority t.quorum
+                        then begin
+                          let replies =
+                            Hashtbl.fold (fun r v acc -> (r, v) :: acc) gathered []
+                          in
+                          let decision =
+                            Recovery.choose ~quorum:t.quorum ~replies
+                          in
+                          chosen := Some decision;
+                          send_vc_accepts decision
+                        end
+                  end))
+  in
+  for r = 0 to n - 1 do
+    send_gather r
+  done;
+  (* Retransmit whichever phase is pending until the deadline, then
+     abandon (the scanner retries at a higher view). *)
+  let rec retry ~rto =
+    Engine.schedule (engine t) ~delay:rto (fun () ->
+        if not !finished then begin
+          if now () > deadline then abandon ()
+          else begin
+            (match !chosen with
+            | Some decision -> send_vc_accepts decision
+            | None ->
+                for r = 0 to n - 1 do
+                  if not (Hashtbl.mem gathered r) then send_gather r
+                done);
+            retry ~rto:(rto *. 2.0)
+          end
+        end)
+  in
+  retry ~rto:t.cluster.Cluster.rto
+
+let start_detectors ?(cfg = default_detector_cfg) t ~until () =
+  let n = Array.length t.replicas in
+  let now () = Engine.now (engine t) in
+  (* hb_last.(o).(p): when observer [o] last heard from peer [p];
+     paused_since.(o).(p): since when [p] has been reporting itself
+     paused (NaN = not paused as far as [o] knows). *)
+  let hb_last = Array.init n (fun _ -> Array.make n (now ())) in
+  let paused_since = Array.init n (fun _ -> Array.make n Float.nan) in
+  let self_paused_since = Array.make n Float.nan in
+  let first_seen = Array.init n (fun _ -> Tid_table.create 256) in
+  (* Heartbeats travel the real (faulty) network, so a partitioned
+     replica goes silent exactly like a crashed one. *)
+  let rec hb_loop r =
+    if now () <= until then begin
+      if not (Replica.is_crashed t.replicas.(r)) then begin
+        hb_last.(r).(r) <- now ();
+        let paused = Replica.is_paused t.replicas.(r) in
+        for p = 0 to n - 1 do
+          if p <> r then
+            Network.send_to_client (net t)
+              ~link:(Network.Replica r, Network.Replica p)
+              (fun () ->
+                if not (Replica.is_crashed t.replicas.(p)) then begin
+                  hb_last.(p).(r) <- now ();
+                  if paused then begin
+                    if Float.is_nan paused_since.(p).(r) then
+                      paused_since.(p).(r) <- now ()
+                  end
+                  else paused_since.(p).(r) <- Float.nan
+                end)
+        done
+      end;
+      Engine.schedule (engine t) ~delay:cfg.heartbeat_every (fun () -> hb_loop r)
+    end
+  in
+  let suspects o =
+    List.filter
+      (fun p ->
+        p <> o
+        && (now () -. hb_last.(o).(p) > cfg.heartbeat_timeout
+           || ((not (Float.is_nan paused_since.(o).(p)))
+              && now () -. paused_since.(o).(p) > cfg.pause_timeout)))
+      (List.init n (fun p -> p))
+  in
+  let maybe_epoch_change o =
+    if (not t.ec_inflight) && now () >= t.ec_cooldown_until then begin
+      let sus = suspects o in
+      let self_stuck =
+        (not (Float.is_nan self_paused_since.(o)))
+        && now () -. self_paused_since.(o) > cfg.pause_timeout
+      in
+      let sus = if self_stuck then sus @ [ o ] else sus in
+      (* Only the lowest-numbered replica that does not suspect any
+         lower replica initiates, so detectors do not duel. *)
+      let initiator =
+        List.for_all (fun p -> p >= o || List.mem p sus) (List.init n (fun p -> p))
+      in
+      (* A crashed machine can only be reintegrated once it has
+         rebooted; partitioned or stuck-paused replicas reintegrate
+         through state transfer immediately. *)
+      let recovering =
+        List.filter
+          (fun p ->
+            (not (Replica.is_crashed t.replicas.(p))) || now () >= t.down_until.(p))
+          sus
+      in
+      if initiator && recovering <> [] then begin
+        t.ec_inflight <- true;
+        trigger_epoch_change ~max_rto:cfg.give_up_after t ~recovering
+          ~on_complete:(fun ~success ->
+            t.ec_inflight <- false;
+            t.ec_cooldown_until <- now () +. cfg.epoch_cooldown;
+            if success then
+              (* Fresh grace period for the reintegrated replicas, so
+                 stale silence does not immediately re-suspect them. *)
+              List.iter
+                (fun p ->
+                  self_paused_since.(p) <- Float.nan;
+                  for o' = 0 to n - 1 do
+                    hb_last.(o').(p) <- now ();
+                    paused_since.(o').(p) <- Float.nan
+                  done)
+                recovering)
+      end
+    end
+  in
+  let scan o =
+    let rep = t.replicas.(o) in
+    if Replica.is_available rep then
+      List.iter
+        (fun ((_core, e) : int * Mk_storage.Trecord.entry) ->
+          match e.Mk_storage.Trecord.status with
+          | Txn.Committed | Txn.Aborted ->
+              Tid_table.remove first_seen.(o) e.txn.Txn.tid
+          | Txn.Validated_ok | Txn.Validated_abort | Txn.Accepted_commit
+          | Txn.Accepted_abort -> begin
+              match Tid_table.find_opt first_seen.(o) e.txn.Txn.tid with
+              | None -> Tid_table.add first_seen.(o) e.txn.Txn.tid (now ())
+              | Some since ->
+                  if
+                    now () -. since > cfg.stuck_timeout
+                    && not (Tid_table.mem t.vc_inflight e.txn.Txn.tid)
+                  then
+                    start_view_change t ~cfg o e ~first_seen:first_seen.(o)
+            end)
+        (Mk_storage.Trecord.entries (Replica.trecord rep))
+  in
+  let rec scan_loop o =
+    if now () <= until then begin
+      if not (Replica.is_crashed t.replicas.(o)) then begin
+        (* Track our own paused state so a replica stranded by a failed
+           epoch change can ask to be reintegrated. *)
+        if Replica.is_paused t.replicas.(o) then begin
+          if Float.is_nan self_paused_since.(o) then
+            self_paused_since.(o) <- now ()
+        end
+        else self_paused_since.(o) <- Float.nan;
+        scan o;
+        maybe_epoch_change o
+      end;
+      Engine.schedule (engine t) ~delay:cfg.scan_every (fun () -> scan_loop o)
+    end
+  in
+  for r = 0 to n - 1 do
+    Engine.schedule (engine t)
+      ~delay:(float_of_int r *. cfg.heartbeat_every /. float_of_int n)
+      (fun () -> hb_loop r);
+    Engine.schedule (engine t)
+      ~delay:(cfg.scan_every /. 2.0
+             +. (float_of_int r *. cfg.scan_every /. float_of_int n))
+      (fun () -> scan_loop r)
+  done
 
 let server_busy_fraction t = Cluster.server_busy_fraction t.cluster

@@ -46,6 +46,10 @@ val submit :
 val obs : t -> Mk_obs.Obs.t
 val counters : t -> Mk_model.System_intf.counters
 
+val network : t -> Mk_net.Network.t
+(** The simulated network the system sends through — where a nemesis
+    installs its per-link fault rules. *)
+
 val submit_interactive :
   t ->
   client:int ->
@@ -95,9 +99,29 @@ val read_committed : t -> replica:int -> key:int -> int option
 (** Directly read a replica's committed value (test helper, bypasses
     the protocol). *)
 
-val crash_replica : t -> int -> unit
+val crash_replica : ?down_for:float -> t -> int -> unit
 (** Fail-stop a replica mid-run; in-flight coordinators fall back to
-    the slow path or stall on retransmission, as in the paper. *)
+    the slow path or stall on retransmission, as in the paper.
+    [down_for] (µs, default 0) is how long the machine takes to
+    reboot: the failure detector will not try to reintegrate the
+    replica before that. *)
+
+val crash_coordinator : t -> client:int -> down_for:float -> unit
+(** Kill a client-side transaction coordinator mid-protocol (between
+    validate and write): its in-flight attempts freeze — replies are
+    ignored and retransmission timers skip — leaving VALIDATED records
+    stranded on the replicas until the stuck-record detector finishes
+    them through the §5.3.2 view change. After [down_for] µs the
+    coordinator restarts and resumes its attempts, learning
+    already-finalized outcomes through retransmission. If [client] has
+    no attempt in flight, a coordinator that does is chosen instead
+    (crashing an idle client exercises nothing). *)
+
+val coordinator_is_down : t -> client:int -> bool
+
+val inflight_attempts : t -> int
+(** Number of undecided commit-protocol attempts across all
+    coordinators (test/debug aid). *)
 
 val run_epoch_change : t -> recovering:int list -> bool
 (** Run the §5.3.1 epoch-change protocol synchronously (outside the
@@ -108,7 +132,11 @@ val run_epoch_change : t -> recovering:int list -> bool
     version is {!trigger_epoch_change}. *)
 
 val trigger_epoch_change :
-  t -> recovering:int list -> on_complete:(success:bool -> unit) -> unit
+  ?max_rto:float ->
+  t ->
+  recovering:int list ->
+  on_complete:(success:bool -> unit) ->
+  unit
 (** The message-driven epoch change (§5.3.1), running through the
     simulated network and paying CPU costs: the recovery coordinator —
     the (epoch mod n)th healthy replica — broadcasts
@@ -119,7 +147,40 @@ val trigger_epoch_change :
     transactions validated mid-change are refused and retried by their
     coordinators, which is the paper's brief pause of new
     validations. [on_complete ~success:false] fires when no majority
-    of replicas is up. *)
+    of replicas is up. [max_rto] (default: unbounded) caps the
+    retransmission backoff: when the timeout exceeds it, the change
+    gives up — reporting success if a majority installed (stragglers
+    stay paused until a later epoch change reintegrates them). *)
+
+(** {2 Failure detectors (detector-driven recovery)} *)
+
+type detector_cfg = {
+  heartbeat_every : float;  (** Replica-to-replica heartbeat period, µs. *)
+  heartbeat_timeout : float;
+      (** Silence after which a peer is suspected (crash/partition). *)
+  pause_timeout : float;
+      (** How long a peer may report itself paused before the detector
+          reintegrates it (a stranded epoch change). *)
+  stuck_timeout : float;
+      (** Age after which a non-final trecord entry is considered
+          abandoned by its coordinator and a view change starts. *)
+  scan_every : float;  (** Trecord scan / suspicion evaluation period. *)
+  epoch_cooldown : float;
+      (** Minimum gap between detector-initiated epoch changes. *)
+  give_up_after : float;
+      (** Retransmission bound for detector-driven recovery rounds. *)
+}
+
+val default_detector_cfg : detector_cfg
+
+val start_detectors : ?cfg:detector_cfg -> t -> until:float -> unit -> unit
+(** Arm the in-system failure detectors until simulated time [until]:
+    per-replica heartbeats over the real (faulty) network feeding a
+    replica-failure detector that initiates §5.3.1 epoch changes, and
+    a per-replica stuck-record scanner that drives §5.3.2 view changes
+    through {!Recovery.choose} for transactions whose coordinator
+    died. No recurring event is scheduled past [until], so
+    [Engine.run] terminates. *)
 
 val server_busy_fraction : t -> float
 (** Mean utilization of server cores since the start of the run. *)

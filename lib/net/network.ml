@@ -1,16 +1,54 @@
+type endpoint = Client of int | Replica of int
+
+type link_rule = {
+  drop : float;
+  dup : float;
+  delay_prob : float;
+  delay : float;
+}
+
+let pass = { drop = 0.0; dup = 0.0; delay_prob = 0.0; delay = 0.0 }
+let block = { pass with drop = 1.0 }
+
+let combine a b =
+  {
+    drop = Float.max a.drop b.drop;
+    dup = Float.max a.dup b.dup;
+    delay_prob = Float.max a.delay_prob b.delay_prob;
+    delay = a.delay +. b.delay;
+  }
+
+type fault_fn = src:endpoint -> dst:endpoint -> link_rule option
+type event = [ `Sent | `Dropped | `Duplicated | `Delayed ]
+
 type t = {
   engine : Mk_sim.Engine.t;
   rng : Mk_util.Rng.t;
   transport : Transport.t;
   mutable sent : int;
   mutable dropped : int;
-  mutable observer : ([ `Sent | `Dropped ] -> unit) option;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable link_faults : fault_fn option;
+  mutable observer : (event -> unit) option;
 }
 
 let create engine ~rng ~transport =
-  { engine; rng; transport; sent = 0; dropped = 0; observer = None }
+  {
+    engine;
+    rng;
+    transport;
+    sent = 0;
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+    link_faults = None;
+    observer = None;
+  }
 
 let set_observer t f = t.observer <- Some f
+let set_link_faults t f = t.link_faults <- f
+let link_faults t = t.link_faults
 
 let notify t ev = match t.observer with Some f -> f ev | None -> ()
 let engine t = t.engine
@@ -29,32 +67,74 @@ let dropped t =
   let p = t.transport.Transport.drop_prob in
   p > 0.0 && Mk_util.Rng.uniform t.rng < p
 
-let send_to_core t ~dst ~cost body =
+(* The rule in effect for this message, if any. Every random draw below
+   is conditional on a positive probability so that a fault-free
+   configuration consumes exactly the same RNG stream as before the
+   fault layer existed — seeded runs stay bit-identical. *)
+let rule_for t link =
+  match (t.link_faults, link) with
+  | Some f, Some (src, dst) -> f ~src ~dst
+  | _ -> None
+
+let rule_dropped t rule =
+  match rule with
+  | Some r -> r.drop > 0.0 && Mk_util.Rng.uniform t.rng < r.drop
+  | None -> false
+
+(* Extra delay-spike for one delivery (models reordering: a spiked
+   message overtakes or is overtaken by its neighbours). Drawn per
+   delivery, so a duplicate can reorder independently of the original. *)
+let spike t rule =
+  match rule with
+  | Some r when r.delay_prob > 0.0 && Mk_util.Rng.uniform t.rng < r.delay_prob ->
+      t.delayed <- t.delayed + 1;
+      notify t `Delayed;
+      r.delay
+  | _ -> 0.0
+
+let duplicate t rule =
+  match rule with
+  | Some r -> r.dup > 0.0 && Mk_util.Rng.uniform t.rng < r.dup
+  | None -> false
+
+let send t ?link deliver =
   t.sent <- t.sent + 1;
   notify t `Sent;
-  if dropped t then begin
+  let rule = rule_for t link in
+  if dropped t || rule_dropped t rule then begin
     t.dropped <- t.dropped + 1;
     notify t `Dropped
   end
   else begin
-    let cost = t.transport.Transport.rx_cpu +. cost in
-    Mk_sim.Engine.schedule t.engine ~delay:(delay t) (fun () ->
-        Mk_sim.Core.submit dst ~cost body)
+    deliver ~dup:false ~extra:(spike t rule);
+    if duplicate t rule then begin
+      t.duplicated <- t.duplicated + 1;
+      notify t `Duplicated;
+      deliver ~dup:true ~extra:(spike t rule)
+    end
   end
 
-let send_work_to_core t ~dst ~cost k =
-  send_to_core t ~dst ~cost (fun ~finish ->
+let send_to_core t ?link ~dst ~cost body =
+  send t ?link (fun ~dup ~extra ->
+      (* A duplicate is absorbed by the receiver's at-most-once check —
+         a hash probe, below this model's cost floor — so it is charged
+         zero CPU. This also keeps a duplication-only fault run
+         time-identical to a fault-free run of the same seed, which the
+         chaos determinism test relies on. *)
+      let cost = if dup then 0.0 else t.transport.Transport.rx_cpu +. cost in
+      Mk_sim.Engine.schedule t.engine ~delay:(delay t +. extra) (fun () ->
+          Mk_sim.Core.submit dst ~cost body))
+
+let send_work_to_core t ?link ~dst ~cost k =
+  send_to_core t ?link ~dst ~cost (fun ~finish ->
       k ();
       finish ())
 
-let send_to_client t k =
-  t.sent <- t.sent + 1;
-  notify t `Sent;
-  if dropped t then begin
-    t.dropped <- t.dropped + 1;
-    notify t `Dropped
-  end
-  else Mk_sim.Engine.schedule t.engine ~delay:(delay t) k
+let send_to_client t ?link k =
+  send t ?link (fun ~dup:_ ~extra ->
+      Mk_sim.Engine.schedule t.engine ~delay:(delay t +. extra) k)
 
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped
+let messages_duplicated t = t.duplicated
+let messages_delayed t = t.delayed

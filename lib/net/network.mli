@@ -9,7 +9,46 @@
     Clients (application servers) are not CPU-modelled: the paper
     provisions enough client machines that servers are always the
     bottleneck, and so do we. A message to a client is therefore just
-    a delayed callback. *)
+    a delayed callback.
+
+    {2 Per-link faults}
+
+    Beyond the transport's uniform drop probability, a network can
+    carry an installed {!fault_fn} mapping a (source, destination)
+    link to a {!link_rule}: extra drop probability (set to 1.0 for a
+    partition), duplication probability, and a delay-spike probability
+    with its magnitude (models reordering — a spiked message is
+    overtaken by later traffic). Senders label their messages with
+    [?link]; unlabelled messages bypass link rules entirely. All fault
+    draws are conditional on a positive probability, so a fault-free
+    run consumes the same RNG stream whether or not a fault function
+    is installed. *)
+
+type endpoint = Client of int | Replica of int
+(** One side of a link. [Client c] is client/coordinator machine [c];
+    [Replica r] covers every core of replica [r] (faults model the
+    machine-to-machine path, not individual cores). *)
+
+type link_rule = {
+  drop : float;  (** Extra drop probability on this link; 1.0 = partition. *)
+  dup : float;  (** Probability a message is delivered twice. *)
+  delay_prob : float;  (** Probability of a delay spike (reordering). *)
+  delay : float;  (** Spike magnitude in µs, added to latency+jitter. *)
+}
+
+val pass : link_rule
+(** The no-fault rule (all zeros). *)
+
+val block : link_rule
+(** Drop everything: [{ pass with drop = 1.0 }]. *)
+
+val combine : link_rule -> link_rule -> link_rule
+(** Overlay two rules: max of each probability, sum of spike delays. *)
+
+type fault_fn = src:endpoint -> dst:endpoint -> link_rule option
+(** [None] means no fault on that link (same as {!pass}). *)
+
+type event = [ `Sent | `Dropped | `Duplicated | `Delayed ]
 
 type t
 
@@ -22,26 +61,56 @@ val tx_cpu : t -> float
     for each message they emit. *)
 
 val send_to_core :
-  t -> dst:Mk_sim.Core.t -> cost:float -> (finish:(unit -> unit) -> unit) -> unit
+  t ->
+  ?link:endpoint * endpoint ->
+  dst:Mk_sim.Core.t ->
+  cost:float ->
+  (finish:(unit -> unit) -> unit) ->
+  unit
 (** [send_to_core t ~dst ~cost body] delivers a message: after
     latency+jitter, a job of cost [transport.rx_cpu +. cost] runs on
     [dst], then [body ~finish] (see {!Mk_sim.Core.submit}). The
     message may be dropped (with the transport's probability), in
-    which case nothing runs. *)
+    which case nothing runs. [?link] is the (src, dst) pair used to
+    look up the installed fault rule; a duplicated message runs the
+    receive handler twice, but the duplicate is charged zero CPU — the
+    receiver's at-most-once dedup (a record-table probe) is below the
+    model's cost floor, and a free duplicate keeps duplication-only
+    fault runs time-identical to fault-free runs of the same seed. *)
 
-val send_work_to_core : t -> dst:Mk_sim.Core.t -> cost:float -> (unit -> unit) -> unit
+val send_work_to_core :
+  t ->
+  ?link:endpoint * endpoint ->
+  dst:Mk_sim.Core.t ->
+  cost:float ->
+  (unit -> unit) ->
+  unit
 (** Like {!send_to_core} with a simple handler that releases the core
     when it returns. *)
 
-val send_to_client : t -> (unit -> unit) -> unit
+val send_to_client : t -> ?link:endpoint * endpoint -> (unit -> unit) -> unit
 (** Deliver a message to a (un-modelled) client machine: runs the
     callback after latency+jitter, unless dropped. *)
+
+val set_link_faults : t -> fault_fn option -> unit
+(** Install (or clear, with [None]) the per-link fault function.
+    Consulted once per labelled message at send time. *)
+
+val link_faults : t -> fault_fn option
 
 val messages_sent : t -> int
 val messages_dropped : t -> int
 
-val set_observer : t -> ([ `Sent | `Dropped ] -> unit) -> unit
-(** Register a callback fired on every message send and on every drop
-    (a dropped message fires both, [`Sent] then [`Dropped]). Used by
-    the observability layer to mirror traffic into its registry and
-    trace; at most one observer, the last registration wins. *)
+val messages_duplicated : t -> int
+(** Messages delivered twice by a link rule (each counted once). *)
+
+val messages_delayed : t -> int
+(** Deliveries that took a delay spike (a duplicate may spike
+    independently of its original). *)
+
+val set_observer : t -> (event -> unit) -> unit
+(** Register a callback fired on every message send and on every fault
+    applied to it (a dropped message fires [`Sent] then [`Dropped]).
+    Used by the observability layer to mirror traffic into its
+    registry and trace; at most one observer, the last registration
+    wins. *)

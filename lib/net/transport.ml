@@ -27,7 +27,8 @@ let udp =
     drop_prob = 0.0;
   }
 
-let with_drop t p = { t with drop_prob = p }
+let clamp_prob p = if Float.is_nan p then 0.0 else Float.max 0.0 (Float.min 1.0 p)
+let with_drop t p = { t with drop_prob = clamp_prob p }
 
 let pp ppf t =
   Format.fprintf ppf "%s(rx=%.2f tx=%.2f lat=%.1f±%.1f drop=%.3f)" t.name t.rx_cpu

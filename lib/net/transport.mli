@@ -27,6 +27,10 @@ val udp : t
 (** Kernel UDP stack: ~8x more expensive per message (Fig. 1). *)
 
 val with_drop : t -> float -> t
-(** Same transport with a message-drop probability, for fault tests. *)
+(** Same transport with a message-drop probability, for fault tests.
+    The probability is clamped to [0, 1]; NaN clamps to 0. *)
+
+val clamp_prob : float -> float
+(** Clamp a probability to [0, 1], mapping NaN to 0. *)
 
 val pp : Format.formatter -> t -> unit

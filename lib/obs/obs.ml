@@ -19,6 +19,11 @@ type t = {
   retransmits : Registry.counter;
   sent : Registry.counter;
   dropped : Registry.counter;
+  duplicated : Registry.counter;
+  delayed : Registry.counter;
+  epoch_changes : Registry.counter;
+  view_changes : Registry.counter;
+  fault_windows : Registry.counter;
 }
 
 (* Track layout of the exported trace. *)
@@ -40,6 +45,11 @@ let create ?(trace = false) ~clock () =
     retransmits = Registry.counter registry "net.retransmits";
     sent = Registry.counter registry "net.sent";
     dropped = Registry.counter registry "net.dropped";
+    duplicated = Registry.counter registry "net.duplicated";
+    delayed = Registry.counter registry "net.delayed";
+    epoch_changes = Registry.counter registry "recovery.epoch_changes";
+    view_changes = Registry.counter registry "recovery.view_changes";
+    fault_windows = Registry.counter registry "fault.windows";
   }
 
 let registry t = t.registry
@@ -59,6 +69,21 @@ let note_send t = Registry.incr t.sent
 let note_drop t =
   Registry.incr t.dropped;
   Tracer.instant t.tracer ~cat:"net" ~name:"msg.drop" ~pid:net_pid ~tid:0 ()
+
+let note_duplicate t =
+  Registry.incr t.duplicated;
+  Tracer.instant t.tracer ~cat:"net" ~name:"msg.dup" ~pid:net_pid ~tid:0 ()
+
+let note_delay t =
+  Registry.incr t.delayed;
+  Tracer.instant t.tracer ~cat:"net" ~name:"msg.delay" ~pid:net_pid ~tid:0 ()
+
+let note_epoch_change t = Registry.incr t.epoch_changes
+let note_view_change t = Registry.incr t.view_changes
+
+let note_fault t ~name =
+  Registry.incr t.fault_windows;
+  Tracer.instant t.tracer ~cat:"fault" ~name ~pid:net_pid ~tid:1 ()
 
 let counter_value t name = Registry.value (Registry.counter t.registry name)
 

@@ -38,6 +38,20 @@ val note_decision : t -> committed:bool -> fast:bool -> unit
 val note_retransmit : t -> unit
 val note_send : t -> unit
 val note_drop : t -> unit
+val note_duplicate : t -> unit
+val note_delay : t -> unit
+
+val note_epoch_change : t -> unit
+(** A message-driven §5.3.1 epoch change completed successfully. *)
+
+val note_view_change : t -> unit
+(** A detector-initiated §5.3.2 coordinator view change finished a
+    stuck transaction. *)
+
+val note_fault : t -> name:string -> unit
+(** A nemesis fault window opened or closed, or a crash was injected;
+    counted under [fault.windows] and mirrored as a trace instant on
+    the network track. *)
 
 val counter_value : t -> string -> int
 (** Current value of the named counter (0 if never incremented). *)

@@ -34,20 +34,30 @@ let rec start_next t =
   | Some job ->
       t.running <- true;
       t.job_started <- Engine.now t.engine;
-      Engine.schedule t.engine ~delay:job.cost (fun () ->
-          let finished = ref false in
-          let finish () =
-            if !finished then invalid_arg "Core: finish called twice";
-            finished := true;
-            t.completed <- t.completed + 1;
-            let finish_time = Engine.now t.engine in
-            t.busy_time <- t.busy_time +. (finish_time -. t.job_started);
-            (match t.observer with
-            | Some f -> f ~start:t.job_started ~finish:finish_time
-            | None -> ());
-            start_next t
-          in
-          job.body ~finish)
+      let run () =
+        let finished = ref false in
+        let finish () =
+          if !finished then invalid_arg "Core: finish called twice";
+          finished := true;
+          t.completed <- t.completed + 1;
+          let finish_time = Engine.now t.engine in
+          t.busy_time <- t.busy_time +. (finish_time -. t.job_started);
+          (match t.observer with
+          | Some f -> f ~start:t.job_started ~finish:finish_time
+          | None -> ());
+          start_next t
+        in
+        job.body ~finish
+      in
+      (* Zero-cost jobs (duplicate deliveries absorbed by receiver
+         dedup) run inline: an extra engine event would not change any
+         event's time, but it would change when later jobs' events are
+         *inserted* into their (identical) time bucket, perturbing
+         same-time FIFO order relative to the rest of the system.
+         Running inline keeps the event stream of a duplication-only
+         faulty run identical to its fault-free twin. *)
+      if job.cost = 0.0 then run ()
+      else Engine.schedule t.engine ~delay:job.cost run
 
 let submit t ~cost body =
   Queue.add { cost; body } t.jobs;

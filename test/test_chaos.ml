@@ -1,119 +1,151 @@
-(* Chaos test: a long run with message loss, repeated replica crashes
-   and message-driven epoch-change recoveries, while closed-loop
-   clients keep submitting. At the end, every acknowledged commit must
-   form a serializable history and all live replicas must agree.
+(* Chaos tests: Jepsen-style nemesis runs through Mk_harness.Chaos.
 
-   This is the closest thing to a Jepsen run the simulator offers: the
-   fault schedule is random but seeded, so failures interleave with the
-   protocol differently on every seed yet reproducibly. *)
+   Every fault here — duplicates, delay spikes, asymmetric partitions,
+   replica crashes, mid-protocol coordinator crashes — is injected by
+   the seeded nemesis, and every recovery is driven by the in-system
+   failure detectors. The test never calls an epoch change or view
+   change itself; it only checks the end-of-run invariants. *)
 
 module Engine = Mk_sim.Engine
 module Transport = Mk_net.Transport
+module Network = Mk_net.Network
 module Intf = Mk_model.System_intf
-module Txn = Mk_storage.Txn
 module S = Mk_meerkat.Sim_system
-module Replica = Mk_meerkat.Replica
-module Checker = Mk_harness.Checker
+module Chaos = Mk_harness.Chaos
+module Nemesis = Mk_fault.Nemesis
+module Obs = Mk_obs.Obs
 module Rng = Mk_util.Rng
 
-let run_chaos ?(keys = 64) ~seed ~drop ~crashes () =
+let failf_report fmt r =
+  Alcotest.failf "%s:@.%s" fmt (Format.asprintf "%a" Chaos.pp_report r)
+
+let check_passed r =
+  if not (Chaos.passed r) then failf_report "invariant failed" r
+
+(* --- The acceptance run: the combo profile (duplication + reordering
+   + asymmetric partition + replica crash + coordinator crashes) on
+   eight seeds, all recovering detector-only. --- *)
+
+let test_combo_matrix () =
+  let seeds = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let reports =
+    Chaos.matrix ~seeds ~profiles:[ Nemesis.Combo ] ~cfg:Chaos.default_cfg
+  in
+  List.iter
+    (fun (r : Chaos.report) ->
+      check_passed r;
+      (* The nemesis crashed a replica, so the detectors must have
+         recovered it through at least one epoch change. *)
+      if r.Chaos.epoch_changes < 1 then
+        failf_report "no detector-driven epoch change" r;
+      if r.Chaos.committed_acks < 1000 then failf_report "too little progress" r;
+      if r.Chaos.duplicated = 0 then failf_report "nemesis injected no dups" r;
+      if r.Chaos.fault_events = 0 then failf_report "no fault windows opened" r)
+    reports
+
+(* --- Individual profiles, one seed each, as fast regressions. --- *)
+
+let test_partition_profile () =
+  let r = Chaos.run { Chaos.default_cfg with profile = Nemesis.Partition } in
+  check_passed r;
+  if r.Chaos.epoch_changes < 1 then
+    failf_report "partition should trigger an epoch change" r
+
+let test_crash_coordinator_profile () =
+  let r =
+    Chaos.run { Chaos.default_cfg with profile = Nemesis.Crash_coordinator }
+  in
+  check_passed r;
+  (* A mid-protocol coordinator crash leaves VALIDATED records behind;
+     the stuck-record detector must finish them via view changes. *)
+  if r.Chaos.view_changes < 1 then
+    failf_report "coordinator crash should trigger a view change" r
+
+(* --- Satellite: dropped final acks never wedge the closed loop.
+   Lossy transport under the calm profile: retransmissions must get
+   every submission acked exactly once and leave no stuck records. --- *)
+
+let test_dropped_acks_bounded () =
+  let r =
+    Chaos.run
+      {
+        Chaos.default_cfg with
+        profile = Nemesis.Calm;
+        transport = Transport.with_drop Transport.erpc 0.08;
+      }
+  in
+  check_passed r;
+  if r.Chaos.dropped = 0 then failf_report "transport dropped nothing" r
+
+(* --- Acceptance: duplicate delivery at probability 1.0 (no drops)
+   changes no commit/abort outcome vs a fault-free run on the same
+   seed. Duplicates are absorbed by replica- and coordinator-side
+   dedup at zero CPU cost, so the two runs are the same run. The
+   jitter-free transport makes the fault-free network consume no RNG
+   draws, keeping the streams aligned. --- *)
+
+let run_outcomes ~dup seed =
   let cfg =
     {
       S.default_config with
       threads = 2;
-      n_clients = 8;
-      keys;
-      transport = Transport.with_drop Transport.erpc drop;
+      n_clients = 4;
+      keys = 128;
+      transport = { Transport.erpc with Transport.jitter = 0.0 };
       seed;
     }
   in
   let engine = Engine.create ~seed () in
-  let sys = S.create engine cfg in
-  let rng = Rng.create ~seed:(seed * 31) in
-  let committed_acks = ref 0 and aborted_acks = ref 0 in
-  let horizon = 60_000.0 in
-  (* Closed-loop clients on a small hot keyspace. *)
+  let obs = Obs.create ~clock:(fun () -> Engine.now engine) () in
+  let sys = S.create ~obs engine cfg in
+  if dup then
+    Nemesis.install ~engine ~net:(S.network sys) ~obs
+      ~callbacks:
+        {
+          Nemesis.crash_replica = (fun ~victim:_ ~down_for:_ -> ());
+          crash_coordinator = (fun ~client:_ ~down_for:_ -> ());
+        }
+      (Nemesis.dup_all ~prob:1.0);
+  let rng = Rng.create ~seed:(seed lxor 0x64757031) in
+  let horizon = 20_000.0 in
+  let outcomes = ref [] in
   let rec client c =
-    let key1 = Rng.int rng keys and key2 = Rng.int rng keys in
-    S.submit sys ~client:c
-      { Intf.reads = [| key1 |]; writes = [| (key1, Rng.int rng 1000); (key2, c) |] }
-      ~on_done:(fun ~committed ->
-        if committed then incr committed_acks else incr aborted_acks;
-        if Engine.now engine < horizon then client c)
+    if Engine.now engine < horizon then begin
+      let key1 = Rng.int rng cfg.S.keys in
+      let key2 =
+        let k = Rng.int rng cfg.S.keys in
+        if k = key1 then (k + 1) mod cfg.S.keys else k
+      in
+      S.submit sys ~client:c
+        {
+          Intf.reads = [| key1 |];
+          writes = [| (key1, Rng.int rng 1000); (key2, c) |];
+        }
+        ~on_done:(fun ~committed ->
+          outcomes := (c, committed, Engine.now engine) :: !outcomes;
+          client c)
+    end
   in
   for c = 0 to cfg.S.n_clients - 1 do
     client c
   done;
-  (* Fault schedule: [crashes] crash→recover cycles at random times,
-     never taking down more than one replica at once (f = 1). *)
-  let slot = horizon /. float_of_int (crashes + 1) in
-  for i = 0 to crashes - 1 do
-    let at = (float_of_int (i + 1) *. slot) +. Rng.float rng (slot /. 4.0) in
-    let victim = Rng.int rng 3 in
-    Engine.schedule_at engine at (fun () ->
-        if Array.for_all (fun r -> not (Replica.is_crashed r)) (S.replicas sys) then begin
-          S.crash_replica sys victim;
-          (* Recover through the message-driven protocol shortly after. *)
-          Engine.schedule engine ~delay:(2_000.0 +. Rng.float rng 2_000.0) (fun () ->
-              S.trigger_epoch_change sys ~recovering:[ victim ]
-                ~on_complete:(fun ~success:_ -> ()))
-        end)
-  done;
-  Engine.run ~until:(horizon +. 30_000.0) ~max_events:40_000_000 engine;
-  (* Collect the union of committed records across replicas. *)
-  let seen = Hashtbl.create 1024 in
-  let committed = ref [] in
-  Array.iter
-    (fun r ->
-      if not (Replica.is_crashed r) then
-        List.iter
-          (fun (_, (e : Mk_storage.Trecord.entry)) ->
-            if e.status = Txn.Committed && not (Hashtbl.mem seen e.txn.Txn.tid) then begin
-              Hashtbl.add seen e.txn.Txn.tid ();
-              committed := (e.txn, e.ts) :: !committed
-            end)
-          (Mk_storage.Trecord.entries (Replica.trecord r)))
-    (S.replicas sys);
-  (sys, !committed_acks, !aborted_acks, !committed)
+  Engine.run engine;
+  (List.rev !outcomes, Network.messages_duplicated (S.network sys))
 
-let check_serializable committed =
-  match Checker.check committed with
-  | Ok () -> ()
-  | Error v ->
-      Alcotest.failf "serializability violated: %s"
-        (Format.asprintf "%a" Checker.pp_violation v)
-
-let test_chaos_drops_only () =
-  (* A roomy keyspace: this case isolates loss tolerance, not
-     contention. *)
-  let _, acks, _, committed = run_chaos ~keys:1024 ~seed:101 ~drop:0.1 ~crashes:0 () in
-  Alcotest.(check bool) "progress" true (acks > 500);
-  check_serializable committed
-
-let test_chaos_crashes_only () =
-  let sys, acks, _, committed = run_chaos ~keys:1024 ~seed:202 ~drop:0.0 ~crashes:3 () in
-  Alcotest.(check bool) "progress" true (acks > 500);
-  check_serializable committed;
-  (* After the final recovery all replicas are up and share the same
-     epoch-era state for every key they agree on. *)
-  Array.iter
-    (fun r -> Alcotest.(check bool) "replica up" true (Replica.is_available r))
-    (S.replicas sys)
-
-let test_chaos_everything () =
-  let _, acks, aborts, committed = run_chaos ~seed:303 ~drop:0.08 ~crashes:3 () in
-  Alcotest.(check bool) "progress" true (acks > 100);
-  (* Contention on 64 hot keys guarantees real aborts too. *)
-  Alcotest.(check bool) "aborts occurred" true (aborts > 0);
-  check_serializable committed
-
-let test_chaos_seeds_vary_but_all_safe () =
-  List.iter
-    (fun seed ->
-      let _, acks, _, committed = run_chaos ~keys:256 ~seed ~drop:0.05 ~crashes:2 () in
-      Alcotest.(check bool) (Printf.sprintf "seed %d progress" seed) true (acks > 200);
-      check_serializable committed)
-    [ 7; 77; 777 ]
+let test_dup_one_same_outcomes () =
+  let seed = 42 in
+  let base, base_dups = run_outcomes ~dup:false seed in
+  let dup, dup_dups = run_outcomes ~dup:true seed in
+  Alcotest.(check int) "fault-free run has no dups" 0 base_dups;
+  Alcotest.(check bool) "dup run duplicated every message" true (dup_dups > 0);
+  Alcotest.(check int) "same number of outcomes" (List.length base)
+    (List.length dup);
+  List.iter2
+    (fun (c, ok, t) (c', ok', t') ->
+      Alcotest.(check int) "same client" c c';
+      Alcotest.(check bool) "same commit/abort outcome" ok ok';
+      Alcotest.(check (float 0.0)) "same ack time" t t')
+    base dup
 
 let () =
   (* Chaos runs double as lock-discipline stress: the dynamic checker
@@ -121,12 +153,15 @@ let () =
   Mk_check.Owner.enable ();
   Alcotest.run "chaos"
     [
-      ( "chaos",
+      ( "nemesis runs",
         [
-          Alcotest.test_case "message loss only" `Quick test_chaos_drops_only;
-          Alcotest.test_case "crash/recover cycles" `Quick test_chaos_crashes_only;
-          Alcotest.test_case "losses + crashes + contention" `Quick
-            test_chaos_everything;
-          Alcotest.test_case "multiple seeds" `Slow test_chaos_seeds_vary_but_all_safe;
+          Alcotest.test_case "combo matrix, 8 seeds" `Quick test_combo_matrix;
+          Alcotest.test_case "asymmetric partition" `Quick test_partition_profile;
+          Alcotest.test_case "coordinator crash" `Quick
+            test_crash_coordinator_profile;
+          Alcotest.test_case "dropped acks stay bounded" `Quick
+            test_dropped_acks_bounded;
+          Alcotest.test_case "dup 1.0 changes no outcome" `Quick
+            test_dup_one_same_outcomes;
         ] );
     ]

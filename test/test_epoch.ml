@@ -29,8 +29,48 @@ let merge_status ~quorum reports tid =
 
 let test_needs_majority () =
   Alcotest.check_raises "one report rejected"
-    (Invalid_argument "Epoch.merge: needs reports from a majority of replicas")
+    (Invalid_argument "Epoch.merge: needs reports from a majority of distinct replicas")
     (fun () -> ignore (Epoch.merge ~quorum:q3 ~reports:[ report 0 [] ]))
+
+(* --- Duplicated / reordered reports (at-most-once dedup). --- *)
+
+let test_duplicate_reports_not_double_counted () =
+  let t = rmw ~seq:7 0 in
+  let ok = view ~status:Txn.Validated_ok ~ts:(ts 1.0) t in
+  (* Replica 0's report arrives twice (retransmission); replica 1 has
+     no record. One distinct OK is below the ⌈f/2⌉+1 = 2 fast-recovery
+     bound, so the merge must abort — counting the duplicate would
+     wrongly send it to re-validation (and commit). *)
+  let reports = [ report 0 [ (0, ok) ]; report 0 [ (0, ok) ]; report 1 [] ] in
+  Alcotest.(check bool) "dup report counts once" true
+    (merge_status ~quorum:q3 reports t.Txn.tid = Some Txn.Aborted)
+
+let test_duplicate_reports_not_a_majority () =
+  Alcotest.check_raises "two reports from one replica rejected"
+    (Invalid_argument "Epoch.merge: needs reports from a majority of distinct replicas")
+    (fun () -> ignore (Epoch.merge ~quorum:q3 ~reports:[ report 0 []; report 0 [] ]))
+
+let test_reordered_reports_same_merge () =
+  let t1 = rmw ~seq:8 0 and t2 = rmw ~seq:9 1 in
+  let reports =
+    [
+      report 0
+        [
+          (0, view ~status:Txn.Committed ~ts:(ts 1.0) t1);
+          (0, view ~status:Txn.Validated_ok ~ts:(ts 2.0) t2);
+        ];
+      report 1 [ (0, view ~status:Txn.Validated_ok ~ts:(ts 2.0) t2) ];
+    ]
+  in
+  let a = Epoch.merge ~quorum:q3 ~reports in
+  let b = Epoch.merge ~quorum:q3 ~reports:(List.rev reports) in
+  Alcotest.(check int) "same size" (List.length a) (List.length b);
+  List.iter2
+    (fun (_, (x : Replica.record_view)) (_, (y : Replica.record_view)) ->
+      Alcotest.(check bool) "same tid order" true
+        (Timestamp.Tid.equal x.txn.Txn.tid y.txn.Txn.tid);
+      Alcotest.(check bool) "same status" true (x.status = y.status))
+    a b
 
 let test_rule1_final_wins () =
   let t = rmw ~seq:1 0 in
@@ -192,6 +232,12 @@ let () =
       ( "merge",
         [
           Alcotest.test_case "requires majority" `Quick test_needs_majority;
+          Alcotest.test_case "duplicate report counts once" `Quick
+            test_duplicate_reports_not_double_counted;
+          Alcotest.test_case "duplicates do not reach majority" `Quick
+            test_duplicate_reports_not_a_majority;
+          Alcotest.test_case "reordered reports merge identically" `Quick
+            test_reordered_reports_same_merge;
           Alcotest.test_case "rule 1: final outcome wins" `Quick test_rule1_final_wins;
           Alcotest.test_case "rule 2: latest accepted view" `Quick
             test_rule2_latest_accepted_view_wins;

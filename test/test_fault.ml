@@ -1,0 +1,177 @@
+(* Unit tests for the nemesis schedule (Mk_fault.Nemesis). *)
+
+module Engine = Mk_sim.Engine
+module Transport = Mk_net.Transport
+module Network = Mk_net.Network
+module Nemesis = Mk_fault.Nemesis
+module Obs = Mk_obs.Obs
+
+let horizon = 60_000.0
+
+let plan ?(seed = 5) profile =
+  Nemesis.plan ~seed ~profile ~horizon ~n_replicas:3 ~n_clients:8
+
+let test_profile_names_roundtrip () =
+  List.iter
+    (fun p ->
+      match Nemesis.of_string (Nemesis.to_string p) with
+      | Some p' ->
+          Alcotest.(check string) "roundtrip" (Nemesis.to_string p)
+            (Nemesis.to_string p')
+      | None -> Alcotest.failf "profile %s does not parse" (Nemesis.to_string p))
+    Nemesis.all;
+  Alcotest.(check bool) "unknown rejected" true (Nemesis.of_string "zap" = None)
+
+let test_plan_deterministic_per_seed () =
+  List.iter
+    (fun profile ->
+      let a = plan ~seed:11 profile and b = plan ~seed:11 profile in
+      Alcotest.(check string)
+        (Nemesis.to_string profile ^ " same seed, same plan")
+        (Format.asprintf "%a" Nemesis.pp_plan a)
+        (Format.asprintf "%a" Nemesis.pp_plan b))
+    Nemesis.all;
+  (* Different seeds move the combo schedule around. *)
+  let a = plan ~seed:11 Nemesis.Combo and b = plan ~seed:12 Nemesis.Combo in
+  Alcotest.(check bool) "seeds vary the plan" true
+    (Format.asprintf "%a" Nemesis.pp_plan a
+    <> Format.asprintf "%a" Nemesis.pp_plan b)
+
+let test_calm_is_empty () =
+  let p = plan Nemesis.Calm in
+  Alcotest.(check int) "no windows" 0 (List.length p.Nemesis.windows);
+  Alcotest.(check int) "no crashes" 0 (List.length p.Nemesis.crashes)
+
+let test_combo_staggers_partition_and_crash () =
+  (* The combo keeps f = 1: the partition heals before the same victim
+     crashes, and windows sit inside the horizon. *)
+  for seed = 1 to 20 do
+    let p = plan ~seed Nemesis.Combo in
+    let partition =
+      List.find
+        (fun (w : Nemesis.window) ->
+          String.length w.w_name >= 9 && String.sub w.w_name 0 9 = "partition")
+        p.Nemesis.windows
+    in
+    let crash_at, victim =
+      List.find_map
+        (function
+          | Nemesis.Replica_crash { at; victim; _ } -> Some (at, victim)
+          | Nemesis.Coordinator_crash _ -> None)
+        p.Nemesis.crashes
+      |> Option.get
+    in
+    (match partition.Nemesis.scope with
+    | Nemesis.From_replica v ->
+        Alcotest.(check int) "crash victim = partition victim" v victim
+    | _ -> Alcotest.fail "partition scope not From_replica");
+    Alcotest.(check bool) "partition heals before the crash" true
+      (partition.Nemesis.until_t < crash_at);
+    List.iter
+      (fun (w : Nemesis.window) ->
+        Alcotest.(check bool) "window within horizon" true
+          (w.Nemesis.from_t >= 0.0 && w.Nemesis.until_t <= horizon))
+      p.Nemesis.windows
+  done
+
+let test_install_gates_windows_by_time () =
+  let engine = Engine.create ~seed:3 () in
+  let net =
+    Network.create engine ~rng:(Mk_util.Rng.create ~seed:4)
+      ~transport:{ Transport.erpc with Transport.jitter = 0.0 }
+  in
+  let obs = Obs.create ~clock:(fun () -> Engine.now engine) () in
+  let p =
+    {
+      Nemesis.windows =
+        [
+          {
+            Nemesis.w_name = "blk";
+            from_t = 100.0;
+            until_t = 200.0;
+            scope = Nemesis.All_links;
+            rule = Network.block;
+          };
+        ];
+      crashes = [];
+    }
+  in
+  Nemesis.install ~engine ~net ~obs
+    ~callbacks:
+      {
+        Nemesis.crash_replica = (fun ~victim:_ ~down_for:_ -> ());
+        crash_coordinator = (fun ~client:_ ~down_for:_ -> ());
+      }
+    p;
+  let delivered = ref 0 in
+  let probe at =
+    Engine.schedule_at engine at (fun () ->
+        Network.send_to_client net
+          ~link:(Network.Client 0, Network.Replica 0)
+          (fun () -> incr delivered))
+  in
+  probe 50.0 (* before: passes *);
+  probe 150.0 (* inside: dropped *);
+  probe 250.0 (* after: passes *);
+  Engine.run engine;
+  Alcotest.(check int) "only the in-window send dropped" 2 !delivered;
+  Alcotest.(check int) "drop counted" 1 (Network.messages_dropped net);
+  (* Window open + close were mirrored into the registry. *)
+  Alcotest.(check int) "fault events noted" 2 (Obs.counter_value obs "fault.windows")
+
+let test_crash_callbacks_fire () =
+  let engine = Engine.create ~seed:3 () in
+  let net =
+    Network.create engine ~rng:(Mk_util.Rng.create ~seed:4)
+      ~transport:Transport.erpc
+  in
+  let obs = Obs.create ~clock:(fun () -> Engine.now engine) () in
+  let crashes = ref [] in
+  let p =
+    {
+      Nemesis.windows = [];
+      crashes =
+        [
+          Nemesis.Replica_crash { at = 10.0; victim = 2; down_for = 5.0 };
+          Nemesis.Coordinator_crash { at = 20.0; client = 4; down_for = 7.0 };
+        ];
+    }
+  in
+  Nemesis.install ~engine ~net ~obs
+    ~callbacks:
+      {
+        Nemesis.crash_replica =
+          (fun ~victim ~down_for ->
+            crashes := ("r", victim, down_for, Engine.now engine) :: !crashes);
+        crash_coordinator =
+          (fun ~client ~down_for ->
+            crashes := ("c", client, down_for, Engine.now engine) :: !crashes);
+      }
+    p;
+  Engine.run engine;
+  Alcotest.(check int) "both fired" 2 (List.length !crashes);
+  Alcotest.(check bool) "replica crash as planned" true
+    (List.mem ("r", 2, 5.0, 10.0) !crashes);
+  Alcotest.(check bool) "coordinator crash as planned" true
+    (List.mem ("c", 4, 7.0, 20.0) !crashes);
+  (* A windowless plan leaves the network's fault hook untouched. *)
+  Alcotest.(check bool) "no fault_fn installed" true
+    (Network.link_faults net = None)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "nemesis",
+        [
+          Alcotest.test_case "profile names roundtrip" `Quick
+            test_profile_names_roundtrip;
+          Alcotest.test_case "plans are seed-deterministic" `Quick
+            test_plan_deterministic_per_seed;
+          Alcotest.test_case "calm is empty" `Quick test_calm_is_empty;
+          Alcotest.test_case "combo staggering keeps f=1" `Quick
+            test_combo_staggers_partition_and_crash;
+          Alcotest.test_case "windows open and close on time" `Quick
+            test_install_gates_windows_by_time;
+          Alcotest.test_case "crash callbacks fire" `Quick test_crash_callbacks_fire;
+        ] );
+    ]

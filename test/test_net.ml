@@ -30,6 +30,13 @@ let test_with_drop () =
   Alcotest.(check string) "otherwise unchanged" Transport.erpc.Transport.name
     t.Transport.name
 
+let test_with_drop_clamps () =
+  let drop p = (Transport.with_drop Transport.erpc p).Transport.drop_prob in
+  Alcotest.(check (float 1e-9)) "above 1 clamps" 1.0 (drop 1.5);
+  Alcotest.(check (float 1e-9)) "below 0 clamps" 0.0 (drop (-3.0));
+  Alcotest.(check (float 1e-9)) "nan clamps to 0" 0.0 (drop Float.nan);
+  Alcotest.(check (float 1e-9)) "in range untouched" 0.125 (drop 0.125)
+
 let test_delivery_latency_and_rx_cost () =
   let engine, net = make_net ~transport:{ Transport.erpc with jitter = 0.0 } () in
   let dst = Core.create engine ~id:0 in
@@ -83,6 +90,106 @@ let test_tx_cpu_accessor () =
   Alcotest.(check (float 1e-9)) "tx cpu" Transport.erpc.Transport.tx_cpu
     (Network.tx_cpu net)
 
+(* --- Per-link fault rules. --- *)
+
+let no_jitter = { Transport.erpc with Transport.jitter = 0.0 }
+
+let rule_on pred rule ~src ~dst = if pred ~src ~dst then Some rule else None
+
+let test_partition_blocks_one_direction () =
+  let engine, net = make_net ~transport:no_jitter () in
+  (* Block replica 1's outbound traffic only. *)
+  Network.set_link_faults net
+    (Some
+       (rule_on (fun ~src ~dst:_ -> src = Network.Replica 1) Network.block));
+  let from_r1 = ref 0 and to_r1 = ref 0 and unlabelled = ref 0 in
+  for _ = 1 to 50 do
+    Network.send_to_client net
+      ~link:(Network.Replica 1, Network.Client 0)
+      (fun () -> incr from_r1);
+    Network.send_to_client net
+      ~link:(Network.Client 0, Network.Replica 1)
+      (fun () -> incr to_r1);
+    Network.send_to_client net (fun () -> incr unlabelled)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "outbound all dropped" 0 !from_r1;
+  Alcotest.(check int) "inbound all delivered" 50 !to_r1;
+  Alcotest.(check int) "unlabelled bypasses rules" 50 !unlabelled;
+  Alcotest.(check int) "drop accounting" 50 (Network.messages_dropped net)
+
+let test_duplicates_delivered_twice_at_zero_cost () =
+  let engine, net = make_net ~transport:no_jitter () in
+  Network.set_link_faults net
+    (Some
+       (rule_on
+          (fun ~src:_ ~dst:_ -> true)
+          { Network.pass with Network.dup = 1.0 }));
+  let dst = Core.create engine ~id:0 in
+  let handled = ref 0 in
+  Network.send_work_to_core net
+    ~link:(Network.Client 0, Network.Replica 0)
+    ~dst ~cost:1.0
+    (fun () -> incr handled);
+  Engine.run engine;
+  Alcotest.(check int) "handler ran twice" 2 !handled;
+  Alcotest.(check int) "counted once" 1 (Network.messages_duplicated net);
+  (* The duplicate is absorbed by the receiver's dedup: zero CPU, so a
+     dup-only faulty run keeps fault-free timing. *)
+  Alcotest.(check (float 1e-9)) "duplicate costs nothing" 1.25 (Core.busy_time dst)
+
+let test_delay_spike_reorders () =
+  let engine, net = make_net ~transport:no_jitter () in
+  Network.set_link_faults net
+    (Some
+       (rule_on
+          (fun ~src ~dst:_ -> src = Network.Client 1)
+          { Network.pass with Network.delay_prob = 1.0; Network.delay = 100.0 }));
+  let order = ref [] in
+  Network.send_to_client net
+    ~link:(Network.Client 1, Network.Replica 0)
+    (fun () -> order := "spiked" :: !order);
+  Network.send_to_client net
+    ~link:(Network.Client 0, Network.Replica 0)
+    (fun () -> order := "normal" :: !order);
+  Engine.run engine;
+  (* The spiked message was sent first but arrives last: reordering. *)
+  Alcotest.(check (list string)) "overtaken" [ "spiked"; "normal" ] !order;
+  Alcotest.(check int) "delay accounting" 1 (Network.messages_delayed net)
+
+let test_combine_rules () =
+  let a = { Network.drop = 0.1; dup = 0.0; delay_prob = 0.5; delay = 10.0 } in
+  let b = { Network.drop = 0.3; dup = 0.2; delay_prob = 0.1; delay = 5.0 } in
+  let c = Network.combine a b in
+  Alcotest.(check (float 1e-9)) "max drop" 0.3 c.Network.drop;
+  Alcotest.(check (float 1e-9)) "max dup" 0.2 c.Network.dup;
+  Alcotest.(check (float 1e-9)) "max delay prob" 0.5 c.Network.delay_prob;
+  Alcotest.(check (float 1e-9)) "delays add" 15.0 c.Network.delay
+
+let test_fault_free_rules_leave_rng_stream_alone () =
+  (* A jittery transport consumes one RNG draw per delivery. Installing
+     an all-zero rule must not consume any extra draws, so arrival
+     times stay bit-identical — seeded fault-free runs are unchanged
+     by the existence of the fault layer. *)
+  let arrivals faults =
+    let engine, net = make_net ~transport:{ Transport.erpc with jitter = 3.0 } () in
+    if faults then
+      Network.set_link_faults net
+        (Some (rule_on (fun ~src:_ ~dst:_ -> true) Network.pass));
+    let times = ref [] in
+    for _ = 1 to 100 do
+      Network.send_to_client net
+        ~link:(Network.Client 0, Network.Replica 0)
+        (fun () -> times := Engine.now engine :: !times)
+    done;
+    Engine.run engine;
+    List.rev !times
+  in
+  let base = arrivals false and faulty = arrivals true in
+  List.iter2
+    (fun a b -> Alcotest.(check (float 0.0)) "same arrival" a b)
+    base faulty
+
 let () =
   Alcotest.run "net"
     [
@@ -90,6 +197,7 @@ let () =
         [
           Alcotest.test_case "preset relationships" `Quick test_transport_presets;
           Alcotest.test_case "with_drop" `Quick test_with_drop;
+          Alcotest.test_case "with_drop clamps" `Quick test_with_drop_clamps;
         ] );
       ( "network",
         [
@@ -98,5 +206,16 @@ let () =
           Alcotest.test_case "drops" `Quick test_drops;
           Alcotest.test_case "client delivery" `Quick test_send_to_client_no_core_cost;
           Alcotest.test_case "tx_cpu accessor" `Quick test_tx_cpu_accessor;
+        ] );
+      ( "link faults",
+        [
+          Alcotest.test_case "asymmetric partition" `Quick
+            test_partition_blocks_one_direction;
+          Alcotest.test_case "duplication is free" `Quick
+            test_duplicates_delivered_twice_at_zero_cost;
+          Alcotest.test_case "delay spike reorders" `Quick test_delay_spike_reorders;
+          Alcotest.test_case "combine" `Quick test_combine_rules;
+          Alcotest.test_case "fault-free RNG stream unchanged" `Quick
+            test_fault_free_rules_leave_rng_stream_alone;
         ] );
     ]

@@ -271,6 +271,7 @@ let arb_replies = Q.make gen_replies
 
 let prop_choose_total replies =
   (* choose never raises on a majority and always returns a verdict. *)
+  let replies = List.mapi (fun i r -> (i, r)) replies in
   match Recovery.choose ~quorum:(Quorum.create ~n:3) ~replies with
   | `Commit | `Abort -> true
 
@@ -286,7 +287,9 @@ let prop_choose_respects_finals replies =
   match finals with
   | [] -> true
   | f :: rest when List.for_all (fun x -> x = f) rest ->
-      Recovery.choose ~quorum:(Quorum.create ~n:3) ~replies = f
+      Recovery.choose ~quorum:(Quorum.create ~n:3)
+        ~replies:(List.mapi (fun i r -> (i, r)) replies)
+      = f
   | _ -> true (* inconsistent random input; not a real execution *)
 
 (* --- checker sanity: it accepts exactly replay-consistent histories --- *)

@@ -17,24 +17,26 @@ let rmw ~seq key =
     ~read_set:[ { key; wts = Timestamp.zero } ]
     ~write_set:[ { key; value = seq } ]
 
-let record ?(v = 0) ?accept_view ~status txn : Recovery.reply =
-  Recovery.Record
-    { Replica.txn; ts = ts 1.0; status; view = v; accept_view }
+let record ?(v = 0) ?accept_view ~status ~from txn : int * Recovery.reply =
+  (from, Recovery.Record { Replica.txn; ts = ts 1.0; status; view = v; accept_view })
+
+let no_record from : int * Recovery.reply = (from, Recovery.No_record)
 
 let test_needs_majority () =
   Alcotest.check_raises "one reply"
-    (Invalid_argument "Recovery.choose: needs a majority of replies") (fun () ->
-      ignore (Recovery.choose ~quorum:q3 ~replies:[ Recovery.No_record ]))
+    (Invalid_argument "Recovery.choose: needs a majority of distinct replicas")
+    (fun () -> ignore (Recovery.choose ~quorum:q3 ~replies:[ no_record 0 ]))
 
 let test_priority1_final () =
   let t = rmw ~seq:1 0 in
   Alcotest.(check bool) "committed anywhere -> commit" true
     (Recovery.choose ~quorum:q3
-       ~replies:[ record ~status:Txn.Committed t; Recovery.No_record ]
+       ~replies:[ record ~from:0 ~status:Txn.Committed t; no_record 1 ]
     = `Commit);
   Alcotest.(check bool) "aborted anywhere -> abort" true
     (Recovery.choose ~quorum:q3
-       ~replies:[ record ~status:Txn.Aborted t; record ~status:Txn.Validated_ok t ]
+       ~replies:
+         [ record ~from:0 ~status:Txn.Aborted t; record ~from:1 ~status:Txn.Validated_ok t ]
     = `Abort)
 
 let test_priority2_accepted () =
@@ -43,8 +45,8 @@ let test_priority2_accepted () =
     (Recovery.choose ~quorum:q3
        ~replies:
          [
-           record ~v:1 ~accept_view:1 ~status:Txn.Accepted_commit t;
-           record ~status:Txn.Validated_abort t;
+           record ~from:0 ~v:1 ~accept_view:1 ~status:Txn.Accepted_commit t;
+           record ~from:1 ~status:Txn.Validated_abort t;
          ]
     = `Commit);
   (* Competing accepted proposals: the higher view decides. *)
@@ -52,8 +54,8 @@ let test_priority2_accepted () =
     (Recovery.choose ~quorum:q3
        ~replies:
          [
-           record ~v:2 ~accept_view:2 ~status:Txn.Accepted_abort t;
-           record ~v:5 ~accept_view:5 ~status:Txn.Accepted_commit t;
+           record ~from:0 ~v:2 ~accept_view:2 ~status:Txn.Accepted_abort t;
+           record ~from:1 ~v:5 ~accept_view:5 ~status:Txn.Accepted_commit t;
          ]
     = `Commit)
 
@@ -63,24 +65,30 @@ let test_priority3_fast_path_possibility () =
      path may have committed; propose commit. *)
   Alcotest.(check bool) "2 ok -> commit" true
     (Recovery.choose ~quorum:q3
-       ~replies:[ record ~status:Txn.Validated_ok t; record ~status:Txn.Validated_ok t ]
+       ~replies:
+         [
+           record ~from:0 ~status:Txn.Validated_ok t;
+           record ~from:1 ~status:Txn.Validated_ok t;
+         ]
     = `Commit);
   (* One OK, one no-record: a fast commit (3 matching) would have left
      ≥2 OKs in any majority; safe to abort. *)
   Alcotest.(check bool) "1 ok -> abort" true
     (Recovery.choose ~quorum:q3
-       ~replies:[ record ~status:Txn.Validated_ok t; Recovery.No_record ]
+       ~replies:[ record ~from:0 ~status:Txn.Validated_ok t; no_record 1 ]
     = `Abort)
 
 let test_priority4_default_abort () =
   let t = rmw ~seq:1 0 in
   Alcotest.(check bool) "no records -> abort" true
-    (Recovery.choose ~quorum:q3 ~replies:[ Recovery.No_record; Recovery.No_record ]
-    = `Abort);
+    (Recovery.choose ~quorum:q3 ~replies:[ no_record 0; no_record 1 ] = `Abort);
   Alcotest.(check bool) "all validated-abort -> abort" true
     (Recovery.choose ~quorum:q3
        ~replies:
-         [ record ~status:Txn.Validated_abort t; record ~status:Txn.Validated_abort t ]
+         [
+           record ~from:0 ~status:Txn.Validated_abort t;
+           record ~from:1 ~status:Txn.Validated_abort t;
+         ]
     = `Abort)
 
 let test_n5_thresholds () =
@@ -90,20 +98,83 @@ let test_n5_thresholds () =
     (Recovery.choose ~quorum:q5
        ~replies:
          [
-           record ~status:Txn.Validated_ok t;
-           record ~status:Txn.Validated_ok t;
-           record ~status:Txn.Validated_abort t;
+           record ~from:0 ~status:Txn.Validated_ok t;
+           record ~from:1 ~status:Txn.Validated_ok t;
+           record ~from:2 ~status:Txn.Validated_abort t;
          ]
     = `Commit);
   Alcotest.(check bool) "1 of 3 ok -> abort" true
     (Recovery.choose ~quorum:q5
        ~replies:
          [
-           record ~status:Txn.Validated_ok t;
-           record ~status:Txn.Validated_abort t;
-           Recovery.No_record;
+           record ~from:0 ~status:Txn.Validated_ok t;
+           record ~from:1 ~status:Txn.Validated_abort t;
+           no_record 2;
          ]
     = `Abort)
+
+(* --- Duplicated / reordered replies (at-most-once dedup). --- *)
+
+let test_duplicate_replies_not_double_counted () =
+  let t = rmw ~seq:9 0 in
+  (* n=3, fast_recovery = 2: the same replica reporting VALIDATED-OK
+     twice (a duplicated or retransmitted reply) is ONE distinct OK —
+     the safe choice is abort, and counting the duplicate would
+     wrongly flip it to commit. *)
+  Alcotest.(check bool) "dup ok counts once -> abort" true
+    (Recovery.choose ~quorum:q3
+       ~replies:
+         [
+           record ~from:0 ~status:Txn.Validated_ok t;
+           record ~from:0 ~status:Txn.Validated_ok t;
+           no_record 1;
+         ]
+    = `Abort);
+  (* n=5: replica 0's duplicate must not lift one OK to the ⌈f/2⌉+1 =
+     2 bound either. *)
+  Alcotest.(check bool) "n=5 dup ok counts once -> abort" true
+    (Recovery.choose ~quorum:q5
+       ~replies:
+         [
+           record ~from:0 ~status:Txn.Validated_ok t;
+           record ~from:0 ~status:Txn.Validated_ok t;
+           no_record 1;
+           no_record 2;
+         ]
+    = `Abort)
+
+let test_duplicates_do_not_reach_majority () =
+  (* Two replies from the same replica are one distinct replica: no
+     majority, so choose must refuse rather than decide. *)
+  Alcotest.check_raises "dup is not a majority"
+    (Invalid_argument "Recovery.choose: needs a majority of distinct replicas")
+    (fun () ->
+      ignore (Recovery.choose ~quorum:q3 ~replies:[ no_record 0; no_record 0 ]))
+
+let test_reordered_replies_same_outcome () =
+  let t = rmw ~seq:10 0 in
+  let replies =
+    [
+      record ~from:0 ~status:Txn.Validated_ok t;
+      record ~from:1 ~v:3 ~accept_view:3 ~status:Txn.Accepted_abort t;
+      no_record 2;
+    ]
+  in
+  let reordered = List.rev replies in
+  Alcotest.(check bool) "order irrelevant" true
+    (Recovery.choose ~quorum:q3 ~replies
+    = Recovery.choose ~quorum:q3 ~replies:reordered);
+  (* First reply from a replica wins: a stale duplicate arriving after
+     a newer reply from the same replica does not overwrite it. *)
+  Alcotest.(check bool) "first reply per replica wins" true
+    (Recovery.choose ~quorum:q3
+       ~replies:
+         [
+           record ~from:0 ~v:3 ~accept_view:3 ~status:Txn.Accepted_commit t;
+           record ~from:0 ~status:Txn.Validated_abort t;
+           no_record 1;
+         ]
+    = `Commit)
 
 (* --- End-to-end: a backup coordinator finishes an orphaned
    transaction across three real replicas. --- *)
@@ -125,8 +196,9 @@ let run_backup_coordinator replicas ~core ~txn ~ts:tstamp ~view =
     Array.to_list replicas
     |> List.filter_map (fun r ->
            match Replica.handle_coord_change r ~core ~tid:txn.Txn.tid ~view with
-           | Some (`View_ok None) -> Some Recovery.No_record
-           | Some (`View_ok (Some record)) -> Some (Recovery.Record record)
+           | Some (`View_ok None) -> Some (Replica.id r, Recovery.No_record)
+           | Some (`View_ok (Some record)) ->
+               Some (Replica.id r, Recovery.Record record)
            | Some (`Stale _) | None -> None)
   in
   let outcome = Recovery.choose ~quorum:q3 ~replies in
@@ -195,8 +267,8 @@ let test_two_backups_agree () =
            match
              Replica.handle_coord_change replicas.(i) ~core:0 ~tid:t.Txn.tid ~view:1
            with
-           | Some (`View_ok (Some record)) -> Some (Recovery.Record record)
-           | Some (`View_ok None) -> Some Recovery.No_record
+           | Some (`View_ok (Some record)) -> Some (i, Recovery.Record record)
+           | Some (`View_ok None) -> Some (i, Recovery.No_record)
            | Some (`Stale _) | None -> None)
   in
   let outcome1 = Recovery.choose ~quorum:q3 ~replies in
@@ -236,6 +308,12 @@ let () =
           Alcotest.test_case "priority 4: default abort" `Quick
             test_priority4_default_abort;
           Alcotest.test_case "n=5 thresholds" `Quick test_n5_thresholds;
+          Alcotest.test_case "duplicate replies count once" `Quick
+            test_duplicate_replies_not_double_counted;
+          Alcotest.test_case "duplicates are not a majority" `Quick
+            test_duplicates_do_not_reach_majority;
+          Alcotest.test_case "reordered replies, same outcome" `Quick
+            test_reordered_replies_same_outcome;
         ] );
       ( "end-to-end",
         [
