@@ -785,6 +785,83 @@ let micro mode =
 (* Command line                                                        *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Live: the protocol on real OCaml 5 domains, swept over server
+   domains.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike every experiment above, this one runs on the machine's real
+   cores: absolute numbers depend on the host (and on core count —
+   the sweep only scales when the hardware has cores to give it). The
+   committed history of every point is checked for one-copy
+   serializability, and the whole sweep lands in BENCH_live.json. *)
+let live mode =
+  heading "Live: Meerkat on real domains, 1..N server domains (YCSB-T)";
+  let max_domains = if mode.full then 8 else 4 in
+  let txns = if mode.full then 200 else 50 in
+  let table =
+    Table.create
+      ~header:
+        [ "domains"; "clients"; "committed"; "abort %"; "txn/s"; "p50 us";
+          "p99 us"; "slow"; "serializable" ]
+  in
+  let points =
+    List.map
+      (fun domains ->
+        let clients = 4 * domains in
+        let cfg =
+          {
+            Mk_live.Runtime.default_config with
+            server_domains = domains;
+            coordinators = 2;
+            clients;
+            (* Constant contention as the system scales: keyspace
+               proportional to cores, low Zipf skew (§6.2). *)
+            keys = 1024 * domains;
+            theta = 0.3;
+            txns_per_client = txns;
+            seed = mode.seed;
+          }
+        in
+        let r = Mk_live.Runtime.run cfg in
+        let serializable =
+          match Mk_harness.Checker.check r.Mk_live.Runtime.committed with
+          | Ok () -> true
+          | Error _ -> false
+        in
+        Table.add_row table
+          [
+            string_of_int domains;
+            string_of_int clients;
+            string_of_int r.Mk_live.Runtime.committed_count;
+            pct r.Mk_live.Runtime.abort_rate;
+            Printf.sprintf "%.0f" r.Mk_live.Runtime.throughput;
+            Printf.sprintf "%.0f" r.Mk_live.Runtime.p50_us;
+            Printf.sprintf "%.0f" r.Mk_live.Runtime.p99_us;
+            string_of_int r.Mk_live.Runtime.slow_path;
+            (if serializable then "yes" else "NO");
+          ];
+        (r, serializable))
+      (List.init max_domains (fun i -> i + 1))
+  in
+  Table.print table;
+  let body =
+    String.concat ",\n  "
+      (List.map
+         (fun (r, serializable) ->
+           Printf.sprintf "{\"serializable\": %b, \"report\": %s}" serializable
+             (Mk_live.Runtime.report_json r))
+         points)
+  in
+  (try
+     let oc = open_out "BENCH_live.json" in
+     Printf.fprintf oc "{\"experiment\": \"live\", \"sweep\": [\n  %s\n]}\n" body;
+     close_out oc;
+     say "wrote BENCH_live.json"
+   with Sys_error msg -> Format.eprintf "cannot write BENCH_live.json: %s@." msg);
+  if List.exists (fun (_, s) -> not s) points then
+    failwith "live: serializability violation in a committed history"
+
 let experiments =
   [
     ("fig1", fig1);
@@ -802,6 +879,7 @@ let experiments =
     ("chaos", chaos);
     ("trace", trace_experiment);
     ("micro", micro);
+    ("live", live);
   ]
 
 let run_experiments names full seed trace metrics nemesis nemesis_seed =

@@ -1,0 +1,145 @@
+(* meerkat_live: the full Meerkat protocol on real OCaml 5 domains.
+
+   Runs the Mk_live runtime — the extracted coordinator state machine
+   over real replicas connected by bounded MPSC mailboxes — for one or
+   more seeds, prints a report per run, checks every committed history
+   for one-copy serializability, and optionally writes the aggregate
+   as JSON. Exits non-zero on a serializability violation or when a
+   client's transactions went missing.
+
+     dune exec bin/meerkat_live.exe -- --domains 4 --clients 16
+     dune exec bin/meerkat_live.exe -- --seeds 8 --json BENCH_live.json *)
+
+module Runtime = Mk_live.Runtime
+module Checker = Mk_harness.Checker
+
+let parse_workload = function
+  | "ycsb-t" | "ycsb_t" | "ycsb" -> Ok Runtime.Ycsb_t
+  | "retwis" -> Ok Runtime.Retwis
+  | s -> Error (`Msg (Printf.sprintf "unknown workload %S (ycsb-t, retwis)" s))
+
+let run domains replicas coordinators clients keys theta workload txns duration
+    seed nseeds no_check json =
+  let cfg =
+    {
+      Runtime.default_config with
+      server_domains = domains;
+      n_replicas = replicas;
+      coordinators;
+      clients;
+      keys;
+      theta;
+      workload;
+      txns_per_client = txns;
+      duration;
+    }
+  in
+  let failures = ref 0 in
+  let reports =
+    List.map
+      (fun seed ->
+        let r = Runtime.run { cfg with Runtime.seed } in
+        Format.printf "seed %d:@.  %a@." seed Runtime.pp_report r;
+        let expected = clients * txns in
+        if duration = None && r.Runtime.committed_count + r.Runtime.aborted <> expected
+        then begin
+          incr failures;
+          Format.printf "  LOST TRANSACTIONS: %d decided, %d submitted@."
+            (r.Runtime.committed_count + r.Runtime.aborted)
+            expected
+        end;
+        if not no_check then begin
+          match Checker.check r.Runtime.committed with
+          | Ok () -> Format.printf "  serializable: yes (%d commits)@." r.Runtime.committed_count
+          | Error v ->
+              incr failures;
+              Format.printf "  SERIALIZABILITY VIOLATION: %a@." Checker.pp_violation v
+        end;
+        (seed, r))
+      (List.init nseeds (fun i -> seed + i))
+  in
+  (match json with
+  | None -> ()
+  | Some path -> (
+      let body =
+        String.concat ",\n  "
+          (List.map
+             (fun (seed, r) ->
+               Printf.sprintf "{\"seed\": %d, \"report\": %s}" seed
+                 (Runtime.report_json r))
+             reports)
+      in
+      try
+        let oc = open_out path in
+        Printf.fprintf oc "{\"experiment\": \"live\", \"runs\": [\n  %s\n]}\n" body;
+        close_out oc;
+        Format.printf "wrote %s@." path
+      with Sys_error msg -> Format.eprintf "meerkat_live: %s@." msg));
+  if !failures > 0 then begin
+    Format.printf "%d run(s) FAILED@." !failures;
+    exit 1
+  end
+
+let () =
+  let open Cmdliner in
+  let workload_conv =
+    Arg.conv
+      ( parse_workload,
+        fun ppf w ->
+          Format.pp_print_string ppf
+            (match w with Runtime.Ycsb_t -> "ycsb-t" | Runtime.Retwis -> "retwis")
+      )
+  in
+  let domains =
+    Arg.(value & opt int 2
+         & info [ "domains"; "d" ] ~doc:"Server domains (cores per replica).")
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~doc:"Replicas (odd, >= 3).")
+  in
+  let coordinators =
+    Arg.(value & opt int 2 & info [ "coordinators" ] ~doc:"Coordinator domains.")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.")
+  in
+  let keys = Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"Keyspace size.") in
+  let theta =
+    Arg.(value & opt float 0.6 & info [ "theta" ] ~doc:"Zipf skew in [0, 1).")
+  in
+  let workload =
+    Arg.(value & opt workload_conv Runtime.Ycsb_t
+         & info [ "workload"; "w" ] ~doc:"Workload: ycsb-t or retwis.")
+  in
+  let txns =
+    Arg.(value & opt int 50
+         & info [ "txns" ] ~doc:"Transactions per client (ignored with --duration).")
+  in
+  let duration =
+    Arg.(value & opt (some float) None
+         & info [ "duration" ] ~docv:"SECONDS"
+             ~doc:"Keep submitting for $(docv) of wall time instead of a \
+                   per-client transaction quota.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed.") in
+  let nseeds =
+    Arg.(value & opt int 1 & info [ "seeds" ] ~doc:"Number of seeds to run.")
+  in
+  let no_check =
+    Arg.(value & flag
+         & info [ "no-check" ]
+             ~doc:"Skip the serializability check of the committed history.")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE" ~doc:"Write all reports to $(docv) as JSON.")
+  in
+  let term =
+    Term.(const run $ domains $ replicas $ coordinators $ clients $ keys $ theta
+          $ workload $ txns $ duration $ seed $ nseeds $ no_check $ json)
+  in
+  let info =
+    Cmd.info "meerkat_live"
+      ~doc:"Meerkat on real OCaml 5 domains with a live message-passing runtime"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -1,0 +1,116 @@
+(* Vyukov bounded MPSC ring with a parking consumer.
+
+   Each cell carries a sequence number that encodes whose turn it is:
+   [seq = pos] means the cell is free for the producer claiming
+   position [pos]; [seq = pos + 1] means it holds the message of that
+   position, ready for the consumer; the consumer releases it for the
+   next lap by setting [seq = pos + capacity]. Producers race on one
+   CAS over [tail]; the value itself is a plain field, published by
+   the [seq] store and acquired by the consumer's [seq] load (OCaml
+   atomics are SC, so the pair orders the plain access on both sides).
+
+   Parking protocol: the consumer raises [parked] and re-checks the
+   ring before waiting; a producer stores the cell first and reads
+   [parked] after. Sequential consistency forbids both sides missing
+   each other — either the producer sees the flag and signals, or the
+   consumer's re-check sees the message. *)
+
+type 'a cell = { mutable value : 'a option; seq : int Atomic.t }
+
+type 'a t = {
+  mask : int;
+  cells : 'a cell array;
+  tail : int Atomic.t;  (* next position to claim; producers CAS this *)
+  mutable head : int;  (* next position to consume; consumer-private *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  parked : bool Atomic.t;
+}
+
+let create ~capacity =
+  if capacity < 2 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Mailbox.create: capacity must be a power of two >= 2";
+  {
+    mask = capacity - 1;
+    cells = Array.init capacity (fun i -> { value = None; seq = Atomic.make i });
+    tail = Atomic.make 0;
+    head = 0;
+    lock = Mutex.create ();
+    nonempty = Condition.create ();
+    parked = Atomic.make false;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.tail - t.head
+
+let wake t =
+  if Atomic.get t.parked then begin
+    Mutex.lock t.lock;
+    Atomic.set t.parked false;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.lock
+  end
+
+let try_push t v =
+  let rec claim pos =
+    let cell = t.cells.(pos land t.mask) in
+    let dif = Atomic.get cell.seq - pos in
+    if dif = 0 then
+      if Atomic.compare_and_set t.tail pos (pos + 1) then begin
+        cell.value <- Some v;
+        Atomic.set cell.seq (pos + 1);
+        wake t;
+        true
+      end
+      else claim (Atomic.get t.tail)
+    else if dif < 0 then
+      (* The cell [capacity] positions back has not been consumed yet:
+         full. A stale [pos] can only make [dif] positive, never
+         negative, so a false "full" verdict is impossible. *)
+      false
+    else claim (Atomic.get t.tail)
+  in
+  claim (Atomic.get t.tail)
+
+let push t v =
+  while not (try_push t v) do
+    Domain.cpu_relax ()
+  done
+
+let try_pop t =
+  let cell = t.cells.(t.head land t.mask) in
+  if Atomic.get cell.seq = t.head + 1 then begin
+    let v = cell.value in
+    cell.value <- None;
+    Atomic.set cell.seq (t.head + t.mask + 1);
+    t.head <- t.head + 1;
+    v
+  end
+  else None
+
+let pop ?(spins = 256) t =
+  let rec park () =
+    Mutex.lock t.lock;
+    Atomic.set t.parked true;
+    let rec wait () =
+      match try_pop t with
+      | Some v ->
+          Atomic.set t.parked false;
+          Mutex.unlock t.lock;
+          v
+      | None ->
+          Condition.wait t.nonempty t.lock;
+          wait ()
+    in
+    wait ()
+  and poll n =
+    match try_pop t with
+    | Some v -> v
+    | None ->
+        if n > 0 then begin
+          Domain.cpu_relax ();
+          poll (n - 1)
+        end
+        else park ()
+  in
+  poll spins

@@ -1,0 +1,47 @@
+(** Bounded multi-producer single-consumer mailbox — the only channel
+    between domains in the live runtime.
+
+    One mailbox per replica-core host and per coordinator: all
+    cross-domain communication in {!Runtime} is a message through one
+    of these, so the transaction fast path shares no other mutable
+    state between domains (the zero-coordination principle; the lint
+    allowlist sanctions coordination primitives in this module and in
+    {!Spawn} only).
+
+    The implementation is a Vyukov-style bounded ring: producers claim
+    slots with one CAS on the tail, hand-off is a per-slot sequence
+    number, and the single consumer advances its head without any
+    atomic read-modify-write. The consumer busy-polls briefly and then
+    parks on a condition variable; producers wake it only when the
+    parked flag is up, so a busy mailbox never touches the lock. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity] must be a power of two, at least 2. The mailbox holds at
+    most [capacity] undelivered messages; pushes beyond that are
+    refused ({!try_push}) or wait for space ({!push}). *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Enqueue from any domain; [false] when the mailbox is full
+    (backpressure — the caller decides whether to spin, drop, or
+    retransmit later). *)
+
+val push : 'a t -> 'a -> unit
+(** [try_push] in a spin loop: waits (without blocking the consumer)
+    until space frees up. Callers must size mailboxes so a cycle of
+    full queues cannot form; see the capacity notes in {!Runtime}. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side; must only ever be called from one domain at a time. *)
+
+val pop : ?spins:int -> 'a t -> 'a
+(** Blocking consume: busy-polls for [spins] iterations (default 256),
+    then parks until a producer wakes it. Same single-consumer
+    contract as {!try_pop}. *)
+
+val length : 'a t -> int
+(** Messages currently queued. Exact only from the consumer; other
+    domains see a racy approximation (useful for stats, not logic). *)

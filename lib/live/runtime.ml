@@ -1,0 +1,512 @@
+(* The live runtime: the full Meerkat commit protocol on real OCaml 5
+   domains.
+
+   Topology: [server_domains] server domains and [coordinators]
+   coordinator domains, each owning one {!Mailbox}. Server domain [k]
+   hosts core [k] of every replica — a transaction steered to core [k]
+   (by [Tid.hash mod server_domains], the same steering the simulator
+   uses) has its validate/accept/write-back handled for all replicas
+   by that one domain, against each replica's own core-[k] trecord
+   partition. Coordinator domains run closed-loop clients driving the
+   extracted {!Mk_meerkat.Protocol} state machine — the exact code the
+   simulator executes — and translate its actions into mailbox pushes
+   instead of simulated sends.
+
+   Zero-coordination: the only cross-domain mutable state on the
+   transaction fast path is the mailboxes themselves (and the
+   storage layer's own sanctioned shard locks). Coordinators share
+   nothing with each other — per-coordinator RNG, workload, Obs
+   handle, latency histogram, and committed list, merged only after
+   join.
+
+   Deadlock freedom: producers block (spin) on a full mailbox, so a
+   cycle of full queues must not form. Server inboxes can fill — their
+   producers (coordinators) keep draining their own inboxes only
+   between pushes, but a server drains continuously unless *it* is
+   blocked pushing a reply. Reply traffic is bounded: a coordinator
+   with [m] local clients has at most [m] undecided attempts, each
+   with at most one outstanding request per replica per retransmission
+   round, so a coordinator inbox of [coord_inbox] >= a few times
+   [m * n_replicas] can never be full when a server pushes — the
+   server never blocks, so every cycle contains a non-blocking node. *)
+
+module Timestamp = Mk_clock.Timestamp
+module Tid = Timestamp.Tid
+module Txn = Mk_storage.Txn
+module Intf = Mk_model.System_intf
+module Quorum = Mk_meerkat.Quorum
+module Protocol = Mk_meerkat.Protocol
+module Replica = Mk_meerkat.Replica
+module Workload = Mk_workload.Workload
+module Obs = Mk_obs.Obs
+module Span = Mk_obs.Span
+module Histogram = Mk_util.Histogram
+
+type workload_kind = Ycsb_t | Retwis
+
+type config = {
+  server_domains : int;
+  n_replicas : int;
+  coordinators : int;
+  clients : int;
+  keys : int;
+  theta : float;
+  workload : workload_kind;
+  txns_per_client : int;
+  duration : float option;
+  seed : int;
+  rto_us : float;
+  grace_us : float;
+  server_inbox : int;
+  coord_inbox : int;
+}
+
+let default_config =
+  {
+    server_domains = 2;
+    n_replicas = 3;
+    coordinators = 2;
+    clients = 8;
+    keys = 1024;
+    theta = 0.6;
+    workload = Ycsb_t;
+    txns_per_client = 50;
+    duration = None;
+    seed = 42;
+    (* Mailboxes do not lose messages, so the retransmission timer is
+       a pure safety net: generous enough never to fire on a loaded
+       box. The fast-grace timer is the one that matters live — it
+       bounds how long a coordinator waits for fast-quorum stragglers
+       before settling for the slow path. *)
+    rto_us = 200_000.0;
+    grace_us = 5_000.0;
+    server_inbox = 1024;
+    coord_inbox = 4096;
+  }
+
+type report = {
+  server_domains : int;
+  coordinators : int;
+  clients : int;
+  committed : (Txn.t * Timestamp.t) list;
+  committed_count : int;
+  aborted : int;
+  fast_path : int;
+  slow_path : int;
+  retransmits : int;
+  wall_seconds : float;
+  throughput : float;
+  abort_rate : float;
+  p50_us : float;
+  p99_us : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Requests carry (coord, slot, seq) so the reply can be routed back to
+   the issuing attempt; [seq] is the client-local transaction sequence
+   number, so a late reply for a finished attempt can never be taken
+   for the current one. *)
+type server_msg =
+  | Validate of {
+      replica : int;
+      coord : int;
+      slot : int;
+      seq : int;
+      txn : Txn.t;
+      ts : Timestamp.t;
+    }
+  | Accept of {
+      replica : int;
+      coord : int;
+      slot : int;
+      seq : int;
+      txn : Txn.t;
+      ts : Timestamp.t;
+      decision : [ `Commit | `Abort ];
+      view : int;
+    }
+  | Write_back of { replica : int; txn : Txn.t; ts : Timestamp.t; commit : bool }
+  | Stop
+
+type coord_msg =
+  | Validated of { slot : int; seq : int; replica : int; status : Txn.status }
+  | Accepted of {
+      slot : int;
+      seq : int;
+      replica : int;
+      reply : Protocol.accept_reply;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Server domains                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let server_loop ~core ~replicas ~inbox ~coord_inboxes =
+  let rec loop () =
+    match Mailbox.pop inbox with
+    | Stop -> ()
+    | Validate { replica; coord; slot; seq; txn; ts } ->
+        (match Replica.handle_validate replicas.(replica) ~core ~txn ~ts with
+        | None -> ()
+        | Some status ->
+            Mailbox.push coord_inboxes.(coord)
+              (Validated { slot; seq; replica; status }));
+        loop ()
+    | Accept { replica; coord; slot; seq; txn; ts; decision; view } ->
+        (match
+           Replica.handle_accept replicas.(replica) ~core ~txn ~ts ~decision
+             ~view
+         with
+        | None -> ()
+        | Some reply ->
+            Mailbox.push coord_inboxes.(coord)
+              (Accepted { slot; seq; replica; reply }));
+        loop ()
+    | Write_back { replica; txn; ts; commit } ->
+        ignore
+          (Replica.handle_commit replicas.(replica) ~core ~txn ~ts ~commit
+            : unit option);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator domains                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type attempt = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  core : int;
+  att_seq : int;
+  proto : Protocol.t;
+  mutable timers : (Protocol.timer * float) list;  (* absolute µs deadlines *)
+}
+
+type client = {
+  cid : int;
+  slot : int;
+  mutable next_seq : int;
+  mutable last_time : float;
+  mutable done_txns : int;
+  mutable active : attempt option;
+}
+
+type coord_result = {
+  c_committed : (Txn.t * Timestamp.t) list;
+  c_latencies : Histogram.t;
+  c_obs : Obs.t;
+}
+
+let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
+    ~coord_id =
+  let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  let obs = Obs.create ~clock:wall_us () in
+  let lat = Histogram.create () in
+  let committed = ref [] in
+  let inbox = coord_inboxes.(coord_id) in
+  let params =
+    {
+      Protocol.n_replicas = cfg.n_replicas;
+      quorum = Quorum.create ~n:cfg.n_replicas;
+      rto = cfg.rto_us;
+      grace = cfg.grace_us;
+    }
+  in
+  let rng = Mk_util.Rng.create ~seed:(cfg.seed + (7919 * (coord_id + 1))) in
+  let wl =
+    match cfg.workload with
+    | Ycsb_t -> Workload.ycsb_t ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Retwis -> Workload.retwis ~rng ~keys:cfg.keys ~theta:cfg.theta
+  in
+  let local =
+    List.init cfg.clients Fun.id
+    |> List.filter (fun cid -> cid mod cfg.coordinators = coord_id)
+    |> List.mapi (fun slot cid ->
+           { cid; slot; next_seq = 0; last_time = 0.0; done_txns = 0; active = None })
+    |> Array.of_list
+  in
+  let deadline_us =
+    match cfg.duration with Some d -> Some (d *. 1e6) | None -> None
+  in
+  let quota_done c =
+    match deadline_us with
+    | Some dl -> wall_us () >= dl
+    | None -> c.done_txns >= cfg.txns_per_client
+  in
+  (* Execute-phase reads go straight to one replica's versioned store —
+     shared-memory gets stand in for the paper's closest-replica reads;
+     the vstore's shard locks make them safe from any domain. *)
+  let read_replica = replicas.(coord_id mod cfg.n_replicas) in
+  let exec c att action =
+    match action with
+    | Protocol.Send_validates { only_missing } ->
+        for r = 0 to cfg.n_replicas - 1 do
+          if (not only_missing) || Protocol.needs_validate att.proto r then
+            Mailbox.push server_inboxes.(att.core)
+              (Validate
+                 {
+                   replica = r;
+                   coord = coord_id;
+                   slot = c.slot;
+                   seq = att.att_seq;
+                   txn = att.txn;
+                   ts = att.ts;
+                 })
+        done
+    | Protocol.Send_accepts { decision } ->
+        for r = 0 to cfg.n_replicas - 1 do
+          Mailbox.push server_inboxes.(att.core)
+            (Accept
+               {
+                 replica = r;
+                 coord = coord_id;
+                 slot = c.slot;
+                 seq = att.att_seq;
+                 txn = att.txn;
+                 ts = att.ts;
+                 decision;
+                 view = 0;
+               })
+        done
+    | Protocol.Arm_timer { timer; delay } ->
+        att.timers <- (timer, wall_us () +. delay) :: att.timers
+    | Protocol.Note_validated ->
+        Obs.span obs Span.Validate ~tid:c.cid ~start:(Protocol.started att.proto)
+          ()
+    | Protocol.Note_decided { commit; fast } ->
+        let now = wall_us () in
+        Histogram.add lat (now -. Protocol.started att.proto);
+        if fast then
+          Obs.span obs Span.Fast_quorum ~tid:c.cid
+            ~start:(Protocol.started att.proto) ()
+        else if not (Float.is_nan (Protocol.accept_started att.proto)) then
+          Obs.span obs Span.Slow_accept ~tid:c.cid
+            ~start:(Protocol.accept_started att.proto) ();
+        Obs.note_decision obs ~committed:commit ~fast;
+        (* Asynchronous write phase (§5.2.3): fire and forget. *)
+        for r = 0 to cfg.n_replicas - 1 do
+          Mailbox.push server_inboxes.(att.core)
+            (Write_back { replica = r; txn = att.txn; ts = att.ts; commit })
+        done;
+        if commit then committed := (att.txn, att.ts) :: !committed
+  in
+  let feed c att event =
+    List.iter (exec c att) (Protocol.handle att.proto ~now:(wall_us ()) event);
+    if Protocol.decided att.proto then begin
+      c.active <- None;
+      c.done_txns <- c.done_txns + 1
+    end
+  in
+  let start_txn c =
+    let req = Workload.next wl in
+    let exec_start = wall_us () in
+    let read_set =
+      Array.to_list
+        (Array.map
+           (fun key ->
+             let _, wts =
+               match Replica.handle_get read_replica ~key with
+               | Some v -> v
+               | None -> (0, Timestamp.zero)
+             in
+             ({ key; wts } : Txn.read_entry))
+           req.Intf.reads)
+    in
+    let write_set =
+      List.map
+        (fun (key, value) -> ({ key; value } : Txn.write_entry))
+        (Array.to_list req.Intf.writes)
+    in
+    if Array.length req.Intf.reads > 0 then
+      Obs.span obs Span.Execute ~tid:c.cid ~start:exec_start ();
+    c.next_seq <- c.next_seq + 1;
+    let tid = Tid.make ~seq:c.next_seq ~client_id:c.cid in
+    let txn = Txn.make ~tid ~read_set ~write_set in
+    let now = wall_us () in
+    (* The proposed commit timestamp must strictly increase per client
+       even when the wall clock stalls within one microsecond. *)
+    let time = if now <= c.last_time then c.last_time +. 1e-3 else now in
+    c.last_time <- time;
+    let ts = Timestamp.make ~time ~client_id:c.cid in
+    let core = Tid.hash tid mod cfg.server_domains in
+    let proto, actions = Protocol.start params ~now in
+    let att = { txn; ts; core; att_seq = c.next_seq; proto; timers = [] } in
+    c.active <- Some att;
+    List.iter (exec c att) actions
+  in
+  let dispatch msg =
+    match msg with
+    | Validated { slot; seq; replica; status } -> (
+        let c = local.(slot) in
+        match c.active with
+        | Some att when att.att_seq = seq ->
+            feed c att (Protocol.Validate_reply { replica; status })
+        | Some _ | None -> ())
+    | Accepted { slot; seq; replica; reply } -> (
+        let c = local.(slot) in
+        match c.active with
+        | Some att when att.att_seq = seq ->
+            feed c att (Protocol.Accept_reply { replica; reply })
+        | Some _ | None -> ())
+  in
+  let fire_due_timers c att =
+    let now = wall_us () in
+    let due, pending = List.partition (fun (_, dl) -> dl <= now) att.timers in
+    att.timers <- pending;
+    List.iter
+      (fun (timer, _) ->
+        if not (Protocol.decided att.proto) then begin
+          (match timer with
+          | Protocol.Retransmit _ -> Obs.note_retransmit obs
+          | Protocol.Fast_grace -> ());
+          feed c att (Protocol.Timer timer)
+        end)
+      due
+  in
+  let idle = ref 0 in
+  let rec loop () =
+    let progressed = ref false in
+    let budget = ref 256 in
+    let rec drain () =
+      if !budget > 0 then begin
+        match Mailbox.try_pop inbox with
+        | Some msg ->
+            decr budget;
+            progressed := true;
+            dispatch msg;
+            drain ()
+        | None -> ()
+      end
+    in
+    drain ();
+    let all_done = ref true in
+    Array.iter
+      (fun c ->
+        (match c.active with
+        | Some att -> fire_due_timers c att
+        | None ->
+            if not (quota_done c) then begin
+              start_txn c;
+              progressed := true
+            end);
+        if Option.is_some c.active || not (quota_done c) then all_done := false)
+      local;
+    if not !all_done then begin
+      if !progressed then idle := 0
+      else begin
+        incr idle;
+        (* Mostly spin; on an oversubscribed machine yield the OS
+           thread now and then so servers can run. *)
+        if !idle > 200 then Unix.sleepf 0.0001 else Spawn.relax ()
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  { c_committed = !committed; c_latencies = lat; c_obs = obs }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-system run                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run (cfg : config) : report =
+  if cfg.server_domains < 1 then
+    invalid_arg "Runtime.run: server_domains must be >= 1";
+  if cfg.coordinators < 1 then
+    invalid_arg "Runtime.run: coordinators must be >= 1";
+  if cfg.clients < 1 then invalid_arg "Runtime.run: clients must be >= 1";
+  if cfg.n_replicas < 3 || cfg.n_replicas mod 2 = 0 then
+    invalid_arg "Runtime.run: n_replicas must be odd and >= 3";
+  let quorum = Quorum.create ~n:cfg.n_replicas in
+  let replicas =
+    Array.init cfg.n_replicas (fun id ->
+        Replica.create ~id ~quorum ~cores:cfg.server_domains)
+  in
+  Array.iter
+    (fun r ->
+      for key = 0 to cfg.keys - 1 do
+        Replica.load r ~key ~value:0
+      done)
+    replicas;
+  let server_inboxes =
+    Array.init cfg.server_domains (fun _ ->
+        Mailbox.create ~capacity:cfg.server_inbox)
+  in
+  let coord_inboxes =
+    Array.init cfg.coordinators (fun _ ->
+        Mailbox.create ~capacity:cfg.coord_inbox)
+  in
+  let t0 = Spawn.wall () in
+  let servers =
+    List.init cfg.server_domains (fun core ->
+        Spawn.spawn (fun () ->
+            server_loop ~core ~replicas ~inbox:server_inboxes.(core)
+              ~coord_inboxes))
+  in
+  let coords =
+    List.init cfg.coordinators (fun coord_id ->
+        Spawn.spawn (fun () ->
+            coordinator cfg ~t0 ~replicas ~server_inboxes ~coord_inboxes
+              ~coord_id))
+  in
+  let results = List.map Spawn.join coords in
+  (* All coordinators have pushed their last message (write-backs
+     included) before these Stops are enqueued, so each server drains
+     everything and then exits: the final replica state is quiescent. *)
+  Array.iter (fun inbox -> Mailbox.push inbox Stop) server_inboxes;
+  List.iter Spawn.join servers;
+  let wall_seconds = Spawn.wall () -. t0 in
+  let committed = List.concat_map (fun r -> r.c_committed) results in
+  let sum name =
+    List.fold_left (fun acc r -> acc + Obs.counter_value r.c_obs name) 0 results
+  in
+  let lat =
+    List.fold_left
+      (fun acc r -> Histogram.merge acc r.c_latencies)
+      (Histogram.create ()) results
+  in
+  let committed_count = sum "txn.committed" in
+  let aborted = sum "txn.aborted" in
+  let decided = committed_count + aborted in
+  {
+    server_domains = cfg.server_domains;
+    coordinators = cfg.coordinators;
+    clients = cfg.clients;
+    committed;
+    committed_count;
+    aborted;
+    fast_path = sum "txn.fast_path";
+    slow_path = sum "txn.slow_path";
+    retransmits = sum "net.retransmits";
+    wall_seconds;
+    throughput = float_of_int committed_count /. wall_seconds;
+    abort_rate =
+      (if decided = 0 then 0.0
+       else float_of_int aborted /. float_of_int decided);
+    p50_us = Histogram.percentile lat 50.0;
+    p99_us = Histogram.percentile lat 99.0;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>servers=%d coordinators=%d clients=%d@,\
+     committed=%d aborted=%d (abort rate %.1f%%)@,\
+     fast=%d slow=%d retransmits=%d@,\
+     %.2f s wall, %.0f committed txn/s, latency p50=%.0f us p99=%.0f us@]"
+    r.server_domains r.coordinators r.clients r.committed_count r.aborted
+    (100.0 *. r.abort_rate) r.fast_path r.slow_path r.retransmits
+    r.wall_seconds r.throughput r.p50_us r.p99_us
+
+let report_json r =
+  Printf.sprintf
+    "{\"server_domains\": %d, \"coordinators\": %d, \"clients\": %d, \
+     \"committed\": %d, \"aborted\": %d, \"abort_rate\": %.4f, \"fast_path\": \
+     %d, \"slow_path\": %d, \"retransmits\": %d, \"wall_seconds\": %.4f, \
+     \"throughput\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f}"
+    r.server_domains r.coordinators r.clients r.committed_count r.aborted
+    r.abort_rate r.fast_path r.slow_path r.retransmits r.wall_seconds
+    r.throughput r.p50_us r.p99_us

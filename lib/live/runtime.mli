@@ -1,0 +1,68 @@
+(** The live runtime: the full Meerkat commit protocol on real OCaml 5
+    domains, driven by the same {!Mk_meerkat.Protocol} state machine as
+    the discrete-event simulator (DESIGN.md §9).
+
+    Server domain [k] hosts core [k] of every replica (validate,
+    accept, and write-back against the core-[k] trecord partitions);
+    coordinator domains run closed-loop clients. All cross-domain
+    communication is a message through a bounded {!Mailbox} — the
+    transaction fast path shares no other mutable state between
+    domains beyond the storage layer's sanctioned shard locks. *)
+
+type workload_kind = Ycsb_t | Retwis
+
+type config = {
+  server_domains : int;  (** Server domains; also cores per replica. *)
+  n_replicas : int;  (** Odd, >= 3. *)
+  coordinators : int;  (** Coordinator domains. *)
+  clients : int;  (** Closed-loop clients, split round-robin. *)
+  keys : int;
+  theta : float;  (** Zipf skew of the workload. *)
+  workload : workload_kind;
+  txns_per_client : int;  (** Quota per client (ignored with [duration]). *)
+  duration : float option;
+      (** Wall seconds to keep submitting; overrides [txns_per_client]. *)
+  seed : int;
+  rto_us : float;  (** Initial retransmission timeout (wall µs). *)
+  grace_us : float;  (** Fast-path grace before settling slow (wall µs). *)
+  server_inbox : int;  (** Server mailbox capacity (power of two). *)
+  coord_inbox : int;
+      (** Coordinator mailbox capacity (power of two). Must exceed the
+          coordinator's worst-case outstanding replies — a few times
+          its local clients × [n_replicas] — so servers never block
+          pushing replies (the deadlock-freedom argument in the
+          implementation). *)
+}
+
+val default_config : config
+
+type report = {
+  server_domains : int;
+  coordinators : int;
+  clients : int;
+  committed : (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list;
+      (** Every acknowledged commit, across all coordinators — feed to
+          {!Mk_harness.Checker.check} for the serializability verdict. *)
+  committed_count : int;
+  aborted : int;
+  fast_path : int;
+  slow_path : int;
+  retransmits : int;
+  wall_seconds : float;
+  throughput : float;  (** Committed transactions per wall second. *)
+  abort_rate : float;  (** Aborted / decided, in \[0, 1\]. *)
+  p50_us : float;  (** Client-perceived commit latency percentiles. *)
+  p99_us : float;
+}
+
+val run : config -> report
+(** Spawn the topology, run every client to its quota (or the
+    duration), join all domains, and aggregate the per-coordinator
+    observations. The replicas are quiescent when this returns: all
+    write-backs are applied.
+    @raise Invalid_argument on nonsensical sizes (see {!config}). *)
+
+val pp_report : Format.formatter -> report -> unit
+
+val report_json : report -> string
+(** One flat JSON object (no committed list), for [BENCH_live.json]. *)

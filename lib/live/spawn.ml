@@ -1,0 +1,18 @@
+type 'a handle = 'a Domain.t
+
+let spawn f = Domain.spawn f
+let join h = Domain.join h
+
+let parallel ~domains f =
+  if domains < 1 then invalid_arg "Spawn.parallel: domains must be >= 1";
+  let spawned = List.init domains (fun id -> Domain.spawn (fun () -> f id)) in
+  List.map Domain.join spawned
+
+let wall () = Unix.gettimeofday ()
+
+let timed ~domains f =
+  let t0 = wall () in
+  let results = parallel ~domains f in
+  (results, wall () -. t0)
+
+let relax () = Domain.cpu_relax ()

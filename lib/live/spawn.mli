@@ -1,0 +1,29 @@
+(** Domain lifecycle helpers shared by every real-parallelism layer
+    (the live runtime, {!Mk_multicore.Par_occ}, the counter
+    microbenchmark): spawn/join, wall-clock timing, and the spin hint.
+
+    Keeping the [Domain] calls in this one module (with
+    {!Mailbox}) lets the ZCP lint allowlist stay two files wide —
+    everything else in the live runtime is coordination-free by
+    construction. *)
+
+type 'a handle
+(** A running domain producing an ['a]. *)
+
+val spawn : (unit -> 'a) -> 'a handle
+val join : 'a handle -> 'a
+
+val parallel : domains:int -> (int -> 'a) -> 'a list
+(** Run [f 0 .. f (domains - 1)] each on its own domain and join them
+    all, returning results in index order.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val timed : domains:int -> (int -> 'a) -> 'a list * float
+(** {!parallel} bracketed by {!wall}: results plus elapsed seconds. *)
+
+val wall : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); the live runtime's only
+    clock. *)
+
+val relax : unit -> unit
+(** Spin-wait hint ([Domain.cpu_relax]). *)

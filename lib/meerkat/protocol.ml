@@ -1,0 +1,231 @@
+(* The coordinator state machine of the commit protocol (§5.2.2),
+   extracted from the simulator so the live runtime executes the same
+   code. See protocol.mli for the driver contract.
+
+   The action lists returned here are ordered: drivers perform them
+   front to back, which reproduces exactly the send/schedule sequence
+   of the pre-extraction coordinator (the determinism the equivalence
+   suite pins). *)
+
+module Txn = Mk_storage.Txn
+
+type params = { n_replicas : int; quorum : Quorum.t; rto : float; grace : float }
+type timer = Retransmit of float | Fast_grace
+
+type accept_reply =
+  [ `Accepted | `Stale of int | `Finalized of Mk_storage.Txn.status ]
+
+type action =
+  | Send_validates of { only_missing : bool }
+  | Send_accepts of { decision : [ `Commit | `Abort ] }
+  | Arm_timer of { timer : timer; delay : float }
+  | Note_validated
+  | Note_decided of { commit : bool; fast : bool }
+
+type event =
+  | Validate_reply of { replica : int; status : Mk_storage.Txn.status }
+  | Accept_reply of { replica : int; reply : accept_reply }
+  | Timer of timer
+  | Resume
+
+type t = {
+  params : params;
+  started : float;
+  replies : Txn.status option array;
+  mutable in_accept : bool;
+  mutable accept_started : float;  (** NaN before the slow path. *)
+  mutable accept_commit : bool;
+      (** The decision proposed when the slow path was entered. Frozen
+          there: a view-0 proposal must never change across
+          retransmissions of the same accept round, or two replicas
+          could hold different accepted decisions for the same
+          transaction. *)
+  accept_from : bool array;
+      (** Which replicas acknowledged the current accept round. A
+          per-replica flag rather than a counter: a duplicated
+          [`Accepted] reply must not double-count toward the
+          majority. *)
+  mutable decided : bool;
+  mutable validated : bool;
+  mutable fast_grace_armed : bool;
+}
+
+let decided t = t.decided
+let in_accept t = t.in_accept
+let started t = t.started
+let accept_started t = t.accept_started
+let needs_validate t r = t.replies.(r) = None
+
+let received t =
+  Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 t.replies
+
+let ok_count t =
+  Array.fold_left
+    (fun acc reply -> if reply = Some Txn.Validated_ok then acc + 1 else acc)
+    0 t.replies
+
+let accept_acks t =
+  Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 t.accept_from
+
+(* Emission helpers: each returns the actions it adds, preserving the
+   pre-extraction call order. *)
+
+let note_validated t =
+  if t.validated then []
+  else begin
+    t.validated <- true;
+    [ Note_validated ]
+  end
+
+(* First entry into the slow path (§5.2.2 step 4); freezes the
+   proposal and the slow-accept span base. *)
+let enter_accept t ~now ~commit =
+  if t.in_accept then []
+  else begin
+    t.in_accept <- true;
+    t.accept_commit <- commit;
+    let acts = note_validated t in
+    if Float.is_nan t.accept_started then t.accept_started <- now;
+    acts
+  end
+
+let decide t ~commit ~fast =
+  if t.decided then []
+  else begin
+    t.decided <- true;
+    note_validated t @ [ Note_decided { commit; fast } ]
+  end
+
+let send_accepts t =
+  [ Send_accepts { decision = (if t.accept_commit then `Commit else `Abort) } ]
+
+let evaluate t ~now =
+  if t.decided then []
+  else begin
+    match Decision.evaluate ~quorum:t.params.quorum ~replies:t.replies with
+    | Decision.Wait ->
+        (* A majority answered but the fast quorum has not completed.
+           Give stragglers a few RTTs, then settle for the slow path —
+           without this grace timer a crashed replica would pin every
+           transaction to the full retransmission timeout. The grace
+           scales with the time the majority itself took: under deep
+           queueing the straggler is probably just queued like
+           everyone else; after a crash the majority arrived in one
+           RTT and the grace stays short. *)
+        if
+          (not t.fast_grace_armed)
+          && (not t.in_accept)
+          && received t >= Quorum.majority t.params.quorum
+        then begin
+          t.fast_grace_armed <- true;
+          let elapsed = now -. t.started in
+          let delay = Float.max t.params.grace (2.0 *. elapsed) in
+          [ Arm_timer { timer = Fast_grace; delay } ]
+        end
+        else []
+    | Decision.Final commit -> decide t ~commit ~fast:false
+    | Decision.Fast commit -> decide t ~commit ~fast:true
+    | Decision.Slow commit ->
+        if not t.in_accept then begin
+          (* Fast path impossible: slow path (§5.2.2 step 4). *)
+          let acts = enter_accept t ~now ~commit in
+          acts @ send_accepts t
+        end
+        else []
+  end
+
+let start params ~now =
+  let t =
+    {
+      params;
+      started = now;
+      replies = Array.make params.n_replicas None;
+      in_accept = false;
+      accept_started = Float.nan;
+      accept_commit = false;
+      accept_from = Array.make params.n_replicas false;
+      decided = false;
+      validated = false;
+      fast_grace_armed = false;
+    }
+  in
+  ( t,
+    [
+      Send_validates { only_missing = false };
+      Arm_timer { timer = Retransmit params.rto; delay = params.rto };
+    ] )
+
+let handle t ~now event =
+  if t.decided then []
+  else begin
+    match event with
+    | Validate_reply { replica; status } ->
+        if t.replies.(replica) <> None then []
+        else begin
+          t.replies.(replica) <- Some status;
+          let acts =
+            if received t >= Quorum.majority t.params.quorum then
+              note_validated t
+            else []
+          in
+          acts @ evaluate t ~now
+        end
+    | Accept_reply { replica; reply } -> begin
+        match reply with
+        | `Accepted ->
+            if t.accept_from.(replica) then []
+            else begin
+              t.accept_from.(replica) <- true;
+              if accept_acks t >= Quorum.majority t.params.quorum then
+                decide t ~commit:t.accept_commit ~fast:false
+              else []
+            end
+        | `Finalized st -> decide t ~commit:(st = Txn.Committed) ~fast:false
+        | `Stale _ ->
+            (* A backup coordinator superseded us and will finish the
+               transaction; the retransmission path learns the final
+               status from the replicas' records. *)
+            []
+      end
+    | Timer Fast_grace ->
+        if t.in_accept then []
+        else begin
+          let acts =
+            enter_accept t ~now
+              ~commit:(ok_count t >= Quorum.majority t.params.quorum)
+          in
+          acts @ send_accepts t
+        end
+    | Timer (Retransmit rto) ->
+        let acts =
+          if t.in_accept then begin
+            (* Restart the accept round with the frozen proposal;
+               replicas are idempotent for a same-view proposal, so
+               acks are simply recollected. *)
+            Array.fill t.accept_from 0 (Array.length t.accept_from) false;
+            send_accepts t
+          end
+          else if received t >= Quorum.majority t.params.quorum then begin
+            (* The fast path did not complete within the timeout (slow
+               or crashed replicas): settle for the slow path with the
+               majority in hand, per §5.2.2 step 4. *)
+            let acts =
+              enter_accept t ~now
+                ~commit:(ok_count t >= Quorum.majority t.params.quorum)
+            in
+            acts @ send_accepts t
+          end
+          else [ Send_validates { only_missing = true } ]
+        in
+        acts
+        @ [ Arm_timer { timer = Retransmit (rto *. 2.0); delay = rto *. 2.0 } ]
+    | Resume ->
+        if t.in_accept then begin
+          Array.fill t.accept_from 0 (Array.length t.accept_from) false;
+          send_accepts t
+        end
+        else begin
+          let rest = evaluate t ~now in
+          Send_validates { only_missing = true } :: rest
+        end
+  end

@@ -1,0 +1,99 @@
+(** Transport-agnostic Meerkat commit-protocol coordinator (§5.2.2).
+
+    One value of type {!t} is the state machine of a single commit
+    attempt: it consumes replica replies and timer expirations and
+    emits the {!action}s a transport must perform — broadcast the
+    validation round, broadcast the slow-path accept round, arm a
+    timer, report the decision. It knows nothing about how messages
+    travel or what time means: the deterministic simulator
+    ({!Sim_system}) drives it with simulated microseconds and modelled
+    message costs, and the live runtime ([Mk_live.Runtime]) drives the
+    very same code with real OCaml 5 domains, mailboxes and the wall
+    clock — so the two backends cannot drift.
+
+    The machine is purely functional-in-spirit but imperative inside:
+    [handle] mutates the attempt and returns the actions in the exact
+    order the driver must perform them (action order is what makes a
+    simulated run bit-identical to the pre-extraction coordinator). *)
+
+type params = {
+  n_replicas : int;
+  quorum : Quorum.t;
+  rto : float;
+      (** Initial retransmission timeout, in the driver's time unit;
+          doubles on every expiry. *)
+  grace : float;
+      (** Base fast-path grace: once a majority has replied but the
+          fast quorum has not completed, wait
+          [max grace (2 * time-to-majority)] before settling for the
+          slow path. *)
+}
+
+type timer =
+  | Retransmit of float
+      (** Carries the timeout that was armed, so the driver can
+          account for it and the machine can double it. *)
+  | Fast_grace
+
+type accept_reply =
+  [ `Accepted | `Stale of int | `Finalized of Mk_storage.Txn.status ]
+(** Replica replies to the slow-path accept round
+    (see {!Replica.handle_accept}). *)
+
+type action =
+  | Send_validates of { only_missing : bool }
+      (** Broadcast the validation request; when [only_missing], only
+          to replicas for which {!needs_validate} holds. *)
+  | Send_accepts of { decision : [ `Commit | `Abort ] }
+      (** Broadcast the slow-path accept round at view 0 with the
+          frozen proposal. *)
+  | Arm_timer of { timer : timer; delay : float }
+  | Note_validated
+      (** A majority of validation replies is in hand (or the attempt
+          moved on without one); close the validation phase — emitted
+          at most once. *)
+  | Note_decided of { commit : bool; fast : bool }
+      (** The outcome is known; the driver performs the write phase
+          and reports to the application — emitted exactly once. *)
+
+type event =
+  | Validate_reply of { replica : int; status : Mk_storage.Txn.status }
+  | Accept_reply of { replica : int; reply : accept_reply }
+  | Timer of timer
+      (** A previously armed timer fired. The driver must drop timers
+          of attempts that are already {!decided} and may suppress
+          them while the coordinator process is down (crash
+          injection); the machine additionally ignores any timer that
+          no longer applies. *)
+  | Resume
+      (** The coordinator process restarted after a crash: re-fetch
+          whatever is missing and re-evaluate. *)
+
+type t
+
+val start : params -> now:float -> t * action list
+(** Begin a commit attempt: returns the machine and the initial
+    actions ([Send_validates] to everyone plus the retransmission
+    timer). *)
+
+val handle : t -> now:float -> event -> action list
+(** Feed one event; returns the actions to perform, in order.
+    Duplicate replies (same replica, same round) are ignored, so a
+    lossy or duplicating transport cannot double-count a quorum. *)
+
+(** {2 Introspection (used by drivers and tests)} *)
+
+val decided : t -> bool
+val in_accept : t -> bool
+
+val started : t -> float
+(** [now] at {!start} — the base of validation/fast-path spans. *)
+
+val accept_started : t -> float
+(** [now] at first slow-path entry; NaN before that. *)
+
+val needs_validate : t -> int -> bool
+(** No validation reply from this replica yet. *)
+
+val received : t -> int
+(** Number of distinct validation replies in hand. *)

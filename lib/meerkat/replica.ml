@@ -13,6 +13,19 @@ type record_view = {
   accept_view : int option;
 }
 
+(* Statistic counters are per-core rows in a flat array, one cache
+   line apart, because in the live runtime each core's handlers run on
+   a distinct domain: a shared mutable int would be a data race (and a
+   contended line) there. Each core writes only its own row — the same
+   data-access parallelism the trecord partitions follow — so plain
+   ints suffice without atomics; the summed totals are exact once the
+   system is quiescent. *)
+let stat_stride = 8 (* ints per row = 64 bytes *)
+let stat_ok = 0
+let stat_abort = 1
+let stat_committed = 2
+let stat_aborted = 3
+
 type t = {
   id : int;
   quorum : Quorum.t;
@@ -27,11 +40,19 @@ type t = {
           transactions that finished after the first install). *)
   mutable paused : bool;
   mutable crashed : bool;
-  mutable validations_ok : int;
-  mutable validations_abort : int;
-  mutable committed : int;
-  mutable aborted : int;
+  stats : int array;
 }
+
+let bump t ~core stat =
+  let i = (core * stat_stride) + stat in
+  t.stats.(i) <- t.stats.(i) + 1
+
+let stat_sum t stat =
+  let acc = ref 0 in
+  for core = 0 to t.ncores - 1 do
+    acc := !acc + t.stats.((core * stat_stride) + stat)
+  done;
+  !acc
 
 let create ~id ~quorum ~cores =
   {
@@ -44,10 +65,7 @@ let create ~id ~quorum ~cores =
     installed_epoch = 0;
     paused = false;
     crashed = false;
-    validations_ok = 0;
-    validations_abort = 0;
-    committed = 0;
-    aborted = 0;
+    stats = Array.make (cores * stat_stride) 0;
   }
 
 let id t = t.id
@@ -105,10 +123,10 @@ let handle_validate t ~core ~txn ~ts =
             let status =
               match Occ.validate t.vstore txn ~ts with
               | `Ok ->
-                  t.validations_ok <- t.validations_ok + 1;
+                  bump t ~core stat_ok;
                   Txn.Validated_ok
               | `Abort ->
-                  t.validations_abort <- t.validations_abort + 1;
+                  bump t ~core stat_abort;
                   Txn.Validated_abort
             in
             let (_ : Trecord.entry) = Trecord.add t.trecord ~core ~txn ~ts ~status in
@@ -139,14 +157,14 @@ let handle_accept t ~core ~txn ~ts ~decision ~view =
       Some `Accepted
     end)
 
-let finalize_entry t (entry : Trecord.entry) ~commit =
+let finalize_entry t ~core (entry : Trecord.entry) ~commit =
   entry.status <- (if commit then Txn.Committed else Txn.Aborted);
   if commit then begin
-    t.committed <- t.committed + 1;
+    bump t ~core stat_committed;
     Occ.finish t.vstore entry.txn ~ts:entry.ts ~commit:true
   end
   else begin
-    t.aborted <- t.aborted + 1;
+    bump t ~core stat_aborted;
     (* Removing pending marks that were never added is a no-op, so we
        need not track whether this replica's validation succeeded. *)
     Occ.abort_pending t.vstore entry.txn ~ts:entry.ts
@@ -163,7 +181,7 @@ let handle_commit t ~core ~txn ~ts ~commit =
         in
         if Txn.is_final entry.status then Some () (* retransmission *)
         else begin
-          finalize_entry t entry ~commit;
+          finalize_entry t ~core entry ~commit;
           Some ()
         end)
 
@@ -248,7 +266,7 @@ let record_views t =
 
 let trim_record t ~before = Trecord.trim_finalized t.trecord ~before
 
-let validations_ok t = t.validations_ok
-let validations_abort t = t.validations_abort
-let committed t = t.committed
-let aborted t = t.aborted
+let validations_ok t = stat_sum t stat_ok
+let validations_abort t = stat_sum t stat_abort
+let committed t = stat_sum t stat_committed
+let aborted t = stat_sum t stat_aborted

@@ -138,7 +138,12 @@ val trim_record : t -> before:Mk_clock.Timestamp.t -> int
     {!Mk_storage.Trecord.trim_finalized}); keeps the record bounded in
     long runs. *)
 
-(** {2 Introspection} *)
+(** {2 Introspection}
+
+    Totals summed over per-core counter rows. Each core maintains its
+    own padded row (written only from that core's handlers, so the
+    live runtime needs no atomics on them); sums are exact whenever no
+    handler is mid-flight. *)
 
 val validations_ok : t -> int
 val validations_abort : t -> int

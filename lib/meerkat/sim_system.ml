@@ -29,7 +29,12 @@ type config = Cluster.config = {
 
 let default_config = Cluster.default_config
 
-(* --- Commit protocol (§5.2.2): validation + fast/slow path. --- *)
+(* --- Commit protocol (§5.2.2): validation + fast/slow path.
+
+   The state machine itself lives in {!Protocol} (transport-agnostic,
+   shared with the live runtime); an [attempt] binds one machine to
+   this simulated deployment — the transaction payload, the steering
+   target, and the continuation that runs the write phase. --- *)
 
 type attempt = {
   txn : Txn.t;
@@ -38,30 +43,7 @@ type attempt = {
   track : int;
       (** Trace track (client id, from the tid) lifecycle spans land
           on; also the coordinator's identity for fault injection. *)
-  started : Engine.time;
-  replies : Txn.status option array;
-  mutable in_accept : bool;
-  mutable accept_started : Engine.time;
-      (** When the slow path was first entered; NaN before that. *)
-  mutable accept_commit : bool;
-      (** The decision proposed when the slow path was entered. Frozen
-          there: a view-0 proposal must never change across
-          retransmissions of the same accept round, or two replicas
-          could hold different accepted decisions for the same view. *)
-  accept_from : bool array;
-      (** Which replicas acknowledged the current accept round. A
-          per-replica flag rather than a counter: a duplicated
-          [`Accepted] reply must not double-count toward the
-          majority. *)
-  mutable decided : bool;
-  mutable validated : bool;
-      (** Whether the validation span has been closed (a majority of
-          validation replies arrived, or the attempt moved on). *)
-  mutable fast_grace_armed : bool;
-      (** A short timer started once a majority has replied: if the
-          fast quorum does not complete within a few RTTs (slow or
-          failed replicas), settle for the slow path without waiting
-          for the full retransmission timeout. *)
+  proto : Protocol.t;
   count_stats : bool;
       (** False when driven by a multi-partition coordinator, which
           does its own accounting (§5.2.4). *)
@@ -137,70 +119,94 @@ let unregister_attempt t a =
       | l -> Hashtbl.replace t.inflight a.track l
     end
 
-(* Close the validation span: from the attempt's start to the moment a
-   majority of validation replies is in hand (or the attempt moved on
-   to a decision / the slow path without one, e.g. learning a
-   finalized status from a retransmission). *)
-let note_validated t a =
-  if not a.validated then begin
-    a.validated <- true;
-    Obs.span (obs t) Span.Validate ~tid:a.track ~start:a.started ()
-  end
+(* The fast-path grace base: a few RTTs. See [Protocol.params]. *)
+let proto_params t =
+  let tr = (config t).transport in
+  let grace =
+    (3.0 *. (tr.Mk_net.Transport.latency +. tr.Mk_net.Transport.jitter)) +. 2.0
+  in
+  {
+    Protocol.n_replicas = Array.length t.replicas;
+    quorum = t.quorum;
+    rto = t.cluster.Cluster.rto;
+    grace;
+  }
 
-(* First entry into the slow path (§5.2.2 step 4). The proposed
-   decision is frozen here; retransmissions of the accept round keep
-   both the proposal and the original [accept_started], so the
-   slow-accept span covers the whole round including retries. *)
-let enter_accept t a ~commit =
-  if not a.in_accept then begin
-    a.in_accept <- true;
-    a.accept_commit <- commit;
-    note_validated t a;
-    if Float.is_nan a.accept_started then a.accept_started <- Engine.now (engine t)
-  end
-
-let broadcast_commit t a ~commit =
-  let nwrites = if commit then Array.length a.txn.Txn.write_set else 0 in
+let broadcast_commit t ~txn ~ts ~core_id ~track ~commit =
+  let nwrites = if commit then Array.length txn.Txn.write_set else 0 in
   let cost = Costs.commit (costs t) ~nwrites in
   let sent_at = Engine.now (engine t) in
   Array.iteri
     (fun r replica ->
       if not (Replica.is_crashed replica) then
         Network.send_work_to_core (net t)
-          ~link:(Network.Client a.track, Network.Replica r)
-          ~dst:(core t r a.core_id) ~cost (fun () ->
-            ignore
-              (Replica.handle_commit replica ~core:a.core_id ~txn:a.txn ~ts:a.ts
-                 ~commit);
+          ~link:(Network.Client track, Network.Replica r)
+          ~dst:(core t r core_id) ~cost (fun () ->
+            ignore (Replica.handle_commit replica ~core:core_id ~txn ~ts ~commit);
             (* Write-back latency as seen by replica [r]: from the
                asynchronous commit broadcast to the local apply. *)
             Obs.span (obs t) Span.Write_back ~pid:(Obs.replica_pid r)
-              ~tid:a.core_id ~start:sent_at ()))
+              ~tid:core_id ~start:sent_at ()))
     t.replicas
 
-(* The decision is reached: stop the attempt and report. The attempt's
-   [on_decided] is responsible for the write phase (single-partition
-   transactions broadcast commit immediately; a multi-partition
-   coordinator first combines the partitions' outcomes). *)
-let decide t a ~commit ~fast =
-  if not a.decided then begin
-    a.decided <- true;
-    unregister_attempt t a;
-    note_validated t a;
-    if fast then Obs.span (obs t) Span.Fast_quorum ~tid:a.track ~start:a.started ()
-    else if not (Float.is_nan a.accept_started) then
-      Obs.span (obs t) Span.Slow_accept ~tid:a.track ~start:a.accept_started ();
-    if a.count_stats then Cluster.note_decision t.cluster ~committed:commit ~fast;
-    a.on_decided ~commit ~fast
-  end
+(* The driver: performs the actions {!Protocol} emits, over the
+   modelled network and engine. All protocol logic (quorum evaluation,
+   slow-path entry, retransmission branching, dedup of replies) is in
+   [Protocol.handle]; the driver owns what is deployment-specific —
+   message costs, spans, stats, and coordinator crash injection (a
+   down coordinator neither receives replies nor retransmits, gated
+   here before any event reaches the machine). *)
 
-let accept_acks t a =
-  ignore t;
-  Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 a.accept_from
+let rec exec_action t a = function
+  | Protocol.Send_validates { only_missing } -> send_validates t a ~only_missing
+  | Protocol.Send_accepts { decision } -> send_accepts t a ~decision
+  | Protocol.Arm_timer { timer; delay } -> arm_timer t a ~timer ~delay
+  | Protocol.Note_validated ->
+      (* Close the validation span: from the attempt's start to the
+         moment a majority of validation replies is in hand (or the
+         attempt moved on without one, e.g. learning a finalized
+         status from a retransmission). *)
+      Obs.span (obs t) Span.Validate ~tid:a.track
+        ~start:(Protocol.started a.proto) ()
+  | Protocol.Note_decided { commit; fast } ->
+      (* The decision is reached: stop the attempt and report. The
+         attempt's [on_decided] is responsible for the write phase
+         (single-partition transactions broadcast commit immediately;
+         a multi-partition coordinator first combines the partitions'
+         outcomes). *)
+      unregister_attempt t a;
+      if fast then
+        Obs.span (obs t) Span.Fast_quorum ~tid:a.track
+          ~start:(Protocol.started a.proto) ()
+      else if not (Float.is_nan (Protocol.accept_started a.proto)) then
+        Obs.span (obs t) Span.Slow_accept ~tid:a.track
+          ~start:(Protocol.accept_started a.proto) ();
+      if a.count_stats then Cluster.note_decision t.cluster ~committed:commit ~fast;
+      a.on_decided ~commit ~fast
 
-let send_accepts t a =
-  let commit = a.accept_commit in
-  let decision = if commit then `Commit else `Abort in
+and feed t a event =
+  List.iter (exec_action t a)
+    (Protocol.handle a.proto ~now:(Engine.now (engine t)) event)
+
+and arm_timer t a ~timer ~delay =
+  Engine.schedule (engine t) ~delay (fun () ->
+      if not (Protocol.decided a.proto) then begin
+        match timer with
+        | Protocol.Fast_grace ->
+            if not (coord_down t a.track) then feed t a (Protocol.Timer timer)
+        | Protocol.Retransmit rto ->
+            if coord_down t a.track then
+              (* The coordinator process is down: no retransmissions.
+                 The timer stays armed so the attempt resumes its
+                 backoff schedule when the coordinator restarts. *)
+              arm_timer t a ~timer ~delay:rto
+            else begin
+              Cluster.note_retransmit t.cluster ~rto ~tid:a.track;
+              feed t a (Protocol.Timer timer)
+            end
+      end)
+
+and send_accepts t a ~decision =
   Array.iteri
     (fun r replica ->
       if not (Replica.is_crashed replica) then
@@ -218,84 +224,17 @@ let send_accepts t a =
                 Network.send_to_client (net t)
                   ~link:(Network.Replica r, Network.Client a.track)
                   (fun () ->
-                    if (not a.decided) && not (coord_down t a.track) then begin
-                      match reply with
-                      | `Accepted ->
-                          if not a.accept_from.(r) then begin
-                            a.accept_from.(r) <- true;
-                            if accept_acks t a >= Quorum.majority t.quorum then
-                              decide t a ~commit ~fast:false
-                          end
-                      | `Finalized st ->
-                          decide t a ~commit:(st = Txn.Committed) ~fast:false
-                      | `Stale _ ->
-                          (* A backup coordinator superseded us and will
-                             finish the transaction; the retransmission
-                             path learns the final status from the
-                             replicas' records. *)
-                          ()
-                    end)))
+                    if not (coord_down t a.track) then
+                      feed t a (Protocol.Accept_reply { replica = r; reply }))))
     t.replicas
 
-let majority_ok t a =
-  Array.fold_left
-    (fun acc reply -> if reply = Some Txn.Validated_ok then acc + 1 else acc)
-    0 a.replies
-  >= Quorum.majority t.quorum
-
-let received t a =
-  ignore t;
-  Array.fold_left (fun acc r -> if r = None then acc else acc + 1) 0 a.replies
-
-let go_slow t a =
-  if (not a.decided) && (not a.in_accept) && not (coord_down t a.track) then begin
-    enter_accept t a ~commit:(majority_ok t a);
-    send_accepts t a
-  end
-
-let evaluate t a =
-  if not a.decided then begin
-    match Decision.evaluate ~quorum:t.quorum ~replies:a.replies with
-    | Decision.Wait ->
-        (* A majority answered but the fast quorum has not completed.
-           Give stragglers a few RTTs, then settle for the slow path —
-           without this grace timer a crashed replica would pin every
-           transaction to the full retransmission timeout. *)
-        if
-          (not a.fast_grace_armed)
-          && (not a.in_accept)
-          && received t a >= Quorum.majority t.quorum
-        then begin
-          a.fast_grace_armed <- true;
-          (* Scale the grace with the time the majority itself took:
-             under deep queueing the straggler is probably just queued
-             like everyone else; after a crash the majority arrived in
-             one RTT and the grace stays short. *)
-          let tr = (config t).transport in
-          let base =
-            (3.0 *. (tr.Mk_net.Transport.latency +. tr.Mk_net.Transport.jitter)) +. 2.0
-          in
-          let elapsed = Engine.now (engine t) -. a.started in
-          Engine.schedule (engine t) ~delay:(Float.max base (2.0 *. elapsed)) (fun () ->
-              go_slow t a)
-        end
-    | Decision.Final commit -> decide t a ~commit ~fast:false
-    | Decision.Fast commit -> decide t a ~commit ~fast:true
-    | Decision.Slow commit ->
-        if not a.in_accept then begin
-          (* Fast path impossible: slow path (§5.2.2 step 4). *)
-          enter_accept t a ~commit;
-          send_accepts t a
-        end
-  end
-
-let send_validates t a ~only_missing =
+and send_validates t a ~only_missing =
   let cost =
     Costs.validate (costs t) ~nkeys:(Txn.nkeys a.txn) +. Cluster.tx_cpu t.cluster
   in
   Array.iteri
     (fun r replica ->
-      if ((not only_missing) || a.replies.(r) = None)
+      if ((not only_missing) || Protocol.needs_validate a.proto r)
          && not (Replica.is_crashed replica)
       then
         Network.send_to_core (net t)
@@ -309,98 +248,36 @@ let send_validates t a ~only_missing =
                 Network.send_to_client (net t)
                   ~link:(Network.Replica r, Network.Client a.track)
                   (fun () ->
-                    if a.replies.(r) = None && not (coord_down t a.track) then begin
-                      a.replies.(r) <- Some st;
-                      if received t a >= Quorum.majority t.quorum then
-                        note_validated t a;
-                      evaluate t a
-                    end));
+                    if not (coord_down t a.track) then
+                      feed t a
+                        (Protocol.Validate_reply { replica = r; status = st })));
             finish ()))
     t.replicas
 
-let rec arm_timer t a ~rto =
-  Engine.schedule (engine t) ~delay:rto (fun () ->
-      if not a.decided then begin
-        if coord_down t a.track then
-          (* The coordinator process is down: no retransmissions. The
-             timer stays armed so the attempt resumes its backoff
-             schedule when the coordinator restarts. *)
-          arm_timer t a ~rto
-        else begin
-          Cluster.note_retransmit t.cluster ~rto ~tid:a.track;
-          let received = received t a in
-          let ok =
-            Array.fold_left
-              (fun acc reply ->
-                if reply = Some Txn.Validated_ok then acc + 1 else acc)
-              0 a.replies
-          in
-          if a.in_accept then begin
-            (* Restart the accept round with the frozen proposal;
-               replicas are idempotent for a same-view proposal, so
-               acks are simply recollected. *)
-            Array.fill a.accept_from 0 (Array.length a.accept_from) false;
-            send_accepts t a
-          end
-          else if received >= Quorum.majority t.quorum then begin
-            (* The fast path did not complete within the timeout (slow
-               or crashed replicas): settle for the slow path with the
-               majority in hand, per §5.2.2 step 4. *)
-            enter_accept t a ~commit:(ok >= Quorum.majority t.quorum);
-            send_accepts t a
-          end
-          else send_validates t a ~only_missing:true;
-          arm_timer t a ~rto:(rto *. 2.0)
-        end
-      end)
-
 let start_attempt t ~txn ~ts ~count_stats ~on_decided =
   let core_id = Timestamp.Tid.hash txn.Txn.tid mod threads t in
+  let proto, actions =
+    Protocol.start (proto_params t) ~now:(Engine.now (engine t))
+  in
   let a =
     {
       txn;
       ts;
       core_id;
       track = txn.Txn.tid.Timestamp.Tid.client_id;
-      started = Engine.now (engine t);
-      replies = Array.make (Array.length t.replicas) None;
-      in_accept = false;
-      accept_started = Float.nan;
-      accept_commit = false;
-      accept_from = Array.make (Array.length t.replicas) false;
-      decided = false;
-      validated = false;
-      fast_grace_armed = false;
+      proto;
       count_stats;
       on_decided;
     }
   in
   register_attempt t a;
-  send_validates t a ~only_missing:false;
-  arm_timer t a ~rto:t.cluster.Cluster.rto;
+  List.iter (exec_action t a) actions;
   a
 
 let finalize_txn t ~txn ~ts ~commit =
-  let a =
-    {
-      txn;
-      ts;
-      core_id = Timestamp.Tid.hash txn.Txn.tid mod threads t;
-      track = txn.Txn.tid.Timestamp.Tid.client_id;
-      started = 0.0;
-      replies = [||];
-      in_accept = false;
-      accept_started = Float.nan;
-      accept_commit = commit;
-      accept_from = [||];
-      decided = true;
-      validated = true;
-      fast_grace_armed = true;
-      count_stats = false;
-      on_decided = (fun ~commit:_ ~fast:_ -> ());
-    }
-  in
-  broadcast_commit t a ~commit
+  broadcast_commit t ~txn ~ts
+    ~core_id:(Timestamp.Tid.hash txn.Txn.tid mod threads t)
+    ~track:txn.Txn.tid.Timestamp.Tid.client_id ~commit
 
 let prepare_txn t ~txn ~ts ~on_prepared =
   ignore
@@ -424,20 +301,16 @@ let commit_txn t client ~read_set ~writes ~on_done =
   in
   let txn = Txn.make ~tid ~read_set ~write_set in
   let ts = Cluster.fresh_timestamp t.cluster client in
-  let a = ref None in
-  let attempt =
-    start_attempt t ~txn ~ts ~count_stats:true ~on_decided:(fun ~commit ~fast ->
-        ignore fast;
-        (match !a with
-        | Some attempt -> broadcast_commit t attempt ~commit
-        | None -> ());
-        (* The coordinator runs on the client machine, so handing the
-           outcome to the application does not cross the (lossy)
-           network; the write-phase commit message above is
-           asynchronous (piggybacked in the paper). *)
-        Engine.schedule (engine t) ~delay:0.0 (fun () -> on_done ~committed:commit))
-  in
-  a := Some attempt
+  ignore
+    (start_attempt t ~txn ~ts ~count_stats:true ~on_decided:(fun ~commit ~fast ->
+         ignore fast;
+         finalize_txn t ~txn ~ts ~commit;
+         (* The coordinator runs on the client machine, so handing the
+            outcome to the application does not cross the (lossy)
+            network; the write-phase commit message above is
+            asynchronous (piggybacked in the paper). *)
+         Engine.schedule (engine t) ~delay:0.0 (fun () ->
+             on_done ~committed:commit)))
 
 (* Interactive execute phase (client-side GETs), bracketed by an
    [Execute] span on the client's track. Write-only transactions have
@@ -478,17 +351,7 @@ let crash_replica ?(down_for = 0.0) t r =
    whatever is missing and re-evaluate. If a backup coordinator
    finished the transaction meanwhile, the retransmitted validates
    return the final status and the attempt learns the outcome. *)
-let resume_attempt t a =
-  if not a.decided then begin
-    if a.in_accept then begin
-      Array.fill a.accept_from 0 (Array.length a.accept_from) false;
-      send_accepts t a
-    end
-    else begin
-      send_validates t a ~only_missing:true;
-      evaluate t a
-    end
-  end
+let resume_attempt t a = feed t a Protocol.Resume
 
 let crash_coordinator t ~client ~down_for =
   (* Prefer a coordinator that is actually mid-protocol (between

@@ -5,11 +5,7 @@ type result = {
   ops_per_second : float;
 }
 
-let time_domains ~domains f =
-  let t0 = Unix.gettimeofday () in
-  let spawned = List.init domains (fun id -> Domain.spawn (fun () -> f id)) in
-  List.iter Domain.join spawned;
-  Unix.gettimeofday () -. t0
+let time_domains ~domains f = snd (Mk_live.Spawn.timed ~domains f)
 
 let shared_atomic ~domains ~increments_per_domain =
   let counter = Atomic.make 0 in

@@ -68,15 +68,11 @@ let run_with_store ~store ~domains ~txns_per_domain ~keys ~theta
   for key = 0 to keys - 1 do
     Vstore.load store ~key ~value:0
   done;
-  let t0 = Unix.gettimeofday () in
-  let spawned =
-    List.init domains (fun domain_id ->
-        Domain.spawn (fun () ->
-            worker ~store ~domain_id ~txns:txns_per_domain ~keys ~theta
-              ~reads:reads_per_txn ~writes:writes_per_txn ~seed))
+  let results, wall_seconds =
+    Mk_live.Spawn.timed ~domains (fun domain_id ->
+        worker ~store ~domain_id ~txns:txns_per_domain ~keys ~theta
+          ~reads:reads_per_txn ~writes:writes_per_txn ~seed)
   in
-  let results = List.map Domain.join spawned in
-  let wall_seconds = Unix.gettimeofday () -. t0 in
   let committed = List.concat_map fst results in
   let aborted = List.fold_left (fun acc (_, a) -> acc + a) 0 results in
   {

@@ -1,0 +1,10 @@
+(* A live-runtime coordinator fast path that cheats: decision state in
+   an atomic and a lock around the reply count. Z1 must flag it even
+   though the mailbox internals next door are allowlisted. *)
+let decided = Atomic.make false
+
+let on_reply lock replies =
+  Mutex.lock lock;
+  incr replies;
+  Mutex.unlock lock;
+  if !replies >= 2 then Atomic.set decided true

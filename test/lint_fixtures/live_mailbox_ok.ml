@@ -1,0 +1,12 @@
+(* Mailbox-shaped internals: the same primitives are sanctioned here by
+   the file-scoped allowlist entry. *)
+type t = { seq : int Atomic.t; lock : Mutex.t; nonempty : Condition.t }
+
+let create () =
+  { seq = Atomic.make 0; lock = Mutex.create (); nonempty = Condition.create () }
+
+let publish t =
+  Atomic.incr t.seq;
+  Mutex.lock t.lock;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock

@@ -33,6 +33,21 @@ let test_z1_clean () =
   Alcotest.(check (list finding)) "per-call state passes" []
     (lint Config.default (fx "z1_ok.ml"))
 
+let live_fx_cfg =
+  { Config.default with Config.coordination_allow = [ fx "live_mailbox_ok.ml" ] }
+
+let test_z1_live_fastpath_flagged () =
+  (* Coordination on the live coordinator fast path is flagged even
+     though the mailbox internals next door are allowlisted. *)
+  Alcotest.(check (list finding))
+    "atomic/lock on the protocol fast path flagged"
+    [ ("Z1", 4, 14); ("Z1", 7, 2); ("Z1", 9, 2); ("Z1", 10, 24) ]
+    (lint live_fx_cfg (fx "live_fastpath_bad.ml"))
+
+let test_z1_live_mailbox_allowlisted () =
+  Alcotest.(check (list finding)) "file-scoped allow shields the mailbox" []
+    (lint live_fx_cfg (fx "live_mailbox_ok.ml"))
+
 let test_z2_violations () =
   Alcotest.(check (list finding))
     "polymorphic =/hash on ts/tid flagged"
@@ -103,6 +118,35 @@ let test_config_unknown_key_rejected () =
   match Config.of_string "[z1]\nallwo = [\"lib\"]\n" with
   | _ -> Alcotest.fail "typo'd key accepted"
   | exception Config.Parse_error _ -> ()
+
+let test_real_config_scopes_live () =
+  (* The shipped mk_lint.toml allowlists exactly the two coordination
+     files of lib/live, never the directory, so runtime.ml (the
+     protocol fast path) stays covered by Z1. Paths are rebased with
+     ../ because tests run from _build/default/test/. *)
+  let cfg = Config.load "../mk_lint.toml" in
+  Alcotest.(check bool) "file-scoped, not directory-scoped" true
+    (List.mem "lib/live/mailbox.ml" cfg.Config.coordination_allow
+    && List.mem "lib/live/spawn.ml" cfg.Config.coordination_allow
+    && not (List.mem "lib/live" cfg.Config.coordination_allow));
+  let rebase = List.map (fun p -> "../" ^ p) in
+  let cfg =
+    {
+      cfg with
+      Config.coordination_allow = rebase cfg.Config.coordination_allow;
+      shared_modules = rebase cfg.Config.shared_modules;
+      mli_required_under = rebase cfg.Config.mli_required_under;
+    }
+  in
+  Alcotest.(check (list finding)) "lib/live lints clean" []
+    (lint cfg "../lib/live");
+  (* Dropping the allow entries proves they are load-bearing: the
+     mailbox internals become Z1 findings. *)
+  let bare = { cfg with Config.coordination_allow = [] } in
+  Alcotest.(check bool) "mailbox flagged without its entry" true
+    (List.exists
+       (fun (rule, _, _) -> rule = "Z1")
+       (lint bare "../lib/live/mailbox.ml"))
 
 (* --- layer 2: the dynamic checker --- *)
 
@@ -190,6 +234,10 @@ let () =
         [
           Alcotest.test_case "Z1 violations" `Quick test_z1_violations;
           Alcotest.test_case "Z1 clean" `Quick test_z1_clean;
+          Alcotest.test_case "Z1 live fast path flagged" `Quick
+            test_z1_live_fastpath_flagged;
+          Alcotest.test_case "Z1 live mailbox allowlisted" `Quick
+            test_z1_live_mailbox_allowlisted;
           Alcotest.test_case "Z2 violations" `Quick test_z2_violations;
           Alcotest.test_case "Z2 clean" `Quick test_z2_clean;
           Alcotest.test_case "Z3 violations" `Quick test_z3_violations;
@@ -205,6 +253,8 @@ let () =
           Alcotest.test_case "overrides" `Quick test_config_overrides;
           Alcotest.test_case "unknown key rejected" `Quick
             test_config_unknown_key_rejected;
+          Alcotest.test_case "shipped config scopes lib/live" `Quick
+            test_real_config_scopes_live;
         ] );
       ( "owner",
         [
