@@ -2,12 +2,15 @@
 
    Runs the Mk_harness.Chaos runner over a seed × nemesis-profile
    matrix with detector-driven recovery only, prints one report line
-   per run, and exits non-zero if any invariant failed. Failing runs
-   are re-run deterministically with tracing on and their Chrome
-   traces written to --trace-dir for offline forensics.
+   per run, and exits non-zero if any invariant failed. The default
+   backend is the deterministic simulator; --live runs the same plans
+   and invariants against the Mk_live runtime on real OCaml 5 domains.
+   Failing sim runs are re-run deterministically with tracing on and
+   their Chrome traces written to --trace-dir for offline forensics.
 
      dune exec bin/meerkat_chaos.exe -- --seeds 8 --profiles all
-     dune exec bin/meerkat_chaos.exe -- --profiles combo --seeds 2 --trace-dir /tmp/chaos *)
+     dune exec bin/meerkat_chaos.exe -- --profiles combo --seeds 2 --trace-dir /tmp/chaos
+     dune exec bin/meerkat_chaos.exe -- --live --seeds 4 --profiles combo --json chaos.json *)
 
 module Chaos = Mk_harness.Chaos
 module Nemesis = Mk_fault.Nemesis
@@ -30,20 +33,27 @@ let parse_profiles s =
     go [] names
   end
 
-let run nseeds seed_base profiles horizon grace threads clients keys trace_dir
-    verbose =
+let run nseeds seed_base profiles live horizon grace threads clients keys
+    trace_dir json verbose =
   let seeds = List.init nseeds (fun i -> seed_base + i) in
+  let base = if live then Chaos.default_live_cfg else Chaos.default_cfg in
+  (* Per-backend envelope defaults: 60 ms virtual for the simulator,
+     0.8 s of wall time for real domains. *)
+  let horizon = Option.value horizon ~default:base.Chaos.horizon in
+  let grace = Option.value grace ~default:base.Chaos.grace in
   let cfg =
     {
-      Chaos.default_cfg with
-      horizon;
+      base with
+      Chaos.horizon;
       grace;
       threads;
       n_clients = clients;
       keys;
     }
   in
-  Format.printf "chaos matrix: %d seeds x %d profiles (horizon %.0fus, grace %.0fus)@."
+  Format.printf
+    "chaos matrix (%s): %d seeds x %d profiles (horizon %.0fus, grace %.0fus)@."
+    (if live then "live domains" else "sim")
     nseeds (List.length profiles) horizon grace;
   let reports = Chaos.matrix ~seeds ~profiles ~cfg in
   let failures = List.filter (fun r -> not (Chaos.passed r)) reports in
@@ -58,26 +68,44 @@ let run nseeds seed_base profiles horizon grace threads clients keys trace_dir
           r.Chaos.committed_acks r.Chaos.aborted_acks r.Chaos.epoch_changes
           r.Chaos.view_changes)
     reports;
+  (match json with
+  | None -> ()
+  | Some path -> (
+      let body =
+        String.concat ",\n  " (List.map Chaos.report_json reports)
+      in
+      try
+        let oc = open_out path in
+        Printf.fprintf oc "{\"experiment\": \"chaos\", \"backend\": \"%s\", \"runs\": [\n  %s\n]}\n"
+          (if live then "live" else "sim")
+          body;
+        close_out oc;
+        Format.printf "wrote %s@." path
+      with Sys_error msg -> Format.eprintf "meerkat_chaos: %s@." msg));
   (match trace_dir with
   | None -> ()
   | Some dir ->
-      List.iter
-        (fun (r : Chaos.report) ->
-          (* Same cfg + same seed = the same run, this time traced. *)
-          let traced = Chaos.run { r.Chaos.r_cfg with trace = true } in
-          let path =
-            Filename.concat dir
-              (Printf.sprintf "chaos-%s-seed%d.json"
-                 (Nemesis.to_string r.Chaos.r_cfg.Chaos.profile)
-                 r.Chaos.r_cfg.Chaos.seed)
-          in
-          (try
-             if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-             Mk_obs.Obs.write_chrome_trace traced.Chaos.obs ~path;
-             Format.printf "wrote failing-run trace to %s@." path
-           with Sys_error msg ->
-             Format.eprintf "meerkat_chaos: cannot write trace: %s@." msg))
-        failures);
+      if live then
+        Format.eprintf
+          "meerkat_chaos: --trace-dir records simulator traces; ignored with --live@."
+      else
+        List.iter
+          (fun (r : Chaos.report) ->
+            (* Same cfg + same seed = the same run, this time traced. *)
+            let traced = Chaos.run { r.Chaos.r_cfg with trace = true } in
+            let path =
+              Filename.concat dir
+                (Printf.sprintf "chaos-%s-seed%d.json"
+                   (Nemesis.to_string r.Chaos.r_cfg.Chaos.profile)
+                   r.Chaos.r_cfg.Chaos.seed)
+            in
+            (try
+               if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+               Mk_obs.Obs.write_chrome_trace traced.Chaos.obs ~path;
+               Format.printf "wrote failing-run trace to %s@." path
+             with Sys_error msg ->
+               Format.eprintf "meerkat_chaos: cannot write trace: %s@." msg))
+          failures);
   if failures = [] then
     Format.printf "all %d runs passed@." (List.length reports)
   else begin
@@ -106,16 +134,29 @@ let () =
          & info [ "profiles"; "p" ]
              ~doc:"Comma-separated nemesis profiles, or 'all'.")
   in
+  let live =
+    Arg.(value & flag
+         & info [ "live" ]
+             ~doc:"Run against the live runtime on real OCaml 5 domains \
+                   instead of the simulator (horizon and grace become wall \
+                   microseconds).")
+  in
   let horizon =
-    Arg.(value & opt float 60_000.0
-         & info [ "horizon" ] ~doc:"Client submission horizon, simulated us.")
+    Arg.(value & opt (some float) None
+         & info [ "horizon" ]
+             ~doc:"Client submission horizon, us (simulated, or wall with \
+                   --live). Default: 60000 sim, 800000 live.")
   in
   let grace =
-    Arg.(value & opt float 30_000.0
-         & info [ "grace" ] ~doc:"Drain/recovery window after the horizon, us.")
+    Arg.(value & opt (some float) None
+         & info [ "grace" ]
+             ~doc:"Drain/recovery window after the horizon, us. Default: \
+                   30000 sim, 400000 live.")
   in
   let threads =
-    Arg.(value & opt int 2 & info [ "threads"; "t" ] ~doc:"Server threads per replica.")
+    Arg.(value & opt int 2
+         & info [ "threads"; "t" ]
+             ~doc:"Server threads per replica (sim) / server domains (live).")
   in
   let clients =
     Arg.(value & opt int 8 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.")
@@ -125,17 +166,22 @@ let () =
     Arg.(value & opt (some string) None
          & info [ "trace-dir" ] ~docv:"DIR"
              ~doc:"Re-run failing seeds with tracing and write their Chrome \
-                   traces into $(docv).")
+                   traces into $(docv) (sim only).")
+  in
+  let json =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write all run reports to $(docv) as JSON.")
   in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Full report for passing runs too.")
   in
   let term =
-    Term.(const run $ nseeds $ seed_base $ profiles $ horizon $ grace $ threads
-          $ clients $ keys $ trace_dir $ verbose)
+    Term.(const run $ nseeds $ seed_base $ profiles $ live $ horizon $ grace
+          $ threads $ clients $ keys $ trace_dir $ json $ verbose)
   in
   let info =
     Cmd.info "meerkat_chaos"
-      ~doc:"Seeded chaos matrix over the simulated Meerkat deployment"
+      ~doc:"Seeded chaos matrix over the simulated or live Meerkat deployment"
   in
   exit (Cmd.eval (Cmd.v info term))

@@ -12,6 +12,7 @@
 
 module Runtime = Mk_live.Runtime
 module Checker = Mk_harness.Checker
+module Nemesis = Mk_fault.Nemesis
 
 let parse_workload = function
   | "ycsb-t" | "ycsb_t" | "ycsb" -> Ok Runtime.Ycsb_t
@@ -19,7 +20,27 @@ let parse_workload = function
   | s -> Error (`Msg (Printf.sprintf "unknown workload %S (ycsb-t, retwis)" s))
 
 let run domains replicas coordinators clients keys theta workload txns duration
-    seed nseeds no_check json =
+    nemesis seed nseeds no_check json =
+  let duration =
+    (* A nemesis plan needs a horizon; default to one wall second. *)
+    match (nemesis, duration) with
+    | Some _, None -> Some 1.0
+    | _ -> duration
+  in
+  let chaos_of_seed seed =
+    Option.map
+      (fun profile ->
+        let horizon_us = Option.get duration *. 1e6 in
+        {
+          Runtime.plan =
+            Nemesis.plan ~seed ~profile ~horizon:horizon_us
+              ~n_replicas:replicas ~n_clients:clients;
+          detector = Runtime.chaos_detector_cfg ~horizon_us;
+          horizon_us;
+          settle_us = horizon_us /. 2.0;
+        })
+      nemesis
+  in
   let cfg =
     {
       Runtime.default_config with
@@ -34,11 +55,18 @@ let run domains replicas coordinators clients keys theta workload txns duration
       duration;
     }
   in
+  let cfg =
+    (* Chaos-scale retransmission: drops must be retried well inside
+       the horizon, not after the fault-free safety-net timeout. *)
+    match nemesis with
+    | Some _ -> { cfg with Runtime.rto_us = Option.get duration *. 1e6 /. 50.0 }
+    | None -> cfg
+  in
   let failures = ref 0 in
   let reports =
     List.map
       (fun seed ->
-        let r = Runtime.run { cfg with Runtime.seed } in
+        let r = Runtime.run { cfg with Runtime.seed; chaos = chaos_of_seed seed } in
         Format.printf "seed %d:@.  %a@." seed Runtime.pp_report r;
         let expected = clients * txns in
         if duration = None && r.Runtime.committed_count + r.Runtime.aborted <> expected
@@ -121,6 +149,27 @@ let () =
              ~doc:"Keep submitting for $(docv) of wall time instead of a \
                    per-client transaction quota.")
   in
+  let nemesis_conv =
+    Arg.conv
+      ( (fun s ->
+          match Nemesis.of_string s with
+          | Some p -> Ok p
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown profile %S (known: %s)" s
+                      (String.concat ", "
+                         (List.map Nemesis.to_string Nemesis.all))))),
+        fun ppf p -> Format.pp_print_string ppf (Nemesis.to_string p) )
+  in
+  let nemesis =
+    Arg.(value & opt (some nemesis_conv) None
+         & info [ "nemesis" ] ~docv:"PROFILE"
+             ~doc:"Inject a seeded nemesis plan ($(docv): one of calm, dup, \
+                   reorder, partition, crash-replica, crash-coordinator, \
+                   combo) and run detector-driven recovery. Implies \
+                   --duration 1.0 unless --duration is given.")
+  in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed.") in
   let nseeds =
     Arg.(value & opt int 1 & info [ "seeds" ] ~doc:"Number of seeds to run.")
@@ -136,7 +185,8 @@ let () =
   in
   let term =
     Term.(const run $ domains $ replicas $ coordinators $ clients $ keys $ theta
-          $ workload $ txns $ duration $ seed $ nseeds $ no_check $ json)
+          $ workload $ txns $ duration $ nemesis $ seed $ nseeds $ no_check
+          $ json)
   in
   let info =
     Cmd.info "meerkat_live"

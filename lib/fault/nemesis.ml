@@ -176,23 +176,26 @@ let plan ~seed ~profile ~horizon ~n_replicas ~n_clients =
           ];
       }
 
+(* The pure heart of the schedule: every open window folded in plan
+   order. Shared verbatim by both backends — [install] closes it over
+   the sim clock below, and [Verdict] re-exports it for the live
+   runtime's wall clock. *)
+let rule_at plan ~now ~src ~dst =
+  List.fold_left
+    (fun acc w ->
+      if now >= w.from_t && now < w.until_t && scope_applies w.scope ~src ~dst
+      then
+        Some
+          (match acc with
+          | None -> w.rule
+          | Some r -> Network.combine r w.rule)
+      else acc)
+    None plan.windows
+
 let install ~engine ~net ~obs ~callbacks plan =
-  (* One fault function folding every open window; windows are
-     time-gated at send time, so a single install covers the whole
-     schedule. *)
-  let fault_fn ~src ~dst =
-    let now = Engine.now engine in
-    List.fold_left
-      (fun acc w ->
-        if now >= w.from_t && now < w.until_t && scope_applies w.scope ~src ~dst
-        then
-          Some
-            (match acc with
-            | None -> w.rule
-            | Some r -> Network.combine r w.rule)
-        else acc)
-      None plan.windows
-  in
+  (* Windows are time-gated at send time, so a single install covers
+     the whole schedule. *)
+  let fault_fn ~src ~dst = rule_at plan ~now:(Engine.now engine) ~src ~dst in
   if plan.windows <> [] then Network.set_link_faults net (Some fault_fn);
   List.iter
     (fun w ->

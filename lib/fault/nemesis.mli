@@ -87,4 +87,15 @@ val install :
 val scope_applies :
   scope -> src:Mk_net.Network.endpoint -> dst:Mk_net.Network.endpoint -> bool
 
+val rule_at :
+  plan ->
+  now:float ->
+  src:Mk_net.Network.endpoint ->
+  dst:Mk_net.Network.endpoint ->
+  Mk_net.Network.link_rule option
+(** The combined rule of every window open at [now] on the link — the
+    pure fold both backends share. [install] closes it over the sim
+    clock; {!Verdict} re-exports it (and turns the rule into a single
+    per-message outcome) for the live runtime. *)
+
 val pp_plan : Format.formatter -> plan -> unit

@@ -1,0 +1,57 @@
+(* The compiled form of a nemesis plan: pure per-message verdicts.
+
+   [Nemesis.plan] is a declarative schedule; this module evaluates it
+   against one (link, time) query without touching an engine or a
+   network, so the same plan drives both backends: the simulator
+   compiles {!rule_at} into a [Mk_net.Network.fault_fn] (via
+   [Nemesis.install]) and lets the network make its own per-fault
+   draws, while the live runtime asks {!verdict} for a single outcome
+   per mailbox push ([Mk_live.Link]). Both paths fold the plan's
+   windows in list order with [Network.combine], so a window schedule
+   means the same thing on simulated and wall-clock time. *)
+
+module Network = Mk_net.Network
+module Rng = Mk_util.Rng
+
+type outcome = Deliver | Drop | Duplicate | Delay of float
+
+let rule_at = Nemesis.rule_at
+
+(* One outcome per message, precedence drop > duplicate > delay. Every
+   draw is conditional on a positive probability, so a Calm plan (or a
+   closed window) consumes no randomness at all — the live fault layer
+   inherits the sim's "no faults, no RNG perturbation" discipline. A
+   duplicated message is delivered twice immediately (the receiver's
+   at-most-once dedup absorbs it); only a non-duplicated delivery can
+   take a delay spike. *)
+let apply ~rng rule =
+  match rule with
+  | None -> Deliver
+  | Some (r : Network.link_rule) ->
+      if r.drop > 0.0 && Rng.uniform rng < r.drop then Drop
+      else if r.dup > 0.0 && Rng.uniform rng < r.dup then Duplicate
+      else if r.delay_prob > 0.0 && Rng.uniform rng < r.delay_prob then
+        Delay r.delay
+      else Deliver
+
+let verdict plan ~now ~src ~dst ~rng = apply ~rng (rule_at plan ~now ~src ~dst)
+
+let crashes (plan : Nemesis.plan) =
+  List.stable_sort
+    (fun a b ->
+      let at = function
+        | Nemesis.Replica_crash { at; _ } -> at
+        | Nemesis.Coordinator_crash { at; _ } -> at
+      in
+      Float.compare (at a) (at b))
+    plan.Nemesis.crashes
+
+let window_edges (plan : Nemesis.plan) =
+  List.concat_map
+    (fun (w : Nemesis.window) ->
+      let opens = (w.from_t, w.w_name ^ ":open") in
+      if w.until_t < Float.infinity then
+        [ opens; (w.until_t, w.w_name ^ ":close") ]
+      else [ opens ])
+    plan.Nemesis.windows
+  |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)

@@ -1,0 +1,59 @@
+(** Pure, transport-agnostic evaluation of a {!Nemesis.plan}.
+
+    A plan is a schedule of fault windows and crash events; this module
+    answers "what happens to one message on link (src → dst) at time
+    [now]?" without an engine or a network, so the same plan drives
+    both backends:
+
+    - the simulator compiles {!rule_at} into the network's
+      {!Mk_net.Network.fault_fn} (that is what {!Nemesis.install}
+      does), letting the modelled network draw each fault class
+      independently;
+    - the live runtime asks {!verdict} for a single {!outcome} per
+      mailbox push ([Mk_live.Link]), with wall-clock microseconds as
+      [now].
+
+    Both fold the windows in plan order with
+    {!Mk_net.Network.combine}, so a schedule means the same thing under
+    simulated and real time. *)
+
+type outcome =
+  | Deliver
+  | Drop
+  | Duplicate  (** Deliver twice, back to back (inline duplicate). *)
+  | Delay of float  (** Deliver after this many extra µs. *)
+
+val rule_at :
+  Nemesis.plan ->
+  now:float ->
+  src:Mk_net.Network.endpoint ->
+  dst:Mk_net.Network.endpoint ->
+  Mk_net.Network.link_rule option
+(** The combined rule of every window open at [now] whose scope covers
+    the link; [None] when no window applies. Pure: same arguments, same
+    rule. *)
+
+val apply : rng:Mk_util.Rng.t -> Mk_net.Network.link_rule option -> outcome
+(** Draw one outcome from a rule, precedence drop > duplicate > delay.
+    Every draw is conditional on a positive probability, so a [None] or
+    all-zero rule consumes no randomness. *)
+
+val verdict :
+  Nemesis.plan ->
+  now:float ->
+  src:Mk_net.Network.endpoint ->
+  dst:Mk_net.Network.endpoint ->
+  rng:Mk_util.Rng.t ->
+  outcome
+(** [apply ~rng (rule_at plan ~now ~src ~dst)]. *)
+
+val crashes : Nemesis.plan -> Nemesis.crash list
+(** The plan's crash events sorted by injection time — the iterator a
+    wall-clock driver walks, applying each event whose time has
+    passed. *)
+
+val window_edges : Nemesis.plan -> (float * string) list
+(** Window open/close instants with their observability labels
+    ("name:open" / "name:close"), sorted by time — so a live driver can
+    mirror the same fault events into [Mk_obs] that {!Nemesis.install}
+    schedules in the simulator. *)

@@ -7,8 +7,11 @@ module Timestamp = Mk_clock.Timestamp
 module S = Mk_meerkat.Sim_system
 module Replica = Mk_meerkat.Replica
 module Nemesis = Mk_fault.Nemesis
+module Runtime = Mk_live.Runtime
 module Obs = Mk_obs.Obs
 module Rng = Mk_util.Rng
+
+type backend = Sim | Live
 
 type cfg = {
   seed : int;
@@ -21,6 +24,7 @@ type cfg = {
   transport : Transport.t;
   detector : S.detector_cfg;
   trace : bool;
+  backend : backend;
 }
 
 let default_cfg =
@@ -35,6 +39,17 @@ let default_cfg =
     transport = Transport.erpc;
     detector = S.default_detector_cfg;
     trace = false;
+    backend = Sim;
+  }
+
+let default_live_cfg =
+  {
+    default_cfg with
+    backend = Live;
+    (* Wall microseconds: long enough that the horizon-scaled detector
+       timeouts dwarf OS scheduling jitter on a loaded machine. *)
+    horizon = 800_000.0;
+    grace = 400_000.0;
   }
 
 type report = {
@@ -67,12 +82,154 @@ let passed r =
   && Result.is_ok r.available
   && Result.is_ok r.acks_consistent
 
+(* --- End-of-run invariants, shared by both backends. ---
+
+   Everything deployment-specific is behind two values: the quiescent
+   replica array and a committed-value reader. The five verdicts are
+   computed from those exactly once, so a sim run and a live run pass
+   or fail for the same reasons. *)
+
+type raw = {
+  raw_cfg : cfg;
+  raw_replicas : Replica.t array;
+  raw_read_committed : replica:int -> key:int -> int option;
+  raw_submitted : int;
+  raw_acked : int;
+  raw_committed_acks : int;
+  raw_aborted_acks : int;
+  raw_epoch_changes : int;
+  raw_view_changes : int;
+  raw_duplicated : int;
+  raw_delayed : int;
+  raw_dropped : int;
+  raw_fault_events : int;
+  raw_obs : Obs.t;
+}
+
+let evaluate (raw : raw) =
+  let cfg = raw.raw_cfg in
+  let replicas = raw.raw_replicas in
+  (* Union of committed records across replicas (every replica is
+     expected up by now; tolerate a crashed one so the report can say
+     *which* invariant failed rather than raising). *)
+  let seen = Hashtbl.create 1024 in
+  let committed = ref [] in
+  let stuck = ref 0 in
+  Array.iter
+    (fun r ->
+      if not (Replica.is_crashed r) then
+        List.iter
+          (fun (_, (e : Mk_storage.Trecord.entry)) ->
+            if Txn.is_final e.status then begin
+              if
+                e.status = Txn.Committed
+                && not (Hashtbl.mem seen e.txn.Txn.tid)
+              then begin
+                Hashtbl.add seen e.txn.Txn.tid ();
+                committed := (e.txn, e.ts) :: !committed
+              end
+            end
+            else incr stuck)
+          (Mk_storage.Trecord.entries (Replica.trecord r)))
+    replicas;
+  let committed = !committed in
+  (* I1: every acknowledged commit forms one serializable history. *)
+  let serializable = Checker.check committed in
+  (* I2: all replicas are back up and agree on the final state. *)
+  let available =
+    match
+      Array.to_list replicas
+      |> List.filter_map (fun r ->
+             if Replica.is_available r then None else Some (Replica.id r))
+    with
+    | [] -> Ok ()
+    | down ->
+        Error
+          (Printf.sprintf "replicas not available at end: %s"
+             (String.concat ", " (List.map string_of_int down)))
+  in
+  let agreement =
+    let expected = Checker.final_state committed in
+    let err = ref None in
+    Array.iter
+      (fun r ->
+        if Replica.is_crashed r then ()
+        else
+          for key = 0 to cfg.keys - 1 do
+            let want =
+              match Hashtbl.find_opt expected key with
+              | Some (v, _) -> v
+              | None -> 0 (* preloaded value, never overwritten *)
+            in
+            match raw.raw_read_committed ~replica:(Replica.id r) ~key with
+            | Some got when got = want -> ()
+            | got ->
+                if !err = None then
+                  err :=
+                    Some
+                      (Printf.sprintf
+                         "replica %d key %d: expected %d, found %s" (Replica.id r)
+                         key want
+                         (match got with
+                         | Some v -> string_of_int v
+                         | None -> "nothing"))
+          done)
+      replicas;
+    match !err with None -> Ok () | Some e -> Error e
+  in
+  (* I3: no transaction is stuck past the end of the grace period —
+     every submission was acknowledged and every trecord entry reached
+     a final state (the stuck-record detector swept the stragglers). *)
+  let bounded =
+    if raw.raw_submitted = raw.raw_acked && !stuck = 0 then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d of %d submissions unacked, %d non-final records"
+           (raw.raw_submitted - raw.raw_acked)
+           raw.raw_submitted !stuck)
+  in
+  (* I4: commit acknowledgements and committed records tell the same
+     story — an acked commit must be durable on the replicas, and a
+     replica-committed transaction must have been acked to its client
+     (the closed loop waits for every outcome). *)
+  let acks_consistent =
+    let ncommitted = List.length committed in
+    if raw.raw_committed_acks = ncommitted then Ok ()
+    else
+      Error
+        (Printf.sprintf "%d commits acked but %d committed records"
+           raw.raw_committed_acks ncommitted)
+  in
+  {
+    r_cfg = cfg;
+    committed_acks = raw.raw_committed_acks;
+    aborted_acks = raw.raw_aborted_acks;
+    submitted = raw.raw_submitted;
+    acked = raw.raw_acked;
+    committed;
+    stuck = !stuck;
+    serializable;
+    agreement;
+    bounded;
+    available;
+    acks_consistent;
+    epoch_changes = raw.raw_epoch_changes;
+    view_changes = raw.raw_view_changes;
+    duplicated = raw.raw_duplicated;
+    delayed = raw.raw_delayed;
+    dropped = raw.raw_dropped;
+    fault_events = raw.raw_fault_events;
+    obs = raw.raw_obs;
+  }
+
 (* The workload RNG is derived from the seed but independent of the
    engine's: neither nemesis draws nor network fault draws ever shift
    which keys the clients touch. *)
 let workload_rng seed = Rng.create ~seed:(seed lxor 0x63616f73 (* "caos" *))
 
-let run cfg =
+(* --- Sim backend: nemesis + Sim_system on the discrete engine. --- *)
+
+let run_sim cfg =
   let sys_cfg =
     {
       S.default_config with
@@ -135,119 +292,85 @@ let run cfg =
     client c
   done;
   Engine.run ~until:(cfg.horizon +. cfg.grace) ~max_events:100_000_000 engine;
-  (* --- End-of-run invariants. --- *)
-  let replicas = S.replicas sys in
-  (* Union of committed records across replicas (every replica is
-     expected up by now; tolerate a crashed one so the report can say
-     *which* invariant failed rather than raising). *)
-  let seen = Hashtbl.create 1024 in
-  let committed = ref [] in
-  let stuck = ref 0 in
-  Array.iter
-    (fun r ->
-      if not (Replica.is_crashed r) then
-        List.iter
-          (fun (_, (e : Mk_storage.Trecord.entry)) ->
-            if Txn.is_final e.status then begin
-              if
-                e.status = Txn.Committed
-                && not (Hashtbl.mem seen e.txn.Txn.tid)
-              then begin
-                Hashtbl.add seen e.txn.Txn.tid ();
-                committed := (e.txn, e.ts) :: !committed
-              end
-            end
-            else incr stuck)
-          (Mk_storage.Trecord.entries (Replica.trecord r)))
-    replicas;
-  let committed = !committed in
-  (* I1: every acknowledged commit forms one serializable history. *)
-  let serializable = Checker.check committed in
-  (* I2: all replicas are back up and agree on the final state. *)
-  let available =
-    match
-      Array.to_list replicas
-      |> List.filter_map (fun r ->
-             if Replica.is_available r then None else Some (Replica.id r))
-    with
-    | [] -> Ok ()
-    | down ->
-        Error
-          (Printf.sprintf "replicas not available at end: %s"
-             (String.concat ", " (List.map string_of_int down)))
+  evaluate
+    {
+      raw_cfg = cfg;
+      raw_replicas = S.replicas sys;
+      raw_read_committed =
+        (fun ~replica ~key -> S.read_committed sys ~replica ~key);
+      raw_submitted = !submitted;
+      raw_acked = !acked;
+      raw_committed_acks = !committed_acks;
+      raw_aborted_acks = !aborted_acks;
+      raw_epoch_changes = Obs.counter_value obs "recovery.epoch_changes";
+      raw_view_changes = Obs.counter_value obs "recovery.view_changes";
+      raw_duplicated = Network.messages_duplicated (S.network sys);
+      raw_delayed = Network.messages_delayed (S.network sys);
+      raw_dropped = Network.messages_dropped (S.network sys);
+      raw_fault_events = Obs.counter_value obs "fault.windows";
+      raw_obs = obs;
+    }
+
+(* --- Live backend: the same plan and invariants on real domains. --- *)
+
+let run_live cfg =
+  let horizon_us = cfg.horizon in
+  let n_replicas = Runtime.default_config.Runtime.n_replicas in
+  let plan =
+    Nemesis.plan ~seed:cfg.seed ~profile:cfg.profile ~horizon:horizon_us
+      ~n_replicas ~n_clients:cfg.n_clients
   in
-  let agreement =
-    let expected = Checker.final_state committed in
-    let err = ref None in
-    Array.iter
-      (fun r ->
-        if Replica.is_crashed r then ()
-        else
-          for key = 0 to cfg.keys - 1 do
-            let want =
-              match Hashtbl.find_opt expected key with
-              | Some (v, _) -> v
-              | None -> 0 (* preloaded value, never overwritten *)
-            in
-            match S.read_committed sys ~replica:(Replica.id r) ~key with
-            | Some got when got = want -> ()
-            | got ->
-                if !err = None then
-                  err :=
-                    Some
-                      (Printf.sprintf
-                         "replica %d key %d: expected %d, found %s" (Replica.id r)
-                         key want
-                         (match got with
-                         | Some v -> string_of_int v
-                         | None -> "nothing"))
-          done)
-      replicas;
-    match !err with None -> Ok () | Some e -> Error e
+  let rt_cfg =
+    {
+      Runtime.default_config with
+      Runtime.server_domains = cfg.threads;
+      clients = cfg.n_clients;
+      keys = cfg.keys;
+      duration = Some (horizon_us /. 1e6);
+      seed = cfg.seed;
+      (* Chaos-scale retransmission: drops must be retried well inside
+         the horizon, not after the fault-free safety-net timeout. *)
+      rto_us = horizon_us /. 50.0;
+      chaos =
+        Some
+          {
+            Runtime.plan;
+            (* The detector field of [cfg] is sim-scaled; live runs
+               always derive wall-scale timeouts from their horizon. *)
+            detector = Runtime.chaos_detector_cfg ~horizon_us;
+            horizon_us;
+            settle_us = cfg.grace;
+          };
+    }
   in
-  (* I3: no transaction is stuck past the end of the grace period —
-     every submission was acknowledged and every trecord entry reached
-     a final state (the stuck-record detector swept the stragglers). *)
-  let bounded =
-    if !submitted = !acked && !stuck = 0 then Ok ()
-    else
-      Error
-        (Printf.sprintf "%d of %d submissions unacked, %d non-final records"
-           (!submitted - !acked) !submitted !stuck)
-  in
-  (* I4: commit acknowledgements and committed records tell the same
-     story — an acked commit must be durable on the replicas, and a
-     replica-committed transaction must have been acked to its client
-     (the closed loop waits for every outcome). *)
-  let acks_consistent =
-    let ncommitted = List.length committed in
-    if !committed_acks = ncommitted then Ok ()
-    else
-      Error
-        (Printf.sprintf "%d commits acked but %d committed records"
-           !committed_acks ncommitted)
-  in
-  {
-    r_cfg = cfg;
-    committed_acks = !committed_acks;
-    aborted_acks = !aborted_acks;
-    submitted = !submitted;
-    acked = !acked;
-    committed;
-    stuck = !stuck;
-    serializable;
-    agreement;
-    bounded;
-    available;
-    acks_consistent;
-    epoch_changes = Obs.counter_value obs "recovery.epoch_changes";
-    view_changes = Obs.counter_value obs "recovery.view_changes";
-    duplicated = Network.messages_duplicated (S.network sys);
-    delayed = Network.messages_delayed (S.network sys);
-    dropped = Network.messages_dropped (S.network sys);
-    fault_events = Obs.counter_value obs "fault.windows";
-    obs;
-  }
+  let r = Runtime.run rt_cfg in
+  evaluate
+    {
+      raw_cfg = cfg;
+      raw_replicas = r.Runtime.replicas;
+      raw_read_committed =
+        (fun ~replica ~key ->
+          match
+            Mk_storage.Vstore.find
+              (Replica.vstore r.Runtime.replicas.(replica))
+              key
+          with
+          | None -> None
+          | Some e -> Some (fst (Mk_storage.Vstore.read_versioned e)));
+      raw_submitted = r.Runtime.submitted;
+      raw_acked = r.Runtime.acked;
+      raw_committed_acks = r.Runtime.committed_count;
+      raw_aborted_acks = r.Runtime.aborted;
+      raw_epoch_changes = r.Runtime.epoch_changes;
+      raw_view_changes = r.Runtime.view_changes;
+      raw_duplicated = r.Runtime.link_duplicated;
+      raw_delayed = r.Runtime.link_delayed;
+      raw_dropped = r.Runtime.link_dropped;
+      raw_fault_events = r.Runtime.fault_events;
+      raw_obs = Obs.create ~clock:(fun () -> 0.0) ();
+    }
+
+let run cfg = match cfg.backend with Sim -> run_sim cfg | Live -> run_live cfg
 
 let pp_invariant ppf (name, r) =
   match r with
@@ -255,8 +378,9 @@ let pp_invariant ppf (name, r) =
   | Error e -> Format.fprintf ppf "  %-14s FAILED: %s@." name e
 
 let pp_report ppf r =
-  Format.fprintf ppf "seed %d, profile %s: %s@." r.r_cfg.seed
+  Format.fprintf ppf "seed %d, profile %s%s: %s@." r.r_cfg.seed
     (Nemesis.to_string r.r_cfg.profile)
+    (match r.r_cfg.backend with Sim -> "" | Live -> " (live)")
     (if passed r then "PASS" else "FAIL");
   Format.fprintf ppf
     "  %d commits, %d aborts (%d/%d acked); %d dup, %d delayed, %d dropped; %d \
@@ -272,6 +396,20 @@ let pp_report ppf r =
   pp_invariant ppf ("bounded", r.bounded);
   pp_invariant ppf ("available", r.available);
   pp_invariant ppf ("acks", r.acks_consistent)
+
+let report_json r =
+  Printf.sprintf
+    "{\"seed\": %d, \"profile\": \"%s\", \"backend\": \"%s\", \"pass\": %b, \
+     \"committed_acks\": %d, \"aborted_acks\": %d, \"submitted\": %d, \
+     \"acked\": %d, \"stuck\": %d, \"epoch_changes\": %d, \"view_changes\": \
+     %d, \"duplicated\": %d, \"delayed\": %d, \"dropped\": %d, \
+     \"fault_events\": %d}"
+    r.r_cfg.seed
+    (Nemesis.to_string r.r_cfg.profile)
+    (match r.r_cfg.backend with Sim -> "sim" | Live -> "live")
+    (passed r) r.committed_acks r.aborted_acks r.submitted r.acked r.stuck
+    r.epoch_changes r.view_changes r.duplicated r.delayed r.dropped
+    r.fault_events
 
 let matrix ~seeds ~profiles ~cfg =
   List.concat_map

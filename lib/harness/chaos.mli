@@ -1,12 +1,12 @@
-(** Jepsen-style chaos runner: a seeded nemesis × the simulated
-    Meerkat system × end-of-run invariants.
+(** Jepsen-style chaos runner: a seeded nemesis × the Meerkat system ×
+    end-of-run invariants — over either deployment of the protocol.
 
-    One {!run} builds a fresh engine and system from the seed,
-    installs the {!Mk_fault.Nemesis} schedule for the chosen profile,
-    arms the in-system failure detectors ({!Mk_meerkat.Sim_system}),
-    and drives closed-loop read-modify-write clients to the horizon.
-    All recovery is detector-driven — the runner itself never calls an
-    epoch change or view change. After a grace period it checks:
+    One {!run} builds a fresh system from the seed, installs the
+    {!Mk_fault.Nemesis} schedule for the chosen profile, arms the
+    failure detectors, and drives closed-loop read-modify-write
+    clients to the horizon. All recovery is detector-driven — the
+    runner itself never calls an epoch change or view change. After a
+    grace period it checks:
 
     - {b serializable}: the union of committed records across replicas
       replays as one serializable history ({!Checker.check});
@@ -18,26 +18,49 @@
     - {b available}: every replica is back up (crashed ones were
       reintegrated by the heartbeat detector's epoch change);
     - {b acks}: the number of acknowledged commits equals the number
-      of committed records (no lost or phantom acks). *)
+      of committed records (no lost or phantom acks).
+
+    The five verdicts are computed by one shared evaluator, so a
+    {!Sim} run and a {!Live} run pass or fail for the same reasons:
+
+    - {!Sim} drives {!Mk_meerkat.Sim_system} on the discrete-event
+      engine with virtual-µs times — deterministic, the golden suite's
+      backend;
+    - {!Live} drives {!Mk_live.Runtime} with [chaos] set: the same
+      nemesis plan applied by {!Mk_live.Link} to real mailbox traffic
+      between OCaml 5 domains, with wall-µs times and detector
+      timeouts derived from the horizon
+      ({!Mk_live.Runtime.chaos_detector_cfg}; the [detector] field
+      only tunes the sim backend). *)
+
+type backend = Sim | Live
 
 type cfg = {
   seed : int;
   profile : Mk_fault.Nemesis.profile;
-  threads : int;
+  threads : int;  (** Sim cores per replica / live server domains. *)
   n_clients : int;
   keys : int;
-  horizon : float;  (** Clients stop submitting at this time (µs). *)
+  horizon : float;
+      (** Clients stop submitting at this time (virtual µs for {!Sim},
+          wall µs for {!Live}). *)
   grace : float;
       (** Extra time for in-flight work and detector-driven recovery
           to drain before the invariants are checked. *)
-  transport : Mk_net.Transport.t;
-  detector : Mk_meerkat.Sim_system.detector_cfg;
-  trace : bool;  (** Record a Chrome trace (see {!report.obs}). *)
+  transport : Mk_net.Transport.t;  (** Sim only. *)
+  detector : Mk_meerkat.Sim_system.detector_cfg;  (** Sim only. *)
+  trace : bool;  (** Record a Chrome trace (sim only; see {!report.obs}). *)
+  backend : backend;
 }
 
 val default_cfg : cfg
-(** Combo profile, 8 clients × 2 cores × 256 hot keys, 60 ms horizon,
-    30 ms grace. *)
+(** Sim backend: Combo profile, 8 clients × 2 cores × 256 hot keys,
+    60 ms virtual horizon, 30 ms grace. *)
+
+val default_live_cfg : cfg
+(** {!default_cfg} on the {!Live} backend with a wall-clock envelope
+    (0.8 s horizon, 0.4 s grace) sized so the horizon-scaled detector
+    timeouts dwarf OS scheduling jitter. *)
 
 type report = {
   r_cfg : cfg;
@@ -61,7 +84,8 @@ type report = {
   fault_events : int;  (** Nemesis window opens/closes and crashes. *)
   obs : Mk_obs.Obs.t;
       (** The run's observability handle — export a Chrome trace from
-          it when [trace] was set. *)
+          it when [trace] was set (sim; the live backend returns an
+          empty handle and reports through the counters above). *)
 }
 
 val run : cfg -> report
@@ -74,3 +98,7 @@ val matrix :
     [cfg]. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val report_json : report -> string
+(** One flat JSON object (no committed list) — one line of the CI
+    chaos job's report artifact. *)

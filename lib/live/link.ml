@@ -1,0 +1,131 @@
+(* Faulty links over mailboxes: the live counterpart of the simulated
+   network's per-link fault rules.
+
+   A [ctx] holds one nemesis plan compiled against the wall clock.
+   Every cross-domain push in a chaos run is routed through {!send},
+   which asks [Mk_fault.Verdict] what happens to the message on its
+   (src → dst) link right now: deliver, drop, deliver twice (inline —
+   the receiver's idempotent handlers absorb it, as in the sim), or
+   delay. Delays go on a shared wheel of (deadline, push) thunks that
+   any domain flushes in passing; a delayed message re-enters its
+   destination mailbox after the spike, overtaken by everything sent
+   in between — the live analogue of the sim's reorder spikes.
+
+   Coordination here is sanctioned (and allowlisted for the Z1 lint,
+   like the mailbox internals): one mutex guards the verdict RNG, the
+   delay wheel, and the fault counters. It is chaos-mode-only
+   machinery — fault-free runs pass a [None] context and pay nothing —
+   and the mutex is taken only when a fault window is actually open,
+   so even a chaos run under the Calm profile keeps the fast path
+   coordination-free.
+
+   Fail-stop is modelled at the link too: messages to or from a down
+   endpoint are discarded ([set_down] / [set_up], driven by the
+   monitor from the plan's crash events). The down list is read racily
+   on the send path (a single immutable-list field; OCaml word reads
+   do not tear) and written under the mutex — a send that races a
+   crash edge lands on one side or the other, exactly like a message
+   in flight during a real crash. *)
+
+module Network = Mk_net.Network
+module Nemesis = Mk_fault.Nemesis
+module Verdict = Mk_fault.Verdict
+module Rng = Mk_util.Rng
+
+type ctx = {
+  plan : Nemesis.plan;
+  rng : Rng.t;  (** Guarded by [mutex]. *)
+  now : unit -> float;  (** Wall-clock µs since the run started. *)
+  mutex : Mutex.t;
+  mutable wheel : (float * (unit -> unit)) list;
+      (** Delayed deliveries, unordered; flush sorts the due ones. *)
+  mutable down : (Network.endpoint * float) list;
+      (** Down endpoints with their reboot deadlines. *)
+  mutable dropped : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+}
+
+let create ~plan ~seed ~now =
+  {
+    plan;
+    rng = Rng.create ~seed:(seed lxor 0x6c696e6b (* "link" *));
+    now;
+    mutex = Mutex.create ();
+    wheel = [];
+    down = [];
+    dropped = 0;
+    duplicated = 0;
+    delayed = 0;
+  }
+
+let set_down t ep ~until =
+  Mutex.lock t.mutex;
+  t.down <- (ep, until) :: List.remove_assoc ep t.down;
+  Mutex.unlock t.mutex
+
+let set_up t ep =
+  Mutex.lock t.mutex;
+  t.down <- List.remove_assoc ep t.down;
+  Mutex.unlock t.mutex
+
+let is_down t ep =
+  match List.assoc_opt ep t.down with
+  | None -> false
+  | Some until -> t.now () < until
+
+let flush t =
+  let now = t.now () in
+  Mutex.lock t.mutex;
+  let due, rest = List.partition (fun (at, _) -> at <= now) t.wheel in
+  t.wheel <- rest;
+  Mutex.unlock t.mutex;
+  List.iter
+    (fun (_, deliver) -> deliver ())
+    (List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) due)
+
+let send t ~src ~dst ~push =
+  if is_down t src || is_down t dst then begin
+    Mutex.lock t.mutex;
+    t.dropped <- t.dropped + 1;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    let now = t.now () in
+    match Verdict.rule_at t.plan ~now ~src ~dst with
+    | None -> push ()
+    | Some _ as rule -> begin
+        Mutex.lock t.mutex;
+        let outcome = Verdict.apply ~rng:t.rng rule in
+        (match outcome with
+        | Verdict.Drop -> t.dropped <- t.dropped + 1
+        | Verdict.Duplicate -> t.duplicated <- t.duplicated + 1
+        | Verdict.Delay _ -> t.delayed <- t.delayed + 1
+        | Verdict.Deliver -> ());
+        (match outcome with
+        | Verdict.Delay d -> t.wheel <- (now +. d, push) :: t.wheel
+        | _ -> ());
+        Mutex.unlock t.mutex;
+        match outcome with
+        | Verdict.Deliver -> push ()
+        | Verdict.Duplicate ->
+            push ();
+            push ()
+        | Verdict.Drop | Verdict.Delay _ -> ()
+      end
+  end
+
+let via t ~src ~dst ~push =
+  match t with None -> push () | Some t -> send t ~src ~dst ~push
+
+let pending t =
+  Mutex.lock t.mutex;
+  let n = List.length t.wheel in
+  Mutex.unlock t.mutex;
+  n
+
+let stats t =
+  Mutex.lock t.mutex;
+  let r = (t.dropped, t.duplicated, t.delayed) in
+  Mutex.unlock t.mutex;
+  r

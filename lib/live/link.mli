@@ -1,0 +1,66 @@
+(** Faulty links over mailboxes: one nemesis plan applied to live
+    cross-domain messages, the wall-clock counterpart of the simulated
+    network's fault rules.
+
+    A chaos run routes every cross-domain push through {!send} (or
+    {!via} with an optional context, so fault-free runs pay nothing),
+    which draws a single {!Mk_fault.Verdict.outcome} for the message's
+    (src → dst) link: deliver, drop, deliver twice back-to-back (the
+    receiver's idempotent handlers absorb the duplicate, as in the
+    sim), or delay — the message parks on a shared wheel and re-enters
+    its destination mailbox after the spike, overtaken by everything
+    sent in between.
+
+    Fail-stop is modelled here too: {!set_down} makes the link discard
+    traffic to and from an endpoint until its reboot deadline, the
+    live analogue of the sim's crashed-replica send gates.
+
+    The context's mutex (guarding the verdict RNG, the delay wheel,
+    and the fault counters) is chaos-only coordination, taken only
+    when a fault window is open; it is allowlisted for the Z1 lint
+    like the mailbox internals, and stays off the fault-free fast
+    path. *)
+
+type ctx
+
+val create : plan:Mk_fault.Nemesis.plan -> seed:int -> now:(unit -> float) -> ctx
+(** [now] is the run's wall clock in µs (same origin as the plan's
+    window bounds). The verdict RNG is derived from [seed], private to
+    the link layer. *)
+
+val send :
+  ctx -> src:Mk_net.Network.endpoint -> dst:Mk_net.Network.endpoint -> push:(unit -> unit) -> unit
+(** Apply the plan to one message whose delivery is [push] (typically
+    a closure over [Mailbox.push]). [push] is called zero (drop, down
+    endpoint, delay), one (deliver), or two (duplicate) times; a
+    delayed [push] runs from whichever domain next calls {!flush}
+    after the deadline. *)
+
+val via :
+  ctx option ->
+  src:Mk_net.Network.endpoint ->
+  dst:Mk_net.Network.endpoint ->
+  push:(unit -> unit) ->
+  unit
+(** [via None ~push] is [push ()] — the no-chaos fast path. *)
+
+val flush : ctx -> unit
+(** Deliver every delayed message whose deadline has passed, oldest
+    deadline first. Server loops and the monitor call this in
+    passing; any domain may. *)
+
+val set_down : ctx -> Mk_net.Network.endpoint -> until:float -> unit
+(** Discard traffic to and from the endpoint until the given wall
+    time (a crash with its reboot deadline). *)
+
+val set_up : ctx -> Mk_net.Network.endpoint -> unit
+(** Clear a down entry early (explicit reboot). *)
+
+val is_down : ctx -> Mk_net.Network.endpoint -> bool
+
+val pending : ctx -> int
+(** Messages currently parked on the delay wheel. *)
+
+val stats : ctx -> int * int * int
+(** (dropped, duplicated, delayed) counts so far — down-endpoint
+    discards count as drops. *)

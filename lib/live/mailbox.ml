@@ -13,7 +13,12 @@
    ring before waiting; a producer stores the cell first and reads
    [parked] after. Sequential consistency forbids both sides missing
    each other — either the producer sees the flag and signals, or the
-   consumer's re-check sees the message. *)
+   consumer's re-check sees the message. The flag must be re-raised on
+   EVERY wait iteration: a racing producer can claim a slot and stall
+   before publishing it while a later producer publishes and clears
+   [parked], so a consumer woken to a not-yet-ready head cell that
+   re-waited without re-raising the flag would never be signalled
+   again. *)
 
 type 'a cell = { mutable value : 'a option; seq : int Atomic.t }
 
@@ -91,8 +96,8 @@ let try_pop t =
 let pop ?(spins = 256) t =
   let rec park () =
     Mutex.lock t.lock;
-    Atomic.set t.parked true;
     let rec wait () =
+      Atomic.set t.parked true;
       match try_pop t with
       | Some v ->
           Atomic.set t.parked false;

@@ -28,21 +28,59 @@
    with at most one outstanding request per replica per retransmission
    round, so a coordinator inbox of [coord_inbox] >= a few times
    [m * n_replicas] can never be full when a server pushes — the
-   server never blocks, so every cycle contains a non-blocking node. *)
+   server never blocks, so every cycle contains a non-blocking node.
+   {!run} enforces that bound.
+
+   Chaos mode ([config.chaos]): the same topology plus one monitor
+   domain hosting the transport-agnostic {!Mk_meerkat.Detector}. Every
+   cross-domain message routes through {!Link} (the wall-clock verdict
+   of the run's nemesis plan); server domains gain heartbeat agents
+   and trecord snapshots for the detector; the monitor injects the
+   plan's crashes, drives §5.3.2 view changes over the same mailboxes,
+   and runs §5.3.1 epoch changes under a freeze handshake. Chaos-mode
+   deadlock freedom is simpler and stricter: every chaos-path push is
+   a [try_push] whose failure counts as a link drop (retransmission
+   recovers it), so no chaos-mode producer ever blocks. The only
+   blocking chaos push is a server's [Mon_frozen] ack, sent exactly
+   when the monitor is draining its inbox waiting for it.
+
+   Chaos-mode shutdown is a rendezvous, not a deadline: a coordinator
+   may still be retransmitting past the horizon (e.g. an attempt whose
+   record a backup view change touched and then abandoned — its accept
+   retries answer [`Stale] until a fresh view change finishes it), so
+   each coordinator pushes [Mon_coord_done] when its clients are done
+   and the monitor keeps scanning and driving recovery until the
+   settle deadline has passed AND every coordinator has reported in.
+   Server heartbeats and snapshots likewise run until [Stop], feeding
+   those late scans. *)
 
 module Timestamp = Mk_clock.Timestamp
 module Tid = Timestamp.Tid
 module Txn = Mk_storage.Txn
+module Trecord = Mk_storage.Trecord
 module Intf = Mk_model.System_intf
+module Network = Mk_net.Network
+module Nemesis = Mk_fault.Nemesis
+module Verdict = Mk_fault.Verdict
 module Quorum = Mk_meerkat.Quorum
 module Protocol = Mk_meerkat.Protocol
 module Replica = Mk_meerkat.Replica
+module Detector = Mk_meerkat.Detector
+module Recovery = Mk_meerkat.Recovery
+module Epoch = Mk_meerkat.Epoch
 module Workload = Mk_workload.Workload
 module Obs = Mk_obs.Obs
 module Span = Mk_obs.Span
 module Histogram = Mk_util.Histogram
 
 type workload_kind = Ycsb_t | Retwis
+
+type chaos = {
+  plan : Nemesis.plan;
+  detector : Detector.cfg;
+  horizon_us : float;
+  settle_us : float;
+}
 
 type config = {
   server_domains : int;
@@ -59,6 +97,7 @@ type config = {
   grace_us : float;
   server_inbox : int;
   coord_inbox : int;
+  chaos : chaos option;
 }
 
 let default_config =
@@ -82,6 +121,18 @@ let default_config =
     grace_us = 5_000.0;
     server_inbox = 1024;
     coord_inbox = 4096;
+    chaos = None;
+  }
+
+let chaos_detector_cfg ~horizon_us =
+  {
+    Detector.heartbeat_every = horizon_us /. 100.0;
+    heartbeat_timeout = horizon_us /. 16.0;
+    pause_timeout = horizon_us /. 8.0;
+    stuck_timeout = horizon_us /. 16.0;
+    scan_every = horizon_us /. 64.0;
+    epoch_cooldown = horizon_us /. 6.0;
+    give_up_after = horizon_us /. 2.5;
   }
 
 type report = {
@@ -99,6 +150,15 @@ type report = {
   abort_rate : float;
   p50_us : float;
   p99_us : float;
+  submitted : int;
+  acked : int;
+  epoch_changes : int;
+  view_changes : int;
+  fault_events : int;
+  link_dropped : int;
+  link_duplicated : int;
+  link_delayed : int;
+  replicas : Replica.t array;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -129,6 +189,17 @@ type server_msg =
       view : int;
     }
   | Write_back of { replica : int; txn : Txn.t; ts : Timestamp.t; commit : bool }
+  (* Chaos-mode recovery traffic (monitor-initiated, §5.3.2). *)
+  | Coord_change of { replica : int; observer : int; tid : Tid.t; view : int }
+  | Vc_accept of {
+      replica : int;
+      observer : int;
+      txn : Txn.t;
+      ts : Timestamp.t;
+      decision : [ `Commit | `Abort ];
+      view : int;
+    }
+  | Freeze
   | Stop
 
 type coord_msg =
@@ -139,6 +210,39 @@ type coord_msg =
       replica : int;
       reply : Protocol.accept_reply;
     }
+  | Coord_kill of { until_us : float }
+      (* Fail the coordinator process until the given wall time: it
+         discards its inbox while down and resumes its attempts with
+         {!Protocol.Resume} on reboot. *)
+
+(* Everything the monitor domain learns arrives as one of these. *)
+type mon_msg =
+  | Mon_heartbeat of { from_ : int; observer : int; paused : bool }
+      (* [from_ = observer] is the sender's own tick (it always hears
+         itself, never over the faulty link). *)
+  | Mon_records of { core : int; records : (int * Trecord.entry) list }
+      (* Snapshot of one core's non-final records, per replica. The
+         entries are fresh copies: the live partitions stay owned by
+         their server domain. *)
+  | Mon_frozen of { core : int }
+  | Mon_coord_reply of {
+      tid : Tid.t;
+      observer : int;
+      replica : int;
+      reply : [ `View_ok of Replica.record_view option | `Stale of int ];
+    }
+  | Mon_accept_reply of {
+      tid : Tid.t;
+      observer : int;
+      replica : int;
+      reply : [ `Accepted | `Stale of int | `Finalized of Txn.status ];
+    }
+  | Mon_coord_done
+      (* A coordinator's clients are all done: the monitor keeps
+         recovery running until every coordinator has reported in, so
+         an attempt stranded by an abandoned view change (its accept
+         retries answer [`Stale] forever) is always re-recovered
+         rather than spinning unbounded. *)
 
 (* ------------------------------------------------------------------ *)
 (* Server domains                                                      *)
@@ -170,8 +274,514 @@ let server_loop ~core ~replicas ~inbox ~coord_inboxes =
           (Replica.handle_commit replicas.(replica) ~core ~txn ~ts ~commit
             : unit option);
         loop ()
+    | Coord_change _ | Vc_accept _ | Freeze ->
+        (* Monitor traffic never flows without a monitor. *)
+        loop ()
   in
   loop ()
+
+(* Chaos-mode server domain: the same handlers, polling instead of
+   parking, with every outbound reply routed through the link, plus a
+   heartbeat agent and a periodic trecord snapshot for the detector.
+   On [Freeze] the domain acks and parks on its control mailbox until
+   the monitor finishes the epoch change — the live analogue of the
+   sim pausing every core at one instant. *)
+let server_chaos_loop (cfg : config) ~chaos ~t0 ~core ~replicas ~inbox
+    ~coord_inboxes ~mon_inbox ~control ~link =
+  let n = cfg.n_replicas in
+  let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  let dcfg = chaos.detector in
+  let next_hb =
+    ref (float_of_int core *. dcfg.heartbeat_every
+        /. float_of_int cfg.server_domains)
+  in
+  let next_snap = ref (dcfg.scan_every /. 2.0) in
+  let reply_coord ~replica ~coord msg =
+    Link.send link ~src:(Network.Replica replica) ~dst:(Network.Client coord)
+      ~push:(fun () -> ignore (Mailbox.try_push coord_inboxes.(coord) msg))
+  in
+  let reply_mon ~replica ~observer msg =
+    Link.send link ~src:(Network.Replica replica)
+      ~dst:(Network.Replica observer)
+      ~push:(fun () -> ignore (Mailbox.try_push mon_inbox msg))
+  in
+  let heartbeat () =
+    for r = 0 to n - 1 do
+      if r mod cfg.server_domains = core && not (Replica.is_crashed replicas.(r))
+      then begin
+        let paused = Replica.is_paused replicas.(r) in
+        ignore
+          (Mailbox.try_push mon_inbox
+             (Mon_heartbeat { from_ = r; observer = r; paused }));
+        for p = 0 to n - 1 do
+          if p <> r then
+            Link.send link ~src:(Network.Replica r) ~dst:(Network.Replica p)
+              ~push:(fun () ->
+                ignore
+                  (Mailbox.try_push mon_inbox
+                     (Mon_heartbeat { from_ = r; observer = p; paused })))
+        done
+      end
+    done
+  in
+  let snapshot () =
+    let records = ref [] in
+    for r = 0 to n - 1 do
+      if not (Replica.is_crashed replicas.(r)) then
+        List.iter
+          (fun (e : Trecord.entry) ->
+            if not (Txn.is_final e.Trecord.status) then
+              records := (r, { e with Trecord.ts = e.Trecord.ts }) :: !records)
+          (Trecord.core_entries (Replica.trecord replicas.(r)) ~core)
+    done;
+    ignore (Mailbox.try_push mon_inbox (Mon_records { core; records = !records }))
+  in
+  let stop = ref false in
+  let idle = ref 0 in
+  while not !stop do
+    match Mailbox.try_pop inbox with
+    | Some msg -> (
+        idle := 0;
+        match msg with
+        | Stop -> stop := true
+        | Validate { replica; coord; slot; seq; txn; ts } -> (
+            match Replica.handle_validate replicas.(replica) ~core ~txn ~ts with
+            | None -> ()
+            | Some status ->
+                reply_coord ~replica ~coord (Validated { slot; seq; replica; status }))
+        | Accept { replica; coord; slot; seq; txn; ts; decision; view } -> (
+            match
+              Replica.handle_accept replicas.(replica) ~core ~txn ~ts ~decision
+                ~view
+            with
+            | None -> ()
+            | Some reply ->
+                reply_coord ~replica ~coord (Accepted { slot; seq; replica; reply }))
+        | Write_back { replica; txn; ts; commit } ->
+            ignore
+              (Replica.handle_commit replicas.(replica) ~core ~txn ~ts ~commit
+                : unit option)
+        | Coord_change { replica; observer; tid; view } -> (
+            match
+              Replica.handle_coord_change replicas.(replica) ~core ~tid ~view
+            with
+            | None -> ()
+            | Some reply ->
+                reply_mon ~replica ~observer
+                  (Mon_coord_reply { tid; observer; replica; reply }))
+        | Vc_accept { replica; observer; txn; ts; decision; view } -> (
+            match
+              Replica.handle_accept replicas.(replica) ~core ~txn ~ts ~decision
+                ~view
+            with
+            | None -> ()
+            | Some reply ->
+                reply_mon ~replica ~observer
+                  (Mon_accept_reply
+                     { tid = txn.Txn.tid; observer; replica; reply }))
+        | Freeze ->
+            (* The monitor is draining its inbox waiting for this ack,
+               so the blocking push always completes; then park until
+               it hands the cores back. *)
+            Mailbox.push mon_inbox (Mon_frozen { core });
+            ignore (Mailbox.pop control : unit))
+    | None ->
+        (* Chatter runs until [Stop]: the monitor may still be driving
+           recovery for a straggling coordinator past the settle
+           deadline and needs fresh heartbeats and snapshots. After
+           the monitor exits these try_pushes fill its inbox and fail,
+           which is harmless. *)
+        let now = wall_us () in
+        if now >= !next_hb then begin
+          heartbeat ();
+          next_hb := now +. dcfg.heartbeat_every
+        end;
+        if now >= !next_snap then begin
+          snapshot ();
+          next_snap := now +. (dcfg.scan_every /. 2.0)
+        end;
+        Link.flush link;
+        incr idle;
+        if !idle > 200 then Unix.sleepf 0.0001 else Spawn.relax ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Monitor domain (chaos mode)                                         *)
+(* ------------------------------------------------------------------ *)
+
+module Tid_table = Hashtbl.Make (struct
+  type t = Tid.t
+
+  let equal = Tid.equal
+  let hash = Tid.hash
+end)
+
+(* A §5.3.2 backup-coordinator view change in flight, driven by the
+   monitor over the server mailboxes — the wall-clock mirror of
+   [Sim_system.start_view_change]. *)
+type vc_machine = {
+  vc_observer : int;
+  vc_txn : Txn.t;
+  vc_ts : Timestamp.t;
+  vc_view : int;
+  vc_core : int;
+  vc_deadline : float;
+  vc_gathered : (int, Recovery.reply) Hashtbl.t;
+  mutable vc_chosen : [ `Commit | `Abort ] option;
+  vc_accept_from : bool array;
+  mutable vc_rto : float;
+  mutable vc_next_retry : float;
+}
+
+type mon_result = {
+  m_epoch_changes : int;
+  m_view_changes : int;
+  m_fault_events : int;
+}
+
+let monitor (cfg : config) ~chaos ~t0 ~replicas ~server_inboxes ~coord_inboxes
+    ~mon_inbox ~controls ~link =
+  let n = cfg.n_replicas in
+  let quorum = Quorum.create ~n in
+  let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  let dcfg = chaos.detector in
+  let det = Detector.create ~cfg:dcfg ~n ~now:(wall_us ()) in
+  (* Latest per-core trecord snapshots, per replica. *)
+  let latest = Array.make_matrix cfg.server_domains n [] in
+  let down_until = Array.make n neg_infinity in
+  let ec_count = ref 0 in
+  let vc_count = ref 0 in
+  let fault_events = ref 0 in
+  let vcs : vc_machine Tid_table.t = Tid_table.create 16 in
+  let crashes = ref (Verdict.crashes chaos.plan) in
+  let edges = ref (Verdict.window_edges chaos.plan) in
+  let frozen_pending = ref 0 in
+  let coords_pending = ref cfg.coordinators in
+  let to_server ~observer ~core msg ~dst =
+    Link.send link ~src:(Network.Replica observer) ~dst
+      ~push:(fun () -> ignore (Mailbox.try_push server_inboxes.(core) msg))
+  in
+  let vc_abandon tid vc =
+    Tid_table.remove vcs tid;
+    Detector.view_change_finished det ~now:(wall_us ()) ~observer:vc.vc_observer
+      ~tid ~outcome:`Abandoned
+  in
+  let vc_send_gather tid vc =
+    for r = 0 to n - 1 do
+      if
+        (not (Hashtbl.mem vc.vc_gathered r))
+        && not (Replica.is_crashed replicas.(r))
+      then
+        to_server ~observer:vc.vc_observer ~core:vc.vc_core
+          ~dst:(Network.Replica r)
+          (Coord_change
+             { replica = r; observer = vc.vc_observer; tid; view = vc.vc_view })
+    done
+  in
+  let vc_send_accepts tid vc decision =
+    ignore tid;
+    for r = 0 to n - 1 do
+      if (not vc.vc_accept_from.(r)) && not (Replica.is_crashed replicas.(r))
+      then
+        to_server ~observer:vc.vc_observer ~core:vc.vc_core
+          ~dst:(Network.Replica r)
+          (Vc_accept
+             {
+               replica = r;
+               observer = vc.vc_observer;
+               txn = vc.vc_txn;
+               ts = vc.vc_ts;
+               decision;
+               view = vc.vc_view;
+             })
+    done
+  in
+  (* Phase 3: write-back the chosen outcome everywhere. *)
+  let vc_finish tid vc ~commit =
+    Tid_table.remove vcs tid;
+    for r = 0 to n - 1 do
+      if not (Replica.is_crashed replicas.(r)) then
+        to_server ~observer:vc.vc_observer ~core:vc.vc_core
+          ~dst:(Network.Replica r)
+          (Write_back { replica = r; txn = vc.vc_txn; ts = vc.vc_ts; commit })
+    done;
+    Detector.view_change_finished det ~now:(wall_us ()) ~observer:vc.vc_observer
+      ~tid ~outcome:`Finished;
+    incr vc_count
+  in
+  let handle_mon msg =
+    match msg with
+    | Mon_heartbeat { from_; observer; paused } ->
+        let now = wall_us () in
+        if from_ = observer then Detector.heartbeat_tick det ~now ~replica:from_
+        else if not (Replica.is_crashed replicas.(observer)) then
+          Detector.heartbeat_received det ~now ~observer ~from_ ~paused
+    | Mon_records { core; records } ->
+        let by_replica = Array.make n [] in
+        List.iter (fun (r, e) -> by_replica.(r) <- e :: by_replica.(r)) records;
+        latest.(core) <- by_replica
+    | Mon_frozen _ -> decr frozen_pending
+    | Mon_coord_done -> decr coords_pending
+    | Mon_coord_reply { tid; observer; replica; reply } -> (
+        match Tid_table.find_opt vcs tid with
+        | Some vc when vc.vc_observer = observer && vc.vc_chosen = None -> (
+            match reply with
+            | `Stale _ ->
+                (* Another backup moved to a higher view; leave the
+                   transaction to it. *)
+                vc_abandon tid vc
+            | `View_ok record ->
+                if not (Hashtbl.mem vc.vc_gathered replica) then
+                  Hashtbl.replace vc.vc_gathered replica
+                    (match record with
+                    | None -> Recovery.No_record
+                    | Some v -> Recovery.Record v);
+                if Hashtbl.length vc.vc_gathered >= Quorum.majority quorum
+                then begin
+                  let replies =
+                    Hashtbl.fold (fun r v acc -> (r, v) :: acc) vc.vc_gathered []
+                  in
+                  let decision = Recovery.choose ~quorum ~replies in
+                  vc.vc_chosen <- Some decision;
+                  vc_send_accepts tid vc decision
+                end)
+        | Some _ | None -> ())
+    | Mon_accept_reply { tid; observer; replica; reply } -> (
+        match Tid_table.find_opt vcs tid with
+        | Some vc when vc.vc_observer = observer -> (
+            match reply with
+            | `Accepted -> (
+                if not vc.vc_accept_from.(replica) then begin
+                  vc.vc_accept_from.(replica) <- true;
+                  let acks =
+                    Array.fold_left
+                      (fun acc ok -> if ok then acc + 1 else acc)
+                      0 vc.vc_accept_from
+                  in
+                  if acks >= Quorum.majority quorum then
+                    match vc.vc_chosen with
+                    | Some decision -> vc_finish tid vc ~commit:(decision = `Commit)
+                    | None -> ()
+                end)
+            | `Finalized st -> vc_finish tid vc ~commit:(st = Txn.Committed)
+            | `Stale _ -> vc_abandon tid vc)
+        | Some _ | None -> ())
+  in
+  let drain_some () =
+    match Mailbox.try_pop mon_inbox with
+    | Some m ->
+        handle_mon m;
+        true
+    | None -> false
+  in
+  (* §5.3.1 under a freeze handshake: stop every server domain at one
+     instant, run the synchronous epoch change (the exact body of
+     [Sim_system.run_epoch_change]), hand the cores back. While the
+     freeze tokens go out the monitor keeps draining its own inbox, so
+     a server blocked pushing an ack can never deadlock it. *)
+  let run_epoch_change ~recovering =
+    frozen_pending := cfg.server_domains;
+    for k = 0 to cfg.server_domains - 1 do
+      while not (Mailbox.try_push server_inboxes.(k) Freeze) do
+        ignore (drain_some () : bool);
+        Spawn.relax ()
+      done
+    done;
+    while !frozen_pending > 0 do
+      if not (drain_some ()) then Spawn.relax ()
+    done;
+    (* Every server domain is parked on its control mailbox: the
+       replicas belong to the monitor alone (coordinator execute-phase
+       reads go through the vstore's own shard locks and stay safe). *)
+    let healthy =
+      List.filter
+        (fun r ->
+          (not (Replica.is_crashed replicas.(r))) && not (List.mem r recovering))
+        (List.init n Fun.id)
+    in
+    let success =
+      if List.length healthy < Quorum.majority quorum then false
+      else begin
+        List.iter (fun id -> Replica.begin_recovery replicas.(id)) recovering;
+        let epoch =
+          1 + Array.fold_left (fun acc r -> max acc (Replica.epoch r)) 0 replicas
+        in
+        let reports =
+          List.filter_map
+            (fun r ->
+              match Replica.handle_epoch_change replicas.(r) ~epoch with
+              | None -> None
+              | Some _ ->
+                  Some
+                    {
+                      Epoch.replica = r;
+                      records = Replica.record_views replicas.(r);
+                    })
+            healthy
+        in
+        if List.length reports < Quorum.majority quorum then false
+        else begin
+          let merged = Epoch.merge ~quorum ~reports in
+          (* Healthy replicas install first so the snapshot sent to
+             the recovering replicas reflects every merged commit. *)
+          List.iter
+            (fun r ->
+              ignore
+                (Replica.handle_epoch_complete replicas.(r) ~epoch
+                   ~records:merged ~store:None))
+            healthy;
+          let snapshot =
+            match healthy with
+            | r :: _ -> Replica.store_snapshot replicas.(r)
+            | [] -> []
+          in
+          List.iter
+            (fun id ->
+              ignore
+                (Replica.handle_epoch_complete replicas.(id) ~epoch
+                   ~records:merged ~store:(Some snapshot)))
+            recovering;
+          true
+        end
+      end
+    in
+    Array.iter (fun ctl -> Mailbox.push ctl ()) controls;
+    Detector.epoch_change_finished det ~now:(wall_us ()) ~success ~recovering;
+    if success then incr ec_count
+  in
+  let perform = function
+    | Detector.Start_view_change { observer; record; view } ->
+        let tid = record.Trecord.txn.Txn.tid in
+        let now = wall_us () in
+        let vc =
+          {
+            vc_observer = observer;
+            vc_txn = record.Trecord.txn;
+            vc_ts = record.Trecord.ts;
+            vc_view = view;
+            vc_core = Tid.hash tid mod cfg.server_domains;
+            vc_deadline = now +. dcfg.give_up_after;
+            vc_gathered = Hashtbl.create 8;
+            vc_chosen = None;
+            vc_accept_from = Array.make n false;
+            vc_rto = cfg.rto_us;
+            vc_next_retry = now +. cfg.rto_us;
+          }
+        in
+        Tid_table.replace vcs tid vc;
+        vc_send_gather tid vc
+    | Detector.Start_epoch_change { initiator = _; recovering } ->
+        run_epoch_change ~recovering
+  in
+  let process_due now =
+    (match !edges with
+    | (at, _name) :: rest when at <= now ->
+        incr fault_events;
+        edges := rest
+    | _ -> ());
+    match !crashes with
+    | Nemesis.Replica_crash { at; victim; down_for } :: rest when at <= now ->
+        crashes := rest;
+        incr fault_events;
+        Replica.crash replicas.(victim);
+        Link.set_down link (Network.Replica victim) ~until:(at +. down_for);
+        down_until.(victim) <- at +. down_for
+    | Nemesis.Coordinator_crash { at; client; down_for } :: rest when at <= now
+      ->
+        crashes := rest;
+        incr fault_events;
+        ignore
+          (Mailbox.try_push
+             coord_inboxes.(client mod cfg.coordinators)
+             (Coord_kill { until_us = at +. down_for }))
+    | _ -> ()
+  in
+  let observer_records o =
+    let acc = ref [] in
+    for k = 0 to cfg.server_domains - 1 do
+      acc := List.rev_append latest.(k).(o) !acc
+    done;
+    !acc
+  in
+  let next_scan =
+    Array.init n (fun o ->
+        ref
+          ((dcfg.scan_every /. 2.0)
+          +. (float_of_int o *. dcfg.scan_every /. float_of_int n)))
+  in
+  let scan_tick now =
+    for o = 0 to n - 1 do
+      if now >= !(next_scan.(o)) then begin
+        next_scan.(o) := now +. dcfg.scan_every;
+        if not (Replica.is_crashed replicas.(o)) then
+          let rep = replicas.(o) in
+          List.iter perform
+            (Detector.scan det ~now ~observer:o
+               ~paused:(Replica.is_paused rep)
+               ~available:(Replica.is_available rep)
+               ~records:(fun () -> observer_records o)
+               ~recoverable:(fun p ->
+                 (not (Replica.is_crashed replicas.(p))) || now >= down_until.(p)))
+      end
+    done
+  in
+  let vc_ticks now =
+    let expired = ref [] in
+    Tid_table.iter
+      (fun tid vc ->
+        if now > vc.vc_deadline then expired := (tid, vc) :: !expired
+        else if now >= vc.vc_next_retry then begin
+          vc.vc_rto <- vc.vc_rto *. 2.0;
+          vc.vc_next_retry <- now +. vc.vc_rto;
+          match vc.vc_chosen with
+          | Some decision -> vc_send_accepts tid vc decision
+          | None -> vc_send_gather tid vc
+        end)
+      vcs;
+    List.iter (fun (tid, vc) -> vc_abandon tid vc) !expired
+  in
+  let stop_initiate_at = chaos.horizon_us +. (chaos.settle_us /. 2.0) in
+  let end_at = chaos.horizon_us +. chaos.settle_us in
+  let idle = ref 0 in
+  (* The monitor outlives the settle deadline for as long as any
+     coordinator is still working: a stranded attempt (see the header
+     comment) only finishes when a fresh view change finalizes its
+     record, so scans keep initiating until every coordinator has
+     pushed [Mon_coord_done]. *)
+  let rec main () =
+    let now = wall_us () in
+    if now < end_at || !coords_pending > 0 then begin
+      let progressed = ref false in
+      let rec drain budget =
+        if budget > 0 && drain_some () then begin
+          progressed := true;
+          drain (budget - 1)
+        end
+      in
+      drain 256;
+      process_due now;
+      if now < stop_initiate_at || !coords_pending > 0 then scan_tick now;
+      vc_ticks now;
+      Link.flush link;
+      if !progressed then idle := 0
+      else begin
+        incr idle;
+        if !idle > 200 then Unix.sleepf 0.0001 else Spawn.relax ()
+      end;
+      main ()
+    end
+  in
+  main ();
+  (* Abandon anything still in flight so the detector state stays
+     consistent, and deliver the last stragglers off the wheel. *)
+  let leftover = Tid_table.fold (fun tid vc acc -> (tid, vc) :: acc) vcs [] in
+  List.iter (fun (tid, vc) -> vc_abandon tid vc) leftover;
+  Link.flush link;
+  {
+    m_epoch_changes = !ec_count;
+    m_view_changes = !vc_count;
+    m_fault_events = !fault_events;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Coordinator domains                                                 *)
@@ -199,11 +809,18 @@ type coord_result = {
   c_committed : (Txn.t * Timestamp.t) list;
   c_latencies : Histogram.t;
   c_obs : Obs.t;
+  c_submitted : int;
+  c_acked : int;
 }
 
 let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
-    ~coord_id =
+    ~link ~mon_inbox ~coord_id =
   let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  (* The protocol doubles its retransmission interval on every retry —
+     free in virtual sim time, but on the wall clock an unlucky chaos
+     run would soon be retrying minutes apart. Cap the armed interval;
+     the doubled re-arm of a capped timer lands back on the cap. *)
+  let rto_cap = 8.0 *. cfg.rto_us in
   let obs = Obs.create ~clock:wall_us () in
   let lat = Histogram.create () in
   let committed = ref [] in
@@ -237,16 +854,46 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
     | Some dl -> wall_us () >= dl
     | None -> c.done_txns >= cfg.txns_per_client
   in
+  (* Fault injection: a killed coordinator process discards its inbox
+     while down and replays nothing of it. *)
+  let down_until_us = ref neg_infinity in
+  let was_down = ref false in
+  (* Chaos mode routes every push through the link and degrades a full
+     mailbox to a link drop; fault-free mode keeps the lossless
+     blocking push. *)
+  let push_server core msg =
+    match link with
+    | None -> Mailbox.push server_inboxes.(core) msg
+    | Some _ -> ignore (Mailbox.try_push server_inboxes.(core) msg)
+  in
+  let send_server ~core ~replica msg =
+    Link.via link
+      ~src:(Network.Client coord_id)
+      ~dst:(Network.Replica replica)
+      ~push:(fun () -> push_server core msg)
+  in
   (* Execute-phase reads go straight to one replica's versioned store —
      shared-memory gets stand in for the paper's closest-replica reads;
-     the vstore's shard locks make them safe from any domain. *)
-  let read_replica = replicas.(coord_id mod cfg.n_replicas) in
+     the vstore's shard locks make them safe from any domain. A crashed
+     replica answers nothing, so chaos runs fall back to its peers. *)
+  let read_key key =
+    let rec attempt i =
+      if i >= cfg.n_replicas then (0, Timestamp.zero)
+      else
+        match
+          Replica.handle_get replicas.((coord_id + i) mod cfg.n_replicas) ~key
+        with
+        | Some v -> v
+        | None -> attempt (i + 1)
+    in
+    attempt 0
+  in
   let exec c att action =
     match action with
     | Protocol.Send_validates { only_missing } ->
         for r = 0 to cfg.n_replicas - 1 do
           if (not only_missing) || Protocol.needs_validate att.proto r then
-            Mailbox.push server_inboxes.(att.core)
+            send_server ~core:att.core ~replica:r
               (Validate
                  {
                    replica = r;
@@ -259,7 +906,7 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
         done
     | Protocol.Send_accepts { decision } ->
         for r = 0 to cfg.n_replicas - 1 do
-          Mailbox.push server_inboxes.(att.core)
+          send_server ~core:att.core ~replica:r
             (Accept
                {
                  replica = r;
@@ -273,6 +920,12 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
                })
         done
     | Protocol.Arm_timer { timer; delay } ->
+        let timer, delay =
+          match timer with
+          | Protocol.Retransmit rto when rto > rto_cap ->
+              (Protocol.Retransmit rto_cap, Float.min delay rto_cap)
+          | _ -> (timer, delay)
+        in
         att.timers <- (timer, wall_us () +. delay) :: att.timers
     | Protocol.Note_validated ->
         Obs.span obs Span.Validate ~tid:c.cid ~start:(Protocol.started att.proto)
@@ -289,7 +942,7 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
         Obs.note_decision obs ~committed:commit ~fast;
         (* Asynchronous write phase (§5.2.3): fire and forget. *)
         for r = 0 to cfg.n_replicas - 1 do
-          Mailbox.push server_inboxes.(att.core)
+          send_server ~core:att.core ~replica:r
             (Write_back { replica = r; txn = att.txn; ts = att.ts; commit })
         done;
         if commit then committed := (att.txn, att.ts) :: !committed
@@ -308,11 +961,7 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
       Array.to_list
         (Array.map
            (fun key ->
-             let _, wts =
-               match Replica.handle_get read_replica ~key with
-               | Some v -> v
-               | None -> (0, Timestamp.zero)
-             in
+             let _, wts = read_key key in
              ({ key; wts } : Txn.read_entry))
            req.Intf.reads)
     in
@@ -340,6 +989,8 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
   in
   let dispatch msg =
     match msg with
+    | Coord_kill { until_us } ->
+        down_until_us := Float.max !down_until_us until_us
     | Validated { slot; seq; replica; status } -> (
         let c = local.(slot) in
         match c.active with
@@ -377,25 +1028,69 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
         | Some msg ->
             decr budget;
             progressed := true;
-            dispatch msg;
+            (match msg with
+            | Coord_kill _ -> dispatch msg
+            | _ when wall_us () < !down_until_us ->
+                (* Dead: the message is popped and lost, exactly what a
+                   crashed process does to its socket buffers. *)
+                ()
+            | _ -> dispatch msg);
             drain ()
         | None -> ()
       end
     in
     drain ();
     let all_done = ref true in
-    Array.iter
-      (fun c ->
-        (match c.active with
-        | Some att -> fire_due_timers c att
-        | None ->
-            if not (quota_done c) then begin
-              start_txn c;
-              progressed := true
-            end);
-        if Option.is_some c.active || not (quota_done c) then all_done := false)
-      local;
+    if wall_us () < !down_until_us then begin
+      (* Down: no timers fire, no transactions start; the clients are
+         not done, so the loop keeps draining (and discarding). *)
+      was_down := true;
+      Array.iter
+        (fun c ->
+          if Option.is_some c.active || not (quota_done c) then
+            all_done := false)
+        local
+    end
+    else begin
+      if !was_down then begin
+        was_down := false;
+        (* Reboot: whatever is still queued arrived while dead — drain
+           and discard it, then resume every interrupted attempt
+           (Protocol.Resume re-fetches whatever is missing). The kept
+           retransmission timers back this up if the resume sends are
+           themselves lost. *)
+        let rec purge () =
+          match Mailbox.try_pop inbox with
+          | Some (Coord_kill { until_us }) ->
+              down_until_us := Float.max !down_until_us until_us;
+              purge ()
+          | Some _ -> purge ()
+          | None -> ()
+        in
+        purge ();
+        if wall_us () >= !down_until_us then
+          Array.iter
+            (fun c ->
+              match c.active with
+              | Some att -> feed c att Protocol.Resume
+              | None -> ())
+            local
+      end;
+      Array.iter
+        (fun c ->
+          (match c.active with
+          | Some att -> fire_due_timers c att
+          | None ->
+              if not (quota_done c) then begin
+                start_txn c;
+                progressed := true
+              end);
+          if Option.is_some c.active || not (quota_done c) then
+            all_done := false)
+        local
+    end;
     if not !all_done then begin
+      (match link with Some l -> Link.flush l | None -> ());
       if !progressed then idle := 0
       else begin
         incr idle;
@@ -407,7 +1102,24 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
     end
   in
   loop ();
-  { c_committed = !committed; c_latencies = lat; c_obs = obs }
+  (* Chaos-mode shutdown rendezvous (see the header comment): the
+     monitor is guaranteed to keep draining until this arrives, so the
+     retry loop terminates. *)
+  (match mon_inbox with
+  | None -> ()
+  | Some mi ->
+      while not (Mailbox.try_push mi Mon_coord_done) do
+        Spawn.relax ()
+      done);
+  let submitted = Array.fold_left (fun acc c -> acc + c.next_seq) 0 local in
+  let acked = Array.fold_left (fun acc c -> acc + c.done_txns) 0 local in
+  {
+    c_committed = !committed;
+    c_latencies = lat;
+    c_obs = obs;
+    c_submitted = submitted;
+    c_acked = acked;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Whole-system run                                                    *)
@@ -421,6 +1133,24 @@ let run (cfg : config) : report =
   if cfg.clients < 1 then invalid_arg "Runtime.run: clients must be >= 1";
   if cfg.n_replicas < 3 || cfg.n_replicas mod 2 = 0 then
     invalid_arg "Runtime.run: n_replicas must be odd and >= 3";
+  (* The deadlock-freedom argument (see the header comment): a
+     coordinator inbox must hold the worst-case burst of outstanding
+     replies, a few times local clients × replicas. Enforced, not just
+     documented — an undersized box can deadlock the whole topology. *)
+  let local_clients =
+    (cfg.clients + cfg.coordinators - 1) / cfg.coordinators
+  in
+  let coord_inbox_floor = 4 * local_clients * cfg.n_replicas in
+  if cfg.coord_inbox < coord_inbox_floor then
+    invalid_arg
+      (Printf.sprintf
+         "Runtime.run: coord_inbox %d below the deadlock-freedom floor %d (4 \
+          x %d local clients x %d replicas)"
+         cfg.coord_inbox coord_inbox_floor local_clients cfg.n_replicas);
+  (match cfg.chaos with
+  | Some _ when cfg.duration = None ->
+      invalid_arg "Runtime.run: chaos runs need a duration (the horizon)"
+  | _ -> ());
   let quorum = Quorum.create ~n:cfg.n_replicas in
   let replicas =
     Array.init cfg.n_replicas (fun id ->
@@ -441,22 +1171,58 @@ let run (cfg : config) : report =
         Mailbox.create ~capacity:cfg.coord_inbox)
   in
   let t0 = Spawn.wall () in
+  let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  let link =
+    match cfg.chaos with
+    | None -> None
+    | Some ch -> Some (Link.create ~plan:ch.plan ~seed:cfg.seed ~now:wall_us)
+  in
+  let mon_inbox =
+    match cfg.chaos with
+    | None -> None
+    | Some _ -> Some (Mailbox.create ~capacity:8192)
+  in
+  let controls =
+    match cfg.chaos with
+    | None -> [||]
+    | Some _ ->
+        Array.init cfg.server_domains (fun _ -> Mailbox.create ~capacity:2)
+  in
   let servers =
     List.init cfg.server_domains (fun core ->
         Spawn.spawn (fun () ->
-            server_loop ~core ~replicas ~inbox:server_inboxes.(core)
-              ~coord_inboxes))
+            match (cfg.chaos, link, mon_inbox) with
+            | Some ch, Some l, Some mi ->
+                server_chaos_loop cfg ~chaos:ch ~t0 ~core ~replicas
+                  ~inbox:server_inboxes.(core) ~coord_inboxes ~mon_inbox:mi
+                  ~control:controls.(core) ~link:l
+            | _ ->
+                server_loop ~core ~replicas ~inbox:server_inboxes.(core)
+                  ~coord_inboxes))
+  in
+  let mon =
+    match (cfg.chaos, link, mon_inbox) with
+    | Some ch, Some l, Some mi ->
+        Some
+          (Spawn.spawn (fun () ->
+               monitor cfg ~chaos:ch ~t0 ~replicas ~server_inboxes
+                 ~coord_inboxes ~mon_inbox:mi ~controls ~link:l))
+    | _ -> None
   in
   let coords =
     List.init cfg.coordinators (fun coord_id ->
         Spawn.spawn (fun () ->
-            coordinator cfg ~t0 ~replicas ~server_inboxes ~coord_inboxes
-              ~coord_id))
+            coordinator cfg ~t0 ~replicas ~server_inboxes ~coord_inboxes ~link
+              ~mon_inbox ~coord_id))
   in
   let results = List.map Spawn.join coords in
-  (* All coordinators have pushed their last message (write-backs
-     included) before these Stops are enqueued, so each server drains
-     everything and then exits: the final replica state is quiescent. *)
+  let mon_result = Option.map Spawn.join mon in
+  (* Deliver any last wheel stragglers while the servers still drain,
+     then stop them. All coordinators have pushed their last message
+     (write-backs included) before these Stops are enqueued, so each
+     server drains everything and then exits: the final replica state
+     is quiescent. *)
+  (match link with Some l -> Link.flush l | None -> ());
   Array.iter (fun inbox -> Mailbox.push inbox Stop) server_inboxes;
   List.iter Spawn.join servers;
   let wall_seconds = Spawn.wall () -. t0 in
@@ -472,6 +1238,9 @@ let run (cfg : config) : report =
   let committed_count = sum "txn.committed" in
   let aborted = sum "txn.aborted" in
   let decided = committed_count + aborted in
+  let link_dropped, link_duplicated, link_delayed =
+    match link with Some l -> Link.stats l | None -> (0, 0, 0)
+  in
   {
     server_domains = cfg.server_domains;
     coordinators = cfg.coordinators;
@@ -489,6 +1258,18 @@ let run (cfg : config) : report =
        else float_of_int aborted /. float_of_int decided);
     p50_us = Histogram.percentile lat 50.0;
     p99_us = Histogram.percentile lat 99.0;
+    submitted = List.fold_left (fun acc r -> acc + r.c_submitted) 0 results;
+    acked = List.fold_left (fun acc r -> acc + r.c_acked) 0 results;
+    epoch_changes =
+      (match mon_result with Some m -> m.m_epoch_changes | None -> 0);
+    view_changes =
+      (match mon_result with Some m -> m.m_view_changes | None -> 0);
+    fault_events =
+      (match mon_result with Some m -> m.m_fault_events | None -> 0);
+    link_dropped;
+    link_duplicated;
+    link_delayed;
+    replicas;
   }
 
 let pp_report ppf r =
@@ -499,14 +1280,25 @@ let pp_report ppf r =
      %.2f s wall, %.0f committed txn/s, latency p50=%.0f us p99=%.0f us@]"
     r.server_domains r.coordinators r.clients r.committed_count r.aborted
     (100.0 *. r.abort_rate) r.fast_path r.slow_path r.retransmits
-    r.wall_seconds r.throughput r.p50_us r.p99_us
+    r.wall_seconds r.throughput r.p50_us r.p99_us;
+  if r.fault_events > 0 || r.epoch_changes > 0 || r.view_changes > 0 then
+    Format.fprintf ppf
+      "@,chaos: %d fault events, %d epoch changes, %d view changes, link \
+       drop=%d dup=%d delay=%d"
+      r.fault_events r.epoch_changes r.view_changes r.link_dropped
+      r.link_duplicated r.link_delayed
 
 let report_json r =
   Printf.sprintf
     "{\"server_domains\": %d, \"coordinators\": %d, \"clients\": %d, \
      \"committed\": %d, \"aborted\": %d, \"abort_rate\": %.4f, \"fast_path\": \
      %d, \"slow_path\": %d, \"retransmits\": %d, \"wall_seconds\": %.4f, \
-     \"throughput\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f}"
+     \"throughput\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, \"submitted\": \
+     %d, \"acked\": %d, \"epoch_changes\": %d, \"view_changes\": %d, \
+     \"fault_events\": %d, \"link_dropped\": %d, \"link_duplicated\": %d, \
+     \"link_delayed\": %d}"
     r.server_domains r.coordinators r.clients r.committed_count r.aborted
     r.abort_rate r.fast_path r.slow_path r.retransmits r.wall_seconds
-    r.throughput r.p50_us r.p99_us
+    r.throughput r.p50_us r.p99_us r.submitted r.acked r.epoch_changes
+    r.view_changes r.fault_events r.link_dropped r.link_duplicated
+    r.link_delayed

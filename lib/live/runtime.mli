@@ -7,9 +7,35 @@
     coordinator domains run closed-loop clients. All cross-domain
     communication is a message through a bounded {!Mailbox} — the
     transaction fast path shares no other mutable state between
-    domains beyond the storage layer's sanctioned shard locks. *)
+    domains beyond the storage layer's sanctioned shard locks.
+
+    With [config.chaos] set, the run additionally spawns one monitor
+    domain hosting the transport-agnostic {!Mk_meerkat.Detector},
+    routes every cross-domain message through a {!Link} applying the
+    nemesis plan, injects the plan's replica fail-stops and
+    coordinator kills, and drives real detector-initiated §5.3.2 view
+    changes and §5.3.1 epoch changes over the mailboxes (DESIGN.md
+    §10). *)
 
 type workload_kind = Ycsb_t | Retwis
+
+(** Chaos-mode wiring: the nemesis plan plus the detector tuning and
+    the run's time envelope. *)
+type chaos = {
+  plan : Mk_fault.Nemesis.plan;
+      (** Fault windows and crash events, with all times in wall µs
+          from the start of the run (generate it with
+          [Nemesis.plan ~horizon:horizon_us]). *)
+  detector : Mk_meerkat.Detector.cfg;
+      (** Failure-detector tuning in wall µs — see
+          {!chaos_detector_cfg} for a horizon-scaled default. *)
+  horizon_us : float;
+      (** Fault-injection horizon; must equal [duration *. 1e6]. *)
+  settle_us : float;
+      (** Fault-free grace after the horizon: detectors keep running
+          for the first half and only in-flight recovery finishes in
+          the second, so the final state is quiescent. *)
+}
 
 type config = {
   server_domains : int;  (** Server domains; also cores per replica. *)
@@ -21,20 +47,29 @@ type config = {
   workload : workload_kind;
   txns_per_client : int;  (** Quota per client (ignored with [duration]). *)
   duration : float option;
-      (** Wall seconds to keep submitting; overrides [txns_per_client]. *)
+      (** Wall seconds to keep submitting; overrides [txns_per_client].
+          Required (= the horizon) when [chaos] is set. *)
   seed : int;
   rto_us : float;  (** Initial retransmission timeout (wall µs). *)
   grace_us : float;  (** Fast-path grace before settling slow (wall µs). *)
   server_inbox : int;  (** Server mailbox capacity (power of two). *)
   coord_inbox : int;
       (** Coordinator mailbox capacity (power of two). Must exceed the
-          coordinator's worst-case outstanding replies — a few times
+          coordinator's worst-case outstanding replies — at least 4 ×
           its local clients × [n_replicas] — so servers never block
           pushing replies (the deadlock-freedom argument in the
-          implementation). *)
+          implementation). {!run} enforces this floor. *)
+  chaos : chaos option;  (** [None] = the fault-free fast path. *)
 }
 
 val default_config : config
+
+val chaos_detector_cfg : horizon_us:float -> Mk_meerkat.Detector.cfg
+(** Detector tuning scaled to a wall-clock horizon: heartbeats every
+    horizon/100, suspicion after horizon/16 of silence, trecord scans
+    every horizon/64, stuck records recovered after horizon/16 (well
+    inside a crashed coordinator's down time, so view changes really
+    fire), give-up after horizon/2.5. *)
 
 type report = {
   server_domains : int;
@@ -53,6 +88,18 @@ type report = {
   abort_rate : float;  (** Aborted / decided, in \[0, 1\]. *)
   p50_us : float;  (** Client-perceived commit latency percentiles. *)
   p99_us : float;
+  submitted : int;  (** Transactions started across all clients. *)
+  acked : int;  (** Transactions that reached a commit/abort ack. *)
+  epoch_changes : int;  (** Detector-driven §5.3.1 completions (chaos). *)
+  view_changes : int;  (** Detector-driven §5.3.2 completions (chaos). *)
+  fault_events : int;  (** Window edges + crash injections applied. *)
+  link_dropped : int;
+  link_duplicated : int;
+  link_delayed : int;
+  replicas : Mk_meerkat.Replica.t array;
+      (** The run's replicas, quiescent after the join — the chaos
+          harness checks its agreement/bounded/available invariants
+          directly against them. *)
 }
 
 val run : config -> report
@@ -60,7 +107,9 @@ val run : config -> report
     duration), join all domains, and aggregate the per-coordinator
     observations. The replicas are quiescent when this returns: all
     write-backs are applied.
-    @raise Invalid_argument on nonsensical sizes (see {!config}). *)
+    @raise Invalid_argument on nonsensical sizes, an undersized
+    [coord_inbox] (below 4 × local clients × replicas), or a chaos
+    config without a duration (see {!config}). *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -8,13 +8,6 @@ module Cluster = Mk_cluster.Cluster
 module Obs = Mk_obs.Obs
 module Span = Mk_obs.Span
 
-module Tid_table = Hashtbl.Make (struct
-  type t = Timestamp.Tid.t
-
-  let equal = Timestamp.Tid.equal
-  let hash = Timestamp.Tid.hash
-end)
-
 type config = Cluster.config = {
   n_replicas : int;
   threads : int;
@@ -61,10 +54,6 @@ type t = {
   down_until : float array;
       (** Earliest time a crashed replica can be reintegrated (models
           the machine reboot); indexed by replica. *)
-  vc_inflight : unit Tid_table.t;
-      (** Transactions currently driven by a backup coordinator. *)
-  mutable ec_inflight : bool;
-  mutable ec_cooldown_until : float;
 }
 
 let create ?obs engine cfg =
@@ -87,9 +76,6 @@ let create ?obs engine cfg =
     inflight = Hashtbl.create 64;
     coord_down = Hashtbl.create 8;
     down_until = Array.make cfg.n_replicas 0.0;
-    vc_inflight = Tid_table.create 64;
-    ec_inflight = false;
-    ec_cooldown_until = 0.0;
   }
 
 let engine t = t.cluster.Cluster.engine
@@ -644,22 +630,15 @@ let trigger_epoch_change ?(max_rto = Float.infinity) t ~recovering ~on_complete 
 
 (* --- Failure detectors (the robustness layer). ---
 
-   Two in-system detectors replace the test-driven recovery calls:
+   The detection logic — who suspects whom, which records are stuck,
+   who initiates — lives in {!Detector} (transport-agnostic, shared
+   with the live runtime). This driver owns what is
+   deployment-specific: scheduling heartbeat/scan ticks on engine
+   time, carrying heartbeats over the real (faulty) network, and
+   running the recovery protocols the detector asks for over the
+   simulated transport. *)
 
-   - a heartbeat detector: every replica pings its peers; silence
-     beyond [heartbeat_timeout] (crash or partition), or a peer
-     reporting itself paused for longer than [pause_timeout] (an epoch
-     change that lost its coordinator), makes the observer suspect the
-     peer. The lowest-numbered unsuspected replica initiates a §5.3.1
-     epoch change to reintegrate the suspects.
-
-   - a stuck-record scanner: each replica watches its own trecord for
-     entries sitting in a non-final state past [stuck_timeout] — the
-     signature of a coordinator that crashed between validate and
-     write — and drives the §5.3.2 view change (coord-change gather,
-     {!Recovery.choose}, accept at the new view, commit) for them. *)
-
-type detector_cfg = {
+type detector_cfg = Detector.cfg = {
   heartbeat_every : float;
   heartbeat_timeout : float;
   pause_timeout : float;
@@ -669,38 +648,22 @@ type detector_cfg = {
   give_up_after : float;
 }
 
-let default_detector_cfg =
-  {
-    heartbeat_every = 300.0;
-    heartbeat_timeout = 1500.0;
-    pause_timeout = 4000.0;
-    stuck_timeout = 4000.0;
-    scan_every = 500.0;
-    epoch_cooldown = 3000.0;
-    give_up_after = 8000.0;
-  }
+let default_detector_cfg = Detector.default_cfg
 
 (* Backup-coordinator view change for one stuck record (§5.3.2),
-   initiated by replica [o]. *)
-let start_view_change t ~cfg o (e : Mk_storage.Trecord.entry) ~first_seen =
+   initiated by replica [o] at [view] (both chosen by the detector). *)
+let start_view_change t ~cfg ~detector o (e : Mk_storage.Trecord.entry) ~view =
   let n = Array.length t.replicas in
   let tid = e.txn.Txn.tid in
   let now () = Engine.now (engine t) in
-  Tid_table.replace t.vc_inflight tid ();
   let deadline = now () +. cfg.give_up_after in
   let core_id = Timestamp.Tid.hash tid mod threads t in
-  (* The smallest view above the record's current one that this
-     replica proposes for: view v is owned by replica (v mod n). *)
-  let rec pick v = if v mod n = o then v else pick (v + 1) in
-  let view = pick (e.view + 1) in
   let finished = ref false in
   let abandon () =
     if not !finished then begin
       finished := true;
-      Tid_table.remove t.vc_inflight tid;
-      (* Restart the stuck clock: if the record is still not final the
-         scanner will retry, at a higher view. *)
-      Tid_table.replace first_seen tid (now ())
+      Detector.view_change_finished detector ~now:(now ()) ~observer:o ~tid
+        ~outcome:`Abandoned
     end
   in
   (* Phase 3: write-back the chosen outcome everywhere. *)
@@ -720,8 +683,8 @@ let start_view_change t ~cfg o (e : Mk_storage.Trecord.entry) ~first_seen =
                   (Replica.handle_commit replica ~core:core_id ~txn:e.txn ~ts:e.ts
                      ~commit)))
         t.replicas;
-      Tid_table.remove t.vc_inflight tid;
-      Tid_table.remove first_seen tid;
+      Detector.view_change_finished detector ~now:(now ()) ~observer:o ~tid
+        ~outcome:`Finished;
       Obs.note_view_change (obs t)
     end
   in
@@ -833,123 +796,49 @@ let start_view_change t ~cfg o (e : Mk_storage.Trecord.entry) ~first_seen =
 let start_detectors ?(cfg = default_detector_cfg) t ~until () =
   let n = Array.length t.replicas in
   let now () = Engine.now (engine t) in
-  (* hb_last.(o).(p): when observer [o] last heard from peer [p];
-     paused_since.(o).(p): since when [p] has been reporting itself
-     paused (NaN = not paused as far as [o] knows). *)
-  let hb_last = Array.init n (fun _ -> Array.make n (now ())) in
-  let paused_since = Array.init n (fun _ -> Array.make n Float.nan) in
-  let self_paused_since = Array.make n Float.nan in
-  let first_seen = Array.init n (fun _ -> Tid_table.create 256) in
+  let detector = Detector.create ~cfg ~n ~now:(now ()) in
   (* Heartbeats travel the real (faulty) network, so a partitioned
      replica goes silent exactly like a crashed one. *)
   let rec hb_loop r =
     if now () <= until then begin
       if not (Replica.is_crashed t.replicas.(r)) then begin
-        hb_last.(r).(r) <- now ();
+        Detector.heartbeat_tick detector ~now:(now ()) ~replica:r;
         let paused = Replica.is_paused t.replicas.(r) in
         for p = 0 to n - 1 do
           if p <> r then
             Network.send_to_client (net t)
               ~link:(Network.Replica r, Network.Replica p)
               (fun () ->
-                if not (Replica.is_crashed t.replicas.(p)) then begin
-                  hb_last.(p).(r) <- now ();
-                  if paused then begin
-                    if Float.is_nan paused_since.(p).(r) then
-                      paused_since.(p).(r) <- now ()
-                  end
-                  else paused_since.(p).(r) <- Float.nan
-                end)
+                if not (Replica.is_crashed t.replicas.(p)) then
+                  Detector.heartbeat_received detector ~now:(now ()) ~observer:p
+                    ~from_:r ~paused)
         done
       end;
       Engine.schedule (engine t) ~delay:cfg.heartbeat_every (fun () -> hb_loop r)
     end
   in
-  let suspects o =
-    List.filter
-      (fun p ->
-        p <> o
-        && (now () -. hb_last.(o).(p) > cfg.heartbeat_timeout
-           || ((not (Float.is_nan paused_since.(o).(p)))
-              && now () -. paused_since.(o).(p) > cfg.pause_timeout)))
-      (List.init n (fun p -> p))
-  in
-  let maybe_epoch_change o =
-    if (not t.ec_inflight) && now () >= t.ec_cooldown_until then begin
-      let sus = suspects o in
-      let self_stuck =
-        (not (Float.is_nan self_paused_since.(o)))
-        && now () -. self_paused_since.(o) > cfg.pause_timeout
-      in
-      let sus = if self_stuck then sus @ [ o ] else sus in
-      (* Only the lowest-numbered replica that does not suspect any
-         lower replica initiates, so detectors do not duel. *)
-      let initiator =
-        List.for_all (fun p -> p >= o || List.mem p sus) (List.init n (fun p -> p))
-      in
-      (* A crashed machine can only be reintegrated once it has
-         rebooted; partitioned or stuck-paused replicas reintegrate
-         through state transfer immediately. *)
-      let recovering =
-        List.filter
-          (fun p ->
-            (not (Replica.is_crashed t.replicas.(p))) || now () >= t.down_until.(p))
-          sus
-      in
-      if initiator && recovering <> [] then begin
-        t.ec_inflight <- true;
+  let perform = function
+    | Detector.Start_view_change { observer; record; view } ->
+        start_view_change t ~cfg ~detector observer record ~view
+    | Detector.Start_epoch_change { initiator = _; recovering } ->
         trigger_epoch_change ~max_rto:cfg.give_up_after t ~recovering
           ~on_complete:(fun ~success ->
-            t.ec_inflight <- false;
-            t.ec_cooldown_until <- now () +. cfg.epoch_cooldown;
-            if success then
-              (* Fresh grace period for the reintegrated replicas, so
-                 stale silence does not immediately re-suspect them. *)
-              List.iter
-                (fun p ->
-                  self_paused_since.(p) <- Float.nan;
-                  for o' = 0 to n - 1 do
-                    hb_last.(o').(p) <- now ();
-                    paused_since.(o').(p) <- Float.nan
-                  done)
-                recovering)
-      end
-    end
-  in
-  let scan o =
-    let rep = t.replicas.(o) in
-    if Replica.is_available rep then
-      List.iter
-        (fun ((_core, e) : int * Mk_storage.Trecord.entry) ->
-          match e.Mk_storage.Trecord.status with
-          | Txn.Committed | Txn.Aborted ->
-              Tid_table.remove first_seen.(o) e.txn.Txn.tid
-          | Txn.Validated_ok | Txn.Validated_abort | Txn.Accepted_commit
-          | Txn.Accepted_abort -> begin
-              match Tid_table.find_opt first_seen.(o) e.txn.Txn.tid with
-              | None -> Tid_table.add first_seen.(o) e.txn.Txn.tid (now ())
-              | Some since ->
-                  if
-                    now () -. since > cfg.stuck_timeout
-                    && not (Tid_table.mem t.vc_inflight e.txn.Txn.tid)
-                  then
-                    start_view_change t ~cfg o e ~first_seen:first_seen.(o)
-            end)
-        (Mk_storage.Trecord.entries (Replica.trecord rep))
+            Detector.epoch_change_finished detector ~now:(now ()) ~success
+              ~recovering)
   in
   let rec scan_loop o =
     if now () <= until then begin
-      if not (Replica.is_crashed t.replicas.(o)) then begin
-        (* Track our own paused state so a replica stranded by a failed
-           epoch change can ask to be reintegrated. *)
-        if Replica.is_paused t.replicas.(o) then begin
-          if Float.is_nan self_paused_since.(o) then
-            self_paused_since.(o) <- now ()
-        end
-        else self_paused_since.(o) <- Float.nan;
-        scan o;
-        maybe_epoch_change o
-      end;
+      (if not (Replica.is_crashed t.replicas.(o)) then
+         let rep = t.replicas.(o) in
+         List.iter perform
+           (Detector.scan detector ~now:(now ()) ~observer:o
+              ~paused:(Replica.is_paused rep)
+              ~available:(Replica.is_available rep)
+              ~records:(fun () ->
+                List.map snd (Mk_storage.Trecord.entries (Replica.trecord rep)))
+              ~recoverable:(fun p ->
+                (not (Replica.is_crashed t.replicas.(p)))
+                || now () >= t.down_until.(p))));
       Engine.schedule (engine t) ~delay:cfg.scan_every (fun () -> scan_loop o)
     end
   in

@@ -152,9 +152,13 @@ val trigger_epoch_change :
     gives up — reporting success if a majority installed (stragglers
     stay paused until a later epoch change reintegrates them). *)
 
-(** {2 Failure detectors (detector-driven recovery)} *)
+(** {2 Failure detectors (detector-driven recovery)}
 
-type detector_cfg = {
+    The detection logic itself lives in {!Detector} (transport-agnostic,
+    shared with the live runtime); this system only schedules its
+    ticks, carries its heartbeats, and performs its actions. *)
+
+type detector_cfg = Detector.cfg = {
   heartbeat_every : float;  (** Replica-to-replica heartbeat period, µs. *)
   heartbeat_timeout : float;
       (** Silence after which a peer is suspected (crash/partition). *)
@@ -175,11 +179,10 @@ val default_detector_cfg : detector_cfg
 
 val start_detectors : ?cfg:detector_cfg -> t -> until:float -> unit -> unit
 (** Arm the in-system failure detectors until simulated time [until]:
-    per-replica heartbeats over the real (faulty) network feeding a
-    replica-failure detector that initiates §5.3.1 epoch changes, and
-    a per-replica stuck-record scanner that drives §5.3.2 view changes
-    through {!Recovery.choose} for transactions whose coordinator
-    died. No recurring event is scheduled past [until], so
+    per-replica heartbeats over the real (faulty) network feeding
+    {!Detector}, whose actions drive §5.3.1 epoch changes and §5.3.2
+    view changes (through {!Recovery.choose}) for transactions whose
+    coordinator died. No recurring event is scheduled past [until], so
     [Engine.run] terminates. *)
 
 val server_busy_fraction : t -> float

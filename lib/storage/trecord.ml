@@ -62,6 +62,10 @@ let entries t =
     t.partitions;
   !acc
 
+let core_entries t ~core =
+  check_core t core;
+  Tid_table.fold (fun _ e acc -> e :: acc) t.partitions.(core) []
+
 let replace_all t pairs =
   Array.iter Tid_table.reset t.partitions;
   List.iter

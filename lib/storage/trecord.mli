@@ -54,6 +54,12 @@ val entries : t -> (int * entry) list
 (** All records as [(core, entry)] pairs — the cross-core aggregation
     used by epoch change. *)
 
+val core_entries : t -> core:int -> entry list
+(** One core's partition only — the snapshot a live server domain
+    takes of its own partition for the failure detector (uninstrumented
+    like {!entries}; callers copy the entries before crossing
+    domains). *)
+
 val replace_all : t -> (int * entry) list -> unit
 (** Install a merged trecord (epoch-change-complete), preserving the
     per-core partitioning carried in the pairs. *)

@@ -77,6 +77,72 @@ let test_dropped_acks_bounded () =
   check_passed r;
   if r.Chaos.dropped = 0 then failf_report "transport dropped nothing" r
 
+(* --- Golden equivalence for the detector extraction: the refactored
+   simulator (detection logic in Mk_meerkat.Detector, Sim_system only
+   driving it) makes bit-identical epoch/view-change decisions — and
+   with them identical commit/abort counts — to the pre-extraction
+   code. The tuples below were captured from the pre-refactor tree at
+   Chaos.default_cfg over the three recovery-heavy profiles; same
+   methodology as the 24-run protocol-extraction suite in test_live. --- *)
+
+let detector_golden =
+  [
+    ( Nemesis.Crash_replica,
+      [
+        (7239, 428, 1, 0);
+        (7128, 421, 1, 0);
+        (7109, 419, 1, 0);
+        (7183, 432, 1, 0);
+        (7095, 444, 1, 0);
+        (7125, 438, 1, 0);
+        (7095, 411, 1, 0);
+        (7159, 431, 1, 0);
+      ] );
+    ( Nemesis.Crash_coordinator,
+      [
+        (7848, 462, 0, 1);
+        (7769, 469, 0, 1);
+        (7842, 466, 0, 1);
+        (7864, 451, 0, 1);
+        (7812, 497, 0, 1);
+        (7942, 470, 0, 1);
+        (7875, 452, 0, 1);
+        (7855, 481, 0, 1);
+      ] );
+    ( Nemesis.Combo,
+      [
+        (4771, 286, 2, 0);
+        (5080, 297, 2, 1);
+        (4554, 271, 2, 2);
+        (5134, 307, 2, 2);
+        (5155, 330, 2, 1);
+        (4939, 298, 2, 1);
+        (5099, 287, 2, 2);
+        (5357, 328, 2, 2);
+      ] );
+  ]
+
+let test_detector_extraction_golden () =
+  List.iter
+    (fun (profile, expected) ->
+      List.iteri
+        (fun i (commits, aborts, ec, vc) ->
+          let seed = i + 1 in
+          let r = Chaos.run { Chaos.default_cfg with seed; profile } in
+          check_passed r;
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s seed %d unchanged by the extraction"
+               (Nemesis.to_string profile) seed)
+            [ commits; aborts; ec; vc ]
+            [
+              r.Chaos.committed_acks;
+              r.Chaos.aborted_acks;
+              r.Chaos.epoch_changes;
+              r.Chaos.view_changes;
+            ])
+        expected)
+    detector_golden
+
 (* --- Acceptance: duplicate delivery at probability 1.0 (no drops)
    changes no commit/abort outcome vs a fault-free run on the same
    seed. Duplicates are absorbed by replica- and coordinator-side
@@ -161,6 +227,8 @@ let () =
             test_crash_coordinator_profile;
           Alcotest.test_case "dropped acks stay bounded" `Quick
             test_dropped_acks_bounded;
+          Alcotest.test_case "detector extraction golden, 24 runs" `Quick
+            test_detector_extraction_golden;
           Alcotest.test_case "dup 1.0 changes no outcome" `Quick
             test_dup_one_same_outcomes;
         ] );

@@ -120,15 +120,21 @@ let test_config_unknown_key_rejected () =
   | exception Config.Parse_error _ -> ()
 
 let test_real_config_scopes_live () =
-  (* The shipped mk_lint.toml allowlists exactly the two coordination
+  (* The shipped mk_lint.toml allowlists exactly the three coordination
      files of lib/live, never the directory, so runtime.ml (the
-     protocol fast path) stays covered by Z1. Paths are rebased with
-     ../ because tests run from _build/default/test/. *)
+     protocol fast path) stays covered by Z1 — as does the extracted
+     lib/meerkat/detector.ml, which needs no entry at all. Paths are
+     rebased with ../ because tests run from _build/default/test/. *)
   let cfg = Config.load "../mk_lint.toml" in
   Alcotest.(check bool) "file-scoped, not directory-scoped" true
     (List.mem "lib/live/mailbox.ml" cfg.Config.coordination_allow
     && List.mem "lib/live/spawn.ml" cfg.Config.coordination_allow
-    && not (List.mem "lib/live" cfg.Config.coordination_allow));
+    && List.mem "lib/live/link.ml" cfg.Config.coordination_allow
+    && (not (List.mem "lib/live" cfg.Config.coordination_allow))
+    && not
+         (List.exists
+            (fun p -> p = "lib/live/runtime.ml" || p = "lib/meerkat")
+            cfg.Config.coordination_allow));
   let rebase = List.map (fun p -> "../" ^ p) in
   let cfg =
     {
@@ -140,13 +146,25 @@ let test_real_config_scopes_live () =
   in
   Alcotest.(check (list finding)) "lib/live lints clean" []
     (lint cfg "../lib/live");
+  Alcotest.(check (list finding)) "detector.ml lints clean" []
+    (lint cfg "../lib/meerkat/detector.ml");
   (* Dropping the allow entries proves they are load-bearing: the
-     mailbox internals become Z1 findings. *)
+     mailbox internals and the link delay wheel become Z1 findings —
+     while runtime.ml and detector.ml keep linting clean, showing they
+     never relied on an allowlist in the first place. *)
   let bare = { cfg with Config.coordination_allow = [] } in
   Alcotest.(check bool) "mailbox flagged without its entry" true
     (List.exists
        (fun (rule, _, _) -> rule = "Z1")
-       (lint bare "../lib/live/mailbox.ml"))
+       (lint bare "../lib/live/mailbox.ml"));
+  Alcotest.(check bool) "link flagged without its entry" true
+    (List.exists
+       (fun (rule, _, _) -> rule = "Z1")
+       (lint bare "../lib/live/link.ml"));
+  Alcotest.(check (list finding)) "runtime.ml clean even with empty allowlist" []
+    (lint bare "../lib/live/runtime.ml");
+  Alcotest.(check (list finding)) "detector.ml clean even with empty allowlist" []
+    (lint bare "../lib/meerkat/detector.ml")
 
 (* --- layer 2: the dynamic checker --- *)
 

@@ -7,7 +7,11 @@
 module Mailbox = Mk_live.Mailbox
 module Spawn = Mk_live.Spawn
 module Runtime = Mk_live.Runtime
+module Link = Mk_live.Link
 module Checker = Mk_harness.Checker
+module Chaos = Mk_harness.Chaos
+module Nemesis = Mk_fault.Nemesis
+module Network = Mk_net.Network
 module Engine = Mk_sim.Engine
 module Transport = Mk_net.Transport
 module Intf = Mk_model.System_intf
@@ -96,6 +100,121 @@ let test_spawn_parallel () =
   let results, wall = Spawn.timed ~domains:2 (fun id -> id * 10) in
   Alcotest.(check (list int)) "timed results" [ 0; 10 ] results;
   Alcotest.(check bool) "elapsed is non-negative" true (wall >= 0.0)
+
+(* --- faulty links --- *)
+
+let window ~from_t ~until_t rule =
+  { Nemesis.w_name = "test"; from_t; until_t; scope = Nemesis.All_links; rule }
+
+let link_ctx ?(plan = { Nemesis.windows = []; crashes = [] }) now =
+  Link.create ~plan ~seed:7 ~now:(fun () -> !now)
+
+let test_link_passthrough () =
+  let hits = ref 0 in
+  Link.via None
+    ~src:(Network.Client 0) ~dst:(Network.Replica 0)
+    ~push:(fun () -> incr hits);
+  Alcotest.(check int) "via None is the bare push" 1 !hits;
+  (* A windowless plan delivers everything and draws no randomness. *)
+  let now = ref 0.0 in
+  let ctx = link_ctx now in
+  for _ = 1 to 50 do
+    Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 1)
+      ~push:(fun () -> incr hits)
+  done;
+  Alcotest.(check int) "all delivered" 51 !hits;
+  Alcotest.(check (triple int int int)) "no faults counted" (0, 0, 0)
+    (Link.stats ctx)
+
+let test_link_down_discard () =
+  let now = ref 0.0 in
+  let ctx = link_ctx now in
+  let hits = ref 0 in
+  let push () = incr hits in
+  Link.set_down ctx (Network.Replica 1) ~until:100.0;
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 1) ~push;
+  Link.send ctx ~src:(Network.Replica 1) ~dst:(Network.Replica 0) ~push;
+  Alcotest.(check int) "to and from a down endpoint discarded" 0 !hits;
+  Link.send ctx ~src:(Network.Replica 0) ~dst:(Network.Replica 2) ~push;
+  Alcotest.(check int) "other links unaffected" 1 !hits;
+  (* Reboot deadline passed: traffic flows again without set_up. *)
+  now := 150.0;
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 1) ~push;
+  Alcotest.(check int) "delivered after the reboot deadline" 2 !hits;
+  Alcotest.(check (triple int int int)) "discards counted as drops" (2, 0, 0)
+    (Link.stats ctx)
+
+let test_link_set_up () =
+  let now = ref 0.0 in
+  let ctx = link_ctx now in
+  let hits = ref 0 in
+  let push () = incr hits in
+  Link.set_down ctx (Network.Replica 2) ~until:infinity;
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 2) ~push;
+  Alcotest.(check bool) "down" true (Link.is_down ctx (Network.Replica 2));
+  Link.set_up ctx (Network.Replica 2);
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 2) ~push;
+  Alcotest.(check int) "explicit reboot clears the gate" 1 !hits
+
+let test_link_drop_and_dup () =
+  let now = ref 10.0 in
+  let drop_all =
+    { Network.pass with Network.drop = 1.0 }
+  in
+  let ctx =
+    link_ctx ~plan:{ Nemesis.windows = [ window ~from_t:0.0 ~until_t:100.0 drop_all ];
+                     crashes = [] }
+      now
+  in
+  let hits = ref 0 in
+  let push () = incr hits in
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 0) ~push;
+  Alcotest.(check int) "dropped" 0 !hits;
+  now := 200.0 (* window closed *);
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 0) ~push;
+  Alcotest.(check int) "delivered outside the window" 1 !hits;
+  let dup_all = { Network.pass with Network.dup = 1.0 } in
+  let now = ref 10.0 in
+  let ctx =
+    link_ctx ~plan:{ Nemesis.windows = [ window ~from_t:0.0 ~until_t:100.0 dup_all ];
+                     crashes = [] }
+      now
+  in
+  let hits = ref 0 in
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 0)
+    ~push:(fun () -> incr hits);
+  Alcotest.(check int) "delivered twice back to back" 2 !hits;
+  Alcotest.(check (triple int int int)) "one duplicate counted" (0, 1, 0)
+    (Link.stats ctx)
+
+let test_link_delay_wheel () =
+  let now = ref 10.0 in
+  let spike =
+    { Network.pass with Network.delay_prob = 1.0; delay = 50.0 }
+  in
+  (* Window closes at t=15: the first send is spiked, the second (at
+     t=20) sails through and overtakes it — the reorder the sim's
+     delay spikes model. *)
+  let ctx =
+    link_ctx ~plan:{ Nemesis.windows = [ window ~from_t:0.0 ~until_t:15.0 spike ];
+                     crashes = [] }
+      now
+  in
+  let got = ref [] in
+  let push x () = got := x :: !got in
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 0) ~push:(push `Spiked);
+  Alcotest.(check int) "parked on the wheel" 1 (Link.pending ctx);
+  now := 20.0;
+  Link.send ctx ~src:(Network.Client 0) ~dst:(Network.Replica 0) ~push:(push `Prompt);
+  Link.flush ctx;
+  Alcotest.(check int) "not due yet" 1 (Link.pending ctx);
+  now := 70.0;
+  Link.flush ctx;
+  Alcotest.(check int) "wheel drained" 0 (Link.pending ctx);
+  Alcotest.(check bool) "overtaken by the later message" true
+    (List.rev !got = [ `Prompt; `Spiked ]);
+  Alcotest.(check (triple int int int)) "one delay counted" (0, 0, 1)
+    (Link.stats ctx)
 
 (* --- sim/live equivalence of the extracted protocol --- *)
 
@@ -237,6 +356,119 @@ let test_live_single_domain () =
     (r.Runtime.committed_count + r.Runtime.aborted);
   check_serializable "single domain" r
 
+(* --- chaos on live domains --- *)
+
+let test_coord_inbox_floor () =
+  (* 1 coordinator x 8 clients x 3 replicas -> floor 96 > 16. *)
+  (match
+     Runtime.run
+       {
+         (live_cfg 1) with
+         Runtime.coordinators = 1;
+         clients = 8;
+         coord_inbox = 16;
+       }
+   with
+  | _ -> Alcotest.fail "undersized coord_inbox accepted"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool)
+        "names the deadlock-freedom floor" true
+        (let re = "deadlock-freedom floor" in
+         let n = String.length re in
+         let rec find i =
+           i + n <= String.length msg && (String.sub msg i n = re || find (i + 1))
+         in
+         find 0));
+  (* The defaults clear the floor: 2 coordinators x 8 clients -> 48. *)
+  match Runtime.run { (live_cfg 1) with Runtime.txns_per_client = 1 } with
+  | _ -> ()
+  | exception Invalid_argument msg -> Alcotest.failf "defaults rejected: %s" msg
+
+let test_chaos_needs_duration () =
+  let horizon_us = 100_000.0 in
+  let chaos =
+    {
+      Runtime.plan = { Nemesis.windows = []; crashes = [] };
+      detector = Runtime.chaos_detector_cfg ~horizon_us;
+      horizon_us;
+      settle_us = 50_000.0;
+    }
+  in
+  match Runtime.run { (live_cfg 1) with Runtime.chaos = Some chaos } with
+  | _ -> Alcotest.fail "chaos without a duration accepted"
+  | exception Invalid_argument _ -> ()
+
+(* One coordinator kill, no link faults: while down its inbox is
+   popped and discarded (fail-stop discard), on reboot the backlog is
+   purged and every in-flight attempt resumed. Every submission still
+   reaches an ack with a serializable history — replies from before
+   the kill that survive in the mailbox carry stale seqs and must all
+   be rejected by the protocol's seq guard, or the counters and the
+   checker would disagree. *)
+let test_live_coordinator_kill () =
+  let horizon_us = 400_000.0 in
+  let chaos =
+    {
+      Runtime.plan =
+        {
+          Nemesis.windows = [];
+          crashes =
+            [
+              Nemesis.Coordinator_crash
+                { at = 0.25 *. horizon_us; client = 0; down_for = 0.1 *. horizon_us };
+            ];
+        };
+      detector = Runtime.chaos_detector_cfg ~horizon_us;
+      horizon_us;
+      settle_us = horizon_us /. 2.0;
+    }
+  in
+  let r =
+    Runtime.run
+      {
+        (live_cfg 6) with
+        Runtime.clients = 4;
+        txns_per_client = 0;
+        duration = Some (horizon_us /. 1e6);
+        rto_us = horizon_us /. 50.0;
+        chaos = Some chaos;
+      }
+  in
+  Alcotest.(check bool) "the kill was injected" true (r.Runtime.fault_events >= 1);
+  Alcotest.(check int)
+    "reboot drain: every submission still acked"
+    r.Runtime.submitted r.Runtime.acked;
+  Alcotest.(check int)
+    "no stale-seq acks: counter matches the history"
+    r.Runtime.committed_count
+    (List.length r.Runtime.committed);
+  check_serializable "coordinator kill" r
+
+(* A replica fail-stop through the full live chaos harness: the
+   heartbeat detector must notice over real mailboxes, run a real
+   §5.3.1 epoch change, and all five end-of-run invariants must hold
+   (in particular available — the victim was reintegrated — and
+   bounded — write-backs it missed while down were recovered). *)
+let test_live_replica_crash_harness () =
+  let report =
+    Chaos.run
+      {
+        Chaos.default_live_cfg with
+        Chaos.seed = 3;
+        profile = Nemesis.Crash_replica;
+        n_clients = 4;
+      }
+  in
+  Alcotest.(check bool)
+    (Format.asprintf "five invariants hold: %a" Chaos.pp_report report)
+    true (Chaos.passed report);
+  Alcotest.(check bool)
+    "a detector-driven epoch change ran on real domains" true
+    (report.Chaos.epoch_changes >= 1);
+  Alcotest.(check bool)
+    "the crash discarded traffic at the link" true
+    (report.Chaos.dropped > 0)
+
 let () =
   Mk_check.Owner.enable ();
   Alcotest.run "live"
@@ -255,6 +487,18 @@ let () =
         ] );
       ( "spawn",
         [ Alcotest.test_case "parallel + timed" `Quick test_spawn_parallel ] );
+      ( "link",
+        [
+          Alcotest.test_case "fault-free passthrough" `Quick
+            test_link_passthrough;
+          Alcotest.test_case "down endpoint discards" `Quick
+            test_link_down_discard;
+          Alcotest.test_case "explicit reboot" `Quick test_link_set_up;
+          Alcotest.test_case "drop and duplicate verdicts" `Quick
+            test_link_drop_and_dup;
+          Alcotest.test_case "delay wheel reorders" `Quick
+            test_link_delay_wheel;
+        ] );
       ( "equivalence",
         [
           Alcotest.test_case "extracted protocol = pre-refactor sim, 24 runs"
@@ -268,5 +512,16 @@ let () =
             test_live_serializable_across_seeds;
           Alcotest.test_case "single server domain" `Quick
             test_live_single_domain;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "coord_inbox floor enforced" `Quick
+            test_coord_inbox_floor;
+          Alcotest.test_case "chaos requires a duration" `Quick
+            test_chaos_needs_duration;
+          Alcotest.test_case "coordinator kill: drain, resume, no stale acks"
+            `Quick test_live_coordinator_kill;
+          Alcotest.test_case "replica crash through the live harness" `Quick
+            test_live_replica_crash_harness;
         ] );
     ]
