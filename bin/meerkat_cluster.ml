@@ -1,0 +1,470 @@
+(* meerkat_cluster: fork an N-node Meerkat cluster on localhost and
+   drive it end to end (DESIGN.md §11).
+
+   The launcher forks N meerkat_node processes (each one whole
+   replica: its own domains, detector, and UDP socket), completes the
+   port handshake — every node binds an ephemeral port and announces
+   `port <n>'; the launcher assembles the cluster config and writes it
+   back over each node's stdin — then runs closed-loop client driver
+   domains in-process against the cluster, optionally SIGKILLs one
+   node mid-run, broadcasts Shutdown, gathers per-node exit stats, and
+   checks the merged committed history for one-copy serializability.
+
+     dune exec bin/meerkat_cluster.exe -- --nodes 3 --clients 8
+     dune exec bin/meerkat_cluster.exe -- --nodes 3 --duration 2 \
+       --kill-node 1 --kill-after 0.5 --json BENCH_cluster.json
+
+   Exit status is non-zero on a serializability violation, lost
+   transactions, a surviving node exiting non-zero, or (with
+   --kill-node) no surviving node having detected the victim. *)
+
+module Cluster_config = Mk_node.Cluster_config
+module Driver = Mk_node.Client_driver
+module Checker = Mk_harness.Checker
+module Spawn = Mk_live.Spawn
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "meerkat_cluster: %s\n%!" msg;
+      exit 2)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Child process plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Line-oriented reading straight off the pipe fd (no in_channel
+   buffering, so select-based timeouts stay accurate). *)
+type child = {
+  name : string;
+  pid : int;
+  to_child : Unix.file_descr;
+  from_child : Unix.file_descr;
+  buf : Buffer.t;
+  mutable eof : bool;
+}
+
+let read_line_timeout child ~timeout_s =
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let chunk = Bytes.create 4096 in
+  let rec line_of_buf () =
+    let s = Buffer.contents child.buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear child.buf;
+        Buffer.add_string child.buf
+          (String.sub s (i + 1) (String.length s - i - 1));
+        Some (String.sub s 0 i)
+    | None -> fill ()
+  and fill () =
+    if child.eof then None
+    else
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then None
+      else
+        match Unix.select [ child.from_child ] [] [] remaining with
+        | [], _, _ -> None
+        | _ -> (
+            match Unix.read child.from_child chunk 0 (Bytes.length chunk) with
+            | 0 ->
+                child.eof <- true;
+                None
+            | n ->
+                Buffer.add_subbytes child.buf chunk 0 n;
+                line_of_buf ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> line_of_buf ())
+  in
+  line_of_buf ()
+
+let spawn_node ~node_exe ~name ~cores ~keys ~heartbeat_ms ~metrics =
+  (* cloexec everywhere: create_process dup2s the child's ends onto
+     fds 0/1 (clearing the flag on the duplicates), and no later
+     sibling inherits this child's pipes — otherwise node0 would
+     never see EOF on its config while node1's copy of the write end
+     stays open. *)
+  let stdin_r, stdin_w = Unix.pipe ~cloexec:true () in
+  let stdout_r, stdout_w = Unix.pipe ~cloexec:true () in
+  let args =
+    [
+      node_exe;
+      "--me";
+      name;
+      "--cluster";
+      "-";
+      "--port";
+      "auto";
+      "--cores";
+      string_of_int cores;
+      "--keys";
+      string_of_int keys;
+      "--heartbeat-ms";
+      string_of_float heartbeat_ms;
+    ]
+    @ (if metrics then [ "--metrics" ] else [])
+  in
+  let pid =
+    Unix.create_process node_exe (Array.of_list args) stdin_r stdout_w
+      Unix.stderr
+  in
+  Unix.close stdin_r;
+  Unix.close stdout_w;
+  {
+    name;
+    pid;
+    to_child = stdin_w;
+    from_child = stdout_r;
+    buf = Buffer.create 256;
+    eof = false;
+  }
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Stats-line parsing (detection check)                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The stats line is JSON we wrote ourselves (Node.stats_json); pull
+   the suspected list out with a string scan instead of a JSON
+   dependency. *)
+let suspected_of_stats json =
+  let key = "\"suspected\": [" in
+  let rec find i =
+    if i + String.length key > String.length json then None
+    else if String.sub json i (String.length key) = key then
+      Some (i + String.length key)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> []
+  | Some start -> (
+      match String.index_from_opt json start ']' with
+      | None -> []
+      | Some stop ->
+          String.sub json start (stop - start)
+          |> String.split_on_char ','
+          |> List.filter_map (fun s -> int_of_string_opt (String.trim s)))
+
+(* ------------------------------------------------------------------ *)
+(* The run                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let parse_workload = function
+  | "ycsb-t" | "ycsb_t" | "ycsb" -> Ok Driver.Ycsb_t
+  | "retwis" -> Ok Driver.Retwis
+  | s -> Error (`Msg (Printf.sprintf "unknown workload %S (ycsb-t, retwis)" s))
+
+let run nodes cores coordinators clients keys theta workload txns duration seed
+    heartbeat_ms kill_node kill_after no_check metrics json =
+  if nodes < 3 || nodes mod 2 = 0 then fail "--nodes must be odd and >= 3";
+  (match kill_node with
+  | Some v when v < 0 || v >= nodes -> fail "--kill-node out of range"
+  | Some _ when nodes < 3 -> fail "--kill-node needs >= 3 nodes"
+  | _ -> ());
+  let node_exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "meerkat_node.exe"
+  in
+  if not (Sys.file_exists node_exe) then
+    fail "%s not found (build bin/meerkat_node.exe first)" node_exe;
+  (* Fork the nodes and complete the port handshake. *)
+  let children =
+    Array.init nodes (fun i ->
+        spawn_node ~node_exe
+          ~name:(Printf.sprintf "node%d" i)
+          ~cores ~keys ~heartbeat_ms ~metrics)
+  in
+  let ports =
+    Array.map
+      (fun child ->
+        match read_line_timeout child ~timeout_s:10.0 with
+        | Some line -> (
+            match String.split_on_char ' ' line with
+            | [ "port"; p ] -> (
+                match int_of_string_opt p with
+                | Some p -> p
+                | None -> fail "%s: bad port announcement %S" child.name line)
+            | _ -> fail "%s: expected `port <n>', got %S" child.name line)
+        | None -> fail "%s: no port announcement" child.name)
+      children
+  in
+  let cluster =
+    Array.mapi
+      (fun i child ->
+        { Cluster_config.name = child.name; host = "127.0.0.1"; port = ports.(i) })
+      children
+  in
+  let config_text = Cluster_config.to_string cluster in
+  Array.iter
+    (fun child ->
+      write_all child.to_child config_text;
+      Unix.close child.to_child)
+    children;
+  Printf.printf "cluster up: %d nodes x %d cores\n%s%!" nodes cores config_text;
+  (* Arm the killer, drive the workload. *)
+  let killer =
+    Option.map
+      (fun victim ->
+        Spawn.spawn (fun () ->
+            Unix.sleepf kill_after;
+            Printf.printf "SIGKILL %s (pid %d) at t=%.2fs\n%!"
+              children.(victim).name children.(victim).pid kill_after;
+            Unix.kill children.(victim).pid Sys.sigkill))
+      kill_node
+  in
+  let dcfg =
+    {
+      Driver.default_config with
+      coordinators;
+      clients;
+      keys;
+      theta;
+      workload;
+      txns_per_client = txns;
+      duration;
+      seed;
+    }
+  in
+  let result =
+    match Driver.run dcfg ~cluster with
+    | Ok r -> r
+    | Error msg -> fail "driver: %s" msg
+  in
+  Option.iter Spawn.join killer;
+  (* Shut the nodes down and gather their exit stats. The Shutdown
+     frame is UDP: resend until the stats line (or EOF) arrives. *)
+  let stats_lines = Array.make nodes None in
+  Array.iteri
+    (fun i child ->
+      let rec gather attempts =
+        if attempts > 0 && stats_lines.(i) = None then begin
+          (match Driver.shutdown ~cluster with Ok () | Error _ -> ());
+          let rec scan () =
+            match read_line_timeout child ~timeout_s:2.0 with
+            | None -> ()
+            | Some line ->
+                if String.length line >= 6 && String.sub line 0 6 = "stats "
+                then
+                  stats_lines.(i) <-
+                    Some (String.sub line 6 (String.length line - 6))
+                else scan ()
+          in
+          scan ();
+          gather (attempts - 1)
+        end
+      in
+      gather 5;
+      if stats_lines.(i) = None && Some i <> kill_node then begin
+        Printf.eprintf "meerkat_cluster: %s: no stats; killing\n%!" child.name;
+        try Unix.kill child.pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ()
+      end)
+    children;
+  let exits =
+    Array.map (fun child -> snd (Unix.waitpid [] child.pid)) children
+  in
+  (* Verdicts. *)
+  let failures = ref 0 in
+  let fail_check fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAILED: %s\n%!" msg)
+      fmt
+  in
+  Printf.printf
+    "driver: %d committed, %d aborted (%d fast / %d slow), %d retransmits, \
+     %.0f txn/s, p50 %.0f us, p99 %.0f us\n\
+     wire: %d tx, %d rx, %d decode errors\n\
+     %!"
+    result.Driver.committed_count result.Driver.aborted result.Driver.fast_path
+    result.Driver.slow_path result.Driver.retransmits result.Driver.throughput
+    result.Driver.p50_us result.Driver.p99_us result.Driver.wire_msgs_tx
+    result.Driver.wire_msgs_rx result.Driver.wire_decode_errors;
+  (if duration = None then
+     let decided = result.Driver.committed_count + result.Driver.aborted in
+     let expected = clients * txns in
+     if decided <> expected then
+       fail_check "lost transactions: %d decided, %d submitted" decided expected);
+  let serializable =
+    if no_check then true
+    else
+      match Checker.check result.Driver.committed with
+      | Ok () ->
+          Printf.printf "serializable: yes (%d commits)\n%!"
+            result.Driver.committed_count;
+          true
+      | Error v ->
+          fail_check "serializability violation: %s"
+            (Format.asprintf "%a" Checker.pp_violation v);
+          false
+  in
+  let detected_by = ref [] in
+  Array.iteri
+    (fun i child ->
+      let killed = Some i = kill_node in
+      (match (stats_lines.(i), killed) with
+      | Some json, _ -> (
+          Printf.printf "%s: %s\n%!" child.name json;
+          match kill_node with
+          | Some victim when List.mem victim (suspected_of_stats json) ->
+              detected_by := i :: !detected_by
+          | _ -> ())
+      | None, true -> Printf.printf "%s: killed (no stats)\n%!" child.name
+      | None, false -> fail_check "%s: no exit stats" child.name);
+      match (exits.(i), killed) with
+      | Unix.WEXITED 0, false -> ()
+      | Unix.WSIGNALED _, true -> ()
+      | status, _ ->
+          let s =
+            match status with
+            | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s
+          in
+          fail_check "%s: unexpected status (%s)" child.name s)
+    children;
+  (match kill_node with
+  | Some victim ->
+      if !detected_by = [] then
+        fail_check "no surviving node suspected node%d" victim
+      else
+        Printf.printf "node%d suspected by: %s\n%!" victim
+          (String.concat ", "
+             (List.map (Printf.sprintf "node%d") (List.rev !detected_by)))
+  | None -> ());
+  (match json with
+  | None -> ()
+  | Some path -> (
+      let node_stats =
+        String.concat ",\n    "
+          (Array.to_list
+             (Array.map
+                (fun s -> match s with Some j -> j | None -> "null")
+                stats_lines))
+      in
+      let body =
+        Printf.sprintf
+          "{\"experiment\": \"cluster\", \"nodes\": %d, \"cores\": %d, \
+           \"coordinators\": %d, \"clients\": %d, \"killed\": %d, \
+           \"detected_by\": [%s], \"serializable\": %b, \"failures\": %d,\n\
+          \  \"driver\": %s,\n\
+          \  \"node_stats\": [\n\
+          \    %s\n\
+          \  ]}\n"
+          nodes cores coordinators clients
+          (match kill_node with Some v -> v | None -> -1)
+          (String.concat ", "
+             (List.map string_of_int (List.rev !detected_by)))
+          serializable !failures
+          (Driver.result_json result)
+          node_stats
+      in
+      try
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc body);
+        Printf.printf "wrote %s\n%!" path
+      with Sys_error msg -> Printf.eprintf "meerkat_cluster: %s\n%!" msg));
+  if !failures > 0 then begin
+    Printf.printf "%d check(s) FAILED\n%!" !failures;
+    exit 1
+  end
+
+let () =
+  let open Cmdliner in
+  let workload_conv =
+    Arg.conv
+      ( parse_workload,
+        fun ppf w ->
+          Format.pp_print_string ppf
+            (match w with Driver.Ycsb_t -> "ycsb-t" | Driver.Retwis -> "retwis")
+      )
+  in
+  let nodes =
+    Arg.(value & opt int 3 & info [ "nodes"; "n" ] ~doc:"Nodes (odd, >= 3).")
+  in
+  let cores =
+    Arg.(value & opt int 2 & info [ "cores" ] ~doc:"Server domains per node.")
+  in
+  let coordinators =
+    Arg.(
+      value & opt int 2
+      & info [ "coordinators" ] ~doc:"Client driver domains (in-process).")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients"; "c" ] ~doc:"Closed-loop clients.")
+  in
+  let keys = Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"Keyspace size.") in
+  let theta =
+    Arg.(value & opt float 0.6 & info [ "theta" ] ~doc:"Zipf skew in [0, 1).")
+  in
+  let workload =
+    Arg.(
+      value & opt workload_conv Driver.Ycsb_t
+      & info [ "workload"; "w" ] ~doc:"Workload: ycsb-t or retwis.")
+  in
+  let txns =
+    Arg.(
+      value & opt int 50
+      & info [ "txns" ] ~doc:"Transactions per client (ignored with --duration).")
+  in
+  let duration =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration" ] ~docv:"SECONDS"
+          ~doc:"Keep submitting for $(docv) of wall time instead of a quota.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let heartbeat_ms =
+    Arg.(
+      value & opt float 25.0
+      & info [ "heartbeat-ms" ] ~doc:"Node heartbeat period (milliseconds).")
+  in
+  let kill_node =
+    Arg.(
+      value & opt (some int) None
+      & info [ "kill-node" ] ~docv:"ID"
+          ~doc:
+            "SIGKILL node $(docv) after --kill-after seconds; surviving nodes \
+             must detect it (exit stats' suspected list).")
+  in
+  let kill_after =
+    Arg.(
+      value & opt float 0.5
+      & info [ "kill-after" ] ~docv:"SECONDS" ~doc:"When to kill (--kill-node).")
+  in
+  let no_check =
+    Arg.(
+      value & flag
+      & info [ "no-check" ]
+          ~doc:"Skip the serializability check of the committed history.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ] ~doc:"Nodes dump their metrics registry at exit.")
+  in
+  let json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Write the run summary to $(docv).")
+  in
+  let term =
+    Term.(
+      const run $ nodes $ cores $ coordinators $ clients $ keys $ theta
+      $ workload $ txns $ duration $ seed $ heartbeat_ms $ kill_node
+      $ kill_after $ no_check $ metrics $ json)
+  in
+  let info =
+    Cmd.info "meerkat_cluster"
+      ~doc:
+        "Fork an N-node Meerkat cluster on localhost (one OS process per \
+         replica, UDP transport) and drive it end to end"
+  in
+  exit (Cmd.eval (Cmd.v info term))

@@ -109,6 +109,10 @@ let heartbeat_received t ~now ~observer ~from_ ~paused =
   end
   else t.paused_since.(observer).(from_) <- Float.nan
 
+(* Exposed as [suspected] so a driver can report which peers an
+   observer currently considers failed — the cluster backend's nodes
+   surface this in their exit stats (a SIGKILLed peer shows up here
+   even though, with no reboot path yet, no epoch change follows). *)
 let suspects t ~now o =
   List.filter
     (fun p ->
@@ -208,3 +212,4 @@ let view_change_finished t ~now ~observer ~tid ~outcome =
       Tid_table.replace t.first_seen.(observer) tid now
 
 let view_change_inflight t tid = Tid_table.mem t.vc_inflight tid
+let suspected t ~now ~observer = suspects t ~now observer

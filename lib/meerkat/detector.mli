@@ -113,3 +113,10 @@ val view_change_finished :
 
 val view_change_inflight : t -> Mk_clock.Timestamp.Tid.t -> bool
 (** Whether a backup coordinator is currently driving [tid]. *)
+
+val suspected : t -> now:float -> observer:int -> int list
+(** The peers [observer] currently suspects (heartbeat silence beyond
+    [heartbeat_timeout], or self-reported paused beyond
+    [pause_timeout]), in replica order. Read-only — drivers use it to
+    report detection (the cluster nodes' exit stats) without waiting
+    for a recovery action to fire. *)

@@ -1,0 +1,509 @@
+(* Closed-loop clients driving a cluster of {!Node} processes over
+   UDP — the cross-process mirror of the live runtime's coordinator
+   domains.
+
+   Each coordinator domain owns its own shim socket in poll mode (a
+   background socket thread would starve against the busy-polling
+   loop for the domain's runtime lock; inline polling needs no
+   coordination at all), its own RNG, workload, Obs handle and
+   committed list — coordinators share nothing, merged only after
+   join.
+
+   An attempt has two wire phases. The execute phase sends [Get]s for
+   the read set's distinct keys to one replica and collects versioned
+   values; on silence past the get timeout it rotates to the next
+   replica and resends what is missing (UDP loss, a busy node, or a
+   dead one all look the same — the paper's closest-replica read with
+   failover). Once every key is resolved the commit phase runs the
+   extracted {!Protocol} machine verbatim: its actions become
+   [Validate]/[Accept]/[Write_back] frames to every node, its timers
+   ride the poll loop, and replica replies come back as
+   [Validated]/[Accepted] frames routed by (slot, seq) exactly as in
+   the live runtime — a stale reply for a finished attempt can never
+   be taken for the current one. *)
+
+module Timestamp = Mk_clock.Timestamp
+module Tid = Timestamp.Tid
+module Txn = Mk_storage.Txn
+module Intf = Mk_model.System_intf
+module Quorum = Mk_meerkat.Quorum
+module Protocol = Mk_meerkat.Protocol
+module Codec = Mk_wire.Codec
+module Mailbox = Mk_live.Mailbox
+module Spawn = Mk_live.Spawn
+module Workload = Mk_workload.Workload
+module Obs = Mk_obs.Obs
+module Histogram = Mk_util.Histogram
+
+module Net = Shim.Make (struct
+  type msg = Codec.t
+
+  let encode = Codec.encode
+  let decode = Codec.decode
+end)
+
+type workload_kind = Ycsb_t | Retwis
+
+type config = {
+  coordinators : int;
+  clients : int;
+  keys : int;
+  theta : float;
+  workload : workload_kind;
+  txns_per_client : int;
+  duration : float option;
+  seed : int;
+  rto_us : float;
+  grace_us : float;
+  get_rto_us : float;
+}
+
+let default_config =
+  {
+    coordinators = 2;
+    clients = 8;
+    keys = 1024;
+    theta = 0.6;
+    workload = Ycsb_t;
+    txns_per_client = 50;
+    duration = None;
+    seed = 42;
+    (* Real datagrams do get lost (full mailboxes, full socket
+       buffers), so unlike the live runtime's safety-net timer this
+       one is load-bearing: it must fire well before a human notices,
+       without retransmitting into a merely busy node. *)
+    rto_us = 100_000.0;
+    grace_us = 5_000.0;
+    get_rto_us = 50_000.0;
+  }
+
+type result = {
+  committed : (Txn.t * Timestamp.t) list;
+  committed_count : int;
+  aborted : int;
+  fast_path : int;
+  slow_path : int;
+  retransmits : int;
+  submitted : int;
+  acked : int;
+  wall_seconds : float;
+  throughput : float;
+  abort_rate : float;
+  p50_us : float;
+  p99_us : float;
+  wire_msgs_tx : int;
+  wire_msgs_rx : int;
+  wire_decode_errors : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One coordinator domain                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The execute phase of one attempt: versioned reads outstanding
+   against [target], rotating on timeout. *)
+type exec_phase = {
+  want : int list;  (** Distinct keys of the read set. *)
+  got : (int, Timestamp.t) Hashtbl.t;
+  mutable target : int;
+  mutable get_rto : float;
+  mutable retry_at : float;
+  exec_start : float;
+}
+
+type commit_phase = {
+  txn : Txn.t;
+  ts : Timestamp.t;
+  proto : Protocol.t;
+  mutable timers : (Protocol.timer * float) list;  (* absolute µs *)
+}
+
+type attempt = {
+  att_seq : int;
+  reads : int array;
+  writes : (int * int) array;
+  mutable exec : exec_phase option;
+  mutable commit : commit_phase option;
+}
+
+type client = {
+  cid : int;
+  slot : int;
+  mutable next_seq : int;
+  mutable last_time : float;
+  mutable done_txns : int;
+  mutable active : attempt option;
+}
+
+type coord_result = {
+  c_committed : (Txn.t * Timestamp.t) list;
+  c_latencies : Histogram.t;
+  c_obs : Obs.t;
+  c_submitted : int;
+  c_acked : int;
+}
+
+let distinct keys =
+  List.sort_uniq compare (Array.to_list keys)
+
+let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
+  let n = Array.length addrs in
+  let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  let rto_cap = 8.0 *. cfg.rto_us in
+  let obs = Obs.create ~clock:wall_us () in
+  let lat = Histogram.create () in
+  let committed = ref [] in
+  let net =
+    match Net.bind () with
+    | Ok net -> net
+    | Error msg -> failwith ("client socket: " ^ msg)
+  in
+  Net.set_obs net obs;
+  let params =
+    {
+      Protocol.n_replicas = n;
+      quorum = Quorum.create ~n;
+      rto = cfg.rto_us;
+      grace = cfg.grace_us;
+    }
+  in
+  let rng = Mk_util.Rng.create ~seed:(cfg.seed + (7919 * (coord_id + 1))) in
+  let wl =
+    match cfg.workload with
+    | Ycsb_t -> Workload.ycsb_t ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Retwis -> Workload.retwis ~rng ~keys:cfg.keys ~theta:cfg.theta
+  in
+  let local =
+    List.init cfg.clients Fun.id
+    |> List.filter (fun cid -> cid mod cfg.coordinators = coord_id)
+    |> List.mapi (fun slot cid ->
+           { cid; slot; next_seq = 0; last_time = 0.0; done_txns = 0; active = None })
+    |> Array.of_list
+  in
+  let deadline_us =
+    match cfg.duration with Some d -> Some (d *. 1e6) | None -> None
+  in
+  let quota_done c =
+    match deadline_us with
+    | Some dl -> wall_us () >= dl
+    | None -> c.done_txns >= cfg.txns_per_client
+  in
+  let send_gets c att ex =
+    List.iter
+      (fun key ->
+        if not (Hashtbl.mem ex.got key) then
+          Net.send net ~dst:addrs.(ex.target)
+            (Codec.Get { coord = coord_id; slot = c.slot; seq = att.att_seq; key }))
+      ex.want
+  in
+  let exec_action c att cm action =
+    match action with
+    | Protocol.Send_validates { only_missing } ->
+        for r = 0 to n - 1 do
+          if (not only_missing) || Protocol.needs_validate cm.proto r then
+            Net.send net ~dst:addrs.(r)
+              (Codec.Validate
+                 {
+                   coord = coord_id;
+                   slot = c.slot;
+                   seq = att.att_seq;
+                   txn = cm.txn;
+                   ts = cm.ts;
+                 })
+        done
+    | Protocol.Send_accepts { decision } ->
+        for r = 0 to n - 1 do
+          Net.send net ~dst:addrs.(r)
+            (Codec.Accept
+               {
+                 coord = coord_id;
+                 slot = c.slot;
+                 seq = att.att_seq;
+                 txn = cm.txn;
+                 ts = cm.ts;
+                 decision;
+                 view = 0;
+               })
+        done
+    | Protocol.Arm_timer { timer; delay } ->
+        let timer, delay =
+          match timer with
+          | Protocol.Retransmit rto when rto > rto_cap ->
+              (Protocol.Retransmit rto_cap, Float.min delay rto_cap)
+          | _ -> (timer, delay)
+        in
+        cm.timers <- (timer, wall_us () +. delay) :: cm.timers
+    | Protocol.Note_validated ->
+        Obs.span obs Mk_obs.Span.Validate ~tid:c.cid
+          ~start:(Protocol.started cm.proto) ()
+    | Protocol.Note_decided { commit; fast } ->
+        let now = wall_us () in
+        Histogram.add lat (now -. Protocol.started cm.proto);
+        if fast then
+          Obs.span obs Mk_obs.Span.Fast_quorum ~tid:c.cid
+            ~start:(Protocol.started cm.proto) ()
+        else if not (Float.is_nan (Protocol.accept_started cm.proto)) then
+          Obs.span obs Mk_obs.Span.Slow_accept ~tid:c.cid
+            ~start:(Protocol.accept_started cm.proto) ();
+        Obs.note_decision obs ~committed:commit ~fast;
+        (* Asynchronous write phase (§5.2.3): fire and forget. *)
+        for r = 0 to n - 1 do
+          Net.send net ~dst:addrs.(r)
+            (Codec.Write_back { txn = cm.txn; ts = cm.ts; commit })
+        done;
+        if commit then committed := (cm.txn, cm.ts) :: !committed
+  in
+  let feed c att cm event =
+    List.iter (exec_action c att cm) (Protocol.handle cm.proto ~now:(wall_us ()) event);
+    if Protocol.decided cm.proto then begin
+      c.active <- None;
+      c.done_txns <- c.done_txns + 1
+    end
+  in
+  (* Every read resolved: build the transaction and start the commit
+     protocol. *)
+  let begin_commit c att (ex : exec_phase option) =
+    let read_set =
+      Array.to_list
+        (Array.map
+           (fun key ->
+             let wts =
+               match ex with
+               | Some ex -> (
+                   match Hashtbl.find_opt ex.got key with
+                   | Some wts -> wts
+                   | None -> Timestamp.zero)
+               | None -> Timestamp.zero
+             in
+             ({ key; wts } : Txn.read_entry))
+           att.reads)
+    in
+    let write_set =
+      List.map
+        (fun (key, value) -> ({ key; value } : Txn.write_entry))
+        (Array.to_list att.writes)
+    in
+    (match ex with
+    | Some ex ->
+        Obs.span obs Mk_obs.Span.Execute ~tid:c.cid ~start:ex.exec_start ()
+    | None -> ());
+    let tid = Tid.make ~seq:att.att_seq ~client_id:c.cid in
+    let txn = Txn.make ~tid ~read_set ~write_set in
+    let now = wall_us () in
+    (* Strictly increasing proposed timestamps per client, even when
+       the wall clock stalls within one microsecond. *)
+    let time = if now <= c.last_time then c.last_time +. 1e-3 else now in
+    c.last_time <- time;
+    let ts = Timestamp.make ~time ~client_id:c.cid in
+    let proto, actions = Protocol.start params ~now in
+    let cm = { txn; ts; proto; timers = [] } in
+    att.exec <- None;
+    att.commit <- Some cm;
+    List.iter (exec_action c att cm) actions
+  in
+  let start_txn c =
+    let req = Workload.next wl in
+    c.next_seq <- c.next_seq + 1;
+    let att =
+      {
+        att_seq = c.next_seq;
+        reads = req.Intf.reads;
+        writes = req.Intf.writes;
+        exec = None;
+        commit = None;
+      }
+    in
+    c.active <- Some att;
+    if Array.length req.Intf.reads = 0 then begin_commit c att None
+    else begin
+      let ex =
+        {
+          want = distinct req.Intf.reads;
+          got = Hashtbl.create 8;
+          target = c.cid mod n;
+          get_rto = cfg.get_rto_us;
+          retry_at = wall_us () +. cfg.get_rto_us;
+          exec_start = wall_us ();
+        }
+      in
+      att.exec <- Some ex;
+      send_gets c att ex
+    end
+  in
+  let deliver ~src:_ (msg : Codec.t) =
+    match msg with
+    | Codec.Get_reply { slot; seq; key; wts; _ } -> (
+        if slot < Array.length local then
+          let c = local.(slot) in
+          match c.active with
+          | Some att when att.att_seq = seq -> (
+              match att.exec with
+              | Some ex ->
+                  if List.mem key ex.want && not (Hashtbl.mem ex.got key) then begin
+                    Hashtbl.replace ex.got key wts;
+                    if Hashtbl.length ex.got = List.length ex.want then
+                      begin_commit c att (Some ex)
+                  end
+              | None -> ())
+          | Some _ | None -> ())
+    | Codec.Validated { slot; seq; replica; status } -> (
+        if slot < Array.length local then
+          let c = local.(slot) in
+          match c.active with
+          | Some att when att.att_seq = seq -> (
+              match att.commit with
+              | Some cm -> feed c att cm (Protocol.Validate_reply { replica; status })
+              | None -> ())
+          | Some _ | None -> ())
+    | Codec.Accepted { slot; seq; replica; reply } -> (
+        if slot < Array.length local then
+          let c = local.(slot) in
+          match c.active with
+          | Some att when att.att_seq = seq -> (
+              match att.commit with
+              | Some cm -> feed c att cm (Protocol.Accept_reply { replica; reply })
+              | None -> ())
+          | Some _ | None -> ())
+    | _ ->
+        (* Server-side or control traffic; not for a client socket. *)
+        ()
+  in
+  let tick_client c =
+    match c.active with
+    | None -> if not (quota_done c) then start_txn c
+    | Some att -> (
+        match (att.exec, att.commit) with
+        | Some ex, _ ->
+            let now = wall_us () in
+            if now >= ex.retry_at then begin
+              (* Rotate replicas: loss, a busy node and a dead one all
+                 look like silence. *)
+              ex.target <- (ex.target + 1) mod n;
+              ex.get_rto <- Float.min (ex.get_rto *. 2.0) rto_cap;
+              ex.retry_at <- now +. ex.get_rto;
+              Obs.note_retransmit obs;
+              send_gets c att ex
+            end
+        | None, Some cm ->
+            let now = wall_us () in
+            let due, pending =
+              List.partition (fun (_, dl) -> dl <= now) cm.timers
+            in
+            cm.timers <- pending;
+            List.iter
+              (fun (timer, _) ->
+                if not (Protocol.decided cm.proto) then begin
+                  (match timer with
+                  | Protocol.Retransmit _ -> Obs.note_retransmit obs
+                  | Protocol.Fast_grace -> ());
+                  feed c att cm (Protocol.Timer timer)
+                end)
+              due
+        | None, None -> ())
+  in
+  let idle = ref 0 in
+  let rec loop () =
+    let delivered = Net.poll net ~deliver in
+    let all_done = ref true in
+    Array.iter
+      (fun c ->
+        tick_client c;
+        if Option.is_some c.active || not (quota_done c) then all_done := false)
+      local;
+    if not !all_done then begin
+      if delivered > 0 then idle := 0
+      else begin
+        incr idle;
+        if !idle > 200 then Unix.sleepf 0.0001 else Spawn.relax ()
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  Net.stop net;
+  let submitted = Array.fold_left (fun acc c -> acc + c.next_seq) 0 local in
+  let acked = Array.fold_left (fun acc c -> acc + c.done_txns) 0 local in
+  {
+    c_committed = !committed;
+    c_latencies = lat;
+    c_obs = obs;
+    c_submitted = submitted;
+    c_acked = acked;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-driver run                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run (cfg : config) ~cluster =
+  if cfg.coordinators < 1 then
+    invalid_arg "Client_driver.run: coordinators must be >= 1";
+  if cfg.clients < cfg.coordinators then
+    invalid_arg "Client_driver.run: clients must be >= coordinators";
+  match Cluster_config.sockaddrs cluster with
+  | Error _ as e -> e
+  | Ok addrs ->
+      let t0 = Spawn.wall () in
+      let results =
+        Spawn.parallel ~domains:cfg.coordinators (fun coord_id ->
+            coordinator cfg ~addrs ~t0 ~coord_id)
+      in
+      let wall_seconds = Spawn.wall () -. t0 in
+      let committed = List.concat_map (fun r -> r.c_committed) results in
+      let sum name =
+        List.fold_left
+          (fun acc r -> acc + Obs.counter_value r.c_obs name)
+          0 results
+      in
+      let lat =
+        List.fold_left
+          (fun acc r -> Histogram.merge acc r.c_latencies)
+          (Histogram.create ()) results
+      in
+      let committed_count = sum "txn.committed" in
+      let aborted = sum "txn.aborted" in
+      let decided = committed_count + aborted in
+      Ok
+        {
+          committed;
+          committed_count;
+          aborted;
+          fast_path = sum "txn.fast_path";
+          slow_path = sum "txn.slow_path";
+          retransmits = sum "net.retransmits";
+          submitted = List.fold_left (fun acc r -> acc + r.c_submitted) 0 results;
+          acked = List.fold_left (fun acc r -> acc + r.c_acked) 0 results;
+          wall_seconds;
+          throughput = float_of_int committed_count /. wall_seconds;
+          abort_rate =
+            (if decided = 0 then 0.0
+             else float_of_int aborted /. float_of_int decided);
+          p50_us = Histogram.percentile lat 50.0;
+          p99_us = Histogram.percentile lat 99.0;
+          wire_msgs_tx = sum "wire.msgs_tx";
+          wire_msgs_rx = sum "wire.msgs_rx";
+          wire_decode_errors = sum "wire.decode_errors";
+        }
+
+let shutdown ~cluster =
+  match Cluster_config.sockaddrs cluster with
+  | Error _ as e -> e
+  | Ok addrs -> (
+      match Net.bind () with
+      | Error _ as e -> e
+      | Ok net ->
+          Array.iter (fun dst -> Net.send net ~dst Codec.Shutdown) addrs;
+          (* stop flushes the queued frames before closing. *)
+          Net.stop net;
+          Ok ())
+
+let result_json (r : result) =
+  Printf.sprintf
+    "{\"committed\": %d, \"aborted\": %d, \"fast_path\": %d, \"slow_path\": \
+     %d, \"retransmits\": %d, \"submitted\": %d, \"acked\": %d, \
+     \"wall_seconds\": %.6f, \"throughput\": %.1f, \"abort_rate\": %.4f, \
+     \"p50_us\": %.1f, \"p99_us\": %.1f, \"wire_msgs_tx\": %d, \
+     \"wire_msgs_rx\": %d, \"wire_decode_errors\": %d}"
+    r.committed_count r.aborted r.fast_path r.slow_path r.retransmits
+    r.submitted r.acked r.wall_seconds r.throughput r.abort_rate r.p50_us
+    r.p99_us r.wire_msgs_tx r.wire_msgs_rx r.wire_decode_errors

@@ -1,0 +1,62 @@
+(** Closed-loop clients driving a {!Node} cluster over UDP — the
+    cross-process mirror of the live runtime's coordinator domains
+    (DESIGN.md §11).
+
+    Each coordinator domain owns its own poll-mode shim socket, RNG,
+    workload stream and committed list (coordinators share nothing;
+    results merge after join). An attempt first resolves its read set
+    with [Get]s against one replica — rotating to the next on timeout,
+    the paper's closest-replica read with failover — then drives the
+    extracted {!Mk_meerkat.Protocol} machine verbatim, its actions
+    becoming [Validate]/[Accept]/[Write_back] frames and its replies
+    arriving as [Validated]/[Accepted] frames routed by (slot, seq). *)
+
+type workload_kind = Ycsb_t | Retwis
+
+type config = {
+  coordinators : int;  (** Driver domains. *)
+  clients : int;  (** Closed-loop clients, spread round-robin. *)
+  keys : int;
+  theta : float;
+  workload : workload_kind;
+  txns_per_client : int;
+  duration : float option;  (** Overrides [txns_per_client] (seconds). *)
+  seed : int;
+  rto_us : float;  (** Commit-phase retransmission base (doubles, capped). *)
+  grace_us : float;  (** Fast-path grace (see {!Mk_meerkat.Protocol}). *)
+  get_rto_us : float;  (** Execute-phase read timeout before rotating. *)
+}
+
+val default_config : config
+
+type result = {
+  committed : (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list;
+      (** Every acknowledged commit with its timestamp — the history
+          the checker replays. *)
+  committed_count : int;
+  aborted : int;
+  fast_path : int;
+  slow_path : int;
+  retransmits : int;
+  submitted : int;
+  acked : int;
+  wall_seconds : float;
+  throughput : float;
+  abort_rate : float;
+  p50_us : float;
+  p99_us : float;
+  wire_msgs_tx : int;
+  wire_msgs_rx : int;
+  wire_decode_errors : int;
+}
+
+val run : config -> cluster:Cluster_config.t -> (result, string) Stdlib.result
+(** Drive the whole workload against [cluster] and merge the
+    per-coordinator results. Errors if the endpoints do not
+    resolve. *)
+
+val shutdown : cluster:Cluster_config.t -> (unit, string) Stdlib.result
+(** Broadcast the [Shutdown] frame to every node (from an ephemeral
+    socket). *)
+
+val result_json : result -> string

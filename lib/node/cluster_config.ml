@@ -1,0 +1,105 @@
+(* Cluster membership for the cross-process backend: an ordered list
+   of named endpoints, one per Meerkat server node. The textual form
+   is the Verdi shims' `name host:port` lines; replica ids are
+   positional (line order), so every process that parses the same
+   file agrees on the id space without a separate mapping. *)
+
+type node = { name : string; host : string; port : int }
+type t = node array
+
+let is_space c = c = ' ' || c = '\t' || c = '\r'
+
+let trim_comment line =
+  match String.index_opt line '#' with
+  | None -> line
+  | Some i -> String.sub line 0 i
+
+let split_host_port s =
+  (* Split at the last ':' so a future IPv6-ish host with colons still
+     leaves the port intact. *)
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%S: expected host:port" s)
+  | Some i ->
+      let host = String.sub s 0 i in
+      let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+      if host = "" then Error (Printf.sprintf "%S: empty host" s)
+      else begin
+        match int_of_string_opt port_s with
+        | Some port when port >= 1 && port <= 65535 -> Ok (host, port)
+        | Some port -> Error (Printf.sprintf "port %d out of range" port)
+        | None -> Error (Printf.sprintf "%S: bad port" port_s)
+      end
+
+let parse_line lineno line =
+  let line = trim_comment line in
+  let words =
+    String.split_on_char ' ' (String.map (fun c -> if is_space c then ' ' else c) line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [] -> Ok None
+  | [ name; endpoint ] -> begin
+      match split_host_port endpoint with
+      | Ok (host, port) -> Ok (Some { name; host; port })
+      | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+    end
+  | _ ->
+      Error
+        (Printf.sprintf "line %d: expected `name host:port', got %S" lineno line)
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc seen = function
+    | [] -> (
+        match acc with
+        | [] -> Error "empty cluster config"
+        | acc -> Ok (Array.of_list (List.rev acc)))
+    | line :: rest -> (
+        match parse_line lineno line with
+        | Error _ as e -> e
+        | Ok None -> go (lineno + 1) acc seen rest
+        | Ok (Some node) ->
+            if List.mem node.name seen then
+              Error (Printf.sprintf "line %d: duplicate node %S" lineno node.name)
+            else go (lineno + 1) (node :: acc) (node.name :: seen) rest)
+  in
+  go 1 [] [] lines
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let line n = Printf.sprintf "%s %s:%d" n.name n.host n.port
+
+let to_string t =
+  String.concat "" (Array.to_list (Array.map (fun n -> line n ^ "\n") t))
+
+let find t name =
+  let rec go i =
+    if i >= Array.length t then None
+    else if t.(i).name = name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let sockaddr n =
+  match Unix.inet_addr_of_string n.host with
+  | addr -> Ok (Unix.ADDR_INET (addr, n.port))
+  | exception Failure _ -> (
+      match Unix.gethostbyname n.host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          Error (Printf.sprintf "%s: no address for host %S" n.name n.host)
+      | { Unix.h_addr_list; _ } -> Ok (Unix.ADDR_INET (h_addr_list.(0), n.port))
+      | exception Not_found ->
+          Error (Printf.sprintf "%s: unknown host %S" n.name n.host))
+
+let sockaddrs t =
+  let rec go i acc =
+    if i < 0 then Ok (Array.of_list acc)
+    else
+      match sockaddr t.(i) with
+      | Ok a -> go (i - 1) (a :: acc)
+      | Error _ as e -> e
+  in
+  go (Array.length t - 1) []

@@ -1,0 +1,37 @@
+(** Cluster membership for the cross-process backend (DESIGN.md §11).
+
+    A deployment is described by `name host:port` lines — the format
+    Verdi's shims use — with [#] comments and blank lines ignored.
+    Replica ids are positional: the node on line [i] is replica [i],
+    so every process parsing the same text agrees on the id space.
+    The launcher builds one of these after the port handshake and
+    feeds the same text to every node over its stdin pipe. *)
+
+type node = { name : string; host : string; port : int }
+
+type t = node array
+(** Indexed by replica id. *)
+
+val parse : string -> (t, string) result
+(** Parse a whole config text. Errors (with a line number) on
+    malformed lines, bad ports, duplicate names, or an empty
+    config. *)
+
+val load : string -> (t, string) result
+(** [parse] the contents of a file. *)
+
+val line : node -> string
+(** One config line, [name host:port]. *)
+
+val to_string : t -> string
+(** The canonical text form; [parse (to_string t) = Ok t]. *)
+
+val find : t -> string -> int option
+(** Replica id of the named node. *)
+
+val sockaddr : node -> (Unix.sockaddr, string) result
+(** Resolve one endpoint (numeric address first, then hostname
+    lookup). *)
+
+val sockaddrs : t -> (Unix.sockaddr array, string) result
+(** Resolve every endpoint, in replica-id order. *)

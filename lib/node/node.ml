@@ -1,0 +1,525 @@
+(* A Meerkat server node: one whole replica hosted by one OS process,
+   speaking the wire protocol over a {!Shim} socket.
+
+   Topology inside the process: [cores] server domains, each owning
+   one core of the replica's trecord (the same partitioning as the
+   simulator and the live runtime — a transaction is steered to core
+   [Tid.hash tid mod cores]); the shim's loop thread owns the socket,
+   the failure detector, and the view-change machines. Inbound
+   protocol requests are steered to the owning core's mailbox (a full
+   mailbox drops the datagram — retransmission recovers); replies go
+   back out through the shim to the datagram's source address, so a
+   node never needs to know where clients live. Execute-phase [Get]s
+   are answered inline on the loop thread: the vstore's shard locks
+   make versioned reads safe from any domain, exactly as the live
+   runtime's shared-memory reads.
+
+   Failure handling (§5.3): each node runs its own {!Detector}
+   instance fed only with [observer = me] facts — its peers'
+   heartbeats over UDP and its own cores' trecord snapshots (pushed
+   over a control mailbox, so the loop thread never touches a live
+   partition). Stuck records trigger the §5.3.2 backup-coordinator
+   view change, driven entirely over the wire: gather [Coord_change]
+   from a majority, pick the safe outcome with {!Recovery.choose},
+   [Vc_accept] at the new view, then broadcast the [Write_back].
+   Epoch changes are not initiated ([recoverable] is constantly
+   false): reintegrating a killed process needs the WAL/reboot path,
+   which is the shim's reserved [reboot] hook. A SIGKILLed peer is
+   still *detected* — its id appears in the exit stats' [suspected]
+   list via {!Detector.suspected}. *)
+
+module Timestamp = Mk_clock.Timestamp
+module Tid = Timestamp.Tid
+module Txn = Mk_storage.Txn
+module Trecord = Mk_storage.Trecord
+module Quorum = Mk_meerkat.Quorum
+module Replica = Mk_meerkat.Replica
+module Detector = Mk_meerkat.Detector
+module Recovery = Mk_meerkat.Recovery
+module Codec = Mk_wire.Codec
+module Mailbox = Mk_live.Mailbox
+module Spawn = Mk_live.Spawn
+module Obs = Mk_obs.Obs
+
+module Net = Shim.Make (struct
+  type msg = Codec.t
+
+  let encode = Codec.encode
+  let decode = Codec.decode
+end)
+
+type config = {
+  me : int;
+  cores : int;
+  keys : int;
+  core_inbox : int;
+  detector : Detector.cfg option;
+  rto_us : float;
+}
+
+let default_config =
+  {
+    me = 0;
+    cores = 2;
+    keys = 1024;
+    core_inbox = 1024;
+    detector = None;
+    rto_us = 100_000.0;
+  }
+
+(* Wall-clock detector timings from one knob, mirroring the live
+   runtime's horizon scaling: suspect after 6 missed heartbeats, call
+   a record stuck after 8 periods, scan twice a period. *)
+let detector_cfg ~heartbeat_ms =
+  let hb = heartbeat_ms *. 1000.0 in
+  {
+    Detector.heartbeat_every = hb;
+    heartbeat_timeout = 6.0 *. hb;
+    pause_timeout = 12.0 *. hb;
+    stuck_timeout = 8.0 *. hb;
+    scan_every = 2.0 *. hb;
+    epoch_cooldown = 20.0 *. hb;
+    give_up_after = 40.0 *. hb;
+  }
+
+type core_msg = Net_req of { src : Unix.sockaddr; msg : Codec.t } | Core_quit
+
+type ctl_msg = Records of { core : int; entries : Trecord.entry list }
+
+type stats = {
+  me : int;
+  committed : int;
+  aborted : int;
+  validations_ok : int;
+  validations_abort : int;
+  view_changes : int;
+  suspected : int list;
+  wire_msgs_tx : int;
+  wire_msgs_rx : int;
+  wire_bytes_tx : int;
+  wire_bytes_rx : int;
+  wire_decode_errors : int;
+}
+
+type t = {
+  cfg : config;
+  replica : Replica.t;
+  net : Net.t;
+  core_inboxes : core_msg Mailbox.t array;
+  ctl_inbox : ctl_msg Mailbox.t;
+  done_box : unit Mailbox.t;
+  obs : Obs.t;
+  mutable core_handles : unit Spawn.handle list;
+  mutable final_suspected : int list;
+}
+
+(* The socket is bound before the replica exists: with [--port auto]
+   the launcher needs the port announcement to finish assembling the
+   very cluster config that tells this node its replica id and the
+   deployment size. *)
+type bound = Net.t
+
+let bind ?(port = 0) () : (bound, string) result = Net.bind ~port ()
+let bound_port (b : bound) = Net.port b
+
+let create (net : bound) (cfg : config) ~n_replicas =
+  if cfg.cores < 1 then invalid_arg "Node.create: cores must be >= 1";
+  if n_replicas < 3 || n_replicas mod 2 = 0 then
+    invalid_arg "Node.create: n_replicas must be odd and >= 3";
+  if cfg.me < 0 || cfg.me >= n_replicas then
+    invalid_arg "Node.create: me out of range";
+  let quorum = Quorum.create ~n:n_replicas in
+  let replica = Replica.create ~id:cfg.me ~quorum ~cores:cfg.cores in
+  for key = 0 to cfg.keys - 1 do
+    Replica.load replica ~key ~value:0
+  done;
+  {
+    cfg;
+    replica;
+    net;
+    core_inboxes =
+      Array.init cfg.cores (fun _ -> Mailbox.create ~capacity:cfg.core_inbox);
+    ctl_inbox = Mailbox.create ~capacity:64;
+    done_box = Mailbox.create ~capacity:2;
+    obs = Obs.create ~clock:(fun () -> Spawn.wall () *. 1e6) ();
+    core_handles = [];
+    final_suspected = [];
+  }
+
+let port t = Net.port t.net
+
+(* ------------------------------------------------------------------ *)
+(* Core domains                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let core_loop t ~core ~snap_every_us =
+  let me = t.cfg.me in
+  let replica = t.replica in
+  let inbox = t.core_inboxes.(core) in
+  let reply src msg = Net.send t.net ~dst:src msg in
+  let handle src (msg : Codec.t) =
+    match msg with
+    | Codec.Validate { slot; seq; txn; ts; _ } -> (
+        match Replica.handle_validate replica ~core ~txn ~ts with
+        | None -> ()
+        | Some status -> reply src (Codec.Validated { slot; seq; replica = me; status }))
+    | Codec.Accept { slot; seq; txn; ts; decision; view; _ } -> (
+        match Replica.handle_accept replica ~core ~txn ~ts ~decision ~view with
+        | None -> ()
+        | Some r -> reply src (Codec.Accepted { slot; seq; replica = me; reply = r }))
+    | Codec.Write_back { txn; ts; commit } ->
+        ignore (Replica.handle_commit replica ~core ~txn ~ts ~commit : unit option)
+    | Codec.Coord_change { observer; tid; view } -> (
+        match Replica.handle_coord_change replica ~core ~tid ~view with
+        | None -> ()
+        | Some r ->
+            reply src
+              (Codec.Coord_reply { observer; replica = me; tid; reply = r }))
+    | Codec.Vc_accept { observer; txn; ts; decision; view } -> (
+        match Replica.handle_accept replica ~core ~txn ~ts ~decision ~view with
+        | None -> ()
+        | Some r ->
+            reply src
+              (Codec.Vc_accept_reply
+                 { observer; replica = me; tid = txn.Txn.tid; reply = r }))
+    | _ ->
+        (* The steering layer only routes the five kinds above. *)
+        ()
+  in
+  let snapshot () =
+    let entries =
+      List.filter
+        (fun (e : Trecord.entry) -> not (Txn.is_final e.Trecord.status))
+        (Trecord.core_entries (Replica.trecord replica) ~core)
+      (* Fresh copies: the live partition stays owned by this core. *)
+      |> List.map (fun (e : Trecord.entry) -> { e with Trecord.ts = e.Trecord.ts })
+    in
+    ignore (Mailbox.try_push t.ctl_inbox (Records { core; entries }) : bool)
+  in
+  let next_snap = ref (Spawn.wall () *. 1e6) in
+  let idle = ref 0 in
+  let quit = ref false in
+  while not !quit do
+    match Mailbox.try_pop inbox with
+    | Some (Net_req { src; msg }) ->
+        idle := 0;
+        handle src msg
+    | Some Core_quit -> quit := true
+    | None ->
+        (match snap_every_us with
+        | Some every ->
+            let now = Spawn.wall () *. 1e6 in
+            if now >= !next_snap then begin
+              snapshot ();
+              next_snap := now +. every
+            end
+        | None -> ());
+        incr idle;
+        if !idle > 200 then Unix.sleepf 0.0001 else Spawn.relax ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Loop thread: steering, detector, view changes                       *)
+(* ------------------------------------------------------------------ *)
+
+module Tid_table = Hashtbl.Make (struct
+  type t = Tid.t
+
+  let equal = Tid.equal
+  let hash = Tid.hash
+end)
+
+(* A §5.3.2 view change driven over the wire — the cross-process port
+   of the live runtime monitor's machine. *)
+type vc_machine = {
+  vc_txn : Txn.t;
+  vc_ts : Timestamp.t;
+  vc_view : int;
+  vc_deadline : float;
+  vc_gathered : (int, Recovery.reply) Hashtbl.t;
+  mutable vc_chosen : [ `Commit | `Abort ] option;
+  vc_accept_from : bool array;
+  mutable vc_rto : float;
+  mutable vc_next_retry : float;
+}
+
+let launch t ~cluster =
+  match Cluster_config.sockaddrs cluster with
+  | Error _ as e -> e
+  | Ok addrs ->
+      let cfg = t.cfg in
+      let me = cfg.me in
+      let n = Array.length cluster in
+      if n <= me then invalid_arg "Node.launch: cluster smaller than me";
+      let quorum = Replica.quorum t.replica in
+      let send ~dst msg = Net.send t.net ~dst msg in
+      let broadcast msg =
+        Array.iter (fun addr -> send ~dst:addr msg) addrs
+      in
+      let dcfg = cfg.detector in
+      let det =
+        Option.map
+          (fun d -> Detector.create ~cfg:d ~n ~now:(Spawn.wall () *. 1e6))
+          dcfg
+      in
+      let latest = Array.make cfg.cores [] in
+      let vcs : vc_machine Tid_table.t = Tid_table.create 16 in
+      let next_hb = ref 0.0 in
+      let next_scan = ref 0.0 in
+      let vc_abandon det tid =
+        Tid_table.remove vcs tid;
+        Detector.view_change_finished det ~now:(Spawn.wall () *. 1e6)
+          ~observer:me ~tid ~outcome:`Abandoned
+      in
+      let vc_send_gather tid vc =
+        for r = 0 to n - 1 do
+          if not (Hashtbl.mem vc.vc_gathered r) then
+            send ~dst:addrs.(r)
+              (Codec.Coord_change { observer = me; tid; view = vc.vc_view })
+        done
+      in
+      let vc_send_accepts vc decision =
+        for r = 0 to n - 1 do
+          if not vc.vc_accept_from.(r) then
+            send ~dst:addrs.(r)
+              (Codec.Vc_accept
+                 {
+                   observer = me;
+                   txn = vc.vc_txn;
+                   ts = vc.vc_ts;
+                   decision;
+                   view = vc.vc_view;
+                 })
+        done
+      in
+      let vc_finish det tid vc ~commit =
+        Tid_table.remove vcs tid;
+        broadcast (Codec.Write_back { txn = vc.vc_txn; ts = vc.vc_ts; commit });
+        Detector.view_change_finished det ~now:(Spawn.wall () *. 1e6)
+          ~observer:me ~tid ~outcome:`Finished;
+        Obs.note_view_change t.obs
+      in
+      let steer (src : Unix.sockaddr) (msg : Codec.t) tid =
+        let core = Tid.hash tid mod cfg.cores in
+        (* A full core inbox drops the datagram — retransmission
+           recovers, like any other network loss. *)
+        ignore (Mailbox.try_push t.core_inboxes.(core) (Net_req { src; msg }) : bool)
+      in
+      let deliver ~src (msg : Codec.t) =
+        match msg with
+        | Codec.Get { slot; seq; key; _ } -> (
+            match Replica.handle_get t.replica ~key with
+            | None -> ()
+            | Some (value, wts) ->
+                send ~dst:src
+                  (Codec.Get_reply { slot; seq; replica = me; key; value; wts }))
+        | Codec.Validate { txn; _ } | Codec.Vc_accept { txn; _ } ->
+            steer src msg txn.Txn.tid
+        | Codec.Accept { txn; _ } | Codec.Write_back { txn; _ } ->
+            steer src msg txn.Txn.tid
+        | Codec.Coord_change { tid; _ } -> steer src msg tid
+        | Codec.Heartbeat { from_; paused } -> (
+            match det with
+            | Some det when from_ <> me ->
+                Detector.heartbeat_received det ~now:(Spawn.wall () *. 1e6)
+                  ~observer:me ~from_ ~paused
+            | _ -> ())
+        | Codec.Coord_reply { observer; replica; tid; reply } -> (
+            match det with
+            | Some det when observer = me -> (
+                match Tid_table.find_opt vcs tid with
+                | Some vc when vc.vc_chosen = None -> (
+                    match reply with
+                    | `Stale _ ->
+                        (* A higher view took over; leave the record
+                           to it. *)
+                        vc_abandon det tid
+                    | `View_ok record ->
+                        if not (Hashtbl.mem vc.vc_gathered replica) then
+                          Hashtbl.replace vc.vc_gathered replica
+                            (match record with
+                            | None -> Recovery.No_record
+                            | Some v -> Recovery.Record v);
+                        if Hashtbl.length vc.vc_gathered >= Quorum.majority quorum
+                        then begin
+                          let replies =
+                            Hashtbl.fold
+                              (fun r v acc -> (r, v) :: acc)
+                              vc.vc_gathered []
+                          in
+                          let decision = Recovery.choose ~quorum ~replies in
+                          vc.vc_chosen <- Some decision;
+                          vc_send_accepts vc decision
+                        end)
+                | Some _ | None -> ())
+            | _ -> ())
+        | Codec.Vc_accept_reply { observer; replica; tid; reply } -> (
+            match det with
+            | Some det when observer = me -> (
+                match Tid_table.find_opt vcs tid with
+                | Some vc -> (
+                    match reply with
+                    | `Accepted -> (
+                        if not vc.vc_accept_from.(replica) then begin
+                          vc.vc_accept_from.(replica) <- true;
+                          let acks =
+                            Array.fold_left
+                              (fun acc ok -> if ok then acc + 1 else acc)
+                              0 vc.vc_accept_from
+                          in
+                          if acks >= Quorum.majority quorum then
+                            match vc.vc_chosen with
+                            | Some decision ->
+                                vc_finish det tid vc
+                                  ~commit:(decision = `Commit)
+                            | None -> ()
+                        end)
+                    | `Finalized st -> vc_finish det tid vc ~commit:(st = Txn.Committed)
+                    | `Stale _ -> vc_abandon det tid)
+                | None -> ())
+            | _ -> ())
+        | Codec.Epoch_change _ | Codec.Epoch_records _ | Codec.Epoch_install _
+          ->
+            (* Reserved: the §5.3.1 epoch change over the wire needs
+               the WAL/reboot path before a killed process can
+               rejoin; codecs ship now so the frame tags are fixed. *)
+            ()
+        | Codec.Get_reply _ | Codec.Validated _ | Codec.Accepted _ ->
+            (* Client-side traffic; a server node is never its
+               destination. *)
+            ()
+        | Codec.Shutdown ->
+            t.final_suspected <-
+              (match det with
+              | Some det ->
+                  Detector.suspected det ~now:(Spawn.wall () *. 1e6) ~observer:me
+              | None -> []);
+            ignore (Mailbox.try_push t.done_box () : bool)
+      in
+      let perform = function
+        | Detector.Start_view_change { observer = _; record; view } ->
+            let tid = record.Trecord.txn.Txn.tid in
+            let now = Spawn.wall () *. 1e6 in
+            let vc =
+              {
+                vc_txn = record.Trecord.txn;
+                vc_ts = record.Trecord.ts;
+                vc_view = view;
+                vc_deadline =
+                  now +. (Option.get dcfg).Detector.give_up_after;
+                vc_gathered = Hashtbl.create 8;
+                vc_chosen = None;
+                vc_accept_from = Array.make n false;
+                vc_rto = cfg.rto_us;
+                vc_next_retry = now +. cfg.rto_us;
+              }
+            in
+            Tid_table.replace vcs tid vc;
+            vc_send_gather tid vc
+        | Detector.Start_epoch_change _ ->
+            (* Unreachable while [recoverable] is constantly false;
+               kept total for when the WAL lands. *)
+            ()
+      in
+      let tick ~now_us =
+        match det with
+        | None -> ()
+        | Some d ->
+            let dc = Option.get dcfg in
+            if now_us >= !next_hb then begin
+              next_hb := now_us +. dc.Detector.heartbeat_every;
+              Detector.heartbeat_tick d ~now:now_us ~replica:me;
+              let paused = Replica.is_paused t.replica in
+              Array.iteri
+                (fun p addr ->
+                  if p <> me then
+                    send ~dst:addr (Codec.Heartbeat { from_ = me; paused }))
+                addrs
+            end;
+            let rec drain_ctl () =
+              match Mailbox.try_pop t.ctl_inbox with
+              | Some (Records { core; entries }) ->
+                  latest.(core) <- entries;
+                  drain_ctl ()
+              | None -> ()
+            in
+            drain_ctl ();
+            if now_us >= !next_scan then begin
+              next_scan := now_us +. dc.Detector.scan_every;
+              List.iter perform
+                (Detector.scan d ~now:now_us ~observer:me
+                   ~paused:(Replica.is_paused t.replica)
+                   ~available:(Replica.is_available t.replica)
+                   ~records:(fun () -> List.concat (Array.to_list latest))
+                   ~recoverable:(fun _ -> false))
+            end;
+            let expired = ref [] in
+            Tid_table.iter
+              (fun tid vc ->
+                if now_us > vc.vc_deadline then expired := tid :: !expired
+                else if now_us >= vc.vc_next_retry then begin
+                  vc.vc_rto <- vc.vc_rto *. 2.0;
+                  vc.vc_next_retry <- now_us +. vc.vc_rto;
+                  match vc.vc_chosen with
+                  | Some decision -> vc_send_accepts vc decision
+                  | None -> vc_send_gather tid vc
+                end)
+              vcs;
+            List.iter (vc_abandon d) !expired
+      in
+      let snap_every_us =
+        Option.map (fun d -> d.Detector.scan_every /. 2.0) dcfg
+      in
+      t.core_handles <-
+        List.init cfg.cores (fun core ->
+            Spawn.spawn (fun () -> core_loop t ~core ~snap_every_us));
+      Net.start t.net ~obs:t.obs
+        { Net.deliver; tick; reboot = (fun () -> ()) };
+      Ok ()
+
+(* Route the local trigger through the wire path: the shim loop
+   delivers the frame to itself, so the suspicion latch and the
+   done-signal behave exactly as for a remote [Shutdown]. Before
+   [launch] there is no loop thread; signal directly. *)
+let shutdown t =
+  match t.core_handles with
+  | [] -> ignore (Mailbox.try_push t.done_box () : bool)
+  | _ :: _ ->
+      let self = Unix.ADDR_INET (Unix.inet_addr_loopback, Net.port t.net) in
+      Net.send t.net ~dst:self Codec.Shutdown
+
+let wait t =
+  Mailbox.pop t.done_box;
+  Array.iter (fun inbox -> Mailbox.push inbox Core_quit) t.core_inboxes;
+  List.iter Spawn.join t.core_handles;
+  t.core_handles <- [];
+  Net.stop t.net;
+  let c name = Obs.counter_value t.obs name in
+  {
+    me = t.cfg.me;
+    committed = Replica.committed t.replica;
+    aborted = Replica.aborted t.replica;
+    validations_ok = Replica.validations_ok t.replica;
+    validations_abort = Replica.validations_abort t.replica;
+    view_changes = c "recovery.view_changes";
+    suspected = t.final_suspected;
+    wire_msgs_tx = c "wire.msgs_tx";
+    wire_msgs_rx = c "wire.msgs_rx";
+    wire_bytes_tx = c "wire.bytes_tx";
+    wire_bytes_rx = c "wire.bytes_rx";
+    wire_decode_errors = c "wire.decode_errors";
+  }
+
+let obs t = t.obs
+
+let stats_json (s : stats) =
+  Printf.sprintf
+    "{\"me\": %d, \"committed\": %d, \"aborted\": %d, \"validations_ok\": %d, \
+     \"validations_abort\": %d, \"view_changes\": %d, \"suspected\": [%s], \
+     \"wire_msgs_tx\": %d, \"wire_msgs_rx\": %d, \"wire_bytes_tx\": %d, \
+     \"wire_bytes_rx\": %d, \"wire_decode_errors\": %d}"
+    s.me s.committed s.aborted s.validations_ok s.validations_abort
+    s.view_changes
+    (String.concat ", " (List.map string_of_int s.suspected))
+    s.wire_msgs_tx s.wire_msgs_rx s.wire_bytes_tx s.wire_bytes_rx
+    s.wire_decode_errors

@@ -1,0 +1,87 @@
+(** A Meerkat server node: one whole replica in one OS process,
+    speaking the wire protocol over UDP (DESIGN.md §11).
+
+    The third execution backend, same protocol code as the other two:
+    [cores] server domains each own one trecord core (steering by
+    [Tid.hash mod cores], as everywhere else); the shim's loop thread
+    owns the socket, answers execute-phase [Get]s inline (the
+    vstore's shard locks make that safe), feeds this node's own
+    {!Mk_meerkat.Detector} instance with peer heartbeats and local
+    trecord snapshots, and drives §5.3.2 view changes for stuck
+    records entirely over the wire. Epoch changes are not initiated
+    yet — reintegrating a killed process needs the WAL/reboot path —
+    but a dead peer is detected and reported in {!stats.suspected}.
+
+    Lifecycle: {!bind} the socket (reserving the port — the
+    [--port auto] handshake reports it before the cluster config
+    exists), {!create} the replica once the config names this node's
+    id and the deployment size, {!launch} with the final membership,
+    then {!wait} until a [Shutdown] frame (or {!shutdown}) arrives. *)
+
+type config = {
+  me : int;  (** This node's replica id (its line in the config). *)
+  cores : int;  (** Server domains (trecord cores). *)
+  keys : int;  (** Pre-loaded key space, values 0. *)
+  core_inbox : int;  (** Per-core mailbox capacity (power of two). *)
+  detector : Mk_meerkat.Detector.cfg option;
+      (** [None] disables heartbeats, suspicion and view changes. *)
+  rto_us : float;  (** View-change retransmission base. *)
+}
+
+val default_config : config
+
+val detector_cfg : heartbeat_ms:float -> Mk_meerkat.Detector.cfg
+(** Wall-clock detector timings from one knob (suspect after 6 missed
+    heartbeats, records stuck after 8 periods). *)
+
+type t
+
+type stats = {
+  me : int;
+  committed : int;
+  aborted : int;
+  validations_ok : int;
+  validations_abort : int;
+  view_changes : int;
+  suspected : int list;
+      (** Peers this node suspected at shutdown — a SIGKILLed peer
+          shows up here (detection without a reboot path). *)
+  wire_msgs_tx : int;
+  wire_msgs_rx : int;
+  wire_bytes_tx : int;
+  wire_bytes_rx : int;
+  wire_decode_errors : int;
+}
+
+type bound
+(** A bound socket without a replica yet — what the [--port auto]
+    handshake announces. *)
+
+val bind : ?port:int -> unit -> (bound, string) result
+(** Bind the UDP socket ([port] 0 = ephemeral). *)
+
+val bound_port : bound -> int
+
+val create : bound -> config -> n_replicas:int -> t
+(** Create the replica behind the bound socket. Raises
+    [Invalid_argument] on a nonsensical config ([cores] < 1,
+    [n_replicas] not odd >= 3, [me] out of range). *)
+
+val port : t -> int
+
+val launch : t -> cluster:Cluster_config.t -> (unit, string) result
+(** Spawn the core domains and start the shim loop. Errors if the
+    cluster endpoints do not resolve. *)
+
+val wait : t -> stats
+(** Block until shutdown, then stop cores and socket and report. *)
+
+val shutdown : t -> unit
+(** Local shutdown trigger (tests); remote peers send the [Shutdown]
+    frame instead. *)
+
+val obs : t -> Mk_obs.Obs.t
+(** The node's observability handle ([--metrics] dumps it). *)
+
+val stats_json : stats -> string
+(** One JSON object, the node's exit report to the launcher. *)

@@ -1,0 +1,198 @@
+(* The socket shim: the only file in the cluster backend that touches
+   sockets or threads (it is the lint allowlist's shim boundary, like
+   Mailbox/Spawn in the live runtime — everything above it is
+   coordination-free by construction).
+
+   One shim owns one UDP socket. Outbound messages are encoded by the
+   caller's thread and enqueued on a bounded MPSC mailbox — a full
+   mailbox drops the datagram, which is exactly UDP's contract, and
+   retransmission recovers it. The event loop (either a background
+   systhread, for server nodes whose main domain parks in [wait]; or
+   inline [poll] calls, for client drivers that busy-poll anyway and
+   would starve a sibling systhread of the domain's runtime lock)
+   drains the outbox to [sendto], drains the socket, decodes each
+   datagram, and hands good messages to [deliver] — a decode failure
+   is counted and dropped, never fatal, so garbage on the port cannot
+   take a node down.
+
+   The threaded loop multiplexes with [select] over the socket and a
+   self-pipe: [send] writes one wake byte after enqueueing, so
+   outbound traffic leaves immediately instead of on the next tick
+   boundary, and the loop sleeps (releasing the runtime lock) whenever
+   there is genuinely nothing to do. *)
+
+module Mailbox = Mk_live.Mailbox
+module Obs = Mk_obs.Obs
+
+module type ARRANGEMENT = sig
+  type msg
+
+  val encode : msg -> string
+  val decode : string -> (msg, Mk_wire.Wire.error) result
+end
+
+module Make (A : ARRANGEMENT) = struct
+  type handlers = {
+    deliver : src:Unix.sockaddr -> A.msg -> unit;
+    tick : now_us:float -> unit;
+    reboot : unit -> unit;
+  }
+
+  type t = {
+    sock : Unix.file_descr;
+    port : int;
+    wake_rd : Unix.file_descr;
+    wake_wr : Unix.file_descr;
+    outbox : (Unix.sockaddr * string) Mailbox.t;
+    stop : bool ref;
+    mutable thread : Thread.t option;
+    mutable obs : Obs.t option;
+  }
+
+  let bind ?(port = 0) ?(outbox = 4096) () =
+    match
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+      Unix.setsockopt sock Unix.SO_REUSEADDR true;
+      Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_any, port));
+      Unix.set_nonblock sock;
+      let bound =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let wake_rd, wake_wr = Unix.pipe () in
+      Unix.set_nonblock wake_rd;
+      Unix.set_nonblock wake_wr;
+      {
+        sock;
+        port = bound;
+        wake_rd;
+        wake_wr;
+        outbox = Mailbox.create ~capacity:outbox;
+        stop = ref false;
+        thread = None;
+        obs = None;
+      }
+    with
+    | t -> Ok t
+    | exception Unix.Unix_error (e, fn, _) ->
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+  let port t = t.port
+
+  let send t ~dst msg =
+    let frame = A.encode msg in
+    if Mailbox.try_push t.outbox (dst, frame) then
+      (* Wake a threaded loop blocked in select. EAGAIN means the pipe
+         already holds a pending wakeup; either way the loop will see
+         the message. Poll-mode shims have no loop thread to wake. *)
+      if t.thread <> None then
+        try ignore (Unix.write_substring t.wake_wr "w" 0 1 : int)
+        with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+  (* A full outbox dropped the frame: UDP semantics, retransmission
+     recovers. Nothing else to do. *)
+
+  let flush_outbox t =
+    let rec go () =
+      match Mailbox.try_pop t.outbox with
+      | None -> ()
+      | Some (dst, frame) ->
+          (try
+             ignore
+               (Unix.sendto_substring t.sock frame 0 (String.length frame) []
+                  dst
+                 : int);
+             match t.obs with
+             | Some obs -> Obs.note_wire_tx obs ~bytes:(String.length frame)
+             | None -> ()
+           with Unix.Unix_error (_, _, _) ->
+             (* Unreachable peer (ECONNREFUSED from a dead localhost
+                node, ENETUNREACH, ...): drop, like the network
+                would. *)
+             ());
+          go ()
+    in
+    go ()
+
+  let recv_burst t ~deliver =
+    let buf = Bytes.create 65535 in
+    let delivered = ref 0 in
+    let continue = ref true in
+    while !continue && !delivered < 256 do
+      match Unix.recvfrom t.sock buf 0 (Bytes.length buf) [] with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (_, _, _) ->
+          (* Linux surfaces async ICMP errors (a previous sendto to a
+             dead peer) as ECONNREFUSED on recvfrom: swallow and keep
+             receiving. *)
+          ()
+      | len, src -> (
+          let datagram = Bytes.sub_string buf 0 len in
+          match A.decode datagram with
+          | Ok msg ->
+              incr delivered;
+              (match t.obs with
+              | Some obs -> Obs.note_wire_rx obs ~bytes:len
+              | None -> ());
+              deliver ~src msg
+          | Error _ -> (
+              match t.obs with
+              | Some obs -> Obs.note_wire_decode_error obs
+              | None -> ()))
+    done;
+    !delivered
+
+  let poll t ~deliver =
+    flush_outbox t;
+    recv_burst t ~deliver
+
+  let drain_wake t =
+    let scratch = Bytes.create 64 in
+    let continue = ref true in
+    while !continue do
+      match Unix.read t.wake_rd scratch 0 (Bytes.length scratch) with
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | 0 -> continue := false
+      | _ -> ()
+    done
+
+  let loop t handlers ~tick_every_s =
+    while not !(t.stop) do
+      flush_outbox t;
+      (match Unix.select [ t.sock; t.wake_rd ] [] [] tick_every_s with
+      | readable, _, _ ->
+          if List.memq t.wake_rd readable then drain_wake t;
+          if List.memq t.sock readable then
+            ignore (recv_burst t ~deliver:handlers.deliver : int)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      handlers.tick ~now_us:(Mk_live.Spawn.wall () *. 1e6)
+    done;
+    (* Final drain so shutdown-time sends (stats, acks) leave the
+       box. *)
+    flush_outbox t
+
+  let start t ?obs ?(tick_every_s = 0.001) handlers =
+    t.obs <- obs;
+    t.thread <- Some (Thread.create (fun () -> loop t handlers ~tick_every_s) ())
+
+  let set_obs t obs = t.obs <- Some obs
+
+  let stop t =
+    t.stop := true;
+    (try ignore (Unix.write_substring t.wake_wr "q" 0 1 : int)
+     with Unix.Unix_error (_, _, _) -> ());
+    (match t.thread with
+    | Some th ->
+        Thread.join th;
+        t.thread <- None
+    | None ->
+        (* Never threaded (poll mode): flush what the caller queued
+           last, e.g. a Shutdown broadcast. *)
+        flush_outbox t);
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+      [ t.sock; t.wake_rd; t.wake_wr ]
+end

@@ -1,0 +1,78 @@
+(** The socket shim: a Verdi-style event loop binding an
+    {!ARRANGEMENT}'s messages to one UDP socket (DESIGN.md §11).
+
+    This is the cluster backend's only socket/thread boundary — the
+    one file the ZCP lint allowlist sanctions, alongside
+    [Mk_live.Mailbox]/[Spawn]. Everything above it (node, client
+    driver) stays coordination-free: outbound messages go through a
+    bounded mailbox whose overflow is a UDP drop (retransmission
+    recovers), inbound datagrams are decoded totally (garbage is
+    counted and dropped, never fatal) and handed to [deliver].
+
+    Two driving modes, never mixed on one shim:
+    - {!Make.start} runs the loop on a background systhread
+      multiplexing the socket and a self-pipe with [select] — for
+      server nodes, whose main domain parks while waiting for
+      shutdown (a parked domain releases the runtime lock, so the
+      thread runs freely).
+    - {!Make.poll} drains outbox and socket inline — for client
+      drivers, whose busy-polling coordinator loop would starve a
+      sibling systhread of the domain's runtime lock. *)
+
+module type ARRANGEMENT = sig
+  type msg
+
+  val encode : msg -> string
+  (** One complete frame, ready for [sendto]. *)
+
+  val decode : string -> (msg, Mk_wire.Wire.error) result
+  (** Total: truncated or hostile datagrams yield [Error], never an
+      exception. *)
+end
+
+module Make (A : ARRANGEMENT) : sig
+  type t
+
+  type handlers = {
+    deliver : src:Unix.sockaddr -> A.msg -> unit;
+        (** One decoded datagram. Runs on the loop thread; must not
+            block (steer into mailboxes, answer, or drop). *)
+    tick : now_us:float -> unit;
+        (** Called once per loop iteration (at least every
+            [tick_every_s]) with the wall clock in µs — the hook for
+            timers: heartbeats, detector scans, retransmissions. *)
+    reboot : unit -> unit;
+        (** Reserved for the WAL work: replay durable state before
+            the first delivery after a restart. Never called yet. *)
+  }
+
+  val bind : ?port:int -> ?outbox:int -> unit -> (t, string) result
+  (** Create and bind the UDP socket. [port] defaults to 0 — bind an
+      ephemeral port, reported by {!port} (the launcher handshake).
+      [outbox] is the bounded send-queue capacity (a power of two,
+      default 4096). *)
+
+  val port : t -> int
+  (** The actually bound port. *)
+
+  val start : t -> ?obs:Mk_obs.Obs.t -> ?tick_every_s:float -> handlers -> unit
+  (** Launch the background loop. [obs] receives the wire counters
+      ([wire.msgs_tx/rx], [wire.bytes_tx/rx], [wire.decode_errors]). *)
+
+  val poll : t -> deliver:(src:Unix.sockaddr -> A.msg -> unit) -> int
+  (** Inline mode: flush the outbox, then decode and deliver every
+      datagram currently readable (bounded burst); returns how many
+      were delivered. The caller owns the loop and its timers. *)
+
+  val set_obs : t -> Mk_obs.Obs.t -> unit
+  (** Attach the counter sink in poll mode (start-mode shims pass it
+      to {!start}). *)
+
+  val send : t -> dst:Unix.sockaddr -> A.msg -> unit
+  (** Encode and enqueue one message; never blocks. A full outbox
+      drops the frame (UDP semantics). Any thread may call this. *)
+
+  val stop : t -> unit
+  (** Stop the loop (joining the thread if one runs), flush the last
+      queued sends, and close the socket. *)
+end

@@ -24,6 +24,11 @@ type t = {
   epoch_changes : Registry.counter;
   view_changes : Registry.counter;
   fault_windows : Registry.counter;
+  wire_bytes_tx : Registry.counter;
+  wire_bytes_rx : Registry.counter;
+  wire_msgs_tx : Registry.counter;
+  wire_msgs_rx : Registry.counter;
+  wire_decode_errors : Registry.counter;
 }
 
 (* Track layout of the exported trace. *)
@@ -50,6 +55,11 @@ let create ?(trace = false) ~clock () =
     epoch_changes = Registry.counter registry "recovery.epoch_changes";
     view_changes = Registry.counter registry "recovery.view_changes";
     fault_windows = Registry.counter registry "fault.windows";
+    wire_bytes_tx = Registry.counter registry "wire.bytes_tx";
+    wire_bytes_rx = Registry.counter registry "wire.bytes_rx";
+    wire_msgs_tx = Registry.counter registry "wire.msgs_tx";
+    wire_msgs_rx = Registry.counter registry "wire.msgs_rx";
+    wire_decode_errors = Registry.counter registry "wire.decode_errors";
   }
 
 let registry t = t.registry
@@ -84,6 +94,18 @@ let note_view_change t = Registry.incr t.view_changes
 let note_fault t ~name =
   Registry.incr t.fault_windows;
   Tracer.instant t.tracer ~cat:"fault" ~name ~pid:net_pid ~tid:1 ()
+
+(* --- Wire counters (cluster backend: socket shim tx/rx). --- *)
+
+let note_wire_tx t ~bytes =
+  Registry.incr t.wire_msgs_tx;
+  Registry.add t.wire_bytes_tx bytes
+
+let note_wire_rx t ~bytes =
+  Registry.incr t.wire_msgs_rx;
+  Registry.add t.wire_bytes_rx bytes
+
+let note_wire_decode_error t = Registry.incr t.wire_decode_errors
 
 let counter_value t name = Registry.value (Registry.counter t.registry name)
 

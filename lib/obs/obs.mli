@@ -53,6 +53,18 @@ val note_fault : t -> name:string -> unit
     counted under [fault.windows] and mirrored as a trace instant on
     the network track. *)
 
+val note_wire_tx : t -> bytes:int -> unit
+(** One frame handed to the socket ([wire.msgs_tx]++,
+    [wire.bytes_tx] += frame size). Cluster backend only. *)
+
+val note_wire_rx : t -> bytes:int -> unit
+(** One datagram received and decoded ([wire.msgs_rx]++,
+    [wire.bytes_rx] += datagram size). *)
+
+val note_wire_decode_error : t -> unit
+(** A datagram failed to decode ([wire.decode_errors]++) — counted,
+    dropped, never fatal. *)
+
 val counter_value : t -> string -> int
 (** Current value of the named counter (0 if never incremented). *)
 

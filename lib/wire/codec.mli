@@ -1,0 +1,137 @@
+(** Versioned binary codec for every message that crosses a process
+    boundary in the cluster backend (DESIGN.md §11).
+
+    One constructor per wire message: the transaction fast path
+    (execute-phase {!t.Get}, {!t.Validate}, slow-path {!t.Accept},
+    asynchronous {!t.Write_back} — §5.2), the failure detector's
+    {!t.Heartbeat} (§5.3), the backup-coordinator view change
+    ({!t.Coord_change} / {!t.Vc_accept} and their replies — §5.3.2),
+    the epoch change ({!t.Epoch_change} / {!t.Epoch_records} /
+    {!t.Epoch_install} — §5.3.1; codecs shipped now, driven once the
+    WAL work gives a killed node a reboot path), and deployment
+    control ({!t.Shutdown}).
+
+    {!encode} is deterministic — the same message always yields the
+    same bytes. {!decode} is total — truncated, trailing, hostile, or
+    garbage input yields [Error _] and never raises, and hostile
+    sequence counts fail before any allocation.
+
+    Requests do not name a target replica: the destination address
+    {e is} the replica (as in Verdi's shims). Replies carry the
+    replying replica's id because {!Mk_meerkat.Protocol} counts
+    quorums by replica. *)
+
+type decision = [ `Commit | `Abort ]
+
+type accept_reply =
+  [ `Accepted | `Stale of int | `Finalized of Mk_storage.Txn.status ]
+(** = {!Mk_meerkat.Protocol.accept_reply}. *)
+
+type coord_reply =
+  [ `View_ok of Mk_meerkat.Replica.record_view option | `Stale of int ]
+(** = the reply type of {!Mk_meerkat.Replica.handle_coord_change}. *)
+
+type store_row = {
+  key : int;
+  value : int;
+  wts : Mk_clock.Timestamp.t;
+  rts : Mk_clock.Timestamp.t;
+}
+(** One row of {!Mk_meerkat.Replica.store_snapshot} (state transfer to
+    a recovering replica). *)
+
+type t =
+  | Get of { coord : int; slot : int; seq : int; key : int }
+      (** Execute-phase versioned read. [coord]/[slot]/[seq] route and
+          deduplicate the reply exactly as in the live runtime. *)
+  | Validate of {
+      coord : int;
+      slot : int;
+      seq : int;
+      txn : Mk_storage.Txn.t;
+      ts : Mk_clock.Timestamp.t;
+    }
+  | Accept of {
+      coord : int;
+      slot : int;
+      seq : int;
+      txn : Mk_storage.Txn.t;
+      ts : Mk_clock.Timestamp.t;
+      decision : decision;
+      view : int;
+    }
+  | Write_back of {
+      txn : Mk_storage.Txn.t;
+      ts : Mk_clock.Timestamp.t;
+      commit : bool;
+    }
+  | Get_reply of {
+      slot : int;
+      seq : int;
+      replica : int;
+      key : int;
+      value : int;
+      wts : Mk_clock.Timestamp.t;
+    }
+  | Validated of {
+      slot : int;
+      seq : int;
+      replica : int;
+      status : Mk_storage.Txn.status;
+    }
+  | Accepted of { slot : int; seq : int; replica : int; reply : accept_reply }
+  | Heartbeat of { from_ : int; paused : bool }
+  | Coord_change of {
+      observer : int;
+      tid : Mk_clock.Timestamp.Tid.t;
+      view : int;
+    }
+  | Coord_reply of {
+      observer : int;
+      replica : int;
+      tid : Mk_clock.Timestamp.Tid.t;
+      reply : coord_reply;
+    }
+  | Vc_accept of {
+      observer : int;
+      txn : Mk_storage.Txn.t;
+      ts : Mk_clock.Timestamp.t;
+      decision : decision;
+      view : int;
+    }
+  | Vc_accept_reply of {
+      observer : int;
+      replica : int;
+      tid : Mk_clock.Timestamp.Tid.t;
+      reply : accept_reply;
+    }
+  | Epoch_change of { initiator : int; epoch : int }
+  | Epoch_records of {
+      replica : int;
+      epoch : int;
+      records : (int * Mk_meerkat.Replica.record_view) list;
+    }
+  | Epoch_install of {
+      epoch : int;
+      records : (int * Mk_meerkat.Replica.record_view) list;
+      store : store_row list option;
+    }
+  | Shutdown
+
+val kind : t -> int
+(** Stable frame tag (1–16); new kinds append, old tags never move. *)
+
+val kind_name : t -> string
+
+val encode : t -> string
+(** One complete frame (header + payload), ready for [sendto]. *)
+
+val decode : string -> (t, Wire.error) result
+(** Decode exactly one frame. Total: never raises. *)
+
+val equal : t -> t -> bool
+(** Structural equality via the dedicated [Timestamp]/[Tid]
+    comparators (Z2-clean); the round-trip property in tests is
+    [equal (decode (encode m)) m]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+(** Byte-level wire primitives (DESIGN.md §11).
+
+    Deterministic little-endian writers over a [Buffer.t], and a
+    bounds-checked reader cursor whose every operation is {e total}: a
+    truncated, oversized, or garbage input yields [Error _], never an
+    exception. {!Codec} builds every cross-process message from these;
+    the framing (magic ["MK"], version, kind tag, payload length) is
+    here so a future TCP transport can reuse it unchanged. *)
+
+type error =
+  | Truncated of { need : int; have : int }
+      (** The input ends before [need] more bytes were available. *)
+  | Bad_magic  (** Not a Meerkat frame at all. *)
+  | Bad_version of int
+  | Unknown_kind of int  (** Frame header carries an unassigned tag. *)
+  | Trailing of int  (** Well-formed frame followed by junk bytes. *)
+  | Malformed of string
+      (** Structurally impossible payload: hostile sequence count, bad
+          bool/option tag, negative length. *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(** {2 Writers} *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_u16 : Buffer.t -> int -> unit
+val w_u32 : Buffer.t -> int -> unit
+val w_i64 : Buffer.t -> int -> unit
+(** Full OCaml int as 64-bit two's complement. *)
+
+val w_f64 : Buffer.t -> float -> unit
+(** IEEE-754 bits: exact round-trip for every float, NaN included. *)
+
+val w_bool : Buffer.t -> bool -> unit
+val w_string : Buffer.t -> string -> unit
+val w_option : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+val w_list : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a list -> unit
+val w_array : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a array -> unit
+
+(** {2 Reader cursor} *)
+
+type cursor
+(** A read position over an immutable string slice; reads advance it.
+    All readers are total. *)
+
+val cursor : ?pos:int -> ?limit:int -> string -> cursor
+val remaining : cursor -> int
+
+val ( let* ) :
+  ('a, error) result -> ('a -> ('b, error) result) -> ('b, error) result
+(** [Result.bind], for composing decoders. *)
+
+val r_u8 : cursor -> (int, error) result
+val r_u16 : cursor -> (int, error) result
+val r_u32 : cursor -> (int, error) result
+val r_i64 : cursor -> (int, error) result
+val r_f64 : cursor -> (float, error) result
+val r_bool : cursor -> (bool, error) result
+val r_string : cursor -> (string, error) result
+
+val r_option :
+  (cursor -> ('a, error) result) -> cursor -> ('a option, error) result
+
+val r_list :
+  elt_min:int ->
+  (cursor -> ('a, error) result) ->
+  cursor ->
+  ('a list, error) result
+(** [elt_min] is the smallest possible encoding of one element; a
+    count claiming more elements than the remaining bytes could hold
+    fails as [Malformed] {e before} any allocation, so a hostile
+    4-billion-element header cannot balloon memory. *)
+
+val r_array :
+  elt_min:int ->
+  (cursor -> ('a, error) result) ->
+  cursor ->
+  ('a array, error) result
+
+(** {2 Framing} *)
+
+val version : int
+(** Current wire version, stamped into every frame header. *)
+
+val header_bytes : int
+(** Frame header size: magic (2) + version (1) + kind (1) +
+    payload length (4, LE). *)
+
+val frame : kind:int -> string -> string
+(** Wrap an encoded payload into one frame. *)
+
+val unframe : string -> (int * cursor, error) result
+(** Validate magic/version, read the kind tag, and return a cursor
+    over exactly the payload. The input must be exactly one frame
+    ([Trailing] otherwise — a UDP datagram carries one frame). *)

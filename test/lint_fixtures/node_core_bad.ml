@@ -1,0 +1,9 @@
+(* A cluster-node core loop that cheats: validation counts in an
+   atomic and a thread spawned outside the shim. Z1 must flag it even
+   though the shim internals next door are allowlisted — only the
+   socket boundary is sanctioned, never the protocol-driving core. *)
+let validated = Atomic.make 0
+
+let core_loop handle =
+  ignore (Thread.create handle ());
+  Atomic.incr validated

@@ -1,0 +1,14 @@
+(* Socket-shim-shaped internals: a background thread draining an
+   outbox — sanctioned here by the file-scoped allowlist entry, as
+   lib/node/shim.ml is in the shipped config. *)
+type t = { mutable thread : Thread.t option; stop : bool ref }
+
+let start t loop = t.thread <- Some (Thread.create loop ())
+
+let stop t =
+  t.stop := true;
+  match t.thread with
+  | Some th ->
+      Thread.join th;
+      t.thread <- None
+  | None -> ()

@@ -48,6 +48,21 @@ let test_z1_live_mailbox_allowlisted () =
   Alcotest.(check (list finding)) "file-scoped allow shields the mailbox" []
     (lint live_fx_cfg (fx "live_mailbox_ok.ml"))
 
+let node_fx_cfg =
+  { Config.default with Config.coordination_allow = [ fx "node_shim_ok.ml" ] }
+
+let test_z1_node_core_flagged () =
+  (* Coordination in the cluster node's protocol-driving core is
+     flagged even though the socket shim next door is allowlisted. *)
+  Alcotest.(check (list finding))
+    "atomic/thread in the node core flagged"
+    [ ("Z1", 5, 16); ("Z1", 8, 10); ("Z1", 9, 2) ]
+    (lint node_fx_cfg (fx "node_core_bad.ml"))
+
+let test_z1_node_shim_allowlisted () =
+  Alcotest.(check (list finding)) "file-scoped allow shields the shim" []
+    (lint node_fx_cfg (fx "node_shim_ok.ml"))
+
 let test_z2_violations () =
   Alcotest.(check (list finding))
     "polymorphic =/hash on ts/tid flagged"
@@ -166,6 +181,43 @@ let test_real_config_scopes_live () =
   Alcotest.(check (list finding)) "detector.ml clean even with empty allowlist" []
     (lint bare "../lib/meerkat/detector.ml")
 
+let test_real_config_scopes_node () =
+  (* The cluster backend gets exactly one allowlist entry: the socket
+     shim (the UDP event-loop systhread). node.ml and client_driver.ml
+     drive the protocol and must stay coordination-free, as must the
+     pure wire codecs. *)
+  let cfg = Config.load "../mk_lint.toml" in
+  Alcotest.(check bool) "shim file-scoped, not directory-scoped" true
+    (List.mem "lib/node/shim.ml" cfg.Config.coordination_allow
+    && (not (List.mem "lib/node" cfg.Config.coordination_allow))
+    && not
+         (List.exists
+            (fun p -> p = "lib/node/node.ml" || p = "lib/node/client_driver.ml")
+            cfg.Config.coordination_allow));
+  let rebase = List.map (fun p -> "../" ^ p) in
+  let cfg =
+    {
+      cfg with
+      Config.coordination_allow = rebase cfg.Config.coordination_allow;
+      shared_modules = rebase cfg.Config.shared_modules;
+      mli_required_under = rebase cfg.Config.mli_required_under;
+    }
+  in
+  Alcotest.(check (list finding)) "lib/node lints clean" []
+    (lint cfg "../lib/node");
+  Alcotest.(check (list finding)) "lib/wire lints clean" []
+    (lint cfg "../lib/wire");
+  let bare = { cfg with Config.coordination_allow = [] } in
+  Alcotest.(check bool) "shim flagged without its entry" true
+    (List.exists
+       (fun (rule, _, _) -> rule = "Z1")
+       (lint bare "../lib/node/shim.ml"));
+  Alcotest.(check (list finding)) "node.ml clean even with empty allowlist" []
+    (lint bare "../lib/node/node.ml");
+  Alcotest.(check (list finding))
+    "client_driver.ml clean even with empty allowlist" []
+    (lint bare "../lib/node/client_driver.ml")
+
 (* --- layer 2: the dynamic checker --- *)
 
 let ts time = Timestamp.make ~time ~client_id:7
@@ -256,6 +308,10 @@ let () =
             test_z1_live_fastpath_flagged;
           Alcotest.test_case "Z1 live mailbox allowlisted" `Quick
             test_z1_live_mailbox_allowlisted;
+          Alcotest.test_case "Z1 node core flagged" `Quick
+            test_z1_node_core_flagged;
+          Alcotest.test_case "Z1 node shim allowlisted" `Quick
+            test_z1_node_shim_allowlisted;
           Alcotest.test_case "Z2 violations" `Quick test_z2_violations;
           Alcotest.test_case "Z2 clean" `Quick test_z2_clean;
           Alcotest.test_case "Z3 violations" `Quick test_z3_violations;
@@ -273,6 +329,8 @@ let () =
             test_config_unknown_key_rejected;
           Alcotest.test_case "shipped config scopes lib/live" `Quick
             test_real_config_scopes_live;
+          Alcotest.test_case "shipped config scopes lib/node" `Quick
+            test_real_config_scopes_node;
         ] );
       ( "owner",
         [

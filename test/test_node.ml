@@ -1,0 +1,238 @@
+(* The cross-process cluster backend, exercised in one process:
+   cluster-config parsing, node lifecycle validation, and a real
+   3-node UDP-loopback cluster — bind/create/launch three replicas,
+   drive a closed-loop workload through the client driver, check the
+   merged history serializable, and verify heartbeat-based failure
+   detection when one node goes silent (DESIGN.md §11). *)
+
+module Cluster_config = Mk_node.Cluster_config
+module Node = Mk_node.Node
+module Driver = Mk_node.Client_driver
+module Checker = Mk_harness.Checker
+module Detector = Mk_meerkat.Detector
+
+(* --- cluster config --- *)
+
+let test_config_parse () =
+  let text =
+    "# deployment\n\nnode0 127.0.0.1:5000\nnode1 localhost:5001\n\
+     node2 10.0.0.3:65535\n"
+  in
+  match Cluster_config.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok cfg ->
+      Alcotest.(check int) "three nodes" 3 (Array.length cfg);
+      Alcotest.(check string) "name" "node1" cfg.(1).Cluster_config.name;
+      Alcotest.(check string) "host" "localhost" cfg.(1).Cluster_config.host;
+      Alcotest.(check int) "port" 65535 cfg.(2).Cluster_config.port;
+      Alcotest.(check (option int)) "find" (Some 2)
+        (Cluster_config.find cfg "node2");
+      Alcotest.(check (option int)) "find missing" None
+        (Cluster_config.find cfg "node9")
+
+let test_config_roundtrip () =
+  let text = "a 127.0.0.1:1\nb ::1:2\nc host.example:3\n" in
+  match Cluster_config.parse text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok cfg -> (
+      (* The host keeps everything before the last ':', so numeric
+         IPv6 hosts survive the round trip. *)
+      Alcotest.(check string) "ipv6 host" "::1" cfg.(1).Cluster_config.host;
+      match Cluster_config.parse (Cluster_config.to_string cfg) with
+      | Error e -> Alcotest.failf "reparse failed: %s" e
+      | Ok cfg' ->
+          Alcotest.(check string) "canonical text round-trips"
+            (Cluster_config.to_string cfg)
+            (Cluster_config.to_string cfg'))
+
+let expect_parse_error what text =
+  match Cluster_config.parse text with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s accepted" what
+
+let test_config_errors () =
+  expect_parse_error "empty config" "# only comments\n\n";
+  expect_parse_error "missing port" "node0 127.0.0.1\n";
+  expect_parse_error "port zero" "node0 127.0.0.1:0\n";
+  expect_parse_error "port overflow" "node0 127.0.0.1:70000\n";
+  expect_parse_error "non-numeric port" "node0 127.0.0.1:abc\n";
+  expect_parse_error "extra tokens" "node0 127.0.0.1:5000 extra\n";
+  expect_parse_error "duplicate name" "n 127.0.0.1:1\nn 127.0.0.1:2\n";
+  (* Errors carry the offending line number. *)
+  match Cluster_config.parse "ok 127.0.0.1:1\nbad\n" with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error e ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i =
+          i + nn <= nh && (String.sub hay i nn = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error mentions line 2: %S" e)
+        true
+        (contains e "line 2")
+
+(* --- node lifecycle validation --- *)
+
+let test_create_validates () =
+  let expect_invalid what f =
+    match f () with
+    | _ -> Alcotest.failf "%s accepted" what
+    | exception Invalid_argument _ -> ()
+  in
+  let with_bound f =
+    match Node.bind () with
+    | Error e -> Alcotest.failf "bind failed: %s" e
+    | Ok b ->
+        Alcotest.(check bool) "ephemeral port" true (Node.bound_port b > 0);
+        f b
+  in
+  with_bound (fun b ->
+      expect_invalid "zero cores" (fun () ->
+          Node.create b { Node.default_config with Node.cores = 0 } ~n_replicas:3));
+  with_bound (fun b ->
+      expect_invalid "even replica count" (fun () ->
+          Node.create b Node.default_config ~n_replicas:4));
+  with_bound (fun b ->
+      expect_invalid "me out of range" (fun () ->
+          Node.create b { Node.default_config with Node.me = 3 } ~n_replicas:3))
+
+let test_detector_cfg_scaling () =
+  let cfg = Node.detector_cfg ~heartbeat_ms:10.0 in
+  Alcotest.(check (float 1e-6)) "suspect after 6 missed heartbeats" 60_000.0
+    cfg.Detector.heartbeat_timeout;
+  Alcotest.(check bool) "pause tolerance above suspicion" true
+    (cfg.Detector.pause_timeout > cfg.Detector.heartbeat_timeout)
+
+(* --- a real 3-node cluster on UDP loopback --- *)
+
+let bind_cluster n =
+  let bound =
+    Array.init n (fun i ->
+        match Node.bind () with
+        | Ok b -> b
+        | Error e -> Alcotest.failf "bind node%d: %s" i e)
+  in
+  let cluster =
+    Array.mapi
+      (fun i b ->
+        {
+          Cluster_config.name = Printf.sprintf "node%d" i;
+          host = "127.0.0.1";
+          port = Node.bound_port b;
+        })
+      bound
+  in
+  (bound, cluster)
+
+let launch_cluster ?(heartbeat_ms = 10.0) ~keys bound cluster =
+  let n = Array.length bound in
+  Array.mapi
+    (fun i b ->
+      let cfg =
+        {
+          Node.default_config with
+          Node.me = i;
+          cores = 2;
+          keys;
+          detector = Some (Node.detector_cfg ~heartbeat_ms);
+        }
+      in
+      let node = Node.create b cfg ~n_replicas:n in
+      (match Node.launch node ~cluster with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "launch node%d: %s" i e);
+      node)
+    bound
+
+let test_cluster_serializable () =
+  let keys = 64 in
+  let bound, cluster = bind_cluster 3 in
+  let nodes = launch_cluster ~keys bound cluster in
+  let driver_cfg =
+    {
+      Driver.default_config with
+      Driver.coordinators = 2;
+      clients = 6;
+      keys;
+      txns_per_client = 15;
+      seed = 11;
+    }
+  in
+  let result =
+    match Driver.run driver_cfg ~cluster with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "driver: %s" e
+  in
+  (match Driver.shutdown ~cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "shutdown: %s" e);
+  let stats = Array.map Node.wait nodes in
+  Alcotest.(check int) "every client got every answer" result.Driver.submitted
+    result.Driver.acked;
+  Alcotest.(check int) "90 transactions resolved" 90
+    (result.Driver.committed_count + result.Driver.aborted);
+  Alcotest.(check bool) "some commits" true (result.Driver.committed_count > 0);
+  (match Checker.check result.Driver.committed with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "not serializable: %a" Checker.pp_violation v);
+  Array.iter
+    (fun (s : Node.stats) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node%d suspects nobody" s.Node.me)
+        [] s.Node.suspected;
+      Alcotest.(check int)
+        (Printf.sprintf "node%d clean wire" s.Node.me)
+        0 s.Node.wire_decode_errors;
+      Alcotest.(check bool)
+        (Printf.sprintf "node%d validated" s.Node.me)
+        true
+        (s.Node.validations_ok > 0 && s.Node.wire_msgs_rx > 0
+       && s.Node.wire_msgs_tx > 0))
+    stats
+
+let test_cluster_detects_silent_node () =
+  (* No workload: stop one node's socket and heartbeats, wait past the
+     detector timeout, and check both survivors latched the suspicion
+     at shutdown. *)
+  let bound, cluster = bind_cluster 3 in
+  let nodes = launch_cluster ~heartbeat_ms:10.0 ~keys:16 bound cluster in
+  (* Let a few heartbeat rounds establish liveness first. *)
+  Unix.sleepf 0.15;
+  Node.shutdown nodes.(2);
+  let dead = Node.wait nodes.(2) in
+  Alcotest.(check (list int)) "victim suspected nobody" [] dead.Node.suspected;
+  (* 6 missed 10ms heartbeats plus scan slack. *)
+  Unix.sleepf 0.5;
+  Node.shutdown nodes.(0);
+  Node.shutdown nodes.(1);
+  let s0 = Node.wait nodes.(0) and s1 = Node.wait nodes.(1) in
+  Alcotest.(check (list int)) "node0 suspects node2" [ 2 ] s0.Node.suspected;
+  Alcotest.(check (list int)) "node1 suspects node2" [ 2 ] s1.Node.suspected
+
+let () =
+  Alcotest.run "node"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "parse" `Quick test_config_parse;
+          Alcotest.test_case "round-trip" `Quick test_config_roundtrip;
+          Alcotest.test_case "errors" `Quick test_config_errors;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "create validates" `Quick test_create_validates;
+          Alcotest.test_case "detector scaling" `Quick
+            test_detector_cfg_scaling;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "3-node loopback serializable" `Quick
+            test_cluster_serializable;
+          Alcotest.test_case "silent node detected" `Quick
+            test_cluster_detects_silent_node;
+        ] );
+    ]

@@ -91,6 +91,29 @@ let test_spans_feed_phase_histograms () =
   Alcotest.(check int) "reset" 0
     (Registry.summarize (Obs.phase_histogram obs Span.Validate)).Registry.count
 
+let test_wire_counters () =
+  (* The cluster backend's socket shim accounts every frame here;
+     meerkat_node --metrics and the node's exit stats read these. *)
+  let _, clock = scripted () in
+  let obs = Obs.create ~clock () in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (n ^ " starts at 0") 0 (Obs.counter_value obs n))
+    [
+      "wire.msgs_tx"; "wire.msgs_rx"; "wire.bytes_tx"; "wire.bytes_rx";
+      "wire.decode_errors";
+    ];
+  Obs.note_wire_tx obs ~bytes:40;
+  Obs.note_wire_tx obs ~bytes:60;
+  Obs.note_wire_rx obs ~bytes:25;
+  Obs.note_wire_decode_error obs;
+  Alcotest.(check int) "msgs_tx" 2 (Obs.counter_value obs "wire.msgs_tx");
+  Alcotest.(check int) "bytes_tx" 100 (Obs.counter_value obs "wire.bytes_tx");
+  Alcotest.(check int) "msgs_rx" 1 (Obs.counter_value obs "wire.msgs_rx");
+  Alcotest.(check int) "bytes_rx" 25 (Obs.counter_value obs "wire.bytes_rx");
+  Alcotest.(check int) "decode_errors" 1
+    (Obs.counter_value obs "wire.decode_errors")
+
 let test_tracer_nesting () =
   let clock_state, clock = scripted () in
   let tr = Tracer.create ~enabled:true ~clock () in
@@ -306,6 +329,7 @@ let () =
           Alcotest.test_case "empty histogram summary" `Quick
             test_summarize_empty_histogram;
           Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+          Alcotest.test_case "wire counters" `Quick test_wire_counters;
         ] );
       ( "spans",
         [

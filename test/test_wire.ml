@@ -1,0 +1,366 @@
+(* The cluster backend's wire layer: round-trip per message kind,
+   encode determinism, and totality of decode under truncation,
+   corruption and random fuzz — hostile input must yield [Error _]
+   and never an exception (ISSUE satellite 1). *)
+
+module Wire = Mk_wire.Wire
+module Codec = Mk_wire.Codec
+module Timestamp = Mk_clock.Timestamp
+module Txn = Mk_storage.Txn
+module Replica = Mk_meerkat.Replica
+
+(* --- seeded generators --- *)
+
+let i rng = Random.State.int rng 1_000_000
+
+let ts rng =
+  Timestamp.make
+    ~time:(Random.State.float rng 1e6)
+    ~client_id:(Random.State.int rng 64)
+
+let tid rng =
+  Timestamp.Tid.make
+    ~seq:(Random.State.int rng 100_000)
+    ~client_id:(Random.State.int rng 64)
+
+let txn rng =
+  let read_set =
+    List.init
+      (Random.State.int rng 4)
+      (fun _ -> { Txn.key = Random.State.int rng 256; wts = ts rng })
+  in
+  let write_set =
+    List.init
+      (Random.State.int rng 4)
+      (fun _ -> { Txn.key = Random.State.int rng 256; value = i rng })
+  in
+  Txn.make ~tid:(tid rng) ~read_set ~write_set
+
+let status rng =
+  match Random.State.int rng 6 with
+  | 0 -> Txn.Validated_ok
+  | 1 -> Txn.Validated_abort
+  | 2 -> Txn.Accepted_commit
+  | 3 -> Txn.Accepted_abort
+  | 4 -> Txn.Committed
+  | _ -> Txn.Aborted
+
+let decision rng : Codec.decision =
+  if Random.State.bool rng then `Commit else `Abort
+
+let accept_reply rng : Codec.accept_reply =
+  match Random.State.int rng 3 with
+  | 0 -> `Accepted
+  | 1 -> `Stale (Random.State.int rng 100)
+  | _ -> `Finalized (status rng)
+
+let record_view rng =
+  {
+    Replica.txn = txn rng;
+    ts = ts rng;
+    status = status rng;
+    view = Random.State.int rng 10;
+    accept_view =
+      (if Random.State.bool rng then Some (Random.State.int rng 10) else None);
+  }
+
+let coord_reply rng : Codec.coord_reply =
+  match Random.State.int rng 3 with
+  | 0 -> `View_ok None
+  | 1 -> `View_ok (Some (record_view rng))
+  | _ -> `Stale (Random.State.int rng 100)
+
+let store_row rng =
+  {
+    Codec.key = Random.State.int rng 256;
+    value = i rng;
+    wts = ts rng;
+    rts = ts rng;
+  }
+
+let records rng =
+  List.init
+    (Random.State.int rng 3)
+    (fun _ -> (Random.State.int rng 1000, record_view rng))
+
+(* One random message of each of the 16 wire kinds. *)
+let gen_msg rng k : Codec.t =
+  match k with
+  | 0 -> Get { coord = i rng; slot = i rng; seq = i rng; key = i rng }
+  | 1 ->
+      Validate
+        { coord = i rng; slot = i rng; seq = i rng; txn = txn rng; ts = ts rng }
+  | 2 ->
+      Accept
+        {
+          coord = i rng;
+          slot = i rng;
+          seq = i rng;
+          txn = txn rng;
+          ts = ts rng;
+          decision = decision rng;
+          view = Random.State.int rng 10;
+        }
+  | 3 ->
+      Write_back
+        { txn = txn rng; ts = ts rng; commit = Random.State.bool rng }
+  | 4 ->
+      Get_reply
+        {
+          slot = i rng;
+          seq = i rng;
+          replica = Random.State.int rng 7;
+          key = i rng;
+          value = i rng;
+          wts = ts rng;
+        }
+  | 5 ->
+      Validated
+        {
+          slot = i rng;
+          seq = i rng;
+          replica = Random.State.int rng 7;
+          status = status rng;
+        }
+  | 6 ->
+      Accepted
+        {
+          slot = i rng;
+          seq = i rng;
+          replica = Random.State.int rng 7;
+          reply = accept_reply rng;
+        }
+  | 7 ->
+      Heartbeat { from_ = Random.State.int rng 7; paused = Random.State.bool rng }
+  | 8 ->
+      Coord_change
+        {
+          observer = Random.State.int rng 7;
+          tid = tid rng;
+          view = Random.State.int rng 10;
+        }
+  | 9 ->
+      Coord_reply
+        {
+          observer = Random.State.int rng 7;
+          replica = Random.State.int rng 7;
+          tid = tid rng;
+          reply = coord_reply rng;
+        }
+  | 10 ->
+      Vc_accept
+        {
+          observer = Random.State.int rng 7;
+          txn = txn rng;
+          ts = ts rng;
+          decision = decision rng;
+          view = Random.State.int rng 10;
+        }
+  | 11 ->
+      Vc_accept_reply
+        {
+          observer = Random.State.int rng 7;
+          replica = Random.State.int rng 7;
+          tid = tid rng;
+          reply = accept_reply rng;
+        }
+  | 12 -> Epoch_change { initiator = Random.State.int rng 7; epoch = i rng }
+  | 13 ->
+      Epoch_records
+        { replica = Random.State.int rng 7; epoch = i rng; records = records rng }
+  | 14 ->
+      Epoch_install
+        {
+          epoch = i rng;
+          records = records rng;
+          store =
+            (if Random.State.bool rng then
+               Some (List.init (Random.State.int rng 4) (fun _ -> store_row rng))
+             else None);
+        }
+  | _ -> Shutdown
+
+let n_kinds = 16
+
+(* --- round-trip and determinism --- *)
+
+let test_roundtrip_all_kinds () =
+  let rng = Random.State.make [| 0xC0DEC |] in
+  for k = 0 to n_kinds - 1 do
+    for _ = 1 to 25 do
+      let m = gen_msg rng k in
+      let encoded = Codec.encode m in
+      match Codec.decode encoded with
+      | Error e ->
+          Alcotest.failf "%s failed to decode: %s" (Codec.kind_name m)
+            (Wire.error_to_string e)
+      | Ok m' ->
+          if not (Codec.equal m m') then
+            Alcotest.failf "%s round-trip mismatch: %a vs %a"
+              (Codec.kind_name m) Codec.pp m Codec.pp m';
+          (* Deterministic encode: re-encoding the decoded message
+             reproduces the exact bytes. *)
+          Alcotest.(check string)
+            (Codec.kind_name m ^ " canonical bytes")
+            encoded (Codec.encode m')
+    done
+  done
+
+let test_kind_tags_stable () =
+  (* Frame tags are a wire contract: 1..16 in declaration order, and
+     byte 3 of every frame is the tag. *)
+  let rng = Random.State.make [| 42 |] in
+  let seen = Array.make (n_kinds + 1) false in
+  for k = 0 to n_kinds - 1 do
+    let m = gen_msg rng k in
+    let tag = Codec.kind m in
+    Alcotest.(check bool)
+      (Codec.kind_name m ^ " tag in 1..16")
+      true
+      (tag >= 1 && tag <= n_kinds && not seen.(tag));
+    seen.(tag) <- true;
+    Alcotest.(check int)
+      (Codec.kind_name m ^ " tag framed")
+      tag
+      (Char.code (Codec.encode m).[3])
+  done
+
+(* --- totality: truncation, corruption, fuzz --- *)
+
+let expect_error what = function
+  | Error _ -> ()
+  | Ok (m : Codec.t) ->
+      Alcotest.failf "%s decoded as %s" what (Codec.kind_name m)
+
+let test_truncation_is_error () =
+  let rng = Random.State.make [| 7 |] in
+  for k = 0 to n_kinds - 1 do
+    let m = gen_msg rng k in
+    let s = Codec.encode m in
+    for n = 0 to String.length s - 1 do
+      expect_error
+        (Printf.sprintf "%s truncated to %d bytes" (Codec.kind_name m) n)
+        (Codec.decode (String.sub s 0 n))
+    done
+  done
+
+let corrupt s pos c =
+  let b = Bytes.of_string s in
+  Bytes.set b pos c;
+  Bytes.to_string b
+
+let test_header_corruption () =
+  let rng = Random.State.make [| 9 |] in
+  let s = Codec.encode (gen_msg rng 0) in
+  (match Codec.decode (corrupt s 0 'X') with
+  | Error Wire.Bad_magic -> ()
+  | _ -> Alcotest.fail "bad magic not detected");
+  (match Codec.decode (corrupt s 2 '\xfe') with
+  | Error (Wire.Bad_version 0xfe) -> ()
+  | _ -> Alcotest.fail "bad version not detected");
+  (match Codec.decode (corrupt s 3 '\xee') with
+  | Error (Wire.Unknown_kind 0xee) -> ()
+  | _ -> Alcotest.fail "unknown kind not detected");
+  match Codec.decode (s ^ "!?") with
+  | Error (Wire.Trailing 2) -> ()
+  | _ -> Alcotest.fail "trailing junk not detected"
+
+let test_byte_flip_fuzz () =
+  (* Flip one random byte anywhere in a valid frame: decode must
+     return — Ok or Error, never an exception. *)
+  let rng = Random.State.make [| 0xF122 |] in
+  for _ = 1 to 2000 do
+    let m = gen_msg rng (Random.State.int rng n_kinds) in
+    let s = Codec.encode m in
+    let pos = Random.State.int rng (String.length s) in
+    let flipped = corrupt s pos (Char.chr (Random.State.int rng 256)) in
+    match Codec.decode flipped with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "decode raised %s on %s with byte %d flipped"
+          (Printexc.to_string e) (Codec.kind_name m) pos
+  done
+
+let test_random_garbage () =
+  let rng = Random.State.make [| 0xBAD |] in
+  for _ = 1 to 2000 do
+    let len = Random.State.int rng 64 in
+    let s =
+      String.init len (fun j ->
+          (* Force a non-'M' first byte so every input is invalid. *)
+          if j = 0 then 'z' else Char.chr (Random.State.int rng 256))
+    in
+    match Codec.decode s with
+    | Error _ -> ()
+    | Ok m ->
+        Alcotest.failf "garbage decoded as %s" (Codec.kind_name m)
+    | exception e ->
+        Alcotest.failf "decode raised %s on garbage" (Printexc.to_string e)
+  done
+
+let test_hostile_count_bounded () =
+  (* A 4-billion-element list header must fail before allocation:
+     the count is checked against the remaining bytes. *)
+  let b = Buffer.create 8 in
+  Wire.w_u32 b 0xFFFFFFFF;
+  Wire.w_u8 b 1;
+  let s = Buffer.contents b in
+  (match Wire.r_list ~elt_min:1 Wire.r_u8 (Wire.cursor s) with
+  | Error (Wire.Malformed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "hostile count accepted");
+  match Wire.r_array ~elt_min:1 Wire.r_u8 (Wire.cursor s) with
+  | Error (Wire.Malformed _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "hostile array count accepted"
+
+(* --- primitive round-trips --- *)
+
+let test_f64_exact_bits () =
+  List.iter
+    (fun f ->
+      let b = Buffer.create 8 in
+      Wire.w_f64 b f;
+      match Wire.r_f64 (Wire.cursor (Buffer.contents b)) with
+      | Ok f' ->
+          Alcotest.(check int64) "f64 bits" (Int64.bits_of_float f)
+            (Int64.bits_of_float f')
+      | Error e -> Alcotest.failf "f64: %s" (Wire.error_to_string e))
+    [ 0.; -0.; 1.5; -1e300; 1e-308; Float.nan; Float.infinity;
+      Float.neg_infinity ]
+
+let test_i64_full_range () =
+  List.iter
+    (fun n ->
+      let b = Buffer.create 8 in
+      Wire.w_i64 b n;
+      match Wire.r_i64 (Wire.cursor (Buffer.contents b)) with
+      | Ok n' -> Alcotest.(check int) "i64" n n'
+      | Error e -> Alcotest.failf "i64: %s" (Wire.error_to_string e))
+    [ 0; 1; -1; 42; max_int; min_int ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "round-trip all kinds" `Quick
+            test_roundtrip_all_kinds;
+          Alcotest.test_case "kind tags stable" `Quick test_kind_tags_stable;
+        ] );
+      ( "totality",
+        [
+          Alcotest.test_case "truncation is Error" `Quick
+            test_truncation_is_error;
+          Alcotest.test_case "header corruption" `Quick test_header_corruption;
+          Alcotest.test_case "byte-flip fuzz" `Quick test_byte_flip_fuzz;
+          Alcotest.test_case "random garbage" `Quick test_random_garbage;
+          Alcotest.test_case "hostile count bounded" `Quick
+            test_hostile_count_bounded;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "f64 exact bits" `Quick test_f64_exact_bits;
+          Alcotest.test_case "i64 full range" `Quick test_i64_full_range;
+        ] );
+    ]
