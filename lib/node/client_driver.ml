@@ -330,10 +330,18 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
       send_gets c att ex
     end
   in
+  (* [slot] indexes [local] and [replica] indexes the protocol
+     machine's per-replica reply arrays, both straight off the wire: a
+     corrupted or hostile reply frame must be a counted drop, never an
+     [Invalid_argument] that aborts the coordinator domain. *)
+  let slot_ok s = s >= 0 && s < Array.length local in
+  let replica_ok r = r >= 0 && r < n in
+  let drop_bad_ids () = Obs.note_wire_decode_error obs in
   let deliver ~src:_ (msg : Codec.t) =
     match msg with
     | Codec.Get_reply { slot; seq; key; wts; _ } -> (
-        if slot < Array.length local then
+        if not (slot_ok slot) then drop_bad_ids ()
+        else
           let c = local.(slot) in
           match c.active with
           | Some att when att.att_seq = seq -> (
@@ -347,7 +355,8 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
               | None -> ())
           | Some _ | None -> ())
     | Codec.Validated { slot; seq; replica; status } -> (
-        if slot < Array.length local then
+        if not (slot_ok slot && replica_ok replica) then drop_bad_ids ()
+        else
           let c = local.(slot) in
           match c.active with
           | Some att when att.att_seq = seq -> (
@@ -356,7 +365,8 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
               | None -> ())
           | Some _ | None -> ())
     | Codec.Accepted { slot; seq; replica; reply } -> (
-        if slot < Array.length local then
+        if not (slot_ok slot && replica_ok replica) then drop_bad_ids ()
+        else
           let c = local.(slot) in
           match c.active with
           | Some att when att.att_seq = seq -> (

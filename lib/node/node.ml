@@ -305,7 +305,25 @@ let launch t ~cluster =
            recovers, like any other network loss. *)
         ignore (Mailbox.try_push t.core_inboxes.(core) (Net_req { src; msg }) : bool)
       in
+      (* Replica ids taken straight off the wire index detector and
+         view-change arrays ([hb_last], [vc_accept_from]) and count
+         toward quorum majorities: one well-framed datagram carrying
+         an out-of-range id (hostile peer, misconfigured deployment,
+         bit-flipped genuine frame) must be a counted drop like any
+         other undecodable input — never an [Invalid_argument] on the
+         loop thread, and never a phantom quorum vote. *)
+      let wire_ids_ok (msg : Codec.t) =
+        let replica_ok r = r >= 0 && r < n in
+        match msg with
+        | Codec.Heartbeat { from_; _ } -> replica_ok from_
+        | Codec.Coord_reply { replica; _ }
+        | Codec.Vc_accept_reply { replica; _ } ->
+            replica_ok replica
+        | _ -> true
+      in
       let deliver ~src (msg : Codec.t) =
+        if not (wire_ids_ok msg) then Obs.note_wire_decode_error t.obs
+        else
         match msg with
         | Codec.Get { slot; seq; key; _ } -> (
             match Replica.handle_get t.replica ~key with

@@ -80,9 +80,19 @@ module Make (A : ARRANGEMENT) = struct
 
   let port t = t.port
 
+  (* Largest UDP payload over IPv4: 65535 minus IP and UDP headers.
+     Anything bigger dies in [sendto] with EMSGSIZE on every attempt,
+     so retransmission can never recover it — reject it up front and
+     count it, or the sender retries forever with no diagnostic. *)
+  let max_datagram = 65507
+
   let send t ~dst msg =
     let frame = A.encode msg in
-    if Mailbox.try_push t.outbox (dst, frame) then
+    if String.length frame > max_datagram then (
+      match t.obs with
+      | Some obs -> Obs.note_wire_send_error obs
+      | None -> ())
+    else if Mailbox.try_push t.outbox (dst, frame) then
       (* Wake a threaded loop blocked in select. EAGAIN means the pipe
          already holds a pending wakeup; either way the loop will see
          the message. Poll-mode shims have no loop thread to wake. *)
@@ -106,7 +116,16 @@ module Make (A : ARRANGEMENT) = struct
              match t.obs with
              | Some obs -> Obs.note_wire_tx obs ~bytes:(String.length frame)
              | None -> ()
-           with Unix.Unix_error (_, _, _) ->
+           with
+          | Unix.Unix_error (Unix.EMSGSIZE, _, _) ->
+             (* A frame too large for one datagram fails identically
+                on every retransmit: count it so the hang is
+                diagnosable (the [send]-side guard catches the common
+                case; this covers paths with a smaller MTU). *)
+             (match t.obs with
+             | Some obs -> Obs.note_wire_send_error obs
+             | None -> ())
+          | Unix.Unix_error (_, _, _) ->
              (* Unreachable peer (ECONNREFUSED from a dead localhost
                 node, ENETUNREACH, ...): drop, like the network
                 would. *)
@@ -118,25 +137,43 @@ module Make (A : ARRANGEMENT) = struct
   let recv_burst t ~deliver =
     let buf = Bytes.create 65535 in
     let delivered = ref 0 in
+    let attempts = ref 0 in
     let continue = ref true in
-    while !continue && !delivered < 256 do
+    (* Bounded on *attempts*, not deliveries: a storm of garbage
+       datagrams or repeated socket errors must still let the loop get
+       back to its outbox and timers. *)
+    while !continue && !attempts < 512 && !delivered < 256 do
+      incr attempts;
       match Unix.recvfrom t.sock buf 0 (Bytes.length buf) [] with
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           continue := false
-      | exception Unix.Unix_error (_, _, _) ->
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EINTR), _, _) ->
           (* Linux surfaces async ICMP errors (a previous sendto to a
              dead peer) as ECONNREFUSED on recvfrom: swallow and keep
              receiving. *)
           ()
+      | exception Unix.Unix_error (_, _, _) ->
+          (* Anything else (EBADF after a close, ENOMEM, ...) would
+             recur on the next recvfrom too: end the burst instead of
+             spinning on it at 100% CPU. *)
+          continue := false
       | len, src -> (
           let datagram = Bytes.sub_string buf 0 len in
           match A.decode datagram with
-          | Ok msg ->
+          | Ok msg -> (
               incr delivered;
               (match t.obs with
               | Some obs -> Obs.note_wire_rx obs ~bytes:len
               | None -> ());
-              deliver ~src msg
+              (* A [deliver] that raises must not kill the loop thread
+                 (a wedged node looks alive from outside): the frame
+                 decoded but could not be acted on — count it with the
+                 other unusable-input drops. *)
+              try deliver ~src msg
+              with _ -> (
+                match t.obs with
+                | Some obs -> Obs.note_wire_decode_error obs
+                | None -> ()))
           | Error _ -> (
               match t.obs with
               | Some obs -> Obs.note_wire_decode_error obs

@@ -36,7 +36,9 @@ module Make (A : ARRANGEMENT) : sig
   type handlers = {
     deliver : src:Unix.sockaddr -> A.msg -> unit;
         (** One decoded datagram. Runs on the loop thread; must not
-            block (steer into mailboxes, answer, or drop). *)
+            block (steer into mailboxes, answer, or drop). A raised
+            exception is caught and counted under
+            [wire.decode_errors] — it cannot kill the loop. *)
     tick : now_us:float -> unit;
         (** Called once per loop iteration (at least every
             [tick_every_s]) with the wall clock in µs — the hook for
@@ -57,7 +59,8 @@ module Make (A : ARRANGEMENT) : sig
 
   val start : t -> ?obs:Mk_obs.Obs.t -> ?tick_every_s:float -> handlers -> unit
   (** Launch the background loop. [obs] receives the wire counters
-      ([wire.msgs_tx/rx], [wire.bytes_tx/rx], [wire.decode_errors]). *)
+      ([wire.msgs_tx/rx], [wire.bytes_tx/rx], [wire.decode_errors],
+      [wire.send_errors]). *)
 
   val poll : t -> deliver:(src:Unix.sockaddr -> A.msg -> unit) -> int
   (** Inline mode: flush the outbox, then decode and deliver every
@@ -70,7 +73,10 @@ module Make (A : ARRANGEMENT) : sig
 
   val send : t -> dst:Unix.sockaddr -> A.msg -> unit
   (** Encode and enqueue one message; never blocks. A full outbox
-      drops the frame (UDP semantics). Any thread may call this. *)
+      drops the frame (UDP semantics); a frame too large for one UDP
+      datagram is dropped and counted under [wire.send_errors], since
+      no retransmit could ever deliver it. Any thread may call
+      this. *)
 
   val stop : t -> unit
   (** Stop the loop (joining the thread if one runs), flush the last

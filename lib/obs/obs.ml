@@ -29,6 +29,7 @@ type t = {
   wire_msgs_tx : Registry.counter;
   wire_msgs_rx : Registry.counter;
   wire_decode_errors : Registry.counter;
+  wire_send_errors : Registry.counter;
 }
 
 (* Track layout of the exported trace. *)
@@ -60,6 +61,7 @@ let create ?(trace = false) ~clock () =
     wire_msgs_tx = Registry.counter registry "wire.msgs_tx";
     wire_msgs_rx = Registry.counter registry "wire.msgs_rx";
     wire_decode_errors = Registry.counter registry "wire.decode_errors";
+    wire_send_errors = Registry.counter registry "wire.send_errors";
   }
 
 let registry t = t.registry
@@ -106,6 +108,7 @@ let note_wire_rx t ~bytes =
   Registry.add t.wire_bytes_rx bytes
 
 let note_wire_decode_error t = Registry.incr t.wire_decode_errors
+let note_wire_send_error t = Registry.incr t.wire_send_errors
 
 let counter_value t name = Registry.value (Registry.counter t.registry name)
 

@@ -62,8 +62,16 @@ val note_wire_rx : t -> bytes:int -> unit
     [wire.bytes_rx] += datagram size). *)
 
 val note_wire_decode_error : t -> unit
-(** A datagram failed to decode ([wire.decode_errors]++) — counted,
+(** A datagram failed to decode, or carried ids a node cannot act on
+    (out-of-range replica/slot) ([wire.decode_errors]++) — counted,
     dropped, never fatal. *)
+
+val note_wire_send_error : t -> unit
+(** [sendto] rejected a frame for a non-transient reason — above all
+    [EMSGSIZE], an encoding larger than one UDP datagram, which no
+    retransmit will ever fix ([wire.send_errors]++). Transient
+    unreachable-peer errors are ordinary UDP loss and are not
+    counted. *)
 
 val counter_value : t -> string -> int
 (** Current value of the named counter (0 if never incremented). *)

@@ -39,7 +39,14 @@ let w_u16 b v =
   w_u8 b v;
   w_u8 b (v lsr 8)
 
+(* Lengths and counts travel as u32: a value that does not fit would
+   silently truncate into a frame that decodes to the wrong length.
+   Encoding is the local, trusted side, so an out-of-range value is a
+   programming error — reject it loudly instead of emitting a
+   corrupt frame. *)
 let w_u32 b v =
+  if v < 0 || v > 0xffff_ffff then
+    invalid_arg (Printf.sprintf "Wire.w_u32: %d does not fit in 32 bits" v);
   w_u16 b (v land 0xffff);
   w_u16 b ((v lsr 16) land 0xffff)
 

@@ -25,7 +25,13 @@ val error_to_string : error -> string
 
 val w_u8 : Buffer.t -> int -> unit
 val w_u16 : Buffer.t -> int -> unit
+
 val w_u32 : Buffer.t -> int -> unit
+(** Raises [Invalid_argument] outside [0, 2^32): lengths and counts
+    must never truncate into a frame that decodes wrongly. Encoding
+    runs on the local, trusted side, so this is a programming error,
+    not a wire condition. *)
+
 val w_i64 : Buffer.t -> int -> unit
 (** Full OCaml int as 64-bit two's complement. *)
 

@@ -10,6 +10,8 @@ module Node = Mk_node.Node
 module Driver = Mk_node.Client_driver
 module Checker = Mk_harness.Checker
 module Detector = Mk_meerkat.Detector
+module Codec = Mk_wire.Codec
+module Tid = Mk_clock.Timestamp.Tid
 
 (* --- cluster config --- *)
 
@@ -194,6 +196,98 @@ let test_cluster_serializable () =
        && s.Node.wire_msgs_tx > 0))
     stats
 
+let test_cluster_survives_hostile_frames () =
+  (* Well-framed datagrams carrying out-of-range replica ids (hostile
+     peer, misconfigured deployment, bit-flipped genuine frame) index
+     detector and view-change arrays if taken at face value. They must
+     be counted drops: the loop thread survives and the cluster still
+     serves a real workload afterwards. *)
+  let keys = 16 in
+  let bound, cluster = bind_cluster 3 in
+  let nodes = launch_cluster ~heartbeat_ms:10.0 ~keys bound cluster in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  let dst =
+    Unix.ADDR_INET (Unix.inet_addr_loopback, cluster.(0).Cluster_config.port)
+  in
+  let raw s =
+    ignore (Unix.sendto_substring sock s 0 (String.length s) [] dst : int)
+  in
+  let send msg = raw (Codec.encode msg) in
+  let tid = Tid.make ~seq:1 ~client_id:1 in
+  send (Codec.Heartbeat { from_ = 999; paused = false });
+  send (Codec.Heartbeat { from_ = -1; paused = true });
+  send
+    (Codec.Vc_accept_reply { observer = 0; replica = 4096; tid; reply = `Accepted });
+  send (Codec.Coord_reply { observer = 0; replica = -5; tid; reply = `Stale 3 });
+  raw "MK not a frame at all";
+  Unix.close sock;
+  (* Let the loop thread eat the poison before real load arrives. *)
+  Unix.sleepf 0.05;
+  let driver_cfg =
+    {
+      Driver.default_config with
+      Driver.coordinators = 1;
+      clients = 3;
+      keys;
+      txns_per_client = 5;
+      seed = 7;
+    }
+  in
+  let result =
+    match Driver.run driver_cfg ~cluster with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "driver: %s" e
+  in
+  (match Driver.shutdown ~cluster with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "shutdown: %s" e);
+  let stats = Array.map Node.wait nodes in
+  Alcotest.(check int) "workload resolved after poison" 15
+    (result.Driver.committed_count + result.Driver.aborted);
+  (match Checker.check result.Driver.committed with
+  | Ok () -> ()
+  | Error v -> Alcotest.failf "not serializable: %a" Checker.pp_violation v);
+  (* 4 id-rejected frames + 1 garbage datagram; allow one UDP loss. *)
+  Alcotest.(check bool) "poison counted as decode errors" true
+    (stats.(0).Node.wire_decode_errors >= 4);
+  Array.iter
+    (fun (s : Node.stats) ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "node%d suspects nobody" s.Node.me)
+        [] s.Node.suspected)
+    stats
+
+let test_shim_counts_oversized_frames () =
+  (* A frame bigger than one UDP datagram fails on every [sendto], so
+     retransmission can never deliver it: the shim must drop it up
+     front and count it under [wire.send_errors], not retry silently
+     forever. *)
+  let module Big = Mk_node.Shim.Make (struct
+    type msg = int
+
+    let encode n = String.make n 'x'
+    let decode s = Ok (String.length s)
+  end) in
+  match Big.bind () with
+  | Error e -> Alcotest.failf "bind: %s" e
+  | Ok net ->
+      let obs = Mk_obs.Obs.create ~clock:(fun () -> 0.0) () in
+      Big.set_obs net obs;
+      let dst = Unix.ADDR_INET (Unix.inet_addr_loopback, Big.port net) in
+      Big.send net ~dst 70_000;
+      Alcotest.(check int) "oversized frame counted" 1
+        (Mk_obs.Obs.counter_value obs "wire.send_errors");
+      Big.send net ~dst 100;
+      let got = ref 0 in
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      while !got = 0 && Unix.gettimeofday () < deadline do
+        ignore (Big.poll net ~deliver:(fun ~src:_ len -> got := len) : int)
+      done;
+      Alcotest.(check int) "normal frame still flows" 100 !got;
+      Alcotest.(check int) "no spurious send errors" 1
+        (Mk_obs.Obs.counter_value obs "wire.send_errors");
+      Big.stop net
+
 let test_cluster_detects_silent_node () =
   (* No workload: stop one node's socket and heartbeats, wait past the
      detector timeout, and check both survivors latched the suspicion
@@ -232,6 +326,10 @@ let () =
         [
           Alcotest.test_case "3-node loopback serializable" `Quick
             test_cluster_serializable;
+          Alcotest.test_case "hostile frames survived" `Quick
+            test_cluster_survives_hostile_frames;
+          Alcotest.test_case "oversized frames counted" `Quick
+            test_shim_counts_oversized_frames;
           Alcotest.test_case "silent node detected" `Quick
             test_cluster_detects_silent_node;
         ] );

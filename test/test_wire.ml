@@ -329,6 +329,24 @@ let test_f64_exact_bits () =
     [ 0.; -0.; 1.5; -1e300; 1e-308; Float.nan; Float.infinity;
       Float.neg_infinity ]
 
+let test_u32_range () =
+  (* In-range values round-trip; anything that would truncate into a
+     wrong length on the wire is rejected loudly at encode time. *)
+  List.iter
+    (fun n ->
+      let b = Buffer.create 4 in
+      Wire.w_u32 b n;
+      match Wire.r_u32 (Wire.cursor (Buffer.contents b)) with
+      | Ok n' -> Alcotest.(check int) "u32" n n'
+      | Error e -> Alcotest.failf "u32: %s" (Wire.error_to_string e))
+    [ 0; 1; 0xFFFF; 0x10000; 0xFFFFFFFF ];
+  List.iter
+    (fun n ->
+      match Wire.w_u32 (Buffer.create 4) n with
+      | () -> Alcotest.failf "w_u32 accepted %d" n
+      | exception Invalid_argument _ -> ())
+    [ -1; min_int; 0x1_0000_0000; max_int ]
+
 let test_i64_full_range () =
   List.iter
     (fun n ->
@@ -361,6 +379,7 @@ let () =
       ( "primitives",
         [
           Alcotest.test_case "f64 exact bits" `Quick test_f64_exact_bits;
+          Alcotest.test_case "u32 range checked" `Quick test_u32_range;
           Alcotest.test_case "i64 full range" `Quick test_i64_full_range;
         ] );
     ]
