@@ -1,35 +1,57 @@
 (* ZCP-conformance linter CLI.
 
-   Usage: mk_lint [--config mk_lint.toml] PATH...
+   Usage: mk_lint [--config mk_lint.toml] [--json FILE] [--rules z1,z7] PATH...
    Exits 0 when clean, 1 on findings, 2 on usage/config errors — so CI
-   can gate on it. *)
+   can gate on it. [--json] additionally writes the report as JSON (for
+   artifact upload); [--rules] keeps only the named rules' findings
+   (PARSE always survives), so CI can gate per rule. *)
 
 module Lint_config = Mk_check_lint.Lint_config
 module Lint_engine = Mk_check_lint.Lint_engine
 
-let usage = "usage: mk_lint [--config FILE] PATH...\n"
+let usage =
+  "usage: mk_lint [--config FILE] [--json FILE] [--rules z1,z7,...] PATH...\n"
 
-let rec parse_args (config, paths) = function
-  | [] -> (config, List.rev paths)
-  | "--config" :: file :: rest -> parse_args (Some file, paths) rest
-  | [ "--config" ] ->
+type opts = {
+  config : string option;
+  json : string option;
+  rules : string list option;
+  paths : string list;
+}
+
+let rec parse_args o = function
+  | [] -> { o with paths = List.rev o.paths }
+  | "--config" :: file :: rest -> parse_args { o with config = Some file } rest
+  | "--json" :: file :: rest -> parse_args { o with json = Some file } rest
+  | "--rules" :: spec :: rest ->
+      let rules =
+        String.split_on_char ',' spec |> List.filter (fun r -> r <> "")
+      in
+      if rules = [] then begin
+        prerr_string usage;
+        exit 2
+      end;
+      parse_args { o with rules = Some rules } rest
+  | [ ("--config" | "--json" | "--rules") ] ->
       prerr_string usage;
       exit 2
   | ("-h" | "--help") :: _ ->
       print_string usage;
       exit 0
-  | p :: rest -> parse_args (config, p :: paths) rest
+  | p :: rest -> parse_args { o with paths = p :: o.paths } rest
 
 let () =
-  let config_path, paths =
-    parse_args (None, []) (List.tl (Array.to_list Sys.argv))
+  let o =
+    parse_args
+      { config = None; json = None; rules = None; paths = [] }
+      (List.tl (Array.to_list Sys.argv))
   in
-  if paths = [] then begin
+  if o.paths = [] then begin
     prerr_string usage;
     exit 2
   end;
   let config =
-    match config_path with
+    match o.config with
     | Some file -> begin
         match Lint_config.load file with
         | cfg -> cfg
@@ -44,6 +66,17 @@ let () =
         if Sys.file_exists "mk_lint.toml" then Lint_config.load "mk_lint.toml"
         else Lint_config.default
   in
-  let result = Lint_engine.run ~config ~paths in
+  let result = Lint_engine.run ~config ~paths:o.paths in
+  let result =
+    match o.rules with
+    | Some rules -> Lint_engine.filter_rules rules result
+    | None -> result
+  in
+  (match o.json with
+  | Some file ->
+      let oc = open_out file in
+      output_string oc (Lint_engine.render_json result);
+      close_out oc
+  | None -> ());
   print_string (Lint_engine.render result);
   exit (if result.Lint_engine.findings = [] then 0 else 1)

@@ -1,0 +1,555 @@
+(* A conservative, purely syntactic call graph over the analyzed file
+   set, powering the interprocedural rules (Z5–Z8).
+
+   Per file, {!summarize} collects:
+   - module aliases ([module Codec = Mk_wire.Codec], functor
+     applications included) and [open]s;
+   - definitions: every module-level binding, plus nested bindings
+     whose right-hand side is a syntactic function (a nested non-
+     function [let] is evaluated when its enclosing definition runs,
+     so its uses are attributed to the enclosing definition);
+   - uses: value identifiers (plus [let*]-style binding operators and
+     [assert], which raises), each with its location and the set of
+     [[@mk_lint.allow]] rules lexically in force at the site;
+   - module references (types, constructors, record fields, module
+     exprs) which carry file-level dependencies but no calls.
+
+   {!link} then resolves uses across files: a local definition by
+   name, an [open]ed sibling, a [Mk_lib.Module.f] path via the
+   dune-derived library map, or a sibling module file in the same
+   directory. Anything else is unresolved — classified conservatively
+   by {!Effects}. Name matching is by final component, and a use
+   resolves to {e all} same-named candidates: the graph
+   over-approximates, which is the safe direction for "must not
+   reach" rules. *)
+
+open Parsetree
+
+type use = { u_comps : string list; u_loc : Location.t; u_allow : string list }
+
+type def = {
+  d_name : string;
+  d_loc : Location.t;
+  d_allow : string list;
+  mutable d_uses : use list;
+}
+
+type mref = { m_comps : string list; m_loc : Location.t }
+
+type summary = {
+  s_path : string;
+  mutable s_aliases : (string * string list) list;
+  mutable s_opens : string list list;
+  mutable s_defs : def list;
+  mutable s_mrefs : mref list;
+}
+
+let last_segment name =
+  match List.rev (String.split_on_char '.' name) with
+  | [] -> name
+  | x :: _ -> x
+
+(* ------------------------------------------------------------------ *)
+(* Per-file summary                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec is_function_rhs (e : expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e) | Pexp_constraint (e, _) -> is_function_rhs e
+  | _ -> false
+
+let summarize ~path structure =
+  let sum =
+    { s_path = path; s_aliases = []; s_opens = []; s_defs = []; s_mrefs = [] }
+  in
+  let toplevel =
+    {
+      d_name = "(toplevel)";
+      d_loc = Location.in_file path;
+      d_allow = [];
+      d_uses = [];
+    }
+  in
+  sum.s_defs <- [ toplevel ];
+  let cur = ref toplevel in
+  let prefix = ref [] (* reversed module/def path *) in
+  let allows = ref [] in
+  let allow_now () = List.concat !allows in
+  let qualify name = String.concat "." (List.rev (name :: !prefix)) in
+  let add_use comps loc =
+    !cur.d_uses <- { u_comps = comps; u_loc = loc; u_allow = allow_now () } :: !cur.d_uses
+  in
+  let add_mref comps loc =
+    if comps <> [] then sum.s_mrefs <- { m_comps = comps; m_loc = loc } :: sum.s_mrefs
+  in
+  let with_allow rules f =
+    if rules = [] then f ()
+    else begin
+      allows := rules :: !allows;
+      f ();
+      allows := List.tl !allows
+    end
+  in
+  let with_cur d f =
+    let old = !cur in
+    cur := d;
+    f ();
+    cur := old
+  in
+  let new_def name loc =
+    let d =
+      { d_name = qualify name; d_loc = loc; d_allow = allow_now (); d_uses = [] }
+    in
+    sum.s_defs <- d :: sum.s_defs;
+    d
+  in
+  let handle_binding (it : Ast_iterator.iterator) ~at_toplevel vb =
+    let attrs = Lint_rules.allowed_rules_of_attrs vb.pvb_attributes in
+    with_allow attrs (fun () ->
+        match Lint_rules.pattern_name vb.pvb_pat with
+        | Some n when at_toplevel || is_function_rhs vb.pvb_expr ->
+            let d = new_def n vb.pvb_pat.ppat_loc in
+            (* nested defs carry the enclosing path ("launch.deliver"),
+               so bare-name resolution can prefer the closest scope *)
+            prefix := n :: !prefix;
+            with_cur d (fun () -> it.expr it vb.pvb_expr);
+            prefix := List.tl !prefix
+        | _ ->
+            if at_toplevel then begin
+              (* unnamed or destructuring module-level binding: its
+                 effects still run at init — give it its own node *)
+              let d = new_def "_" vb.pvb_pat.ppat_loc in
+              with_cur d (fun () -> it.expr it vb.pvb_expr)
+            end
+            else it.expr it vb.pvb_expr);
+    it.pat it vb.pvb_pat
+  in
+  let rec peel_module (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure str -> `Struct str
+    | Pmod_functor (_, body) -> peel_module body
+    | Pmod_ident { txt; _ } -> `Path (Lint_rules.lid_components txt, me.pmod_loc)
+    | Pmod_apply (f, arg) -> begin
+        match peel_module f with
+        | `Path (comps, loc) -> `Apply (comps, loc, arg)
+        | _ -> `Other
+      end
+    | Pmod_constraint (m, _) -> peel_module m
+    | _ -> `Other
+  in
+  let in_module name f =
+    prefix := name :: !prefix;
+    f ();
+    prefix := List.tl !prefix
+  in
+  let handle_module (it : Ast_iterator.iterator) name_opt mexpr =
+    let name = match name_opt with Some n -> n | None -> "_" in
+    match peel_module mexpr with
+    | `Struct str -> in_module name (fun () -> it.structure it str)
+    | `Path (comps, loc) ->
+        sum.s_aliases <- (name, comps) :: sum.s_aliases;
+        add_mref comps loc
+    | `Apply (comps, loc, arg) ->
+        (* [module Net = Shim.Make (struct ... end)]: Net aliases the
+           functor result; the argument's definitions live under Net *)
+        sum.s_aliases <- (name, comps) :: sum.s_aliases;
+        add_mref comps loc;
+        in_module name (fun () -> it.module_expr it arg)
+    | `Other -> it.module_expr it mexpr
+  in
+  let handle_open (it : Ast_iterator.iterator) (od : open_declaration) =
+    match od.popen_expr.pmod_desc with
+    | Pmod_ident { txt; _ } ->
+        let comps = Lint_rules.lid_components txt in
+        sum.s_opens <- comps :: sum.s_opens;
+        add_mref comps od.popen_expr.pmod_loc
+    | _ -> it.module_expr it od.popen_expr
+  in
+  let iter =
+    {
+      Ast_iterator.default_iterator with
+      structure_item =
+        (fun it si ->
+          match si.pstr_desc with
+          | Pstr_value (_, vbs) ->
+              List.iter (handle_binding it ~at_toplevel:true) vbs
+          | Pstr_module mb ->
+              with_allow
+                (Lint_rules.allowed_rules_of_attrs mb.pmb_attributes)
+                (fun () -> handle_module it mb.pmb_name.txt mb.pmb_expr)
+          | Pstr_recmodule mbs ->
+              List.iter (fun mb -> handle_module it mb.pmb_name.txt mb.pmb_expr) mbs
+          | Pstr_open od -> handle_open it od
+          | Pstr_eval (e, attrs) ->
+              with_allow (Lint_rules.allowed_rules_of_attrs attrs) (fun () ->
+                  let d = new_def "_" si.pstr_loc in
+                  with_cur d (fun () -> it.expr it e))
+          | _ -> Ast_iterator.default_iterator.structure_item it si)
+      ;
+      expr =
+        (fun it e ->
+          with_allow (Lint_rules.allowed_rules_of_attrs e.pexp_attributes)
+            (fun () ->
+              match e.pexp_desc with
+              | Pexp_ident { txt; loc } ->
+                  add_use (Lint_rules.lid_components txt) loc
+              | Pexp_let (_, vbs, body) ->
+                  List.iter (handle_binding it ~at_toplevel:false) vbs;
+                  it.expr it body
+              | Pexp_letmodule (name, mexpr, body) ->
+                  handle_module it name.txt mexpr;
+                  it.expr it body
+              | Pexp_open (od, body) ->
+                  handle_open it od;
+                  it.expr it body
+              | Pexp_letop { let_; ands; body } ->
+                  let binding_op (b : binding_op) =
+                    add_use [ b.pbop_op.txt ] b.pbop_op.loc;
+                    it.pat it b.pbop_pat;
+                    it.expr it b.pbop_exp
+                  in
+                  binding_op let_;
+                  List.iter binding_op ands;
+                  it.expr it body
+              | Pexp_construct ({ txt; loc }, _) ->
+                  add_mref (Lint_rules.module_components txt) loc;
+                  Ast_iterator.default_iterator.expr it e
+              | Pexp_field (_, { txt; loc }) | Pexp_setfield (_, { txt; loc }, _)
+                ->
+                  add_mref (Lint_rules.module_components txt) loc;
+                  Ast_iterator.default_iterator.expr it e
+              | Pexp_record (fields, _) ->
+                  List.iter
+                    (fun (({ txt; loc } : Longident.t Location.loc), _) ->
+                      add_mref (Lint_rules.module_components txt) loc)
+                    fields;
+                  Ast_iterator.default_iterator.expr it e
+              | Pexp_assert _ ->
+                  add_use [ "assert" ] e.pexp_loc;
+                  Ast_iterator.default_iterator.expr it e
+              | _ -> Ast_iterator.default_iterator.expr it e))
+      ;
+      pat =
+        (fun it p ->
+          (match p.ppat_desc with
+          | Ppat_construct ({ txt; loc }, _) ->
+              add_mref (Lint_rules.module_components txt) loc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat it p)
+      ;
+      typ =
+        (fun it t ->
+          (match t.ptyp_desc with
+          | Ptyp_constr ({ txt; loc }, _) ->
+              add_mref (Lint_rules.module_components txt) loc
+          | _ -> ());
+          Ast_iterator.default_iterator.typ it t)
+      ;
+      module_expr =
+        (fun it m ->
+          (match m.pmod_desc with
+          | Pmod_ident { txt; _ } ->
+              add_mref (Lint_rules.lid_components txt) m.pmod_loc
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr it m)
+      ;
+    }
+  in
+  iter.structure iter structure;
+  sum.s_aliases <- List.rev sum.s_aliases;
+  sum.s_opens <- List.rev sum.s_opens;
+  sum.s_defs <- List.rev sum.s_defs;
+  sum.s_mrefs <- List.rev sum.s_mrefs;
+  List.iter (fun d -> d.d_uses <- List.rev d.d_uses) sum.s_defs;
+  sum
+
+(* ------------------------------------------------------------------ *)
+(* Whole-program link                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type dep_target = Dep_file of string | Dep_external of string
+
+type resolution = {
+  r_targets : int list;
+  r_comps : string list;
+  r_deps : dep_target list;
+  r_unknown : string option;
+}
+
+type program = {
+  p_files : summary array;
+  p_defs : (int * def) array;
+  p_file_of : (string, int) Hashtbl.t;
+  p_defs_of : int list array;
+  p_named : (string, int list) Hashtbl.t array; (* per file: last name -> ids *)
+  p_libmap : (string * string) list;
+  p_resolved : (use * resolution) list array; (* per def id *)
+}
+
+let expand_alias (s : summary) comps =
+  match comps with
+  | m0 :: rest -> begin
+      match List.assoc_opt m0 s.s_aliases with
+      | Some target -> target @ rest
+      | None -> comps
+    end
+  | [] -> comps
+
+let defs_named p fi name =
+  match Hashtbl.find_opt p.p_named.(fi) name with Some ids -> ids | None -> []
+
+let file_index p path = Hashtbl.find_opt p.p_file_of path
+
+let module_file ~dir m =
+  Filename.concat dir (String.uncapitalize_ascii m ^ ".ml")
+
+let has_submodule (s : summary) m0 =
+  let pref = m0 ^ "." in
+  List.exists
+    (fun d ->
+      String.length d.d_name > String.length pref
+      && String.sub d.d_name 0 (String.length pref) = pref)
+    s.s_defs
+
+let no_resolution comps = { r_targets = []; r_comps = comps; r_deps = []; r_unknown = None }
+
+(* Resolve a qualified path (>= 2 components) seen in file [fi]. *)
+let resolve_qualified p fi comps =
+  let s = p.p_files.(fi) in
+  let name = match List.rev comps with x :: _ -> x | [] -> "" in
+  let m0 = List.hd comps in
+  (* a locally defined submodule: match by final name within it *)
+  let local =
+    if has_submodule s m0 then
+      defs_named p fi name
+      |> List.filter (fun id ->
+             let d = snd p.p_defs.(id) in
+             List.mem m0 (String.split_on_char '.' d.d_name))
+    else []
+  in
+  if local <> [] then { r_targets = local; r_comps = comps; r_deps = []; r_unknown = None }
+  else begin
+    match List.assoc_opt m0 p.p_libmap with
+    | Some dir -> begin
+        (* Mk_lib.Module....name *)
+        match comps with
+        | _ :: sub :: _ :: _ -> begin
+            match file_index p (module_file ~dir sub) with
+            | Some tfi ->
+                {
+                  r_targets = defs_named p tfi name;
+                  r_comps = comps;
+                  r_deps = [ Dep_file p.p_files.(tfi).s_path ];
+                  r_unknown = None;
+                }
+            | None -> no_resolution comps (* internal, outside the analyzed set *)
+          end
+        | _ -> no_resolution comps
+      end
+    | None -> begin
+        (* a sibling module file in the same directory *)
+        match file_index p (module_file ~dir:(Filename.dirname s.s_path) m0) with
+        | Some tfi ->
+            {
+              r_targets = defs_named p tfi name;
+              r_comps = comps;
+              r_deps = [ Dep_file p.p_files.(tfi).s_path ];
+              r_unknown = None;
+            }
+        | None ->
+            if Effects.is_internal_module m0 then no_resolution comps
+            else
+              {
+                r_targets = [];
+                r_comps = comps;
+                r_deps = [ Dep_external m0 ];
+                r_unknown =
+                  (if Effects.is_benign_module m0 then None else Some m0);
+              }
+      end
+  end
+
+(* Among same-named candidates, keep those whose enclosing scope
+   shares the longest dotted prefix with the use's enclosing def —
+   [loop] inside [server_loop] means [server_loop.loop], not some
+   other nested [loop] in the file. Ties keep every candidate (the
+   over-approximation direction). *)
+let prefer_closest p ~scope ids =
+  let rec common a b =
+    match (a, b) with
+    | x :: a', y :: b' when x = y -> 1 + common a' b'
+    | _ -> 0
+  in
+  let affinity id =
+    let d = snd p.p_defs.(id) in
+    match List.rev (String.split_on_char '.' d.d_name) with
+    | [] -> 0
+    | _ :: parents -> common scope (List.rev parents)
+  in
+  match ids with
+  | [] | [ _ ] -> ids
+  | _ ->
+      let best = List.fold_left (fun acc id -> max acc (affinity id)) 0 ids in
+      List.filter (fun id -> affinity id = best) ids
+
+let resolve_use p fi ~scope (u : use) =
+  let s = p.p_files.(fi) in
+  let comps = expand_alias s u.u_comps in
+  match comps with
+  | [] -> no_resolution comps
+  | [ x ] ->
+      let local = prefer_closest p ~scope (defs_named p fi x) in
+      if local <> [] then
+        { r_targets = local; r_comps = comps; r_deps = []; r_unknown = None }
+      else begin
+        (* fall back to the file's opens, in order; merge every
+           resolution that found something (over-approximation) *)
+        let candidates =
+          List.map (fun o -> resolve_qualified p fi (o @ [ x ])) s.s_opens
+        in
+        let hits =
+          List.filter
+            (fun r -> r.r_targets <> [] || r.r_unknown <> None)
+            candidates
+        in
+        match hits with
+        | [] -> no_resolution comps
+        | first :: _ ->
+            {
+              r_targets = List.concat_map (fun r -> r.r_targets) hits;
+              r_comps = first.r_comps;
+              r_deps = List.concat_map (fun r -> r.r_deps) hits;
+              r_unknown = first.r_unknown;
+            }
+      end
+  | _ -> resolve_qualified p fi comps
+
+let resolve_mref p fi (m : mref) =
+  let s = p.p_files.(fi) in
+  let comps = expand_alias s m.m_comps in
+  match comps with
+  | [] -> []
+  | m0 :: rest ->
+      if has_submodule s m0 then []
+      else begin
+        match List.assoc_opt m0 p.p_libmap with
+        | Some dir -> begin
+            match rest with
+            | sub :: _ -> begin
+                match file_index p (module_file ~dir sub) with
+                | Some tfi -> [ Dep_file p.p_files.(tfi).s_path ]
+                | None -> []
+              end
+            | [] -> []
+          end
+        | None -> begin
+            match
+              file_index p (module_file ~dir:(Filename.dirname s.s_path) m0)
+            with
+            | Some tfi -> [ Dep_file p.p_files.(tfi).s_path ]
+            | None -> if Effects.is_internal_module m0 then [] else [ Dep_external m0 ]
+          end
+      end
+
+let link ~libmap summaries =
+  let files =
+    List.sort (fun a b -> String.compare a.s_path b.s_path) summaries
+    |> Array.of_list
+  in
+  let file_of = Hashtbl.create 64 in
+  Array.iteri (fun i s -> Hashtbl.replace file_of s.s_path i) files;
+  let defs =
+    Array.to_list files
+    |> List.mapi (fun fi s -> List.map (fun d -> (fi, d)) s.s_defs)
+    |> List.concat |> Array.of_list
+  in
+  let defs_of = Array.make (Array.length files) [] in
+  let named = Array.init (Array.length files) (fun _ -> Hashtbl.create 16) in
+  Array.iteri
+    (fun id (fi, d) ->
+      defs_of.(fi) <- id :: defs_of.(fi);
+      let key = last_segment d.d_name in
+      let prev =
+        match Hashtbl.find_opt named.(fi) key with Some l -> l | None -> []
+      in
+      Hashtbl.replace named.(fi) key (id :: prev))
+    defs;
+  Array.iteri (fun fi ids -> defs_of.(fi) <- List.rev ids) defs_of;
+  (* restore source order in the name index *)
+  Array.iter
+    (fun tbl ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.iter (fun (k, v) -> Hashtbl.replace tbl k (List.rev v)))
+    named;
+  let p =
+    {
+      p_files = files;
+      p_defs = defs;
+      p_file_of = file_of;
+      p_defs_of = defs_of;
+      p_named = named;
+      p_libmap = libmap;
+      p_resolved = Array.make (Array.length defs) [];
+    }
+  in
+  Array.iteri
+    (fun id (fi, d) ->
+      (* the use's scope is the full dotted path of its enclosing def:
+         a use inside [server_loop] prefers [server_loop.loop] *)
+      let scope = String.split_on_char '.' d.d_name in
+      p.p_resolved.(id) <-
+        List.map (fun u -> (u, resolve_use p fi ~scope u)) d.d_uses)
+    defs;
+  p
+
+let files p = Array.to_list p.p_files |> List.map (fun s -> s.s_path)
+let has_file p path = Hashtbl.mem p.p_file_of path
+let def p id = snd p.p_defs.(id)
+let def_file p id = p.p_files.(fst p.p_defs.(id)).s_path
+let def_uses p id = p.p_resolved.(id)
+
+let defs_in_file p path =
+  match file_index p path with Some fi -> p.p_defs_of.(fi) | None -> []
+
+let find_defs p ~file ~name =
+  match file_index p file with
+  | None -> []
+  | Some fi -> defs_named p fi name
+
+let loc_key (loc : Location.t) =
+  let pos = loc.Location.loc_start in
+  (pos.Lexing.pos_lnum, pos.Lexing.pos_cnum - pos.Lexing.pos_bol)
+
+(* File-level dependency edges of [path]: every distinct target with
+   the earliest location that establishes it, sorted by target so the
+   traversal order (hence every witness chain) is deterministic. *)
+let file_deps p path =
+  match file_index p path with
+  | None -> []
+  | Some fi ->
+      let s = p.p_files.(fi) in
+      let acc : (dep_target, Location.t) Hashtbl.t = Hashtbl.create 16 in
+      let note target loc =
+        let better =
+          match Hashtbl.find_opt acc target with
+          | None -> true
+          | Some old -> loc_key loc < loc_key old
+        in
+        if better then Hashtbl.replace acc target loc
+      in
+      List.iter
+        (fun id ->
+          List.iter
+            (fun ((u : use), r) ->
+              List.iter (fun t -> note t u.u_loc) r.r_deps;
+              List.iter
+                (fun tid ->
+                  let tpath = def_file p tid in
+                  if tpath <> path then note (Dep_file tpath) u.u_loc)
+                r.r_targets)
+            (def_uses p id))
+        (defs_in_file p path);
+      List.iter (fun m -> List.iter (fun t -> note t m.m_loc) (resolve_mref p fi m)) s.s_mrefs;
+      Hashtbl.fold (fun t loc acc -> (t, loc) :: acc) acc []
+      |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)

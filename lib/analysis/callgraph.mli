@@ -1,0 +1,71 @@
+(** Conservative syntactic call graph over the analyzed files: per-file
+    def/use summaries linked into a whole-program graph. Unresolved
+    references stay unresolved (classified by {!Effects}); resolution
+    is by final name component and returns {e all} candidates, so the
+    graph over-approximates — the safe direction for the "must not
+    reach" rules (Z5–Z8). See DESIGN.md §7. *)
+
+type use = { u_comps : string list; u_loc : Location.t; u_allow : string list }
+(** One value reference: raw path components as written, location, and
+    the [[@mk_lint.allow]] rules lexically in force at the site. *)
+
+type def = {
+  d_name : string;  (** dotted path within the file, e.g. ["launch.deliver"] *)
+  d_loc : Location.t;
+  d_allow : string list;
+  mutable d_uses : use list;
+}
+
+type mref = { m_comps : string list; m_loc : Location.t }
+(** A module-level reference (type, constructor, field, open, module
+    expr): a file dependency that is not a call. *)
+
+type summary = {
+  s_path : string;
+  mutable s_aliases : (string * string list) list;
+  mutable s_opens : string list list;
+  mutable s_defs : def list;
+  mutable s_mrefs : mref list;
+}
+
+val last_segment : string -> string
+(** Final component of a dotted definition name. *)
+
+val summarize : path:string -> Parsetree.structure -> summary
+
+type dep_target = Dep_file of string | Dep_external of string
+
+type resolution = {
+  r_targets : int list;  (** ids of analyzed defs this use may call *)
+  r_comps : string list;  (** alias/open-expanded path components *)
+  r_deps : dep_target list;  (** file-level dependencies established *)
+  r_unknown : string option;
+      (** unresolved head module that is neither benign stdlib nor an
+          internal [Mk_*] library — treated as effectful *)
+}
+
+type program
+
+val link : libmap:(string * string) list -> summary list -> program
+(** [libmap] maps wrapped-library module names (["Mk_wire"]) to their
+    source directories (["lib/wire"]), derived from [dune] files. *)
+
+val files : program -> string list
+(** Analyzed file paths, sorted. *)
+
+val has_file : program -> string -> bool
+val def : program -> int -> def
+val def_file : program -> int -> string
+val def_uses : program -> int -> (use * resolution) list
+val defs_in_file : program -> string -> int list
+(** Def ids in source order; [[]] for a file outside the program. *)
+
+val find_defs : program -> file:string -> name:string -> int list
+(** Defs in [file] whose final name component is [name]. *)
+
+val loc_key : Location.t -> int * int
+(** (line, col) of a location's start — a stable dedup key. *)
+
+val file_deps : program -> string -> (dep_target * Location.t) list
+(** Distinct dependency targets of a file, each with the earliest
+    location establishing it, sorted by target (deterministic). *)

@@ -1,0 +1,139 @@
+(* Effect classification for the interprocedural rules (Z6/Z7/Z8).
+
+   Effects are assigned to *use sites* from curated primitive lists
+   ("M.*", "M.f", or a bare "f"), and to unresolved references by a
+   conservative module policy:
+
+   - a reference that resolves to a definition in the analyzed file set
+     carries whatever its callee's body carries (computed by
+     {!Reachability});
+   - a reference into a known-benign stdlib module carries nothing
+     beyond what the prim lists say about it;
+   - a reference into one of this repo's own [Mk_*] libraries whose
+     file is outside the analyzed set carries nothing (CI analyzes the
+     whole tree, where every internal reference resolves — partial
+     runs must not drown in false positives);
+   - any other unresolved module reference is treated as effectful
+     (Impure) — the "unresolved calls = effectful" conservatism.
+
+   Raising and Blocking are never guessed: they come only from the
+   prim lists plus propagation through resolved definitions, so the
+   curated lists are the analysis' trusted base. *)
+
+type kind = Impure | Raising | Blocking
+
+let kind_to_string = function
+  | Impure -> "impure"
+  | Raising -> "raising"
+  | Blocking -> "blocking"
+
+(* Module components of an expanded path: everything but the final
+   name. *)
+let modules_of comps =
+  match List.rev comps with [] -> [] | _ :: mods -> List.rev mods
+
+let last_of comps = match List.rev comps with [] -> None | x :: _ -> Some x
+
+(* Does one prim spec match a use path (alias-expanded components)?
+   "f"    — an unqualified (or Stdlib-qualified) use of f
+   "M.*"  — any use with M among its module components
+   "M.f"  — a use of f with M among its module components *)
+let prim_matches spec comps =
+  match String.split_on_char '.' spec with
+  | [ f ] -> begin
+      match comps with
+      | [ x ] -> x = f
+      | [ "Stdlib"; x ] -> x = f
+      | _ -> false
+    end
+  | [ m; "*" ] -> List.mem m (modules_of comps)
+  | [ m; f ] -> last_of comps = Some f && List.mem m (modules_of comps)
+  | _ -> false
+
+let match_prims prims comps =
+  List.filter (fun spec -> prim_matches spec comps) prims
+
+(* Stdlib modules whose operations are pure/total enough not to count
+   as "unknown effectful". Specific members can still be flagged by
+   the prim lists (Sys.time, Hashtbl.find, Mutex.lock, ...): prim
+   matching runs regardless of this set. *)
+let benign_modules =
+  [
+    "Stdlib";
+    "List";
+    "ListLabels";
+    "Array";
+    "ArrayLabels";
+    "String";
+    "StringLabels";
+    "Bytes";
+    "BytesLabels";
+    "Char";
+    "Uchar";
+    "Int";
+    "Int32";
+    "Int64";
+    "Nativeint";
+    "Float";
+    "Bool";
+    "Unit";
+    "Option";
+    "Result";
+    "Either";
+    "Fun";
+    "Seq";
+    "Map";
+    "Set";
+    "Hashtbl";
+    "Queue";
+    "Stack";
+    "Buffer";
+    "Printf";
+    "Format";
+    "Scanf";
+    "Lazy";
+    "Filename";
+    "Complex";
+    "Bigarray";
+    "Atomic";
+    "Mutex";
+    "Condition";
+    "Semaphore";
+    "Sys";
+    "Random";
+    "Gc";
+    "Printexc";
+    "Arg";
+    "Marshal";
+    "Digest";
+    "Weak";
+    "Ephemeron";
+    "Obj";
+    "Callback";
+    "Lexing";
+    "Parsing";
+  ]
+
+let is_benign_module m = List.mem m benign_modules
+
+(* This repo's library namespace: references into Mk_* that do not
+   resolve (file outside the analyzed set) are internal, not unknown —
+   they are checked whenever the full tree is analyzed. *)
+let is_internal_module m =
+  String.length m >= 3 && String.sub m 0 3 = "Mk_"
+
+(* Classification of an *unresolved* use (no definition found in the
+   analyzed files): which effects does it carry on its own? *)
+let classify_unresolved ~impure_prims ~raising_prims ~blocking_prims comps =
+  let from_prims =
+    (if match_prims impure_prims comps <> [] then [ Impure ] else [])
+    @ (if match_prims raising_prims comps <> [] then [ Raising ] else [])
+    @ if match_prims blocking_prims comps <> [] then [ Blocking ] else []
+  in
+  if from_prims <> [] then from_prims
+  else begin
+    match modules_of comps with
+    | [] -> [] (* bare unqualified name: a local or pervasive, benign *)
+    | head :: _ ->
+        if is_benign_module head || is_internal_module head then [] else [ Impure ]
+  end

@@ -1,0 +1,36 @@
+(** Effect classification for the interprocedural rules (Z6/Z7/Z8):
+    curated primitive lists plus a conservative policy for unresolved
+    module references. See DESIGN.md §7. *)
+
+type kind = Impure | Raising | Blocking
+
+val kind_to_string : kind -> string
+
+val modules_of : string list -> string list
+(** Module components of an expanded use path (all but the last). *)
+
+val last_of : string list -> string option
+
+val prim_matches : string -> string list -> bool
+(** [prim_matches spec comps] — does the prim spec (["f"], ["M.*"] or
+    ["M.f"]) match the alias-expanded path components? *)
+
+val match_prims : string list -> string list -> string list
+(** All specs in the list matching the path. *)
+
+val is_benign_module : string -> bool
+(** Stdlib modules whose unlisted members carry no effects. *)
+
+val is_internal_module : string -> bool
+(** [Mk_*]: this repo's own libraries — unresolved references into them
+    are "not analyzed here", not "unknown effectful". *)
+
+val classify_unresolved :
+  impure_prims:string list ->
+  raising_prims:string list ->
+  blocking_prims:string list ->
+  string list ->
+  kind list
+(** Effects carried by a use that resolves to no analyzed definition:
+    prim-list matches first; otherwise [Impure] for a non-benign,
+    non-internal module head; otherwise nothing. *)

@@ -6,7 +6,111 @@ type t = {
   lock_guards : string list;
   mli_required_under : string list;
   mli_exempt_suffixes : string list;
+  layering : (string * string list) list;
+  layering_allow : string list;
+  pure_files : string list;
+  pure_allow : string list;
+  impure_prims : string list;
+  total_entries : string list;
+  raising_prims : string list;
+  total_allow : string list;
+  nonblock_entries : string list;
+  blocking_prims : string list;
+  nonblock_allow : string list;
 }
+
+(* The default prim lists are the curated ground truth of the effect
+   analysis: Raising and Blocking classifications come only from here
+   (plus local propagation), never from guessing about unresolved
+   modules — see DESIGN.md §7. *)
+
+let default_impure_prims =
+  [
+    "Unix.*";
+    "Domain.*";
+    "Thread.*";
+    "Sys.time";
+    "Sys.getenv";
+    "Sys.getenv_opt";
+    "Random.self_init";
+    "Random.init";
+    "print_string";
+    "print_endline";
+    "print_newline";
+    "print_int";
+    "print_char";
+    "print_float";
+    "prerr_string";
+    "prerr_endline";
+    "prerr_newline";
+    "output_string";
+    "output_char";
+    "output_bytes";
+    "open_in";
+    "open_in_bin";
+    "open_out";
+    "open_out_bin";
+    "read_line";
+    "read_int";
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+  ]
+
+let default_raising_prims =
+  [
+    "raise";
+    "raise_notrace";
+    "failwith";
+    "invalid_arg";
+    "exit";
+    "assert";
+    "List.hd";
+    "List.tl";
+    "List.nth";
+    "List.find";
+    "List.assoc";
+    "Option.get";
+    "Hashtbl.find";
+    "Array.get";
+    "Array.set";
+    "String.get";
+    "String.sub";
+    "String.get_int64_le";
+    "String.get_int32_le";
+    "Bytes.get";
+    "Bytes.set";
+    "Char.chr";
+    "int_of_string";
+    "float_of_string";
+    "Int64.of_string";
+    "Int32.of_string";
+  ]
+
+(* [Mailbox.push] (bounded spin on try_push) is deliberately absent:
+   spinning under backpressure is the sanctioned ZCP idiom; parking is
+   what the hot path must never do. [Mailbox.pop] parks. *)
+let default_blocking_prims =
+  [
+    "Mutex.lock";
+    "Condition.wait";
+    "Unix.sleep";
+    "Unix.sleepf";
+    "Unix.select";
+    "Unix.recv";
+    "Unix.recvfrom";
+    "Unix.read";
+    "Unix.accept";
+    "Unix.connect";
+    "Unix.wait";
+    "Unix.waitpid";
+    "Thread.join";
+    "Domain.join";
+    "Spawn.join";
+    "Spawn.parallel";
+    "Mailbox.pop";
+  ]
 
 let default =
   {
@@ -19,6 +123,17 @@ let default =
     lock_guards = [ "with_shard"; "with_entry" ];
     mli_required_under = [ "lib" ];
     mli_exempt_suffixes = [ "_intf.ml" ];
+    layering = [];
+    layering_allow = [];
+    pure_files = [];
+    pure_allow = [];
+    impure_prims = default_impure_prims;
+    total_entries = [];
+    raising_prims = default_raising_prims;
+    total_allow = [];
+    nonblock_entries = [];
+    blocking_prims = default_blocking_prims;
+    nonblock_allow = [];
   }
 
 exception Parse_error of string
@@ -72,9 +187,35 @@ let parse_string_list ~line s =
     if s.[n - 1] <> ']' then fail ();
     let inner = strip (String.sub s 1 (n - 2)) in
     if inner = "" then []
-    else List.map parse_quoted (String.split_on_char ',' inner)
+    else
+      (* trailing commas are fine: multi-line lists end with one *)
+      String.split_on_char ',' inner
+      |> List.filter_map (fun seg ->
+             let seg = strip seg in
+             if seg = "" then None else Some (parse_quoted seg))
   end
   else [ parse_quoted s ]
+
+(* A Z5 rule string: "SCOPE : FORBIDDEN FORBIDDEN ...". The scope is a
+   path prefix; each forbidden entry is a path prefix (contains '/')
+   or an external module name. *)
+let parse_layering_rule ~line s =
+  match String.index_opt s ':' with
+  | None ->
+      raise
+        (Parse_error
+           (Printf.sprintf "line %d: z5 rule needs \"scope : forbidden...\"" line))
+  | Some i ->
+      let scope = strip (String.sub s 0 i) in
+      let rhs = strip (String.sub s (i + 1) (String.length s - i - 1)) in
+      let forbidden =
+        String.split_on_char ' ' rhs |> List.filter (fun x -> x <> "")
+      in
+      if scope = "" || forbidden = [] then
+        raise
+          (Parse_error
+             (Printf.sprintf "line %d: z5 rule needs \"scope : forbidden...\"" line))
+      else (scope, forbidden)
 
 let apply cfg ~section ~key ~value ~line =
   match (section, key) with
@@ -85,6 +226,18 @@ let apply cfg ~section ~key ~value ~line =
   | "z3", "guards" -> { cfg with lock_guards = value }
   | "z4", "require_under" -> { cfg with mli_required_under = value }
   | "z4", "exempt" -> { cfg with mli_exempt_suffixes = value }
+  | "z5", "rules" ->
+      { cfg with layering = List.map (parse_layering_rule ~line) value }
+  | "z5", "allow" -> { cfg with layering_allow = value }
+  | "z6", "pure" -> { cfg with pure_files = value }
+  | "z6", "impure" -> { cfg with impure_prims = value }
+  | "z6", "allow" -> { cfg with pure_allow = value }
+  | "z7", "entries" -> { cfg with total_entries = value }
+  | "z7", "raising" -> { cfg with raising_prims = value }
+  | "z7", "allow" -> { cfg with total_allow = value }
+  | "z8", "entries" -> { cfg with nonblock_entries = value }
+  | "z8", "blocking" -> { cfg with blocking_prims = value }
+  | "z8", "allow" -> { cfg with nonblock_allow = value }
   | _ ->
       raise
         (Parse_error
@@ -94,31 +247,61 @@ let of_string text =
   let lines = String.split_on_char '\n' text in
   let cfg = ref default in
   let section = ref "" in
+  (* A list value may span lines: accumulate from `key = [` until the
+     closing `]`. *)
+  let pending = ref None in
+  let feed ~key ~value ~lineno =
+    cfg := apply !cfg ~section:!section ~key ~value:(parse_string_list ~line:lineno value) ~line:lineno
+  in
   List.iteri
     (fun i raw ->
       let lineno = i + 1 in
       let line = strip (strip_comment raw) in
-      if line = "" then ()
-      else if line.[0] = '[' then begin
-        let n = String.length line in
-        if n < 3 || line.[n - 1] <> ']' then
-          raise (Parse_error (Printf.sprintf "line %d: malformed section" lineno));
-        section := String.sub line 1 (n - 2)
-      end
-      else begin
-        match String.index_opt line '=' with
-        | None ->
-            raise
-              (Parse_error (Printf.sprintf "line %d: expected key = value" lineno))
-        | Some eq ->
-            let key = strip (String.sub line 0 eq) in
-            let value =
-              parse_string_list ~line:lineno
-                (String.sub line (eq + 1) (String.length line - eq - 1))
-            in
-            cfg := apply !cfg ~section:!section ~key ~value ~line:lineno
-      end)
+      match !pending with
+      | Some (key, start, buf) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf line;
+          if line <> "" && line.[String.length line - 1] = ']' then begin
+            pending := None;
+            feed ~key ~value:(Buffer.contents buf) ~lineno:start
+          end
+      | None ->
+          if line = "" then ()
+          else if line.[0] = '[' then begin
+            let n = String.length line in
+            if n < 3 || line.[n - 1] <> ']' then
+              raise
+                (Parse_error (Printf.sprintf "line %d: malformed section" lineno));
+            section := String.sub line 1 (n - 2)
+          end
+          else begin
+            match String.index_opt line '=' with
+            | None ->
+                raise
+                  (Parse_error
+                     (Printf.sprintf "line %d: expected key = value" lineno))
+            | Some eq ->
+                let key = strip (String.sub line 0 eq) in
+                let value =
+                  strip (String.sub line (eq + 1) (String.length line - eq - 1))
+                in
+                if
+                  value <> ""
+                  && value.[0] = '['
+                  && value.[String.length value - 1] <> ']'
+                then begin
+                  let buf = Buffer.create 128 in
+                  Buffer.add_string buf value;
+                  pending := Some (key, lineno, buf)
+                end
+                else feed ~key ~value ~lineno
+          end)
     lines;
+  (match !pending with
+  | Some (key, start, _) ->
+      raise
+        (Parse_error (Printf.sprintf "line %d: unterminated list for %s" start key))
+  | None -> ());
   !cfg
 
 let load path =

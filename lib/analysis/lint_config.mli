@@ -20,6 +20,35 @@ type t = {
   mli_exempt_suffixes : string list;
       (** Z4: basename suffixes exempt from the [.mli] requirement
           (module-type-only files such as [_intf.ml]). *)
+  layering : (string * string list) list;
+      (** Z5: [(scope, forbidden)] pairs — no file under the [scope]
+          path prefix may transitively depend on any [forbidden] target
+          (a path prefix when it contains '/', otherwise an external
+          module name such as ["Unix"]). *)
+  layering_allow : string list;
+      (** Z5: path prefixes exempt as dependency {e sources} (their
+          outgoing deps are not checked; they still count as targets). *)
+  pure_files : string list;
+      (** Z6: transport-pure boundary files — no definition in them may
+          transitively reach an impure primitive. *)
+  pure_allow : string list;
+      (** Z6: path prefixes whose defs are exempt even when reached. *)
+  impure_prims : string list;
+      (** Z6: impure primitives, as ["M.*"], ["M.f"] or bare ["f"]. *)
+  total_entries : string list;
+      (** Z7: ["file:def"] decode entry points that must be total. *)
+  raising_prims : string list;
+      (** Z7: raising primitives, same syntax as {!impure_prims}. *)
+  total_allow : string list;
+      (** Z7: path prefixes whose reachable raises are accepted (layers
+          below the wire boundary that only see validated input). *)
+  nonblock_entries : string list;
+      (** Z8: ["file:def"] hot-path entry points that must not block. *)
+  blocking_prims : string list;
+      (** Z8: blocking primitives, same syntax as {!impure_prims}. *)
+  nonblock_allow : string list;
+      (** Z8: path prefixes whose reachable blocking is sanctioned
+          (shim boundary, shard locks). *)
 }
 
 val default : t

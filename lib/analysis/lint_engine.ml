@@ -1,5 +1,7 @@
-(* Driver: walk the requested paths, parse each .ml with compiler-libs,
-   run the rules, and render a deterministic report. *)
+(* Driver: walk the requested paths, parse each .ml once with
+   compiler-libs, run the per-file rules (Z1–Z4) and the whole-program
+   reachability rules (Z5–Z8) over the shared ASTs, and render a
+   deterministic report. *)
 
 type result = { findings : Lint_findings.t list; files : int }
 
@@ -21,25 +23,98 @@ let parse_implementation path =
   Location.input_name := path;
   Pparse.parse_implementation ~tool_name:"mk_lint" path
 
-let lint_file config path =
+let parse_file path =
+  match parse_implementation path with
+  | structure -> (path, Ok structure)
+  | exception exn -> (path, Error (Printexc.to_string exn))
+
+let per_file_findings config (path, parsed) =
   let ast_findings =
-    match parse_implementation path with
-    | structure -> Lint_rules.check_structure config ~path structure
-    | exception exn ->
+    match parsed with
+    | Ok structure -> Lint_rules.check_structure config ~path structure
+    | Error msg ->
         [
           Lint_findings.make ~rule:"PARSE" ~file:path ~line:1 ~col:0
-            (Printf.sprintf "cannot parse: %s" (Printexc.to_string exn));
+            (Printf.sprintf "cannot parse: %s" msg);
         ]
   in
   ast_findings @ Lint_rules.check_mli config ~path
+
+let lint_file config path = per_file_findings config (parse_file path)
+
+(* Map wrapped-library module names to source directories by reading
+   each analyzed directory's [dune] file: `(name mk_wire)` means the
+   directory's modules are reachable as [Mk_wire.*]. Directories
+   without a dune file (or outside a library) simply contribute
+   nothing — references into them stay unresolved, which the effect
+   analysis treats conservatively. *)
+let libmap_of_files files =
+  let read_file path =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      Some text
+    with Sys_error _ -> None
+  in
+  let names_in text =
+    let tokens =
+      String.map (fun c -> if c = '(' || c = ')' || c = '\n' then ' ' else c) text
+      |> String.split_on_char ' '
+      |> List.filter (fun t -> t <> "")
+    in
+    let rec go acc = function
+      | "name" :: n :: rest -> go (n :: acc) rest
+      | _ :: rest -> go acc rest
+      | [] -> List.rev acc
+    in
+    go [] tokens
+  in
+  let dirs =
+    List.map Filename.dirname files |> List.sort_uniq String.compare
+  in
+  List.concat_map
+    (fun dir ->
+      match read_file (Filename.concat dir "dune") with
+      | None -> []
+      | Some text ->
+          List.map (fun n -> (String.capitalize_ascii n, dir)) (names_in text))
+    dirs
 
 let run ~config ~paths =
   let files =
     List.fold_left (fun acc p -> collect_ml acc p) [] paths
     |> List.sort_uniq String.compare
   in
-  let findings = List.concat_map (lint_file config) files in
-  { findings = List.sort_uniq Lint_findings.compare findings; files = List.length files }
+  let parsed = List.map parse_file files in
+  let local = List.concat_map (per_file_findings config) parsed in
+  let summaries =
+    List.filter_map
+      (fun (path, p) ->
+        match p with
+        | Ok structure -> Some (Callgraph.summarize ~path structure)
+        | Error _ -> None)
+      parsed
+  in
+  let program = Callgraph.link ~libmap:(libmap_of_files files) summaries in
+  let global = Reachability.check ~config ~program in
+  {
+    findings = List.sort_uniq Lint_findings.compare (local @ global);
+    files = List.length files;
+  }
+
+(* Keep [PARSE] through any filter: a file that does not parse was not
+   checked by the requested rules either. *)
+let filter_rules rules r =
+  let want = List.map String.uppercase_ascii rules in
+  {
+    r with
+    findings =
+      List.filter
+        (fun (f : Lint_findings.t) -> f.rule = "PARSE" || List.mem f.rule want)
+        r.findings;
+  }
 
 let render r =
   let b = Buffer.create 1024 in
@@ -57,3 +132,36 @@ let render r =
          (if List.length r.findings = 1 then "" else "s")
          r.files);
   Buffer.contents b
+
+(* --- JSON report (for CI artifacts): hand-rolled like the config
+   parser, to stay dependency-free. --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_json r =
+  let hop (h : Lint_findings.hop) =
+    Printf.sprintf "{\"what\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d}"
+      (json_escape h.what) (json_escape h.hop_file) h.hop_line h.hop_col
+  in
+  let finding (f : Lint_findings.t) =
+    Printf.sprintf
+      "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"msg\":\"%s\",\"chain\":[%s]}"
+      (json_escape f.rule) (json_escape f.file) f.line f.col (json_escape f.msg)
+      (String.concat "," (List.map hop f.chain))
+  in
+  Printf.sprintf "{\"files\":%d,\"findings\":[%s]}\n" r.files
+    (String.concat "," (List.map finding r.findings))

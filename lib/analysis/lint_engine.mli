@@ -1,16 +1,29 @@
-(** Lint driver: collect [.ml] files, parse with compiler-libs, apply
-    {!Lint_rules}, report deterministically. *)
+(** Lint driver: collect [.ml] files, parse each once with
+    compiler-libs, apply the per-file rules ({!Lint_rules}, Z1–Z4) and
+    the whole-program reachability rules ({!Reachability}, Z5–Z8),
+    report deterministically. *)
 
 type result = { findings : Lint_findings.t list; files : int }
 
 val lint_file : Lint_config.t -> string -> Lint_findings.t list
-(** All rules over a single file (unsorted). A file that does not parse
-    yields one [PARSE] finding. *)
+(** Per-file rules only (Z1–Z4) over a single file (unsorted). A file
+    that does not parse yields one [PARSE] finding. *)
 
 val run : config:Lint_config.t -> paths:string list -> result
 (** [paths] are files or directories (recursed, [_build] and dotfiles
     skipped, files sorted), relative to the current directory; findings
-    come back sorted by file/line/col/rule. *)
+    come back sorted by file/line/col/rule. The whole-program rules see
+    exactly the collected file set: entry points and boundary files
+    outside it are skipped. *)
+
+val filter_rules : string list -> result -> result
+(** Keep only findings whose rule id is in the list (case-insensitive);
+    [PARSE] findings always survive. *)
 
 val render : result -> string
-(** One line per finding plus a summary line. *)
+(** One line per finding (plus indented call-chain hops) and a summary
+    line. *)
+
+val render_json : result -> string
+(** The same report as a single-line JSON object:
+    [{"files":N,"findings":[{rule,file,line,col,msg,chain:[...]},...]}]. *)

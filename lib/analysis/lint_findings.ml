@@ -1,8 +1,27 @@
-type t = { rule : string; file : string; line : int; col : int; msg : string }
+type hop = { what : string; hop_file : string; hop_line : int; hop_col : int }
 
-let make ~rule ~file ~line ~col msg = { rule; file; line; col; msg }
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+  chain : hop list;
+}
 
-let of_location ~rule ~file (loc : Location.t) msg =
+let hop_of_location ~what ~file (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    what;
+    hop_file = file;
+    hop_line = p.Lexing.pos_lnum;
+    hop_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+  }
+
+let make ?(chain = []) ~rule ~file ~line ~col msg =
+  { rule; file; line; col; msg; chain }
+
+let of_location ?(chain = []) ~rule ~file (loc : Location.t) msg =
   let p = loc.Location.loc_start in
   {
     rule;
@@ -10,10 +29,14 @@ let of_location ~rule ~file (loc : Location.t) msg =
     line = p.Lexing.pos_lnum;
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     msg;
+    chain;
   }
 
 (* Deterministic report order: position first, then rule id so two
-   findings on one expression always print the same way. *)
+   findings on one expression always print the same way. A finding's
+   identity is (rule, location): the message and chain are the report
+   for that site, so two findings that differ only there are
+   duplicates and the engine's sort_uniq keeps one. *)
 let compare a b =
   let c = String.compare a.file b.file in
   if c <> 0 then c
@@ -27,4 +50,15 @@ let compare a b =
   end
 
 let to_string f =
-  Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg
+  let head = Printf.sprintf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.msg in
+  match f.chain with
+  | [] -> head
+  | chain ->
+      let hops =
+        List.map
+          (fun h ->
+            Printf.sprintf "    via %s at %s:%d:%d" h.what h.hop_file h.hop_line
+              h.hop_col)
+          chain
+      in
+      String.concat "\n" (head :: hops)

@@ -1,15 +1,34 @@
-(** A single lint finding: stable rule id + location + message. *)
+(** A single lint finding: stable rule id + location + message, plus an
+    optional call-chain witness for the interprocedural rules. *)
 
-type t = { rule : string; file : string; line : int; col : int; msg : string }
+type hop = { what : string; hop_file : string; hop_line : int; hop_col : int }
+(** One step of a call-chain witness: [what] happens at
+    [hop_file:hop_line:hop_col] (a definition reached, a call made, or
+    the offending primitive itself). *)
 
-val make : rule:string -> file:string -> line:int -> col:int -> string -> t
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  msg : string;
+  chain : hop list;
+}
 
-val of_location : rule:string -> file:string -> Location.t -> string -> t
+val hop_of_location : what:string -> file:string -> Location.t -> hop
+
+val make :
+  ?chain:hop list -> rule:string -> file:string -> line:int -> col:int -> string -> t
+
+val of_location :
+  ?chain:hop list -> rule:string -> file:string -> Location.t -> string -> t
 (** Location of the offending AST node within [file]. *)
 
 val compare : t -> t -> int
-(** Total order: file, line, column, rule — report order is
-    deterministic. *)
+(** Order: file, line, column, rule — report order is deterministic,
+    and two findings for the same rule at the same site are duplicates
+    (the message and chain are a witness, not identity). *)
 
 val to_string : t -> string
-(** [file:line:col: [RULE] message]. *)
+(** [file:line:col: [RULE] message], followed by one indented
+    ["    via ..."] line per chain hop. *)

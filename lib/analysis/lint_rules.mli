@@ -12,6 +12,22 @@
       operation lexically outside the module's lock-guard helper.
     - [Z4] — a [.ml] under the configured prefixes with no [.mli]. *)
 
+val lid_components : Longident.t -> string list
+(** Flattened path components of a longident, outermost first. *)
+
+val module_components : Longident.t -> string list
+(** Module components of a value path: everything but the final name. *)
+
+val allowed_rules_of_attrs : Parsetree.attributes -> string list
+(** Rule ids named by [[@mk_lint.allow "Z1 Z3"]] attributes. *)
+
+val path_has_prefix : prefix:string -> string -> bool
+(** ['/']-component-aware path prefix test (["lib/wire"] matches
+    ["lib/wire/codec.ml"] but not ["lib/wire2/x.ml"]). *)
+
+val pattern_name : Parsetree.pattern -> string option
+(** The variable bound by a pattern, looking through constraints. *)
+
 val check_structure :
   Lint_config.t -> path:string -> Parsetree.structure -> Lint_findings.t list
 (** AST rules (Z1–Z3) over one parsed implementation. [path] is the

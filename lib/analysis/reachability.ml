@@ -1,0 +1,277 @@
+(* The interprocedural rule families, all driven by the same linked
+   {!Callgraph.program}:
+
+   Z5  layering — no file under a scope prefix may transitively depend
+       on a forbidden path prefix or external module.
+   Z6  boundary purity — no definition in a transport-pure file may
+       transitively reach an impure primitive (or an unresolved
+       non-benign module, the "unknown = effectful" conservatism).
+   Z7  wire totality — no raising primitive reachable from a decode
+       entry point.
+   Z8  hot-path blocking — no blocking primitive reachable from a
+       hot-path entry point.
+
+   Every finding carries a call-chain witness: one hop per step from
+   the checked boundary to the offending use. Traversal is BFS with
+   deterministic expansion order (defs and dependency edges are
+   sorted), so witnesses — and therefore reports — are stable.
+
+   Allowlists are path prefixes and mark accepted *subtrees*: a def in
+   an allowed file is neither checked nor expanded (the layer below a
+   validated boundary). [[@mk_lint.allow "Z7"]] at a use or binding
+   removes just that site or definition from the rule. *)
+
+module Findings = Lint_findings
+module G = Callgraph
+
+let path_allowed prefixes path =
+  List.exists (fun prefix -> Lint_rules.path_has_prefix ~prefix path) prefixes
+
+(* ------------------------------------------------------------------ *)
+(* Z5: file-level layering                                             *)
+(* ------------------------------------------------------------------ *)
+
+let dep_name = function
+  | G.Dep_file f -> f
+  | G.Dep_external m -> "module " ^ m
+
+(* Does a dependency target violate one of the forbidden entries?
+   Entries containing '/' are path prefixes (match files); bare
+   entries are external module names. *)
+let forbidden_match forbidden target =
+  List.find_opt
+    (fun entry ->
+      if String.contains entry '/' then
+        match target with
+        | G.Dep_file f -> Lint_rules.path_has_prefix ~prefix:entry f
+        | G.Dep_external _ -> false
+      else
+        match target with
+        | G.Dep_external m -> m = entry
+        | G.Dep_file _ -> false)
+    forbidden
+
+let check_z5 ~(config : Lint_config.t) ~program =
+  let findings = ref [] in
+  List.iter
+    (fun (scope, forbidden) ->
+      let sources =
+        G.files program
+        |> List.filter (fun f ->
+               Lint_rules.path_has_prefix ~prefix:scope f
+               && not (path_allowed config.layering_allow f))
+      in
+      List.iter
+        (fun src ->
+          (* BFS over file deps; one finding per forbidden entry. *)
+          let claimed = Hashtbl.create 4 in
+          let visited = Hashtbl.create 16 in
+          Hashtbl.replace visited src ();
+          let queue = Queue.create () in
+          List.iter
+            (fun (t, loc) -> Queue.add (t, loc, src, []) queue)
+            (G.file_deps program src);
+          while not (Queue.is_empty queue) do
+            let target, loc, from, chain = Queue.take queue in
+            let hop =
+              Findings.hop_of_location
+                ~what:("dependency on " ^ dep_name target)
+                ~file:from loc
+            in
+            let chain = chain @ [ hop ] in
+            (match forbidden_match forbidden target with
+            | Some entry when not (Hashtbl.mem claimed entry) ->
+                Hashtbl.replace claimed entry ();
+                let anchor = List.hd chain in
+                findings :=
+                  Findings.make ~chain ~rule:"Z5" ~file:src
+                    ~line:anchor.Findings.hop_line ~col:anchor.Findings.hop_col
+                    (Printf.sprintf
+                       "%s transitively depends on %s (forbidden for %s): the \
+                        protocol core must stay transport-agnostic"
+                       src (dep_name target) scope)
+                  :: !findings
+            | _ -> (
+                (* keep walking through non-violating files *)
+                match target with
+                | G.Dep_external _ -> ()
+                | G.Dep_file f ->
+                    if not (Hashtbl.mem visited f) then begin
+                      Hashtbl.replace visited f ();
+                      List.iter
+                        (fun (t, loc) -> Queue.add (t, loc, f, chain) queue)
+                        (G.file_deps program f)
+                    end))
+          done)
+        sources)
+    config.layering;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* Shared def-level BFS machinery (Z6/Z7/Z8)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Walk the call graph from [roots]; for every reachable definition
+   outside the allowed subtrees, hand each unsuppressed use to
+   [on_use] along with the hop chain from the root to the enclosing
+   definition. [on_use] returns true to keep traversing. *)
+let walk_defs ~program ~rule ~allow ~roots ~on_use =
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  List.iter
+    (fun root ->
+      if not (Hashtbl.mem visited root) then begin
+        Hashtbl.replace visited root ();
+        let d = G.def program root in
+        let hop =
+          Findings.hop_of_location ~what:d.G.d_name
+            ~file:(G.def_file program root) d.G.d_loc
+        in
+        Queue.add (root, [ hop ]) queue
+      end)
+    roots;
+  let continue_ = ref true in
+  while !continue_ && not (Queue.is_empty queue) do
+    let id, chain = Queue.take queue in
+    let d = G.def program id in
+    let file = G.def_file program id in
+    if (not (path_allowed allow file)) && not (List.mem rule d.G.d_allow) then
+      List.iter
+        (fun ((u : G.use), (r : G.resolution)) ->
+          if !continue_ && not (List.mem rule u.G.u_allow) then begin
+            if not (on_use ~chain ~file u r) then continue_ := false;
+            List.iter
+              (fun tid ->
+                if not (Hashtbl.mem visited tid) then begin
+                  Hashtbl.replace visited tid ();
+                  let td = G.def program tid in
+                  let hop =
+                    Findings.hop_of_location
+                      ~what:("call to " ^ G.last_segment td.G.d_name)
+                      ~file u.G.u_loc
+                  in
+                  Queue.add (tid, chain @ [ hop ]) queue
+                end)
+              r.G.r_targets
+          end)
+        (G.def_uses program id)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Z6: boundary purity                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let check_z6 ~(config : Lint_config.t) ~program =
+  let findings = ref [] in
+  let boundary_files =
+    G.files program |> List.filter (fun f -> path_allowed config.pure_files f)
+  in
+  List.iter
+    (fun file ->
+      if not (path_allowed config.pure_allow file) then
+        List.iter
+          (fun id ->
+            let d = G.def program id in
+            if not (List.mem "Z6" d.G.d_allow) then
+              (* one witness per impure-reaching boundary def *)
+              walk_defs ~program ~rule:"Z6" ~allow:config.pure_allow
+                ~roots:[ id ] ~on_use:(fun ~chain ~file:ufile u r ->
+                  let impure =
+                    match Effects.match_prims config.impure_prims r.G.r_comps with
+                    | spec :: _ -> Some spec
+                    | [] -> (
+                        match r.G.r_unknown with
+                        | Some m -> Some ("unresolved module " ^ m)
+                        | None -> None)
+                  in
+                  match impure with
+                  | None -> true
+                  | Some what ->
+                      let use_hop =
+                        Findings.hop_of_location
+                          ~what:
+                            (Printf.sprintf "impure use %s"
+                               (String.concat "." u.G.u_comps))
+                          ~file:ufile u.G.u_loc
+                      in
+                      findings :=
+                        Findings.of_location
+                          ~chain:(chain @ [ use_hop ])
+                          ~rule:"Z6" ~file d.G.d_loc
+                          (Printf.sprintf
+                             "%s reaches %s: protocol/detector/recovery must \
+                              stay transport-pure (inject time via ~now, no \
+                              sockets or domains)"
+                             d.G.d_name what)
+                        :: !findings;
+                      false))
+          (G.defs_in_file program file))
+    boundary_files;
+  !findings
+
+(* ------------------------------------------------------------------ *)
+(* Z7/Z8: primitives reachable from entry points                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_entry spec =
+  match String.rindex_opt spec ':' with
+  | None -> None
+  | Some i ->
+      Some
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1) )
+
+let check_entries ~rule ~entries ~prims ~allow ~describe ~program =
+  let findings = ref [] in
+  let claimed = Hashtbl.create 16 in
+  List.iter
+    (fun spec ->
+      match parse_entry spec with
+      | None ->
+          findings :=
+            Findings.make ~rule ~file:"mk_lint.toml" ~line:1 ~col:0
+              (Printf.sprintf "malformed entry %S (want \"file.ml:def\")" spec)
+            :: !findings
+      | Some (file, name) ->
+          if G.has_file program file then begin
+            match G.find_defs program ~file ~name with
+            | [] ->
+                findings :=
+                  Findings.make ~rule ~file ~line:1 ~col:0
+                    (Printf.sprintf
+                       "entry point %s not found in %s: fix the [%s] entries \
+                        list"
+                       name file (String.lowercase_ascii rule))
+                  :: !findings
+            | roots ->
+                walk_defs ~program ~rule ~allow ~roots
+                  ~on_use:(fun ~chain ~file:ufile u r ->
+                    (match Effects.match_prims prims r.G.r_comps with
+                    | [] -> ()
+                    | spec_hit :: _ ->
+                        let key = (ufile, G.loc_key u.G.u_loc, rule) in
+                        if not (Hashtbl.mem claimed key) then begin
+                          Hashtbl.replace claimed key ();
+                          findings :=
+                            Findings.of_location ~chain ~rule ~file:ufile
+                              u.G.u_loc
+                              (Printf.sprintf "%s %s reachable from %s %s:%s"
+                                 describe spec_hit
+                                 (String.lowercase_ascii rule)
+                                 file name)
+                            :: !findings
+                        end);
+                    true)
+          end)
+    (List.sort String.compare entries);
+  !findings
+
+let check ~(config : Lint_config.t) ~program =
+  check_z5 ~config ~program
+  @ check_z6 ~config ~program
+  @ check_entries ~rule:"Z7" ~entries:config.total_entries
+      ~prims:config.raising_prims ~allow:config.total_allow
+      ~describe:"raising primitive" ~program
+  @ check_entries ~rule:"Z8" ~entries:config.nonblock_entries
+      ~prims:config.blocking_prims ~allow:config.nonblock_allow
+      ~describe:"blocking primitive" ~program

@@ -1,0 +1,21 @@
+(** The interprocedural rule families over a linked call graph:
+
+    - [Z5] layering — no file under a scope prefix may transitively
+      depend on a forbidden path prefix or external module;
+    - [Z6] boundary purity — no definition in a transport-pure file may
+      transitively reach an impure primitive or unresolved non-benign
+      module;
+    - [Z7] wire totality — no raising primitive reachable from a
+      configured decode entry point;
+    - [Z8] hot-path blocking — no blocking primitive reachable from a
+      configured hot-path entry point.
+
+    Every finding carries a deterministic call-chain witness. Entry
+    points whose file is outside the analyzed set are skipped, so
+    partial-tree runs stay quiet; an entry naming a missing definition
+    in an analyzed file is itself a finding (it means the config is
+    stale). *)
+
+val check :
+  config:Lint_config.t -> program:Callgraph.program -> Lint_findings.t list
+(** All of Z5–Z8; unsorted (the engine sorts the combined report). *)

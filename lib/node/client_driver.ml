@@ -196,12 +196,14 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
             (Codec.Get { coord = coord_id; slot = c.slot; seq = att.att_seq; key }))
       ex.want
   in
+  (* Z7: the [addrs.(r)] reads below sit inside [0 .. n-1] loops with
+     [n = Array.length addrs]. *)
   let exec_action c att cm action =
     match action with
     | Protocol.Send_validates { only_missing } ->
         for r = 0 to n - 1 do
           if (not only_missing) || Protocol.needs_validate cm.proto r then
-            Net.send net ~dst:addrs.(r)
+            Net.send net ~dst:(addrs.(r) [@mk_lint.allow "Z7"])
               (Codec.Validate
                  {
                    coord = coord_id;
@@ -213,7 +215,7 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
         done
     | Protocol.Send_accepts { decision } ->
         for r = 0 to n - 1 do
-          Net.send net ~dst:addrs.(r)
+          Net.send net ~dst:(addrs.(r) [@mk_lint.allow "Z7"])
             (Codec.Accept
                {
                  coord = coord_id;
@@ -248,7 +250,7 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
         Obs.note_decision obs ~committed:commit ~fast;
         (* Asynchronous write phase (§5.2.3): fire and forget. *)
         for r = 0 to n - 1 do
-          Net.send net ~dst:addrs.(r)
+          Net.send net ~dst:(addrs.(r) [@mk_lint.allow "Z7"])
             (Codec.Write_back { txn = cm.txn; ts = cm.ts; commit })
         done;
         if commit then committed := (cm.txn, cm.ts) :: !committed
@@ -342,7 +344,8 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
     | Codec.Get_reply { slot; seq; key; wts; _ } -> (
         if not (slot_ok slot) then drop_bad_ids ()
         else
-          let c = local.(slot) in
+          (* Z7: [slot] passed [slot_ok] just above. *)
+          let c = (local.(slot) [@mk_lint.allow "Z7"]) in
           match c.active with
           | Some att when att.att_seq = seq -> (
               match att.exec with
@@ -357,7 +360,8 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
     | Codec.Validated { slot; seq; replica; status } -> (
         if not (slot_ok slot && replica_ok replica) then drop_bad_ids ()
         else
-          let c = local.(slot) in
+          (* Z7: [slot] passed [slot_ok] just above. *)
+          let c = (local.(slot) [@mk_lint.allow "Z7"]) in
           match c.active with
           | Some att when att.att_seq = seq -> (
               match att.commit with
@@ -367,7 +371,8 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
     | Codec.Accepted { slot; seq; replica; reply } -> (
         if not (slot_ok slot && replica_ok replica) then drop_bad_ids ()
         else
-          let c = local.(slot) in
+          (* Z7: [slot] passed [slot_ok] just above. *)
+          let c = (local.(slot) [@mk_lint.allow "Z7"]) in
           match c.active with
           | Some att when att.att_seq = seq -> (
               match att.commit with

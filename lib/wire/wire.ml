@@ -94,7 +94,10 @@ let take c n =
     Ok at
   end
 
-let r_u8 c =
+(* Z7: the reader primitives below index [c.buf] only at offsets that
+   [take] has just bounds-checked against [c.limit], so the raw
+   [String.get]/[String.sub]/[get_int64_le] accesses cannot raise. *)
+let[@mk_lint.allow "Z7"] r_u8 c =
   let* at = take c 1 in
   Ok (Char.code c.buf.[at])
 
@@ -108,11 +111,11 @@ let r_u32 c =
   let* hi = r_u16 c in
   Ok (lo lor (hi lsl 16))
 
-let r_i64 c =
+let[@mk_lint.allow "Z7"] r_i64 c =
   let* at = take c 8 in
   Ok (Int64.to_int (String.get_int64_le c.buf at))
 
-let r_f64 c =
+let[@mk_lint.allow "Z7"] r_f64 c =
   let* at = take c 8 in
   Ok (Int64.float_of_bits (String.get_int64_le c.buf at))
 
@@ -123,7 +126,7 @@ let r_bool c =
   | 1 -> Ok true
   | n -> Error (Malformed (Printf.sprintf "bool byte %d" n))
 
-let r_string c =
+let[@mk_lint.allow "Z7"] r_string c =
   let* len = r_u32 c in
   let* at = take c len in
   Ok (String.sub c.buf at len)

@@ -1,0 +1,3 @@
+(* Z5 fixture: reaches Unix only transitively, through the sibling
+   module [Z5_dep] — the layering walk must follow the file edge. *)
+let stamp () = Z5_dep.now ()

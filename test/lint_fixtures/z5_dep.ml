@@ -1,0 +1,3 @@
+(* Z5 fixture: the transport-touching sibling that [z5_bad.ml] leans
+   on — it reaches Unix directly. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,3 @@
+(* Z5 fixture: no transport dependency anywhere in its closure — the
+   clock value is injected by the caller. *)
+let stamp ~now = now +. 1.0

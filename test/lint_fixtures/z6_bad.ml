@@ -1,0 +1,6 @@
+(* Z6 fixture: a protocol-layer file that reads the wall clock through
+   a local helper — both the helper and its caller must be flagged,
+   the caller with a multi-hop chain through [now_us]. *)
+let now_us () = Unix.gettimeofday () *. 1_000_000.
+
+let deadline_passed ~armed = armed && now_us () > 5.0

@@ -1,0 +1,3 @@
+(* Z6 fixture: time injected by the caller as ~now — nothing impure in
+   reach, so the boundary stays deterministic under the sim. *)
+let deadline_passed ~now ~armed = armed && now > 5.0

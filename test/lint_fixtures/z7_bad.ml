@@ -1,0 +1,8 @@
+(* Z7 fixture: a decode entry that can raise three ways — through a
+   helper, through a bare string index, and through a parse. *)
+let need buf n = if String.length buf < n then failwith "short frame"
+
+let decode buf =
+  need buf 4;
+  let tag = Char.code buf.[0] in
+  (tag, int_of_string (String.sub buf 1 3))

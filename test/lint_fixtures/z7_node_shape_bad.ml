@@ -1,0 +1,8 @@
+(* Z7 regression pin: the exact pre-fix view-change shape from the
+   cluster node — a replica id straight off the wire indexes the
+   quorum array with no bounds check (an [Invalid_argument] on the
+   shim loop thread). *)
+type vc = { mutable vc_accept_from : bool array }
+
+let deliver vc replica =
+  if not vc.vc_accept_from.(replica) then vc.vc_accept_from.(replica) <- true

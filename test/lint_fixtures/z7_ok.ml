@@ -1,0 +1,5 @@
+(* Z7 fixture: [boom] raises but is not reachable from [decode] — the
+   analysis must scope to the entry's closure, not the whole file. *)
+let boom () = failwith "not reachable from decode"
+
+let decode buf = if buf = "" then None else Some (String.length buf)

@@ -1,0 +1,8 @@
+(* Z8 fixture: the deliver hot path parks on a mutex two calls down. *)
+let m = Mutex.create ()
+
+let rendezvous () =
+  Mutex.lock m;
+  Mutex.unlock m
+
+let deliver _msg = rendezvous ()

@@ -1,0 +1,7 @@
+(* Z8 fixture: the same lock taken under an explicit, justified allow —
+   the suppression is per-site, not per-file. *)
+let m = Mutex.create ()
+
+let deliver _msg =
+  (Mutex.lock m [@mk_lint.allow "Z8"]);
+  Mutex.unlock m

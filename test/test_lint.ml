@@ -15,11 +15,20 @@ module Trecord = Mk_storage.Trecord
 
 let finding = Alcotest.(triple string int int)
 
-let lint cfg path =
-  let r = Engine.run ~config:cfg ~paths:[ path ] in
+let lint_many cfg paths =
+  let r = Engine.run ~config:cfg ~paths in
   List.map (fun f -> (f.Findings.rule, f.Findings.line, f.Findings.col)) r.findings
 
+let lint cfg path = lint_many cfg [ path ]
+
+let lint_full cfg paths = (Engine.run ~config:cfg ~paths).Engine.findings
+let chain_whats f = List.map (fun h -> h.Findings.what) f.Findings.chain
 let fx name = Filename.concat "lint_fixtures" name
+
+let check_anchor what expected f =
+  Alcotest.(check finding)
+    what expected
+    (f.Findings.rule, f.Findings.line, f.Findings.col)
 
 (* --- layer 1: the static rules, one fixture pair per rule --- *)
 
@@ -112,6 +121,154 @@ let test_z4_clean () =
   Alcotest.(check (list finding)) ".mli present passes" []
     (lint z4_cfg (fx "z4_ok.ml"))
 
+(* --- the interprocedural rules (Z5-Z8), one fixture pair per rule,
+   each bad fixture pinned down to exact locations and at least one
+   call-chain witness --- *)
+
+let z5_cfg =
+  {
+    Config.default with
+    Config.layering = [ (fx "z5_bad.ml", [ "Unix" ]); (fx "z5_ok.ml", [ "Unix" ]) ];
+  }
+
+let test_z5_violation () =
+  (* z5_bad.ml itself never mentions Unix: the walk must cross the
+     file edge into the sibling z5_dep.ml. *)
+  match lint_full z5_cfg [ fx "z5_bad.ml"; fx "z5_dep.ml" ] with
+  | [ f ] ->
+      check_anchor "layering breach anchored at the sibling dep" ("Z5", 3, 15) f;
+      Alcotest.(check (list string))
+        "two-hop dependency witness"
+        [
+          "dependency on " ^ fx "z5_dep.ml"; "dependency on module Unix";
+        ]
+        (chain_whats f)
+  | fs -> Alcotest.failf "expected 1 Z5 finding, got %d" (List.length fs)
+
+let test_z5_clean () =
+  Alcotest.(check (list finding))
+    "injected clock passes" []
+    (lint_many z5_cfg [ fx "z5_ok.ml"; fx "z5_dep.ml" ])
+
+let z6_cfg =
+  { Config.default with Config.pure_files = [ fx "z6_bad.ml"; fx "z6_ok.ml" ] }
+
+let test_z6_violations () =
+  match lint_full z6_cfg [ fx "z6_bad.ml" ] with
+  | [ f1; f2 ] ->
+      check_anchor "helper flagged at its definition" ("Z6", 4, 4) f1;
+      Alcotest.(check (list string))
+        "direct witness"
+        [ "now_us"; "impure use Unix.gettimeofday" ]
+        (chain_whats f1);
+      check_anchor "caller flagged transitively" ("Z6", 6, 4) f2;
+      Alcotest.(check (list string))
+        "chain threads through the helper"
+        [ "deadline_passed"; "call to now_us"; "impure use Unix.gettimeofday" ]
+        (chain_whats f2)
+  | fs -> Alcotest.failf "expected 2 Z6 findings, got %d" (List.length fs)
+
+let test_z6_clean () =
+  Alcotest.(check (list finding))
+    "~now injection passes" []
+    (lint z6_cfg (fx "z6_ok.ml"))
+
+let z7_cfg =
+  {
+    Config.default with
+    Config.total_entries =
+      [ fx "z7_bad.ml" ^ ":decode"; fx "z7_ok.ml" ^ ":decode" ];
+  }
+
+let test_z7_violations () =
+  match lint_full z7_cfg [ fx "z7_bad.ml" ] with
+  | [ f1; f2; f3; f4 ] ->
+      check_anchor "failwith in the helper" ("Z7", 3, 47) f1;
+      Alcotest.(check (list string))
+        "witness crosses into the helper"
+        [ "decode"; "call to need" ]
+        (chain_whats f1);
+      check_anchor "bare string index" ("Z7", 7, 22) f2;
+      check_anchor "int_of_string" ("Z7", 8, 8) f3;
+      check_anchor "String.sub" ("Z7", 8, 23) f4;
+      Alcotest.(check (list string)) "direct witness" [ "decode" ] (chain_whats f4)
+  | fs -> Alcotest.failf "expected 4 Z7 findings, got %d" (List.length fs)
+
+let test_z7_scoped_to_entry () =
+  (* [boom] raises, but only [decode]'s closure is checked. *)
+  Alcotest.(check (list finding))
+    "unreachable raiser ignored" []
+    (lint z7_cfg (fx "z7_ok.ml"))
+
+let z7_node_cfg =
+  {
+    Config.default with
+    Config.total_entries = [ fx "z7_node_shape_bad.ml" ^ ":deliver" ];
+  }
+
+let test_z7_catches_node_index_shape () =
+  (* Regression pin: the PR 6 pre-fix Vc_accept_reply shape — a wire
+     replica id indexing the quorum array unchecked — is a Z7 finding
+     (both the read and the write). *)
+  match lint_full z7_node_cfg [ fx "z7_node_shape_bad.ml" ] with
+  | [ f1; f2 ] ->
+      check_anchor "unchecked array read" ("Z7", 8, 9) f1;
+      check_anchor "unchecked array write" ("Z7", 8, 42) f2;
+      Alcotest.(check (list string)) "witness" [ "deliver" ] (chain_whats f1)
+  | fs -> Alcotest.failf "expected 2 Z7 findings, got %d" (List.length fs)
+
+let z8_cfg =
+  {
+    Config.default with
+    Config.coordination_allow = [ "lint_fixtures" ];
+    nonblock_entries =
+      [ fx "z8_bad.ml" ^ ":deliver"; fx "z8_ok.ml" ^ ":deliver" ];
+  }
+
+let test_z8_violation () =
+  match lint_full z8_cfg [ fx "z8_bad.ml" ] with
+  | [ f ] ->
+      check_anchor "parked two calls down" ("Z8", 5, 2) f;
+      Alcotest.(check (list string))
+        "witness"
+        [ "deliver"; "call to rendezvous" ]
+        (chain_whats f)
+  | fs -> Alcotest.failf "expected 1 Z8 finding, got %d" (List.length fs)
+
+let test_z8_site_allow () =
+  Alcotest.(check (list finding))
+    "per-site [@mk_lint.allow] suppresses" []
+    (lint z8_cfg (fx "z8_ok.ml"))
+
+(* --- report plumbing: --rules filtering and --json rendering --- *)
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_rules_filter () =
+  let r = Engine.run ~config:z7_cfg ~paths:[ fx "z7_bad.ml" ] in
+  Alcotest.(check int)
+    "other rules filtered out" 0
+    (List.length (Engine.filter_rules [ "z5"; "z8" ] r).Engine.findings);
+  Alcotest.(check int)
+    "named rule kept, case-insensitively"
+    (List.length r.Engine.findings)
+    (List.length (Engine.filter_rules [ "z7" ] r).Engine.findings)
+
+let test_json_render () =
+  let run () = Engine.run ~config:z8_cfg ~paths:[ fx "z8_bad.ml" ] in
+  let js = Engine.render_json (run ()) in
+  Alcotest.(check bool) "rule id" true (contains ~needle:"\"rule\":\"Z8\"" js);
+  Alcotest.(check bool)
+    "chain witness serialized" true
+    (contains ~needle:"\"chain\":[{\"what\":\"deliver\"" js);
+  Alcotest.(check bool)
+    "hop locations serialized" true
+    (contains ~needle:"\"what\":\"call to rendezvous\"" js);
+  Alcotest.(check string) "deterministic" js (Engine.render_json (run ()))
+
 let test_deterministic () =
   let run () = Engine.render (Engine.run ~config:Config.default ~paths:[ fx "z1_bad.ml"; fx "z2_bad.ml" ]) in
   Alcotest.(check string) "same report twice" (run ()) (run ())
@@ -134,6 +291,89 @@ let test_config_unknown_key_rejected () =
   | _ -> Alcotest.fail "typo'd key accepted"
   | exception Config.Parse_error _ -> ()
 
+let test_config_v2_sections () =
+  (* The interprocedural sections, including a multi-line list with
+     trailing comma and an inline comment — the shapes the shipped
+     mk_lint.toml actually uses. *)
+  let cfg =
+    Config.of_string
+      "[z5]\n\
+       rules = [\n\
+      \  \"lib/meerkat : lib/live Unix\", # transport ban\n\
+      \  \"lib/wire : Unix\",\n\
+       ]\n\
+       allow = [\"lib/meerkat/sim_system.ml\"]\n\
+       [z6]\n\
+       pure = [\"lib/meerkat/protocol.ml\"]\n\
+       [z7]\n\
+       entries = [\"lib/wire/wire.ml:unframe\"]\n\
+       raising = [\"failwith\"]\n\
+       [z8]\n\
+       entries = [\"lib/node/node.ml:deliver\"]\n\
+       blocking = [\"Mutex.lock\"]\n\
+       allow = [\"lib/node/shim.ml\"]\n"
+  in
+  Alcotest.(check (list (pair string (list string))))
+    "layering rules parsed"
+    [ ("lib/meerkat", [ "lib/live"; "Unix" ]); ("lib/wire", [ "Unix" ]) ]
+    cfg.Config.layering;
+  Alcotest.(check (list string))
+    "z5 allow" [ "lib/meerkat/sim_system.ml" ] cfg.Config.layering_allow;
+  Alcotest.(check (list string))
+    "z6 pure" [ "lib/meerkat/protocol.ml" ] cfg.Config.pure_files;
+  Alcotest.(check (list string))
+    "z7 entries" [ "lib/wire/wire.ml:unframe" ] cfg.Config.total_entries;
+  Alcotest.(check (list string)) "z7 raising override" [ "failwith" ]
+    cfg.Config.raising_prims;
+  Alcotest.(check (list string))
+    "z8 entries" [ "lib/node/node.ml:deliver" ] cfg.Config.nonblock_entries;
+  Alcotest.(check (list string)) "z8 blocking override" [ "Mutex.lock" ]
+    cfg.Config.blocking_prims;
+  Alcotest.(check (list string))
+    "z8 allow" [ "lib/node/shim.ml" ] cfg.Config.nonblock_allow;
+  (* untouched prim lists keep their curated defaults *)
+  Alcotest.(check (list string))
+    "z6 impure defaults survive" Config.default.Config.impure_prims
+    cfg.Config.impure_prims
+
+let test_config_unterminated_list_rejected () =
+  match Config.of_string "[z5]\nrules = [\n  \"a : b\",\n" with
+  | _ -> Alcotest.fail "unterminated list accepted"
+  | exception Config.Parse_error _ -> ()
+
+let test_config_bad_z5_rule_rejected () =
+  match Config.of_string "[z5]\nrules = [\"no colon here\"]\n" with
+  | _ -> Alcotest.fail "z5 rule without a scope accepted"
+  | exception Config.Parse_error _ -> ()
+
+(* Tests run from _build/default/test/, so every path-bearing field of
+   the shipped config — including the file part of entry-point specs
+   and the path-shaped halves of layering rules — is rebased with ../
+   before linting the real tree. *)
+let rebase_cfg cfg =
+  let rebase = List.map (fun p -> "../" ^ p) in
+  {
+    cfg with
+    Config.coordination_allow = rebase cfg.Config.coordination_allow;
+    shared_modules = rebase cfg.Config.shared_modules;
+    mli_required_under = rebase cfg.Config.mli_required_under;
+    layering =
+      List.map
+        (fun (scope, forbidden) ->
+          ( "../" ^ scope,
+            List.map
+              (fun f -> if String.contains f '/' then "../" ^ f else f)
+              forbidden ))
+        cfg.Config.layering;
+    layering_allow = rebase cfg.Config.layering_allow;
+    pure_files = rebase cfg.Config.pure_files;
+    pure_allow = rebase cfg.Config.pure_allow;
+    total_entries = rebase cfg.Config.total_entries;
+    total_allow = rebase cfg.Config.total_allow;
+    nonblock_entries = rebase cfg.Config.nonblock_entries;
+    nonblock_allow = rebase cfg.Config.nonblock_allow;
+  }
+
 let test_real_config_scopes_live () =
   (* The shipped mk_lint.toml allowlists exactly the three coordination
      files of lib/live, never the directory, so runtime.ml (the
@@ -150,15 +390,7 @@ let test_real_config_scopes_live () =
          (List.exists
             (fun p -> p = "lib/live/runtime.ml" || p = "lib/meerkat")
             cfg.Config.coordination_allow));
-  let rebase = List.map (fun p -> "../" ^ p) in
-  let cfg =
-    {
-      cfg with
-      Config.coordination_allow = rebase cfg.Config.coordination_allow;
-      shared_modules = rebase cfg.Config.shared_modules;
-      mli_required_under = rebase cfg.Config.mli_required_under;
-    }
-  in
+  let cfg = rebase_cfg cfg in
   Alcotest.(check (list finding)) "lib/live lints clean" []
     (lint cfg "../lib/live");
   Alcotest.(check (list finding)) "detector.ml lints clean" []
@@ -194,15 +426,7 @@ let test_real_config_scopes_node () =
          (List.exists
             (fun p -> p = "lib/node/node.ml" || p = "lib/node/client_driver.ml")
             cfg.Config.coordination_allow));
-  let rebase = List.map (fun p -> "../" ^ p) in
-  let cfg =
-    {
-      cfg with
-      Config.coordination_allow = rebase cfg.Config.coordination_allow;
-      shared_modules = rebase cfg.Config.shared_modules;
-      mli_required_under = rebase cfg.Config.mli_required_under;
-    }
-  in
+  let cfg = rebase_cfg cfg in
   Alcotest.(check (list finding)) "lib/node lints clean" []
     (lint cfg "../lib/node");
   Alcotest.(check (list finding)) "lib/wire lints clean" []
@@ -217,6 +441,32 @@ let test_real_config_scopes_node () =
   Alcotest.(check (list finding))
     "client_driver.ml clean even with empty allowlist" []
     (lint bare "../lib/node/client_driver.ml")
+
+let test_real_config_interprocedural () =
+  (* The shipped config wires the interprocedural rules to the real
+     boundaries: the wire decoders and node frame handlers are Z7
+     entries, the hot loops are Z8 entries, the protocol core is the
+     Z6 pure boundary and the Z5 scope. With every path rebased, the
+     shipped tree must lint clean under all of them. *)
+  let cfg = Config.load "../mk_lint.toml" in
+  Alcotest.(check bool) "v2 sections populated" true
+    (List.mem_assoc "lib/meerkat" cfg.Config.layering
+    && List.mem_assoc "lib/wire" cfg.Config.layering
+    && List.mem "lib/meerkat/protocol.ml" cfg.Config.pure_files
+    && List.mem "lib/wire/wire.ml:unframe" cfg.Config.total_entries
+    && List.mem "lib/node/client_driver.ml:deliver" cfg.Config.total_entries
+    && List.mem "lib/node/node.ml:deliver" cfg.Config.nonblock_entries
+    && List.mem "lib/live/runtime.ml:server_loop" cfg.Config.nonblock_entries);
+  let cfg = rebase_cfg cfg in
+  Alcotest.(check (list finding))
+    "protocol core clean under Z5/Z6" []
+    (lint cfg "../lib/meerkat");
+  Alcotest.(check (list finding))
+    "wire decoders clean under Z7" []
+    (lint cfg "../lib/wire");
+  Alcotest.(check (list finding))
+    "node handlers clean under Z7/Z8" []
+    (lint cfg "../lib/node")
 
 (* --- layer 2: the dynamic checker --- *)
 
@@ -320,6 +570,18 @@ let () =
             test_z3_catches_prefix_vstore_race;
           Alcotest.test_case "Z4 violation" `Quick test_z4_violation;
           Alcotest.test_case "Z4 clean" `Quick test_z4_clean;
+          Alcotest.test_case "Z5 violation" `Quick test_z5_violation;
+          Alcotest.test_case "Z5 clean" `Quick test_z5_clean;
+          Alcotest.test_case "Z6 violations" `Quick test_z6_violations;
+          Alcotest.test_case "Z6 clean" `Quick test_z6_clean;
+          Alcotest.test_case "Z7 violations" `Quick test_z7_violations;
+          Alcotest.test_case "Z7 scoped to entry" `Quick test_z7_scoped_to_entry;
+          Alcotest.test_case "Z7 catches node index shape" `Quick
+            test_z7_catches_node_index_shape;
+          Alcotest.test_case "Z8 violation" `Quick test_z8_violation;
+          Alcotest.test_case "Z8 per-site allow" `Quick test_z8_site_allow;
+          Alcotest.test_case "rules filter" `Quick test_rules_filter;
+          Alcotest.test_case "json render" `Quick test_json_render;
           Alcotest.test_case "deterministic output" `Quick test_deterministic;
         ] );
       ( "config",
@@ -327,10 +589,17 @@ let () =
           Alcotest.test_case "overrides" `Quick test_config_overrides;
           Alcotest.test_case "unknown key rejected" `Quick
             test_config_unknown_key_rejected;
+          Alcotest.test_case "v2 sections" `Quick test_config_v2_sections;
+          Alcotest.test_case "unterminated list rejected" `Quick
+            test_config_unterminated_list_rejected;
+          Alcotest.test_case "bad z5 rule rejected" `Quick
+            test_config_bad_z5_rule_rejected;
           Alcotest.test_case "shipped config scopes lib/live" `Quick
             test_real_config_scopes_live;
           Alcotest.test_case "shipped config scopes lib/node" `Quick
             test_real_config_scopes_node;
+          Alcotest.test_case "shipped config interprocedural rules" `Quick
+            test_real_config_interprocedural;
         ] );
       ( "owner",
         [
