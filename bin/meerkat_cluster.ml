@@ -7,16 +7,23 @@
    `port <n>'; the launcher assembles the cluster config and writes it
    back over each node's stdin — then runs closed-loop client driver
    domains in-process against the cluster, optionally SIGKILLs one
-   node mid-run, broadcasts Shutdown, gathers per-node exit stats, and
+   node mid-run (and with --reboot restarts it from its data
+   directory), broadcasts Shutdown, gathers per-node exit stats, and
    checks the merged committed history for one-copy serializability.
 
      dune exec bin/meerkat_cluster.exe -- --nodes 3 --clients 8
      dune exec bin/meerkat_cluster.exe -- --nodes 3 --duration 2 \
        --kill-node 1 --kill-after 0.5 --json BENCH_cluster.json
+     dune exec bin/meerkat_cluster.exe -- --nodes 3 --duration 4 \
+       --kill-node 1 --kill-after 0.5 --reboot
 
    Exit status is non-zero on a serializability violation, lost
    transactions, a surviving node exiting non-zero, or (with
-   --kill-node) no surviving node having detected the victim. *)
+   --kill-node) no surviving node having detected the victim. With
+   --reboot the detection verdict is replaced by the recovery one:
+   the victim must replay its WAL (wal_replayed > 0 in its exit
+   stats) and some node must complete the §5.3.1 epoch change that
+   merges it back (epoch_changes > 0). *)
 
 module Cluster_config = Mk_node.Cluster_config
 module Driver = Mk_node.Client_driver
@@ -77,7 +84,8 @@ let read_line_timeout child ~timeout_s =
   in
   line_of_buf ()
 
-let spawn_node ~node_exe ~name ~cores ~keys ~heartbeat_ms ~metrics =
+let spawn_node ~node_exe ~name ~port_arg ~cores ~keys ~heartbeat_ms ~data_dir
+    ~fsync ~metrics =
   (* cloexec everywhere: create_process dup2s the child's ends onto
      fds 0/1 (clearing the flag on the duplicates), and no later
      sibling inherits this child's pipes — otherwise node0 would
@@ -93,7 +101,7 @@ let spawn_node ~node_exe ~name ~cores ~keys ~heartbeat_ms ~metrics =
       "--cluster";
       "-";
       "--port";
-      "auto";
+      port_arg;
       "--cores";
       string_of_int cores;
       "--keys";
@@ -101,6 +109,9 @@ let spawn_node ~node_exe ~name ~cores ~keys ~heartbeat_ms ~metrics =
       "--heartbeat-ms";
       string_of_float heartbeat_ms;
     ]
+    @ (match data_dir with
+      | Some dir -> [ "--data-dir"; dir; "--fsync"; fsync ]
+      | None -> [])
     @ (if metrics then [ "--metrics" ] else [])
   in
   let pid =
@@ -153,6 +164,29 @@ let suspected_of_stats json =
           |> String.split_on_char ','
           |> List.filter_map (fun s -> int_of_string_opt (String.trim s)))
 
+(* Pull one integer field out of a stats line (same JSON-we-wrote
+   rationale as above); -1 when absent. *)
+let int_field_of_stats json name =
+  let key = Printf.sprintf "\"%s\": " name in
+  let rec find i =
+    if i + String.length key > String.length json then None
+    else if String.sub json i (String.length key) = key then
+      Some (i + String.length key)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> -1
+  | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length json
+        && (match json.[!stop] with '0' .. '9' | '-' -> true | _ -> false)
+      do
+        incr stop
+      done;
+      Option.value ~default:(-1)
+        (int_of_string_opt (String.sub json start (!stop - start)))
+
 (* ------------------------------------------------------------------ *)
 (* The run                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -163,23 +197,47 @@ let parse_workload = function
   | s -> Error (`Msg (Printf.sprintf "unknown workload %S (ycsb-t, retwis)" s))
 
 let run nodes cores coordinators clients keys theta workload txns duration seed
-    heartbeat_ms kill_node kill_after no_check metrics json =
+    heartbeat_ms kill_node kill_after reboot data_dir fsync no_check metrics
+    json =
   if nodes < 3 || nodes mod 2 = 0 then fail "--nodes must be odd and >= 3";
   (match kill_node with
   | Some v when v < 0 || v >= nodes -> fail "--kill-node out of range"
   | Some _ when nodes < 3 -> fail "--kill-node needs >= 3 nodes"
   | _ -> ());
+  if reboot && kill_node = None then fail "--reboot needs --kill-node";
   let node_exe =
     Filename.concat (Filename.dirname Sys.executable_name) "meerkat_node.exe"
   in
   if not (Sys.file_exists node_exe) then
     fail "%s not found (build bin/meerkat_node.exe first)" node_exe;
+  (* A reboot needs somewhere durable to reboot from. *)
+  let data_base =
+    match data_dir with
+    | Some _ as d -> d
+    | None ->
+        if reboot then
+          Some
+            (Filename.concat
+               (Filename.get_temp_dir_name ())
+               (Printf.sprintf "meerkat-cluster-%d" (Unix.getpid ())))
+        else None
+  in
+  (match data_base with
+  | Some base -> (
+      try Unix.mkdir base 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  | None -> ());
+  let node_data_dir i =
+    Option.map
+      (fun base -> Filename.concat base (Printf.sprintf "node%d" i))
+      data_base
+  in
   (* Fork the nodes and complete the port handshake. *)
   let children =
     Array.init nodes (fun i ->
         spawn_node ~node_exe
           ~name:(Printf.sprintf "node%d" i)
-          ~cores ~keys ~heartbeat_ms ~metrics)
+          ~port_arg:"auto" ~cores ~keys ~heartbeat_ms ~data_dir:(node_data_dir i)
+          ~fsync ~metrics)
   in
   let ports =
     Array.map
@@ -208,7 +266,12 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
       Unix.close child.to_child)
     children;
   Printf.printf "cluster up: %d nodes x %d cores\n%s%!" nodes cores config_text;
-  (* Arm the killer, drive the workload. *)
+  (* Arm the killer, drive the workload. With --reboot the killer is a
+     kill-and-reboot: reap the SIGKILLed process, then restart it on
+     its original port with its original data directory — the new
+     incarnation replays its WAL, advertises itself paused, and the
+     survivors' detectors drive the epoch change that merges it
+     back. *)
   let killer =
     Option.map
       (fun victim ->
@@ -216,7 +279,31 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
             Unix.sleepf kill_after;
             Printf.printf "SIGKILL %s (pid %d) at t=%.2fs\n%!"
               children.(victim).name children.(victim).pid kill_after;
-            Unix.kill children.(victim).pid Sys.sigkill))
+            Unix.kill children.(victim).pid Sys.sigkill;
+            if reboot then begin
+              ignore
+                (Unix.waitpid [] children.(victim).pid
+                  : int * Unix.process_status);
+              (try Unix.close children.(victim).from_child
+               with Unix.Unix_error (_, _, _) -> ());
+              let child =
+                spawn_node ~node_exe ~name:children.(victim).name
+                  ~port_arg:(string_of_int ports.(victim))
+                  ~cores ~keys ~heartbeat_ms ~data_dir:(node_data_dir victim)
+                  ~fsync ~metrics
+              in
+              (match read_line_timeout child ~timeout_s:10.0 with
+              | Some _ -> ()
+              | None ->
+                  Printf.eprintf
+                    "meerkat_cluster: %s: no port announcement on reboot\n%!"
+                    child.name);
+              write_all child.to_child config_text;
+              Unix.close child.to_child;
+              children.(victim) <- child;
+              Printf.printf "rebooted %s (pid %d) on port %d\n%!" child.name
+                child.pid ports.(victim)
+            end))
       kill_node
   in
   let dcfg =
@@ -241,6 +328,9 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
   (* Shut the nodes down and gather their exit stats. The Shutdown
      frame is UDP: resend until the stats line (or EOF) arrives. *)
   let stats_lines = Array.make nodes None in
+  (* With --reboot the victim's replacement is a full cluster member
+     again and owes us stats like everyone else. *)
+  let killed_for_good i = Some i = kill_node && not reboot in
   Array.iteri
     (fun i child ->
       let rec gather attempts =
@@ -261,7 +351,7 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
         end
       in
       gather 5;
-      if stats_lines.(i) = None && Some i <> kill_node then begin
+      if stats_lines.(i) = None && not (killed_for_good i) then begin
         Printf.eprintf "meerkat_cluster: %s: no stats; killing\n%!" child.name;
         try Unix.kill child.pid Sys.sigkill with Unix.Unix_error (_, _, _) -> ()
       end)
@@ -308,7 +398,7 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
   let detected_by = ref [] in
   Array.iteri
     (fun i child ->
-      let killed = Some i = kill_node in
+      let killed = killed_for_good i in
       (match (stats_lines.(i), killed) with
       | Some json, _ -> (
           Printf.printf "%s: %s\n%!" child.name json;
@@ -331,6 +421,45 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
           fail_check "%s: unexpected status (%s)" child.name s)
     children;
   (match kill_node with
+  | Some victim when reboot ->
+      (* Kill-and-reboot verdicts: the victim must have rebooted from
+         its data directory (it restored snapshots and/or replayed log
+         records — a snapshot written just before the SIGKILL can
+         leave an empty log suffix, so neither alone is required), and
+         the cluster must have driven the §5.3.1 epoch change that
+         merged it back. Suspicion at shutdown is NOT required — a
+         successfully reintegrated replica earns a fresh grace period,
+         so lingering suspicion would be the bug, not the proof. *)
+      (match stats_lines.(victim) with
+      | None -> fail_check "node%d: no stats after reboot" victim
+      | Some json ->
+          let replayed = int_field_of_stats json "wal_replayed" in
+          let snaps = int_field_of_stats json "wal_snapshots_used" in
+          if replayed + snaps <= 0 then
+            fail_check
+              "node%d rebooted without recovering anything from its data \
+               directory"
+              victim
+          else
+            Printf.printf
+              "node%d rebooted: %d snapshot(s) restored, %d log records \
+               replayed\n\
+               %!"
+              victim snaps replayed);
+      let epoch_changes =
+        Array.fold_left
+          (fun acc line ->
+            match line with
+            | Some json -> acc + max 0 (int_field_of_stats json "epoch_changes")
+            | None -> acc)
+          0 stats_lines
+      in
+      if epoch_changes <= 0 then
+        fail_check "no node completed an epoch change merging node%d back"
+          victim
+      else
+        Printf.printf "epoch changes: %d (node%d merged back)\n%!" epoch_changes
+          victim
   | Some victim ->
       if !detected_by = [] then
         fail_check "no surviving node suspected node%d" victim
@@ -353,13 +482,15 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
         Printf.sprintf
           "{\"experiment\": \"cluster\", \"nodes\": %d, \"cores\": %d, \
            \"coordinators\": %d, \"clients\": %d, \"killed\": %d, \
-           \"detected_by\": [%s], \"serializable\": %b, \"failures\": %d,\n\
+           \"rebooted\": %b, \"detected_by\": [%s], \"serializable\": %b, \
+           \"failures\": %d,\n\
           \  \"driver\": %s,\n\
           \  \"node_stats\": [\n\
           \    %s\n\
           \  ]}\n"
           nodes cores coordinators clients
           (match kill_node with Some v -> v | None -> -1)
+          reboot
           (String.concat ", "
              (List.map string_of_int (List.rev !detected_by)))
           serializable !failures
@@ -439,6 +570,30 @@ let () =
       value & opt float 0.5
       & info [ "kill-after" ] ~docv:"SECONDS" ~doc:"When to kill (--kill-node).")
   in
+  let reboot =
+    Arg.(
+      value & flag
+      & info [ "reboot" ]
+          ~doc:
+            "After SIGKILLing the --kill-node victim, restart it on its \
+             original port from its data directory; the run then checks that \
+             it replayed its WAL and that an epoch change merged it back.")
+  in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Give each node a WAL + snapshot directory under $(docv). \
+             Implied (in a temp directory) by --reboot.")
+  in
+  let fsync =
+    Arg.(
+      value & opt string "every=8"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:"Node WAL fsync policy: always, every=N, or never.")
+  in
   let no_check =
     Arg.(
       value & flag
@@ -459,7 +614,7 @@ let () =
     Term.(
       const run $ nodes $ cores $ coordinators $ clients $ keys $ theta
       $ workload $ txns $ duration $ seed $ heartbeat_ms $ kill_node
-      $ kill_after $ no_check $ metrics $ json)
+      $ kill_after $ reboot $ data_dir $ fsync $ no_check $ metrics $ json)
   in
   let info =
     Cmd.info "meerkat_cluster"

@@ -34,7 +34,8 @@ let parse_port = function
       | Some p -> Error (`Msg (Printf.sprintf "port %d out of range" p))
       | None -> Error (`Msg (Printf.sprintf "bad port %S (number or auto)" s)))
 
-let run me cluster_src port cores keys heartbeat_ms no_detector rto_ms metrics =
+let run me cluster_src port cores keys heartbeat_ms no_detector rto_ms data_dir
+    fsync metrics =
   (* Bind before reading the config: with `--cluster -' the launcher
      needs our `port' line to finish assembling the config it will
      send us. *)
@@ -67,6 +68,11 @@ let run me cluster_src port cores keys heartbeat_ms no_detector rto_ms metrics =
       detector =
         (if no_detector then None else Some (Node.detector_cfg ~heartbeat_ms));
       rto_us = rto_ms *. 1000.0;
+      data_dir;
+      fsync =
+        (match Mk_durable.Wal.policy_of_string fsync with
+        | Some p -> p
+        | None -> fail "bad --fsync %S (always, never, or every=N)" fsync);
     }
   in
   let node = Node.create bound cfg ~n_replicas:(Array.length cluster) in
@@ -130,20 +136,41 @@ let () =
       value & opt float 100.0
       & info [ "rto-ms" ] ~doc:"View-change retransmission base (milliseconds).")
   in
+  let data_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "data-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist per-core WAL + snapshot files under $(docv) (created if \
+             absent). A process SIGKILLed and restarted with the same \
+             $(docv) replays its state and rejoins via the epoch change.")
+  in
+  let fsync =
+    Arg.(
+      value & opt string "every=8"
+      & info [ "fsync" ] ~docv:"POLICY"
+          ~doc:
+            "WAL fsync policy: `always' (durable on ack), `every=N' (group \
+             commit), or `never' (crash-consistent only). Only meaningful \
+             with $(b,--data-dir).")
+  in
   let metrics =
     Arg.(
       value & flag
       & info [ "metrics" ]
           ~doc:"Dump the metrics registry (wire counters included) at exit.")
   in
-  let wrap me cluster port cores keys heartbeat_ms no_detector rto_ms metrics =
+  let wrap me cluster port cores keys heartbeat_ms no_detector rto_ms data_dir
+      fsync metrics =
     let src = if cluster = "-" then `Stdin else `File cluster in
-    run me src port cores keys heartbeat_ms no_detector rto_ms metrics
+    run me src port cores keys heartbeat_ms no_detector rto_ms data_dir fsync
+      metrics
   in
   let term =
     Term.(
       const wrap $ me $ cluster $ port $ cores $ keys $ heartbeat_ms
-      $ no_detector $ rto_ms $ metrics)
+      $ no_detector $ rto_ms $ data_dir $ fsync $ metrics)
   in
   let info =
     Cmd.info "meerkat_node"

@@ -287,14 +287,21 @@ type program = {
   p_resolved : (use * resolution) list array; (* per def id *)
 }
 
+(* Expand a leading local alias to a fixed point: [module Tid =
+   Timestamp.Tid] where [Timestamp] is itself [Mk_clock.Timestamp]
+   needs two steps before the library map can see [Mk_clock]. The
+   [seen] set guards against mutually-aliased cycles. *)
 let expand_alias (s : summary) comps =
-  match comps with
-  | m0 :: rest -> begin
-      match List.assoc_opt m0 s.s_aliases with
-      | Some target -> target @ rest
-      | None -> comps
-    end
-  | [] -> comps
+  let rec go seen comps =
+    match comps with
+    | m0 :: rest when not (List.mem m0 seen) -> begin
+        match List.assoc_opt m0 s.s_aliases with
+        | Some target -> go (m0 :: seen) (target @ rest)
+        | None -> comps
+      end
+    | _ -> comps
+  in
+  go [] comps
 
 let defs_named p fi name =
   match Hashtbl.find_opt p.p_named.(fi) name with Some ids -> ids | None -> []
@@ -404,9 +411,15 @@ let resolve_use p fi ~scope (u : use) =
         { r_targets = local; r_comps = comps; r_deps = []; r_unknown = None }
       else begin
         (* fall back to the file's opens, in order; merge every
-           resolution that found something (over-approximation) *)
+           resolution that found something (over-approximation). An
+           open of a local alias ([module W = Mk_wire.Wire] then
+           [open W]) expands to its target first, so the identifier
+           resolves across libraries instead of reporting the alias
+           as an unknown module. *)
         let candidates =
-          List.map (fun o -> resolve_qualified p fi (o @ [ x ])) s.s_opens
+          List.map
+            (fun o -> resolve_qualified p fi (expand_alias s (o @ [ x ])))
+            s.s_opens
         in
         let hits =
           List.filter

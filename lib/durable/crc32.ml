@@ -1,0 +1,22 @@
+(* CRC-32/ISO-HDLC (the IEEE 802.3 polynomial, reflected), computed
+   bitwise. A lookup table would be faster, but a table is top-level
+   mutable state (lint rule Z1) and the WAL frames this checksums are
+   tens of bytes — the 8-steps-per-byte loop is nowhere near the
+   fsync on the same path. Every operation below is total: no
+   allocation, no indexing, no raising primitive (rule Z7 covers the
+   recovery readers built on this). *)
+
+let poly = 0xedb88320
+let mask = 0xffff_ffff
+
+let digest s =
+  let crc = ref mask in
+  String.iter
+    (fun ch ->
+      crc := !crc lxor Char.code ch;
+      for _ = 0 to 7 do
+        let lsb = !crc land 1 in
+        crc := (!crc lsr 1) lxor (if lsb = 1 then poly else 0)
+      done)
+    s;
+  lnot !crc land mask

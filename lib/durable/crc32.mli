@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3, reflected — the zlib/PNG polynomial) over a
+    whole string. Pure and total; the check value of ["123456789"] is
+    [0xCBF43926]. Frames every WAL record and snapshot file
+    ({!Walcodec}) so a torn or bit-flipped tail is detected, never
+    replayed. *)
+
+val digest : string -> int
+(** In [\[0, 0xffffffff\]]. *)

@@ -1,0 +1,10 @@
+(** Atomic snapshot file I/O: tmp-write, fsync, rename — the rename
+    is the commit point, so recovery sees either the old snapshot or
+    the new one, never a torn mix. Content is an opaque
+    {!Walcodec.encode_snapshot} frame. *)
+
+val write : path:string -> string -> unit
+
+val read : path:string -> string option
+(** Total: missing, unreadable, or empty means [None] (recovery then
+    replays the full log). *)

@@ -1,0 +1,137 @@
+(* On-disk formats for the durable layer, built from the same
+   primitives as the cluster's wire frames so a record view is the
+   same bytes on disk as inside an [Epoch_records] datagram.
+
+   A WAL entry is one CRC frame:
+
+     [u32 crc-of-payload][u32 len][len payload bytes]
+
+   with payload [i64 core][record_view]. A snapshot file is a single
+   frame of the same shape whose payload is
+   [i64 core][i64 epoch][i64 wal_cut][record_view list][store_row list].
+
+   Everything here is pure (rule Z6) and the readers are total (rule
+   Z7): a torn tail, a flipped bit, or outright garbage yields the
+   longest valid prefix (log) or [None] (snapshot) — never an
+   exception. Torn-tail tolerance is what makes the crash model work:
+   a SIGKILL mid-append loses at most the unsynced suffix, and replay
+   stops cleanly at the first frame whose CRC does not match. *)
+
+module Wire = Mk_wire.Wire
+module Codec = Mk_wire.Codec
+module Timestamp = Mk_clock.Timestamp
+module Replica = Mk_meerkat.Replica
+open Wire
+
+type record = { core : int; view : Replica.record_view }
+
+(* Frame a payload: crc first so a torn write that only got the
+   header out still fails the checksum (the length prefix alone would
+   happily describe the missing bytes). *)
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  w_u32 b (Crc32.digest payload);
+  w_string b payload;
+  Buffer.contents b
+
+let encode_record { core; view } =
+  let p = Buffer.create 96 in
+  w_i64 p core;
+  Codec.w_record_view p view;
+  frame (Buffer.contents p)
+
+(* One frame off the front of [s] at [pos]: the checksummed payload
+   and the total framed size, or [Error] on a torn/corrupt tail. *)
+let read_frame s ~pos =
+  let c = cursor ~pos s in
+  let* crc = r_u32 c in
+  let* payload = r_string c in
+  if Crc32.digest payload <> crc then Error (Malformed "crc mismatch")
+  else Ok (payload, 8 + String.length payload)
+
+let parse_record payload =
+  let c = cursor payload in
+  let* core = r_i64 c in
+  let* view = Codec.r_record_view c in
+  if core < 0 then Error (Malformed "negative core")
+  else if remaining c > 0 then Error (Trailing (remaining c))
+  else Ok { core; view }
+
+type replay = { records : record list; valid_bytes : int; decode_errors : int }
+
+let read_records ?(from = 0) s =
+  let n = String.length s in
+  if from < 0 || from > n then
+    (* A snapshot token pointing outside the log it cuts: the log was
+       lost or truncated after the snapshot was written. The snapshot
+       itself is still good; there is just no suffix to replay. *)
+    { records = []; valid_bytes = 0; decode_errors = 1 }
+  else begin
+    let rec go acc pos =
+      if pos >= n then { records = List.rev acc; valid_bytes = pos; decode_errors = 0 }
+      else
+        match read_frame s ~pos with
+        | Error _ ->
+            (* Longest valid prefix: everything before [pos] replays,
+               the torn or corrupt tail is dropped. *)
+            { records = List.rev acc; valid_bytes = pos; decode_errors = 1 }
+        | Ok (payload, sz) -> (
+            match parse_record payload with
+            | Error _ ->
+                { records = List.rev acc; valid_bytes = pos; decode_errors = 1 }
+            | Ok r -> go (r :: acc) (pos + sz))
+    in
+    go [] from
+  end
+
+type snapshot = {
+  core : int;
+  epoch : int;
+  wal_cut : int;
+  views : Replica.record_view list;
+  rows : (int * int * Timestamp.t * Timestamp.t) list;
+}
+
+let encode_snapshot { core; epoch; wal_cut; views; rows } =
+  let p = Buffer.create 256 in
+  w_i64 p core;
+  w_i64 p epoch;
+  w_i64 p wal_cut;
+  w_list Codec.w_record_view p views;
+  w_list Codec.w_store_row p
+    (List.map
+       (fun (key, value, wts, rts) -> { Codec.key; value; wts; rts })
+       rows);
+  frame (Buffer.contents p)
+
+let parse_snapshot payload =
+  let c = cursor payload in
+  let* core = r_i64 c in
+  let* epoch = r_i64 c in
+  let* wal_cut = r_i64 c in
+  let* views = r_list ~elt_min:Codec.record_view_min Codec.r_record_view c in
+  let* raw_rows = r_list ~elt_min:Codec.store_row_bytes Codec.r_store_row c in
+  if core < 0 || epoch < 0 || wal_cut < 0 then
+    Error (Malformed "negative snapshot token")
+  else if remaining c > 0 then Error (Trailing (remaining c))
+  else
+    Ok
+      {
+        core;
+        epoch;
+        wal_cut;
+        views;
+        rows =
+          List.map
+            (fun (r : Codec.store_row) -> (r.key, r.value, r.wts, r.rts))
+            raw_rows;
+      }
+
+let read_snapshot s =
+  match read_frame s ~pos:0 with
+  | Error _ -> None
+  | Ok (payload, sz) ->
+      if sz <> String.length s then None
+      else begin
+        match parse_snapshot payload with Error _ -> None | Ok snap -> Some snap
+      end

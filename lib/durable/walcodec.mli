@@ -1,0 +1,51 @@
+(** On-disk formats: CRC32-framed WAL records and snapshot files,
+    byte-compatible with the cluster wire encoding (the component
+    codecs of {!Mk_wire.Codec}).
+
+    Pure and total (lint rules Z6/Z7): encoding is deterministic, and
+    the readers turn a torn tail, a flipped bit, or garbage into the
+    longest valid prefix ({!read_records}) or [None]
+    ({!read_snapshot}) — never an exception. *)
+
+type record = { core : int; view : Mk_meerkat.Replica.record_view }
+(** One WAL entry: a finalized (or installed) trecord view, tagged
+    with the core whose partition owns it. *)
+
+val encode_record : record -> string
+(** One framed log entry, ready to append. *)
+
+type replay = {
+  records : record list;  (** The longest valid prefix, append order. *)
+  valid_bytes : int;
+      (** Bytes of the input covered by that prefix — where a
+          compacting writer may safely truncate to. *)
+  decode_errors : int;
+      (** 1 if a torn or corrupt tail stopped the replay, else 0. *)
+}
+
+val read_records : ?from:int -> string -> replay
+(** Replay a raw log image from byte [from] (a snapshot's [wal_cut]
+    token; default 0). Total: any [from], including one landing
+    mid-frame or outside the image, yields a well-formed {!replay}. *)
+
+type snapshot = {
+  core : int;
+  epoch : int;  (** Installed epoch at snapshot time. *)
+  wal_cut : int;
+      (** Log length at snapshot time: replay only the suffix from
+          this byte — everything before it is folded into the rows
+          and views below. *)
+  views : Mk_meerkat.Replica.record_view list;
+      (** This core's trecord partition. *)
+  rows :
+    (int * int * Mk_clock.Timestamp.t * Mk_clock.Timestamp.t) list;
+      (** (key, value, wts, rts) vstore rows owned by this core. *)
+}
+
+val encode_snapshot : snapshot -> string
+(** A whole snapshot file: one CRC frame (written atomically via
+    {!Snapshot.write}'s tmp-and-rename). *)
+
+val read_snapshot : string -> snapshot option
+(** Total; [None] on any corruption — recovery then falls back to
+    replaying the full log from byte 0. *)

@@ -9,11 +9,21 @@ type profile =
   | Reorder
   | Partition
   | Crash_replica
+  | Crash_reboot
   | Crash_coordinator
   | Combo
 
 let all =
-  [ Calm; Dup_storm; Reorder; Partition; Crash_replica; Crash_coordinator; Combo ]
+  [
+    Calm;
+    Dup_storm;
+    Reorder;
+    Partition;
+    Crash_replica;
+    Crash_reboot;
+    Crash_coordinator;
+    Combo;
+  ]
 
 let to_string = function
   | Calm -> "calm"
@@ -21,6 +31,7 @@ let to_string = function
   | Reorder -> "reorder"
   | Partition -> "partition"
   | Crash_replica -> "crash-replica"
+  | Crash_reboot -> "crash-reboot"
   | Crash_coordinator -> "crash-coordinator"
   | Combo -> "combo"
 
@@ -135,6 +146,24 @@ let plan ~seed ~profile ~horizon ~n_replicas ~n_clients =
         windows = [];
         crashes =
           [ Replica_crash { at; victim = victim (); down_for = 0.2 *. horizon } ];
+      }
+  | Crash_reboot ->
+      (* The same replica fail-stops twice. The first §5.3.1 merge must
+         reintegrate a replica that then survives being killed again —
+         and the durable end-of-run invariant checks that nothing
+         committed before either crash is missing from a replay of the
+         replica's WAL + snapshot images. Both reboots land well before
+         the 80% mark so the grace period stays fault-free. *)
+      let v = victim () in
+      let first = (0.2 +. Rng.float rng 0.05) *. horizon in
+      let second = (0.55 +. Rng.float rng 0.05) *. horizon in
+      {
+        windows = [];
+        crashes =
+          [
+            Replica_crash { at = first; victim = v; down_for = 0.12 *. horizon };
+            Replica_crash { at = second; victim = v; down_for = 0.12 *. horizon };
+          ];
       }
   | Crash_coordinator ->
       let at = (0.2 +. Rng.float rng 0.15) *. horizon in

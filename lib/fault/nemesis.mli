@@ -23,6 +23,10 @@ type profile =
       (** Asymmetric partition: one replica's outbound traffic is
           dropped while its inbound still flows. *)
   | Crash_replica  (** Fail-stop a replica, rebooting later. *)
+  | Crash_reboot
+      (** Fail-stop the {e same} replica twice: the first recovery must
+          produce a replica that survives being killed again, and the
+          durable invariant checks its WAL + snapshot replay. *)
   | Crash_coordinator
       (** Kill a client-side coordinator between validate and write. *)
   | Combo  (** All of the above, staggered to keep f = 1. *)

@@ -10,6 +10,17 @@ module Nemesis = Mk_fault.Nemesis
 module Runtime = Mk_live.Runtime
 module Obs = Mk_obs.Obs
 module Rng = Mk_util.Rng
+module Memlog = Mk_durable.Memlog
+module Walcodec = Mk_durable.Walcodec
+module Recover = Mk_durable.Recover
+module Tid = Mk_clock.Timestamp.Tid
+
+module Tid_table = Hashtbl.Make (struct
+  type t = Tid.t
+
+  let equal = Tid.equal
+  let hash = Tid.hash
+end)
 
 type backend = Sim | Live
 
@@ -66,6 +77,7 @@ type report = {
   bounded : (unit, string) result;
   available : (unit, string) result;
   acks_consistent : (unit, string) result;
+  durable : (unit, string) result;
   epoch_changes : int;
   view_changes : int;
   duplicated : int;
@@ -81,13 +93,79 @@ let passed r =
   && Result.is_ok r.bounded
   && Result.is_ok r.available
   && Result.is_ok r.acks_consistent
+  && Result.is_ok r.durable
 
 (* --- End-of-run invariants, shared by both backends. ---
 
    Everything deployment-specific is behind two values: the quiescent
-   replica array and a committed-value reader. The five verdicts are
+   replica array and a committed-value reader. The six verdicts are
    computed from those exactly once, so a sim run and a live run pass
-   or fail for the same reasons. *)
+   or fail for the same reasons (the durable verdict is computed by
+   [check_durable] below against the backend's own device images and
+   handed in through [raw]). *)
+
+(* I6 (durable): replay every replica's durable device — snapshot +
+   WAL suffix, the exact reboot path of {!Mk_durable.Recover} — and
+   require (a) every committed record in the replica's final trecord
+   to be present, committed and at the same timestamp, in its own
+   replay, and (b) every [obligation] (a commit observed durable
+   before a crash wiped a replica) to survive in the union of replays.
+   Together with the acks invariant, (a) alone already implies the
+   headline guarantee — nothing acked-committed before a crash is
+   missing after replay — because an acked commit is in the final
+   committed union, which every replica's replay must cover for its
+   own records; (b) additionally pins the crash instant itself on the
+   deterministic backend. *)
+let check_durable ~cores ~replicas ~sources ~obligations ~note =
+  let err = ref None in
+  let fail fmt =
+    Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt
+  in
+  let replays =
+    Array.mapi
+      (fun r rep ->
+        let parsed = Recover.parse ~cores (sources r) in
+        note parsed;
+        let committed_in_replay = Tid_table.create 256 in
+        List.iter
+          (fun ((_ : int), (v : Replica.record_view)) ->
+            if v.status = Txn.Committed then
+              Tid_table.replace committed_in_replay v.txn.Txn.tid v.ts)
+          parsed.Recover.records;
+        (if not (Replica.is_crashed rep) then
+           List.iter
+             (fun (_, (e : Mk_storage.Trecord.entry)) ->
+               if e.status = Txn.Committed then
+                 match Tid_table.find_opt committed_in_replay e.txn.Txn.tid with
+                 | Some ts when Timestamp.compare ts e.ts = 0 -> ()
+                 | Some _ ->
+                     fail
+                       "replica %d: a committed record replays at a different \
+                        timestamp"
+                       r
+                 | None ->
+                     fail
+                       "replica %d: a committed record is missing from its \
+                        WAL+snapshot replay"
+                       r)
+             (Mk_storage.Trecord.entries (Replica.trecord rep)));
+        committed_in_replay)
+      replicas
+  in
+  List.iter
+    (fun (tid, ts) ->
+      let held =
+        Array.exists
+          (fun tbl ->
+            match Tid_table.find_opt tbl tid with
+            | Some ts' -> Timestamp.compare ts' ts = 0
+            | None -> false)
+          replays
+      in
+      if not held then
+        fail "a commit durable before a crash is missing from every replay")
+    obligations;
+  match !err with None -> Ok () | Some e -> Error e
 
 type raw = {
   raw_cfg : cfg;
@@ -103,6 +181,7 @@ type raw = {
   raw_delayed : int;
   raw_dropped : int;
   raw_fault_events : int;
+  raw_durable : (unit, string) result;
   raw_obs : Obs.t;
 }
 
@@ -213,6 +292,7 @@ let evaluate (raw : raw) =
     bounded;
     available;
     acks_consistent;
+    durable = raw.raw_durable;
     epoch_changes = raw.raw_epoch_changes;
     view_changes = raw.raw_view_changes;
     duplicated = raw.raw_duplicated;
@@ -243,17 +323,91 @@ let run_sim cfg =
   let engine = Engine.create ~seed:cfg.seed () in
   let obs = Obs.create ~trace:cfg.trace ~clock:(fun () -> Engine.now engine) () in
   let sys = S.create ~obs engine sys_cfg in
+  (* Durable device: one in-memory log + snapshot slot per (replica,
+     core) — the same Walcodec bytes the cluster backend puts on disk,
+     surviving the simulated fail-stop. The hooks touch no engine or
+     RNG state, so a Calm run stays bit-identical to one without them. *)
+  let memlogs =
+    Array.init sys_cfg.S.n_replicas (fun _ ->
+        Array.init cfg.threads (fun _ -> Memlog.create ()))
+  in
+  Array.iteri
+    (fun r rep ->
+      Replica.set_durable_hook rep (function
+        | Replica.Finalized { core; view } ->
+            if core >= 0 && core < cfg.threads then begin
+              let s = Walcodec.encode_record { Walcodec.core; view } in
+              Memlog.append memlogs.(r).(core) s;
+              Obs.note_wal_append obs ~bytes:(String.length s) ~synced:false
+            end
+        | Replica.Installed { epoch } ->
+            (* The merged epoch state supersedes the log: full per-core
+               snapshots cutting at the current log lengths, exactly
+               what the cluster backend writes at this hook. *)
+            let all_views = Replica.record_views rep in
+            let all_rows = Replica.store_snapshot rep in
+            Array.iteri
+              (fun core m ->
+                let views =
+                  List.filter_map
+                    (fun (c, v) -> if c = core then Some v else None)
+                    all_views
+                in
+                let rows =
+                  List.filter
+                    (fun (k, _, _, _) -> k mod cfg.threads = core)
+                    all_rows
+                in
+                let s =
+                  Walcodec.encode_snapshot
+                    {
+                      Walcodec.core;
+                      epoch;
+                      wal_cut = Memlog.log_length m;
+                      views;
+                      rows;
+                    }
+                in
+                Memlog.set_snapshot m s;
+                Obs.note_snapshot obs ~bytes:(String.length s))
+              memlogs.(r)))
+    (S.replicas sys);
   (* Nemesis: derived from the same seed, installed before anything
      runs so window bounds are absolute. *)
   let plan =
     Nemesis.plan ~seed:cfg.seed ~profile:cfg.profile ~horizon:cfg.horizon
       ~n_replicas:sys_cfg.S.n_replicas ~n_clients:cfg.n_clients
   in
+  (* Everything committed anywhere at the instant of a crash is a
+     durable obligation: finalization happens at (or after) the
+     coordinator's ack, so this under-approximates "acked-committed
+     before the crash", and each entry already fired the Finalized
+     hook — the union of end-of-run replays must still hold it. *)
+  let obligations = ref [] in
+  let ob_seen = Tid_table.create 64 in
+  let capture_obligations () =
+    Array.iter
+      (fun rep ->
+        if not (Replica.is_crashed rep) then
+          List.iter
+            (fun (_, (e : Mk_storage.Trecord.entry)) ->
+              if
+                e.status = Txn.Committed
+                && not (Tid_table.mem ob_seen e.txn.Txn.tid)
+              then begin
+                Tid_table.add ob_seen e.txn.Txn.tid ();
+                obligations := (e.txn.Txn.tid, e.ts) :: !obligations
+              end)
+            (Mk_storage.Trecord.entries (Replica.trecord rep)))
+      (S.replicas sys)
+  in
   Nemesis.install ~engine ~net:(S.network sys) ~obs
     ~callbacks:
       {
         Nemesis.crash_replica =
-          (fun ~victim ~down_for -> S.crash_replica ~down_for sys victim);
+          (fun ~victim ~down_for ->
+            capture_obligations ();
+            S.crash_replica ~down_for sys victim);
         crash_coordinator =
           (fun ~client ~down_for -> S.crash_coordinator sys ~client ~down_for);
       }
@@ -292,6 +446,19 @@ let run_sim cfg =
     client c
   done;
   Engine.run ~until:(cfg.horizon +. cfg.grace) ~max_events:100_000_000 engine;
+  let durable =
+    check_durable ~cores:cfg.threads ~replicas:(S.replicas sys)
+      ~sources:(fun r ->
+        Array.to_list
+          (Array.map
+             (fun m ->
+               { Recover.snap = Memlog.snapshot m; log = Memlog.log_contents m })
+             memlogs.(r)))
+      ~obligations:!obligations
+      ~note:(fun (p : Recover.parsed) ->
+        Obs.note_wal_replayed obs ~snapshots:p.Recover.snapshots_used
+          ~records:p.Recover.replayed ~errors:p.Recover.decode_errors)
+  in
   evaluate
     {
       raw_cfg = cfg;
@@ -308,6 +475,7 @@ let run_sim cfg =
       raw_delayed = Network.messages_delayed (S.network sys);
       raw_dropped = Network.messages_dropped (S.network sys);
       raw_fault_events = Obs.counter_value obs "fault.windows";
+      raw_durable = durable;
       raw_obs = obs;
     }
 
@@ -319,6 +487,12 @@ let run_live cfg =
   let plan =
     Nemesis.plan ~seed:cfg.seed ~profile:cfg.profile ~horizon:horizon_us
       ~n_replicas ~n_clients:cfg.n_clients
+  in
+  (* Real per-(replica, core) WAL + snapshot files in a scratch data
+     dir: the durable invariant replays what actually hit the file
+     system, then the dir is removed. *)
+  let data_dir =
+    Runtime.fresh_data_dir ~tag:(Printf.sprintf "chaos-seed%d" cfg.seed)
   in
   let rt_cfg =
     {
@@ -341,9 +515,31 @@ let run_live cfg =
             horizon_us;
             settle_us = cfg.grace;
           };
+      durable = Some { Runtime.dir = data_dir; policy = Mk_durable.Wal.Every 8 };
     }
   in
   let r = Runtime.run rt_cfg in
+  let obs = Obs.create ~clock:(fun () -> 0.0) () in
+  Obs.note_wal_appends obs ~appends:r.Runtime.wal_appends
+    ~bytes:r.Runtime.wal_bytes ~fsyncs:r.Runtime.wal_fsyncs;
+  Obs.note_snapshots obs ~count:r.Runtime.snapshots
+    ~bytes:r.Runtime.snapshot_bytes;
+  (* No crash-instant obligations here: capturing them would race the
+     server domains mid-run. The per-replica completeness check plus
+     the acks invariant still pin the headline guarantee (see
+     [check_durable]); the deterministic sim backend covers the crash
+     instant exactly. *)
+  let durable =
+    check_durable ~cores:cfg.threads ~replicas:r.Runtime.replicas
+      ~sources:(fun replica ->
+        Runtime.read_durable_sources ~dir:data_dir ~replica ~cores:cfg.threads)
+      ~obligations:[]
+      ~note:(fun (p : Recover.parsed) ->
+        Obs.note_wal_replayed obs ~snapshots:p.Recover.snapshots_used
+          ~records:p.Recover.replayed ~errors:p.Recover.decode_errors)
+  in
+  Runtime.remove_data_dir ~dir:data_dir
+    ~n_replicas:(Array.length r.Runtime.replicas) ~cores:cfg.threads;
   evaluate
     {
       raw_cfg = cfg;
@@ -367,7 +563,8 @@ let run_live cfg =
       raw_delayed = r.Runtime.link_delayed;
       raw_dropped = r.Runtime.link_dropped;
       raw_fault_events = r.Runtime.fault_events;
-      raw_obs = Obs.create ~clock:(fun () -> 0.0) ();
+      raw_durable = durable;
+      raw_obs = obs;
     }
 
 let run cfg = match cfg.backend with Sim -> run_sim cfg | Live -> run_live cfg
@@ -395,7 +592,8 @@ let pp_report ppf r =
   pp_invariant ppf ("agreement", r.agreement);
   pp_invariant ppf ("bounded", r.bounded);
   pp_invariant ppf ("available", r.available);
-  pp_invariant ppf ("acks", r.acks_consistent)
+  pp_invariant ppf ("acks", r.acks_consistent);
+  pp_invariant ppf ("durable", r.durable)
 
 let report_json r =
   Printf.sprintf
@@ -403,13 +601,14 @@ let report_json r =
      \"committed_acks\": %d, \"aborted_acks\": %d, \"submitted\": %d, \
      \"acked\": %d, \"stuck\": %d, \"epoch_changes\": %d, \"view_changes\": \
      %d, \"duplicated\": %d, \"delayed\": %d, \"dropped\": %d, \
-     \"fault_events\": %d}"
+     \"fault_events\": %d, \"durable\": %b}"
     r.r_cfg.seed
     (Nemesis.to_string r.r_cfg.profile)
     (match r.r_cfg.backend with Sim -> "sim" | Live -> "live")
     (passed r) r.committed_acks r.aborted_acks r.submitted r.acked r.stuck
     r.epoch_changes r.view_changes r.duplicated r.delayed r.dropped
     r.fault_events
+    (Result.is_ok r.durable)
 
 let matrix ~seeds ~profiles ~cfg =
   List.concat_map

@@ -18,9 +18,17 @@
     - {b available}: every replica is back up (crashed ones were
       reintegrated by the heartbeat detector's epoch change);
     - {b acks}: the number of acknowledged commits equals the number
-      of committed records (no lost or phantom acks).
+      of committed records (no lost or phantom acks);
+    - {b durable}: replaying every replica's durable device (snapshot
+      + WAL suffix, the exact {!Mk_durable.Recover} reboot path)
+      reproduces every committed record in its final trecord, and
+      nothing observed committed before a crash is missing from the
+      union of replays. The {!Sim} backend logs to deterministic
+      in-memory {!Mk_durable.Memlog} devices; the {!Live} backend
+      writes real per-(replica, core) files in a scratch directory
+      and replays them off disk.
 
-    The five verdicts are computed by one shared evaluator, so a
+    The six verdicts are computed by one shared evaluator, so a
     {!Sim} run and a {!Live} run pass or fail for the same reasons:
 
     - {!Sim} drives {!Mk_meerkat.Sim_system} on the discrete-event
@@ -76,6 +84,9 @@ type report = {
   bounded : (unit, string) result;
   available : (unit, string) result;
   acks_consistent : (unit, string) result;
+  durable : (unit, string) result;
+      (** Nothing acked-committed before a crash is missing after a
+          replay of the durable images (see the module preamble). *)
   epoch_changes : int;  (** Detector-initiated §5.3.1 completions. *)
   view_changes : int;  (** Detector-initiated §5.3.2 completions. *)
   duplicated : int;
@@ -90,7 +101,7 @@ type report = {
 
 val run : cfg -> report
 val passed : report -> bool
-(** All five invariants hold. *)
+(** All six invariants hold. *)
 
 val matrix :
   seeds:int list -> profiles:Mk_fault.Nemesis.profile list -> cfg:cfg -> report list

@@ -72,8 +72,14 @@ module Workload = Mk_workload.Workload
 module Obs = Mk_obs.Obs
 module Span = Mk_obs.Span
 module Histogram = Mk_util.Histogram
+module Wal = Mk_durable.Wal
+module Walcodec = Mk_durable.Walcodec
+module Dsnapshot = Mk_durable.Snapshot
+module Recover = Mk_durable.Recover
 
 type workload_kind = Ycsb_t | Retwis
+
+type durable = { dir : string; policy : Wal.policy }
 
 type chaos = {
   plan : Nemesis.plan;
@@ -98,6 +104,7 @@ type config = {
   server_inbox : int;
   coord_inbox : int;
   chaos : chaos option;
+  durable : durable option;
 }
 
 let default_config =
@@ -122,7 +129,63 @@ let default_config =
     server_inbox = 1024;
     coord_inbox = 4096;
     chaos = None;
+    durable = None;
   }
+
+(* --- Per-(replica, core) durable files (DESIGN.md §12). ---
+
+   Server domain [k] owns core [k] of every replica, so file
+   [r<r>-c<k>.wal] has a single writer: the hook's [Finalized {core}]
+   fires inside that core's handler. [Installed] fires only from the
+   monitor's epoch change while every server domain is parked on its
+   control mailbox, so the full-state snapshots it writes race with
+   nothing. *)
+
+let durable_wal_path ~dir ~replica ~core =
+  Filename.concat dir (Printf.sprintf "r%d-c%d.wal" replica core)
+
+let durable_snap_path ~dir ~replica ~core =
+  Filename.concat dir (Printf.sprintf "r%d-c%d.snap" replica core)
+
+let fresh_data_dir ~tag =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let dir =
+      Filename.concat base
+        (Printf.sprintf "mk-%s-%d-%d" tag (Unix.getpid ()) i)
+    in
+    match Unix.mkdir dir 0o700 with
+    | () -> dir
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+  in
+  go 0
+
+let read_durable_sources ~dir ~replica ~cores =
+  List.init cores (fun core ->
+      let log =
+        match
+          In_channel.with_open_bin
+            (durable_wal_path ~dir ~replica ~core)
+            In_channel.input_all
+        with
+        | s -> s
+        | exception Sys_error _ -> ""
+      in
+      {
+        Recover.snap = Dsnapshot.read ~path:(durable_snap_path ~dir ~replica ~core);
+        log;
+      })
+
+let remove_data_dir ~dir ~n_replicas ~cores =
+  for r = 0 to n_replicas - 1 do
+    for c = 0 to cores - 1 do
+      (try Sys.remove (durable_wal_path ~dir ~replica:r ~core:c)
+       with Sys_error _ -> ());
+      try Sys.remove (durable_snap_path ~dir ~replica:r ~core:c)
+      with Sys_error _ -> ()
+    done
+  done;
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
 
 let chaos_detector_cfg ~horizon_us =
   {
@@ -158,6 +221,11 @@ type report = {
   link_dropped : int;
   link_duplicated : int;
   link_delayed : int;
+  wal_appends : int;
+  wal_bytes : int;
+  wal_fsyncs : int;
+  snapshots : int;
+  snapshot_bytes : int;
   replicas : Replica.t array;
 }
 
@@ -1125,6 +1193,68 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
   }
 
 (* ------------------------------------------------------------------ *)
+(* Durability wiring                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One tally row per server domain, folded after the join — the
+   registry counters in an Obs handle are plain ints, so the hot path
+   never shares a counter across domains. *)
+type wal_tally = {
+  mutable t_appends : int;
+  mutable t_bytes : int;
+  mutable t_fsyncs : int;
+}
+
+type durable_state = {
+  d_wals : Wal.t array array;  (* .(replica).(core) *)
+  d_tallies : wal_tally array;  (* per server domain *)
+  mutable d_snaps : int;  (* monitor-domain only (Installed) *)
+  mutable d_snap_bytes : int;
+}
+
+let durable_hook ds ~dir ~cores ~replica rep (ev : Replica.durable_event) =
+  match ev with
+  | Replica.Finalized { core; view } ->
+      if core >= 0 && core < Array.length ds.d_tallies then begin
+        let s = Walcodec.encode_record { Walcodec.core; view } in
+        let tally = ds.d_tallies.(core) in
+        (match Wal.append ds.d_wals.(replica).(core) s with
+        | `Synced -> tally.t_fsyncs <- tally.t_fsyncs + 1
+        | `Buffered -> ());
+        tally.t_appends <- tally.t_appends + 1;
+        tally.t_bytes <- tally.t_bytes + String.length s
+      end
+  | Replica.Installed { epoch } ->
+      (* Monitor domain, every server domain parked: the merged state
+         supersedes whatever the logs say, so write full per-core
+         snapshots cutting at the current log lengths. *)
+      let all_views = Replica.record_views rep in
+      let all_rows = Replica.store_snapshot rep in
+      for core = 0 to cores - 1 do
+        let views =
+          List.filter_map
+            (fun (c, v) -> if c = core then Some v else None)
+            all_views
+        in
+        let rows =
+          List.filter (fun (k, _, _, _) -> k mod cores = core) all_rows
+        in
+        let s =
+          Walcodec.encode_snapshot
+            {
+              Walcodec.core;
+              epoch;
+              wal_cut = Wal.length ds.d_wals.(replica).(core);
+              views;
+              rows;
+            }
+        in
+        Dsnapshot.write ~path:(durable_snap_path ~dir ~replica ~core) s;
+        ds.d_snaps <- ds.d_snaps + 1;
+        ds.d_snap_bytes <- ds.d_snap_bytes + String.length s
+      done
+
+(* ------------------------------------------------------------------ *)
 (* Whole-system run                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1165,6 +1295,34 @@ let run (cfg : config) : report =
         Replica.load r ~key ~value:0
       done)
     replicas;
+  let durable_state =
+    match cfg.durable with
+    | None -> None
+    | Some { dir; policy } ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        let ds =
+          {
+            d_wals =
+              Array.init cfg.n_replicas (fun replica ->
+                  Array.init cfg.server_domains (fun core ->
+                      Wal.open_log
+                        ~path:(durable_wal_path ~dir ~replica ~core)
+                        ~policy));
+            d_tallies =
+              Array.init cfg.server_domains (fun _ ->
+                  { t_appends = 0; t_bytes = 0; t_fsyncs = 0 });
+            d_snaps = 0;
+            d_snap_bytes = 0;
+          }
+        in
+        Array.iteri
+          (fun replica rep ->
+            Replica.set_durable_hook rep
+              (durable_hook ds ~dir ~cores:cfg.server_domains ~replica rep))
+          replicas;
+        Some ds
+  in
   let server_inboxes =
     Array.init cfg.server_domains (fun _ ->
         Mailbox.create ~capacity:cfg.server_inbox)
@@ -1228,6 +1386,21 @@ let run (cfg : config) : report =
   (match link with Some l -> Link.flush l | None -> ());
   Array.iter (fun inbox -> Mailbox.push inbox Stop) server_inboxes;
   List.iter Spawn.join servers;
+  (* Every domain has joined: fold the per-domain durability tallies
+     and close the logs (flushing any group-commit buffer) so the data
+     directory is complete before the caller replays it. *)
+  let wal_appends, wal_bytes, wal_fsyncs, snapshots, snapshot_bytes =
+    match durable_state with
+    | None -> (0, 0, 0, 0, 0)
+    | Some ds ->
+        Array.iter (fun row -> Array.iter Wal.close row) ds.d_wals;
+        let a, b, f =
+          Array.fold_left
+            (fun (a, b, f) t -> (a + t.t_appends, b + t.t_bytes, f + t.t_fsyncs))
+            (0, 0, 0) ds.d_tallies
+        in
+        (a, b, f, ds.d_snaps, ds.d_snap_bytes)
+  in
   let wall_seconds = Spawn.wall () -. t0 in
   let committed = List.concat_map (fun r -> r.c_committed) results in
   let sum name =
@@ -1272,6 +1445,11 @@ let run (cfg : config) : report =
     link_dropped;
     link_duplicated;
     link_delayed;
+    wal_appends;
+    wal_bytes;
+    wal_fsyncs;
+    snapshots;
+    snapshot_bytes;
     replicas;
   }
 
@@ -1289,7 +1467,10 @@ let pp_report ppf r =
       "@,chaos: %d fault events, %d epoch changes, %d view changes, link \
        drop=%d dup=%d delay=%d"
       r.fault_events r.epoch_changes r.view_changes r.link_dropped
-      r.link_duplicated r.link_delayed
+      r.link_duplicated r.link_delayed;
+  if r.wal_appends > 0 || r.snapshots > 0 then
+    Format.fprintf ppf "@,durable: %d wal appends (%d bytes, %d fsyncs), %d snapshots"
+      r.wal_appends r.wal_bytes r.wal_fsyncs r.snapshots
 
 let report_json r =
   Printf.sprintf
@@ -1299,9 +1480,10 @@ let report_json r =
      \"throughput\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, \"submitted\": \
      %d, \"acked\": %d, \"epoch_changes\": %d, \"view_changes\": %d, \
      \"fault_events\": %d, \"link_dropped\": %d, \"link_duplicated\": %d, \
-     \"link_delayed\": %d}"
+     \"link_delayed\": %d, \"wal_appends\": %d, \"wal_bytes\": %d, \
+     \"wal_fsyncs\": %d, \"snapshots\": %d}"
     r.server_domains r.coordinators r.clients r.committed_count r.aborted
     r.abort_rate r.fast_path r.slow_path r.retransmits r.wall_seconds
     r.throughput r.p50_us r.p99_us r.submitted r.acked r.epoch_changes
     r.view_changes r.fault_events r.link_dropped r.link_duplicated
-    r.link_delayed
+    r.link_delayed r.wal_appends r.wal_bytes r.wal_fsyncs r.snapshots

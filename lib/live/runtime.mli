@@ -19,6 +19,13 @@
 
 type workload_kind = Ycsb_t | Retwis
 
+(** Durability wiring (DESIGN.md §12): one WAL per (replica, core)
+    under [dir] — server domain [k] owns core [k] of every replica, so
+    each [r<r>-c<k>.wal] has a single writer — plus full per-core
+    snapshots written by the monitor at every completed §5.3.1 epoch
+    install, while the server domains are parked. *)
+type durable = { dir : string; policy : Mk_durable.Wal.policy }
+
 (** Chaos-mode wiring: the nemesis plan plus the detector tuning and
     the run's time envelope. *)
 type chaos = {
@@ -60,6 +67,7 @@ type config = {
           pushing replies (the deadlock-freedom argument in the
           implementation). {!run} enforces this floor. *)
   chaos : chaos option;  (** [None] = the fault-free fast path. *)
+  durable : durable option;  (** [None] = no persistence (the default). *)
 }
 
 val default_config : config
@@ -96,6 +104,11 @@ type report = {
   link_dropped : int;
   link_duplicated : int;
   link_delayed : int;
+  wal_appends : int;  (** WAL records appended, summed over domains. *)
+  wal_bytes : int;
+  wal_fsyncs : int;
+  snapshots : int;  (** Per-core snapshots written at epoch installs. *)
+  snapshot_bytes : int;
   replicas : Mk_meerkat.Replica.t array;
       (** The run's replicas, quiescent after the join — the chaos
           harness checks its agreement/bounded/available invariants
@@ -110,6 +123,28 @@ val run : config -> report
     @raise Invalid_argument on nonsensical sizes, an undersized
     [coord_inbox] (below 4 × local clients × replicas), or a chaos
     config without a duration (see {!config}). *)
+
+(** {2 Durable file layout}
+
+    Owned here so callers (the chaos harness's durable invariant)
+    never hard-code the naming convention. *)
+
+val durable_wal_path : dir:string -> replica:int -> core:int -> string
+val durable_snap_path : dir:string -> replica:int -> core:int -> string
+
+val fresh_data_dir : tag:string -> string
+(** Create (and return) a unique empty directory under the system temp
+    directory — a scratch data dir for one durable run. *)
+
+val read_durable_sources :
+  dir:string -> replica:int -> cores:int -> Mk_durable.Recover.source list
+(** Read one replica's per-core WAL + snapshot images back, in core
+    order, ready for {!Mk_durable.Recover.parse}. Missing files read
+    as absent/empty — never raises. *)
+
+val remove_data_dir : dir:string -> n_replicas:int -> cores:int -> unit
+(** Best-effort cleanup of a data dir created by {!fresh_data_dir}:
+    remove every [r*-c*.wal]/[.snap] and the directory itself. *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -13,6 +13,10 @@ type record_view = {
   accept_view : int option;
 }
 
+type durable_event =
+  | Finalized of { core : int; view : record_view }
+  | Installed of { epoch : int }
+
 (* Statistic counters are per-core rows in a flat array, one cache
    line apart, because in the live runtime each core's handlers run on
    a distinct domain: a shared mutable int would be a data race (and a
@@ -41,6 +45,11 @@ type t = {
   mutable paused : bool;
   mutable crashed : bool;
   stats : int array;
+  mutable durable_hook : durable_event -> unit;
+      (** Called with the same core-affinity as the handler that fired
+          it: [Finalized {core; _}] only from core [core]'s handlers,
+          [Installed _] only from the (paused) epoch-change driver —
+          so a per-core WAL behind it has a single writer. *)
 }
 
 let bump t ~core stat =
@@ -66,7 +75,10 @@ let create ~id ~quorum ~cores =
     paused = false;
     crashed = false;
     stats = Array.make (cores * stat_stride) 0;
+    durable_hook = ignore;
   }
+
+let set_durable_hook t f = t.durable_hook <- f
 
 let id t = t.id
 let cores t = t.ncores
@@ -168,7 +180,8 @@ let finalize_entry t ~core (entry : Trecord.entry) ~commit =
     (* Removing pending marks that were never added is a no-op, so we
        need not track whether this replica's validation succeeded. *)
     Occ.abort_pending t.vstore entry.txn ~ts:entry.ts
-  end
+  end;
+  t.durable_hook (Finalized { core; view = view_of_entry entry })
 
 let handle_commit t ~core ~txn ~ts ~commit =
   if t.crashed then None
@@ -252,8 +265,44 @@ let handle_epoch_complete t ~epoch ~records ~store =
             assert false)
       (Trecord.entries merged);
     t.paused <- false;
+    t.durable_hook (Installed { epoch });
     Some ()
   end
+
+(* Reboot-time restore from stable storage. Unlike
+   [handle_epoch_complete] this must work at any epoch (including 0,
+   which the install dedup above would silently ack), must tolerate
+   non-final record views (a WAL can legitimately persist accepted
+   slow-path state), and must leave the pause/crash flags alone — the
+   caller decides when the replica may process again (a rebooted node
+   stays paused until the §5.3.1 merge reintegrates it). *)
+let restore t ~epoch ~records ~rows =
+  t.epoch <- max t.epoch epoch;
+  t.installed_epoch <- max t.installed_epoch epoch;
+  List.iter
+    (fun (key, value, wts, rts) ->
+      let e = Vstore.find_or_create t.vstore key in
+      Vstore.with_entry e (fun e ->
+          Vstore.set_value e value;
+          Vstore.set_wts e wts;
+          Vstore.set_rts e rts))
+    rows;
+  Vstore.clear_pending t.vstore;
+  let pairs = List.map (fun (core, v) -> (core, entry_of_view v)) records in
+  Trecord.replace_all t.trecord pairs;
+  (* Re-apply committed writes (Thomas write rule makes this
+     idempotent, so restore-twice equals restore-once); in-flight
+     validation state is gone with the crash, which is safe — the
+     coordinator's retransmission re-validates. *)
+  List.iter
+    (fun ((_, v) : int * record_view) ->
+      match v.status with
+      | Txn.Committed -> Occ.finish t.vstore v.txn ~ts:v.ts ~commit:true
+      | Txn.Aborted -> Occ.abort_pending t.vstore v.txn ~ts:v.ts
+      | Txn.Validated_ok | Txn.Validated_abort | Txn.Accepted_commit
+      | Txn.Accepted_abort ->
+          ())
+    records
 
 let store_snapshot t =
   let acc = ref [] in

@@ -25,6 +25,14 @@ type record_view = {
   accept_view : int option;
 }
 
+(** What a durability layer must persist: every record finalization
+    (the paper's acked commits/aborts — the WAL append) and every
+    completed epoch install (the snapshot point: the merged state
+    supersedes anything this replica's own log says). *)
+type durable_event =
+  | Finalized of { core : int; view : record_view }
+  | Installed of { epoch : int }
+
 val create : id:int -> quorum:Quorum.t -> cores:int -> t
 val id : t -> int
 val cores : t -> int
@@ -55,6 +63,30 @@ val begin_recovery : t -> unit
 (** Restart after a crash with empty state: the replica is up (it can
     take part in the epoch change that will rebuild it) but does not
     process transactions until {!install_epoch} completes. *)
+
+(** {2 Durability} *)
+
+val set_durable_hook : t -> (durable_event -> unit) -> unit
+(** Install the persistence callback (default: ignore). [Finalized
+    {core; _}] fires inside core [core]'s handler — same domain
+    affinity as the trecord partition, so a per-core log behind the
+    hook has a single writer; [Installed _] fires only from the
+    epoch-change driver while the replica is paused. *)
+
+val restore :
+  t ->
+  epoch:int ->
+  records:(int * record_view) list ->
+  rows:(int * int * Mk_clock.Timestamp.t * Mk_clock.Timestamp.t) list ->
+  unit
+(** Reboot-time restore from stable storage: install the vstore [rows],
+    adopt [records] (non-final views are kept verbatim), re-apply
+    committed writes (idempotent under the Thomas write rule), and
+    raise [epoch]/installed-epoch watermarks. Works at any epoch —
+    including 0, where {!handle_epoch_complete}'s duplicate-install
+    guard would wrongly no-op — and deliberately leaves the
+    crash/pause flags alone: call {!begin_recovery} around it and let
+    the §5.3.1 merge unpause the replica. *)
 
 (** {2 Normal-case handlers (§5.2)} *)
 

@@ -5,14 +5,23 @@
    one core of the replica's trecord (the same partitioning as the
    simulator and the live runtime — a transaction is steered to core
    [Tid.hash tid mod cores]); the shim's loop thread owns the socket,
-   the failure detector, and the view-change machines. Inbound
-   protocol requests are steered to the owning core's mailbox (a full
-   mailbox drops the datagram — retransmission recovers); replies go
-   back out through the shim to the datagram's source address, so a
-   node never needs to know where clients live. Execute-phase [Get]s
-   are answered inline on the loop thread: the vstore's shard locks
-   make versioned reads safe from any domain, exactly as the live
+   the failure detector, and the recovery machines. Inbound protocol
+   requests are steered to the owning core's mailbox (a full mailbox
+   drops the datagram — retransmission recovers); replies go back out
+   through the shim to the datagram's source address, so a node never
+   needs to know where clients live. Execute-phase [Get]s are
+   answered inline on the loop thread: the vstore's shard locks make
+   versioned reads safe from any domain, exactly as the live
    runtime's shared-memory reads.
+
+   Durability (DESIGN.md §12): with [data_dir] set, every finalized
+   record is appended to the owning core's write-ahead log (per-core
+   files, per-core fsync schedules — no shared commit point, the ZCP
+   argument carried to the disk), and each core periodically folds
+   its partition into a snapshot file carrying the epoch and a
+   [wal_cut] token. A SIGKILLed process reboots by replaying
+   snapshot + log-suffix in {!create}, then rejoins the cluster
+   through the §5.3.1 epoch change below.
 
    Failure handling (§5.3): each node runs its own {!Detector}
    instance fed only with [observer = me] facts — its peers'
@@ -22,11 +31,12 @@
    view change, driven entirely over the wire: gather [Coord_change]
    from a majority, pick the safe outcome with {!Recovery.choose},
    [Vc_accept] at the new view, then broadcast the [Write_back].
-   Epoch changes are not initiated ([recoverable] is constantly
-   false): reintegrating a killed process needs the WAL/reboot path,
-   which is the shim's reserved [reboot] hook. A SIGKILLed peer is
-   still *detected* — its id appears in the exit stats' [suspected]
-   list via {!Detector.suspected}. *)
+   A peer that reboots and advertises itself paused is [recoverable]
+   (it heartbeats again), so the detector initiates the §5.3.1 epoch
+   change: freeze the local cores, gather [Epoch_records] from a
+   majority, {!Epoch.merge}, install locally, then retransmit
+   [Epoch_install] (with a store snapshot to the recovering peers)
+   until every replica acks [Epoch_installed]. *)
 
 module Timestamp = Mk_clock.Timestamp
 module Tid = Timestamp.Tid
@@ -36,10 +46,15 @@ module Quorum = Mk_meerkat.Quorum
 module Replica = Mk_meerkat.Replica
 module Detector = Mk_meerkat.Detector
 module Recovery = Mk_meerkat.Recovery
+module Epoch = Mk_meerkat.Epoch
 module Codec = Mk_wire.Codec
 module Mailbox = Mk_live.Mailbox
 module Spawn = Mk_live.Spawn
 module Obs = Mk_obs.Obs
+module Wal = Mk_durable.Wal
+module Walcodec = Mk_durable.Walcodec
+module Snapshot = Mk_durable.Snapshot
+module Recover = Mk_durable.Recover
 
 module Net = Shim.Make (struct
   type msg = Codec.t
@@ -55,6 +70,8 @@ type config = {
   core_inbox : int;
   detector : Detector.cfg option;
   rto_us : float;
+  data_dir : string option;
+  fsync : Wal.policy;
 }
 
 let default_config =
@@ -65,6 +82,8 @@ let default_config =
     core_inbox = 1024;
     detector = None;
     rto_us = 100_000.0;
+    data_dir = None;
+    fsync = Wal.Every 8;
   }
 
 (* Wall-clock detector timings from one knob, mirroring the live
@@ -82,9 +101,17 @@ let detector_cfg ~heartbeat_ms =
     give_up_after = 40.0 *. hb;
   }
 
-type core_msg = Net_req of { src : Unix.sockaddr; msg : Codec.t } | Core_quit
+type core_msg =
+  | Net_req of { src : Unix.sockaddr; msg : Codec.t }
+  | Core_freeze of { gen : int }
+      (** Epoch change: stop touching the stores and ack [Frozen];
+          drop protocol datagrams until the matching [Core_thaw]. *)
+  | Core_thaw of { gen : int }
+  | Core_quit
 
-type ctl_msg = Records of { core : int; entries : Trecord.entry list }
+type ctl_msg =
+  | Records of { core : int; entries : Trecord.entry list }
+  | Frozen of { core : int; gen : int }
 
 type stats = {
   me : int;
@@ -93,13 +120,34 @@ type stats = {
   validations_ok : int;
   validations_abort : int;
   view_changes : int;
+  epoch_changes : int;
   suspected : int list;
   wire_msgs_tx : int;
   wire_msgs_rx : int;
   wire_bytes_tx : int;
   wire_bytes_rx : int;
   wire_decode_errors : int;
+  wal_appends : int;
+  wal_bytes : int;
+  wal_fsyncs : int;
+  wal_replayed : int;
+  wal_snapshots_used : int;
+  wal_decode_errors : int;
+  snapshots : int;
 }
+
+(* Per-core durability tally: bumped only by the owning core's domain
+   (or the loop thread while that core is frozen), folded into the
+   single-threaded Obs registry at [wait]. *)
+type tally = {
+  mutable t_appends : int;
+  mutable t_bytes : int;
+  mutable t_fsyncs : int;
+  mutable t_snaps : int;
+  mutable t_snap_bytes : int;
+}
+
+type durable = { dir : string; wals : Wal.t array; tallies : tally array }
 
 type t = {
   cfg : config;
@@ -109,9 +157,69 @@ type t = {
   ctl_inbox : ctl_msg Mailbox.t;
   done_box : unit Mailbox.t;
   obs : Obs.t;
+  durable : durable option;
   mutable core_handles : unit Spawn.handle list;
   mutable final_suspected : int list;
 }
+
+let wal_path dir core = Filename.concat dir (Printf.sprintf "core%d.wal" core)
+let snap_path dir core = Filename.concat dir (Printf.sprintf "core%d.snap" core)
+
+let view_of_entry (e : Trecord.entry) : Replica.record_view =
+  {
+    txn = e.Trecord.txn;
+    ts = e.Trecord.ts;
+    status = e.Trecord.status;
+    view = e.Trecord.view;
+    accept_view = e.Trecord.accept_view;
+  }
+
+let write_snapshot ~path (snap : Walcodec.snapshot) =
+  let s = Walcodec.encode_snapshot snap in
+  Snapshot.write ~path s;
+  String.length s
+
+(* The persistence callback. [Finalized] fires on the owning core's
+   domain — each per-core WAL has a single writer, so plain appends
+   and a private tally row suffice. [Installed] fires on the loop
+   thread while every core is frozen: the merged epoch state
+   supersedes whatever the logs say, so write full per-core snapshots
+   cutting at the current log lengths. *)
+let on_durable t (d : durable) (ev : Replica.durable_event) =
+  match ev with
+  | Replica.Finalized { core; view } ->
+      if core >= 0 && core < Array.length d.wals then begin
+        let s = Walcodec.encode_record { Walcodec.core; view } in
+        let tally = d.tallies.(core) in
+        (match Wal.append d.wals.(core) s with
+        | `Synced -> tally.t_fsyncs <- tally.t_fsyncs + 1
+        | `Buffered -> ());
+        tally.t_appends <- tally.t_appends + 1;
+        tally.t_bytes <- tally.t_bytes + String.length s
+      end
+  | Replica.Installed { epoch } ->
+      let cores = Array.length d.wals in
+      let all_views = Replica.record_views t.replica in
+      let all_rows = Replica.store_snapshot t.replica in
+      Array.iteri
+        (fun core wal ->
+          let views =
+            List.filter_map
+              (fun (c, v) -> if c = core then Some v else None)
+              all_views
+          in
+          let rows =
+            List.filter (fun (k, _, _, _) -> k mod cores = core) all_rows
+          in
+          let bytes =
+            write_snapshot
+              ~path:(snap_path d.dir core)
+              { Walcodec.core; epoch; wal_cut = Wal.length wal; views; rows }
+          in
+          let tally = d.tallies.(core) in
+          tally.t_snaps <- tally.t_snaps + 1;
+          tally.t_snap_bytes <- tally.t_snap_bytes + bytes)
+        d.wals
 
 (* The socket is bound before the replica exists: with [--port auto]
    the launcher needs the port announcement to finish assembling the
@@ -133,18 +241,100 @@ let create (net : bound) (cfg : config) ~n_replicas =
   for key = 0 to cfg.keys - 1 do
     Replica.load replica ~key ~value:0
   done;
-  {
-    cfg;
-    replica;
-    net;
-    core_inboxes =
-      Array.init cfg.cores (fun _ -> Mailbox.create ~capacity:cfg.core_inbox);
-    ctl_inbox = Mailbox.create ~capacity:64;
-    done_box = Mailbox.create ~capacity:2;
-    obs = Obs.create ~clock:(fun () -> Spawn.wall () *. 1e6) ();
-    core_handles = [];
-    final_suspected = [];
-  }
+  let obs = Obs.create ~clock:(fun () -> Spawn.wall () *. 1e6) () in
+  let durable =
+    match cfg.data_dir with
+    | None -> None
+    | Some dir ->
+        (try Unix.mkdir dir 0o755
+         with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+        (* Reboot: read whatever the previous incarnation left behind
+           and fold it back into the fresh stores before any domain
+           spawns. A torn tail or corrupt snapshot degrades (counted
+           in [wal.decode_errors]), never faults the boot. *)
+        let sources =
+          List.init cfg.cores (fun c ->
+              {
+                Recover.snap = Snapshot.read ~path:(snap_path dir c);
+                log = Wal.read_file (wal_path dir c);
+              })
+        in
+        let prior =
+          List.exists
+            (fun (s : Recover.source) -> s.snap <> None || s.log <> "")
+            sources
+        in
+        let parsed = Recover.parse ~cores:cfg.cores sources in
+        Recover.apply replica parsed;
+        Obs.note_wal_replayed obs ~snapshots:parsed.snapshots_used
+          ~records:parsed.replayed ~errors:parsed.decode_errors;
+        let wals =
+          Array.init cfg.cores (fun c ->
+              Wal.open_log ~path:(wal_path dir c) ~policy:cfg.fsync)
+        in
+        if prior then begin
+          (* Compact: fold the replay into fresh snapshots (cut 0),
+             then drop the logs. Snapshot-before-truncate is
+             crash-safe — dying between the two just replays the same
+             prefix again, and replay is idempotent. Then advertise
+             ourselves paused: the survivors' detectors drive the
+             §5.3.1 epoch change that merges us back. *)
+          let all_views = Replica.record_views replica in
+          let all_rows = Replica.store_snapshot replica in
+          Array.iteri
+            (fun core wal ->
+              let views =
+                List.filter_map
+                  (fun (c, v) -> if c = core then Some v else None)
+                  all_views
+              in
+              let rows =
+                List.filter (fun (k, _, _, _) -> k mod cfg.cores = core) all_rows
+              in
+              let bytes =
+                write_snapshot
+                  ~path:(snap_path dir core)
+                  { Walcodec.core; epoch = parsed.epoch; wal_cut = 0; views; rows }
+              in
+              Obs.note_snapshot obs ~bytes;
+              Wal.truncate wal ~len:0)
+            wals;
+          Replica.begin_recovery replica
+        end;
+        Some
+          {
+            dir;
+            wals;
+            tallies =
+              Array.init cfg.cores (fun _ ->
+                  {
+                    t_appends = 0;
+                    t_bytes = 0;
+                    t_fsyncs = 0;
+                    t_snaps = 0;
+                    t_snap_bytes = 0;
+                  });
+          }
+  in
+  let t =
+    {
+      cfg;
+      replica;
+      net;
+      core_inboxes =
+        Array.init cfg.cores (fun _ -> Mailbox.create ~capacity:cfg.core_inbox);
+      ctl_inbox = Mailbox.create ~capacity:64;
+      done_box = Mailbox.create ~capacity:2;
+      obs;
+      durable;
+      core_handles = [];
+      final_suspected = [];
+    }
+  in
+  (match durable with
+  | Some d -> Replica.set_durable_hook replica (on_durable t d)
+  | None -> ());
+  t
 
 let port t = Net.port t.net
 
@@ -186,7 +376,7 @@ let core_loop t ~core ~snap_every_us =
         (* The steering layer only routes the five kinds above. *)
         ()
   in
-  let snapshot () =
+  let push_records () =
     let entries =
       List.filter
         (fun (e : Trecord.entry) -> not (Txn.is_final e.Trecord.status))
@@ -196,24 +386,72 @@ let core_loop t ~core ~snap_every_us =
     in
     ignore (Mailbox.try_push t.ctl_inbox (Records { core; entries }) : bool)
   in
+  (* Periodic durable checkpoint, written by the core that owns the
+     data: its own trecord partition, its own vstore keys (the shard
+     locks make the filtered scan safe), its own log length — no
+     cross-core coordination (ZCP). *)
+  let checkpoint () =
+    match t.durable with
+    | None -> ()
+    | Some d ->
+        let cores = t.cfg.cores in
+        let views =
+          List.map view_of_entry
+            (Trecord.core_entries (Replica.trecord replica) ~core)
+        in
+        let rows =
+          List.filter
+            (fun (k, _, _, _) -> k mod cores = core)
+            (Replica.store_snapshot replica)
+        in
+        let bytes =
+          write_snapshot
+            ~path:(snap_path d.dir core)
+            {
+              Walcodec.core;
+              epoch = Replica.epoch replica;
+              wal_cut = Wal.length d.wals.(core);
+              views;
+              rows;
+            }
+        in
+        let tally = d.tallies.(core) in
+        tally.t_snaps <- tally.t_snaps + 1;
+        tally.t_snap_bytes <- tally.t_snap_bytes + bytes
+  in
   let next_snap = ref (Spawn.wall () *. 1e6) in
   let idle = ref 0 in
   let quit = ref false in
+  let frozen = ref None in
   while not !quit do
     match Mailbox.try_pop inbox with
     | Some (Net_req { src; msg }) ->
-        idle := 0;
-        handle src msg
+        (* A frozen core drops protocol datagrams: the epoch change
+           owns the stores; retransmission recovers, as for any other
+           loss. *)
+        if !frozen = None then begin
+          idle := 0;
+          handle src msg
+        end
+    | Some (Core_freeze { gen }) ->
+        frozen := Some gen;
+        (* Re-acks on duplicate freezes cover a dropped [Frozen]. *)
+        ignore (Mailbox.try_push t.ctl_inbox (Frozen { core; gen }) : bool)
+    | Some (Core_thaw { gen }) -> (
+        match !frozen with
+        | Some g when g = gen -> frozen := None
+        | _ -> ())
     | Some Core_quit -> quit := true
     | None ->
         (match snap_every_us with
-        | Some every ->
+        | Some every when !frozen = None ->
             let now = Spawn.wall () *. 1e6 in
             if now >= !next_snap then begin
-              snapshot ();
+              push_records ();
+              checkpoint ();
               next_snap := now +. every
             end
-        | None -> ());
+        | Some _ | None -> ());
         incr idle;
         (* Z8: a 100µs doze after ~200 empty polls is the idle backoff,
            not hot-path blocking — an inbox message ends it on the next
@@ -223,7 +461,7 @@ let core_loop t ~core ~snap_every_us =
   done
 
 (* ------------------------------------------------------------------ *)
-(* Loop thread: steering, detector, view changes                       *)
+(* Loop thread: steering, detector, view changes, epoch changes        *)
 (* ------------------------------------------------------------------ *)
 
 module Tid_table = Hashtbl.Make (struct
@@ -245,6 +483,42 @@ type vc_machine = {
   vc_accept_from : bool array;
   mutable vc_rto : float;
   mutable vc_next_retry : float;
+}
+
+(* A §5.3.1 epoch change driven over the wire. The node is either the
+   initiator (its detector fired [Start_epoch_change]) or a peer
+   answering one; concurrent initiators at the same epoch tie-break
+   to the lowest replica id. Both roles first freeze the local cores
+   — the loop thread may only read or rebuild the stores once every
+   core has acked [Frozen]. *)
+type ec_role =
+  | Ec_initiator of {
+      ec_recovering : int list;
+      ec_gathered : (int, (int * Replica.record_view) list) Hashtbl.t;
+      mutable ec_merged : (int * Replica.record_view) list option;
+      mutable ec_store : Codec.store_row list;
+          (** Post-install state-transfer rows for the recovering. *)
+      ec_installed_from : bool array;
+    }
+  | Ec_peer of {
+      mutable ec_from : Unix.sockaddr;  (** Where records and acks go. *)
+      mutable ec_rank : int;
+          (** Initiator id for the tie-break; [max_int] when the
+              machine was created by an [Epoch_install] alone. *)
+      mutable ec_sent_records : bool;
+      mutable ec_pending :
+        ((int * Replica.record_view) list * Codec.store_row list option) option;
+          (** An install that arrived before every core was frozen. *)
+    }
+
+type ec_machine = {
+  ec_epoch : int;
+  ec_gen : int;  (** Freeze generation: thaws only match their gen. *)
+  ec_frozen : bool array;
+  ec_deadline : float;
+  mutable ec_rto : float;
+  mutable ec_next_retry : float;
+  mutable ec_role : ec_role;
 }
 
 let launch t ~cluster =
@@ -270,6 +544,15 @@ let launch t ~cluster =
       let vcs : vc_machine Tid_table.t = Tid_table.create 16 in
       let next_hb = ref 0.0 in
       let next_scan = ref 0.0 in
+      (* Last heartbeat wall-clock per peer: the [recoverable]
+         predicate — a suspect that still (or again) heartbeats can be
+         reintegrated right now; a silent one has to reboot first. *)
+      let hb_seen = Array.make n neg_infinity in
+      let ec : ec_machine option ref = ref None in
+      let ec_gen = ref 0 in
+      (* Mirror of the replica's installed epoch, for dedup-acking
+         retransmitted installs without touching the stores. *)
+      let installed_epoch = ref (Replica.epoch t.replica) in
       let vc_abandon det tid =
         Tid_table.remove vcs tid;
         Detector.view_change_finished det ~now:(Spawn.wall () *. 1e6)
@@ -305,6 +588,406 @@ let launch t ~cluster =
           ~observer:me ~tid ~outcome:`Finished;
         Obs.note_view_change t.obs
       in
+      (* --- §5.3.1 epoch-change machinery --------------------------- *)
+      let store_rows_to_wire rows =
+        List.map
+          (fun (key, value, wts, rts) -> { Codec.key; value; wts; rts })
+          rows
+      in
+      let store_rows_of_wire rows =
+        List.map
+          (fun (r : Codec.store_row) -> (r.Codec.key, r.value, r.wts, r.rts))
+          rows
+      in
+      let ec_all_frozen m = Array.for_all (fun b -> b) m.ec_frozen in
+      let freeze_core core gen =
+        (* [push], not [try_push]: control messages must not be lost,
+           and a core draining its inbox unblocks the push promptly.
+           Z7: every caller iterates [core] over [0, cores) — the
+           bounds of this very array. *)
+        (Mailbox.push t.core_inboxes.(core) (Core_freeze { gen }))
+        [@mk_lint.allow "Z7"]
+      in
+      let ec_thaw m =
+        Array.iteri
+          (fun core inbox ->
+            ignore (core : int);
+            Mailbox.push inbox (Core_thaw { gen = m.ec_gen }))
+          t.core_inboxes
+      in
+      let ec_new ~epoch ~role =
+        incr ec_gen;
+        let now = Spawn.wall () *. 1e6 in
+        let deadline =
+          match dcfg with
+          | Some d -> now +. d.Detector.give_up_after
+          | None -> now +. (40.0 *. cfg.rto_us)
+        in
+        let m =
+          {
+            ec_epoch = epoch;
+            ec_gen = !ec_gen;
+            ec_frozen = Array.make cfg.cores false;
+            ec_deadline = deadline;
+            ec_rto = cfg.rto_us;
+            ec_next_retry = now +. cfg.rto_us;
+            ec_role = role;
+          }
+        in
+        ec := Some m;
+        for core = 0 to cfg.cores - 1 do
+          freeze_core core m.ec_gen
+        done;
+        m
+      in
+      let ec_finish ~success ~recovering =
+        ec := None;
+        (match det with
+        | Some d ->
+            Detector.epoch_change_finished d ~now:(Spawn.wall () *. 1e6)
+              ~success ~recovering
+        | None -> ());
+        if success then Obs.note_epoch_change t.obs
+      in
+      (* Rebuild the local replica from the merged trecord (and an
+         optional store snapshot). Cores must be frozen: this mutates
+         every partition. Completing the install fires the durable
+         [Installed] hook, which checkpoints all cores. *)
+      let ec_install_local ~epoch ~records ~store =
+        match Replica.handle_epoch_complete t.replica ~epoch ~records ~store with
+        | Some () ->
+            if epoch > !installed_epoch then installed_epoch := epoch;
+            true
+        | None -> false
+      in
+      let ec_broadcast_change m =
+        Array.iteri
+          (fun p addr ->
+            if p <> me then
+              send ~dst:addr
+                (Codec.Epoch_change { initiator = me; epoch = m.ec_epoch }))
+          addrs
+      in
+      let ec_send_installs m r =
+        match r with
+        | Ec_initiator
+            { ec_merged = Some records; ec_store; ec_installed_from; ec_recovering; _ }
+          ->
+            Array.iteri
+              (fun p addr ->
+                (* Z7: [p] ranges over 0..n-1 by construction. *)
+                if p <> me && not (ec_installed_from.(p) [@mk_lint.allow "Z7"])
+                then
+                  let store =
+                    if List.mem p ec_recovering then Some ec_store else None
+                  in
+                  send ~dst:addr
+                    (Codec.Epoch_install { epoch = m.ec_epoch; records; store }))
+              addrs
+        | Ec_initiator _ | Ec_peer _ -> ()
+      in
+      let ec_try_merge m =
+        match m.ec_role with
+        | Ec_initiator r
+          when r.ec_merged = None
+               && Hashtbl.length r.ec_gathered >= Quorum.majority quorum ->
+            let reports =
+              Hashtbl.fold
+                (fun replica records acc -> { Epoch.replica; records } :: acc)
+                r.ec_gathered []
+            in
+            (* Z7 (lib/meerkat/epoch.ml): [merge] is guarded — the
+               table holds >= majority distinct replica ids. *)
+            let merged = Epoch.merge ~quorum ~reports in
+            if ec_install_local ~epoch:m.ec_epoch ~records:merged ~store:None
+            then begin
+              r.ec_merged <- Some merged;
+              r.ec_store <-
+                store_rows_to_wire (Replica.store_snapshot t.replica);
+              (* Z7: [me] < n, checked in [launch]'s prologue. *)
+              (r.ec_installed_from.(me) <- true) [@mk_lint.allow "Z7"];
+              ec_thaw m;
+              ec_send_installs m m.ec_role
+            end
+            else begin
+              (* Our own replica refused the install — a newer epoch
+                 beat this machine. Abandon; the winner completes. *)
+              ec_thaw m;
+              ec_finish ~success:false ~recovering:r.ec_recovering
+            end
+        | Ec_initiator _ | Ec_peer _ -> ()
+      in
+      let ec_peer_report m =
+        match m.ec_role with
+        | Ec_peer p ->
+            (* [None] just means the replica already entered this epoch
+               (a duplicate [Epoch_change]); the records are valid
+               either way — the cores are frozen. *)
+            ignore
+              (Replica.handle_epoch_change t.replica ~epoch:m.ec_epoch
+                : Replica.record_view list option);
+            p.ec_sent_records <- true;
+            send ~dst:p.ec_from
+              (Codec.Epoch_records
+                 {
+                   replica = me;
+                   epoch = m.ec_epoch;
+                   records = Replica.record_views t.replica;
+                 })
+        | Ec_initiator _ -> ()
+      in
+      let ec_peer_install m ~records ~store =
+        let store = Option.map store_rows_of_wire store in
+        let ack_to =
+          match m.ec_role with
+          | Ec_peer p -> Some p.ec_from
+          | Ec_initiator _ -> None
+        in
+        let installed =
+          ec_install_local ~epoch:m.ec_epoch ~records ~store
+        in
+        (match ack_to with
+        | Some dst when installed ->
+            send ~dst (Codec.Epoch_installed { replica = me; epoch = m.ec_epoch })
+        | _ -> ());
+        (* Installed or refused (a newer epoch won): either way this
+           machine is done. *)
+        ec_thaw m;
+        ec := None
+      in
+      let ec_on_frozen m =
+        match m.ec_role with
+        | Ec_initiator r ->
+            (* Pause the replica at the new epoch, contribute our own
+               report, and poll the peers. *)
+            ignore
+              (Replica.handle_epoch_change t.replica ~epoch:m.ec_epoch
+                : Replica.record_view list option);
+            Hashtbl.replace r.ec_gathered me (Replica.record_views t.replica);
+            ec_broadcast_change m;
+            ec_try_merge m
+        | Ec_peer p -> (
+            match p.ec_pending with
+            | Some (records, store) -> ec_peer_install m ~records ~store
+            | None -> ec_peer_report m)
+      in
+      let ec_start_peer ~initiator ~epoch =
+        (* Z7: [initiator] was range-checked by [wire_ids_ok]. *)
+        let from = addrs.(initiator) [@mk_lint.allow "Z7"] in
+        ignore
+          (ec_new ~epoch
+             ~role:
+               (Ec_peer
+                  {
+                    ec_from = from;
+                    ec_rank = initiator;
+                    ec_sent_records = false;
+                    ec_pending = None;
+                  })
+            : ec_machine)
+      in
+      let ec_on_change ~initiator ~epoch =
+        if epoch > !installed_epoch && initiator <> me then
+          match !ec with
+          | None -> ec_start_peer ~initiator ~epoch
+          | Some m when m.ec_epoch > epoch -> ()
+          | Some m when m.ec_epoch = epoch -> (
+              match m.ec_role with
+              | Ec_initiator r ->
+                  if initiator < me then begin
+                    (* Tie-break: the lower id drives this epoch; turn
+                       into its peer. The cores stay frozen under the
+                       same generation. *)
+                    m.ec_role <-
+                      Ec_peer
+                        {
+                          (* Z7: range-checked by [wire_ids_ok]. *)
+                          ec_from = (addrs.(initiator) [@mk_lint.allow "Z7"]);
+                          ec_rank = initiator;
+                          ec_sent_records = false;
+                          ec_pending = None;
+                        };
+                    (match det with
+                    | Some d ->
+                        Detector.epoch_change_finished d
+                          ~now:(Spawn.wall () *. 1e6)
+                          ~success:false ~recovering:r.ec_recovering
+                    | None -> ());
+                    if ec_all_frozen m then ec_peer_report m
+                  end
+              | Ec_peer p ->
+                  if initiator < p.ec_rank then begin
+                    p.ec_rank <- initiator;
+                    (* Z7: range-checked by [wire_ids_ok]. *)
+                    p.ec_from <- (addrs.(initiator) [@mk_lint.allow "Z7"]);
+                    if ec_all_frozen m then ec_peer_report m
+                  end
+                  else if initiator = p.ec_rank && p.ec_sent_records then
+                    (* Duplicate change: our report was lost. *)
+                    ec_peer_report m)
+          | Some m ->
+              (* A newer epoch supersedes the machine in flight. *)
+              (match m.ec_role with
+              | Ec_initiator r ->
+                  (match det with
+                  | Some d ->
+                      Detector.epoch_change_finished d
+                        ~now:(Spawn.wall () *. 1e6)
+                        ~success:false ~recovering:r.ec_recovering
+                  | None -> ())
+              | Ec_peer _ -> ());
+              ec_start_peer ~initiator ~epoch
+      in
+      let ec_on_records ~replica ~epoch ~records =
+        match !ec with
+        | Some m when m.ec_epoch = epoch -> (
+            match m.ec_role with
+            | Ec_initiator r when r.ec_merged = None ->
+                if not (Hashtbl.mem r.ec_gathered replica) then begin
+                  Hashtbl.replace r.ec_gathered replica records;
+                  ec_try_merge m
+                end
+            | Ec_initiator _ | Ec_peer _ -> ())
+        | Some _ | None -> ()
+      in
+      let ec_on_install ~src ~epoch ~records ~store =
+        if epoch <= !installed_epoch then
+          (* Already installed (a retransmit): just re-ack. *)
+          send ~dst:src (Codec.Epoch_installed { replica = me; epoch })
+        else
+          match !ec with
+          | Some m when m.ec_epoch = epoch -> (
+              match m.ec_role with
+              | Ec_peer p ->
+                  if ec_all_frozen m then ec_peer_install m ~records ~store
+                  else p.ec_pending <- Some (records, store)
+              | Ec_initiator r ->
+                  (* A rival initiator won the race to a majority;
+                     adopt its merge once our cores are frozen. *)
+                  if ec_all_frozen m then begin
+                    let store = Option.map store_rows_of_wire store in
+                    if ec_install_local ~epoch ~records ~store then
+                      send ~dst:src
+                        (Codec.Epoch_installed { replica = me; epoch });
+                    ec_thaw m;
+                    ec_finish ~success:false ~recovering:r.ec_recovering
+                  end)
+          | Some _ -> ()
+          | None ->
+              (* We never saw the [Epoch_change] (loss or reorder):
+                 freeze and install once the cores ack. *)
+              incr ec_gen;
+              let now = Spawn.wall () *. 1e6 in
+              let deadline =
+                match dcfg with
+                | Some d -> now +. d.Detector.give_up_after
+                | None -> now +. (40.0 *. cfg.rto_us)
+              in
+              let m =
+                {
+                  ec_epoch = epoch;
+                  ec_gen = !ec_gen;
+                  ec_frozen = Array.make cfg.cores false;
+                  ec_deadline = deadline;
+                  ec_rto = cfg.rto_us;
+                  ec_next_retry = now +. cfg.rto_us;
+                  ec_role =
+                    Ec_peer
+                      {
+                        ec_from = src;
+                        ec_rank = max_int;
+                        ec_sent_records = false;
+                        ec_pending = Some (records, store);
+                      };
+                }
+              in
+              ec := Some m;
+              for core = 0 to cfg.cores - 1 do
+                freeze_core core m.ec_gen
+              done
+      in
+      let ec_on_installed ~replica ~epoch =
+        match !ec with
+        | Some m when m.ec_epoch = epoch -> (
+            match m.ec_role with
+            | Ec_initiator ({ ec_merged = Some _; _ } as r) ->
+                (* Z7: [replica] was range-checked by [wire_ids_ok]. *)
+                (r.ec_installed_from.(replica) <- true) [@mk_lint.allow "Z7"];
+                if Array.for_all (fun b -> b) r.ec_installed_from then
+                  ec_finish ~success:true ~recovering:r.ec_recovering
+            | Ec_initiator _ | Ec_peer _ -> ())
+        | Some _ | None -> ()
+      in
+      let ec_core_frozen ~core ~gen =
+        match !ec with
+        | Some m
+          when m.ec_gen = gen && core >= 0 && core < cfg.cores
+               (* Z7: in-range by the guard on the same line. *)
+               && not (m.ec_frozen.(core) [@mk_lint.allow "Z7"]) ->
+            (m.ec_frozen.(core) <- true) [@mk_lint.allow "Z7"];
+            if ec_all_frozen m then ec_on_frozen m
+        | _ -> ()
+      in
+      let ec_tick now_us =
+        match !ec with
+        | None -> ()
+        | Some m ->
+            if now_us > m.ec_deadline then begin
+              match m.ec_role with
+              | Ec_initiator r ->
+                  let ok =
+                    r.ec_merged <> None
+                    && List.for_all
+                         (fun p ->
+                           p >= 0 && p < n
+                           (* Z7: in-range by the guard. *)
+                           && (r.ec_installed_from.(p) [@mk_lint.allow "Z7"]))
+                         r.ec_recovering
+                  in
+                  if r.ec_merged = None then begin
+                    (* Never reached a majority. Reinstall our own
+                       records so the replica does not stay paused
+                       behind an abandoned change. *)
+                    if ec_all_frozen m then
+                      ignore
+                        (ec_install_local ~epoch:m.ec_epoch
+                           ~records:(Replica.record_views t.replica)
+                           ~store:None
+                          : bool);
+                    ec_thaw m
+                  end;
+                  ec_finish ~success:ok ~recovering:r.ec_recovering
+              | Ec_peer p ->
+                  (* The install never arrived. Resume from our own
+                     records — any record the missed merge finalized
+                     is repaired later by the §5.3.2 view-change
+                     path. *)
+                  if p.ec_sent_records && ec_all_frozen m then
+                    ignore
+                      (ec_install_local ~epoch:m.ec_epoch
+                         ~records:(Replica.record_views t.replica)
+                         ~store:None
+                        : bool);
+                  ec_thaw m;
+                  ec := None
+            end
+            else if now_us >= m.ec_next_retry then begin
+              m.ec_rto <- m.ec_rto *. 2.0;
+              m.ec_next_retry <- now_us +. m.ec_rto;
+              if not (ec_all_frozen m) then
+                Array.iteri
+                  (fun core frozen ->
+                    if not frozen then freeze_core core m.ec_gen)
+                  m.ec_frozen
+              else
+                match m.ec_role with
+                | Ec_initiator r ->
+                    if r.ec_merged = None then ec_broadcast_change m
+                    else ec_send_installs m m.ec_role
+                | Ec_peer p -> if p.ec_sent_records then ec_peer_report m
+            end
+      in
+      (* ------------------------------------------------------------- *)
       (* Z7: [Tid.hash] is masked non-negative, so [hash mod cores]
          lands in 0..cores-1 — the index is safe for any wire tid. *)
       let[@mk_lint.allow "Z7"] steer (src : Unix.sockaddr) (msg : Codec.t) tid =
@@ -313,20 +996,28 @@ let launch t ~cluster =
            recovers, like any other network loss. *)
         ignore (Mailbox.try_push t.core_inboxes.(core) (Net_req { src; msg }) : bool)
       in
-      (* Replica ids taken straight off the wire index detector and
-         view-change arrays ([hb_last], [vc_accept_from]) and count
-         toward quorum majorities: one well-framed datagram carrying
-         an out-of-range id (hostile peer, misconfigured deployment,
-         bit-flipped genuine frame) must be a counted drop like any
-         other undecodable input — never an [Invalid_argument] on the
-         loop thread, and never a phantom quorum vote. *)
+      (* Replica ids and core tags taken straight off the wire index
+         detector, view-change and epoch-change arrays ([hb_last],
+         [vc_accept_from], [ec_installed_from], trecord partitions)
+         and count toward quorum majorities: one well-framed datagram
+         carrying an out-of-range id (hostile peer, misconfigured
+         deployment, bit-flipped genuine frame) must be a counted drop
+         like any other undecodable input — never an
+         [Invalid_argument] on the loop thread, and never a phantom
+         quorum vote. *)
       let wire_ids_ok (msg : Codec.t) =
         let replica_ok r = r >= 0 && r < n in
+        let core_ok (c, _) = c >= 0 && c < cfg.cores in
         match msg with
         | Codec.Heartbeat { from_; _ } -> replica_ok from_
         | Codec.Coord_reply { replica; _ }
         | Codec.Vc_accept_reply { replica; _ } ->
             replica_ok replica
+        | Codec.Epoch_change { initiator; _ } -> replica_ok initiator
+        | Codec.Epoch_records { replica; records; _ } ->
+            replica_ok replica && List.for_all core_ok records
+        | Codec.Epoch_install { records; _ } -> List.for_all core_ok records
+        | Codec.Epoch_installed { replica; _ } -> replica_ok replica
         | _ -> true
       in
       let deliver ~src (msg : Codec.t) =
@@ -344,12 +1035,16 @@ let launch t ~cluster =
         | Codec.Accept { txn; _ } | Codec.Write_back { txn; _ } ->
             steer src msg txn.Txn.tid
         | Codec.Coord_change { tid; _ } -> steer src msg tid
-        | Codec.Heartbeat { from_; paused } -> (
-            match det with
-            | Some det when from_ <> me ->
-                Detector.heartbeat_received det ~now:(Spawn.wall () *. 1e6)
-                  ~observer:me ~from_ ~paused
-            | _ -> ())
+        | Codec.Heartbeat { from_; paused } ->
+            if from_ <> me then begin
+              (* Z7: [from_] was range-checked by [wire_ids_ok]. *)
+              (hb_seen.(from_) <- Spawn.wall () *. 1e6) [@mk_lint.allow "Z7"];
+              match det with
+              | Some det ->
+                  Detector.heartbeat_received det ~now:(Spawn.wall () *. 1e6)
+                    ~observer:me ~from_ ~paused
+              | None -> ()
+            end
         | Codec.Coord_reply { observer; replica; tid; reply } -> (
             match det with
             | Some det when observer = me -> (
@@ -410,12 +1105,14 @@ let launch t ~cluster =
                     | `Stale _ -> vc_abandon det tid)
                 | None -> ())
             | _ -> ())
-        | Codec.Epoch_change _ | Codec.Epoch_records _ | Codec.Epoch_install _
-          ->
-            (* Reserved: the §5.3.1 epoch change over the wire needs
-               the WAL/reboot path before a killed process can
-               rejoin; codecs ship now so the frame tags are fixed. *)
-            ()
+        | Codec.Epoch_change { initiator; epoch } ->
+            ec_on_change ~initiator ~epoch
+        | Codec.Epoch_records { replica; epoch; records } ->
+            ec_on_records ~replica ~epoch ~records
+        | Codec.Epoch_install { epoch; records; store } ->
+            ec_on_install ~src ~epoch ~records ~store
+        | Codec.Epoch_installed { replica; epoch } ->
+            ec_on_installed ~replica ~epoch
         | Codec.Get_reply _ | Codec.Validated _ | Codec.Accepted _ ->
             (* Client-side traffic; a server node is never its
                destination. *)
@@ -451,13 +1148,40 @@ let launch t ~cluster =
             in
             Tid_table.replace vcs tid vc;
             vc_send_gather tid vc
-        | Detector.Start_epoch_change _ ->
-            (* Unreachable while [recoverable] is constantly false;
-               kept total for when the WAL lands. *)
-            ()
+        | Detector.Start_epoch_change { initiator = _; recovering } -> (
+            match !ec with
+            | Some _ -> () (* one machine at a time; the cooldown re-arms *)
+            | None ->
+                let epoch = Replica.epoch t.replica + 1 in
+                ignore
+                  (ec_new ~epoch
+                     ~role:
+                       (Ec_initiator
+                          {
+                            ec_recovering = recovering;
+                            ec_gathered = Hashtbl.create 8;
+                            ec_merged = None;
+                            ec_store = [];
+                            ec_installed_from = Array.make n false;
+                          })
+                    : ec_machine))
+      in
+      let rec drain_ctl () =
+        match Mailbox.try_pop t.ctl_inbox with
+        | Some (Records { core; entries }) ->
+            (* Z7: [Records] only comes from our own core loops,
+               which stamp their own 0..cores-1 index — never
+               from the wire. *)
+            ((latest.(core) <- entries) [@mk_lint.allow "Z7"]);
+            drain_ctl ()
+        | Some (Frozen { core; gen }) ->
+            ec_core_frozen ~core ~gen;
+            drain_ctl ()
+        | None -> ()
       in
       let tick ~now_us =
-        match det with
+        drain_ctl ();
+        (match det with
         | None -> ()
         | Some d ->
             (* Z7: [det]/[dcfg] are both [Some] or both [None]. *)
@@ -472,17 +1196,6 @@ let launch t ~cluster =
                     send ~dst:addr (Codec.Heartbeat { from_ = me; paused }))
                 addrs
             end;
-            let rec drain_ctl () =
-              match Mailbox.try_pop t.ctl_inbox with
-              | Some (Records { core; entries }) ->
-                  (* Z7: [Records] only comes from our own core loops,
-                     which stamp their own 0..cores-1 index — never
-                     from the wire. *)
-                  ((latest.(core) <- entries) [@mk_lint.allow "Z7"]);
-                  drain_ctl ()
-              | None -> ()
-            in
-            drain_ctl ();
             if now_us >= !next_scan then begin
               next_scan := now_us +. dc.Detector.scan_every;
               List.iter perform
@@ -490,7 +1203,14 @@ let launch t ~cluster =
                    ~paused:(Replica.is_paused t.replica)
                    ~available:(Replica.is_available t.replica)
                    ~records:(fun () -> List.concat (Array.to_list latest))
-                   ~recoverable:(fun _ -> false))
+                   ~recoverable:(fun p ->
+                     (* A suspect that still heartbeats (a rebooted
+                        paused process) can be merged back right now;
+                        a silent one must reboot first. Z7: [p] is a
+                        detector-internal 0..n-1 id. *)
+                     p >= 0 && p < n
+                     && now_us -. (hb_seen.(p) [@mk_lint.allow "Z7"])
+                        <= dc.Detector.heartbeat_timeout))
             end;
             let expired = ref [] in
             Tid_table.iter
@@ -504,10 +1224,14 @@ let launch t ~cluster =
                   | None -> vc_send_gather tid vc
                 end)
               vcs;
-            List.iter (vc_abandon d) !expired
+            List.iter (vc_abandon d) !expired);
+        ec_tick now_us
       in
       let snap_every_us =
-        Option.map (fun d -> d.Detector.scan_every /. 2.0) dcfg
+        match (dcfg, t.durable) with
+        | Some d, _ -> Some (d.Detector.scan_every /. 2.0)
+        | None, Some _ -> Some 250_000.0 (* checkpoint cadence alone *)
+        | None, None -> None
       in
       t.core_handles <-
         List.init cfg.cores (fun core ->
@@ -533,6 +1257,19 @@ let wait t =
   List.iter Spawn.join t.core_handles;
   t.core_handles <- [];
   Net.stop t.net;
+  (* Cores and loop thread are quiescent: fold the per-core durability
+     tallies into the (single-threaded) registry, and let the close
+     flush any group-commit tail. *)
+  (match t.durable with
+  | None -> ()
+  | Some d ->
+      Array.iter
+        (fun ta ->
+          Obs.note_wal_appends t.obs ~appends:ta.t_appends ~bytes:ta.t_bytes
+            ~fsyncs:ta.t_fsyncs;
+          Obs.note_snapshots t.obs ~count:ta.t_snaps ~bytes:ta.t_snap_bytes)
+        d.tallies;
+      Array.iter Wal.close d.wals);
   let c name = Obs.counter_value t.obs name in
   {
     me = t.cfg.me;
@@ -541,12 +1278,20 @@ let wait t =
     validations_ok = Replica.validations_ok t.replica;
     validations_abort = Replica.validations_abort t.replica;
     view_changes = c "recovery.view_changes";
+    epoch_changes = c "recovery.epoch_changes";
     suspected = t.final_suspected;
     wire_msgs_tx = c "wire.msgs_tx";
     wire_msgs_rx = c "wire.msgs_rx";
     wire_bytes_tx = c "wire.bytes_tx";
     wire_bytes_rx = c "wire.bytes_rx";
     wire_decode_errors = c "wire.decode_errors";
+    wal_appends = c "wal.appends";
+    wal_bytes = c "wal.bytes";
+    wal_fsyncs = c "wal.fsyncs";
+    wal_replayed = c "wal.replayed";
+    wal_snapshots_used = c "wal.snapshots_used";
+    wal_decode_errors = c "wal.decode_errors";
+    snapshots = c "snapshot.count";
   }
 
 let obs t = t.obs
@@ -554,11 +1299,15 @@ let obs t = t.obs
 let stats_json (s : stats) =
   Printf.sprintf
     "{\"me\": %d, \"committed\": %d, \"aborted\": %d, \"validations_ok\": %d, \
-     \"validations_abort\": %d, \"view_changes\": %d, \"suspected\": [%s], \
-     \"wire_msgs_tx\": %d, \"wire_msgs_rx\": %d, \"wire_bytes_tx\": %d, \
-     \"wire_bytes_rx\": %d, \"wire_decode_errors\": %d}"
+     \"validations_abort\": %d, \"view_changes\": %d, \"epoch_changes\": %d, \
+     \"suspected\": [%s], \"wire_msgs_tx\": %d, \"wire_msgs_rx\": %d, \
+     \"wire_bytes_tx\": %d, \"wire_bytes_rx\": %d, \"wire_decode_errors\": %d, \
+     \"wal_appends\": %d, \"wal_bytes\": %d, \"wal_fsyncs\": %d, \
+     \"wal_replayed\": %d, \"wal_snapshots_used\": %d, \
+     \"wal_decode_errors\": %d, \"snapshots\": %d}"
     s.me s.committed s.aborted s.validations_ok s.validations_abort
-    s.view_changes
+    s.view_changes s.epoch_changes
     (String.concat ", " (List.map string_of_int s.suspected))
     s.wire_msgs_tx s.wire_msgs_rx s.wire_bytes_tx s.wire_bytes_rx
-    s.wire_decode_errors
+    s.wire_decode_errors s.wal_appends s.wal_bytes s.wal_fsyncs s.wal_replayed
+    s.wal_snapshots_used s.wal_decode_errors s.snapshots

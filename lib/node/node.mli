@@ -1,5 +1,7 @@
 (** A Meerkat server node: one whole replica in one OS process,
-    speaking the wire protocol over UDP (DESIGN.md §11).
+    speaking the wire protocol over UDP (DESIGN.md §11), optionally
+    persisting to a per-core WAL + snapshot data directory
+    (DESIGN.md §12).
 
     The third execution backend, same protocol code as the other two:
     [cores] server domains each own one trecord core (steering by
@@ -8,15 +10,23 @@
     vstore's shard locks make that safe), feeds this node's own
     {!Mk_meerkat.Detector} instance with peer heartbeats and local
     trecord snapshots, and drives §5.3.2 view changes for stuck
-    records entirely over the wire. Epoch changes are not initiated
-    yet — reintegrating a killed process needs the WAL/reboot path —
-    but a dead peer is detected and reported in {!stats.suspected}.
+    records and §5.3.1 epoch changes for recoverable peers entirely
+    over the wire.
+
+    With [data_dir] set, every finalized record is appended to the
+    owning core's log and each core checkpoints its own partition —
+    per-core files, per-core fsync schedules, no shared commit point.
+    A SIGKILLed process reboots by replaying snapshot + log suffix in
+    {!create}, then advertises itself paused; a survivor's detector
+    notices the paused heartbeats and initiates the epoch change that
+    merges the rebooted replica back in.
 
     Lifecycle: {!bind} the socket (reserving the port — the
     [--port auto] handshake reports it before the cluster config
     exists), {!create} the replica once the config names this node's
-    id and the deployment size, {!launch} with the final membership,
-    then {!wait} until a [Shutdown] frame (or {!shutdown}) arrives. *)
+    id and the deployment size (replaying [data_dir] if it holds a
+    previous incarnation), {!launch} with the final membership, then
+    {!wait} until a [Shutdown] frame (or {!shutdown}) arrives. *)
 
 type config = {
   me : int;  (** This node's replica id (its line in the config). *)
@@ -24,8 +34,15 @@ type config = {
   keys : int;  (** Pre-loaded key space, values 0. *)
   core_inbox : int;  (** Per-core mailbox capacity (power of two). *)
   detector : Mk_meerkat.Detector.cfg option;
-      (** [None] disables heartbeats, suspicion and view changes. *)
-  rto_us : float;  (** View-change retransmission base. *)
+      (** [None] disables heartbeats, suspicion, view changes and
+          epoch-change initiation (answering a peer's epoch change
+          still works). *)
+  rto_us : float;  (** View/epoch-change retransmission base. *)
+  data_dir : string option;
+      (** Where the per-core [coreN.wal] / [coreN.snap] files live;
+          [None] runs without durability (the pre-WAL behaviour). *)
+  fsync : Mk_durable.Wal.policy;
+      (** When appends reach the platter; see {!Mk_durable.Wal.policy}. *)
 }
 
 val default_config : config
@@ -43,14 +60,28 @@ type stats = {
   validations_ok : int;
   validations_abort : int;
   view_changes : int;
+  epoch_changes : int;
+      (** §5.3.1 epoch changes this node initiated to completion. *)
   suspected : int list;
-      (** Peers this node suspected at shutdown — a SIGKILLed peer
-          shows up here (detection without a reboot path). *)
+      (** Peers this node still suspected at shutdown. *)
   wire_msgs_tx : int;
   wire_msgs_rx : int;
   wire_bytes_tx : int;
   wire_bytes_rx : int;
   wire_decode_errors : int;
+  wal_appends : int;
+  wal_bytes : int;
+  wal_fsyncs : int;
+  wal_replayed : int;
+      (** Log records replayed at boot, past the snapshot cuts. *)
+  wal_snapshots_used : int;
+      (** Snapshot images restored at boot.
+          [wal_replayed + wal_snapshots_used > 0] proves this process
+          rebooted from a previous incarnation's data directory — a
+          snapshot taken just before the crash can leave an empty log
+          suffix, so neither field alone is the reboot witness. *)
+  wal_decode_errors : int;
+  snapshots : int;
 }
 
 type bound
@@ -63,7 +94,9 @@ val bind : ?port:int -> unit -> (bound, string) result
 val bound_port : bound -> int
 
 val create : bound -> config -> n_replicas:int -> t
-(** Create the replica behind the bound socket. Raises
+(** Create the replica behind the bound socket; if [data_dir] holds a
+    previous incarnation's files, replay them (snapshot + log suffix),
+    compact, and mark the replica paused-for-recovery. Raises
     [Invalid_argument] on a nonsensical config ([cores] < 1,
     [n_replicas] not odd >= 3, [me] out of range). *)
 
@@ -74,7 +107,8 @@ val launch : t -> cluster:Cluster_config.t -> (unit, string) result
     cluster endpoints do not resolve. *)
 
 val wait : t -> stats
-(** Block until shutdown, then stop cores and socket and report. *)
+(** Block until shutdown, then stop cores and socket, fold the
+    per-core durability tallies, close the logs and report. *)
 
 val shutdown : t -> unit
 (** Local shutdown trigger (tests); remote peers send the [Shutdown]

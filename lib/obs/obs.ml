@@ -30,6 +30,14 @@ type t = {
   wire_msgs_rx : Registry.counter;
   wire_decode_errors : Registry.counter;
   wire_send_errors : Registry.counter;
+  wal_appends : Registry.counter;
+  wal_bytes : Registry.counter;
+  wal_fsyncs : Registry.counter;
+  wal_replayed : Registry.counter;
+  wal_snapshots_used : Registry.counter;
+  wal_decode_errors : Registry.counter;
+  snapshot_count : Registry.counter;
+  snapshot_bytes : Registry.counter;
 }
 
 (* Track layout of the exported trace. *)
@@ -62,6 +70,14 @@ let create ?(trace = false) ~clock () =
     wire_msgs_rx = Registry.counter registry "wire.msgs_rx";
     wire_decode_errors = Registry.counter registry "wire.decode_errors";
     wire_send_errors = Registry.counter registry "wire.send_errors";
+    wal_appends = Registry.counter registry "wal.appends";
+    wal_bytes = Registry.counter registry "wal.bytes";
+    wal_fsyncs = Registry.counter registry "wal.fsyncs";
+    wal_replayed = Registry.counter registry "wal.replayed";
+    wal_snapshots_used = Registry.counter registry "wal.snapshots_used";
+    wal_decode_errors = Registry.counter registry "wal.decode_errors";
+    snapshot_count = Registry.counter registry "snapshot.count";
+    snapshot_bytes = Registry.counter registry "snapshot.bytes";
   }
 
 let registry t = t.registry
@@ -109,6 +125,30 @@ let note_wire_rx t ~bytes =
 
 let note_wire_decode_error t = Registry.incr t.wire_decode_errors
 let note_wire_send_error t = Registry.incr t.wire_send_errors
+
+(* --- Durability counters (WAL appends, snapshots, replay). Like the
+   registry itself these are not thread-safe: backends whose cores
+   append from their own domains tally per-core and fold in here at a
+   quiescent point (join / wait). --- *)
+
+let note_wal_appends t ~appends ~bytes ~fsyncs =
+  Registry.add t.wal_appends appends;
+  Registry.add t.wal_bytes bytes;
+  Registry.add t.wal_fsyncs fsyncs
+
+let note_wal_append t ~bytes ~synced =
+  note_wal_appends t ~appends:1 ~bytes ~fsyncs:(if synced then 1 else 0)
+
+let note_wal_replayed t ~snapshots ~records ~errors =
+  Registry.add t.wal_replayed records;
+  Registry.add t.wal_snapshots_used snapshots;
+  Registry.add t.wal_decode_errors errors
+
+let note_snapshots t ~count ~bytes =
+  Registry.add t.snapshot_count count;
+  Registry.add t.snapshot_bytes bytes
+
+let note_snapshot t ~bytes = note_snapshots t ~count:1 ~bytes
 
 let counter_value t name = Registry.value (Registry.counter t.registry name)
 

@@ -73,6 +73,37 @@ val note_wire_send_error : t -> unit
     unreachable-peer errors are ordinary UDP loss and are not
     counted. *)
 
+(** {2 Durability counters}
+
+    [wal.appends]/[wal.bytes]/[wal.fsyncs] meter the write-ahead
+    log's steady-state cost, [wal.replayed]/[wal.decode_errors] its
+    recovery path, [snapshot.count]/[snapshot.bytes] the checkpoint
+    traffic. Not thread-safe (like every counter here): backends that
+    append from per-core domains tally privately and fold in at a
+    quiescent point via {!note_wal_appends}. *)
+
+val note_wal_append : t -> bytes:int -> synced:bool -> unit
+(** One record appended; [synced] when this append carried an fsync. *)
+
+val note_wal_appends : t -> appends:int -> bytes:int -> fsyncs:int -> unit
+(** Bulk fold of a per-core tally. *)
+
+val note_wal_replayed :
+  t -> snapshots:int -> records:int -> errors:int -> unit
+(** Recovery replayed [records] log entries on top of [snapshots]
+    restored checkpoint images ([wal.snapshots_used]) and
+    skipped [errors] torn/corrupt frames or unusable files. A fresh
+    boot leaves all three at zero; [records + snapshots > 0] is the
+    proof that a process came back from a previous incarnation's data
+    directory (a snapshot taken right before the crash legitimately
+    leaves no log suffix to replay). *)
+
+val note_snapshot : t -> bytes:int -> unit
+(** One snapshot file written. *)
+
+val note_snapshots : t -> count:int -> bytes:int -> unit
+(** Bulk fold of a per-core snapshot tally. *)
+
 val counter_value : t -> string -> int
 (** Current value of the named counter (0 if never incremented). *)
 

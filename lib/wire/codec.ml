@@ -4,8 +4,8 @@
    cluster backend: the transaction fast path (execute-phase reads,
    validate, slow-path accept, write-back), the failure detector's
    heartbeats, the §5.3.2 backup-coordinator view change, the §5.3.1
-   epoch change (codecs shipped now; driven once the WAL PR gives a
-   killed node a reboot path), and deployment control.
+   epoch change (driven by the nodes since the WAL work gave a killed
+   node a reboot path), and deployment control.
 
    Encoding is deterministic (same message, same bytes — fixed-width
    integers, no maps); decoding is total and returns [Error] on any
@@ -88,7 +88,9 @@ type t =
       tid : Tid.t;
       reply : accept_reply;
     }
-  (* server <-> server: §5.3.1 epoch change *)
+  (* server <-> server: §5.3.1 epoch change. [Epoch_installed] is the
+     ack closing the three-step exchange: the initiator retransmits
+     [Epoch_install] until every target confirmed. *)
   | Epoch_change of { initiator : int; epoch : int }
   | Epoch_records of {
       replica : int;
@@ -100,6 +102,7 @@ type t =
       records : (int * Replica.record_view) list;
       store : store_row list option;
     }
+  | Epoch_installed of { replica : int; epoch : int }
   (* deployment control *)
   | Shutdown
 
@@ -124,6 +127,7 @@ let kind = function
   | Epoch_records _ -> 14
   | Epoch_install _ -> 15
   | Shutdown -> 16
+  | Epoch_installed _ -> 17
 
 let kind_name = function
   | Get _ -> "get"
@@ -142,6 +146,7 @@ let kind_name = function
   | Epoch_records _ -> "epoch_records"
   | Epoch_install _ -> "epoch_install"
   | Shutdown -> "shutdown"
+  | Epoch_installed _ -> "epoch_installed"
 
 (* ------------------------------------------------------------------ *)
 (* Component codecs                                                    *)
@@ -302,6 +307,8 @@ let w_store_row b r =
   w_ts b r.wts;
   w_ts b r.rts
 
+let store_row_bytes = 16 + ts_bytes + ts_bytes
+
 let r_store_row c =
   let* key = r_i64 c in
   let* value = r_i64 c in
@@ -390,6 +397,9 @@ let payload msg =
       w_i64 b epoch;
       w_list w_core_record b records;
       w_option (w_list w_store_row) b store
+  | Epoch_installed { replica; epoch } ->
+      w_i64 b replica;
+      w_i64 b epoch
   | Shutdown -> ());
   Buffer.contents b
 
@@ -484,9 +494,13 @@ let decode_payload ~kind c =
   | 15 ->
       let* epoch = r_i64 c in
       let* records = r_list ~elt_min:(8 + record_view_min) r_core_record c in
-      let* store = r_option (r_list ~elt_min:48 r_store_row) c in
+      let* store = r_option (r_list ~elt_min:store_row_bytes r_store_row) c in
       Ok (Epoch_install { epoch; records; store })
   | 16 -> Ok Shutdown
+  | 17 ->
+      let* replica = r_i64 c in
+      let* epoch = r_i64 c in
+      Ok (Epoch_installed { replica; epoch })
   | k -> Error (Unknown_kind k)
 
 let decode s =
@@ -599,6 +613,8 @@ let equal a b =
            (fun x y ->
              List.length x = List.length y && List.for_all2 equal_store_row x y)
            a.store b.store
+  | Epoch_installed a, Epoch_installed b ->
+      a.replica = b.replica && a.epoch = b.epoch
   | Shutdown, Shutdown -> true
   | _ -> false
 
@@ -638,4 +654,6 @@ let pp ppf msg =
   | Epoch_install { epoch; records; store } ->
       Format.fprintf ppf "epoch_install[e%d n=%d%s]" epoch (List.length records)
         (match store with Some _ -> " +store" | None -> "")
+  | Epoch_installed { replica; epoch } ->
+      Format.fprintf ppf "epoch_installed[r%d e%d]" replica epoch
   | Shutdown -> Format.fprintf ppf "shutdown"

@@ -7,9 +7,9 @@
     {!t.Heartbeat} (§5.3), the backup-coordinator view change
     ({!t.Coord_change} / {!t.Vc_accept} and their replies — §5.3.2),
     the epoch change ({!t.Epoch_change} / {!t.Epoch_records} /
-    {!t.Epoch_install} — §5.3.1; codecs shipped now, driven once the
-    WAL work gives a killed node a reboot path), and deployment
-    control ({!t.Shutdown}).
+    {!t.Epoch_install} / {!t.Epoch_installed} — §5.3.1; driven by the
+    nodes since the WAL work gave a killed node a reboot path), and
+    deployment control ({!t.Shutdown}).
 
     {!encode} is deterministic — the same message always yields the
     same bytes. {!decode} is total — truncated, trailing, hostile, or
@@ -116,10 +116,13 @@ type t =
       records : (int * Mk_meerkat.Replica.record_view) list;
       store : store_row list option;
     }
+  | Epoch_installed of { replica : int; epoch : int }
+      (** Ack for {!t.Epoch_install}: the initiator retransmits the
+          install until every target has confirmed. *)
   | Shutdown
 
 val kind : t -> int
-(** Stable frame tag (1–16); new kinds append, old tags never move. *)
+(** Stable frame tag (1–17); new kinds append, old tags never move. *)
 
 val kind_name : t -> string
 
@@ -135,3 +138,39 @@ val equal : t -> t -> bool
     [equal (decode (encode m)) m]. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Component codecs}
+
+    The building blocks of the payloads above, exported for other
+    on-disk or on-wire formats that must stay byte-compatible with the
+    cluster frames — the durable layer's WAL records and snapshot
+    files ({!Mk_durable.Walcodec}) reuse them so a record view is the
+    same bytes on disk as inside an [Epoch_records] frame. Writers
+    append to a [Buffer.t]; readers are total over a {!Wire.cursor}. *)
+
+val w_ts : Buffer.t -> Mk_clock.Timestamp.t -> unit
+val r_ts : Wire.cursor -> (Mk_clock.Timestamp.t, Wire.error) result
+
+val ts_bytes : int
+(** Encoded size of a timestamp (16). *)
+
+val w_status : Buffer.t -> Mk_storage.Txn.status -> unit
+val r_status : Wire.cursor -> (Mk_storage.Txn.status, Wire.error) result
+
+val status_tag : Mk_storage.Txn.status -> int
+(** Stable wire tag (0–5) — doubles as a total order for
+    newest-status merges during recovery. *)
+
+val w_record_view : Buffer.t -> Mk_meerkat.Replica.record_view -> unit
+
+val r_record_view :
+  Wire.cursor -> (Mk_meerkat.Replica.record_view, Wire.error) result
+
+val record_view_min : int
+(** Minimum encoded size of a record view (bounds hostile counts). *)
+
+val w_store_row : Buffer.t -> store_row -> unit
+val r_store_row : Wire.cursor -> (store_row, Wire.error) result
+
+val store_row_bytes : int
+(** Encoded size of a store row (48). *)

@@ -1,0 +1,2 @@
+(* Pure sibling for the alias fixtures: arithmetic only. *)
+let double x = x * 2

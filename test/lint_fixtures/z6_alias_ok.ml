@@ -1,0 +1,9 @@
+(* Z6 fixture: opening a local alias — the durable codec's
+   [module Wire = Mk_wire.Wire] + [open Wire] shape. The walk must
+   expand the alias (transitively: [DD] -> [D] -> the sibling file)
+   before treating the open as an unknown, hence impure, module. *)
+module D = Z6_alias_dep
+module DD = D
+open DD
+
+let quadruple x = double (double x)

@@ -1,0 +1,15 @@
+(* Z7 fixture: a WAL replay reader that trusts its own data
+   directory. A torn tail, a flipped length byte, or plain garbage
+   makes every line here raise on the reboot path — through the
+   framed-length helper and through the bare slices in the loop. *)
+let header log pos = int_of_string (String.sub log pos 8)
+
+let read_records log =
+  let rec go acc pos =
+    if pos >= String.length log then List.rev acc
+    else
+      let len = header log pos in
+      let payload = String.sub log (pos + 8) len in
+      go (payload :: acc) (pos + 8 + len)
+  in
+  go [] 0

@@ -1,0 +1,24 @@
+(* Z7 fixture: the total replay shape the durable layer ships — a
+   bounds check guards every slice, and garbage yields the longest
+   valid prefix instead of an exception. The one raw [String.sub]
+   sits behind the check and carries a per-site allow, exactly like
+   the wire cursor primitives. *)
+let[@mk_lint.allow "Z7"] slice log pos len =
+  (* Safe: both bounds checked against the log length just above. *)
+  if pos >= 0 && len >= 0 && pos + len <= String.length log then
+    Some (String.sub log pos len)
+  else None
+
+let read_records log =
+  let rec go acc pos =
+    match slice log pos 8 with
+    | None -> List.rev acc (* torn tail: keep the valid prefix *)
+    | Some header -> (
+        match int_of_string_opt header with
+        | None -> List.rev acc
+        | Some len -> (
+            match slice log (pos + 8) len with
+            | None -> List.rev acc
+            | Some payload -> go (payload :: acc) (pos + 8 + len)))
+  in
+  go [] 0

@@ -173,6 +173,16 @@ let test_z6_clean () =
     "~now injection passes" []
     (lint z6_cfg (fx "z6_ok.ml"))
 
+let test_z6_open_alias () =
+  (* Regression pin for the durable-codec shape: [module D = Sibling]
+     (transitively, [module DD = D]) then [open DD]. The resolver must
+     expand the opened alias to the sibling file instead of reporting
+     an unknown — hence impure — module [DD]. *)
+  let cfg = { Config.default with Config.pure_files = [ fx "z6_alias_ok.ml" ] } in
+  Alcotest.(check (list finding))
+    "opened alias of a pure sibling passes" []
+    (lint_many cfg [ fx "z6_alias_ok.ml"; fx "z6_alias_dep.ml" ])
+
 let z7_cfg =
   {
     Config.default with
@@ -216,6 +226,39 @@ let test_z7_catches_node_index_shape () =
       check_anchor "unchecked array write" ("Z7", 8, 42) f2;
       Alcotest.(check (list string)) "witness" [ "deliver" ] (chain_whats f1)
   | fs -> Alcotest.failf "expected 2 Z7 findings, got %d" (List.length fs)
+
+let z7_replay_cfg =
+  {
+    Config.default with
+    Config.total_entries =
+      [
+        fx "z7_replay_bad.ml" ^ ":read_records";
+        fx "z7_replay_ok.ml" ^ ":read_records";
+      ];
+  }
+
+let test_z7_replay_violations () =
+  (* The WAL-reboot shape of the wire-totality rule: a replay reader
+     that trusts its own log raises through the framed-length helper
+     and through the bare slices in its loop. *)
+  match lint_full z7_replay_cfg [ fx "z7_replay_bad.ml" ] with
+  | [ f1; f2; f3 ] ->
+      check_anchor "int_of_string in the length helper" ("Z7", 5, 21) f1;
+      Alcotest.(check (list string))
+        "witness crosses loop and helper"
+        [ "read_records"; "call to go"; "call to header" ]
+        (chain_whats f1);
+      check_anchor "String.sub in the length helper" ("Z7", 5, 36) f2;
+      check_anchor "bare payload slice in the loop" ("Z7", 12, 20) f3
+  | fs -> Alcotest.failf "expected 3 Z7 findings, got %d" (List.length fs)
+
+let test_z7_replay_total_shape () =
+  (* The shipped shape: every slice behind a bounds check (per-site
+     allow on the checked helper), garbage yields the longest valid
+     prefix. *)
+  Alcotest.(check (list finding))
+    "total replay reader passes" []
+    (lint z7_replay_cfg (fx "z7_replay_ok.ml"))
 
 let z8_cfg =
   {
@@ -452,9 +495,13 @@ let test_real_config_interprocedural () =
   Alcotest.(check bool) "v2 sections populated" true
     (List.mem_assoc "lib/meerkat" cfg.Config.layering
     && List.mem_assoc "lib/wire" cfg.Config.layering
+    && List.mem_assoc "lib/durable" cfg.Config.layering
     && List.mem "lib/meerkat/protocol.ml" cfg.Config.pure_files
+    && List.mem "lib/durable/walcodec.ml" cfg.Config.pure_files
     && List.mem "lib/wire/wire.ml:unframe" cfg.Config.total_entries
     && List.mem "lib/node/client_driver.ml:deliver" cfg.Config.total_entries
+    && List.mem "lib/durable/walcodec.ml:read_records" cfg.Config.total_entries
+    && List.mem "lib/durable/recover.ml:parse" cfg.Config.total_entries
     && List.mem "lib/node/node.ml:deliver" cfg.Config.nonblock_entries
     && List.mem "lib/live/runtime.ml:server_loop" cfg.Config.nonblock_entries);
   let cfg = rebase_cfg cfg in
@@ -466,7 +513,13 @@ let test_real_config_interprocedural () =
     (lint cfg "../lib/wire");
   Alcotest.(check (list finding))
     "node handlers clean under Z7/Z8" []
-    (lint cfg "../lib/node")
+    (lint cfg "../lib/node");
+  (* The durable layer under all four: Z5 keeps it below every
+     backend, Z6 covers its codec halves, Z7 its replay readers. The
+     wire library rides along because the codecs resolve into it. *)
+  Alcotest.(check (list finding))
+    "durable layer clean under Z5/Z6/Z7" []
+    (lint_many cfg [ "../lib/durable"; "../lib/wire" ])
 
 (* --- layer 2: the dynamic checker --- *)
 
@@ -574,10 +627,15 @@ let () =
           Alcotest.test_case "Z5 clean" `Quick test_z5_clean;
           Alcotest.test_case "Z6 violations" `Quick test_z6_violations;
           Alcotest.test_case "Z6 clean" `Quick test_z6_clean;
+          Alcotest.test_case "Z6 opened alias resolves" `Quick test_z6_open_alias;
           Alcotest.test_case "Z7 violations" `Quick test_z7_violations;
           Alcotest.test_case "Z7 scoped to entry" `Quick test_z7_scoped_to_entry;
           Alcotest.test_case "Z7 catches node index shape" `Quick
             test_z7_catches_node_index_shape;
+          Alcotest.test_case "Z7 replay violations" `Quick
+            test_z7_replay_violations;
+          Alcotest.test_case "Z7 replay total shape" `Quick
+            test_z7_replay_total_shape;
           Alcotest.test_case "Z8 violation" `Quick test_z8_violation;
           Alcotest.test_case "Z8 per-site allow" `Quick test_z8_site_allow;
           Alcotest.test_case "rules filter" `Quick test_rules_filter;

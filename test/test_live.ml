@@ -460,7 +460,7 @@ let test_live_replica_crash_harness () =
       }
   in
   Alcotest.(check bool)
-    (Format.asprintf "five invariants hold: %a" Chaos.pp_report report)
+    (Format.asprintf "six invariants hold: %a" Chaos.pp_report report)
     true (Chaos.passed report);
   Alcotest.(check bool)
     "a detector-driven epoch change ran on real domains" true
@@ -468,6 +468,33 @@ let test_live_replica_crash_harness () =
   Alcotest.(check bool)
     "the crash discarded traffic at the link" true
     (report.Chaos.dropped > 0)
+
+(* Crash-reboot on real domains and real files: the same victim
+   fail-stops twice, each reboot is merged back by the heartbeat
+   detector, and the durable invariant replays the per-(replica, core)
+   WAL + snapshot files off disk through the exact Recover reboot
+   path. Four seeds — the acceptance matrix. *)
+let test_live_crash_reboot_harness () =
+  List.iter
+    (fun seed ->
+      let report =
+        Chaos.run
+          {
+            Chaos.default_live_cfg with
+            Chaos.seed;
+            profile = Nemesis.Crash_reboot;
+            n_clients = 4;
+          }
+      in
+      Alcotest.(check bool)
+        (Format.asprintf "seed %d: six invariants hold: %a" seed
+           Chaos.pp_report report)
+        true (Chaos.passed report);
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: both reboots merged back" seed)
+        true
+        (report.Chaos.epoch_changes >= 2))
+    [ 1; 2; 3; 4 ]
 
 let () =
   Mk_check.Owner.enable ();
@@ -523,5 +550,7 @@ let () =
             `Quick test_live_coordinator_kill;
           Alcotest.test_case "replica crash through the live harness" `Quick
             test_live_replica_crash_harness;
+          Alcotest.test_case "crash-reboot through the live harness, 4 seeds"
+            `Quick test_live_crash_reboot_harness;
         ] );
     ]
