@@ -862,6 +862,144 @@ let live mode =
   if List.exists (fun (_, s) -> not s) points then
     failwith "live: serializability violation in a committed history"
 
+(* ------------------------------------------------------------------ *)
+(* Shard: goodput vs shard count x cross-shard ratio (sim backend).    *)
+(* ------------------------------------------------------------------ *)
+
+(* Each shard is a full replicated Meerkat group with its own server
+   threads on one discrete-event engine; cross-shard transactions run
+   the client-side 2PC (DESIGN.md §13, paper §5.2.4). With per-shard
+   resources held constant, aggregate goodput must grow with the
+   shard count — the minimal-coordination claim SCAR's numbers set
+   the bar for — and the cross-shard ratio prices the 2PC overhead.
+   Every point's merged global history is checked serializable and
+   the whole sweep lands in BENCH_shard.json. *)
+let shard mode =
+  heading "Shard: goodput vs shard count x cross-shard ratio (sim, RMW-2)";
+  say "Per-shard resources held constant; the workload is two-key RMW with";
+  say "the locality knob forcing the given fraction of cross-shard spans.";
+  let threads = 8 (* per shard *) in
+  let keys_per_thread = if mode.full then 4096 else 2048 in
+  let measure = if mode.full then 3000.0 else 1200.0 in
+  let shard_axis = [ 1; 2; 4 ] in
+  let cross_axis = [ 0.0; 0.1; 0.3 ] in
+  let module Sharded = Mk_systems.Sharded_sim in
+  let point ~shards ~cross =
+    let engine = Engine.create ~seed:mode.seed () in
+    let config =
+      {
+        Cluster.default_config with
+        threads;
+        (* Constant contention per shard: global keyspace grows with
+           the shard count (§6.2 methodology). *)
+        keys = keys_per_thread * threads * shards;
+        seed = mode.seed;
+      }
+    in
+    let sys = Sharded.create engine ~shards config in
+    let packed =
+      Intf.Packed
+        ( (module struct
+            type t = Sharded.t
+
+            let name = Sharded.name
+            let threads = Sharded.threads
+            let submit = Sharded.submit
+            let obs = Sharded.obs
+          end),
+          sys )
+    in
+    let wl =
+      Workload.rmw_pair
+        ~rng:(Mk_util.Rng.create ~seed:(mode.seed + 7919))
+        ~keys:config.Cluster.keys ~theta:0.0
+    in
+    if shards > 1 then
+      Workload.set_locality wl (Some { Workload.shards; cross });
+    let r =
+      Runner.run ~engine ~system:packed ~workload:wl ~n_clients:(16 * shards)
+        ~warmup:(measure /. 2.0) ~measure
+        ~busy:(fun () -> Sharded.server_busy_fraction sys)
+    in
+    let serializable =
+      match Mk_harness.Checker.check (Sharded.history sys) with
+      | Ok () -> true
+      | Error _ -> false
+    in
+    (shards, cross, r, serializable)
+  in
+  let points =
+    List.concat_map
+      (fun shards ->
+        List.map (fun cross -> point ~shards ~cross) cross_axis)
+      shard_axis
+  in
+  let table =
+    Table.create
+      ~header:
+        ("shards"
+        :: List.map
+             (fun c -> Printf.sprintf "cross=%.0f%%" (100.0 *. c))
+             cross_axis)
+  in
+  List.iter
+    (fun shards ->
+      let row =
+        List.filter_map
+          (fun (s, _, r, _) ->
+            if s = shards then Some (mfmt r.Runner.goodput) else None)
+          points
+      in
+      Table.add_row table (string_of_int shards :: row))
+    shard_axis;
+  say "Goodput (million committed txns/sec), %d server threads per shard:"
+    threads;
+  Table.print table;
+  let goodput_at ~shards ~cross =
+    List.find_map
+      (fun (s, c, r, _) ->
+        if s = shards && c = cross then Some r.Runner.goodput else None)
+      points
+    |> Option.value ~default:0.0
+  in
+  let base = goodput_at ~shards:1 ~cross:0.1 in
+  let top = goodput_at ~shards:4 ~cross:0.1 in
+  let ratio = if base > 0.0 then top /. base else 0.0 in
+  say "1 -> 4 shard goodput at 10%% cross-shard: %.2fx (target >= 1.5x)" ratio;
+  let body =
+    String.concat ",\n  "
+      (List.map
+         (fun (s, c, r, serializable) ->
+           Printf.sprintf
+             "{\"shards\": %d, \"cross\": %.2f, \"goodput\": %.1f, \
+              \"committed\": %d, \"abort_rate\": %.4f, \"p50_us\": %.1f, \
+              \"p99_us\": %.1f, \"fast_fraction\": %.4f, \"serializable\": \
+              %b}"
+             s c r.Runner.goodput r.Runner.committed r.Runner.abort_rate
+             r.Runner.p50_latency r.Runner.p99_latency r.Runner.fast_fraction
+             serializable)
+         points)
+  in
+  (try
+     let oc = open_out "BENCH_shard.json" in
+     Printf.fprintf oc
+       "{\"experiment\": \"shard\", \"threads_per_shard\": %d, \
+        \"scaling_1_to_4_at_10pct\": %.3f, \"sweep\": [\n\
+       \  %s\n\
+        ]}\n"
+       threads ratio body;
+     close_out oc;
+     say "wrote BENCH_shard.json"
+   with Sys_error msg ->
+     Format.eprintf "cannot write BENCH_shard.json: %s@." msg);
+  if List.exists (fun (_, _, _, s) -> not s) points then
+    failwith "shard: serializability violation in a merged history";
+  if ratio < 1.5 then
+    failwith
+      (Printf.sprintf
+         "shard: goodput scaled only %.2fx from 1 to 4 shards at 10%% cross"
+         ratio)
+
 let experiments =
   [
     ("fig1", fig1);
@@ -880,6 +1018,7 @@ let experiments =
     ("trace", trace_experiment);
     ("micro", micro);
     ("live", live);
+    ("shard", shard);
   ]
 
 let run_experiments names full seed trace metrics nemesis nemesis_seed =

@@ -13,6 +13,7 @@
      dune exec bin/meerkat_chaos.exe -- --live --seeds 4 --profiles combo --json chaos.json *)
 
 module Chaos = Mk_harness.Chaos
+module Shard_chaos = Mk_systems.Shard_chaos
 module Nemesis = Mk_fault.Nemesis
 
 let parse_profiles s =
@@ -33,8 +34,18 @@ let parse_profiles s =
     go [] names
   end
 
-let run nseeds seed_base profiles live horizon grace threads clients keys
-    trace_dir json verbose =
+let run nseeds seed_base profiles live shards horizon grace threads clients
+    keys trace_dir json verbose =
+  if shards < 1 then begin
+    Format.eprintf "meerkat_chaos: --shards must be >= 1@.";
+    exit 2
+  end;
+  if shards > 1 && live then begin
+    Format.eprintf
+      "meerkat_chaos: --shards is sim-only (sharded crashes on real \
+       processes: meerkat_cluster --shards --kill-node)@.";
+    exit 2
+  end;
   let seeds = List.init nseeds (fun i -> seed_base + i) in
   let base = if live then Chaos.default_live_cfg else Chaos.default_cfg in
   (* Per-backend envelope defaults: 60 ms virtual for the simulator,
@@ -53,9 +64,14 @@ let run nseeds seed_base profiles live horizon grace threads clients keys
   in
   Format.printf
     "chaos matrix (%s): %d seeds x %d profiles (horizon %.0fus, grace %.0fus)@."
-    (if live then "live domains" else "sim")
+    (if live then "live domains"
+     else if shards > 1 then Printf.sprintf "sim, %d shards" shards
+     else "sim")
     nseeds (List.length profiles) horizon grace;
-  let reports = Chaos.matrix ~seeds ~profiles ~cfg in
+  let reports =
+    if shards > 1 then Shard_chaos.matrix ~shards ~seeds ~profiles ~cfg
+    else Chaos.matrix ~seeds ~profiles ~cfg
+  in
   let failures = List.filter (fun r -> not (Chaos.passed r)) reports in
   List.iter
     (fun r ->
@@ -76,9 +92,11 @@ let run nseeds seed_base profiles live horizon grace threads clients keys
       in
       try
         let oc = open_out path in
-        Printf.fprintf oc "{\"experiment\": \"chaos\", \"backend\": \"%s\", \"runs\": [\n  %s\n]}\n"
+        Printf.fprintf oc
+          "{\"experiment\": \"chaos\", \"backend\": \"%s\", \"shards\": %d, \
+           \"runs\": [\n  %s\n]}\n"
           (if live then "live" else "sim")
-          body;
+          shards body;
         close_out oc;
         Format.printf "wrote %s@." path
       with Sys_error msg -> Format.eprintf "meerkat_chaos: %s@." msg));
@@ -92,7 +110,11 @@ let run nseeds seed_base profiles live horizon grace threads clients keys
         List.iter
           (fun (r : Chaos.report) ->
             (* Same cfg + same seed = the same run, this time traced. *)
-            let traced = Chaos.run { r.Chaos.r_cfg with trace = true } in
+            let traced_cfg = { r.Chaos.r_cfg with trace = true } in
+            let traced =
+              if shards > 1 then Shard_chaos.run ~shards traced_cfg
+              else Chaos.run traced_cfg
+            in
             let path =
               Filename.concat dir
                 (Printf.sprintf "chaos-%s-seed%d.json"
@@ -141,6 +163,14 @@ let () =
                    instead of the simulator (horizon and grace become wall \
                    microseconds).")
   in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards" ]
+             ~doc:"Shard groups (sim only). With more than one, the nemesis \
+                   targets shard 0's replicas while cross-shard 2PC traffic \
+                   keeps flowing through every group; invariants run against \
+                   the merged global history.")
+  in
   let horizon =
     Arg.(value & opt (some float) None
          & info [ "horizon" ]
@@ -177,8 +207,8 @@ let () =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Full report for passing runs too.")
   in
   let term =
-    Term.(const run $ nseeds $ seed_base $ profiles $ live $ horizon $ grace
-          $ threads $ clients $ keys $ trace_dir $ json $ verbose)
+    Term.(const run $ nseeds $ seed_base $ profiles $ live $ shards $ horizon
+          $ grace $ threads $ clients $ keys $ trace_dir $ json $ verbose)
   in
   let info =
     Cmd.info "meerkat_chaos"

@@ -27,6 +27,8 @@
 
 module Cluster_config = Mk_node.Cluster_config
 module Driver = Mk_node.Client_driver
+module Shard_driver = Mk_node.Shard_driver
+module Router = Mk_shard.Router
 module Checker = Mk_harness.Checker
 module Spawn = Mk_live.Spawn
 
@@ -84,8 +86,8 @@ let read_line_timeout child ~timeout_s =
   in
   line_of_buf ()
 
-let spawn_node ~node_exe ~name ~port_arg ~cores ~keys ~heartbeat_ms ~data_dir
-    ~fsync ~metrics =
+let spawn_node ~node_exe ~name ~port_arg ~cores ~keys ~shard ~heartbeat_ms
+    ~data_dir ~fsync ~metrics =
   (* cloexec everywhere: create_process dup2s the child's ends onto
      fds 0/1 (clearing the flag on the duplicates), and no later
      sibling inherits this child's pipes — otherwise node0 would
@@ -109,6 +111,7 @@ let spawn_node ~node_exe ~name ~port_arg ~cores ~keys ~heartbeat_ms ~data_dir
       "--heartbeat-ms";
       string_of_float heartbeat_ms;
     ]
+    @ (if shard > 0 then [ "--shard"; string_of_int shard ] else [])
     @ (match data_dir with
       | Some dir -> [ "--data-dir"; dir; "--fsync"; fsync ]
       | None -> [])
@@ -193,12 +196,13 @@ let int_field_of_stats json name =
 
 let parse_workload = function
   | "ycsb-t" | "ycsb_t" | "ycsb" -> Ok Driver.Ycsb_t
+  | "rmw-pair" | "rmw_pair" | "rmw2" -> Ok Driver.Rmw_pair
   | "retwis" -> Ok Driver.Retwis
   | s -> Error (`Msg (Printf.sprintf "unknown workload %S (ycsb-t, retwis)" s))
 
-let run nodes cores coordinators clients keys theta workload txns duration seed
-    heartbeat_ms kill_node kill_after reboot data_dir fsync no_check metrics
-    json =
+let run_single nodes cores coordinators clients keys theta workload txns
+    duration seed heartbeat_ms kill_node kill_after reboot data_dir fsync
+    no_check metrics json =
   if nodes < 3 || nodes mod 2 = 0 then fail "--nodes must be odd and >= 3";
   (match kill_node with
   | Some v when v < 0 || v >= nodes -> fail "--kill-node out of range"
@@ -236,8 +240,8 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
     Array.init nodes (fun i ->
         spawn_node ~node_exe
           ~name:(Printf.sprintf "node%d" i)
-          ~port_arg:"auto" ~cores ~keys ~heartbeat_ms ~data_dir:(node_data_dir i)
-          ~fsync ~metrics)
+          ~port_arg:"auto" ~cores ~keys ~shard:0 ~heartbeat_ms
+          ~data_dir:(node_data_dir i) ~fsync ~metrics)
   in
   let ports =
     Array.map
@@ -289,8 +293,8 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
               let child =
                 spawn_node ~node_exe ~name:children.(victim).name
                   ~port_arg:(string_of_int ports.(victim))
-                  ~cores ~keys ~heartbeat_ms ~data_dir:(node_data_dir victim)
-                  ~fsync ~metrics
+                  ~cores ~keys ~shard:0 ~heartbeat_ms
+                  ~data_dir:(node_data_dir victim) ~fsync ~metrics
               in
               (match read_line_timeout child ~timeout_s:10.0 with
               | Some _ -> ()
@@ -335,7 +339,7 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
     (fun i child ->
       let rec gather attempts =
         if attempts > 0 && stats_lines.(i) = None then begin
-          (match Driver.shutdown ~cluster with Ok () | Error _ -> ());
+          (match Driver.shutdown ~cluster () with Ok () | Error _ -> ());
           let rec scan () =
             match read_line_timeout child ~timeout_s:2.0 with
             | None -> ()
@@ -507,6 +511,379 @@ let run nodes cores coordinators clients keys theta workload txns duration seed
     exit 1
   end
 
+(* ------------------------------------------------------------------ *)
+(* The sharded run (--shards > 1)                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* S independent fleets of the same size, each its own shard group:
+   its own cluster config, detector gossip, WAL directories and — on
+   the wire — its own shard stamp. The in-process driver is the
+   cross-shard 2PC coordinator ({!Shard_driver}); a --kill-node victim
+   is killed in shard 0's fleet, and the other shards must keep
+   committing around it. *)
+let run_sharded ~shards nodes cores coordinators clients keys theta workload
+    txns duration seed cross heartbeat_ms kill_node kill_after reboot data_dir
+    fsync no_check metrics json =
+  if nodes < 3 || nodes mod 2 = 0 then fail "--nodes must be odd and >= 3";
+  (match kill_node with
+  | Some v when v < 0 || v >= nodes -> fail "--kill-node out of range"
+  | _ -> ());
+  if reboot && kill_node = None then fail "--reboot needs --kill-node";
+  let node_exe =
+    Filename.concat (Filename.dirname Sys.executable_name) "meerkat_node.exe"
+  in
+  if not (Sys.file_exists node_exe) then
+    fail "%s not found (build bin/meerkat_node.exe first)" node_exe;
+  (* One router decides placement for the fleets AND the driver: shard
+     [s] serves the local keyspace of the global [keys] under Mod
+     placement, so every node is launched with its shard's local key
+     count. *)
+  let router = Router.create ~shards ~keys () in
+  let shard_keys s = Router.local_keys router ~shard:s in
+  let data_base =
+    match data_dir with
+    | Some _ as d -> d
+    | None ->
+        if reboot then
+          Some
+            (Filename.concat
+               (Filename.get_temp_dir_name ())
+               (Printf.sprintf "meerkat-cluster-%d" (Unix.getpid ())))
+        else None
+  in
+  let mkdir_p dir =
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  in
+  (match data_base with
+  | Some base ->
+      mkdir_p base;
+      for s = 0 to shards - 1 do
+        mkdir_p (Filename.concat base (Printf.sprintf "shard%d" s))
+      done
+  | None -> ());
+  let node_data_dir s i =
+    Option.map
+      (fun base ->
+        Filename.concat base (Printf.sprintf "shard%d/node%d" s i))
+      data_base
+  in
+  (* Fork shards x nodes processes and complete every port handshake. *)
+  let children =
+    Array.init shards (fun s ->
+        Array.init nodes (fun i ->
+            spawn_node ~node_exe
+              ~name:(Printf.sprintf "node%d" i)
+              ~port_arg:"auto" ~cores ~keys:(shard_keys s) ~shard:s
+              ~heartbeat_ms ~data_dir:(node_data_dir s i) ~fsync ~metrics))
+  in
+  let ports =
+    Array.map
+      (Array.map (fun child ->
+           match read_line_timeout child ~timeout_s:10.0 with
+           | Some line -> (
+               match String.split_on_char ' ' line with
+               | [ "port"; p ] -> (
+                   match int_of_string_opt p with
+                   | Some p -> p
+                   | None -> fail "%s: bad port announcement %S" child.name line)
+               | _ -> fail "%s: expected `port <n>', got %S" child.name line)
+           | None -> fail "%s: no port announcement" child.name))
+      children
+  in
+  let clusters =
+    Array.mapi
+      (fun s fleet ->
+        Array.mapi
+          (fun i child ->
+            {
+              Cluster_config.name = child.name;
+              host = "127.0.0.1";
+              port = ports.(s).(i);
+            })
+          fleet)
+      children
+  in
+  let config_texts = Array.map Cluster_config.to_string clusters in
+  Array.iteri
+    (fun s fleet ->
+      Array.iter
+        (fun child ->
+          write_all child.to_child config_texts.(s);
+          Unix.close child.to_child)
+        fleet)
+    children;
+  Printf.printf "cluster up: %d shards x %d nodes x %d cores\n%!" shards nodes
+    cores;
+  (* The killer takes out shard 0's victim; the reboot (if asked)
+     brings it back on its original port with its shard-0 stamp and
+     data directory, and shard 0's survivors drive the epoch change.
+     Every other shard never notices. *)
+  let killer =
+    Option.map
+      (fun victim ->
+        Spawn.spawn (fun () ->
+            Unix.sleepf kill_after;
+            Printf.printf "SIGKILL shard0/%s (pid %d) at t=%.2fs\n%!"
+              children.(0).(victim).name children.(0).(victim).pid kill_after;
+            Unix.kill children.(0).(victim).pid Sys.sigkill;
+            if reboot then begin
+              ignore
+                (Unix.waitpid [] children.(0).(victim).pid
+                  : int * Unix.process_status);
+              (try Unix.close children.(0).(victim).from_child
+               with Unix.Unix_error (_, _, _) -> ());
+              let child =
+                spawn_node ~node_exe ~name:children.(0).(victim).name
+                  ~port_arg:(string_of_int ports.(0).(victim))
+                  ~cores ~keys:(shard_keys 0) ~shard:0 ~heartbeat_ms
+                  ~data_dir:(node_data_dir 0 victim) ~fsync ~metrics
+              in
+              (match read_line_timeout child ~timeout_s:10.0 with
+              | Some _ -> ()
+              | None ->
+                  Printf.eprintf
+                    "meerkat_cluster: %s: no port announcement on reboot\n%!"
+                    child.name);
+              write_all child.to_child config_texts.(0);
+              Unix.close child.to_child;
+              children.(0).(victim) <- child;
+              Printf.printf "rebooted shard0/%s (pid %d) on port %d\n%!"
+                child.name child.pid ports.(0).(victim)
+            end))
+      kill_node
+  in
+  let dcfg =
+    {
+      Shard_driver.default_config with
+      shards;
+      coordinators;
+      clients;
+      keys;
+      theta;
+      workload;
+      cross;
+      txns_per_client = txns;
+      duration;
+      seed;
+    }
+  in
+  let result =
+    match Shard_driver.run dcfg ~clusters with
+    | Ok r -> r
+    | Error msg -> fail "driver: %s" msg
+  in
+  Option.iter Spawn.join killer;
+  (* Shut every fleet down (per-shard Shutdown stamps) and gather the
+     exit stats. *)
+  let stats_lines = Array.make_matrix shards nodes None in
+  let killed_for_good s i = s = 0 && Some i = kill_node && not reboot in
+  Array.iteri
+    (fun s fleet ->
+      Array.iteri
+        (fun i child ->
+          let rec gather attempts =
+            if attempts > 0 && stats_lines.(s).(i) = None then begin
+              (match Driver.shutdown ~shard:s ~cluster:clusters.(s) () with
+              | Ok () | Error _ -> ());
+              let rec scan () =
+                match read_line_timeout child ~timeout_s:2.0 with
+                | None -> ()
+                | Some line ->
+                    if String.length line >= 6 && String.sub line 0 6 = "stats "
+                    then
+                      stats_lines.(s).(i) <-
+                        Some (String.sub line 6 (String.length line - 6))
+                    else scan ()
+              in
+              scan ();
+              gather (attempts - 1)
+            end
+          in
+          gather 5;
+          if stats_lines.(s).(i) = None && not (killed_for_good s i) then begin
+            Printf.eprintf "meerkat_cluster: shard%d/%s: no stats; killing\n%!"
+              s child.name;
+            try Unix.kill child.pid Sys.sigkill
+            with Unix.Unix_error (_, _, _) -> ()
+          end)
+        fleet)
+    children;
+  let exits =
+    Array.map
+      (Array.map (fun child -> snd (Unix.waitpid [] child.pid)))
+      children
+  in
+  (* Verdicts. *)
+  let failures = ref 0 in
+  let fail_check fmt =
+    Printf.ksprintf
+      (fun msg ->
+        incr failures;
+        Printf.printf "FAILED: %s\n%!" msg)
+      fmt
+  in
+  Printf.printf
+    "driver: %d committed (%d cross-shard), %d aborted (%d fast / %d slow \
+     sub-attempts), %d retransmits, %.0f txn/s, p50 %.0f us, p99 %.0f us\n\
+     wire: %d tx, %d rx, %d decode errors, %d shard drops\n\
+     %!"
+    result.Shard_driver.committed_count result.Shard_driver.cross_shard
+    result.Shard_driver.aborted result.Shard_driver.fast_path
+    result.Shard_driver.slow_path result.Shard_driver.retransmits
+    result.Shard_driver.throughput result.Shard_driver.p50_us
+    result.Shard_driver.p99_us result.Shard_driver.wire_msgs_tx
+    result.Shard_driver.wire_msgs_rx result.Shard_driver.wire_decode_errors
+    result.Shard_driver.wire_shard_drops;
+  (if duration = None then
+     let decided =
+       result.Shard_driver.committed_count + result.Shard_driver.aborted
+     in
+     let expected = clients * txns in
+     if decided <> expected then
+       fail_check "lost transactions: %d decided, %d submitted" decided expected);
+  let serializable =
+    if no_check then true
+    else
+      match Checker.check result.Shard_driver.committed with
+      | Ok () ->
+          Printf.printf "serializable: yes (%d commits, merged history)\n%!"
+            result.Shard_driver.committed_count;
+          true
+      | Error v ->
+          fail_check "serializability violation (merged history): %s"
+            (Format.asprintf "%a" Checker.pp_violation v);
+          false
+  in
+  let detected_by = ref [] in
+  Array.iteri
+    (fun s fleet ->
+      Array.iteri
+        (fun i child ->
+          let killed = killed_for_good s i in
+          (match (stats_lines.(s).(i), killed) with
+          | Some json, _ -> (
+              Printf.printf "shard%d/%s: %s\n%!" s child.name json;
+              match kill_node with
+              | Some victim
+                when s = 0 && List.mem victim (suspected_of_stats json) ->
+                  detected_by := i :: !detected_by
+              | _ -> ())
+          | None, true ->
+              Printf.printf "shard%d/%s: killed (no stats)\n%!" s child.name
+          | None, false -> fail_check "shard%d/%s: no exit stats" s child.name);
+          match (exits.(s).(i), killed) with
+          | Unix.WEXITED 0, false -> ()
+          | Unix.WSIGNALED _, true -> ()
+          | status, _ ->
+              let st =
+                match status with
+                | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+                | Unix.WSIGNALED sg -> Printf.sprintf "signal %d" sg
+                | Unix.WSTOPPED sg -> Printf.sprintf "stopped %d" sg
+              in
+              fail_check "shard%d/%s: unexpected status (%s)" s child.name st)
+        fleet)
+    children;
+  (match kill_node with
+  | Some victim when reboot ->
+      (match stats_lines.(0).(victim) with
+      | None -> fail_check "shard0/node%d: no stats after reboot" victim
+      | Some json ->
+          let replayed = int_field_of_stats json "wal_replayed" in
+          let snaps = int_field_of_stats json "wal_snapshots_used" in
+          if replayed + snaps <= 0 then
+            fail_check
+              "shard0/node%d rebooted without recovering anything from its \
+               data directory"
+              victim
+          else
+            Printf.printf
+              "shard0/node%d rebooted: %d snapshot(s) restored, %d log \
+               records replayed\n\
+               %!"
+              victim snaps replayed);
+      let epoch_changes =
+        Array.fold_left
+          (fun acc line ->
+            match line with
+            | Some json -> acc + max 0 (int_field_of_stats json "epoch_changes")
+            | None -> acc)
+          0 stats_lines.(0)
+      in
+      if epoch_changes <= 0 then
+        fail_check
+          "no shard-0 node completed an epoch change merging node%d back"
+          victim
+      else
+        Printf.printf "epoch changes: %d (shard0/node%d merged back)\n%!"
+          epoch_changes victim
+  | Some victim ->
+      if !detected_by = [] then
+        fail_check "no surviving shard-0 node suspected node%d" victim
+      else
+        Printf.printf "shard0/node%d suspected by: %s\n%!" victim
+          (String.concat ", "
+             (List.map (Printf.sprintf "node%d") (List.rev !detected_by)))
+  | None -> ());
+  (match json with
+  | None -> ()
+  | Some path -> (
+      let node_stats =
+        String.concat ",\n    "
+          (Array.to_list
+             (Array.map
+                (fun fleet ->
+                  Printf.sprintf "[%s]"
+                    (String.concat ", "
+                       (Array.to_list
+                          (Array.map
+                             (fun st ->
+                               match st with Some j -> j | None -> "null")
+                             fleet))))
+                stats_lines))
+      in
+      let body =
+        Printf.sprintf
+          "{\"experiment\": \"cluster-sharded\", \"shards\": %d, \"nodes\": \
+           %d, \"cores\": %d, \"coordinators\": %d, \"clients\": %d, \
+           \"cross\": %.2f, \"killed\": %d, \"rebooted\": %b, \
+           \"detected_by\": [%s], \"serializable\": %b, \"failures\": %d,\n\
+          \  \"driver\": %s,\n\
+          \  \"node_stats\": [\n\
+          \    %s\n\
+          \  ]}\n"
+          shards nodes cores coordinators clients cross
+          (match kill_node with Some v -> v | None -> -1)
+          reboot
+          (String.concat ", " (List.map string_of_int (List.rev !detected_by)))
+          serializable !failures
+          (Shard_driver.result_json result)
+          node_stats
+      in
+      try
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc body);
+        Printf.printf "wrote %s\n%!" path
+      with Sys_error msg -> Printf.eprintf "meerkat_cluster: %s\n%!" msg));
+  if !failures > 0 then begin
+    Printf.printf "%d check(s) FAILED\n%!" !failures;
+    exit 1
+  end
+
+let run shards nodes cores coordinators clients keys theta workload txns
+    duration seed cross heartbeat_ms kill_node kill_after reboot data_dir fsync
+    no_check metrics json =
+  if shards < 1 then fail "--shards must be >= 1";
+  if cross < 0.0 || cross > 1.0 then fail "--cross must be in [0, 1]";
+  if shards = 1 then
+    run_single nodes cores coordinators clients keys theta workload txns
+      duration seed heartbeat_ms kill_node kill_after reboot data_dir fsync
+      no_check metrics json
+  else
+    run_sharded ~shards nodes cores coordinators clients keys theta workload
+      txns duration seed cross heartbeat_ms kill_node kill_after reboot
+      data_dir fsync no_check metrics json
+
 let () =
   let open Cmdliner in
   let workload_conv =
@@ -514,11 +891,25 @@ let () =
       ( parse_workload,
         fun ppf w ->
           Format.pp_print_string ppf
-            (match w with Driver.Ycsb_t -> "ycsb-t" | Driver.Retwis -> "retwis")
+            (match w with
+             | Driver.Ycsb_t -> "ycsb-t"
+             | Driver.Rmw_pair -> "rmw-pair"
+             | Driver.Retwis -> "retwis")
       )
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S"
+          ~doc:
+            "Shard groups (DESIGN.md §13): fork $(docv) independent fleets of \
+             --nodes each and drive them with the cross-shard 2PC client \
+             driver. The default 1 is the single-group deployment.")
+  in
   let nodes =
-    Arg.(value & opt int 3 & info [ "nodes"; "n" ] ~doc:"Nodes (odd, >= 3).")
+    Arg.(
+      value & opt int 3
+      & info [ "nodes"; "n" ] ~doc:"Nodes per shard group (odd, >= 3).")
   in
   let cores =
     Arg.(value & opt int 2 & info [ "cores" ] ~doc:"Server domains per node.")
@@ -552,6 +943,14 @@ let () =
           ~doc:"Keep submitting for $(docv) of wall time instead of a quota.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.") in
+  let cross =
+    Arg.(
+      value & opt float 0.1
+      & info [ "cross" ] ~docv:"P"
+          ~doc:
+            "Probability a multi-key transaction spans more than one shard \
+             (only meaningful with --shards > 1).")
+  in
   let heartbeat_ms =
     Arg.(
       value & opt float 25.0
@@ -612,9 +1011,10 @@ let () =
   in
   let term =
     Term.(
-      const run $ nodes $ cores $ coordinators $ clients $ keys $ theta
-      $ workload $ txns $ duration $ seed $ heartbeat_ms $ kill_node
-      $ kill_after $ reboot $ data_dir $ fsync $ no_check $ metrics $ json)
+      const run $ shards $ nodes $ cores $ coordinators $ clients $ keys
+      $ theta $ workload $ txns $ duration $ seed $ cross $ heartbeat_ms
+      $ kill_node $ kill_after $ reboot $ data_dir $ fsync $ no_check $ metrics
+      $ json)
   in
   let info =
     Cmd.info "meerkat_cluster"

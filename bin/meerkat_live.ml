@@ -11,16 +11,105 @@
      dune exec bin/meerkat_live.exe -- --seeds 8 --json BENCH_live.json *)
 
 module Runtime = Mk_live.Runtime
+module Multi = Mk_live.Multi
 module Checker = Mk_harness.Checker
 module Nemesis = Mk_fault.Nemesis
 
 let parse_workload = function
   | "ycsb-t" | "ycsb_t" | "ycsb" -> Ok Runtime.Ycsb_t
+  | "rmw-pair" | "rmw_pair" | "rmw2" -> Ok Runtime.Rmw_pair
   | "retwis" -> Ok Runtime.Retwis
-  | s -> Error (`Msg (Printf.sprintf "unknown workload %S (ycsb-t, retwis)" s))
+  | s ->
+      Error
+        (`Msg (Printf.sprintf "unknown workload %S (ycsb-t, rmw-pair, retwis)" s))
 
-let run domains replicas coordinators clients keys theta workload txns duration
-    nemesis seed nseeds no_check json =
+(* Multi-group path (--shards > 1): the fault-free Multi runner with
+   the cross-shard knob, checking the MERGED global history. *)
+let run_sharded shards cross domains replicas coordinators clients keys theta
+    workload txns duration seed nseeds no_check json =
+  let cfg =
+    {
+      Multi.default_config with
+      shards;
+      cross;
+      server_domains = domains;
+      n_replicas = replicas;
+      coordinators;
+      clients;
+      keys;
+      theta;
+      workload;
+      txns_per_client = txns;
+      duration;
+    }
+  in
+  let failures = ref 0 in
+  let reports =
+    List.map
+      (fun seed ->
+        let r = Multi.run { cfg with Multi.seed } in
+        Format.printf "seed %d:@.  %a@." seed Multi.pp_report r;
+        let expected = clients * txns in
+        if duration = None && r.Multi.committed_count + r.Multi.aborted <> expected
+        then begin
+          incr failures;
+          Format.printf "  LOST TRANSACTIONS: %d decided, %d submitted@."
+            (r.Multi.committed_count + r.Multi.aborted)
+            expected
+        end;
+        if not no_check then begin
+          match Checker.check r.Multi.history with
+          | Ok () ->
+              Format.printf "  merged history serializable: yes (%d commits, %d cross-shard txns)@."
+                r.Multi.committed_count r.Multi.cross_shard
+          | Error v ->
+              incr failures;
+              Format.printf "  SERIALIZABILITY VIOLATION: %a@." Checker.pp_violation v
+        end;
+        (seed, r))
+      (List.init nseeds (fun i -> seed + i))
+  in
+  (match json with
+  | None -> ()
+  | Some path -> (
+      let body =
+        String.concat ",\n  "
+          (List.map
+             (fun (seed, r) ->
+               Printf.sprintf "{\"seed\": %d, \"report\": %s}" seed
+                 (Multi.report_json r))
+             reports)
+      in
+      try
+        let oc = open_out path in
+        Printf.fprintf oc
+          "{\"experiment\": \"live-sharded\", \"runs\": [\n  %s\n]}\n" body;
+        close_out oc;
+        Format.printf "wrote %s@." path
+      with Sys_error msg -> Format.eprintf "meerkat_live: %s@." msg));
+  if !failures > 0 then begin
+    Format.printf "%d run(s) FAILED@." !failures;
+    exit 1
+  end
+
+let run shards cross domains replicas coordinators clients keys theta workload
+    txns duration nemesis seed nseeds no_check json =
+  if shards < 1 then begin
+    Format.eprintf "meerkat_live: --shards must be >= 1@.";
+    exit 2
+  end;
+  if shards > 1 then begin
+    if nemesis <> None then begin
+      Format.eprintf
+        "meerkat_live: --nemesis needs the single-group runtime (chaos is \
+         single-group by design; use meerkat_cluster --kill-node for \
+         multi-shard faults)@.";
+      exit 2
+    end;
+    run_sharded shards cross domains replicas coordinators clients keys theta
+      workload txns duration seed nseeds no_check json
+  end
+  else
   let duration =
     (* A nemesis plan needs a horizon; default to one wall second. *)
     match (nemesis, duration) with
@@ -115,8 +204,25 @@ let () =
       ( parse_workload,
         fun ppf w ->
           Format.pp_print_string ppf
-            (match w with Runtime.Ycsb_t -> "ycsb-t" | Runtime.Retwis -> "retwis")
+            (match w with
+             | Runtime.Ycsb_t -> "ycsb-t"
+             | Runtime.Rmw_pair -> "rmw-pair"
+             | Runtime.Retwis -> "retwis")
       )
+  in
+  let shards =
+    Arg.(value & opt int 1
+         & info [ "shards"; "s" ]
+             ~doc:"Shard groups. With more than one, run the multi-group \
+                   deployment: independent replica groups per shard, \
+                   client-side cross-shard 2PC, and a merged-history \
+                   serializability check.")
+  in
+  let cross =
+    Arg.(value & opt float 0.1
+         & info [ "cross" ]
+             ~doc:"Probability a multi-key transaction spans more than one \
+                   shard (only meaningful with --shards > 1).")
   in
   let domains =
     Arg.(value & opt int 2
@@ -184,9 +290,9 @@ let () =
          & info [ "json" ] ~docv:"FILE" ~doc:"Write all reports to $(docv) as JSON.")
   in
   let term =
-    Term.(const run $ domains $ replicas $ coordinators $ clients $ keys $ theta
-          $ workload $ txns $ duration $ nemesis $ seed $ nseeds $ no_check
-          $ json)
+    Term.(const run $ shards $ cross $ domains $ replicas $ coordinators
+          $ clients $ keys $ theta $ workload $ txns $ duration $ nemesis
+          $ seed $ nseeds $ no_check $ json)
   in
   let info =
     Cmd.info "meerkat_live"

@@ -34,8 +34,8 @@ let parse_port = function
       | Some p -> Error (`Msg (Printf.sprintf "port %d out of range" p))
       | None -> Error (`Msg (Printf.sprintf "bad port %S (number or auto)" s)))
 
-let run me cluster_src port cores keys heartbeat_ms no_detector rto_ms data_dir
-    fsync metrics =
+let run me cluster_src port cores keys shard heartbeat_ms no_detector rto_ms
+    data_dir fsync metrics =
   (* Bind before reading the config: with `--cluster -' the launcher
      needs our `port' line to finish assembling the config it will
      send us. *)
@@ -65,6 +65,7 @@ let run me cluster_src port cores keys heartbeat_ms no_detector rto_ms data_dir
       me = id;
       cores;
       keys;
+      shard;
       detector =
         (if no_detector then None else Some (Node.detector_cfg ~heartbeat_ms));
       rto_us = rto_ms *. 1000.0;
@@ -119,6 +120,16 @@ let () =
       & info [ "cores" ] ~doc:"Server domains (trecord cores) in this node.")
   in
   let keys = Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"Keyspace size.") in
+  let shard =
+    Arg.(
+      value & opt int 0
+      & info [ "shard" ] ~docv:"S"
+          ~doc:
+            "Shard group this node belongs to (multi-group deployments, \
+             DESIGN.md §13). Every frame is stamped with it; frames stamped \
+             otherwise are counted drops. The default 0 is a single-group \
+             deployment.")
+  in
   let heartbeat_ms =
     Arg.(
       value & opt float 25.0
@@ -161,15 +172,15 @@ let () =
       & info [ "metrics" ]
           ~doc:"Dump the metrics registry (wire counters included) at exit.")
   in
-  let wrap me cluster port cores keys heartbeat_ms no_detector rto_ms data_dir
-      fsync metrics =
+  let wrap me cluster port cores keys shard heartbeat_ms no_detector rto_ms
+      data_dir fsync metrics =
     let src = if cluster = "-" then `Stdin else `File cluster in
-    run me src port cores keys heartbeat_ms no_detector rto_ms data_dir fsync
-      metrics
+    run me src port cores keys shard heartbeat_ms no_detector rto_ms data_dir
+      fsync metrics
   in
   let term =
     Term.(
-      const wrap $ me $ cluster $ port $ cores $ keys $ heartbeat_ms
+      const wrap $ me $ cluster $ port $ cores $ keys $ shard $ heartbeat_ms
       $ no_detector $ rto_ms $ data_dir $ fsync $ metrics)
   in
   let info =

@@ -1,18 +1,18 @@
 (* Distributed transactions (§5.2.4): an order-processing shop whose
-   inventory and order-count tables live on different partitions, each
-   partition a full replicated Meerkat group. Placing an order
-   decrements stock in partition A and increments the order tally in
-   partition B — atomically, or not at all.
+   inventory and order-count tables live on different shards, each
+   shard a full replicated Meerkat group. Placing an order
+   decrements stock in shard A and increments the order tally in
+   shard B — atomically, or not at all.
 
    Run with: dune exec examples/sharded_shop.exe *)
 
 module Engine = Mk_sim.Engine
 module Intf = Mk_model.System_intf
-module Sharded = Mk_meerkat.Sharded
+module Sharded = Mk_systems.Sharded_sim
 module Cluster = Mk_cluster.Cluster
 
-(* Two partitions: even keys (stock) on partition 0, odd keys (order
-   tallies) on partition 1. *)
+(* Two shards (mod policy): even keys (stock) on shard 0, odd keys
+   (order tallies) on shard 1. *)
 let stock_key item = 2 * item
 let tally_key item = (2 * item) + 1
 let items = 8
@@ -21,9 +21,9 @@ let initial_stock = 5
 let () =
   let engine = Engine.create ~seed:33 () in
   let cfg = { Cluster.default_config with threads = 2; n_clients = 8; keys = 64 } in
-  let shop = Sharded.create engine ~partitions:2 cfg in
-  Format.printf "Shop: 2 partitions x 3 replicas; stock on partition 0, order@.";
-  Format.printf "tallies on partition 1.@.";
+  let shop = Sharded.create engine ~shards:2 cfg in
+  Format.printf "Shop: 2 shards x 3 replicas; stock on shard 0, order@.";
+  Format.printf "tallies on shard 1.@.";
 
   (* Stock the shelves. *)
   for item = 0 to items - 1 do
@@ -35,8 +35,8 @@ let () =
   Format.printf "Stocked %d items with %d units each.@." items initial_stock;
 
   (* Clients race to buy. An order reads the stock and the tally in a
-     cross-partition interactive transaction whose writes are computed
-     from the values read: OCC validation in both partitions ensures a
+     cross-shard interactive transaction whose writes are computed
+     from the values read: OCC validation in both shards ensures a
      commit means the decrement/increment applied to current values. *)
   let orders = ref 0 and rejected = ref 0 and sold_out = ref 0 in
   let rng = Mk_util.Rng.create ~seed:17 in
@@ -59,7 +59,7 @@ let () =
           end
           else begin
             (* Another shopper won the race; OCC rejected us in at
-               least one partition — and therefore in both. *)
+               least one shard — and therefore in both. *)
             incr rejected;
             shopper client remaining
           end)
@@ -73,7 +73,7 @@ let () =
   Format.printf "@.%d orders committed, %d attempts rejected (%d sold-out sightings).@."
     !orders !rejected !sold_out;
 
-  (* The invariant that only atomic cross-partition commits preserve:
+  (* The invariant that only atomic cross-shard commits preserve:
      units_sold(item) = initial_stock - stock(item) = tally(item). *)
   let consistent = ref true in
   for item = 0 to items - 1 do
@@ -90,6 +90,6 @@ let () =
   done;
   Format.printf "@.%s@."
     (if !consistent then
-       "Every item's tally matches its stock decrement: the two partitions\n\
+       "Every item's tally matches its stock decrement: the two shards\n\
         commit or abort together, even though each runs its own quorums."
      else "INVARIANT VIOLATED")

@@ -1,0 +1,22 @@
+(* Groups + router: the shared shape of a sharded deployment
+   (DESIGN.md §13), generic over the backend's group type. *)
+
+module Router = Mk_shard.Router
+
+type 'g t = { router : Router.t; groups : 'g array }
+
+let make ?policy ~shards (cfg : Cluster.config) build =
+  let router = Router.create ?policy ~shards ~keys:cfg.keys () in
+  let groups =
+    Array.init shards (fun shard ->
+        (* [max 1]: a Range split of a tiny keyspace can leave a shard
+           empty; it still needs a bootable (if idle) group. *)
+        let keys = max 1 (Router.local_keys router ~shard) in
+        build ~shard { cfg with keys; seed = cfg.seed + shard })
+  in
+  { router; groups }
+
+let shards t = Array.length t.groups
+let group t s = t.groups.(s)
+let iter f t = Array.iteri f t.groups
+let fold f acc t = Array.fold_left f acc t.groups

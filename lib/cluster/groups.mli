@@ -1,0 +1,30 @@
+(** A sharded deployment is a set of groups plus a router
+    (DESIGN.md §13): this is that shape, generic over what one group
+    is (a simulated {!Mk_meerkat.Sim_system}, a live runtime group, a
+    set of node processes).
+
+    Each shard is a full independent deployment of the per-group
+    {!Cluster.config} — its own 2f+1 replicas, cores, clients and
+    clocks — owning the dense local keyspace the router assigns it.
+    [make] derives the per-shard configs (local keyspace size,
+    decorrelated seeds) so every backend slices the global config the
+    same way. *)
+
+type 'g t = { router : Mk_shard.Router.t; groups : 'g array }
+
+val make :
+  ?policy:Mk_shard.Router.policy ->
+  shards:int ->
+  Cluster.config ->
+  (shard:int -> Cluster.config -> 'g) ->
+  'g t
+(** [make ~shards cfg build] routes [cfg.keys] global keys over
+    [shards] groups and builds each group from its derived config:
+    [keys] becomes the shard's local keyspace size (at least 1, so a
+    group can always boot) and [seed] is decorrelated per shard.
+    Raises [Invalid_argument] for [shards < 1]. *)
+
+val shards : 'g t -> int
+val group : 'g t -> int -> 'g
+val iter : (int -> 'g -> unit) -> 'g t -> unit
+val fold : ('a -> 'g -> 'a) -> 'a -> 'g t -> 'a

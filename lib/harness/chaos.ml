@@ -167,6 +167,81 @@ let check_durable ~cores ~replicas ~sources ~obligations ~note =
     obligations;
   match !err with None -> Ok () | Some e -> Error e
 
+(* Durable obligations: everything committed anywhere at the instant
+   of a crash. Finalization happens at (or after) the coordinator's
+   ack, so this under-approximates "acked-committed before the crash",
+   and each entry already fired the Finalized hook — the union of
+   end-of-run replays must still hold it. *)
+type obligations = {
+  mutable ob_list : (Tid.t * Timestamp.t) list;
+  ob_seen : unit Tid_table.t;
+}
+
+let obligations_create () = { ob_list = []; ob_seen = Tid_table.create 64 }
+
+let obligations_capture ob replicas =
+  Array.iter
+    (fun rep ->
+      if not (Replica.is_crashed rep) then
+        List.iter
+          (fun (_, (e : Mk_storage.Trecord.entry)) ->
+            if
+              e.status = Txn.Committed
+              && not (Tid_table.mem ob.ob_seen e.txn.Txn.tid)
+            then begin
+              Tid_table.add ob.ob_seen e.txn.Txn.tid ();
+              ob.ob_list <- (e.txn.Txn.tid, e.ts) :: ob.ob_list
+            end)
+          (Mk_storage.Trecord.entries (Replica.trecord rep)))
+    replicas
+
+let obligations_list ob = ob.ob_list
+
+(* Durable device: one in-memory log + snapshot slot per (replica,
+   core) — the same Walcodec bytes the cluster backend puts on disk,
+   surviving the simulated fail-stop. The hooks touch no engine or
+   RNG state, so a Calm run stays bit-identical to one without them. *)
+let install_memlog_hooks ~obs ~cores ~replicas ~memlogs =
+  Array.iteri
+    (fun r rep ->
+      Replica.set_durable_hook rep (function
+        | Replica.Finalized { core; view } ->
+            if core >= 0 && core < cores then begin
+              let s = Walcodec.encode_record { Walcodec.core; view } in
+              Memlog.append memlogs.(r).(core) s;
+              Obs.note_wal_append obs ~bytes:(String.length s) ~synced:false
+            end
+        | Replica.Installed { epoch } ->
+            (* The merged epoch state supersedes the log: full per-core
+               snapshots cutting at the current log lengths, exactly
+               what the cluster backend writes at this hook. *)
+            let all_views = Replica.record_views rep in
+            let all_rows = Replica.store_snapshot rep in
+            Array.iteri
+              (fun core m ->
+                let views =
+                  List.filter_map
+                    (fun (c, v) -> if c = core then Some v else None)
+                    all_views
+                in
+                let rows =
+                  List.filter (fun (k, _, _, _) -> k mod cores = core) all_rows
+                in
+                let s =
+                  Walcodec.encode_snapshot
+                    {
+                      Walcodec.core;
+                      epoch;
+                      wal_cut = Memlog.log_length m;
+                      views;
+                      rows;
+                    }
+                in
+                Memlog.set_snapshot m s;
+                Obs.note_snapshot obs ~bytes:(String.length s))
+              memlogs.(r)))
+    replicas
+
 type raw = {
   raw_cfg : cfg;
   raw_replicas : Replica.t array;
@@ -185,14 +260,18 @@ type raw = {
   raw_obs : Obs.t;
 }
 
-let evaluate (raw : raw) =
+let evaluate ?committed (raw : raw) =
   let cfg = raw.raw_cfg in
   let replicas = raw.raw_replicas in
   (* Union of committed records across replicas (every replica is
      expected up by now; tolerate a crashed one so the report can say
-     *which* invariant failed rather than raising). *)
+     *which* invariant failed rather than raising). A sharded caller
+     passes the pre-merged global history instead — per-shard trecords
+     hold local-key sub-transactions sharing a global tid, so a naive
+     union would collapse a cross-shard transaction into one of its
+     fragments — and this pass then only counts stuck records. *)
   let seen = Hashtbl.create 1024 in
-  let committed = ref [] in
+  let union = ref [] in
   let stuck = ref 0 in
   Array.iter
     (fun r ->
@@ -201,17 +280,18 @@ let evaluate (raw : raw) =
           (fun (_, (e : Mk_storage.Trecord.entry)) ->
             if Txn.is_final e.status then begin
               if
-                e.status = Txn.Committed
+                committed = None
+                && e.status = Txn.Committed
                 && not (Hashtbl.mem seen e.txn.Txn.tid)
               then begin
                 Hashtbl.add seen e.txn.Txn.tid ();
-                committed := (e.txn, e.ts) :: !committed
+                union := (e.txn, e.ts) :: !union
               end
             end
             else incr stuck)
           (Mk_storage.Trecord.entries (Replica.trecord r)))
     replicas;
-  let committed = !committed in
+  let committed = match committed with Some c -> c | None -> !union in
   (* I1: every acknowledged commit forms one serializable history. *)
   let serializable = Checker.check committed in
   (* I2: all replicas are back up and agree on the final state. *)
@@ -323,90 +403,25 @@ let run_sim cfg =
   let engine = Engine.create ~seed:cfg.seed () in
   let obs = Obs.create ~trace:cfg.trace ~clock:(fun () -> Engine.now engine) () in
   let sys = S.create ~obs engine sys_cfg in
-  (* Durable device: one in-memory log + snapshot slot per (replica,
-     core) — the same Walcodec bytes the cluster backend puts on disk,
-     surviving the simulated fail-stop. The hooks touch no engine or
-     RNG state, so a Calm run stays bit-identical to one without them. *)
   let memlogs =
     Array.init sys_cfg.S.n_replicas (fun _ ->
         Array.init cfg.threads (fun _ -> Memlog.create ()))
   in
-  Array.iteri
-    (fun r rep ->
-      Replica.set_durable_hook rep (function
-        | Replica.Finalized { core; view } ->
-            if core >= 0 && core < cfg.threads then begin
-              let s = Walcodec.encode_record { Walcodec.core; view } in
-              Memlog.append memlogs.(r).(core) s;
-              Obs.note_wal_append obs ~bytes:(String.length s) ~synced:false
-            end
-        | Replica.Installed { epoch } ->
-            (* The merged epoch state supersedes the log: full per-core
-               snapshots cutting at the current log lengths, exactly
-               what the cluster backend writes at this hook. *)
-            let all_views = Replica.record_views rep in
-            let all_rows = Replica.store_snapshot rep in
-            Array.iteri
-              (fun core m ->
-                let views =
-                  List.filter_map
-                    (fun (c, v) -> if c = core then Some v else None)
-                    all_views
-                in
-                let rows =
-                  List.filter
-                    (fun (k, _, _, _) -> k mod cfg.threads = core)
-                    all_rows
-                in
-                let s =
-                  Walcodec.encode_snapshot
-                    {
-                      Walcodec.core;
-                      epoch;
-                      wal_cut = Memlog.log_length m;
-                      views;
-                      rows;
-                    }
-                in
-                Memlog.set_snapshot m s;
-                Obs.note_snapshot obs ~bytes:(String.length s))
-              memlogs.(r)))
-    (S.replicas sys);
+  install_memlog_hooks ~obs ~cores:cfg.threads ~replicas:(S.replicas sys)
+    ~memlogs;
   (* Nemesis: derived from the same seed, installed before anything
      runs so window bounds are absolute. *)
   let plan =
     Nemesis.plan ~seed:cfg.seed ~profile:cfg.profile ~horizon:cfg.horizon
       ~n_replicas:sys_cfg.S.n_replicas ~n_clients:cfg.n_clients
   in
-  (* Everything committed anywhere at the instant of a crash is a
-     durable obligation: finalization happens at (or after) the
-     coordinator's ack, so this under-approximates "acked-committed
-     before the crash", and each entry already fired the Finalized
-     hook — the union of end-of-run replays must still hold it. *)
-  let obligations = ref [] in
-  let ob_seen = Tid_table.create 64 in
-  let capture_obligations () =
-    Array.iter
-      (fun rep ->
-        if not (Replica.is_crashed rep) then
-          List.iter
-            (fun (_, (e : Mk_storage.Trecord.entry)) ->
-              if
-                e.status = Txn.Committed
-                && not (Tid_table.mem ob_seen e.txn.Txn.tid)
-              then begin
-                Tid_table.add ob_seen e.txn.Txn.tid ();
-                obligations := (e.txn.Txn.tid, e.ts) :: !obligations
-              end)
-            (Mk_storage.Trecord.entries (Replica.trecord rep)))
-      (S.replicas sys)
-  in
+  let obligations = obligations_create () in
   Nemesis.install ~engine ~net:(S.network sys) ~obs
     ~callbacks:
       {
         Nemesis.crash_replica =
           (fun ~victim ~down_for ->
-            capture_obligations ();
+            obligations_capture obligations (S.replicas sys);
             S.crash_replica ~down_for sys victim);
         crash_coordinator =
           (fun ~client ~down_for -> S.crash_coordinator sys ~client ~down_for);
@@ -454,7 +469,7 @@ let run_sim cfg =
              (fun m ->
                { Recover.snap = Memlog.snapshot m; log = Memlog.log_contents m })
              memlogs.(r)))
-      ~obligations:!obligations
+      ~obligations:(obligations_list obligations)
       ~note:(fun (p : Recover.parsed) ->
         Obs.note_wal_replayed obs ~snapshots:p.Recover.snapshots_used
           ~records:p.Recover.replayed ~errors:p.Recover.decode_errors)

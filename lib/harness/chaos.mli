@@ -113,3 +113,86 @@ val pp_report : Format.formatter -> report -> unit
 val report_json : report -> string
 (** One flat JSON object (no committed list) — one line of the CI
     chaos job's report artifact. *)
+
+(** {2 Backend plumbing}
+
+    The pieces a third deployment can assemble into the same six
+    verdicts. [Mk_systems.Shard_chaos] — the multi-shard sim chaos
+    runner, which cannot live here because [mk_systems] already
+    depends on this library — is the intended client; the sim and
+    live backends above are built from exactly these. *)
+
+type raw = {
+  raw_cfg : cfg;
+  raw_replicas : Mk_meerkat.Replica.t array;
+      (** Quiescent replicas; a sharded caller concatenates every
+          group's array (ids repeat per group — only crash state,
+          trecord entries and agreement reads are consulted). *)
+  raw_read_committed : replica:int -> key:int -> int option;
+      (** Committed value of [key] (global keyspace) at [replica]. *)
+  raw_submitted : int;
+  raw_acked : int;
+  raw_committed_acks : int;
+  raw_aborted_acks : int;
+  raw_epoch_changes : int;
+  raw_view_changes : int;
+  raw_duplicated : int;
+  raw_delayed : int;
+  raw_dropped : int;
+  raw_fault_events : int;
+  raw_durable : (unit, string) result;
+  raw_obs : Mk_obs.Obs.t;
+}
+(** Everything deployment-specific the evaluator consumes. *)
+
+val evaluate :
+  ?committed:(Mk_storage.Txn.t * Mk_clock.Timestamp.t) list -> raw -> report
+(** Compute the six verdicts. Without [?committed] the history is the
+    union of committed trecord entries across [raw_replicas]
+    (deduplicated by tid); a sharded caller must pass the pre-merged
+    global history ({!Mk_systems.Sharded_sim.trecord_history}) because
+    per-shard sub-transactions share their global tid — the naive
+    union would collapse a cross-shard transaction into one local
+    fragment. *)
+
+val check_durable :
+  cores:int ->
+  replicas:Mk_meerkat.Replica.t array ->
+  sources:(int -> Mk_durable.Recover.source list) ->
+  obligations:(Mk_clock.Timestamp.Tid.t * Mk_clock.Timestamp.t) list ->
+  note:(Mk_durable.Recover.parsed -> unit) ->
+  (unit, string) result
+(** The durable verdict for one replica group: replay every replica's
+    device images ([sources r], the exact {!Mk_durable.Recover} reboot
+    path) and require each committed trecord record to survive its own
+    replay and each obligation to survive the union of replays. *)
+
+val install_memlog_hooks :
+  obs:Mk_obs.Obs.t ->
+  cores:int ->
+  replicas:Mk_meerkat.Replica.t array ->
+  memlogs:Mk_durable.Memlog.t array array ->
+  unit
+(** Arm one group's durable hooks over per-(replica, core) in-memory
+    devices ([memlogs.(replica).(core)]): Finalized appends a WAL
+    record, Installed cuts a full snapshot — the same Walcodec bytes
+    the cluster backend puts on disk. The hooks touch no engine or RNG
+    state, so a Calm run stays bit-identical to one without them. *)
+
+type obligations
+(** Commits observed durable before a crash wiped a replica — the
+    union of end-of-run replays must still hold them. *)
+
+val obligations_create : unit -> obligations
+
+val obligations_capture : obligations -> Mk_meerkat.Replica.t array -> unit
+(** Record every committed trecord entry on the still-up replicas
+    (deduplicated across calls) — call at each crash instant. *)
+
+val obligations_list :
+  obligations -> (Mk_clock.Timestamp.Tid.t * Mk_clock.Timestamp.t) list
+
+val workload_rng : int -> Mk_util.Rng.t
+(** The clients' key-draw RNG for a seed — derived from it but
+    independent of the engine's, so nemesis and network fault draws
+    never shift which keys the clients touch. *)

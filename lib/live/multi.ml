@@ -1,0 +1,637 @@
+(* Multi-group live deployment (DESIGN.md §13): S independent Meerkat
+   groups on real OCaml 5 domains, with coordinator domains driving
+   the client-side cross-shard 2PC of {!Mk_shard} over bounded
+   mailboxes.
+
+   Topology: each shard is a full single-group topology of its own —
+   [server_domains] domains, where domain k hosts core k of every
+   replica of that shard — so the whole deployment runs
+   [shards x server_domains] server domains plus [coordinators]
+   coordinator domains. Nothing is shared between shards: distinct
+   replicas, distinct mailboxes, distinct trecord partitions. The only
+   cross-shard object is the coordinator, exactly as the paper's §5.2.4
+   prescribes: the client-chosen globally-unique timestamp lets the
+   coordinator run one OCC validation per involved shard and take the
+   conjunction, with no shard-to-shard coordination of any kind.
+
+   Per shard, the commit path is the single-group one: the coordinator
+   instantiates {!Mk_shard.Driver} over a GROUP whose [prepare_txn]
+   drives a fresh {!Mk_meerkat.Protocol} attempt over the shard's
+   mailboxes to a decision — withholding the write-back — and whose
+   [finalize_txn] broadcasts the write-phase outcome once the global
+   conjunction is known. Execute-phase reads go straight to one
+   replica's versioned store (the same sanctioned shared-memory get as
+   {!Runtime}).
+
+   Deadlock freedom inherits {!Runtime}'s argument, with the floor
+   scaled by the fan-out: a coordinator can now have one open attempt
+   per involved shard per client, so its inbox is sized to at least
+   4 x local clients x replicas x shards (auto-raised, power of two).
+
+   This runner is fault-free by design: chaos stays single-group
+   (DESIGN.md §10), and the cluster backend covers multi-shard fault
+   injection with real process kills. *)
+
+module Timestamp = Mk_clock.Timestamp
+module Tid = Timestamp.Tid
+module Txn = Mk_storage.Txn
+module Quorum = Mk_meerkat.Quorum
+module Protocol = Mk_meerkat.Protocol
+module Replica = Mk_meerkat.Replica
+module Workload = Mk_workload.Workload
+module Histogram = Mk_util.Histogram
+module Router = Mk_shard.Router
+module History = Mk_shard.History
+
+type config = {
+  shards : int;
+  policy : Router.policy;
+  server_domains : int;  (** Per shard; also cores per replica. *)
+  n_replicas : int;  (** Per shard. Odd, >= 3. *)
+  coordinators : int;
+  clients : int;
+  keys : int;  (** Global keyspace, spread over the shards. *)
+  theta : float;
+  workload : Runtime.workload_kind;
+  cross : float;  (** Probability a multi-key txn spans >1 shard. *)
+  txns_per_client : int;
+  duration : float option;
+  seed : int;
+  rto_us : float;
+  grace_us : float;
+  server_inbox : int;
+  coord_inbox : int;
+}
+
+let default_config =
+  {
+    shards = 2;
+    policy = Router.Mod;
+    server_domains = 2;
+    n_replicas = 3;
+    coordinators = 2;
+    clients = 8;
+    keys = 1024;
+    theta = 0.6;
+    workload = Runtime.Ycsb_t;
+    cross = 0.1;
+    txns_per_client = 50;
+    duration = None;
+    seed = 1;
+    rto_us = 200_000.0;
+    grace_us = 5_000.0;
+    server_inbox = 1024;
+    coord_inbox = 4096;
+  }
+
+type report = {
+  shards : int;
+  server_domains : int;
+  coordinators : int;
+  clients : int;
+  committed_count : int;
+  aborted : int;
+  cross_shard : int;  (** Decided transactions that involved >1 shard. *)
+  fast_path : int;  (** Per-shard sub-attempts, not global txns. *)
+  slow_path : int;
+  wall_seconds : float;
+  throughput : float;
+  abort_rate : float;
+  p50_us : float;
+  p99_us : float;
+  submitted : int;
+  acked : int;
+  history : (Txn.t * Timestamp.t) list;
+  sub_histories : (int * (Txn.t * Timestamp.t) list) list;
+  router : Router.t;
+  groups : Replica.t array array;  (** [.(shard).(replica)], quiescent. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Requests carry (coord, aid): [aid] is the coordinator-local attempt
+   id, unique across clients AND shards, so a late reply for a
+   finished attempt can never be taken for a live one. The shard needs
+   no field — each shard has its own server mailboxes. *)
+type server_msg =
+  | Validate of {
+      replica : int;
+      coord : int;
+      aid : int;
+      txn : Txn.t;
+      ts : Timestamp.t;
+    }
+  | Accept of {
+      replica : int;
+      coord : int;
+      aid : int;
+      txn : Txn.t;
+      ts : Timestamp.t;
+      decision : [ `Commit | `Abort ];
+      view : int;
+    }
+  | Write_back of { replica : int; txn : Txn.t; ts : Timestamp.t; commit : bool }
+  | Stop
+
+type coord_msg =
+  | Validated of { aid : int; replica : int; status : Txn.status }
+  | Accepted of { aid : int; replica : int; reply : Protocol.accept_reply }
+
+(* One shard's shared runtime: its replicas and per-core inboxes. *)
+type shard_rt = {
+  sr_replicas : Replica.t array;
+  sr_inboxes : server_msg Mailbox.t array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Server domains (fault-free single-group loop, per shard)            *)
+(* ------------------------------------------------------------------ *)
+
+let server_loop ~core ~replicas ~inbox ~coord_inboxes =
+  let rec loop () =
+    (* Z8: this parking pop IS the drain loop's idle wait, exactly as
+       in {!Runtime.server_loop}. *)
+    match (Mailbox.pop inbox [@mk_lint.allow "Z8"]) with
+    | Stop -> ()
+    | Validate { replica; coord; aid; txn; ts } ->
+        (match Replica.handle_validate replicas.(replica) ~core ~txn ~ts with
+        | None -> ()
+        | Some status ->
+            Mailbox.push coord_inboxes.(coord) (Validated { aid; replica; status }));
+        loop ()
+    | Accept { replica; coord; aid; txn; ts; decision; view } ->
+        (match
+           Replica.handle_accept replicas.(replica) ~core ~txn ~ts ~decision
+             ~view
+         with
+        | None -> ()
+        | Some reply ->
+            Mailbox.push coord_inboxes.(coord) (Accepted { aid; replica; reply }));
+        loop ()
+    | Write_back { replica; txn; ts; commit } ->
+        ignore
+          (Replica.handle_commit replicas.(replica) ~core ~txn ~ts ~commit
+            : unit option);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Coordinator domains                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One per-shard validation attempt: a {!Protocol} run to its decision
+   with the write-back withheld (the 2PC prepare). *)
+type att = {
+  a_aid : int;
+  a_shard : int;
+  a_txn : Txn.t;
+  a_ts : Timestamp.t;
+  a_core : int;
+  a_proto : Protocol.t;
+  mutable a_timers : (Protocol.timer * float) list;
+  a_on_prepared : bool -> unit;
+}
+
+type stamp = { mutable s_seq : int; mutable s_last : float }
+
+(* Coordinator-domain state shared by its per-shard GROUP handles. *)
+type coord_state = {
+  cs_id : int;
+  cs_cfg : config;
+  cs_wall : unit -> float;  (* wall µs since t0 *)
+  cs_params : Protocol.params;
+  cs_rto_cap : float;
+  cs_attempts : (int, att) Hashtbl.t;
+  mutable cs_next_aid : int;
+  cs_stamps : (int, stamp) Hashtbl.t;  (* client -> stamp state *)
+  cs_shards : shard_rt array;
+  mutable cs_fast : int;
+  mutable cs_slow : int;
+}
+
+type group_handle = { g_shard : int; g_cs : coord_state }
+
+let exec cs (a : att) (action : Protocol.action) =
+  let sr = cs.cs_shards.(a.a_shard) in
+  match action with
+  | Protocol.Send_validates { only_missing } ->
+      for r = 0 to cs.cs_cfg.n_replicas - 1 do
+        if (not only_missing) || Protocol.needs_validate a.a_proto r then
+          Mailbox.push sr.sr_inboxes.(a.a_core)
+            (Validate
+               { replica = r; coord = cs.cs_id; aid = a.a_aid; txn = a.a_txn; ts = a.a_ts })
+      done
+  | Protocol.Send_accepts { decision } ->
+      for r = 0 to cs.cs_cfg.n_replicas - 1 do
+        Mailbox.push sr.sr_inboxes.(a.a_core)
+          (Accept
+             {
+               replica = r;
+               coord = cs.cs_id;
+               aid = a.a_aid;
+               txn = a.a_txn;
+               ts = a.a_ts;
+               decision;
+               view = 0;
+             })
+      done
+  | Protocol.Arm_timer { timer; delay } ->
+      let timer, delay =
+        match timer with
+        | Protocol.Retransmit rto when rto > cs.cs_rto_cap ->
+            (Protocol.Retransmit cs.cs_rto_cap, Float.min delay cs.cs_rto_cap)
+        | _ -> (timer, delay)
+      in
+      a.a_timers <- (timer, cs.cs_wall () +. delay) :: a.a_timers
+  | Protocol.Note_validated -> ()
+  | Protocol.Note_decided { commit; fast } ->
+      if fast then cs.cs_fast <- cs.cs_fast + 1 else cs.cs_slow <- cs.cs_slow + 1;
+      (* NO write-back here — that is the whole point of the prepare:
+         the outcome broadcast waits for the global conjunction
+         ([finalize_txn]). *)
+      Hashtbl.remove cs.cs_attempts a.a_aid;
+      a.a_on_prepared commit
+
+let feed cs a event =
+  List.iter (exec cs a) (Protocol.handle a.a_proto ~now:(cs.cs_wall ()) event)
+
+(* The four GROUP operations of one shard, as seen from one
+   coordinator domain. *)
+module Live_group = struct
+  type t = group_handle
+
+  let execute_read g ~client ~key k =
+    let cs = g.g_cs in
+    let sr = cs.cs_shards.(g.g_shard) in
+    let n = Array.length sr.sr_replicas in
+    let rec attempt i =
+      if i >= n then (0, Timestamp.zero)
+      else
+        match
+          Replica.handle_get sr.sr_replicas.((cs.cs_id + client + i) mod n) ~key
+        with
+        | Some v -> v
+        | None -> attempt (i + 1)
+    in
+    k (attempt 0)
+
+  let fresh_txn_stamp g ~client =
+    let cs = g.g_cs in
+    let s =
+      match Hashtbl.find_opt cs.cs_stamps client with
+      | Some s -> s
+      | None ->
+          let s = { s_seq = 0; s_last = 0.0 } in
+          Hashtbl.add cs.cs_stamps client s;
+          s
+    in
+    s.s_seq <- s.s_seq + 1;
+    let now = cs.cs_wall () in
+    (* Strictly increasing per client even when the wall clock stalls
+       within one microsecond. *)
+    let time = if now <= s.s_last then s.s_last +. 1e-3 else now in
+    s.s_last <- time;
+    (Tid.make ~seq:s.s_seq ~client_id:client, Timestamp.make ~time ~client_id:client)
+
+  let prepare_txn g ~txn ~ts ~on_prepared =
+    let cs = g.g_cs in
+    let aid = cs.cs_next_aid in
+    cs.cs_next_aid <- aid + 1;
+    let now = cs.cs_wall () in
+    let proto, actions = Protocol.start cs.cs_params ~now in
+    let a =
+      {
+        a_aid = aid;
+        a_shard = g.g_shard;
+        a_txn = txn;
+        a_ts = ts;
+        a_core = Tid.hash txn.Txn.tid mod cs.cs_cfg.server_domains;
+        a_proto = proto;
+        a_timers = [];
+        a_on_prepared = on_prepared;
+      }
+    in
+    Hashtbl.replace cs.cs_attempts aid a;
+    List.iter (exec cs a) actions
+
+  let finalize_txn g ~txn ~ts ~commit =
+    let cs = g.g_cs in
+    let sr = cs.cs_shards.(g.g_shard) in
+    let core = Tid.hash txn.Txn.tid mod cs.cs_cfg.server_domains in
+    for r = 0 to cs.cs_cfg.n_replicas - 1 do
+      Mailbox.push sr.sr_inboxes.(core)
+        (Write_back { replica = r; txn; ts; commit })
+    done
+end
+
+module Driver = Mk_shard.Driver.Make (Live_group)
+
+type coord_result = {
+  mc_sub : (int * (Txn.t * Timestamp.t) list) list;
+  mc_committed : int;
+  mc_aborted : int;
+  mc_cross : int;
+  mc_fast : int;
+  mc_slow : int;
+  mc_submitted : int;
+  mc_acked : int;
+  mc_lat : Histogram.t;
+}
+
+type client = {
+  cid : int;
+  mutable active : bool;
+  mutable done_txns : int;
+}
+
+let coordinator (cfg : config) ~t0 ~router ~shard_rts ~coord_inboxes ~coord_id =
+  let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  let cs =
+    {
+      cs_id = coord_id;
+      cs_cfg = cfg;
+      cs_wall = wall_us;
+      cs_params =
+        {
+          Protocol.n_replicas = cfg.n_replicas;
+          quorum = Quorum.create ~n:cfg.n_replicas;
+          rto = cfg.rto_us;
+          grace = cfg.grace_us;
+        };
+      cs_rto_cap = 8.0 *. cfg.rto_us;
+      cs_attempts = Hashtbl.create 64;
+      cs_next_aid = 0;
+      cs_stamps = Hashtbl.create 16;
+      cs_shards = shard_rts;
+      cs_fast = 0;
+      cs_slow = 0;
+    }
+  in
+  let driver =
+    Driver.create ~router
+      ~groups:(Array.init cfg.shards (fun g_shard -> { g_shard; g_cs = cs }))
+  in
+  let inbox = coord_inboxes.(coord_id) in
+  let rng = Mk_util.Rng.create ~seed:(cfg.seed + (7919 * (coord_id + 1))) in
+  let wl =
+    match cfg.workload with
+    | Runtime.Ycsb_t -> Workload.ycsb_t ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Runtime.Rmw_pair -> Workload.rmw_pair ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Runtime.Retwis -> Workload.retwis ~rng ~keys:cfg.keys ~theta:cfg.theta
+  in
+  if cfg.shards > 1 && cfg.policy = Router.Mod then
+    Workload.set_locality wl
+      (Some { Workload.shards = cfg.shards; cross = cfg.cross });
+  let local =
+    List.init cfg.clients Fun.id
+    |> List.filter (fun cid -> cid mod cfg.coordinators = coord_id)
+    |> List.map (fun cid -> { cid; active = false; done_txns = 0 })
+    |> Array.of_list
+  in
+  let deadline_us =
+    match cfg.duration with Some d -> Some (d *. 1e6) | None -> None
+  in
+  let quota_done c =
+    match deadline_us with
+    | Some dl -> wall_us () >= dl
+    | None -> c.done_txns >= cfg.txns_per_client
+  in
+  let lat = Histogram.create () in
+  let cross = ref 0 in
+  let start_txn c =
+    let req = Workload.next wl in
+    let involved = Hashtbl.create 4 in
+    Array.iter
+      (fun k -> Hashtbl.replace involved (Router.shard_of_key router k) ())
+      req.Mk_model.System_intf.reads;
+    Array.iter
+      (fun (k, _) -> Hashtbl.replace involved (Router.shard_of_key router k) ())
+      req.Mk_model.System_intf.writes;
+    let is_cross = Hashtbl.length involved > 1 in
+    let started = wall_us () in
+    c.active <- true;
+    Driver.submit driver ~client:c.cid ~reads:req.Mk_model.System_intf.reads
+      ~writes:(fun _ -> req.Mk_model.System_intf.writes)
+      ~on_done:(fun ~committed:_ ->
+        Histogram.add lat (wall_us () -. started);
+        if is_cross then incr cross;
+        c.active <- false;
+        c.done_txns <- c.done_txns + 1)
+  in
+  let dispatch msg =
+    match msg with
+    | Validated { aid; replica; status } -> (
+        match Hashtbl.find_opt cs.cs_attempts aid with
+        | Some a -> feed cs a (Protocol.Validate_reply { replica; status })
+        | None -> ())
+    | Accepted { aid; replica; reply } -> (
+        match Hashtbl.find_opt cs.cs_attempts aid with
+        | Some a -> feed cs a (Protocol.Accept_reply { replica; reply })
+        | None -> ())
+  in
+  let fire_due_timers () =
+    let now = wall_us () in
+    (* Collect first: feeding can remove attempts from the table. *)
+    let due = ref [] in
+    Hashtbl.iter
+      (fun _ a ->
+        if List.exists (fun (_, dl) -> dl <= now) a.a_timers then
+          due := a :: !due)
+      cs.cs_attempts;
+    List.iter
+      (fun a ->
+        let fire, pending = List.partition (fun (_, dl) -> dl <= now) a.a_timers in
+        a.a_timers <- pending;
+        List.iter
+          (fun (timer, _) ->
+            if not (Protocol.decided a.a_proto) then
+              feed cs a (Protocol.Timer timer))
+          fire)
+      !due
+  in
+  let idle = ref 0 in
+  let rec loop () =
+    let progressed = ref false in
+    let budget = ref 256 in
+    let rec drain () =
+      if !budget > 0 then begin
+        match Mailbox.try_pop inbox with
+        | Some msg ->
+            decr budget;
+            progressed := true;
+            dispatch msg;
+            drain ()
+        | None -> ()
+      end
+    in
+    drain ();
+    fire_due_timers ();
+    let all_done = ref true in
+    Array.iter
+      (fun c ->
+        if (not c.active) && not (quota_done c) then begin
+          start_txn c;
+          progressed := true
+        end;
+        if c.active || not (quota_done c) then all_done := false)
+      local;
+    if not !all_done then begin
+      if !progressed then idle := 0
+      else begin
+        incr idle;
+        if !idle > 200 then Unix.sleepf 0.0001 else Spawn.relax ()
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  let submitted = Array.fold_left (fun acc c -> acc + c.done_txns) 0 local in
+  {
+    mc_sub = Driver.sub_histories driver;
+    mc_committed = Driver.committed driver;
+    mc_aborted = Driver.aborted driver;
+    mc_cross = !cross;
+    mc_fast = cs.cs_fast;
+    mc_slow = cs.cs_slow;
+    mc_submitted = submitted;
+    mc_acked = submitted;
+    mc_lat = lat;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-deployment run                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec pow2_ceil n acc = if acc >= n then acc else pow2_ceil n (acc * 2)
+
+let run (cfg : config) : report =
+  if cfg.shards < 1 then invalid_arg "Multi.run: shards must be >= 1";
+  if cfg.server_domains < 1 then
+    invalid_arg "Multi.run: server_domains must be >= 1";
+  if cfg.coordinators < 1 then invalid_arg "Multi.run: coordinators must be >= 1";
+  if cfg.clients < 1 then invalid_arg "Multi.run: clients must be >= 1";
+  if cfg.n_replicas < 3 || cfg.n_replicas mod 2 = 0 then
+    invalid_arg "Multi.run: n_replicas must be odd and >= 3";
+  if cfg.cross < 0.0 || cfg.cross > 1.0 then
+    invalid_arg "Multi.run: cross must be in [0, 1]";
+  let router = Router.create ~policy:cfg.policy ~shards:cfg.shards ~keys:cfg.keys () in
+  let quorum = Quorum.create ~n:cfg.n_replicas in
+  let shard_rts =
+    Array.init cfg.shards (fun shard ->
+        let sr_replicas =
+          Array.init cfg.n_replicas (fun id ->
+              Replica.create ~id ~quorum ~cores:cfg.server_domains)
+        in
+        let local_keys = max 1 (Router.local_keys router ~shard) in
+        Array.iter
+          (fun r ->
+            for key = 0 to local_keys - 1 do
+              Replica.load r ~key ~value:0
+            done)
+          sr_replicas;
+        {
+          sr_replicas;
+          sr_inboxes =
+            Array.init cfg.server_domains (fun _ ->
+                Mailbox.create ~capacity:cfg.server_inbox);
+        })
+  in
+  (* The deadlock-freedom floor, scaled by the cross-shard fan-out
+     (see the header comment); auto-raised to the next power of two. *)
+  let local_clients = (cfg.clients + cfg.coordinators - 1) / cfg.coordinators in
+  let floor = 4 * local_clients * cfg.n_replicas * cfg.shards in
+  let coord_capacity = pow2_ceil (max cfg.coord_inbox floor) 2 in
+  let coord_inboxes =
+    Array.init cfg.coordinators (fun _ -> Mailbox.create ~capacity:coord_capacity)
+  in
+  let t0 = Spawn.wall () in
+  let servers =
+    List.concat_map
+      (fun shard ->
+        let sr = shard_rts.(shard) in
+        List.init cfg.server_domains (fun core ->
+            Spawn.spawn (fun () ->
+                server_loop ~core ~replicas:sr.sr_replicas
+                  ~inbox:sr.sr_inboxes.(core) ~coord_inboxes)))
+      (List.init cfg.shards Fun.id)
+  in
+  let coords =
+    List.init cfg.coordinators (fun coord_id ->
+        Spawn.spawn (fun () ->
+            coordinator cfg ~t0 ~router ~shard_rts ~coord_inboxes ~coord_id))
+  in
+  let results = List.map Spawn.join coords in
+  (* All coordinators have pushed their last write-back before these
+     Stops are enqueued, so each server drains everything and exits:
+     the final replica state is quiescent. *)
+  Array.iter
+    (fun sr -> Array.iter (fun inbox -> Mailbox.push inbox Stop) sr.sr_inboxes)
+    shard_rts;
+  List.iter Spawn.join servers;
+  let wall_seconds = Spawn.wall () -. t0 in
+  let sub_histories =
+    List.init cfg.shards (fun shard ->
+        ( shard,
+          List.concat_map
+            (fun r -> List.assoc shard r.mc_sub)
+            results ))
+  in
+  let history = History.merge ~router sub_histories in
+  let committed_count =
+    List.fold_left (fun acc r -> acc + r.mc_committed) 0 results
+  in
+  let aborted = List.fold_left (fun acc r -> acc + r.mc_aborted) 0 results in
+  let decided = committed_count + aborted in
+  let lat =
+    List.fold_left
+      (fun acc r -> Histogram.merge acc r.mc_lat)
+      (Histogram.create ()) results
+  in
+  {
+    shards = cfg.shards;
+    server_domains = cfg.server_domains;
+    coordinators = cfg.coordinators;
+    clients = cfg.clients;
+    committed_count;
+    aborted;
+    cross_shard = List.fold_left (fun acc r -> acc + r.mc_cross) 0 results;
+    fast_path = List.fold_left (fun acc r -> acc + r.mc_fast) 0 results;
+    slow_path = List.fold_left (fun acc r -> acc + r.mc_slow) 0 results;
+    wall_seconds;
+    throughput = float_of_int committed_count /. wall_seconds;
+    abort_rate =
+      (if decided = 0 then 0.0
+       else float_of_int aborted /. float_of_int decided);
+    p50_us = Histogram.percentile lat 50.0;
+    p99_us = Histogram.percentile lat 99.0;
+    submitted = List.fold_left (fun acc r -> acc + r.mc_submitted) 0 results;
+    acked = List.fold_left (fun acc r -> acc + r.mc_acked) 0 results;
+    history;
+    sub_histories;
+    router;
+    groups = Array.map (fun sr -> sr.sr_replicas) shard_rts;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>shards=%d servers=%dx%d coordinators=%d clients=%d@,\
+     committed=%d aborted=%d (abort rate %.1f%%) cross-shard=%d@,\
+     fast=%d slow=%d (per-shard sub-attempts)@,\
+     %.2f s wall, %.0f committed txn/s, latency p50=%.0f us p99=%.0f us@]"
+    r.shards r.shards r.server_domains r.coordinators r.clients
+    r.committed_count r.aborted (100.0 *. r.abort_rate) r.cross_shard
+    r.fast_path r.slow_path r.wall_seconds r.throughput r.p50_us r.p99_us
+
+let report_json r =
+  Printf.sprintf
+    "{\"shards\": %d, \"server_domains\": %d, \"coordinators\": %d, \
+     \"clients\": %d, \"committed\": %d, \"aborted\": %d, \"cross_shard\": \
+     %d, \"abort_rate\": %.4f, \"fast_path\": %d, \"slow_path\": %d, \
+     \"wall_seconds\": %.4f, \"throughput\": %.1f, \"p50_us\": %.1f, \
+     \"p99_us\": %.1f, \"submitted\": %d, \"acked\": %d}"
+    r.shards r.server_domains r.coordinators r.clients r.committed_count
+    r.aborted r.cross_shard r.abort_rate r.fast_path r.slow_path
+    r.wall_seconds r.throughput r.p50_us r.p99_us r.submitted r.acked

@@ -77,7 +77,7 @@ module Walcodec = Mk_durable.Walcodec
 module Dsnapshot = Mk_durable.Snapshot
 module Recover = Mk_durable.Recover
 
-type workload_kind = Ycsb_t | Retwis
+type workload_kind = Ycsb_t | Rmw_pair | Retwis
 
 type durable = { dir : string; policy : Wal.policy }
 
@@ -908,6 +908,7 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
   let wl =
     match cfg.workload with
     | Ycsb_t -> Workload.ycsb_t ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Rmw_pair -> Workload.rmw_pair ~rng ~keys:cfg.keys ~theta:cfg.theta
     | Retwis -> Workload.retwis ~rng ~keys:cfg.keys ~theta:cfg.theta
   in
   let local =

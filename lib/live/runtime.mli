@@ -17,7 +17,7 @@
     changes and §5.3.1 epoch changes over the mailboxes (DESIGN.md
     §10). *)
 
-type workload_kind = Ycsb_t | Retwis
+type workload_kind = Ycsb_t | Rmw_pair | Retwis
 
 (** Durability wiring (DESIGN.md §12): one WAL per (replica, core)
     under [dir] — server domain [k] owns core [k] of every replica, so

@@ -69,7 +69,8 @@ val submit_interactive :
     A distributed transaction runs its validation phase in every
     involved partition (each partition being one replicated Meerkat
     group) in parallel and commits only if all of them validate; these
-    entry points let {!Sharded} drive that. *)
+    entry points let the multi-shard driver ([Mk_shard.Driver], as
+    instantiated by [Mk_systems.Sharded_sim]) drive that. *)
 
 val fresh_txn_stamp :
   t -> client:int -> Mk_clock.Timestamp.Tid.t * Mk_clock.Timestamp.t

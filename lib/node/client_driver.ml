@@ -36,13 +36,13 @@ module Obs = Mk_obs.Obs
 module Histogram = Mk_util.Histogram
 
 module Net = Shim.Make (struct
-  type msg = Codec.t
+  type msg = int * Codec.t
 
-  let encode = Codec.encode
-  let decode = Codec.decode
+  let encode (shard, m) = Codec.encode_shard ~shard m
+  let decode = Codec.decode_shard
 end)
 
-type workload_kind = Ycsb_t | Retwis
+type workload_kind = Ycsb_t | Rmw_pair | Retwis
 
 type config = {
   coordinators : int;
@@ -53,6 +53,7 @@ type config = {
   txns_per_client : int;
   duration : float option;
   seed : int;
+  shard : int;
   rto_us : float;
   grace_us : float;
   get_rto_us : float;
@@ -68,6 +69,7 @@ let default_config =
     txns_per_client = 50;
     duration = None;
     seed = 42;
+    shard = 0;
     (* Real datagrams do get lost (full mailboxes, full socket
        buffers), so unlike the live runtime's safety-net timer this
        one is load-bearing: it must fire well before a human notices,
@@ -171,6 +173,7 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
   let wl =
     match cfg.workload with
     | Ycsb_t -> Workload.ycsb_t ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Rmw_pair -> Workload.rmw_pair ~rng ~keys:cfg.keys ~theta:cfg.theta
     | Retwis -> Workload.retwis ~rng ~keys:cfg.keys ~theta:cfg.theta
   in
   let local =
@@ -193,7 +196,8 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
       (fun key ->
         if not (Hashtbl.mem ex.got key) then
           Net.send net ~dst:addrs.(ex.target)
-            (Codec.Get { coord = coord_id; slot = c.slot; seq = att.att_seq; key }))
+            ( cfg.shard,
+              Codec.Get { coord = coord_id; slot = c.slot; seq = att.att_seq; key } ))
       ex.want
   in
   (* Z7: the [addrs.(r)] reads below sit inside [0 .. n-1] loops with
@@ -204,28 +208,30 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
         for r = 0 to n - 1 do
           if (not only_missing) || Protocol.needs_validate cm.proto r then
             Net.send net ~dst:(addrs.(r) [@mk_lint.allow "Z7"])
-              (Codec.Validate
-                 {
-                   coord = coord_id;
-                   slot = c.slot;
-                   seq = att.att_seq;
-                   txn = cm.txn;
-                   ts = cm.ts;
-                 })
+              ( cfg.shard,
+                Codec.Validate
+                  {
+                    coord = coord_id;
+                    slot = c.slot;
+                    seq = att.att_seq;
+                    txn = cm.txn;
+                    ts = cm.ts;
+                  } )
         done
     | Protocol.Send_accepts { decision } ->
         for r = 0 to n - 1 do
           Net.send net ~dst:(addrs.(r) [@mk_lint.allow "Z7"])
-            (Codec.Accept
-               {
-                 coord = coord_id;
-                 slot = c.slot;
-                 seq = att.att_seq;
-                 txn = cm.txn;
-                 ts = cm.ts;
-                 decision;
-                 view = 0;
-               })
+            ( cfg.shard,
+              Codec.Accept
+                {
+                  coord = coord_id;
+                  slot = c.slot;
+                  seq = att.att_seq;
+                  txn = cm.txn;
+                  ts = cm.ts;
+                  decision;
+                  view = 0;
+                } )
         done
     | Protocol.Arm_timer { timer; delay } ->
         let timer, delay =
@@ -251,7 +257,7 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
         (* Asynchronous write phase (§5.2.3): fire and forget. *)
         for r = 0 to n - 1 do
           Net.send net ~dst:(addrs.(r) [@mk_lint.allow "Z7"])
-            (Codec.Write_back { txn = cm.txn; ts = cm.ts; commit })
+            (cfg.shard, Codec.Write_back { txn = cm.txn; ts = cm.ts; commit })
         done;
         if commit then committed := (cm.txn, cm.ts) :: !committed
   in
@@ -339,7 +345,9 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
   let slot_ok s = s >= 0 && s < Array.length local in
   let replica_ok r = r >= 0 && r < n in
   let drop_bad_ids () = Obs.note_wire_decode_error obs in
-  let deliver ~src:_ (msg : Codec.t) =
+  let deliver ~src:_ ((shard, msg) : int * Codec.t) =
+    if shard <> cfg.shard then Obs.note_wire_shard_drop obs
+    else
     match msg with
     | Codec.Get_reply { slot; seq; key; wts; _ } -> (
         if not (slot_ok slot) then drop_bad_ids ()
@@ -500,14 +508,14 @@ let run (cfg : config) ~cluster =
           wire_decode_errors = sum "wire.decode_errors";
         }
 
-let shutdown ~cluster =
+let shutdown ?(shard = 0) ~cluster () =
   match Cluster_config.sockaddrs cluster with
   | Error _ as e -> e
   | Ok addrs -> (
       match Net.bind () with
       | Error _ as e -> e
       | Ok net ->
-          Array.iter (fun dst -> Net.send net ~dst Codec.Shutdown) addrs;
+          Array.iter (fun dst -> Net.send net ~dst (shard, Codec.Shutdown)) addrs;
           (* stop flushes the queued frames before closing. *)
           Net.stop net;
           Ok ())

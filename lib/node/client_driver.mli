@@ -11,7 +11,7 @@
     becoming [Validate]/[Accept]/[Write_back] frames and its replies
     arriving as [Validated]/[Accepted] frames routed by (slot, seq). *)
 
-type workload_kind = Ycsb_t | Retwis
+type workload_kind = Ycsb_t | Rmw_pair | Retwis
 
 type config = {
   coordinators : int;  (** Driver domains. *)
@@ -22,6 +22,10 @@ type config = {
   txns_per_client : int;
   duration : float option;  (** Overrides [txns_per_client] (seconds). *)
   seed : int;
+  shard : int;
+      (** Shard group this driver belongs to: every frame is stamped
+          with it, replies stamped otherwise are counted drops. [0]
+          (the default) is a single-group deployment. *)
   rto_us : float;  (** Commit-phase retransmission base (doubles, capped). *)
   grace_us : float;  (** Fast-path grace (see {!Mk_meerkat.Protocol}). *)
   get_rto_us : float;  (** Execute-phase read timeout before rotating. *)
@@ -55,8 +59,9 @@ val run : config -> cluster:Cluster_config.t -> (result, string) Stdlib.result
     per-coordinator results. Errors if the endpoints do not
     resolve. *)
 
-val shutdown : cluster:Cluster_config.t -> (unit, string) Stdlib.result
-(** Broadcast the [Shutdown] frame to every node (from an ephemeral
-    socket). *)
+val shutdown :
+  ?shard:int -> cluster:Cluster_config.t -> unit -> (unit, string) Stdlib.result
+(** Broadcast the [Shutdown] frame (stamped [shard], default 0) to
+    every node (from an ephemeral socket). *)
 
 val result_json : result -> string

@@ -56,15 +56,20 @@ module Walcodec = Mk_durable.Walcodec
 module Snapshot = Mk_durable.Snapshot
 module Recover = Mk_durable.Recover
 
+(* Messages travel stamped with their shard group id (wire v2): one
+   socket fabric can carry several independent groups, and a node
+   refuses frames addressed to another group before acting on the
+   payload. *)
 module Net = Shim.Make (struct
-  type msg = Codec.t
+  type msg = int * Codec.t
 
-  let encode = Codec.encode
-  let decode = Codec.decode
+  let encode (shard, m) = Codec.encode_shard ~shard m
+  let decode = Codec.decode_shard
 end)
 
 type config = {
   me : int;
+  shard : int;
   cores : int;
   keys : int;
   core_inbox : int;
@@ -77,6 +82,7 @@ type config = {
 let default_config =
   {
     me = 0;
+    shard = 0;
     cores = 2;
     keys = 1024;
     core_inbox = 1024;
@@ -127,6 +133,7 @@ type stats = {
   wire_bytes_tx : int;
   wire_bytes_rx : int;
   wire_decode_errors : int;
+  wire_shard_drops : int;
   wal_appends : int;
   wal_bytes : int;
   wal_fsyncs : int;
@@ -232,6 +239,8 @@ let bound_port (b : bound) = Net.port b
 
 let create (net : bound) (cfg : config) ~n_replicas =
   if cfg.cores < 1 then invalid_arg "Node.create: cores must be >= 1";
+  if cfg.shard < 0 || cfg.shard > Mk_wire.Wire.max_shard then
+    invalid_arg "Node.create: shard out of range";
   if n_replicas < 3 || n_replicas mod 2 = 0 then
     invalid_arg "Node.create: n_replicas must be odd and >= 3";
   if cfg.me < 0 || cfg.me >= n_replicas then
@@ -346,7 +355,7 @@ let core_loop t ~core ~snap_every_us =
   let me = t.cfg.me in
   let replica = t.replica in
   let inbox = t.core_inboxes.(core) in
-  let reply src msg = Net.send t.net ~dst:src msg in
+  let reply src msg = Net.send t.net ~dst:src (t.cfg.shard, msg) in
   let handle src (msg : Codec.t) =
     match msg with
     | Codec.Validate { slot; seq; txn; ts; _ } -> (
@@ -530,7 +539,7 @@ let launch t ~cluster =
       let n = Array.length cluster in
       if n <= me then invalid_arg "Node.launch: cluster smaller than me";
       let quorum = Replica.quorum t.replica in
-      let send ~dst msg = Net.send t.net ~dst msg in
+      let send ~dst msg = Net.send t.net ~dst (cfg.shard, msg) in
       let broadcast msg =
         Array.iter (fun addr -> send ~dst:addr msg) addrs
       in
@@ -1020,8 +1029,14 @@ let launch t ~cluster =
         | Codec.Epoch_installed { replica; _ } -> replica_ok replica
         | _ -> true
       in
-      let deliver ~src (msg : Codec.t) =
-        if not (wire_ids_ok msg) then Obs.note_wire_decode_error t.obs
+      let deliver ~src ((shard, msg) : int * Codec.t) =
+        (* A frame stamped for another shard group is a counted drop
+           before the payload is acted on: the groups are independent
+           deployments that merely share a socket fabric, and a
+           crossed port must never inject traffic (or a phantom
+           quorum vote) into the wrong group. *)
+        if shard <> cfg.shard then Obs.note_wire_shard_drop t.obs
+        else if not (wire_ids_ok msg) then Obs.note_wire_decode_error t.obs
         else
         match msg with
         | Codec.Get { slot; seq; key; _ } -> (
@@ -1249,7 +1264,7 @@ let shutdown t =
   | [] -> ignore (Mailbox.try_push t.done_box () : bool)
   | _ :: _ ->
       let self = Unix.ADDR_INET (Unix.inet_addr_loopback, Net.port t.net) in
-      Net.send t.net ~dst:self Codec.Shutdown
+      Net.send t.net ~dst:self (t.cfg.shard, Codec.Shutdown)
 
 let wait t =
   Mailbox.pop t.done_box;
@@ -1285,6 +1300,7 @@ let wait t =
     wire_bytes_tx = c "wire.bytes_tx";
     wire_bytes_rx = c "wire.bytes_rx";
     wire_decode_errors = c "wire.decode_errors";
+    wire_shard_drops = c "wire.shard_drops";
     wal_appends = c "wal.appends";
     wal_bytes = c "wal.bytes";
     wal_fsyncs = c "wal.fsyncs";
@@ -1302,6 +1318,7 @@ let stats_json (s : stats) =
      \"validations_abort\": %d, \"view_changes\": %d, \"epoch_changes\": %d, \
      \"suspected\": [%s], \"wire_msgs_tx\": %d, \"wire_msgs_rx\": %d, \
      \"wire_bytes_tx\": %d, \"wire_bytes_rx\": %d, \"wire_decode_errors\": %d, \
+     \"wire_shard_drops\": %d, \
      \"wal_appends\": %d, \"wal_bytes\": %d, \"wal_fsyncs\": %d, \
      \"wal_replayed\": %d, \"wal_snapshots_used\": %d, \
      \"wal_decode_errors\": %d, \"snapshots\": %d}"
@@ -1309,5 +1326,6 @@ let stats_json (s : stats) =
     s.view_changes s.epoch_changes
     (String.concat ", " (List.map string_of_int s.suspected))
     s.wire_msgs_tx s.wire_msgs_rx s.wire_bytes_tx s.wire_bytes_rx
-    s.wire_decode_errors s.wal_appends s.wal_bytes s.wal_fsyncs s.wal_replayed
-    s.wal_snapshots_used s.wal_decode_errors s.snapshots
+    s.wire_decode_errors s.wire_shard_drops s.wal_appends s.wal_bytes
+    s.wal_fsyncs s.wal_replayed s.wal_snapshots_used s.wal_decode_errors
+    s.snapshots

@@ -30,6 +30,12 @@
 
 type config = {
   me : int;  (** This node's replica id (its line in the config). *)
+  shard : int;
+      (** This node's shard group (DESIGN.md §13). Every frame it
+          sends is stamped with it; a well-formed frame stamped for
+          another group is counted ([wire.shard_drops]) and dropped
+          before the payload is acted on. [0] (the default) is a
+          single-group deployment. *)
   cores : int;  (** Server domains (trecord cores). *)
   keys : int;  (** Pre-loaded key space, values 0. *)
   core_inbox : int;  (** Per-core mailbox capacity (power of two). *)
@@ -69,6 +75,8 @@ type stats = {
   wire_bytes_tx : int;
   wire_bytes_rx : int;
   wire_decode_errors : int;
+  wire_shard_drops : int;
+      (** Well-formed frames stamped for another shard group. *)
   wal_appends : int;
   wal_bytes : int;
   wal_fsyncs : int;
@@ -98,7 +106,7 @@ val create : bound -> config -> n_replicas:int -> t
     previous incarnation's files, replay them (snapshot + log suffix),
     compact, and mark the replica paused-for-recovery. Raises
     [Invalid_argument] on a nonsensical config ([cores] < 1,
-    [n_replicas] not odd >= 3, [me] out of range). *)
+    [n_replicas] not odd >= 3, [me] or [shard] out of range). *)
 
 val port : t -> int
 

@@ -1,0 +1,587 @@
+(* Cross-shard closed-loop clients driving S independent node fleets
+   over UDP — the cluster backend's port of the live runtime's
+   {!Mk_live.Multi} coordinators (DESIGN.md §13).
+
+   Each coordinator domain owns ONE poll-mode shim socket for every
+   shard group: wire v2 frames carry the shard-group stamp, requests
+   are stamped with the destination group and replies come back
+   stamped by the answering node, so one socket can multiplex S
+   groups without ambiguity. Routing inside the coordinator is by
+   coordinator-local ids — a monotone read id for execute-phase
+   [Get]s and a monotone attempt id (carried in the frames' [slot]
+   field) for per-shard validation attempts — both unique across
+   clients AND shards, so a stale reply for a finished attempt can
+   never be taken for a live one, and a reply whose shard stamp
+   disagrees with the attempt it names is a counted drop.
+
+   The cross-shard commit is the paper's §5.2.4 client-side 2PC,
+   shared with the other two backends through {!Mk_shard.Driver}: one
+   {!Mk_meerkat.Protocol} attempt per involved shard run to its
+   decision with the write-back withheld ([prepare_txn]), the global
+   outcome the conjunction of the per-shard decisions, and the
+   write-phase broadcast only then ([finalize_txn]). Timers — the
+   per-read replica-rotation timeout and each attempt's protocol
+   timers — ride the poll loop exactly as in {!Client_driver}. *)
+
+module Timestamp = Mk_clock.Timestamp
+module Tid = Timestamp.Tid
+module Txn = Mk_storage.Txn
+module Intf = Mk_model.System_intf
+module Quorum = Mk_meerkat.Quorum
+module Protocol = Mk_meerkat.Protocol
+module Codec = Mk_wire.Codec
+module Spawn = Mk_live.Spawn
+module Workload = Mk_workload.Workload
+module Obs = Mk_obs.Obs
+module Histogram = Mk_util.Histogram
+module Router = Mk_shard.Router
+module History = Mk_shard.History
+
+module Net = Shim.Make (struct
+  type msg = int * Codec.t
+
+  let encode (shard, m) = Codec.encode_shard ~shard m
+  let decode = Codec.decode_shard
+end)
+
+type config = {
+  shards : int;
+  coordinators : int;
+  clients : int;
+  keys : int;  (** Global keyspace, spread over the shards. *)
+  theta : float;
+  workload : Client_driver.workload_kind;
+  cross : float;  (** Probability a multi-key txn spans >1 shard. *)
+  txns_per_client : int;
+  duration : float option;
+  seed : int;
+  rto_us : float;
+  grace_us : float;
+  get_rto_us : float;
+}
+
+let default_config =
+  {
+    shards = 2;
+    coordinators = 2;
+    clients = 8;
+    keys = 1024;
+    theta = 0.6;
+    workload = Client_driver.Ycsb_t;
+    cross = 0.1;
+    txns_per_client = 50;
+    duration = None;
+    seed = 42;
+    rto_us = 100_000.0;
+    grace_us = 5_000.0;
+    get_rto_us = 50_000.0;
+  }
+
+type result = {
+  committed : (Txn.t * Timestamp.t) list;
+      (** The merged global history over global keys. *)
+  sub_histories : (int * (Txn.t * Timestamp.t) list) list;
+  committed_count : int;
+  aborted : int;
+  cross_shard : int;
+  fast_path : int;  (** Per-shard sub-attempts, not global txns. *)
+  slow_path : int;
+  retransmits : int;
+  submitted : int;
+  acked : int;
+  wall_seconds : float;
+  throughput : float;
+  abort_rate : float;
+  p50_us : float;
+  p99_us : float;
+  wire_msgs_tx : int;
+  wire_msgs_rx : int;
+  wire_decode_errors : int;
+  wire_shard_drops : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* One coordinator domain                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* One outstanding execute-phase read against one shard, rotating
+   replicas on timeout (loss, a busy node and a dead one all look
+   like silence). *)
+type read_state = {
+  r_shard : int;
+  r_key : int;  (** Local key inside [r_shard]. *)
+  mutable r_target : int;
+  mutable r_rto : float;
+  mutable r_retry_at : float;
+  r_cb : int * Timestamp.t -> unit;
+}
+
+(* One per-shard validation attempt: a {!Protocol} run to its
+   decision with the write-back withheld (the 2PC prepare). *)
+type att = {
+  a_aid : int;
+  a_shard : int;
+  a_txn : Txn.t;
+  a_ts : Timestamp.t;
+  a_proto : Protocol.t;
+  mutable a_timers : (Protocol.timer * float) list;  (* absolute µs *)
+  a_on_prepared : bool -> unit;
+}
+
+type stamp = { mutable s_seq : int; mutable s_last : float }
+
+type coord_state = {
+  cs_id : int;
+  cs_net : Net.t;
+  cs_addrs : Unix.sockaddr array array;  (** [.(shard).(replica)]. *)
+  cs_n : int;  (** Replicas per shard (same for every shard). *)
+  cs_wall : unit -> float;
+  cs_params : Protocol.params;
+  cs_rto_cap : float;
+  cs_get_rto : float;
+  cs_reads : (int, read_state) Hashtbl.t;
+  mutable cs_next_rid : int;
+  cs_atts : (int, att) Hashtbl.t;
+  mutable cs_next_aid : int;
+  cs_stamps : (int, stamp) Hashtbl.t;  (* client -> stamp state *)
+  mutable cs_fast : int;
+  mutable cs_slow : int;
+}
+
+(* Z7: [a_shard]/[r_shard] index [cs_addrs] and are coordinator-made
+   (from the router, in [0, shards)), never off the wire; the replica
+   loops run over [0, cs_n). *)
+let[@mk_lint.allow "Z7"] send_get cs (r : read_state) ~rid =
+  Net.send cs.cs_net ~dst:cs.cs_addrs.(r.r_shard).(r.r_target)
+    ( r.r_shard,
+      Codec.Get { coord = cs.cs_id; slot = 0; seq = rid; key = r.r_key } )
+
+let[@mk_lint.allow "Z7"] exec cs (a : att) (action : Protocol.action) =
+  let addrs = cs.cs_addrs.(a.a_shard) in
+  match action with
+  | Protocol.Send_validates { only_missing } ->
+      for r = 0 to cs.cs_n - 1 do
+        if (not only_missing) || Protocol.needs_validate a.a_proto r then
+          Net.send cs.cs_net ~dst:addrs.(r)
+            ( a.a_shard,
+              Codec.Validate
+                {
+                  coord = cs.cs_id;
+                  slot = a.a_aid;
+                  seq = 0;
+                  txn = a.a_txn;
+                  ts = a.a_ts;
+                } )
+      done
+  | Protocol.Send_accepts { decision } ->
+      for r = 0 to cs.cs_n - 1 do
+        Net.send cs.cs_net ~dst:addrs.(r)
+          ( a.a_shard,
+            Codec.Accept
+              {
+                coord = cs.cs_id;
+                slot = a.a_aid;
+                seq = 0;
+                txn = a.a_txn;
+                ts = a.a_ts;
+                decision;
+                view = 0;
+              } )
+      done
+  | Protocol.Arm_timer { timer; delay } ->
+      let timer, delay =
+        match timer with
+        | Protocol.Retransmit rto when rto > cs.cs_rto_cap ->
+            (Protocol.Retransmit cs.cs_rto_cap, Float.min delay cs.cs_rto_cap)
+        | _ -> (timer, delay)
+      in
+      a.a_timers <- (timer, cs.cs_wall () +. delay) :: a.a_timers
+  | Protocol.Note_validated -> ()
+  | Protocol.Note_decided { commit; fast } ->
+      if fast then cs.cs_fast <- cs.cs_fast + 1 else cs.cs_slow <- cs.cs_slow + 1;
+      (* NO write-back here: the outcome broadcast waits for the
+         global conjunction ([finalize_txn]). *)
+      Hashtbl.remove cs.cs_atts a.a_aid;
+      a.a_on_prepared commit
+
+let feed cs a event =
+  List.iter (exec cs a) (Protocol.handle a.a_proto ~now:(cs.cs_wall ()) event)
+
+(* The four GROUP operations of one shard, as seen from one
+   coordinator's socket. *)
+module Sock_group = struct
+  type t = { sg_shard : int; sg_cs : coord_state }
+
+  let execute_read g ~client ~key k =
+    let cs = g.sg_cs in
+    let rid = cs.cs_next_rid in
+    cs.cs_next_rid <- rid + 1;
+    let r =
+      {
+        r_shard = g.sg_shard;
+        r_key = key;
+        r_target = (client + cs.cs_id) mod cs.cs_n;
+        r_rto = cs.cs_get_rto;
+        r_retry_at = cs.cs_wall () +. cs.cs_get_rto;
+        r_cb = k;
+      }
+    in
+    Hashtbl.replace cs.cs_reads rid r;
+    send_get cs r ~rid
+
+  let fresh_txn_stamp g ~client =
+    let cs = g.sg_cs in
+    let s =
+      match Hashtbl.find_opt cs.cs_stamps client with
+      | Some s -> s
+      | None ->
+          let s = { s_seq = 0; s_last = 0.0 } in
+          Hashtbl.add cs.cs_stamps client s;
+          s
+    in
+    s.s_seq <- s.s_seq + 1;
+    let now = cs.cs_wall () in
+    (* Strictly increasing per client even when the wall clock stalls
+       within one microsecond. *)
+    let time = if now <= s.s_last then s.s_last +. 1e-3 else now in
+    s.s_last <- time;
+    ( Tid.make ~seq:s.s_seq ~client_id:client,
+      Timestamp.make ~time ~client_id:client )
+
+  let prepare_txn g ~txn ~ts ~on_prepared =
+    let cs = g.sg_cs in
+    let aid = cs.cs_next_aid in
+    cs.cs_next_aid <- aid + 1;
+    let now = cs.cs_wall () in
+    let proto, actions = Protocol.start cs.cs_params ~now in
+    let a =
+      {
+        a_aid = aid;
+        a_shard = g.sg_shard;
+        a_txn = txn;
+        a_ts = ts;
+        a_proto = proto;
+        a_timers = [];
+        a_on_prepared = on_prepared;
+      }
+    in
+    Hashtbl.replace cs.cs_atts aid a;
+    List.iter (exec cs a) actions
+
+  (* Z7: [sg_shard] is a router shard id, in [0, shards) by
+     construction. *)
+  let[@mk_lint.allow "Z7"] finalize_txn g ~txn ~ts ~commit =
+    let cs = g.sg_cs in
+    let addrs = cs.cs_addrs.(g.sg_shard) in
+    for r = 0 to cs.cs_n - 1 do
+      Net.send cs.cs_net ~dst:addrs.(r)
+        (g.sg_shard, Codec.Write_back { txn; ts; commit })
+    done
+end
+
+module Driver2pc = Mk_shard.Driver.Make (Sock_group)
+
+type client = { cid : int; mutable active : bool; mutable done_txns : int }
+
+type coord_result = {
+  c_sub : (int * (Txn.t * Timestamp.t) list) list;
+  c_committed : int;
+  c_aborted : int;
+  c_cross : int;
+  c_fast : int;
+  c_slow : int;
+  c_submitted : int;
+  c_lat : Histogram.t;
+  c_obs : Obs.t;
+}
+
+let coordinator (cfg : config) ~router ~addrs ~t0 ~coord_id =
+  let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
+  let obs = Obs.create ~clock:wall_us () in
+  let net =
+    match Net.bind () with
+    | Ok net -> net
+    | Error msg -> failwith ("client socket: " ^ msg)
+  in
+  Net.set_obs net obs;
+  let n = Array.length addrs.(0) in
+  let cs =
+    {
+      cs_id = coord_id;
+      cs_net = net;
+      cs_addrs = addrs;
+      cs_n = n;
+      cs_wall = wall_us;
+      cs_params =
+        {
+          Protocol.n_replicas = n;
+          quorum = Quorum.create ~n;
+          rto = cfg.rto_us;
+          grace = cfg.grace_us;
+        };
+      cs_rto_cap = 8.0 *. cfg.rto_us;
+      cs_get_rto = cfg.get_rto_us;
+      cs_reads = Hashtbl.create 64;
+      cs_next_rid = 0;
+      cs_atts = Hashtbl.create 64;
+      cs_next_aid = 0;
+      cs_stamps = Hashtbl.create 16;
+      cs_fast = 0;
+      cs_slow = 0;
+    }
+  in
+  let driver =
+    Driver2pc.create ~router
+      ~groups:
+        (Array.init cfg.shards (fun sg_shard ->
+             { Sock_group.sg_shard; sg_cs = cs }))
+  in
+  let rng = Mk_util.Rng.create ~seed:(cfg.seed + (7919 * (coord_id + 1))) in
+  let wl =
+    match cfg.workload with
+    | Client_driver.Ycsb_t -> Workload.ycsb_t ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Client_driver.Rmw_pair ->
+        Workload.rmw_pair ~rng ~keys:cfg.keys ~theta:cfg.theta
+    | Client_driver.Retwis -> Workload.retwis ~rng ~keys:cfg.keys ~theta:cfg.theta
+  in
+  (* The router places by key mod shards ({!Router.Mod}), which is the
+     placement the locality knob assumes. *)
+  if cfg.shards > 1 then
+    Workload.set_locality wl
+      (Some { Workload.shards = cfg.shards; cross = cfg.cross });
+  let local =
+    List.init cfg.clients Fun.id
+    |> List.filter (fun cid -> cid mod cfg.coordinators = coord_id)
+    |> List.map (fun cid -> { cid; active = false; done_txns = 0 })
+    |> Array.of_list
+  in
+  let deadline_us =
+    match cfg.duration with Some d -> Some (d *. 1e6) | None -> None
+  in
+  let quota_done c =
+    match deadline_us with
+    | Some dl -> wall_us () >= dl
+    | None -> c.done_txns >= cfg.txns_per_client
+  in
+  let lat = Histogram.create () in
+  let cross = ref 0 in
+  let start_txn c =
+    let req = Workload.next wl in
+    let is_cross = Workload.spans ~shards:cfg.shards req in
+    let started = wall_us () in
+    c.active <- true;
+    Driver2pc.submit driver ~client:c.cid ~reads:req.Intf.reads
+      ~writes:(fun _ -> req.Intf.writes)
+      ~on_done:(fun ~committed:_ ->
+        Histogram.add lat (wall_us () -. started);
+        if is_cross then incr cross;
+        c.active <- false;
+        c.done_txns <- c.done_txns + 1)
+  in
+  let replica_ok r = r >= 0 && r < n in
+  let drop_bad_ids () = Obs.note_wire_decode_error obs in
+  let deliver ~src:_ ((shard, msg) : int * Codec.t) =
+    match msg with
+    | Codec.Get_reply { seq = rid; key; wts; value; _ } -> (
+        match Hashtbl.find_opt cs.cs_reads rid with
+        | Some r ->
+            if shard <> r.r_shard then Obs.note_wire_shard_drop obs
+            else if key <> r.r_key then drop_bad_ids ()
+            else begin
+              Hashtbl.remove cs.cs_reads rid;
+              r.r_cb (value, wts)
+            end
+        | None -> ())
+    | Codec.Validated { slot = aid; seq = _; replica; status } -> (
+        if not (replica_ok replica) then drop_bad_ids ()
+        else
+          match Hashtbl.find_opt cs.cs_atts aid with
+          | Some a ->
+              if shard <> a.a_shard then Obs.note_wire_shard_drop obs
+              else feed cs a (Protocol.Validate_reply { replica; status })
+          | None -> ())
+    | Codec.Accepted { slot = aid; seq = _; replica; reply } -> (
+        if not (replica_ok replica) then drop_bad_ids ()
+        else
+          match Hashtbl.find_opt cs.cs_atts aid with
+          | Some a ->
+              if shard <> a.a_shard then Obs.note_wire_shard_drop obs
+              else feed cs a (Protocol.Accept_reply { replica; reply })
+          | None -> ())
+    | _ ->
+        (* Server-side or control traffic; not for a client socket. *)
+        ()
+  in
+  let fire_read_retries () =
+    let now = wall_us () in
+    let due = ref [] in
+    Hashtbl.iter
+      (fun rid r -> if now >= r.r_retry_at then due := (rid, r) :: !due)
+      cs.cs_reads;
+    List.iter
+      (fun (rid, r) ->
+        r.r_target <- (r.r_target + 1) mod n;
+        r.r_rto <- Float.min (r.r_rto *. 2.0) cs.cs_rto_cap;
+        r.r_retry_at <- now +. r.r_rto;
+        Obs.note_retransmit obs;
+        send_get cs r ~rid)
+      !due
+  in
+  let fire_att_timers () =
+    let now = wall_us () in
+    (* Collect first: feeding can remove attempts from the table. *)
+    let due = ref [] in
+    Hashtbl.iter
+      (fun _ a ->
+        if List.exists (fun (_, dl) -> dl <= now) a.a_timers then
+          due := a :: !due)
+      cs.cs_atts;
+    List.iter
+      (fun a ->
+        let fire, pending =
+          List.partition (fun (_, dl) -> dl <= now) a.a_timers
+        in
+        a.a_timers <- pending;
+        List.iter
+          (fun (timer, _) ->
+            if not (Protocol.decided a.a_proto) then begin
+              (match timer with
+              | Protocol.Retransmit _ -> Obs.note_retransmit obs
+              | Protocol.Fast_grace -> ());
+              feed cs a (Protocol.Timer timer)
+            end)
+          fire)
+      !due
+  in
+  let idle = ref 0 in
+  let rec loop () =
+    let delivered = Net.poll net ~deliver in
+    fire_read_retries ();
+    fire_att_timers ();
+    let all_done = ref true in
+    Array.iter
+      (fun c ->
+        if (not c.active) && not (quota_done c) then start_txn c;
+        if c.active || not (quota_done c) then all_done := false)
+      local;
+    if not !all_done then begin
+      if delivered > 0 then idle := 0
+      else begin
+        incr idle;
+        if !idle > 200 then Unix.sleepf 0.0001 else Spawn.relax ()
+      end;
+      loop ()
+    end
+  in
+  loop ();
+  Net.stop net;
+  {
+    c_sub = Driver2pc.sub_histories driver;
+    c_committed = Driver2pc.committed driver;
+    c_aborted = Driver2pc.aborted driver;
+    c_cross = !cross;
+    c_fast = cs.cs_fast;
+    c_slow = cs.cs_slow;
+    c_submitted = Array.fold_left (fun acc c -> acc + c.done_txns) 0 local;
+    c_lat = lat;
+    c_obs = obs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Whole-driver run                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let run (cfg : config) ~clusters =
+  if cfg.shards < 1 then invalid_arg "Shard_driver.run: shards must be >= 1";
+  if Array.length clusters <> cfg.shards then
+    invalid_arg "Shard_driver.run: one cluster config per shard";
+  if cfg.coordinators < 1 then
+    invalid_arg "Shard_driver.run: coordinators must be >= 1";
+  if cfg.clients < cfg.coordinators then
+    invalid_arg "Shard_driver.run: clients must be >= coordinators";
+  if cfg.cross < 0.0 || cfg.cross > 1.0 then
+    invalid_arg "Shard_driver.run: cross must be in [0, 1]";
+  let resolved =
+    Array.map (fun cluster -> Cluster_config.sockaddrs cluster) clusters
+  in
+  match
+    Array.fold_left
+      (fun acc r ->
+        match (acc, r) with
+        | Error _, _ -> acc
+        | Ok _, Error e -> Error e
+        | Ok xs, Ok a -> Ok (a :: xs))
+      (Ok []) resolved
+  with
+  | Error _ as e -> e
+  | Ok rev ->
+      let addrs = Array.of_list (List.rev rev) in
+      let n = Array.length addrs.(0) in
+      if
+        not (Array.for_all (fun a -> Array.length a = n) addrs)
+      then invalid_arg "Shard_driver.run: every shard needs the same fleet size";
+      let router = Router.create ~shards:cfg.shards ~keys:cfg.keys () in
+      let t0 = Spawn.wall () in
+      let results =
+        Spawn.parallel ~domains:cfg.coordinators (fun coord_id ->
+            coordinator cfg ~router ~addrs ~t0 ~coord_id)
+      in
+      let wall_seconds = Spawn.wall () -. t0 in
+      let sub_histories =
+        List.init cfg.shards (fun shard ->
+            (shard, List.concat_map (fun r -> List.assoc shard r.c_sub) results))
+      in
+      let committed = History.merge ~router sub_histories in
+      let committed_count =
+        List.fold_left (fun acc r -> acc + r.c_committed) 0 results
+      in
+      let aborted = List.fold_left (fun acc r -> acc + r.c_aborted) 0 results in
+      let decided = committed_count + aborted in
+      let sum name =
+        List.fold_left
+          (fun acc r -> acc + Obs.counter_value r.c_obs name)
+          0 results
+      in
+      let lat =
+        List.fold_left
+          (fun acc r -> Histogram.merge acc r.c_lat)
+          (Histogram.create ()) results
+      in
+      Ok
+        {
+          committed;
+          sub_histories;
+          committed_count;
+          aborted;
+          cross_shard = List.fold_left (fun acc r -> acc + r.c_cross) 0 results;
+          fast_path = List.fold_left (fun acc r -> acc + r.c_fast) 0 results;
+          slow_path = List.fold_left (fun acc r -> acc + r.c_slow) 0 results;
+          retransmits = sum "net.retransmits";
+          submitted =
+            List.fold_left (fun acc r -> acc + r.c_submitted) 0 results;
+          acked = List.fold_left (fun acc r -> acc + r.c_submitted) 0 results;
+          wall_seconds;
+          throughput = float_of_int committed_count /. wall_seconds;
+          abort_rate =
+            (if decided = 0 then 0.0
+             else float_of_int aborted /. float_of_int decided);
+          p50_us = Histogram.percentile lat 50.0;
+          p99_us = Histogram.percentile lat 99.0;
+          wire_msgs_tx = sum "wire.msgs_tx";
+          wire_msgs_rx = sum "wire.msgs_rx";
+          wire_decode_errors = sum "wire.decode_errors";
+          wire_shard_drops = sum "wire.shard_drops";
+        }
+
+let result_json (r : result) =
+  Printf.sprintf
+    "{\"committed\": %d, \"aborted\": %d, \"cross_shard\": %d, \"fast_path\": \
+     %d, \"slow_path\": %d, \"retransmits\": %d, \"submitted\": %d, \
+     \"acked\": %d, \"wall_seconds\": %.6f, \"throughput\": %.1f, \
+     \"abort_rate\": %.4f, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+     \"wire_msgs_tx\": %d, \"wire_msgs_rx\": %d, \"wire_decode_errors\": %d, \
+     \"wire_shard_drops\": %d}"
+    r.committed_count r.aborted r.cross_shard r.fast_path r.slow_path
+    r.retransmits r.submitted r.acked r.wall_seconds r.throughput r.abort_rate
+    r.p50_us r.p99_us r.wire_msgs_tx r.wire_msgs_rx r.wire_decode_errors
+    r.wire_shard_drops

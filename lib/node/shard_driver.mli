@@ -1,0 +1,73 @@
+(** Cross-shard closed-loop clients driving S independent {!Node}
+    fleets over UDP — the cluster backend's multi-group coordinator
+    (DESIGN.md §13), the cross-process mirror of [Mk_live.Multi].
+
+    Each coordinator domain owns one poll-mode shim socket serving
+    every shard group: wire v2 frames carry the shard-group stamp, so
+    requests are stamped with the destination group and replies verify
+    against the attempt they name (a reply stamped with the wrong
+    group is a counted [wire.shard_drops] drop). The cross-shard
+    commit itself is the shared client-side 2PC of
+    {!Mk_shard.Driver} — per-shard {!Mk_meerkat.Protocol} attempts
+    run to their decision with the write-back withheld, the global
+    outcome the conjunction, the write phase broadcast only then. *)
+
+type config = {
+  shards : int;  (** Shard groups (one node fleet each). *)
+  coordinators : int;  (** Driver domains. *)
+  clients : int;  (** Closed-loop clients, spread round-robin. *)
+  keys : int;  (** Global keyspace, spread over the shards. *)
+  theta : float;
+  workload : Client_driver.workload_kind;
+  cross : float;
+      (** Probability a multi-key transaction spans more than one
+          shard (the {!Mk_workload.Workload.locality} knob). *)
+  txns_per_client : int;
+  duration : float option;  (** Overrides [txns_per_client] (seconds). *)
+  seed : int;
+  rto_us : float;  (** Commit-phase retransmission base (doubles, capped). *)
+  grace_us : float;  (** Fast-path grace (see {!Mk_meerkat.Protocol}). *)
+  get_rto_us : float;  (** Execute-phase read timeout before rotating. *)
+}
+
+val default_config : config
+
+type result = {
+  committed : (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list;
+      (** Every acknowledged commit, merged into one global history
+          over global keys (via {!Mk_shard.History.merge}) — what
+          [Mk_harness.Checker.check] consumes. *)
+  sub_histories : (int * (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list) list;
+      (** The same commits as per-shard sub-histories over local keys
+          (ascending by shard). *)
+  committed_count : int;
+  aborted : int;
+  cross_shard : int;  (** Acknowledged transactions that spanned shards. *)
+  fast_path : int;  (** Per-shard sub-attempts, not global transactions. *)
+  slow_path : int;
+  retransmits : int;
+  submitted : int;
+  acked : int;
+  wall_seconds : float;
+  throughput : float;
+  abort_rate : float;
+  p50_us : float;
+  p99_us : float;
+  wire_msgs_tx : int;
+  wire_msgs_rx : int;
+  wire_decode_errors : int;
+  wire_shard_drops : int;
+}
+
+val run :
+  config ->
+  clusters:Cluster_config.t array ->
+  (result, string) Stdlib.result
+(** Drive the whole workload against [clusters] — one node fleet per
+    shard, all of the same (odd) size; fleet [s] must have been
+    launched with [--shard s] and the shard's local keyspace. Errors
+    if any endpoint fails to resolve; raises [Invalid_argument] on a
+    malformed config (shard/cluster count mismatch, fleets of unequal
+    size, [cross] outside \[0, 1\]). *)
+
+val result_json : result -> string

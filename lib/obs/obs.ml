@@ -4,7 +4,7 @@
    Protocol counters (committed/aborted/fast/slow/retransmits) are
    pre-created here so every system increments the same five
    instruments through one code path — this is the single home of the
-   bookkeeping that used to be duplicated across Cluster, Sharded and
+   bookkeeping that used to be duplicated across Cluster, the sharded driver and
    the baselines. *)
 
 type t = {
@@ -30,6 +30,7 @@ type t = {
   wire_msgs_rx : Registry.counter;
   wire_decode_errors : Registry.counter;
   wire_send_errors : Registry.counter;
+  wire_shard_drops : Registry.counter;
   wal_appends : Registry.counter;
   wal_bytes : Registry.counter;
   wal_fsyncs : Registry.counter;
@@ -70,6 +71,7 @@ let create ?(trace = false) ~clock () =
     wire_msgs_rx = Registry.counter registry "wire.msgs_rx";
     wire_decode_errors = Registry.counter registry "wire.decode_errors";
     wire_send_errors = Registry.counter registry "wire.send_errors";
+    wire_shard_drops = Registry.counter registry "wire.shard_drops";
     wal_appends = Registry.counter registry "wal.appends";
     wal_bytes = Registry.counter registry "wal.bytes";
     wal_fsyncs = Registry.counter registry "wal.fsyncs";
@@ -125,6 +127,7 @@ let note_wire_rx t ~bytes =
 
 let note_wire_decode_error t = Registry.incr t.wire_decode_errors
 let note_wire_send_error t = Registry.incr t.wire_send_errors
+let note_wire_shard_drop t = Registry.incr t.wire_shard_drops
 
 (* --- Durability counters (WAL appends, snapshots, replay). Like the
    registry itself these are not thread-safe: backends whose cores

@@ -73,6 +73,12 @@ val note_wire_send_error : t -> unit
     unreachable-peer errors are ordinary UDP loss and are not
     counted. *)
 
+val note_wire_shard_drop : t -> unit
+(** A well-formed frame stamped with another shard group's id reached
+    this socket ([wire.shard_drops]++) — a misconfigured deployment or
+    crossed ports; counted and dropped before the payload is acted
+    on. *)
+
 (** {2 Durability counters}
 
     [wal.appends]/[wal.bytes]/[wal.fsyncs] meter the write-ahead

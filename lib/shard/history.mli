@@ -1,0 +1,26 @@
+(** Merged cross-shard histories for the serializability checker
+    (DESIGN.md §13).
+
+    Each shard's harness records its committed sub-transactions over
+    {e local} keys; global serializability is a property of their
+    union. [merge] globalizes every key through the router and fuses
+    sub-transactions that share a tid (the same global transaction cut
+    by {!Router.split}) back into one transaction, keeping the commit
+    timestamp they must all agree on. The result feeds
+    [Mk_harness.Checker.check] unchanged — one-copy serializability
+    across the union of shards has the same timestamp-order witness as
+    in a single group, precisely because timestamps are globally
+    unique. *)
+
+val merge :
+  router:Router.t ->
+  (int * (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list) list ->
+  (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list
+(** [merge ~router per_shard] takes [(shard, committed history over
+    local keys)] pairs and returns the global committed history:
+    every key globalized via [Router.global_key], sub-transactions
+    with the same tid unioned into one transaction stamped with their
+    (necessarily shared) commit timestamp. Raises [Invalid_argument]
+    if two sub-transactions with the same tid carry different commit
+    timestamps — that is a protocol violation upstream, not a mergeable
+    history. *)

@@ -1,0 +1,71 @@
+(** Key → shard placement for a multi-group deployment (DESIGN.md §13).
+
+    Each shard is an independent full Meerkat group (its own 2f+1
+    replicas, trecord cores, detector, WAL directory); the router is
+    the pure, shared map that tells every backend which group owns a
+    global key and what that key is called inside the group. Shards
+    preload a dense local keyspace [0, local_keys), so the router also
+    carries the bijection between global keys and (shard, local key)
+    pairs — both directions, because the merged-history checker has to
+    translate per-shard committed histories back to global keys.
+
+    Two placement policies:
+    - {!Mod}: shard = key mod shards (the striping the old sim-only
+      sketch used; spreads any contiguous scan over every group);
+    - {!Range}: contiguous blocks of ceil(keys/shards) keys per shard
+      (what a range-partitioned store would do; keeps scans local). *)
+
+type policy = Mod | Range
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> (policy, string) result
+
+type t
+
+val create : ?policy:policy -> shards:int -> keys:int -> unit -> t
+(** [create ~shards ~keys ()] routes the global keyspace [0, keys)
+    over [shards] groups. Raises [Invalid_argument] unless
+    [shards >= 1] and [keys >= 1]. Policy defaults to {!Mod}. *)
+
+val policy : t -> policy
+val shards : t -> int
+val keys : t -> int
+
+val shard_of_key : t -> int -> int
+(** Owning shard of a global key. Total on all of [int] (hostile or
+    out-of-range keys still map into [0, shards)); only keys in
+    [0, keys) are meaningful. *)
+
+val local_key : t -> int -> int
+(** The dense in-group name of a global key. *)
+
+val global_key : t -> shard:int -> int -> int
+(** Inverse of {!shard_of_key}/{!local_key}:
+    [global_key t ~shard:(shard_of_key t k) (local_key t k) = k]. *)
+
+val local_keys : t -> shard:int -> int
+(** Size of a shard's dense local keyspace (how many global keys it
+    owns); 0 for shards left empty by a {!Range} split of a small
+    keyspace. *)
+
+val involved : t -> Mk_storage.Txn.t -> int list
+(** Owning shards of a transaction's read + write sets (global keys),
+    deduplicated, ascending. *)
+
+val split :
+  t -> Mk_storage.Txn.t -> (int * Mk_storage.Txn.t) list
+(** [split t txn] cuts a transaction over global keys into its
+    per-shard sub-transactions over local keys, one per involved
+    shard, ascending by shard. Every sub-transaction carries the
+    parent's tid — the per-shard groups must agree on the identity
+    (and, at validation, the timestamp) of the global transaction. *)
+
+val merge_sub :
+  t ->
+  (int * Mk_storage.Txn.t) list ->
+  (Mk_storage.Txn.read_entry list * Mk_storage.Txn.write_entry list)
+(** Inverse of {!split}: globalize each sub-transaction's keys and
+    union the read and write sets (used by the merged-history
+    adapter). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,187 @@
+(* Multi-shard sim chaos (DESIGN.md §13): the Jepsen-style runner of
+   Mk_harness.Chaos over a Sharded_sim deployment — S replicated
+   groups on one engine, cross-shard 2PC from the shared driver, a
+   nemesis crashing group 0's replicas while the other shards keep
+   committing. Lives here rather than in Mk_harness because the
+   harness cannot depend on Mk_systems (it is a dependency of it);
+   the verdicts come from the same shared evaluator. *)
+
+module Engine = Mk_sim.Engine
+module Intf = Mk_model.System_intf
+module Cluster = Mk_cluster.Cluster
+module S = Mk_meerkat.Sim_system
+module Nemesis = Mk_fault.Nemesis
+module Network = Mk_net.Network
+module Obs = Mk_obs.Obs
+module Rng = Mk_util.Rng
+module Memlog = Mk_durable.Memlog
+module Recover = Mk_durable.Recover
+module Chaos = Mk_harness.Chaos
+
+let run ~shards (cfg : Chaos.cfg) =
+  if shards < 1 then invalid_arg "Shard_chaos.run: shards must be >= 1";
+  (match cfg.Chaos.backend with
+  | Chaos.Sim -> ()
+  | Chaos.Live ->
+      invalid_arg
+        "Shard_chaos.run: sim backend only (sharded crash recovery on real \
+         processes is the cluster backend's --shards/--kill-node path)");
+  let sys_cfg =
+    {
+      Cluster.default_config with
+      threads = cfg.Chaos.threads;
+      n_clients = cfg.Chaos.n_clients;
+      keys = cfg.Chaos.keys;
+      transport = cfg.Chaos.transport;
+      seed = cfg.Chaos.seed;
+    }
+  in
+  let engine = Engine.create ~seed:cfg.Chaos.seed () in
+  let obs =
+    Obs.create ~trace:cfg.Chaos.trace ~clock:(fun () -> Engine.now engine) ()
+  in
+  let sys = Sharded_sim.create ~obs engine ~shards sys_cfg in
+  let n_replicas = sys_cfg.Cluster.n_replicas in
+  let group s = Sharded_sim.group sys s in
+  (* One in-memory durable device per (shard, replica, core), armed
+     with the same hooks as the single-group sim backend. *)
+  let memlogs =
+    Array.init shards (fun _ ->
+        Array.init n_replicas (fun _ ->
+            Array.init cfg.Chaos.threads (fun _ -> Memlog.create ())))
+  in
+  for s = 0 to shards - 1 do
+    Chaos.install_memlog_hooks ~obs ~cores:cfg.Chaos.threads
+      ~replicas:(S.replicas (group s)) ~memlogs:memlogs.(s)
+  done;
+  (* The nemesis targets shard 0: its replicas crash (and its network
+     degrades, for the partition profiles) while every other group
+     runs fault-free — except through the 2PC conjunction, which makes
+     cross-shard transactions feel shard 0's faults. Coordinator
+     crashes freeze the client across all groups: the coordinator is
+     one client-side process, so its per-shard attempts die together. *)
+  let plan =
+    Nemesis.plan ~seed:cfg.Chaos.seed ~profile:cfg.Chaos.profile
+      ~horizon:cfg.Chaos.horizon ~n_replicas ~n_clients:cfg.Chaos.n_clients
+  in
+  let obligations = Array.init shards (fun _ -> Chaos.obligations_create ()) in
+  let capture_all () =
+    for s = 0 to shards - 1 do
+      Chaos.obligations_capture obligations.(s) (S.replicas (group s))
+    done
+  in
+  Nemesis.install ~engine ~net:(S.network (group 0)) ~obs
+    ~callbacks:
+      {
+        Nemesis.crash_replica =
+          (fun ~victim ~down_for ->
+            capture_all ();
+            S.crash_replica ~down_for (group 0) victim);
+        crash_coordinator =
+          (fun ~client ~down_for ->
+            for s = 0 to shards - 1 do
+              S.crash_coordinator (group s) ~client ~down_for
+            done);
+      }
+    plan;
+  (* Recovery stays detector-driven, one detector set per group. *)
+  let until = cfg.Chaos.horizon +. (cfg.Chaos.grace /. 2.0) in
+  for s = 0 to shards - 1 do
+    S.start_detectors ~cfg:cfg.Chaos.detector (group s) ~until ()
+  done;
+  (* Closed-loop read-modify-write clients over the *global* keyspace:
+     with Mod placement, two uniform keys land on different shards
+     (shards-1)/shards of the time, so most transactions exercise the
+     cross-shard 2PC. *)
+  let rng = Chaos.workload_rng cfg.Chaos.seed in
+  let committed_acks = ref 0 and aborted_acks = ref 0 in
+  let submitted = ref 0 and acked = ref 0 in
+  let rec client c =
+    if Engine.now engine < cfg.Chaos.horizon then begin
+      incr submitted;
+      let key1 = Rng.int rng cfg.Chaos.keys in
+      (* Distinct second key, as in the single-group runner: a
+         write-set writing one key twice has no defined ordering. *)
+      let key2 =
+        let k = Rng.int rng cfg.Chaos.keys in
+        if k = key1 then (k + 1) mod cfg.Chaos.keys else k
+      in
+      Sharded_sim.submit sys ~client:c
+        {
+          Intf.reads = [| key1 |];
+          writes = [| (key1, Rng.int rng 1_000_000); (key2, c) |];
+        }
+        ~on_done:(fun ~committed ->
+          incr acked;
+          if committed then incr committed_acks else incr aborted_acks;
+          client c)
+    end
+  in
+  for c = 0 to cfg.Chaos.n_clients - 1 do
+    client c
+  done;
+  Engine.run
+    ~until:(cfg.Chaos.horizon +. cfg.Chaos.grace)
+    ~max_events:100_000_000 engine;
+  (* The durable verdict is per group — a cross-shard tid's obligation
+     is held against the replays of the shard whose trecord witnessed
+     it, which is the group that logged the sub-transaction. *)
+  let durable =
+    let rec per_shard s =
+      if s >= shards then Ok ()
+      else
+        match
+          Chaos.check_durable ~cores:cfg.Chaos.threads
+            ~replicas:(S.replicas (group s))
+            ~sources:(fun r ->
+              Array.to_list
+                (Array.map
+                   (fun m ->
+                     {
+                       Recover.snap = Memlog.snapshot m;
+                       log = Memlog.log_contents m;
+                     })
+                   memlogs.(s).(r)))
+            ~obligations:(Chaos.obligations_list obligations.(s))
+            ~note:(fun (p : Recover.parsed) ->
+              Obs.note_wal_replayed obs ~snapshots:p.Recover.snapshots_used
+                ~records:p.Recover.replayed ~errors:p.Recover.decode_errors)
+        with
+        | Ok () -> per_shard (s + 1)
+        | Error e -> Error (Printf.sprintf "shard %d: %s" s e)
+    in
+    per_shard 0
+  in
+  let all_replicas =
+    Array.concat (List.init shards (fun s -> Array.copy (S.replicas (group s))))
+  in
+  (* The committed history must be the *merged* server-side witness:
+     per-shard trecords hold local-key sub-transactions sharing one
+     global tid, which the shared evaluator's naive union would
+     collapse into a single fragment. *)
+  Chaos.evaluate
+    ~committed:(Sharded_sim.trecord_history sys)
+    {
+      Chaos.raw_cfg = cfg;
+      raw_replicas = all_replicas;
+      raw_read_committed =
+        (fun ~replica ~key -> Sharded_sim.read_committed sys ~replica ~key);
+      raw_submitted = !submitted;
+      raw_acked = !acked;
+      raw_committed_acks = !committed_acks;
+      raw_aborted_acks = !aborted_acks;
+      raw_epoch_changes = Obs.counter_value obs "recovery.epoch_changes";
+      raw_view_changes = Obs.counter_value obs "recovery.view_changes";
+      raw_duplicated = Network.messages_duplicated (S.network (group 0));
+      raw_delayed = Network.messages_delayed (S.network (group 0));
+      raw_dropped = Network.messages_dropped (S.network (group 0));
+      raw_fault_events = Obs.counter_value obs "fault.windows";
+      raw_durable = durable;
+      raw_obs = obs;
+    }
+
+let matrix ~shards ~seeds ~profiles ~cfg =
+  List.concat_map
+    (fun profile ->
+      List.map (fun seed -> run ~shards { cfg with Chaos.seed; profile }) seeds)
+    profiles

@@ -1,0 +1,39 @@
+(** Chaos over the multi-shard sim deployment (DESIGN.md §13): the
+    same seeded nemesis, closed-loop clients and six end-of-run
+    invariants as {!Mk_harness.Chaos}, driven over {!Sharded_sim} — S
+    replicated groups on one discrete-event engine with client-side
+    cross-shard 2PC.
+
+    The nemesis targets {e shard 0}: its replicas crash fail-stop (and
+    its network degrades, for the partition profiles) while every
+    other group runs fault-free — but cross-shard transactions touch
+    the crashed group through the 2PC conjunction, so the run
+    exercises "one shard's replica dies while other shards keep
+    committing". Each group has its own failure detectors and its own
+    per-(replica, core) in-memory durable devices; the serializability
+    and agreement verdicts are computed against the {e merged}
+    cross-shard history ({!Sharded_sim.trecord_history}), so a
+    cross-shard transaction half-committed between groups would fail
+    the checker. Verdicts come from the shared
+    {!Mk_harness.Chaos.evaluate}, so a sharded run passes or fails for
+    the same reasons as a single-group one.
+
+    This module lives in [Mk_systems] rather than [Mk_harness] only
+    because of layering: the harness is a dependency of this library
+    and cannot see {!Sharded_sim}. *)
+
+val run : shards:int -> Mk_harness.Chaos.cfg -> Mk_harness.Chaos.report
+(** [run ~shards cfg] — one chaos run over [shards] groups; [cfg.keys]
+    is the global keyspace. Sim backend only: raises [Invalid_argument]
+    on [Live] (real-process sharded crashes are the cluster backend's
+    [--shards]/[--kill-node] path). [shards = 1] degenerates to the
+    single-group run modulo the driver layer. *)
+
+val matrix :
+  shards:int ->
+  seeds:int list ->
+  profiles:Mk_fault.Nemesis.profile list ->
+  cfg:Mk_harness.Chaos.cfg ->
+  Mk_harness.Chaos.report list
+(** One {!run} per (profile, seed) pair, sharing everything else from
+    [cfg]. *)

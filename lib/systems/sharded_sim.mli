@@ -1,0 +1,71 @@
+(** The simulated multi-shard Meerkat deployment (DESIGN.md §13,
+    paper §5.2.4): S independent {!Mk_meerkat.Sim_system} groups
+    behind a {!Mk_shard.Router}, with cross-shard transactions driven
+    by the shared {!Mk_shard.Driver} translation of {!Mk_shard.Xcoord}.
+
+    Each group is a full replicated Meerkat deployment on the same
+    discrete-event engine; the observability handle is shared, so
+    phase histograms and counters aggregate across shards. The global
+    outcome of a cross-shard transaction is the conjunction of the
+    involved shards' validation decisions — their existing
+    validate/accept votes, composable because timestamps are globally
+    unique (the zero-coordination argument, §5.2.4). *)
+
+type t
+
+val create :
+  ?obs:Mk_obs.Obs.t ->
+  ?policy:Mk_shard.Router.policy ->
+  Mk_sim.Engine.t ->
+  shards:int ->
+  Mk_cluster.Cluster.config ->
+  t
+(** [create engine ~shards cfg] builds [shards] independent groups.
+    [cfg.keys] is the {e global} keyspace size; each group preloads
+    the dense local keyspace the router assigns it (seeds are
+    decorrelated per shard). Policy defaults to {!Mk_shard.Router.Mod}
+    — what the pre-router sim sketch did. *)
+
+val shards : t -> int
+val router : t -> Mk_shard.Router.t
+val group : t -> int -> Mk_meerkat.Sim_system.t
+val name : t -> string
+val threads : t -> int
+
+val submit :
+  t ->
+  client:int ->
+  Mk_model.System_intf.txn_request ->
+  on_done:(committed:bool -> unit) ->
+  unit
+(** One transaction over global keys; single-shard key sets take the
+    ordinary one-group path (one Prepare, one Finalize), multi-shard
+    sets run the client-side 2PC. *)
+
+val submit_interactive :
+  t ->
+  client:int ->
+  reads:int array ->
+  compute:(int array -> (int * int) array) ->
+  on_done:(committed:bool -> unit) ->
+  unit
+(** Cross-shard interactive transaction: writes are computed from the
+    values the execute phase read; the conjunction of per-shard
+    validations guarantees atomicity. *)
+
+val obs : t -> Mk_obs.Obs.t
+val counters : t -> Mk_model.System_intf.counters
+val server_busy_fraction : t -> float
+
+val read_committed : t -> replica:int -> key:int -> int option
+(** Read a global key's committed value at the given replica of its
+    owning shard. *)
+
+val history : t -> (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list
+(** The driver-acknowledged committed transactions as one global
+    history (global keys) — feed to {!Mk_harness.Checker.check}. *)
+
+val trecord_history : t -> (Mk_storage.Txn.t * Mk_clock.Timestamp.t) list
+(** The union of committed trecord entries across every shard's
+    replicas, globalized and merged — the server-side witness of the
+    same history (what a chaos run checks, since acks can be lost). *)

@@ -403,7 +403,8 @@ let payload msg =
   | Shutdown -> ());
   Buffer.contents b
 
-let encode msg = frame ~kind:(kind msg) (payload msg)
+let encode_shard ~shard msg = frame ~shard ~kind:(kind msg) (payload msg)
+let encode msg = encode_shard ~shard:0 msg
 
 let decode_payload ~kind c =
   match kind with
@@ -503,10 +504,14 @@ let decode_payload ~kind c =
       Ok (Epoch_installed { replica; epoch })
   | k -> Error (Unknown_kind k)
 
-let decode s =
-  let* kind, c = unframe s in
+let decode_shard s =
+  let* kind, shard, c = unframe s in
   let* msg = decode_payload ~kind c in
-  if remaining c > 0 then Error (Trailing (remaining c)) else Ok msg
+  if remaining c > 0 then Error (Trailing (remaining c)) else Ok (shard, msg)
+
+let decode s =
+  let* _, msg = decode_shard s in
+  Ok msg
 
 (* ------------------------------------------------------------------ *)
 (* Equality and printing (tests, debug)                                *)

@@ -127,10 +127,21 @@ val kind : t -> int
 val kind_name : t -> string
 
 val encode : t -> string
-(** One complete frame (header + payload), ready for [sendto]. *)
+(** One complete frame (header + payload), ready for [sendto] —
+    stamped shard group 0 (a single-group deployment). *)
+
+val encode_shard : shard:int -> t -> string
+(** {!encode} stamped with the sender's shard group (multi-group
+    deployments; see {!Wire.frame}). *)
 
 val decode : string -> (t, Wire.error) result
-(** Decode exactly one frame. Total: never raises. *)
+(** Decode exactly one frame, discarding its shard id. Total: never
+    raises. *)
+
+val decode_shard : string -> (int * t, Wire.error) result
+(** Decode exactly one frame, returning [(shard, msg)] so a node can
+    refuse traffic addressed to another shard group. Total: never
+    raises. *)
 
 val equal : t -> t -> bool
 (** Structural equality via the dedicated [Timestamp]/[Tid]

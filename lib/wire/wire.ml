@@ -173,15 +173,26 @@ let r_array ~elt_min r c =
 
 let magic0 = 'M'
 let magic1 = 'K'
-let version = 1
-let header_bytes = 8
 
-let frame ~kind payload =
+(* Version 2 (multi-group sharding): the header grew a u16 shard-group
+   id between the kind tag and the payload length, so one socket fabric
+   can carry several shard groups and a node can refuse frames
+   addressed to another group before touching the payload. Version 1
+   frames (no shard field) are rejected as [Bad_version] — the cluster
+   is deployed as one unit, never mixed-version. *)
+let version = 2
+let header_bytes = 10
+let max_shard = 0xffff
+
+let frame ?(shard = 0) ~kind payload =
+  if shard < 0 || shard > max_shard then
+    invalid_arg (Printf.sprintf "Wire.frame: shard %d outside [0, %d]" shard max_shard);
   let b = Buffer.create (header_bytes + String.length payload) in
   Buffer.add_char b magic0;
   Buffer.add_char b magic1;
   w_u8 b version;
   w_u8 b kind;
+  w_u16 b shard;
   w_u32 b (String.length payload);
   Buffer.add_string b payload;
   Buffer.contents b
@@ -199,8 +210,9 @@ let unframe s =
       if v <> version then Error (Bad_version v)
       else
         let* kind = r_u8 c in
+        let* shard = r_u16 c in
         let* len = r_u32 c in
         let* at = take c len in
         if remaining c > 0 then Error (Trailing (remaining c))
-        else Ok (kind, cursor ~pos:at ~limit:(at + len) s)
+        else Ok (kind, shard, cursor ~pos:at ~limit:(at + len) s)
   end

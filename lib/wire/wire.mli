@@ -87,16 +87,23 @@ val r_array :
 (** {2 Framing} *)
 
 val version : int
-(** Current wire version, stamped into every frame header. *)
+(** Current wire version, stamped into every frame header. Version 2
+    added the shard-group id; version 1 frames are rejected. *)
 
 val header_bytes : int
 (** Frame header size: magic (2) + version (1) + kind (1) +
-    payload length (4, LE). *)
+    shard (2, LE) + payload length (4, LE). *)
 
-val frame : kind:int -> string -> string
-(** Wrap an encoded payload into one frame. *)
+val max_shard : int
+(** Largest shard-group id the u16 header field can carry. *)
 
-val unframe : string -> (int * cursor, error) result
-(** Validate magic/version, read the kind tag, and return a cursor
-    over exactly the payload. The input must be exactly one frame
-    ([Trailing] otherwise — a UDP datagram carries one frame). *)
+val frame : ?shard:int -> kind:int -> string -> string
+(** Wrap an encoded payload into one frame, stamped with the sender's
+    shard group ([0] by default — a single-group deployment).
+    Raises [Invalid_argument] outside [0, {!max_shard}]. *)
+
+val unframe : string -> (int * int * cursor, error) result
+(** Validate magic/version, read the kind tag and shard id, and return
+    [(kind, shard, cursor)] with the cursor over exactly the payload.
+    The input must be exactly one frame ([Trailing] otherwise — a UDP
+    datagram carries one frame). *)

@@ -2,6 +2,7 @@ module Intf = Mk_model.System_intf
 module Rng = Mk_util.Rng
 
 type shape = { label : string; weight : float; gets : Rng.t -> int; puts : int }
+type locality = { shards : int; cross : float }
 
 type t = {
   name : string;
@@ -11,13 +12,23 @@ type t = {
   cumulative : float array;
   counts : int array;
   rmw : bool;  (** Read-modify-write: read set = write set (YCSB-T). *)
+  mutable locality : locality option;
   mutable next_value : int;
 }
 
 let name t = t.name
 let keys t = Zipf.n t.zipf
 
-let make ?(rmw = false) ~name ~rng ~keys ~theta shapes =
+let make ?(rmw = false) ?locality ~name ~rng ~keys ~theta shapes =
+  (match locality with
+  | Some { shards; cross } ->
+      if shards < 1 then
+        invalid_arg "Workload.make: locality shards must be >= 1";
+      if keys < shards then
+        invalid_arg "Workload.make: locality needs keys >= shards";
+      if cross < 0.0 || cross > 1.0 then
+        invalid_arg "Workload.make: locality cross must be in [0, 1]"
+  | None -> ());
   let shapes = Array.of_list shapes in
   let total = Array.fold_left (fun acc s -> acc +. s.weight) 0.0 shapes in
   let acc = ref 0.0 in
@@ -36,6 +47,7 @@ let make ?(rmw = false) ~name ~rng ~keys ~theta shapes =
     cumulative;
     counts = Array.make (Array.length shapes) 0;
     rmw;
+    locality;
     next_value = 1;
   }
 
@@ -65,6 +77,74 @@ let distinct_keys t count =
   draw 0;
   chosen
 
+(* --- Shard locality (the cross-shard knob, DESIGN.md §13). ---
+
+   The knob assumes the router's default Mod placement (shard of key k
+   = k mod shards); keys are remapped AFTER Zipf sampling, so the
+   popularity skew survives: confining key k to shard h replaces k by
+   the nearest key of shard h in the same mod-block, which has the
+   same Zipf rank up to one block. *)
+
+(* The key of shard [home] closest to [key], always in [0, nkeys). *)
+let confine ~nkeys ~shards ~home key =
+  let base = key - (key mod shards) + home in
+  let k = if base >= nkeys then base - shards else base in
+  if k < 0 || k >= nkeys then home mod nkeys else k
+
+(* Restore pairwise distinctness after confinement, stepping by whole
+   blocks so a bumped key never leaves its shard. The guard only
+   matters in degenerate keyspaces smaller than the transaction. *)
+let make_distinct ~nkeys ~shards keys =
+  let n = Array.length keys in
+  for i = 1 to n - 1 do
+    let rec bump k guard =
+      let dup = ref false in
+      for j = 0 to i - 1 do
+        if keys.(j) = k then dup := true
+      done;
+      if !dup && guard <= nkeys then
+        bump (if k + shards < nkeys then k + shards else k mod shards) (guard + 1)
+      else k
+    in
+    keys.(i) <- bump keys.(i) 0
+  done
+
+let localize t keys =
+  (match t.locality with
+  | None -> ()
+  | Some { shards; cross } ->
+      let n = Array.length keys in
+      if n > 0 && shards > 1 then begin
+        let nkeys = Zipf.n t.zipf in
+        let shard_of k = k mod shards in
+        if n > 1 && Rng.uniform t.rng < cross then begin
+          (* Spanning transaction: if every sampled key landed in one
+             shard, push the second key into the next shard over. *)
+          let home = shard_of keys.(0) in
+          if Array.for_all (fun k -> shard_of k = home) keys then
+            keys.(1) <-
+              confine ~nkeys ~shards ~home:((home + 1) mod shards) keys.(1)
+        end
+        else begin
+          (* Local transaction: confine everything to the home shard
+             of the first (Zipf-hottest draw) key. *)
+          let home = shard_of keys.(0) in
+          for i = 1 to n - 1 do
+            keys.(i) <- confine ~nkeys ~shards ~home keys.(i)
+          done
+        end;
+        make_distinct ~nkeys ~shards keys
+      end);
+  keys
+
+let spans ~shards (req : Intf.txn_request) =
+  let shard_set = Hashtbl.create 4 in
+  Array.iter (fun k -> Hashtbl.replace shard_set (k mod shards) ()) req.Intf.reads;
+  Array.iter
+    (fun (k, _) -> Hashtbl.replace shard_set (k mod shards) ())
+    req.Intf.writes;
+  Hashtbl.length shard_set > 1
+
 let next t =
   let idx = pick_shape t in
   let shape = t.shapes.(idx) in
@@ -73,7 +153,7 @@ let next t =
   let value = t.next_value in
   if t.rmw then begin
     (* Read-modify-write every key of the transaction. *)
-    let keys = distinct_keys t ngets in
+    let keys = localize t (distinct_keys t ngets) in
     t.next_value <- value + ngets;
     {
       Intf.reads = keys;
@@ -81,7 +161,7 @@ let next t =
     }
   end
   else begin
-    let keys = distinct_keys t (ngets + shape.puts) in
+    let keys = localize t (distinct_keys t (ngets + shape.puts)) in
     let reads = Array.sub keys 0 ngets in
     t.next_value <- value + shape.puts;
     let writes = Array.init shape.puts (fun i -> (keys.(ngets + i), value + i)) in
@@ -91,11 +171,29 @@ let next t =
 let const n = fun (_ : Rng.t) -> n
 let rand_range lo hi = fun rng -> lo + Rng.int rng (hi - lo + 1)
 
+let set_locality t locality =
+  (match locality with
+  | Some { shards; cross } ->
+      if shards < 1 then
+        invalid_arg "Workload.set_locality: shards must be >= 1";
+      if Zipf.n t.zipf < shards then
+        invalid_arg "Workload.set_locality: needs keys >= shards";
+      if cross < 0.0 || cross > 1.0 then
+        invalid_arg "Workload.set_locality: cross must be in [0, 1]"
+  | None -> ());
+  t.locality <- locality
+
 let ycsb_t ~rng ~keys ~theta =
   (* YCSB workload F, transactional: one read-modify-write — the read
      and the write hit the same key. *)
   make ~rmw:true ~name:"YCSB-T" ~rng ~keys ~theta
     [ { label = "RMW"; weight = 1.0; gets = const 1; puts = 0 } ]
+
+let rmw_pair ~rng ~keys ~theta =
+  (* Two-key read-modify-write: the smallest transaction that can
+     genuinely span shards — the cross-shard benchmark workload. *)
+  make ~rmw:true ~name:"RMW-2" ~rng ~keys ~theta
+    [ { label = "RMW2"; weight = 1.0; gets = const 2; puts = 0 } ]
 
 let retwis ~rng ~keys ~theta =
   make ~name:"Retwis" ~rng ~keys ~theta

@@ -8,6 +8,16 @@
 
 type t
 
+type locality = { shards : int; cross : float }
+(** The cross-shard knob (DESIGN.md §13), for multi-shard deployments
+    using the router's default Mod placement (shard of key [k] =
+    [k mod shards]). With probability [cross], a multi-key transaction
+    is forced to span at least two shards; otherwise every sampled key
+    is remapped to the home shard of the first draw — by whole
+    mod-blocks, so the Zipf popularity skew survives the remap.
+    Single-key transactions never span. [cross] must be in \[0, 1\]
+    and the keyspace must hold at least [shards] keys. *)
+
 val name : t -> string
 val keys : t -> int
 
@@ -15,10 +25,23 @@ val next : t -> Mk_model.System_intf.txn_request
 (** Generate the next transaction request. Keys within one request
     are distinct. *)
 
+val spans : shards:int -> Mk_model.System_intf.txn_request -> bool
+(** Does the request touch more than one shard under Mod placement?
+    (The spanning-ratio measurement behind the {!locality} tests.) *)
+
+val set_locality : t -> locality option -> unit
+(** Install (or clear) the cross-shard knob on an existing workload —
+    every subsequent {!next} draws through it.
+    @raise Invalid_argument on an out-of-range knob (see {!locality}). *)
+
 val ycsb_t : rng:Mk_util.Rng.t -> keys:int -> theta:float -> t
 (** YCSB-T, transactional YCSB workload F: each transaction is a
     single read-modify-write on one key — short transactions with an
     even read/write mix (Fig. 4, 6a, 7a). *)
+
+val rmw_pair : rng:Mk_util.Rng.t -> keys:int -> theta:float -> t
+(** Two-key read-modify-write — the smallest transaction that can
+    genuinely span shards, so the cross-shard benchmark workload. *)
 
 val retwis : rng:Mk_util.Rng.t -> keys:int -> theta:float -> t
 (** Retwis (Table 2): a Twitter-like mix of longer, read-heavy

@@ -1,0 +1,5 @@
+(* Shard-layer fixture: a router that stamps with the wall clock —
+   forbidden on both axes (Z5 layering: Unix is a transport-layer
+   module; Z6 purity: time must arrive as ~now from the driver). *)
+let stamp () = Unix.gettimeofday ()
+let shard_of_key ~shards key = (key + int_of_float (stamp ())) mod shards

@@ -1,0 +1,8 @@
+(* Shard-layer fixture: pure placement arithmetic and decision logic
+   with everything — time included — injected by the caller. The
+   shape lib/shard must keep under Z5 (no transport) + Z6 (pure). *)
+let shard_of_key ~shards key = key mod shards
+let local_key ~shards key = key / shards
+
+let decide ~now votes =
+  if List.for_all (fun v -> v) votes then `Commit now else `Abort

@@ -12,6 +12,8 @@ module Network = Mk_net.Network
 module Intf = Mk_model.System_intf
 module S = Mk_meerkat.Sim_system
 module Chaos = Mk_harness.Chaos
+module Shard_chaos = Mk_systems.Shard_chaos
+module Txn = Mk_storage.Txn
 module Nemesis = Mk_fault.Nemesis
 module Obs = Mk_obs.Obs
 module Rng = Mk_util.Rng
@@ -104,6 +106,51 @@ let test_dropped_acks_bounded () =
   in
   check_passed r;
   if r.Chaos.dropped = 0 then failf_report "transport dropped nothing" r
+
+(* --- Sharded chaos (DESIGN.md §13): crash one shard's replica while
+   the other shard keeps committing. Two replicated groups on one
+   engine, most transactions cross-shard via the client-side 2PC; the
+   nemesis fail-stops replicas of shard 0 only, the detectors recover
+   them, and all six invariants must hold with the serializability and
+   agreement verdicts computed against the *merged* cross-shard
+   history. --- *)
+
+let spans_both_shards ((txn : Txn.t), _ts) =
+  (* Mod placement over 2 shards: a global key's shard is key mod 2. *)
+  let shard_of k = k mod 2 in
+  let shards_touched = Array.make 2 false in
+  Array.iter
+    (fun (r : Txn.read_entry) -> shards_touched.(shard_of r.key) <- true)
+    txn.Txn.read_set;
+  Array.iter
+    (fun (w : Txn.write_entry) -> shards_touched.(shard_of w.key) <- true)
+    txn.Txn.write_set;
+  shards_touched.(0) && shards_touched.(1)
+
+let test_shard_crash_matrix () =
+  let seeds = [ 1; 2; 3; 4 ] in
+  let reports =
+    Shard_chaos.matrix ~shards:2 ~seeds ~profiles:[ Nemesis.Crash_replica ]
+      ~cfg:Chaos.default_cfg
+  in
+  List.iter
+    (fun (r : Chaos.report) ->
+      check_passed r;
+      if r.Chaos.epoch_changes < 1 then
+        failf_report "shard 0's crashed replica should rejoin via epoch change"
+          r;
+      if r.Chaos.fault_events = 0 then failf_report "no fault windows opened" r;
+      if r.Chaos.committed_acks < 100 then failf_report "too little progress" r;
+      (* The run must actually exercise the cross-shard 2PC: committed
+         transactions spanning both groups in the merged history. *)
+      let cross = List.filter spans_both_shards r.Chaos.committed in
+      if List.length cross < 50 then
+        failf_report "expected plenty of committed cross-shard transactions" r;
+      (* Both groups armed durable devices and the per-shard durable
+         verdict replayed them. *)
+      if Obs.counter_value r.Chaos.obs "wal.replayed" = 0 then
+        failf_report "durable check replayed nothing" r)
+    reports
 
 (* --- Golden equivalence for the detector extraction: the refactored
    simulator (detection logic in Mk_meerkat.Detector, Sim_system only
@@ -257,6 +304,8 @@ let () =
             test_crash_coordinator_profile;
           Alcotest.test_case "dropped acks stay bounded" `Quick
             test_dropped_acks_bounded;
+          Alcotest.test_case "sharded: shard-0 crash, 4 seeds" `Quick
+            test_shard_crash_matrix;
           Alcotest.test_case "detector extraction golden, 24 runs" `Quick
             test_detector_extraction_golden;
           Alcotest.test_case "dup 1.0 changes no outcome" `Quick

@@ -150,6 +150,33 @@ let test_z5_clean () =
     "injected clock passes" []
     (lint_many z5_cfg [ fx "z5_ok.ml"; fx "z5_dep.ml" ])
 
+(* The lib/shard discipline in fixture form: the router/xcoord shapes
+   are simultaneously a Z5 scope (no transport modules) and Z6 pure
+   files, as in the shipped config. A router stamping with the wall
+   clock trips both rules; the injected-~now shape lints clean. *)
+let shard_fx_cfg =
+  {
+    Config.default with
+    Config.layering =
+      [
+        (fx "shard_router_bad.ml", [ "Unix" ]);
+        (fx "shard_router_ok.ml", [ "Unix" ]);
+      ];
+    pure_files = [ fx "shard_router_bad.ml"; fx "shard_router_ok.ml" ];
+  }
+
+let test_shard_fixture_flagged () =
+  let findings = lint shard_fx_cfg (fx "shard_router_bad.ml") in
+  Alcotest.(check bool) "wall-clock router breaches layering (Z5)" true
+    (List.exists (fun (r, _, _) -> r = "Z5") findings);
+  Alcotest.(check bool) "wall-clock router breaks purity (Z6)" true
+    (List.exists (fun (r, _, _) -> r = "Z6") findings)
+
+let test_shard_fixture_clean () =
+  Alcotest.(check (list finding))
+    "injected-~now placement and decision logic pass" []
+    (lint shard_fx_cfg (fx "shard_router_ok.ml"))
+
 let z6_cfg =
   { Config.default with Config.pure_files = [ fx "z6_bad.ml"; fx "z6_ok.ml" ] }
 
@@ -496,7 +523,15 @@ let test_real_config_interprocedural () =
     (List.mem_assoc "lib/meerkat" cfg.Config.layering
     && List.mem_assoc "lib/wire" cfg.Config.layering
     && List.mem_assoc "lib/durable" cfg.Config.layering
+    && List.mem_assoc "lib/shard" cfg.Config.layering
     && List.mem "lib/meerkat/protocol.ml" cfg.Config.pure_files
+    && List.mem "lib/shard/router.ml" cfg.Config.pure_files
+    && List.mem "lib/shard/xcoord.ml" cfg.Config.pure_files
+    && List.mem "lib/shard/history.ml" cfg.Config.pure_files
+    && List.mem "lib/node/shard_driver.ml:deliver" cfg.Config.total_entries
+    (* The absorbed sim-only sketch must not keep a stale escape
+       hatch: lib/shard has no layering allow at all. *)
+    && (not (List.mem "lib/meerkat/sharded.ml" cfg.Config.layering_allow))
     && List.mem "lib/durable/walcodec.ml" cfg.Config.pure_files
     && List.mem "lib/wire/wire.ml:unframe" cfg.Config.total_entries
     && List.mem "lib/node/client_driver.ml:deliver" cfg.Config.total_entries
@@ -519,7 +554,15 @@ let test_real_config_interprocedural () =
      wire library rides along because the codecs resolve into it. *)
   Alcotest.(check (list finding))
     "durable layer clean under Z5/Z6/Z7" []
-    (lint_many cfg [ "../lib/durable"; "../lib/wire" ])
+    (lint_many cfg [ "../lib/durable"; "../lib/wire" ]);
+  (* The sharding layer: Z5 keeps it below every backend and the
+     protocol library, Z6 keeps router/xcoord/history pure. Its
+     storage/clock/util dependencies ride along so the call graph
+     resolves. *)
+  Alcotest.(check (list finding))
+    "shard layer clean under Z5/Z6" []
+    (lint_many cfg
+       [ "../lib/shard"; "../lib/storage"; "../lib/clock"; "../lib/util" ])
 
 (* --- layer 2: the dynamic checker --- *)
 
@@ -625,6 +668,10 @@ let () =
           Alcotest.test_case "Z4 clean" `Quick test_z4_clean;
           Alcotest.test_case "Z5 violation" `Quick test_z5_violation;
           Alcotest.test_case "Z5 clean" `Quick test_z5_clean;
+          Alcotest.test_case "shard fixture flagged (Z5+Z6)" `Quick
+            test_shard_fixture_flagged;
+          Alcotest.test_case "shard fixture clean" `Quick
+            test_shard_fixture_clean;
           Alcotest.test_case "Z6 violations" `Quick test_z6_violations;
           Alcotest.test_case "Z6 clean" `Quick test_z6_clean;
           Alcotest.test_case "Z6 opened alias resolves" `Quick test_z6_open_alias;

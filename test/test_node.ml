@@ -8,6 +8,7 @@
 module Cluster_config = Mk_node.Cluster_config
 module Node = Mk_node.Node
 module Driver = Mk_node.Client_driver
+module Shard_driver = Mk_node.Shard_driver
 module Checker = Mk_harness.Checker
 module Detector = Mk_meerkat.Detector
 module Codec = Mk_wire.Codec
@@ -129,7 +130,7 @@ let bind_cluster n =
   in
   (bound, cluster)
 
-let launch_cluster ?(heartbeat_ms = 10.0) ~keys bound cluster =
+let launch_cluster ?(heartbeat_ms = 10.0) ?(shard = 0) ~keys bound cluster =
   let n = Array.length bound in
   Array.mapi
     (fun i b ->
@@ -139,6 +140,7 @@ let launch_cluster ?(heartbeat_ms = 10.0) ~keys bound cluster =
           Node.me = i;
           cores = 2;
           keys;
+          shard;
           detector = Some (Node.detector_cfg ~heartbeat_ms);
         }
       in
@@ -168,7 +170,7 @@ let test_cluster_serializable () =
     | Ok r -> r
     | Error e -> Alcotest.failf "driver: %s" e
   in
-  (match Driver.shutdown ~cluster with
+  (match Driver.shutdown ~cluster () with
   | Ok () -> ()
   | Error e -> Alcotest.failf "shutdown: %s" e);
   let stats = Array.map Node.wait nodes in
@@ -238,7 +240,7 @@ let test_cluster_survives_hostile_frames () =
     | Ok r -> r
     | Error e -> Alcotest.failf "driver: %s" e
   in
-  (match Driver.shutdown ~cluster with
+  (match Driver.shutdown ~cluster () with
   | Ok () -> ()
   | Error e -> Alcotest.failf "shutdown: %s" e);
   let stats = Array.map Node.wait nodes in
@@ -288,6 +290,118 @@ let test_shim_counts_oversized_frames () =
         (Mk_obs.Obs.counter_value obs "wire.send_errors");
       Big.stop net
 
+(* --- two shard groups on UDP loopback (DESIGN.md §13) --- *)
+
+let test_sharded_cluster_serializable () =
+  (* Two independent 3-node fleets, one per shard group, driven by the
+     cross-shard 2PC client driver. The merged global history must be
+     serializable, cross-shard transactions must actually happen, and
+     no node may see a frame stamped for the other group (distinct
+     sockets — the stamp is belt-and-braces here, load-bearing when
+     ports get crossed). *)
+  let keys = 64 and shards = 2 in
+  let router = Mk_shard.Router.create ~shards ~keys () in
+  let fleets =
+    Array.init shards (fun s ->
+        let bound, cluster = bind_cluster 3 in
+        let nodes =
+          launch_cluster ~shard:s
+            ~keys:(Mk_shard.Router.local_keys router ~shard:s)
+            bound cluster
+        in
+        (cluster, nodes))
+  in
+  let clusters = Array.map fst fleets in
+  let driver_cfg =
+    {
+      Shard_driver.default_config with
+      Shard_driver.shards;
+      coordinators = 2;
+      clients = 6;
+      keys;
+      workload = Driver.Rmw_pair;
+      cross = 0.5;
+      txns_per_client = 12;
+      seed = 11;
+    }
+  in
+  let result =
+    match Shard_driver.run driver_cfg ~clusters with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "driver: %s" e
+  in
+  Array.iteri
+    (fun s cluster ->
+      match Driver.shutdown ~shard:s ~cluster () with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "shutdown shard%d: %s" s e)
+    clusters;
+  let stats = Array.map (fun (_, nodes) -> Array.map Node.wait nodes) fleets in
+  Alcotest.(check int) "72 transactions resolved" 72
+    (result.Shard_driver.committed_count + result.Shard_driver.aborted);
+  Alcotest.(check bool) "some commits" true
+    (result.Shard_driver.committed_count > 0);
+  Alcotest.(check bool) "some cross-shard commits" true
+    (result.Shard_driver.cross_shard > 0);
+  Alcotest.(check int) "driver saw no shard drops" 0
+    result.Shard_driver.wire_shard_drops;
+  (match Checker.check result.Shard_driver.committed with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "merged history not serializable: %a" Checker.pp_violation
+        v);
+  (* Per-shard sub-histories are serializable on their own, too. *)
+  List.iter
+    (fun (s, sub) ->
+      match Checker.check sub with
+      | Ok () -> ()
+      | Error v ->
+          Alcotest.failf "shard %d sub-history not serializable: %a" s
+            Checker.pp_violation v)
+    result.Shard_driver.sub_histories;
+  Array.iteri
+    (fun s fleet_stats ->
+      Array.iter
+        (fun (st : Node.stats) ->
+          Alcotest.(check int)
+            (Printf.sprintf "shard%d/node%d clean wire" s st.Node.me)
+            0 st.Node.wire_decode_errors;
+          Alcotest.(check int)
+            (Printf.sprintf "shard%d/node%d no shard drops" s st.Node.me)
+            0 st.Node.wire_shard_drops;
+          Alcotest.(check bool)
+            (Printf.sprintf "shard%d/node%d served traffic" s st.Node.me)
+            true
+            (st.Node.wire_msgs_rx > 0 && st.Node.wire_msgs_tx > 0))
+        fleet_stats)
+    stats
+
+let test_shard_stamp_isolates_groups () =
+  (* A node in group 1 receiving well-formed frames stamped for group
+     0 must count them as shard drops and act on none of them — a
+     heartbeat from the wrong group must not register liveness, and a
+     Get must not be answered. *)
+  let bound, cluster = bind_cluster 3 in
+  let nodes = launch_cluster ~shard:1 ~keys:16 bound cluster in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  let dst =
+    Unix.ADDR_INET (Unix.inet_addr_loopback, cluster.(0).Cluster_config.port)
+  in
+  let send ~shard msg =
+    let s = Codec.encode_shard ~shard msg in
+    ignore (Unix.sendto_substring sock s 0 (String.length s) [] dst : int)
+  in
+  send ~shard:0 (Codec.Heartbeat { from_ = 1; paused = false });
+  send ~shard:0 (Codec.Get { coord = 0; slot = 0; seq = 1; key = 3 });
+  send ~shard:5 (Codec.Heartbeat { from_ = 2; paused = false });
+  Unix.close sock;
+  Unix.sleepf 0.1;
+  Array.iter Node.shutdown nodes;
+  let stats = Array.map Node.wait nodes in
+  Alcotest.(check bool) "mismatched stamps counted" true
+    (stats.(0).Node.wire_shard_drops >= 3);
+  Alcotest.(check int) "not decode errors" 0 stats.(0).Node.wire_decode_errors
+
 let test_cluster_detects_silent_node () =
   (* No workload: stop one node's socket and heartbeats, wait past the
      detector timeout, and check both survivors latched the suspicion
@@ -332,5 +446,12 @@ let () =
             test_shim_counts_oversized_frames;
           Alcotest.test_case "silent node detected" `Quick
             test_cluster_detects_silent_node;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "2-shard loopback serializable" `Quick
+            test_sharded_cluster_serializable;
+          Alcotest.test_case "shard stamp isolates groups" `Quick
+            test_shard_stamp_isolates_groups;
         ] );
     ]

@@ -363,6 +363,88 @@ let prop_stats_merge =
       && abs_float (Mk_util.Stats.mean m -. Mk_util.Stats.mean whole) < 1e-6
       && abs_float (Mk_util.Stats.variance m -. Mk_util.Stats.variance whole) < 1e-4)
 
+(* --- tids and timestamps across shard groups (DESIGN.md §13) ---
+
+   The zero-coordination argument for cross-shard 2PC (§5.2.4) rests
+   on client-minted identifiers being globally unique and totally
+   ordered with no per-shard state: each shard's local timestamp
+   order must be the restriction of one global order. *)
+
+let prop_timestamp_shard_order_composes =
+  Q.Test.make ~name:"per-shard timestamp orders compose globally" ~count:300
+    Q.(
+      list_of_size
+        Gen.(int_range 1 100)
+        (triple (int_bound 10_000) (int_bound 31) (int_bound 3)))
+    (fun entries ->
+      (* (time, client, shard): distinct (time, client) pairs must
+         stamp distinct global timestamps, and each shard group —
+         seeing only its own subset — must sort it the same way the
+         global order does. *)
+      let dedup =
+        List.sort_uniq
+          (fun (t, c, _) (t', c', _) -> compare (t, c) (t', c'))
+          entries
+      in
+      let stamps =
+        List.map
+          (fun (t, c, s) -> (ts (float_of_int t) c, s))
+          dedup
+      in
+      let global =
+        List.sort (fun (a, _) (b, _) -> Timestamp.compare a b) stamps
+      in
+      let rec strictly_increasing = function
+        | (a, _) :: ((b, _) :: _ as tl) ->
+            Timestamp.compare a b < 0 && strictly_increasing tl
+        | _ -> true
+      in
+      strictly_increasing global
+      && List.for_all
+           (fun s ->
+             let sub =
+               List.filter_map
+                 (fun (stamp, s') -> if s' = s then Some stamp else None)
+                 global
+             in
+             List.sort Timestamp.compare sub = sub)
+           [ 0; 1; 2; 3 ])
+
+let prop_tid_unique_across_clients =
+  Q.Test.make ~name:"tids unique across shard-group clients" ~count:300
+    Q.(list (pair (int_bound 10_000) (int_bound 63)))
+    (fun pairs ->
+      let uniq = List.sort_uniq compare pairs in
+      let tids =
+        List.map
+          (fun (seq, client_id) -> Timestamp.Tid.make ~seq ~client_id)
+          uniq
+      in
+      let sorted = List.sort Timestamp.Tid.compare tids in
+      let rec pairwise_distinct = function
+        | a :: (b :: _ as tl) ->
+            (not (Timestamp.Tid.equal a b)) && pairwise_distinct tl
+        | _ -> true
+      in
+      List.length sorted = List.length uniq && pairwise_distinct sorted)
+
+let prop_tid_hash_steers_cores =
+  Q.Test.make ~name:"Tid.hash core steering: stable, in range" ~count:500
+    Q.(pair (pair int int) (int_range 1 8))
+    (fun ((seq, client_id), cores) ->
+      (* Every shard group partitions its trecord by
+         [Tid.hash tid mod cores]; the steer must be non-negative, in
+         range, and a pure function of the tid's fields so replicas
+         of every group agree on a cross-shard transaction's core. *)
+      let t = Timestamp.Tid.make ~seq ~client_id in
+      let rebuilt = Timestamp.Tid.make ~seq ~client_id in
+      let h = Timestamp.Tid.hash t in
+      h >= 0
+      && h mod cores >= 0
+      && h mod cores < cores
+      && Timestamp.Tid.hash rebuilt = h
+      && Timestamp.Tid.equal t rebuilt)
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [
@@ -387,6 +469,9 @@ let qtests =
       prop_zipf_in_range;
       prop_heap_sorts;
       prop_stats_merge;
+      prop_timestamp_shard_order_composes;
+      prop_tid_unique_across_clients;
+      prop_tid_hash_steers_cores;
     ]
 
 let () =

@@ -1,17 +1,19 @@
-(* Distributed transactions across partitioned Meerkat groups
-   (§5.2.4). *)
+(* Distributed transactions across sharded Meerkat groups
+   (DESIGN.md §13, paper §5.2.4) — the sim backend of lib/shard. *)
 
 module Engine = Mk_sim.Engine
 module Intf = Mk_model.System_intf
 module Cluster = Mk_cluster.Cluster
-module Sharded = Mk_meerkat.Sharded
+module Router = Mk_shard.Router
+module Sharded = Mk_systems.Sharded_sim
+module Checker = Mk_harness.Checker
 
 let base_cfg =
   { Cluster.default_config with threads = 2; n_clients = 8; keys = 64; seed = 3 }
 
-let make ?(partitions = 2) ?(cfg = base_cfg) () =
+let make ?(shards = 2) ?(cfg = base_cfg) () =
   let engine = Engine.create ~seed:cfg.Cluster.seed () in
-  (engine, Sharded.create engine ~partitions cfg)
+  (engine, Sharded.create engine ~shards cfg)
 
 let drive engine sys ~clients ~per_client ~request =
   let outcomes = ref [] in
@@ -27,64 +29,75 @@ let drive engine sys ~clients ~per_client ~request =
   Engine.run ~max_events:20_000_000 engine;
   !outcomes
 
-let test_key_ownership () =
-  let _, sys = make ~partitions:3 () in
-  Alcotest.(check int) "partitions" 3 (Sharded.partitions sys);
-  Alcotest.(check int) "key 4 owner" 1 (Sharded.partition_of_key sys 4);
-  Alcotest.(check int) "key 6 owner" 0 (Sharded.partition_of_key sys 6)
+let check_serializable label sys =
+  (match Checker.check (Sharded.history sys) with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "%s: acked history not serializable: %a" label
+        Checker.pp_violation v);
+  match Checker.check (Sharded.trecord_history sys) with
+  | Ok () -> ()
+  | Error v ->
+      Alcotest.failf "%s: trecord history not serializable: %a" label
+        Checker.pp_violation v
 
-let test_single_partition_txn () =
+let test_key_ownership () =
+  let _, sys = make ~shards:3 () in
+  let r = Sharded.router sys in
+  Alcotest.(check int) "shards" 3 (Sharded.shards sys);
+  Alcotest.(check int) "key 4 owner" 1 (Router.shard_of_key r 4);
+  Alcotest.(check int) "key 6 owner" 0 (Router.shard_of_key r 6)
+
+let test_single_shard_txn () =
   let engine, sys = make () in
   let result = ref None in
-  (* Keys 0 and 2 both live in partition 0. *)
+  (* Keys 0 and 2 both live in shard 0. *)
   Sharded.submit sys ~client:0
     { Intf.reads = [| 0; 2 |]; writes = [| (0, 5) |] }
     ~on_done:(fun ~committed -> result := Some committed);
   Engine.run engine;
   Alcotest.(check (option bool)) "committed" (Some true) !result;
   Alcotest.(check (option int)) "applied" (Some 5)
-    (Sharded.read_committed sys ~replica:0 ~key:0)
+    (Sharded.read_committed sys ~replica:0 ~key:0);
+  check_serializable "single-shard" sys
 
-let test_cross_partition_txn () =
+let test_cross_shard_txn () =
   let engine, sys = make () in
   let result = ref None in
-  (* Keys 0 (partition 0) and 1 (partition 1): a genuinely distributed
+  (* Keys 0 (shard 0) and 1 (shard 1): a genuinely distributed
      transaction. *)
   Sharded.submit sys ~client:0
     { Intf.reads = [| 0; 1 |]; writes = [| (0, 10); (1, 11) |] }
     ~on_done:(fun ~committed -> result := Some committed);
   Engine.run engine;
   Alcotest.(check (option bool)) "committed" (Some true) !result;
-  (* Both partitions applied their half, on every replica. *)
+  (* Both shards applied their half, on every replica. *)
   for replica = 0 to 2 do
-    Alcotest.(check (option int)) "partition 0 half" (Some 10)
+    Alcotest.(check (option int)) "shard 0 half" (Some 10)
       (Sharded.read_committed sys ~replica ~key:0);
-    Alcotest.(check (option int)) "partition 1 half" (Some 11)
+    Alcotest.(check (option int)) "shard 1 half" (Some 11)
       (Sharded.read_committed sys ~replica ~key:1)
-  done
+  done;
+  check_serializable "cross-shard" sys
 
-let test_atomicity_across_partitions () =
-  (* Many racing cross-partition transactions, each writing the SAME
-     value tag to one key in partition 0 and one key in partition 1.
-     Atomicity means: for every tag committed on one side, the other
-     side committed it too (observable as: final values of the pair
-     (key0, key1) written by the same transaction must both be from
-     committed transactions; we verify via the per-group trecords). *)
+let test_atomicity_across_shards () =
+  (* Many racing cross-shard transactions, each writing the SAME value
+     tag to one key in shard 0 and one key in shard 1. Atomicity
+     means: every tid present in both groups' trecords has the same
+     final status in both. *)
   let cfg = { base_cfg with keys = 4; n_clients = 8 } in
   let engine, sys = make ~cfg () in
   ignore
     (drive engine sys ~clients:8 ~per_client:20 ~request:(fun c i ->
          let tag = (c * 1000) + i in
-         (* keys 0/2 are partition 0; 1/3 partition 1 *)
+         (* keys 0/2 are shard 0; 1/3 shard 1 *)
          let k0 = if (c + i) mod 2 = 0 then 0 else 2 in
          let k1 = if (c + i) mod 3 = 0 then 1 else 3 in
          { Intf.reads = [| k0; k1 |]; writes = [| (k0, tag); (k1, tag) |] }));
-  (* Every tid must have the same final status in both groups'
-     trecords (when present in both). *)
   let module Replica = Mk_meerkat.Replica in
   let module Trecord = Mk_storage.Trecord in
   let module Txn = Mk_storage.Txn in
-  let status_table group =
+  let status_table shard =
     let table = Hashtbl.create 256 in
     Array.iter
       (fun r ->
@@ -93,7 +106,7 @@ let test_atomicity_across_partitions () =
             if Txn.is_final e.status then
               Hashtbl.replace table e.txn.Txn.tid e.status)
           (Trecord.entries (Replica.trecord r)))
-      (Mk_meerkat.Sim_system.replicas (Sharded.group sys group));
+      (Mk_meerkat.Sim_system.replicas (Sharded.group sys shard));
     table
   in
   let t0 = status_table 0 and t1 = status_table 1 in
@@ -108,7 +121,8 @@ let test_atomicity_across_partitions () =
             true (status0 = status1)
       | None -> ())
     t0;
-  Alcotest.(check bool) "cross-partition txns compared" true (!compared > 50)
+  Alcotest.(check bool) "cross-shard txns compared" true (!compared > 50);
+  check_serializable "atomicity" sys
 
 let test_contention_aborts_and_progress () =
   let cfg = { base_cfg with keys = 4 } in
@@ -121,12 +135,13 @@ let test_contention_aborts_and_progress () =
   Alcotest.(check int) "all decided" 160 (List.length outcomes);
   let counters = Sharded.counters sys in
   Alcotest.(check int) "accounting adds up" 160
-    (counters.Intf.committed + counters.Intf.aborted)
+    (counters.Intf.committed + counters.Intf.aborted);
+  check_serializable "contention" sys
 
-let test_interactive_cross_partition_conservation () =
-  (* Shared counters on both partitions, incremented together by an
-     interactive cross-partition transaction: after the dust settles
-     the two totals must be equal on every replica. *)
+let test_interactive_cross_shard_conservation () =
+  (* Shared counters on both shards, incremented together by an
+     interactive cross-shard transaction: after the dust settles the
+     two totals must be equal on every replica. *)
   let cfg = { base_cfg with keys = 4; n_clients = 6 } in
   let engine, sys = make ~cfg () in
   let commits = ref 0 in
@@ -147,27 +162,68 @@ let test_interactive_cross_partition_conservation () =
   Engine.run ~max_events:20_000_000 engine;
   Alcotest.(check int) "all committed eventually" 48 !commits;
   for replica = 0 to 2 do
-    Alcotest.(check (option int)) "partition-0 counter" (Some 48)
+    Alcotest.(check (option int)) "shard-0 counter" (Some 48)
       (Sharded.read_committed sys ~replica ~key:0);
-    Alcotest.(check (option int)) "partition-1 counter" (Some 48)
+    Alcotest.(check (option int)) "shard-1 counter" (Some 48)
       (Sharded.read_committed sys ~replica ~key:1)
-  done
+  done;
+  check_serializable "conservation" sys
 
-let test_many_partitions () =
-  let engine, sys = make ~partitions:4 ~cfg:{ base_cfg with keys = 64 } () in
+let test_many_shards () =
+  let engine, sys = make ~shards:4 ~cfg:{ base_cfg with keys = 64 } () in
   let result = ref None in
-  (* Touch all four partitions in one transaction. *)
+  (* Touch all four shards in one transaction. *)
   Sharded.submit sys ~client:0
     { Intf.reads = [| 0; 1; 2; 3 |]; writes = [| (0, 1); (1, 1); (2, 1); (3, 1) |] }
     ~on_done:(fun ~committed -> result := Some committed);
   Engine.run engine;
-  Alcotest.(check (option bool)) "4-partition txn commits" (Some true) !result;
+  Alcotest.(check (option bool)) "4-shard txn commits" (Some true) !result;
   for key = 0 to 3 do
     Alcotest.(check (option int))
       (Printf.sprintf "key %d" key)
       (Some 1)
       (Sharded.read_committed sys ~replica:1 ~key)
-  done
+  done;
+  check_serializable "many shards" sys
+
+let test_range_policy () =
+  (* Range placement: the first 32 keys on shard 0, the rest on
+     shard 1; a [0, 40] transaction is still atomic. *)
+  let engine = Engine.create ~seed:7 () in
+  let sys =
+    Sharded.create engine ~policy:Router.Range ~shards:2 base_cfg
+  in
+  let r = Sharded.router sys in
+  Alcotest.(check int) "key 0 owner" 0 (Router.shard_of_key r 0);
+  Alcotest.(check int) "key 40 owner" 1 (Router.shard_of_key r 40);
+  let result = ref None in
+  Sharded.submit sys ~client:0
+    { Intf.reads = [| 0; 40 |]; writes = [| (0, 3); (40, 4) |] }
+    ~on_done:(fun ~committed -> result := Some committed);
+  Engine.run engine;
+  Alcotest.(check (option bool)) "committed" (Some true) !result;
+  Alcotest.(check (option int)) "shard 0 half" (Some 3)
+    (Sharded.read_committed sys ~replica:0 ~key:0);
+  Alcotest.(check (option int)) "shard 1 half" (Some 4)
+    (Sharded.read_committed sys ~replica:0 ~key:40);
+  check_serializable "range policy" sys
+
+let test_shard_crash_others_commit () =
+  (* Crash one replica of shard 0 mid-run: shard 0 degrades to its
+     slow path while shard 1, an independent failure domain, keeps
+     committing; the merged history stays serializable. *)
+  let cfg = { base_cfg with keys = 8; n_clients = 4 } in
+  let engine, sys = make ~cfg () in
+  Mk_meerkat.Sim_system.crash_replica (Sharded.group sys 0) 2;
+  let outcomes =
+    drive engine sys ~clients:4 ~per_client:10 ~request:(fun c i ->
+        (* Even keys: shard 0 (degraded); odd keys: shard 1. *)
+        let k = ((c + i) mod 4 * 2) + (i mod 2) in
+        { Intf.reads = [| k |]; writes = [| (k, (c * 100) + i) |] })
+  in
+  Alcotest.(check int) "all decided despite the crash" 40 (List.length outcomes);
+  Alcotest.(check bool) "some committed" true (List.exists (fun c -> c) outcomes);
+  check_serializable "shard crash" sys
 
 let () =
   Alcotest.run "sharded"
@@ -175,14 +231,17 @@ let () =
       ( "distributed-txns",
         [
           Alcotest.test_case "key ownership" `Quick test_key_ownership;
-          Alcotest.test_case "single-partition txn" `Quick test_single_partition_txn;
-          Alcotest.test_case "cross-partition txn" `Quick test_cross_partition_txn;
-          Alcotest.test_case "atomicity across partitions" `Quick
-            test_atomicity_across_partitions;
+          Alcotest.test_case "single-shard txn" `Quick test_single_shard_txn;
+          Alcotest.test_case "cross-shard txn" `Quick test_cross_shard_txn;
+          Alcotest.test_case "atomicity across shards" `Quick
+            test_atomicity_across_shards;
           Alcotest.test_case "contention and accounting" `Quick
             test_contention_aborts_and_progress;
-          Alcotest.test_case "four partitions" `Quick test_many_partitions;
-          Alcotest.test_case "interactive cross-partition conservation" `Quick
-            test_interactive_cross_partition_conservation;
+          Alcotest.test_case "four shards" `Quick test_many_shards;
+          Alcotest.test_case "interactive cross-shard conservation" `Quick
+            test_interactive_cross_shard_conservation;
+          Alcotest.test_case "range policy" `Quick test_range_policy;
+          Alcotest.test_case "shard crash, others commit" `Quick
+            test_shard_crash_others_commit;
         ] );
     ]

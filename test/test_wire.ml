@@ -225,6 +225,55 @@ let test_kind_tags_stable () =
       (Char.code (Codec.encode m).[3])
   done
 
+(* --- shard-stamped frames (wire v2) --- *)
+
+let test_shard_roundtrip () =
+  let rng = Random.State.make [| 0x5A4D |] in
+  List.iter
+    (fun shard ->
+      for k = 0 to n_kinds - 1 do
+        let m = gen_msg rng k in
+        let encoded = Codec.encode_shard ~shard m in
+        match Codec.decode_shard encoded with
+        | Error e ->
+            Alcotest.failf "%s shard %d failed to decode: %s"
+              (Codec.kind_name m) shard (Wire.error_to_string e)
+        | Ok (shard', m') ->
+            Alcotest.(check int) (Codec.kind_name m ^ " shard") shard shard';
+            if not (Codec.equal m m') then
+              Alcotest.failf "%s shard round-trip mismatch" (Codec.kind_name m)
+      done)
+    [ 0; 1; 7; 255; Wire.max_shard ];
+  (* encode is exactly encode_shard ~shard:0, and decode ignores the
+     stamp. *)
+  let m = gen_msg rng 0 in
+  Alcotest.(check string) "encode = shard 0" (Codec.encode m)
+    (Codec.encode_shard ~shard:0 m);
+  match Codec.decode (Codec.encode_shard ~shard:9 m) with
+  | Ok m' -> Alcotest.(check bool) "decode ignores shard" true (Codec.equal m m')
+  | Error e -> Alcotest.failf "decode: %s" (Wire.error_to_string e)
+
+let test_shard_header_layout () =
+  (* The shard id travels as a little-endian u16 at bytes 4-5, between
+     the kind tag and the payload length. *)
+  let rng = Random.State.make [| 0x5A4E |] in
+  let m = gen_msg rng 1 in
+  let s = Codec.encode_shard ~shard:0x0102 m in
+  Alcotest.(check int) "shard lo byte" 0x02 (Char.code s.[4]);
+  Alcotest.(check int) "shard hi byte" 0x01 (Char.code s.[5]);
+  Alcotest.(check int) "header bytes" 10 Wire.header_bytes;
+  Alcotest.(check int) "wire version" 2 Wire.version
+
+let test_shard_range_checked () =
+  let rng = Random.State.make [| 0x5A4F |] in
+  let m = gen_msg rng 0 in
+  List.iter
+    (fun shard ->
+      match Codec.encode_shard ~shard m with
+      | (_ : string) -> Alcotest.failf "encode_shard accepted %d" shard
+      | exception Invalid_argument _ -> ())
+    [ -1; Wire.max_shard + 1; max_int ]
+
 (* --- totality: truncation, corruption, fuzz --- *)
 
 let expect_error what = function
@@ -365,6 +414,12 @@ let () =
           Alcotest.test_case "round-trip all kinds" `Quick
             test_roundtrip_all_kinds;
           Alcotest.test_case "kind tags stable" `Quick test_kind_tags_stable;
+          Alcotest.test_case "shard stamp round-trip" `Quick
+            test_shard_roundtrip;
+          Alcotest.test_case "shard header layout" `Quick
+            test_shard_header_layout;
+          Alcotest.test_case "shard range checked" `Quick
+            test_shard_range_checked;
         ] );
       ( "totality",
         [

@@ -189,6 +189,91 @@ let test_read_only_and_write_only () =
   Alcotest.(check int) "wo reads" 0 (Array.length req.Intf.reads);
   Alcotest.(check int) "wo writes" 2 (Array.length req.Intf.writes)
 
+(* --- Locality knob (DESIGN.md §13): the measured spanning ratio of a
+   generated stream tracks the requested cross fraction, seed by seed,
+   under the Mod placement the knob assumes. --- *)
+
+let spanning_ratio ~shards ~cross ~seed n =
+  let wl = Workload.rmw_pair ~rng:(Rng.create ~seed) ~keys:1024 ~theta:0.0 in
+  Workload.set_locality wl (Some { Workload.shards; cross });
+  let spans = ref 0 in
+  for _ = 1 to n do
+    if Workload.spans ~shards (Workload.next wl) then incr spans
+  done;
+  float_of_int !spans /. float_of_int n
+
+let test_locality_cross_extremes () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun shards ->
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "seed %d, %d shards: cross 0 never spans" seed
+               shards)
+            0.0
+            (spanning_ratio ~shards ~cross:0.0 ~seed 2000);
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "seed %d, %d shards: cross 1 always spans" seed
+               shards)
+            1.0
+            (spanning_ratio ~shards ~cross:1.0 ~seed 2000))
+        [ 2; 4 ])
+    [ 1; 2; 3; 4; 5 ]
+
+let test_locality_tracks_cross () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun cross ->
+          let ratio = spanning_ratio ~shards:4 ~cross ~seed 5000 in
+          if Float.abs (ratio -. cross) > 0.02 then
+            Alcotest.failf
+              "seed %d: requested cross %.2f but measured spanning ratio %.3f"
+              seed cross ratio)
+        [ 0.1; 0.3; 0.5 ])
+    [ 1; 2; 3 ]
+
+let test_locality_single_key_never_spans () =
+  (* YCSB-T is one same-key RMW per transaction: even at cross 1.0
+     there is nothing to spread, and the knob must not invent keys. *)
+  let wl = Workload.ycsb_t ~rng:(Rng.create ~seed:7) ~keys:256 ~theta:0.0 in
+  Workload.set_locality wl (Some { Workload.shards = 4; cross = 1.0 });
+  for _ = 1 to 500 do
+    let req = Workload.next wl in
+    if Workload.spans ~shards:4 req then
+      Alcotest.fail "a single-key transaction reported as spanning"
+  done
+
+let test_locality_keys_stay_in_range () =
+  let keys = 96 in
+  let wl = Workload.rmw_pair ~rng:(Rng.create ~seed:9) ~keys ~theta:0.9 in
+  Workload.set_locality wl (Some { Workload.shards = 3; cross = 0.5 });
+  for _ = 1 to 2000 do
+    let req = Workload.next wl in
+    Array.iter
+      (fun k -> if k < 0 || k >= keys then Alcotest.failf "read key %d" k)
+      req.Intf.reads;
+    Array.iter
+      (fun (k, _) ->
+        if k < 0 || k >= keys then Alcotest.failf "write key %d" k)
+      req.Intf.writes
+  done
+
+let test_locality_validation () =
+  let wl = Workload.rmw_pair ~rng:(Rng.create ~seed:1) ~keys:64 ~theta:0.0 in
+  List.iter
+    (fun bad ->
+      match Workload.set_locality wl (Some bad) with
+      | () -> Alcotest.fail "out-of-range locality accepted"
+      | exception Invalid_argument _ -> ())
+    [
+      { Workload.shards = 0; cross = 0.5 };
+      { Workload.shards = 2; cross = -0.1 };
+      { Workload.shards = 2; cross = 1.5 };
+    ];
+  (* Clearing the knob restores purely local generation semantics. *)
+  Workload.set_locality wl None
+
 let () =
   Alcotest.run "workload"
     [
@@ -216,4 +301,16 @@ let () =
       ( "aux",
         [ Alcotest.test_case "read-only / write-only" `Quick test_read_only_and_write_only ]
       );
+      ( "locality",
+        [
+          Alcotest.test_case "cross 0 and 1 extremes, 5 seeds" `Quick
+            test_locality_cross_extremes;
+          Alcotest.test_case "spanning ratio tracks cross" `Quick
+            test_locality_tracks_cross;
+          Alcotest.test_case "single-key never spans" `Quick
+            test_locality_single_key_never_spans;
+          Alcotest.test_case "keys stay in range" `Quick
+            test_locality_keys_stay_in_range;
+          Alcotest.test_case "knob validation" `Quick test_locality_validation;
+        ] );
     ]
