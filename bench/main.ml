@@ -845,6 +845,60 @@ let live mode =
       (List.init max_domains (fun i -> i + 1))
   in
   Table.print table;
+  (* Open-loop latency sweep: a fixed topology offered a fixed
+     aggregate rate (the paper's load-latency methodology). Latency is
+     measured from each transaction's INTENDED launch instant, so the
+     points past saturation report the queueing delay honestly instead
+     of the closed-loop's self-throttled figures; [alloc_per_txn] rides
+     along as the allocation regression signal. *)
+  heading "Live: open-loop load-latency sweep (fixed offered rate)";
+  let ol_duration = if mode.full then 2.0 else 0.5 in
+  let ol_rates =
+    if mode.full then [ 4_000.0; 8_000.0; 16_000.0; 32_000.0; 48_000.0 ]
+    else [ 4_000.0; 16_000.0 ]
+  in
+  let ol_table =
+    Table.create
+      ~header:
+        [ "offered/s"; "committed"; "txn/s"; "p50 us"; "p99 us";
+          "alloc w/txn"; "serializable" ]
+  in
+  let ol_points =
+    List.map
+      (fun rate ->
+        let cfg =
+          {
+            Mk_live.Runtime.default_config with
+            server_domains = 2;
+            coordinators = 2;
+            clients = 8;
+            keys = 4096;
+            theta = 0.3;
+            duration = Some ol_duration;
+            offered_rate = Some rate;
+            seed = mode.seed;
+          }
+        in
+        let r = Mk_live.Runtime.run cfg in
+        let serializable =
+          match Mk_harness.Checker.check r.Mk_live.Runtime.committed with
+          | Ok () -> true
+          | Error _ -> false
+        in
+        Table.add_row ol_table
+          [
+            Printf.sprintf "%.0f" rate;
+            string_of_int r.Mk_live.Runtime.committed_count;
+            Printf.sprintf "%.0f" r.Mk_live.Runtime.throughput;
+            Printf.sprintf "%.0f" r.Mk_live.Runtime.p50_us;
+            Printf.sprintf "%.0f" r.Mk_live.Runtime.p99_us;
+            string_of_int r.Mk_live.Runtime.alloc_per_txn;
+            (if serializable then "yes" else "NO");
+          ];
+        (rate, r, serializable))
+      ol_rates
+  in
+  Table.print ol_table;
   let body =
     String.concat ",\n  "
       (List.map
@@ -853,14 +907,32 @@ let live mode =
              (Mk_live.Runtime.report_json r))
          points)
   in
+  let ol_body =
+    String.concat ",\n  "
+      (List.map
+         (fun (rate, r, serializable) ->
+           Printf.sprintf
+             "{\"offered_rate\": %.0f, \"serializable\": %b, \"report\": %s}"
+             rate serializable
+             (Mk_live.Runtime.report_json r))
+         ol_points)
+  in
   (try
      let oc = open_out "BENCH_live.json" in
-     Printf.fprintf oc "{\"experiment\": \"live\", \"sweep\": [\n  %s\n]}\n" body;
+     Printf.fprintf oc
+       "{\"experiment\": \"live\", \"sweep\": [\n\
+       \  %s\n\
+        ], \"open_loop\": [\n\
+       \  %s\n\
+        ]}\n"
+       body ol_body;
      close_out oc;
      say "wrote BENCH_live.json"
    with Sys_error msg -> Format.eprintf "cannot write BENCH_live.json: %s@." msg);
   if List.exists (fun (_, s) -> not s) points then
-    failwith "live: serializability violation in a committed history"
+    failwith "live: serializability violation in a committed history";
+  if List.exists (fun (_, _, s) -> not s) ol_points then
+    failwith "live: serializability violation in an open-loop history"
 
 (* ------------------------------------------------------------------ *)
 (* Shard: goodput vs shard count x cross-shard ratio (sim backend).    *)

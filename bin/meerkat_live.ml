@@ -93,7 +93,7 @@ let run_sharded shards cross domains replicas coordinators clients keys theta
   end
 
 let run shards cross domains replicas coordinators clients keys theta workload
-    txns duration nemesis seed nseeds no_check json =
+    txns duration rate max_alloc nemesis seed nseeds no_check json =
   if shards < 1 then begin
     Format.eprintf "meerkat_live: --shards must be >= 1@.";
     exit 2
@@ -104,6 +104,12 @@ let run shards cross domains replicas coordinators clients keys theta workload
         "meerkat_live: --nemesis needs the single-group runtime (chaos is \
          single-group by design; use meerkat_cluster --kill-node for \
          multi-shard faults)@.";
+      exit 2
+    end;
+    if rate <> None || max_alloc <> None then begin
+      Format.eprintf
+        "meerkat_live: --rate and --max-alloc-per-txn need the single-group \
+         runtime (the multi-group driver is closed-loop)@.";
       exit 2
     end;
     run_sharded shards cross domains replicas coordinators clients keys theta
@@ -142,6 +148,7 @@ let run shards cross domains replicas coordinators clients keys theta workload
       workload;
       txns_per_client = txns;
       duration;
+      offered_rate = rate;
     }
   in
   let cfg =
@@ -172,6 +179,13 @@ let run shards cross domains replicas coordinators clients keys theta workload
               incr failures;
               Format.printf "  SERIALIZABILITY VIOLATION: %a@." Checker.pp_violation v
         end;
+        (match max_alloc with
+        | Some bound when r.Runtime.alloc_per_txn > bound ->
+            incr failures;
+            Format.printf
+              "  ALLOC REGRESSION: %d minor words/txn exceeds the bound %d@."
+              r.Runtime.alloc_per_txn bound
+        | _ -> ());
         (seed, r))
       (List.init nseeds (fun i -> seed + i))
   in
@@ -255,6 +269,23 @@ let () =
              ~doc:"Keep submitting for $(docv) of wall time instead of a \
                    per-client transaction quota.")
   in
+  let rate =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"TXN_PER_S"
+             ~doc:"Open-loop load generation: offer $(docv) transactions per \
+                   second in aggregate across all clients, on a fixed \
+                   phase-staggered schedule. Latency is measured from each \
+                   transaction's intended launch instant, so a saturated \
+                   system reports its queueing delay (no coordinated \
+                   omission). Without this flag the clients run closed-loop.")
+  in
+  let max_alloc =
+    Arg.(value & opt (some int) None
+         & info [ "max-alloc-per-txn" ] ~docv:"WORDS"
+             ~doc:"Fail (exit non-zero) if any run allocates more than \
+                   $(docv) minor words per committed transaction — the CI \
+                   allocation-regression guard.")
+  in
   let nemesis_conv =
     Arg.conv
       ( (fun s ->
@@ -291,8 +322,8 @@ let () =
   in
   let term =
     Term.(const run $ shards $ cross $ domains $ replicas $ coordinators
-          $ clients $ keys $ theta $ workload $ txns $ duration $ nemesis
-          $ seed $ nseeds $ no_check $ json)
+          $ clients $ keys $ theta $ workload $ txns $ duration $ rate
+          $ max_alloc $ nemesis $ seed $ nseeds $ no_check $ json)
   in
   let info =
     Cmd.info "meerkat_live"

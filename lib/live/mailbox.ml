@@ -9,6 +9,16 @@
    the [seq] store and acquired by the consumer's [seq] load (OCaml
    atomics are SC, so the pair orders the plain access on both sides).
 
+   Cells store the message directly, not an ['a option]: the [seq]
+   protocol alone says whether a slot is full, so the [Some] box the
+   old representation allocated per message carried no information.
+   An empty slot holds an unreachable sentinel ([Obj.magic ()]) that
+   is never read — only a slot whose [seq] marks it full is — and the
+   consumer re-stores the sentinel on release so a drained mailbox
+   does not pin dead messages for a whole lap. This is the standard
+   idiom of lock-free OCaml queues; the one obligation is local to
+   this file: never touch [value] unless [seq] proves ownership.
+
    Parking protocol: the consumer raises [parked] and re-checks the
    ring before waiting; a producer stores the cell first and reads
    [parked] after. Sequential consistency forbids both sides missing
@@ -20,7 +30,12 @@
    re-waited without re-raising the flag would never be signalled
    again. *)
 
-type 'a cell = { mutable value : 'a option; seq : int Atomic.t }
+type 'a cell = { mutable value : 'a; seq : int Atomic.t }
+
+(* The empty-slot sentinel. Immediate (the unit value), so it is never
+   mistaken for a heap pointer by the GC; never returned, because the
+   [seq] protocol gates every read. *)
+let empty : 'a. unit -> 'a = fun () -> Obj.magic ()
 
 type 'a t = {
   mask : int;
@@ -37,7 +52,8 @@ let create ~capacity =
     invalid_arg "Mailbox.create: capacity must be a power of two >= 2";
   {
     mask = capacity - 1;
-    cells = Array.init capacity (fun i -> { value = None; seq = Atomic.make i });
+    cells =
+      Array.init capacity (fun i -> { value = empty (); seq = Atomic.make i });
     tail = Atomic.make 0;
     head = 0;
     lock = Mutex.create ();
@@ -62,7 +78,7 @@ let try_push t v =
     let dif = Atomic.get cell.seq - pos in
     if dif = 0 then
       if Atomic.compare_and_set t.tail pos (pos + 1) then begin
-        cell.value <- Some v;
+        cell.value <- v;
         Atomic.set cell.seq (pos + 1);
         wake t;
         true
@@ -82,16 +98,34 @@ let push t v =
     Domain.cpu_relax ()
   done
 
+(* Consume the head cell, known ready ([seq = head + 1]). *)
+let take t cell =
+  let v = cell.value in
+  cell.value <- empty ();
+  Atomic.set cell.seq (t.head + t.mask + 1);
+  t.head <- t.head + 1;
+  v
+
 let try_pop t =
   let cell = t.cells.(t.head land t.mask) in
-  if Atomic.get cell.seq = t.head + 1 then begin
-    let v = cell.value in
-    cell.value <- None;
-    Atomic.set cell.seq (t.head + t.mask + 1);
-    t.head <- t.head + 1;
-    v
-  end
-  else None
+  if Atomic.get cell.seq = t.head + 1 then Some (take t cell) else None
+
+let drain t ~max f =
+  let n = ref 0 in
+  let continue = ref true in
+  while !continue && !n < max do
+    let cell = t.cells.(t.head land t.mask) in
+    if Atomic.get cell.seq = t.head + 1 then begin
+      (* Release the slot before running [f]: producers regain it
+         immediately, and [f] may push into this same mailbox without
+         deadlocking on its own undrained head. *)
+      let v = take t cell in
+      incr n;
+      f v
+    end
+    else continue := false
+  done;
+  !n
 
 let pop ?(spins = 256) t =
   let rec park () =

@@ -37,6 +37,14 @@ val push : 'a t -> 'a -> unit
 val try_pop : 'a t -> 'a option
 (** Consumer side; must only ever be called from one domain at a time. *)
 
+val drain : 'a t -> max:int -> ('a -> unit) -> int
+(** Batched consume: pop up to [max] ready messages, calling [f] on
+    each in FIFO order, and return how many were consumed. Each slot
+    is released {e before} its callback runs, so [f] may push into
+    this same mailbox. Allocation-free (no [option] per message) —
+    the preferred hot-path drain. Same single-consumer contract as
+    {!try_pop}. *)
+
 val pop : ?spins:int -> 'a t -> 'a
 (** Blocking consume: busy-polls for [spins] iterations (default 256),
     then parks until a producer wakes it. Same single-consumer

@@ -36,6 +36,7 @@ module Timestamp = Mk_clock.Timestamp
 module Tid = Timestamp.Tid
 module Txn = Mk_storage.Txn
 module Quorum = Mk_meerkat.Quorum
+module Batch = Mk_meerkat.Batch
 module Protocol = Mk_meerkat.Protocol
 module Replica = Mk_meerkat.Replica
 module Workload = Mk_workload.Workload
@@ -210,6 +211,11 @@ type coord_state = {
   cs_shards : shard_rt array;
   mutable cs_fast : int;
   mutable cs_slow : int;
+  cs_pool : Protocol.action Batch.Pool.t;
+      (** Pooled, not a single scratch batch: [a_on_prepared] runs
+          synchronously from a [Note_decided] and may start the next
+          per-shard attempt while the outer batch is still being
+          iterated. *)
 }
 
 type group_handle = { g_shard : int; g_cs : coord_state }
@@ -256,7 +262,9 @@ let exec cs (a : att) (action : Protocol.action) =
       a.a_on_prepared commit
 
 let feed cs a event =
-  List.iter (exec cs a) (Protocol.handle a.a_proto ~now:(cs.cs_wall ()) event)
+  Batch.Pool.with_batch cs.cs_pool (fun into ->
+      Protocol.handle a.a_proto ~now:(cs.cs_wall ()) event ~into;
+      Batch.iter (exec cs a) into)
 
 (* The four GROUP operations of one shard, as seen from one
    coordinator domain. *)
@@ -301,21 +309,22 @@ module Live_group = struct
     let aid = cs.cs_next_aid in
     cs.cs_next_aid <- aid + 1;
     let now = cs.cs_wall () in
-    let proto, actions = Protocol.start cs.cs_params ~now in
-    let a =
-      {
-        a_aid = aid;
-        a_shard = g.g_shard;
-        a_txn = txn;
-        a_ts = ts;
-        a_core = Tid.hash txn.Txn.tid mod cs.cs_cfg.server_domains;
-        a_proto = proto;
-        a_timers = [];
-        a_on_prepared = on_prepared;
-      }
-    in
-    Hashtbl.replace cs.cs_attempts aid a;
-    List.iter (exec cs a) actions
+    Batch.Pool.with_batch cs.cs_pool (fun into ->
+        let proto = Protocol.start cs.cs_params ~now ~into in
+        let a =
+          {
+            a_aid = aid;
+            a_shard = g.g_shard;
+            a_txn = txn;
+            a_ts = ts;
+            a_core = Tid.hash txn.Txn.tid mod cs.cs_cfg.server_domains;
+            a_proto = proto;
+            a_timers = [];
+            a_on_prepared = on_prepared;
+          }
+        in
+        Hashtbl.replace cs.cs_attempts aid a;
+        Batch.iter (exec cs a) into)
 
   let finalize_txn g ~txn ~ts ~commit =
     let cs = g.g_cs in
@@ -368,6 +377,7 @@ let coordinator (cfg : config) ~t0 ~router ~shard_rts ~coord_inboxes ~coord_id =
       cs_shards = shard_rts;
       cs_fast = 0;
       cs_slow = 0;
+      cs_pool = Batch.Pool.create ();
     }
   in
   let driver =

@@ -63,6 +63,7 @@ module Network = Mk_net.Network
 module Nemesis = Mk_fault.Nemesis
 module Verdict = Mk_fault.Verdict
 module Quorum = Mk_meerkat.Quorum
+module Batch = Mk_meerkat.Batch
 module Protocol = Mk_meerkat.Protocol
 module Replica = Mk_meerkat.Replica
 module Detector = Mk_meerkat.Detector
@@ -98,6 +99,7 @@ type config = {
   workload : workload_kind;
   txns_per_client : int;
   duration : float option;
+  offered_rate : float option;
   seed : int;
   rto_us : float;
   grace_us : float;
@@ -118,6 +120,7 @@ let default_config =
     workload = Ycsb_t;
     txns_per_client = 50;
     duration = None;
+    offered_rate = None;
     seed = 42;
     (* Mailboxes do not lose messages, so the retransmission timer is
        a pure safety net: generous enough never to fire on a loaded
@@ -226,6 +229,9 @@ type report = {
   wal_fsyncs : int;
   snapshots : int;
   snapshot_bytes : int;
+  gc_minor_words : int;
+  gc_majors : int;
+  alloc_per_txn : int;
   replicas : Replica.t array;
 }
 
@@ -236,8 +242,41 @@ type report = {
 (* Requests carry (coord, slot, seq) so the reply can be routed back to
    the issuing attempt; [seq] is the client-local transaction sequence
    number, so a late reply for a finished attempt can never be taken
-   for the current one. *)
+   for the current one.
+
+   Fault-free runs use the mask-batched constructors: server domain [k]
+   hosts core [k] of EVERY replica, so a protocol broadcast lands in
+   one inbox regardless of fan-out — [Validates] carries a replica
+   bitmask instead of being pushed once per replica, and the server
+   answers with one [Validated_batch] whose statuses are packed four
+   bits per replica. One mailbox message per protocol round instead of
+   [n_replicas], with no per-replica envelope allocations. The packing
+   caps [n_replicas] at 15 (4-bit lanes in a 63-bit int); {!run}
+   enforces that. Chaos mode keeps the per-replica singleton messages:
+   the link faults each (coordinator, replica) pair independently, so
+   batching there would change which partial deliveries are possible. *)
 type server_msg =
+  | Validates of {
+      mask : int;  (* bit r: validate at replica r *)
+      coord : int;
+      slot : int;
+      seq : int;
+      txn : Txn.t;
+      ts : Timestamp.t;
+    }
+  | Accepts of {
+      mask : int;
+      coord : int;
+      slot : int;
+      seq : int;
+      txn : Txn.t;
+      ts : Timestamp.t;
+      decision : [ `Commit | `Abort ];
+      view : int;
+    }
+  | Write_backs of { mask : int; txn : Txn.t; ts : Timestamp.t; commit : bool }
+  (* Per-replica singletons: chaos-mode traffic routed through the
+     per-pair {!Link}, plus the `Stale` accept reply fallback. *)
   | Validate of {
       replica : int;
       coord : int;
@@ -270,7 +309,44 @@ type server_msg =
   | Freeze
   | Stop
 
+(* 4-bit status lanes for the batched replies. [Txn.status] has six
+   constant constructors, so a code always fits a lane; accept replies
+   use code 0 for [`Accepted] and [1 + status] for [`Finalized] —
+   [`Stale] carries an unbounded view number and falls back to a
+   singleton [Accepted] message (it only arises under view changes,
+   which chaos mode drives over the singleton path anyway). *)
+let status_code : Txn.status -> int = function
+  | Txn.Validated_ok -> 0
+  | Txn.Validated_abort -> 1
+  | Txn.Accepted_commit -> 2
+  | Txn.Accepted_abort -> 3
+  | Txn.Committed -> 4
+  | Txn.Aborted -> 5
+
+let status_of_code : int -> Txn.status = function
+  | 0 -> Txn.Validated_ok
+  | 1 -> Txn.Validated_abort
+  | 2 -> Txn.Accepted_commit
+  | 3 -> Txn.Accepted_abort
+  | 4 -> Txn.Committed
+  | 5 -> Txn.Aborted
+  | c -> invalid_arg (Printf.sprintf "Runtime.status_of_code: %d" c)
+
+let max_replicas_batched = 15
+
 type coord_msg =
+  | Validated_batch of {
+      slot : int;
+      seq : int;
+      mask : int;  (* bit r: replica r's status is in lane r *)
+      statuses : int;  (* 4 bits per replica: [status_code] *)
+    }
+  | Accepted_batch of {
+      slot : int;
+      seq : int;
+      mask : int;
+      replies : int;  (* 4 bits per replica: 0 accepted, 1+s finalized *)
+    }
   | Validated of { slot : int; seq : int; replica : int; status : Txn.status }
   | Accepted of {
       slot : int;
@@ -316,40 +392,101 @@ type mon_msg =
 (* Server domains                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* How many messages a server consumes per [Mailbox.drain] before
+   letting its producers reclaim the released slots. One batched
+   message already covers a whole broadcast, so this bounds latency,
+   not fan-out. *)
+let server_drain_budget = 128
+
+(* One message, handled against every replica named in its mask. The
+   replies pack one 4-bit lane per replica and go back as a single
+   mailbox push (blocking, as before: {!run} sizes coordinator inboxes
+   so a server never blocks while a coordinator is blocked on it). *)
+let server_handle ~core ~replicas ~coord_inboxes ~stop msg =
+  match msg with
+  | Stop -> stop := true
+  | Validates { mask; coord; slot; seq; txn; ts } ->
+      let rmask = ref 0 and statuses = ref 0 in
+      let m = ref mask and r = ref 0 in
+      while !m <> 0 do
+        (if !m land 1 = 1 then
+           match Replica.handle_validate replicas.(!r) ~core ~txn ~ts with
+           | None -> ()
+           | Some status ->
+               rmask := !rmask lor (1 lsl !r);
+               statuses := !statuses lor (status_code status lsl (4 * !r)));
+        incr r;
+        m := !m lsr 1
+      done;
+      if !rmask <> 0 then
+        Mailbox.push coord_inboxes.(coord)
+          (Validated_batch { slot; seq; mask = !rmask; statuses = !statuses })
+  | Accepts { mask; coord; slot; seq; txn; ts; decision; view } ->
+      let rmask = ref 0 and packed = ref 0 in
+      let m = ref mask and r = ref 0 in
+      while !m <> 0 do
+        (if !m land 1 = 1 then
+           match
+             Replica.handle_accept replicas.(!r) ~core ~txn ~ts ~decision ~view
+           with
+           | None -> ()
+           | Some `Accepted -> rmask := !rmask lor (1 lsl !r)
+           | Some (`Finalized st) ->
+               rmask := !rmask lor (1 lsl !r);
+               packed := !packed lor ((1 + status_code st) lsl (4 * !r))
+           | Some (`Stale _ as reply) ->
+               (* View numbers do not fit a lane; ship the straggler
+                  as a legacy singleton. *)
+               Mailbox.push coord_inboxes.(coord)
+                 (Accepted { slot; seq; replica = !r; reply }));
+        incr r;
+        m := !m lsr 1
+      done;
+      if !rmask <> 0 then
+        Mailbox.push coord_inboxes.(coord)
+          (Accepted_batch { slot; seq; mask = !rmask; replies = !packed })
+  | Write_backs { mask; txn; ts; commit } ->
+      let m = ref mask and r = ref 0 in
+      while !m <> 0 do
+        if !m land 1 = 1 then
+          ignore
+            (Replica.handle_commit replicas.(!r) ~core ~txn ~ts ~commit
+              : unit option);
+        incr r;
+        m := !m lsr 1
+      done
+  | Validate { replica; coord; slot; seq; txn; ts } -> (
+      match Replica.handle_validate replicas.(replica) ~core ~txn ~ts with
+      | None -> ()
+      | Some status ->
+          Mailbox.push coord_inboxes.(coord)
+            (Validated { slot; seq; replica; status }))
+  | Accept { replica; coord; slot; seq; txn; ts; decision; view } -> (
+      match
+        Replica.handle_accept replicas.(replica) ~core ~txn ~ts ~decision ~view
+      with
+      | None -> ()
+      | Some reply ->
+          Mailbox.push coord_inboxes.(coord)
+            (Accepted { slot; seq; replica; reply }))
+  | Write_back { replica; txn; ts; commit } ->
+      ignore
+        (Replica.handle_commit replicas.(replica) ~core ~txn ~ts ~commit
+          : unit option)
+  | Coord_change _ | Vc_accept _ | Freeze ->
+      (* Monitor traffic never flows without a monitor. *)
+      ()
+
 let server_loop ~core ~replicas ~inbox ~coord_inboxes =
-  let rec loop () =
-    (* Z8: this parking pop IS the drain loop's idle wait — the server
-       domain has nothing to do until a message arrives, so blocking
-       here is the design, not a hazard. *)
-    match (Mailbox.pop inbox [@mk_lint.allow "Z8"]) with
-    | Stop -> ()
-    | Validate { replica; coord; slot; seq; txn; ts } ->
-        (match Replica.handle_validate replicas.(replica) ~core ~txn ~ts with
-        | None -> ()
-        | Some status ->
-            Mailbox.push coord_inboxes.(coord)
-              (Validated { slot; seq; replica; status }));
-        loop ()
-    | Accept { replica; coord; slot; seq; txn; ts; decision; view } ->
-        (match
-           Replica.handle_accept replicas.(replica) ~core ~txn ~ts ~decision
-             ~view
-         with
-        | None -> ()
-        | Some reply ->
-            Mailbox.push coord_inboxes.(coord)
-              (Accepted { slot; seq; replica; reply }));
-        loop ()
-    | Write_back { replica; txn; ts; commit } ->
-        ignore
-          (Replica.handle_commit replicas.(replica) ~core ~txn ~ts ~commit
-            : unit option);
-        loop ()
-    | Coord_change _ | Vc_accept _ | Freeze ->
-        (* Monitor traffic never flows without a monitor. *)
-        loop ()
-  in
-  loop ()
+  let stop = ref false in
+  let handle = server_handle ~core ~replicas ~coord_inboxes ~stop in
+  while not !stop do
+    if Mailbox.drain inbox ~max:server_drain_budget handle = 0 then
+      (* Z8: this parking pop IS the drain loop's idle wait — the
+         server domain has nothing to do until a message arrives, so
+         blocking here is the design, not a hazard. *)
+      handle (Mailbox.pop inbox [@mk_lint.allow "Z8"])
+  done
 
 (* Chaos-mode server domain: the same handlers, polling instead of
    parking, with every outbound reply routed through the link, plus a
@@ -415,6 +552,37 @@ let server_chaos_loop (cfg : config) ~chaos ~t0 ~core ~replicas ~inbox
         idle := 0;
         match msg with
         | Stop -> stop := true
+        | Validates { mask; coord; slot; seq; txn; ts } ->
+            (* Chaos coordinators send per-replica singletons (the link
+               faults each pair independently), but handle a batch
+               correctly anyway: per-replica link-routed replies. *)
+            for r = 0 to n - 1 do
+              if mask land (1 lsl r) <> 0 then
+                match Replica.handle_validate replicas.(r) ~core ~txn ~ts with
+                | None -> ()
+                | Some status ->
+                    reply_coord ~replica:r ~coord
+                      (Validated { slot; seq; replica = r; status })
+            done
+        | Accepts { mask; coord; slot; seq; txn; ts; decision; view } ->
+            for r = 0 to n - 1 do
+              if mask land (1 lsl r) <> 0 then
+                match
+                  Replica.handle_accept replicas.(r) ~core ~txn ~ts ~decision
+                    ~view
+                with
+                | None -> ()
+                | Some reply ->
+                    reply_coord ~replica:r ~coord
+                      (Accepted { slot; seq; replica = r; reply })
+            done
+        | Write_backs { mask; txn; ts; commit } ->
+            for r = 0 to n - 1 do
+              if mask land (1 lsl r) <> 0 then
+                ignore
+                  (Replica.handle_commit replicas.(r) ~core ~txn ~ts ~commit
+                    : unit option)
+            done
         | Validate { replica; coord; slot; seq; txn; ts } -> (
             match Replica.handle_validate replicas.(replica) ~core ~txn ~ts with
             | None -> ()
@@ -780,19 +948,23 @@ let monitor (cfg : config) ~chaos ~t0 ~replicas ~server_inboxes ~coord_inboxes
           ((dcfg.scan_every /. 2.0)
           +. (float_of_int o *. dcfg.scan_every /. float_of_int n)))
   in
+  let det_acts : Detector.action Batch.t = Batch.create () in
   let scan_tick now =
     for o = 0 to n - 1 do
       if now >= !(next_scan.(o)) then begin
         next_scan.(o) := now +. dcfg.scan_every;
-        if not (Replica.is_crashed replicas.(o)) then
+        if not (Replica.is_crashed replicas.(o)) then begin
           let rep = replicas.(o) in
-          List.iter perform
-            (Detector.scan det ~now ~observer:o
-               ~paused:(Replica.is_paused rep)
-               ~available:(Replica.is_available rep)
-               ~records:(fun () -> observer_records o)
-               ~recoverable:(fun p ->
-                 (not (Replica.is_crashed replicas.(p))) || now >= down_until.(p)))
+          Batch.clear det_acts;
+          Detector.scan det ~now ~observer:o
+            ~paused:(Replica.is_paused rep)
+            ~available:(Replica.is_available rep)
+            ~records:(fun () -> observer_records o)
+            ~recoverable:(fun p ->
+              (not (Replica.is_crashed replicas.(p))) || now >= down_until.(p))
+            ~into:det_acts;
+          Batch.iter perform det_acts
+        end
       end
     done
   in
@@ -864,6 +1036,11 @@ type attempt = {
   core : int;
   att_seq : int;
   proto : Protocol.t;
+  att_t0 : float;
+      (* Latency origin: the protocol start in closed-loop mode, the
+         INTENDED launch instant in open-loop mode — so a client that
+         fell behind its schedule reports the queueing delay it
+         actually imposed (no coordinated omission). *)
   mutable timers : (Protocol.timer * float) list;  (* absolute µs deadlines *)
 }
 
@@ -873,6 +1050,7 @@ type client = {
   mutable next_seq : int;
   mutable last_time : float;
   mutable done_txns : int;
+  mutable next_launch : float;  (* open-loop: next scheduled launch (µs) *)
   mutable active : attempt option;
 }
 
@@ -911,19 +1089,43 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
     | Rmw_pair -> Workload.rmw_pair ~rng ~keys:cfg.keys ~theta:cfg.theta
     | Retwis -> Workload.retwis ~rng ~keys:cfg.keys ~theta:cfg.theta
   in
+  (* Open-loop load: [offered_rate] is the AGGREGATE offered load in
+     txn/s across all clients, so each client launches every
+     [clients / rate] seconds, phase-staggered by client id — the
+     global launch train is evenly spaced at 1/rate. The schedule is
+     arithmetic ([next_launch +. interval], never [now +. interval]),
+     so a slow txn does not silently thin the offered load. *)
+  let launch_interval_us =
+    Option.map
+      (fun rate -> 1e6 *. float_of_int cfg.clients /. rate)
+      cfg.offered_rate
+  in
+  let first_launch cid =
+    match cfg.offered_rate with
+    | Some rate -> float_of_int cid *. (1e6 /. rate)
+    | None -> 0.0
+  in
   let local =
     List.init cfg.clients Fun.id
     |> List.filter (fun cid -> cid mod cfg.coordinators = coord_id)
     |> List.mapi (fun slot cid ->
-           { cid; slot; next_seq = 0; last_time = 0.0; done_txns = 0; active = None })
+           {
+             cid;
+             slot;
+             next_seq = 0;
+             last_time = 0.0;
+             done_txns = 0;
+             next_launch = first_launch cid;
+             active = None;
+           })
     |> Array.of_list
   in
   let deadline_us =
     match cfg.duration with Some d -> Some (d *. 1e6) | None -> None
   in
-  let quota_done c =
+  let quota_done ~now c =
     match deadline_us with
-    | Some dl -> wall_us () >= dl
+    | Some dl -> now >= dl
     | None -> c.done_txns >= cfg.txns_per_client
   in
   (* Fault injection: a killed coordinator process discards its inbox
@@ -960,37 +1162,82 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
     in
     attempt 0
   in
+  let full_mask = (1 lsl cfg.n_replicas) - 1 in
   let exec c att action =
     match action with
-    | Protocol.Send_validates { only_missing } ->
-        for r = 0 to cfg.n_replicas - 1 do
-          if (not only_missing) || Protocol.needs_validate att.proto r then
-            send_server ~core:att.core ~replica:r
-              (Validate
+    | Protocol.Send_validates { only_missing } -> (
+        match link with
+        | None ->
+            (* Fault-free: the whole broadcast is one mailbox message —
+               server domain [att.core] hosts that core of every
+               replica, so a replica bitmask replaces the per-replica
+               envelope fan-out. *)
+            let mask =
+              if not only_missing then full_mask
+              else begin
+                let m = ref 0 in
+                for r = 0 to cfg.n_replicas - 1 do
+                  if Protocol.needs_validate att.proto r then
+                    m := !m lor (1 lsl r)
+                done;
+                !m
+              end
+            in
+            if mask <> 0 then
+              Mailbox.push server_inboxes.(att.core)
+                (Validates
+                   {
+                     mask;
+                     coord = coord_id;
+                     slot = c.slot;
+                     seq = att.att_seq;
+                     txn = att.txn;
+                     ts = att.ts;
+                   })
+        | Some _ ->
+            for r = 0 to cfg.n_replicas - 1 do
+              if (not only_missing) || Protocol.needs_validate att.proto r then
+                send_server ~core:att.core ~replica:r
+                  (Validate
+                     {
+                       replica = r;
+                       coord = coord_id;
+                       slot = c.slot;
+                       seq = att.att_seq;
+                       txn = att.txn;
+                       ts = att.ts;
+                     })
+            done)
+    | Protocol.Send_accepts { decision } -> (
+        match link with
+        | None ->
+            Mailbox.push server_inboxes.(att.core)
+              (Accepts
                  {
-                   replica = r;
+                   mask = full_mask;
                    coord = coord_id;
                    slot = c.slot;
                    seq = att.att_seq;
                    txn = att.txn;
                    ts = att.ts;
+                   decision;
+                   view = 0;
                  })
-        done
-    | Protocol.Send_accepts { decision } ->
-        for r = 0 to cfg.n_replicas - 1 do
-          send_server ~core:att.core ~replica:r
-            (Accept
-               {
-                 replica = r;
-                 coord = coord_id;
-                 slot = c.slot;
-                 seq = att.att_seq;
-                 txn = att.txn;
-                 ts = att.ts;
-                 decision;
-                 view = 0;
-               })
-        done
+        | Some _ ->
+            for r = 0 to cfg.n_replicas - 1 do
+              send_server ~core:att.core ~replica:r
+                (Accept
+                   {
+                     replica = r;
+                     coord = coord_id;
+                     slot = c.slot;
+                     seq = att.att_seq;
+                     txn = att.txn;
+                     ts = att.ts;
+                     decision;
+                     view = 0;
+                   })
+            done)
     | Protocol.Arm_timer { timer; delay } ->
         let timer, delay =
           match timer with
@@ -1004,7 +1251,7 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
           ()
     | Protocol.Note_decided { commit; fast } ->
         let now = wall_us () in
-        Histogram.add lat (now -. Protocol.started att.proto);
+        Histogram.add lat (now -. att.att_t0);
         if fast then
           Obs.span obs Span.Fast_quorum ~tid:c.cid
             ~start:(Protocol.started att.proto) ()
@@ -1013,20 +1260,33 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
             ~start:(Protocol.accept_started att.proto) ();
         Obs.note_decision obs ~committed:commit ~fast;
         (* Asynchronous write phase (§5.2.3): fire and forget. *)
-        for r = 0 to cfg.n_replicas - 1 do
-          send_server ~core:att.core ~replica:r
-            (Write_back { replica = r; txn = att.txn; ts = att.ts; commit })
-        done;
+        (match link with
+        | None ->
+            Mailbox.push server_inboxes.(att.core)
+              (Write_backs
+                 { mask = full_mask; txn = att.txn; ts = att.ts; commit })
+        | Some _ ->
+            for r = 0 to cfg.n_replicas - 1 do
+              send_server ~core:att.core ~replica:r
+                (Write_back { replica = r; txn = att.txn; ts = att.ts; commit })
+            done);
         if commit then committed := (att.txn, att.ts) :: !committed
   in
-  let feed c att event =
-    List.iter (exec c att) (Protocol.handle att.proto ~now:(wall_us ()) event);
+  (* One scratch batch per coordinator domain: [exec] never reenters
+     [feed]/[start_txn] (decisions only unpark the client; the next
+     transaction starts from the main loop), so a single reused buffer
+     is safe and the protocol boundary allocates nothing per event. *)
+  let acts : Protocol.action Batch.t = Batch.create () in
+  let feed c att ~now event =
+    Batch.clear acts;
+    Protocol.handle att.proto ~now event ~into:acts;
+    Batch.iter (exec c att) acts;
     if Protocol.decided att.proto then begin
       c.active <- None;
       c.done_txns <- c.done_txns + 1
     end
   in
-  let start_txn c =
+  let start_txn ?launch c =
     let req = Workload.next wl in
     let exec_start = wall_us () in
     let read_set =
@@ -1054,72 +1314,128 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
     c.last_time <- time;
     let ts = Timestamp.make ~time ~client_id:c.cid in
     let core = Tid.hash tid mod cfg.server_domains in
-    let proto, actions = Protocol.start params ~now in
-    let att = { txn; ts; core; att_seq = c.next_seq; proto; timers = [] } in
+    Batch.clear acts;
+    let proto = Protocol.start params ~now ~into:acts in
+    let att_t0 = match launch with Some l -> l | None -> now in
+    let att =
+      { txn; ts; core; att_seq = c.next_seq; proto; att_t0; timers = [] }
+    in
     c.active <- Some att;
-    List.iter (exec c att) actions
+    Batch.iter (exec c att) acts
   in
-  let dispatch msg =
+  let dispatch ~now msg =
     match msg with
     | Coord_kill { until_us } ->
         down_until_us := Float.max !down_until_us until_us
+    | Validated_batch { slot; seq; mask; statuses } ->
+        (* One lane per replica; [c.active] is re-checked per lane
+           because an earlier lane's reply may decide the attempt —
+           the rest of the batch then drops, exactly as the remaining
+           singleton messages would have on arrival. *)
+        let c = local.(slot) in
+        let m = ref mask and r = ref 0 in
+        while !m <> 0 do
+          (if !m land 1 = 1 then
+             match c.active with
+             | Some att when att.att_seq = seq ->
+                 feed c att ~now
+                   (Protocol.Validate_reply
+                      {
+                        replica = !r;
+                        status = status_of_code ((statuses lsr (4 * !r)) land 0xf);
+                      })
+             | Some _ | None -> ());
+          incr r;
+          m := !m lsr 1
+        done
+    | Accepted_batch { slot; seq; mask; replies } ->
+        let c = local.(slot) in
+        let m = ref mask and r = ref 0 in
+        while !m <> 0 do
+          (if !m land 1 = 1 then
+             match c.active with
+             | Some att when att.att_seq = seq ->
+                 let code = (replies lsr (4 * !r)) land 0xf in
+                 let reply =
+                   if code = 0 then `Accepted
+                   else `Finalized (status_of_code (code - 1))
+                 in
+                 feed c att ~now (Protocol.Accept_reply { replica = !r; reply })
+             | Some _ | None -> ());
+          incr r;
+          m := !m lsr 1
+        done
     | Validated { slot; seq; replica; status } -> (
         let c = local.(slot) in
         match c.active with
         | Some att when att.att_seq = seq ->
-            feed c att (Protocol.Validate_reply { replica; status })
+            feed c att ~now (Protocol.Validate_reply { replica; status })
         | Some _ | None -> ())
     | Accepted { slot; seq; replica; reply } -> (
         let c = local.(slot) in
         match c.active with
         | Some att when att.att_seq = seq ->
-            feed c att (Protocol.Accept_reply { replica; reply })
+            feed c att ~now (Protocol.Accept_reply { replica; reply })
         | Some _ | None -> ())
   in
-  let fire_due_timers c att =
-    let now = wall_us () in
-    let due, pending = List.partition (fun (_, dl) -> dl <= now) att.timers in
-    att.timers <- pending;
-    List.iter
-      (fun (timer, _) ->
-        if not (Protocol.decided att.proto) then begin
-          (match timer with
-          | Protocol.Retransmit _ -> Obs.note_retransmit obs
-          | Protocol.Fast_grace -> ());
-          feed c att (Protocol.Timer timer)
-        end)
-      due
+  (* Cheap no-allocation probe so the common no-timer-due iteration
+     skips [List.partition] (two fresh lists plus a closure per call,
+     every spin, for every active client — pure garbage when nothing
+     is due, which is almost always). *)
+  let rec any_due now = function
+    | [] -> false
+    | (_, dl) :: rest -> dl <= now || any_due now rest
+  in
+  let fire_due_timers ~now c att =
+    if any_due now att.timers then begin
+      let due, pending =
+        List.partition (fun (_, dl) -> dl <= now) att.timers
+      in
+      att.timers <- pending;
+      List.iter
+        (fun (timer, _) ->
+          if not (Protocol.decided att.proto) then begin
+            (match timer with
+            | Protocol.Retransmit _ -> Obs.note_retransmit obs
+            | Protocol.Fast_grace -> ());
+            feed c att ~now (Protocol.Timer timer)
+          end)
+        due
+    end
   in
   let idle = ref 0 in
+  (* One cached clock read per loop iteration — and, while idling, one
+     per eight spins. The spin loop used to read the wall clock many
+     times per iteration (the per-message down check, [quota_done] and
+     [fire_due_timers] for every client), and each [Unix.gettimeofday]
+     boxes a float, which made the clock itself the dominant source of
+     minor allocation on the fast path. Staleness is bounded by a few
+     spin iterations (under the 100 µs idle sleep, well under the 5 ms
+     fast-grace timer); the latency-bearing reads ([start_txn] and the
+     [Note_decided] handler) still hit the clock directly. *)
+  let last_now = ref (wall_us ()) in
+  let handle_msg msg =
+    match msg with
+    | Coord_kill _ -> dispatch ~now:!last_now msg
+    | _ when !last_now < !down_until_us ->
+        (* Dead: the message is popped and lost, exactly what a
+           crashed process does to its socket buffers. *)
+        ()
+    | _ -> dispatch ~now:!last_now msg
+  in
   let rec loop () =
-    let progressed = ref false in
-    let budget = ref 256 in
-    let rec drain () =
-      if !budget > 0 then begin
-        match Mailbox.try_pop inbox with
-        | Some msg ->
-            decr budget;
-            progressed := true;
-            (match msg with
-            | Coord_kill _ -> dispatch msg
-            | _ when wall_us () < !down_until_us ->
-                (* Dead: the message is popped and lost, exactly what a
-                   crashed process does to its socket buffers. *)
-                ()
-            | _ -> dispatch msg);
-            drain ()
-        | None -> ()
-      end
-    in
-    drain ();
+    if !idle = 0 || !idle land 7 = 0 then last_now := wall_us ();
+    let got = Mailbox.drain inbox ~max:256 handle_msg in
+    let progressed = ref (got > 0) in
+    let now = !last_now in
     let all_done = ref true in
-    if wall_us () < !down_until_us then begin
+    if now < !down_until_us then begin
       (* Down: no timers fire, no transactions start; the clients are
          not done, so the loop keeps draining (and discarding). *)
       was_down := true;
       Array.iter
         (fun c ->
-          if Option.is_some c.active || not (quota_done c) then
+          if Option.is_some c.active || not (quota_done ~now c) then
             all_done := false)
         local
     end
@@ -1140,24 +1456,37 @@ let coordinator (cfg : config) ~t0 ~replicas ~server_inboxes ~coord_inboxes
           | None -> ()
         in
         purge ();
-        if wall_us () >= !down_until_us then
+        last_now := wall_us ();
+        if !last_now >= !down_until_us then
           Array.iter
             (fun c ->
               match c.active with
-              | Some att -> feed c att Protocol.Resume
+              | Some att -> feed c att ~now:!last_now Protocol.Resume
               | None -> ())
             local
       end;
+      let now = !last_now in
       Array.iter
         (fun c ->
           (match c.active with
-          | Some att -> fire_due_timers c att
+          | Some att -> fire_due_timers ~now c att
           | None ->
-              if not (quota_done c) then begin
-                start_txn c;
-                progressed := true
-              end);
-          if Option.is_some c.active || not (quota_done c) then
+              if not (quota_done ~now c) then
+                match launch_interval_us with
+                | None ->
+                    start_txn c;
+                    progressed := true
+                | Some interval ->
+                    (* Open loop: launch only at the scheduled instant;
+                       the intended instant (not [now]) is the latency
+                       origin and the schedule advances arithmetically
+                       from it. *)
+                    if now >= c.next_launch then begin
+                      start_txn c ~launch:c.next_launch;
+                      c.next_launch <- c.next_launch +. interval;
+                      progressed := true
+                    end);
+          if Option.is_some c.active || not (quota_done ~now c) then
             all_done := false)
         local
     end;
@@ -1267,6 +1596,12 @@ let run (cfg : config) : report =
   if cfg.clients < 1 then invalid_arg "Runtime.run: clients must be >= 1";
   if cfg.n_replicas < 3 || cfg.n_replicas mod 2 = 0 then
     invalid_arg "Runtime.run: n_replicas must be odd and >= 3";
+  if cfg.n_replicas > max_replicas_batched then
+    invalid_arg
+      (Printf.sprintf
+         "Runtime.run: n_replicas must be <= %d (replica masks and 4-bit \
+          status lanes pack into one immediate int)"
+         max_replicas_batched);
   (* The deadlock-freedom argument (see the header comment): a
      coordinator inbox must hold the worst-case burst of outstanding
      replies, a few times local clients × replicas. Enforced, not just
@@ -1284,6 +1619,10 @@ let run (cfg : config) : report =
   (match cfg.chaos with
   | Some _ when cfg.duration = None ->
       invalid_arg "Runtime.run: chaos runs need a duration (the horizon)"
+  | _ -> ());
+  (match cfg.offered_rate with
+  | Some r when not (r > 0.0) ->
+      invalid_arg "Runtime.run: offered_rate must be > 0"
   | _ -> ());
   let quorum = Quorum.create ~n:cfg.n_replicas in
   let replicas =
@@ -1332,6 +1671,11 @@ let run (cfg : config) : report =
     Array.init cfg.coordinators (fun _ ->
         Mailbox.create ~capacity:cfg.coord_inbox)
   in
+  (* Allocation footprint of the whole run: in OCaml 5 a terminated
+     domain folds its allocation counters into the global totals at
+     join, so the post-join [quick_stat] delta covers every domain
+     spawned in between. *)
+  let gc0 = Gc.quick_stat () in
   let t0 = Spawn.wall () in
   let wall_us () = (Spawn.wall () -. t0) *. 1e6 in
   let link =
@@ -1403,6 +1747,11 @@ let run (cfg : config) : report =
         (a, b, f, ds.d_snaps, ds.d_snap_bytes)
   in
   let wall_seconds = Spawn.wall () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  let gc_minor_words =
+    int_of_float (gc1.Gc.minor_words -. gc0.Gc.minor_words)
+  in
+  let gc_majors = gc1.Gc.major_collections - gc0.Gc.major_collections in
   let committed = List.concat_map (fun r -> r.c_committed) results in
   let sum name =
     List.fold_left (fun acc r -> acc + Obs.counter_value r.c_obs name) 0 results
@@ -1415,6 +1764,18 @@ let run (cfg : config) : report =
   let committed_count = sum "txn.committed" in
   let aborted = sum "txn.aborted" in
   let decided = committed_count + aborted in
+  let alloc_per_txn =
+    if committed_count = 0 then 0 else gc_minor_words / committed_count
+  in
+  (* Fold the run's allocation footprint into an Obs handle so
+     [metrics_dump] and counter readers see it alongside the wire and
+     WAL counters (one handle is enough — the figures are whole-run,
+     not per-coordinator). *)
+  (match results with
+  | r :: _ ->
+      Obs.note_gc r.c_obs ~minor_words:gc_minor_words ~majors:gc_majors
+        ~per_txn:alloc_per_txn
+  | [] -> ());
   let link_dropped, link_duplicated, link_delayed =
     match link with Some l -> Link.stats l | None -> (0, 0, 0)
   in
@@ -1451,6 +1812,9 @@ let run (cfg : config) : report =
     wal_fsyncs;
     snapshots;
     snapshot_bytes;
+    gc_minor_words;
+    gc_majors;
+    alloc_per_txn;
     replicas;
   }
 
@@ -1471,7 +1835,9 @@ let pp_report ppf r =
       r.link_duplicated r.link_delayed;
   if r.wal_appends > 0 || r.snapshots > 0 then
     Format.fprintf ppf "@,durable: %d wal appends (%d bytes, %d fsyncs), %d snapshots"
-      r.wal_appends r.wal_bytes r.wal_fsyncs r.snapshots
+      r.wal_appends r.wal_bytes r.wal_fsyncs r.snapshots;
+  Format.fprintf ppf "@,alloc: %d minor words/txn (%d total, %d major gcs)"
+    r.alloc_per_txn r.gc_minor_words r.gc_majors
 
 let report_json r =
   Printf.sprintf
@@ -1482,9 +1848,11 @@ let report_json r =
      %d, \"acked\": %d, \"epoch_changes\": %d, \"view_changes\": %d, \
      \"fault_events\": %d, \"link_dropped\": %d, \"link_duplicated\": %d, \
      \"link_delayed\": %d, \"wal_appends\": %d, \"wal_bytes\": %d, \
-     \"wal_fsyncs\": %d, \"snapshots\": %d}"
+     \"wal_fsyncs\": %d, \"snapshots\": %d, \"gc_minor_words\": %d, \
+     \"gc_majors\": %d, \"alloc_per_txn\": %d}"
     r.server_domains r.coordinators r.clients r.committed_count r.aborted
     r.abort_rate r.fast_path r.slow_path r.retransmits r.wall_seconds
     r.throughput r.p50_us r.p99_us r.submitted r.acked r.epoch_changes
     r.view_changes r.fault_events r.link_dropped r.link_duplicated
     r.link_delayed r.wal_appends r.wal_bytes r.wal_fsyncs r.snapshots
+    r.gc_minor_words r.gc_majors r.alloc_per_txn

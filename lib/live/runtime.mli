@@ -56,6 +56,15 @@ type config = {
   duration : float option;
       (** Wall seconds to keep submitting; overrides [txns_per_client].
           Required (= the horizon) when [chaos] is set. *)
+  offered_rate : float option;
+      (** [Some r]: open-loop load generation at an AGGREGATE [r]
+          txn/s across all clients — each client launches on a fixed
+          arithmetic schedule (phase-staggered by client id) and
+          latency is measured from the INTENDED launch instant, so a
+          saturated system reports its queueing delay instead of
+          silently thinning the offered load (no coordinated
+          omission). [None] (default): closed loop — every client
+          resubmits as soon as its previous transaction decides. *)
   seed : int;
   rto_us : float;  (** Initial retransmission timeout (wall µs). *)
   grace_us : float;  (** Fast-path grace before settling slow (wall µs). *)
@@ -109,6 +118,14 @@ type report = {
   wal_fsyncs : int;
   snapshots : int;  (** Per-core snapshots written at epoch installs. *)
   snapshot_bytes : int;
+  gc_minor_words : int;
+      (** Minor words allocated over the whole run, summed across all
+          domains (terminated domains fold their counters into the
+          global totals at join). *)
+  gc_majors : int;  (** Major collections over the run. *)
+  alloc_per_txn : int;
+      (** [gc_minor_words / committed_count] — the figure the CI
+          alloc-regression guard bounds. *)
   replicas : Mk_meerkat.Replica.t array;
       (** The run's replicas, quiescent after the join — the chaos
           harness checks its agreement/bounded/available invariants

@@ -1,0 +1,103 @@
+(* Reusable emission batches for the action boundary (DESIGN.md §14).
+
+   A batch is a growable array that a state machine emits actions into
+   and a driver iterates front-to-back — the same order contract the
+   old action *lists* had, minus the per-action cons cells. Once a
+   batch has grown to its steady-state capacity, [emit] is a bounds
+   check and two stores: nothing on the fast path allocates.
+
+   [clear] only resets the length; the slots keep their last values
+   alive until overwritten. Protocol actions are small (mostly shared
+   constants), so the retention is bounded and harmless — and the
+   alternative, blanking the slots, would make [clear] O(n) on a path
+   that runs per event.
+
+   The pool exists for reentrant drivers: a [Note_decided] callback
+   may synchronously start the next attempt (the sharded live driver
+   does exactly that), so the inner [Protocol.start] must not scribble
+   over the batch the outer [handle] is still iterating. [rent] hands
+   out distinct batches per nesting level and [return] recycles them;
+   in steady state neither allocates. *)
+
+type 'a t = { mutable buf : 'a array; mutable len : int; hint : int }
+
+let create ?(capacity = 8) () =
+  (* The backing array materializes on the first [emit]: a ['a array]
+     cannot be built without a witness value. [capacity] sizes it. *)
+  { buf = [||]; len = 0; hint = max 1 capacity }
+
+let length t = t.len
+let is_empty t = t.len = 0
+let clear t = t.len <- 0
+
+let emit t x =
+  let cap = Array.length t.buf in
+  if t.len = cap then begin
+    let grown = Array.make (if cap = 0 then t.hint else cap * 2) x in
+    Array.blit t.buf 0 grown 0 t.len;
+    t.buf <- grown
+  end;
+  Array.unsafe_set t.buf t.len x;
+  t.len <- t.len + 1
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Batch.get";
+  Array.unsafe_get t.buf i
+
+let iter f t =
+  (* Index against the batch, not a saved bound: an action performed
+     mid-iteration may legitimately emit follow-ups into the same
+     batch (a driver folding its own steps in), and those must be
+     seen. Emissions never shrink [len], so this terminates whenever
+     the driver's own action graph does. *)
+  let i = ref 0 in
+  while !i < t.len do
+    f (Array.unsafe_get t.buf !i);
+    incr i
+  done
+
+let to_list t = List.init t.len (fun i -> Array.unsafe_get t.buf i)
+
+module Pool = struct
+  type 'a batch = 'a t
+
+  let fresh_batch () : 'a batch = create ()
+
+  type 'a t = { mutable free : 'a batch array; mutable n : int }
+
+  let create () = { free = [||]; n = 0 }
+
+  let rent p =
+    if p.n = 0 then fresh_batch ()
+    else begin
+      p.n <- p.n - 1;
+      (* [0 <= n < length free] by the branch above and [return]'s
+         growth — in bounds by construction. *)
+      (p.free.(p.n) [@mk_lint.allow "Z7"])
+    end
+
+  let return p b =
+    clear b;
+    let cap = Array.length p.free in
+    if p.n = cap then begin
+      let grown = Array.make (if cap = 0 then 4 else cap * 2) b in
+      Array.blit p.free 0 grown 0 p.n;
+      p.free <- grown
+    end;
+    (* [n < length free] after the growth branch just above. *)
+    ((p.free.(p.n) <- b) [@mk_lint.allow "Z7"]);
+    p.n <- p.n + 1
+
+  let with_batch p f =
+    let b = rent p in
+    match f b with
+    | v ->
+        return p b;
+        v
+    | exception e ->
+        return p b;
+        (* Exception transparency, not a new failure mode: [e] was
+           already in flight from [f]; this re-raise merely keeps the
+           pool consistent on the way out. *)
+        (raise e [@mk_lint.allow "Z7"])
+end

@@ -1,0 +1,61 @@
+(** Reusable emission batches: the zero-alloc replacement for the
+    action lists at the {!Protocol} / {!Detector} boundary.
+
+    A state machine emits actions into a caller-supplied batch; the
+    driver iterates them front to back — the exact order the old
+    lists carried (the determinism the golden suites pin) — then
+    {!clear}s and reuses the batch. At steady-state capacity, {!emit}
+    allocates nothing.
+
+    Batches are single-owner values, not thread-safe: each driver
+    loop keeps its own (or rents from a {!Pool} when its action
+    callbacks may reenter the state machine synchronously). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty batch. The backing array materializes on first {!emit}
+    and doubles as needed; after warm-up no growth occurs. *)
+
+val emit : 'a t -> 'a -> unit
+(** Append one action. O(1), allocation-free once at capacity. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Reset to empty without shrinking. Slots retain their previous
+    values until overwritten (bounded, by construction — see the
+    implementation note). *)
+
+val get : 'a t -> int -> 'a
+(** Random access below {!length}; raises [Invalid_argument]
+    otherwise. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Apply front to back. Actions emitted into the same batch during
+    iteration are visited too (drivers that fold follow-up steps into
+    the batch rely on this). *)
+
+val to_list : 'a t -> 'a list
+(** Snapshot as a list — for tests and golden traces, not hot paths. *)
+
+(** Recycled batches for reentrant drivers: a driver whose action
+    callbacks can synchronously start the next protocol attempt rents
+    a fresh batch per nesting level so inner emissions never scribble
+    over a batch still being iterated. *)
+module Pool : sig
+  type 'a batch := 'a t
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val rent : 'a t -> 'a batch
+  (** A cleared batch — recycled when one is free, fresh otherwise. *)
+
+  val return : 'a t -> 'a batch -> unit
+  (** Clear and recycle. The caller must not touch the batch after. *)
+
+  val with_batch : 'a t -> ('a batch -> 'b) -> 'b
+  (** [rent]/[return] bracket, exception-safe. *)
+end

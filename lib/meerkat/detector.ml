@@ -147,14 +147,13 @@ let maybe_epoch_change t ~now o ~recoverable =
     else None
   end
 
-let scan t ~now ~observer:o ~paused ~available ~records ~recoverable =
+let scan t ~now ~observer:o ~paused ~available ~records ~recoverable ~into =
   (* Track our own paused state so a replica stranded by a failed
      epoch change can ask to be reintegrated. *)
   if paused then begin
     if Float.is_nan t.self_paused_since.(o) then t.self_paused_since.(o) <- now
   end
   else t.self_paused_since.(o) <- Float.nan;
-  let acts = ref [] in
   if available then
     List.iter
       (fun (e : Trecord.entry) ->
@@ -175,17 +174,15 @@ let scan t ~now ~observer:o ~paused ~available ~records ~recoverable =
                      that this replica proposes for: view v is owned by
                      replica (v mod n). *)
                   let rec pick v = if v mod t.n = o then v else pick (v + 1) in
-                  acts :=
-                    Start_view_change
-                      { observer = o; record = e; view = pick (e.view + 1) }
-                    :: !acts
+                  Batch.emit into
+                    (Start_view_change
+                       { observer = o; record = e; view = pick (e.view + 1) })
                 end
           end)
       (records ());
-  (match maybe_epoch_change t ~now o ~recoverable with
-  | Some a -> acts := a :: !acts
-  | None -> ());
-  List.rev !acts
+  match maybe_epoch_change t ~now o ~recoverable with
+  | Some a -> Batch.emit into a
+  | None -> ()
 
 let epoch_change_finished t ~now ~success ~recovering =
   t.ec_inflight <- false;

@@ -83,12 +83,13 @@ val scan :
   available:bool ->
   records:(unit -> Mk_storage.Trecord.entry list) ->
   recoverable:(int -> bool) ->
-  action list
+  into:action Batch.t ->
+  unit
 (** One scan tick of replica [observer] (drivers skip ticks of crashed
     replicas). Updates the observer's own paused clock, scans its
     trecord for stuck records when [available] (the thunk is only
-    forced then), evaluates suspicion, and returns the recovery
-    actions to start, in the order they must be performed:
+    forced then), evaluates suspicion, and appends the recovery
+    actions to start to [into], in the order they must be performed:
     view changes in record order, then at most one epoch change.
     [recoverable p] says whether suspect [p] could be reintegrated
     right now (a crashed machine only after its reboot time). *)

@@ -2,10 +2,14 @@
    extracted from the simulator so the live runtime executes the same
    code. See protocol.mli for the driver contract.
 
-   The action lists returned here are ordered: drivers perform them
-   front to back, which reproduces exactly the send/schedule sequence
-   of the pre-extraction coordinator (the determinism the equivalence
-   suite pins). *)
+   Actions are emitted into a caller-supplied batch, in order: drivers
+   perform them front to back, which reproduces exactly the
+   send/schedule sequence of the pre-extraction coordinator (the
+   determinism the equivalence suite pins). Every parameterless action
+   shape below is a preallocated constant, so the fast path — emit a
+   few constants into a warm batch — allocates nothing; only
+   [Arm_timer] (which carries fresh floats) still does, and timers are
+   armed once per attempt, not per message. *)
 
 module Txn = Mk_storage.Txn
 
@@ -27,6 +31,24 @@ type event =
   | Accept_reply of { replica : int; reply : accept_reply }
   | Timer of timer
   | Resume
+
+(* The preallocated action constants: one value per parameterless
+   shape, shared by every attempt in the process. *)
+
+let act_validates_all = Send_validates { only_missing = false }
+let act_validates_missing = Send_validates { only_missing = true }
+let act_accepts_commit = Send_accepts { decision = `Commit }
+let act_accepts_abort = Send_accepts { decision = `Abort }
+let act_decided_commit_fast = Note_decided { commit = true; fast = true }
+let act_decided_commit_slow = Note_decided { commit = true; fast = false }
+let act_decided_abort_fast = Note_decided { commit = false; fast = true }
+let act_decided_abort_slow = Note_decided { commit = false; fast = false }
+
+let act_decided ~commit ~fast =
+  if commit then
+    if fast then act_decided_commit_fast else act_decided_commit_slow
+  else if fast then act_decided_abort_fast
+  else act_decided_abort_slow
 
 type t = {
   params : params;
@@ -67,41 +89,37 @@ let ok_count t =
 let accept_acks t =
   Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 t.accept_from
 
-(* Emission helpers: each returns the actions it adds, preserving the
-   pre-extraction call order. *)
+(* Emission helpers: each appends its actions to [into], preserving
+   the pre-extraction call order. *)
 
-let note_validated t =
-  if t.validated then []
-  else begin
+let note_validated t ~into =
+  if not t.validated then begin
     t.validated <- true;
-    [ Note_validated ]
+    Batch.emit into Note_validated
   end
 
 (* First entry into the slow path (§5.2.2 step 4); freezes the
    proposal and the slow-accept span base. *)
-let enter_accept t ~now ~commit =
-  if t.in_accept then []
-  else begin
+let enter_accept t ~now ~commit ~into =
+  if not t.in_accept then begin
     t.in_accept <- true;
     t.accept_commit <- commit;
-    let acts = note_validated t in
-    if Float.is_nan t.accept_started then t.accept_started <- now;
-    acts
+    note_validated t ~into;
+    if Float.is_nan t.accept_started then t.accept_started <- now
   end
 
-let decide t ~commit ~fast =
-  if t.decided then []
-  else begin
+let decide t ~commit ~fast ~into =
+  if not t.decided then begin
     t.decided <- true;
-    note_validated t @ [ Note_decided { commit; fast } ]
+    note_validated t ~into;
+    Batch.emit into (act_decided ~commit ~fast)
   end
 
-let send_accepts t =
-  [ Send_accepts { decision = (if t.accept_commit then `Commit else `Abort) } ]
+let send_accepts t ~into =
+  Batch.emit into (if t.accept_commit then act_accepts_commit else act_accepts_abort)
 
-let evaluate t ~now =
-  if t.decided then []
-  else begin
+let evaluate t ~now ~into =
+  if not t.decided then begin
     match Decision.evaluate ~quorum:t.params.quorum ~replies:t.replies with
     | Decision.Wait ->
         (* A majority answered but the fast quorum has not completed.
@@ -120,21 +138,19 @@ let evaluate t ~now =
           t.fast_grace_armed <- true;
           let elapsed = now -. t.started in
           let delay = Float.max t.params.grace (2.0 *. elapsed) in
-          [ Arm_timer { timer = Fast_grace; delay } ]
+          Batch.emit into (Arm_timer { timer = Fast_grace; delay })
         end
-        else []
-    | Decision.Final commit -> decide t ~commit ~fast:false
-    | Decision.Fast commit -> decide t ~commit ~fast:true
+    | Decision.Final commit -> decide t ~commit ~fast:false ~into
+    | Decision.Fast commit -> decide t ~commit ~fast:true ~into
     | Decision.Slow commit ->
         if not t.in_accept then begin
           (* Fast path impossible: slow path (§5.2.2 step 4). *)
-          let acts = enter_accept t ~now ~commit in
-          acts @ send_accepts t
+          enter_accept t ~now ~commit ~into;
+          send_accepts t ~into
         end
-        else []
   end
 
-let start params ~now =
+let start params ~now ~into =
   let t =
     {
       params;
@@ -149,83 +165,69 @@ let start params ~now =
       fast_grace_armed = false;
     }
   in
-  ( t,
-    [
-      Send_validates { only_missing = false };
-      Arm_timer { timer = Retransmit params.rto; delay = params.rto };
-    ] )
+  Batch.emit into act_validates_all;
+  Batch.emit into (Arm_timer { timer = Retransmit params.rto; delay = params.rto });
+  t
 
-let handle t ~now event =
-  if t.decided then []
-  else begin
+let handle t ~now event ~into =
+  if not t.decided then begin
     match event with
     | Validate_reply { replica; status } ->
-        if t.replies.(replica) <> None then []
-        else begin
+        if t.replies.(replica) = None then begin
           t.replies.(replica) <- Some status;
-          let acts =
-            if received t >= Quorum.majority t.params.quorum then
-              note_validated t
-            else []
-          in
-          acts @ evaluate t ~now
+          if received t >= Quorum.majority t.params.quorum then
+            note_validated t ~into;
+          evaluate t ~now ~into
         end
     | Accept_reply { replica; reply } -> begin
         match reply with
         | `Accepted ->
-            if t.accept_from.(replica) then []
-            else begin
+            if not t.accept_from.(replica) then begin
               t.accept_from.(replica) <- true;
               if accept_acks t >= Quorum.majority t.params.quorum then
-                decide t ~commit:t.accept_commit ~fast:false
-              else []
+                decide t ~commit:t.accept_commit ~fast:false ~into
             end
-        | `Finalized st -> decide t ~commit:(st = Txn.Committed) ~fast:false
+        | `Finalized st -> decide t ~commit:(st = Txn.Committed) ~fast:false ~into
         | `Stale _ ->
             (* A backup coordinator superseded us and will finish the
                transaction; the retransmission path learns the final
                status from the replicas' records. *)
-            []
+            ()
       end
     | Timer Fast_grace ->
-        if t.in_accept then []
-        else begin
-          let acts =
-            enter_accept t ~now
-              ~commit:(ok_count t >= Quorum.majority t.params.quorum)
-          in
-          acts @ send_accepts t
+        if not t.in_accept then begin
+          enter_accept t ~now
+            ~commit:(ok_count t >= Quorum.majority t.params.quorum)
+            ~into;
+          send_accepts t ~into
         end
     | Timer (Retransmit rto) ->
-        let acts =
-          if t.in_accept then begin
-            (* Restart the accept round with the frozen proposal;
-               replicas are idempotent for a same-view proposal, so
-               acks are simply recollected. *)
-            Array.fill t.accept_from 0 (Array.length t.accept_from) false;
-            send_accepts t
-          end
-          else if received t >= Quorum.majority t.params.quorum then begin
-            (* The fast path did not complete within the timeout (slow
-               or crashed replicas): settle for the slow path with the
-               majority in hand, per §5.2.2 step 4. *)
-            let acts =
-              enter_accept t ~now
-                ~commit:(ok_count t >= Quorum.majority t.params.quorum)
-            in
-            acts @ send_accepts t
-          end
-          else [ Send_validates { only_missing = true } ]
-        in
-        acts
-        @ [ Arm_timer { timer = Retransmit (rto *. 2.0); delay = rto *. 2.0 } ]
+        if t.in_accept then begin
+          (* Restart the accept round with the frozen proposal;
+             replicas are idempotent for a same-view proposal, so
+             acks are simply recollected. *)
+          Array.fill t.accept_from 0 (Array.length t.accept_from) false;
+          send_accepts t ~into
+        end
+        else if received t >= Quorum.majority t.params.quorum then begin
+          (* The fast path did not complete within the timeout (slow
+             or crashed replicas): settle for the slow path with the
+             majority in hand, per §5.2.2 step 4. *)
+          enter_accept t ~now
+            ~commit:(ok_count t >= Quorum.majority t.params.quorum)
+            ~into;
+          send_accepts t ~into
+        end
+        else Batch.emit into act_validates_missing;
+        Batch.emit into
+          (Arm_timer { timer = Retransmit (rto *. 2.0); delay = rto *. 2.0 })
     | Resume ->
         if t.in_accept then begin
           Array.fill t.accept_from 0 (Array.length t.accept_from) false;
-          send_accepts t
+          send_accepts t ~into
         end
         else begin
-          let rest = evaluate t ~now in
-          Send_validates { only_missing = true } :: rest
+          Batch.emit into act_validates_missing;
+          evaluate t ~now ~into
         end
   end

@@ -12,9 +12,13 @@
     clock — so the two backends cannot drift.
 
     The machine is purely functional-in-spirit but imperative inside:
-    [handle] mutates the attempt and returns the actions in the exact
-    order the driver must perform them (action order is what makes a
-    simulated run bit-identical to the pre-extraction coordinator). *)
+    [handle] mutates the attempt and emits the actions into the
+    caller's {!Batch.t} in the exact order the driver must perform
+    them (action order is what makes a simulated run bit-identical to
+    the pre-extraction coordinator). Every parameterless action shape
+    is a shared preallocated constant, so feeding an event through a
+    warm batch allocates nothing; only [Arm_timer] (fresh floats,
+    once per attempt) does. *)
 
 type params = {
   n_replicas : int;
@@ -71,13 +75,14 @@ type event =
 
 type t
 
-val start : params -> now:float -> t * action list
-(** Begin a commit attempt: returns the machine and the initial
-    actions ([Send_validates] to everyone plus the retransmission
-    timer). *)
+val start : params -> now:float -> into:action Batch.t -> t
+(** Begin a commit attempt: returns the machine and appends the
+    initial actions ([Send_validates] to everyone plus the
+    retransmission timer) to [into]. *)
 
-val handle : t -> now:float -> event -> action list
-(** Feed one event; returns the actions to perform, in order.
+val handle : t -> now:float -> event -> into:action Batch.t -> unit
+(** Feed one event; appends the actions to perform, in order, to
+    [into] (which is not cleared — the driver owns its lifecycle).
     Duplicate replies (same replica, same round) are ignored, so a
     lossy or duplicating transport cannot double-count a quorum. *)
 

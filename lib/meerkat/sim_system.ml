@@ -54,6 +54,11 @@ type t = {
   down_until : float array;
       (** Earliest time a crashed replica can be reintegrated (models
           the machine reboot); indexed by replica. *)
+  act_pool : Protocol.action Batch.Pool.t;
+      (** Recycled emission batches for [Protocol.start]/[handle].
+          Pooled (not a single scratch) because [on_decided] may
+          synchronously start the next attempt while the outer batch
+          is still being iterated. *)
 }
 
 let create ?obs engine cfg =
@@ -76,6 +81,7 @@ let create ?obs engine cfg =
     inflight = Hashtbl.create 64;
     coord_down = Hashtbl.create 8;
     down_until = Array.make cfg.n_replicas 0.0;
+    act_pool = Batch.Pool.create ();
   }
 
 let engine t = t.cluster.Cluster.engine
@@ -171,8 +177,9 @@ let rec exec_action t a = function
       a.on_decided ~commit ~fast
 
 and feed t a event =
-  List.iter (exec_action t a)
-    (Protocol.handle a.proto ~now:(Engine.now (engine t)) event)
+  Batch.Pool.with_batch t.act_pool (fun into ->
+      Protocol.handle a.proto ~now:(Engine.now (engine t)) event ~into;
+      Batch.iter (exec_action t a) into)
 
 and arm_timer t a ~timer ~delay =
   Engine.schedule (engine t) ~delay (fun () ->
@@ -242,23 +249,24 @@ and send_validates t a ~only_missing =
 
 let start_attempt t ~txn ~ts ~count_stats ~on_decided =
   let core_id = Timestamp.Tid.hash txn.Txn.tid mod threads t in
-  let proto, actions =
-    Protocol.start (proto_params t) ~now:(Engine.now (engine t))
-  in
-  let a =
-    {
-      txn;
-      ts;
-      core_id;
-      track = txn.Txn.tid.Timestamp.Tid.client_id;
-      proto;
-      count_stats;
-      on_decided;
-    }
-  in
-  register_attempt t a;
-  List.iter (exec_action t a) actions;
-  a
+  Batch.Pool.with_batch t.act_pool (fun into ->
+      let proto =
+        Protocol.start (proto_params t) ~now:(Engine.now (engine t)) ~into
+      in
+      let a =
+        {
+          txn;
+          ts;
+          core_id;
+          track = txn.Txn.tid.Timestamp.Tid.client_id;
+          proto;
+          count_stats;
+          on_decided;
+        }
+      in
+      register_attempt t a;
+      Batch.iter (exec_action t a) into;
+      a)
 
 let finalize_txn t ~txn ~ts ~commit =
   broadcast_commit t ~txn ~ts
@@ -797,6 +805,7 @@ let start_detectors ?(cfg = default_detector_cfg) t ~until () =
   let n = Array.length t.replicas in
   let now () = Engine.now (engine t) in
   let detector = Detector.create ~cfg ~n ~now:(now ()) in
+  let det_pool : Detector.action Batch.Pool.t = Batch.Pool.create () in
   (* Heartbeats travel the real (faulty) network, so a partitioned
      replica goes silent exactly like a crashed one. *)
   let rec hb_loop r =
@@ -830,15 +839,17 @@ let start_detectors ?(cfg = default_detector_cfg) t ~until () =
     if now () <= until then begin
       (if not (Replica.is_crashed t.replicas.(o)) then
          let rep = t.replicas.(o) in
-         List.iter perform
-           (Detector.scan detector ~now:(now ()) ~observer:o
-              ~paused:(Replica.is_paused rep)
-              ~available:(Replica.is_available rep)
-              ~records:(fun () ->
-                List.map snd (Mk_storage.Trecord.entries (Replica.trecord rep)))
-              ~recoverable:(fun p ->
-                (not (Replica.is_crashed t.replicas.(p)))
-                || now () >= t.down_until.(p))));
+         Batch.Pool.with_batch det_pool (fun into ->
+             Detector.scan detector ~now:(now ()) ~observer:o
+               ~paused:(Replica.is_paused rep)
+               ~available:(Replica.is_available rep)
+               ~records:(fun () ->
+                 List.map snd (Mk_storage.Trecord.entries (Replica.trecord rep)))
+               ~recoverable:(fun p ->
+                 (not (Replica.is_crashed t.replicas.(p)))
+                 || now () >= t.down_until.(p))
+               ~into;
+             Batch.iter perform into));
       Engine.schedule (engine t) ~delay:cfg.scan_every (fun () -> scan_loop o)
     end
   in

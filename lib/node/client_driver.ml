@@ -27,6 +27,7 @@ module Tid = Timestamp.Tid
 module Txn = Mk_storage.Txn
 module Intf = Mk_model.System_intf
 module Quorum = Mk_meerkat.Quorum
+module Batch = Mk_meerkat.Batch
 module Protocol = Mk_meerkat.Protocol
 module Codec = Mk_wire.Codec
 module Mailbox = Mk_live.Mailbox
@@ -38,8 +39,10 @@ module Histogram = Mk_util.Histogram
 module Net = Shim.Make (struct
   type msg = int * Codec.t
 
-  let encode (shard, m) = Codec.encode_shard ~shard m
-  let decode = Codec.decode_shard
+  let encode_into ~scratch ~out (shard, m) =
+    Codec.encode_shard_into ~scratch ~out ~shard m
+
+  let decode_at = Codec.decode_shard_at
 end)
 
 type workload_kind = Ycsb_t | Rmw_pair | Retwis
@@ -261,8 +264,14 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
         done;
         if commit then committed := (cm.txn, cm.ts) :: !committed
   in
+  (* One scratch batch per coordinator: [exec_action] never reenters
+     [feed]/[begin_commit] (the next transaction starts from the poll
+     loop), so a single reused buffer is safe. *)
+  let acts : Protocol.action Batch.t = Batch.create () in
   let feed c att cm event =
-    List.iter (exec_action c att cm) (Protocol.handle cm.proto ~now:(wall_us ()) event);
+    Batch.clear acts;
+    Protocol.handle cm.proto ~now:(wall_us ()) event ~into:acts;
+    Batch.iter (exec_action c att cm) acts;
     if Protocol.decided cm.proto then begin
       c.active <- None;
       c.done_txns <- c.done_txns + 1
@@ -303,11 +312,12 @@ let coordinator (cfg : config) ~addrs ~t0 ~coord_id =
     let time = if now <= c.last_time then c.last_time +. 1e-3 else now in
     c.last_time <- time;
     let ts = Timestamp.make ~time ~client_id:c.cid in
-    let proto, actions = Protocol.start params ~now in
+    Batch.clear acts;
+    let proto = Protocol.start params ~now ~into:acts in
     let cm = { txn; ts; proto; timers = [] } in
     att.exec <- None;
     att.commit <- Some cm;
-    List.iter (exec_action c att cm) actions
+    Batch.iter (exec_action c att cm) acts
   in
   let start_txn c =
     let req = Workload.next wl in

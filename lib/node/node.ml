@@ -43,6 +43,7 @@ module Tid = Timestamp.Tid
 module Txn = Mk_storage.Txn
 module Trecord = Mk_storage.Trecord
 module Quorum = Mk_meerkat.Quorum
+module Batch = Mk_meerkat.Batch
 module Replica = Mk_meerkat.Replica
 module Detector = Mk_meerkat.Detector
 module Recovery = Mk_meerkat.Recovery
@@ -63,8 +64,10 @@ module Recover = Mk_durable.Recover
 module Net = Shim.Make (struct
   type msg = int * Codec.t
 
-  let encode (shard, m) = Codec.encode_shard ~shard m
-  let decode = Codec.decode_shard
+  let encode_into ~scratch ~out (shard, m) =
+    Codec.encode_shard_into ~scratch ~out ~shard m
+
+  let decode_at = Codec.decode_shard_at
 end)
 
 type config = {
@@ -557,6 +560,9 @@ let launch t ~cluster =
          predicate — a suspect that still (or again) heartbeats can be
          reintegrated right now; a silent one has to reboot first. *)
       let hb_seen = Array.make n neg_infinity in
+      (* Scratch batch for the detector's scan-tick emissions — the
+         loop thread owns it, and [perform] never reenters [scan]. *)
+      let det_acts : Detector.action Batch.t = Batch.create () in
       let ec : ec_machine option ref = ref None in
       let ec_gen = ref 0 in
       (* Mirror of the replica's installed epoch, for dedup-acking
@@ -1213,19 +1219,21 @@ let launch t ~cluster =
             end;
             if now_us >= !next_scan then begin
               next_scan := now_us +. dc.Detector.scan_every;
-              List.iter perform
-                (Detector.scan d ~now:now_us ~observer:me
-                   ~paused:(Replica.is_paused t.replica)
-                   ~available:(Replica.is_available t.replica)
-                   ~records:(fun () -> List.concat (Array.to_list latest))
-                   ~recoverable:(fun p ->
-                     (* A suspect that still heartbeats (a rebooted
-                        paused process) can be merged back right now;
-                        a silent one must reboot first. Z7: [p] is a
-                        detector-internal 0..n-1 id. *)
-                     p >= 0 && p < n
-                     && now_us -. (hb_seen.(p) [@mk_lint.allow "Z7"])
-                        <= dc.Detector.heartbeat_timeout))
+              Batch.clear det_acts;
+              Detector.scan d ~now:now_us ~observer:me
+                ~paused:(Replica.is_paused t.replica)
+                ~available:(Replica.is_available t.replica)
+                ~records:(fun () -> List.concat (Array.to_list latest))
+                ~recoverable:(fun p ->
+                  (* A suspect that still heartbeats (a rebooted
+                     paused process) can be merged back right now;
+                     a silent one must reboot first. Z7: [p] is a
+                     detector-internal 0..n-1 id. *)
+                  p >= 0 && p < n
+                  && now_us -. (hb_seen.(p) [@mk_lint.allow "Z7"])
+                     <= dc.Detector.heartbeat_timeout)
+                ~into:det_acts;
+              Batch.iter perform det_acts
             end;
             let expired = ref [] in
             Tid_table.iter

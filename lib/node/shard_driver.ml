@@ -28,6 +28,7 @@ module Tid = Timestamp.Tid
 module Txn = Mk_storage.Txn
 module Intf = Mk_model.System_intf
 module Quorum = Mk_meerkat.Quorum
+module Batch = Mk_meerkat.Batch
 module Protocol = Mk_meerkat.Protocol
 module Codec = Mk_wire.Codec
 module Spawn = Mk_live.Spawn
@@ -40,8 +41,10 @@ module History = Mk_shard.History
 module Net = Shim.Make (struct
   type msg = int * Codec.t
 
-  let encode (shard, m) = Codec.encode_shard ~shard m
-  let decode = Codec.decode_shard
+  let encode_into ~scratch ~out (shard, m) =
+    Codec.encode_shard_into ~scratch ~out ~shard m
+
+  let decode_at = Codec.decode_shard_at
 end)
 
 type config = {
@@ -146,6 +149,10 @@ type coord_state = {
   cs_stamps : (int, stamp) Hashtbl.t;  (* client -> stamp state *)
   mutable cs_fast : int;
   mutable cs_slow : int;
+  cs_pool : Protocol.action Batch.Pool.t;
+      (** Pooled: [a_on_prepared] runs synchronously from a
+          [Note_decided] and may start the next per-shard attempt
+          while the outer batch is still being iterated. *)
 }
 
 (* Z7: [a_shard]/[r_shard] index [cs_addrs] and are coordinator-made
@@ -205,7 +212,9 @@ let[@mk_lint.allow "Z7"] exec cs (a : att) (action : Protocol.action) =
       a.a_on_prepared commit
 
 let feed cs a event =
-  List.iter (exec cs a) (Protocol.handle a.a_proto ~now:(cs.cs_wall ()) event)
+  Batch.Pool.with_batch cs.cs_pool (fun into ->
+      Protocol.handle a.a_proto ~now:(cs.cs_wall ()) event ~into;
+      Batch.iter (exec cs a) into)
 
 (* The four GROUP operations of one shard, as seen from one
    coordinator's socket. *)
@@ -253,20 +262,21 @@ module Sock_group = struct
     let aid = cs.cs_next_aid in
     cs.cs_next_aid <- aid + 1;
     let now = cs.cs_wall () in
-    let proto, actions = Protocol.start cs.cs_params ~now in
-    let a =
-      {
-        a_aid = aid;
-        a_shard = g.sg_shard;
-        a_txn = txn;
-        a_ts = ts;
-        a_proto = proto;
-        a_timers = [];
-        a_on_prepared = on_prepared;
-      }
-    in
-    Hashtbl.replace cs.cs_atts aid a;
-    List.iter (exec cs a) actions
+    Batch.Pool.with_batch cs.cs_pool (fun into ->
+        let proto = Protocol.start cs.cs_params ~now ~into in
+        let a =
+          {
+            a_aid = aid;
+            a_shard = g.sg_shard;
+            a_txn = txn;
+            a_ts = ts;
+            a_proto = proto;
+            a_timers = [];
+            a_on_prepared = on_prepared;
+          }
+        in
+        Hashtbl.replace cs.cs_atts aid a;
+        Batch.iter (exec cs a) into)
 
   (* Z7: [sg_shard] is a router shard id, in [0, shards) by
      construction. *)
@@ -328,6 +338,7 @@ let coordinator (cfg : config) ~router ~addrs ~t0 ~coord_id =
       cs_stamps = Hashtbl.create 16;
       cs_fast = 0;
       cs_slow = 0;
+      cs_pool = Batch.Pool.create ();
     }
   in
   let driver =

@@ -3,23 +3,31 @@
    Mailbox/Spawn in the live runtime — everything above it is
    coordination-free by construction).
 
-   One shim owns one UDP socket. Outbound messages are encoded by the
-   caller's thread and enqueued on a bounded MPSC mailbox — a full
-   mailbox drops the datagram, which is exactly UDP's contract, and
-   retransmission recovers it. The event loop (either a background
-   systhread, for server nodes whose main domain parks in [wait]; or
-   inline [poll] calls, for client drivers that busy-poll anyway and
-   would starve a sibling systhread of the domain's runtime lock)
-   drains the outbox to [sendto], drains the socket, decodes each
-   datagram, and hands good messages to [deliver] — a decode failure
-   is counted and dropped, never fatal, so garbage on the port cannot
+   One shim owns one UDP socket. Outbound messages are enqueued
+   UNENCODED on a bounded MPSC mailbox — a full mailbox drops the
+   message, which is exactly UDP's contract, and retransmission
+   recovers it. Encoding happens on the single consumer side, in
+   [flush_outbox]: each message is framed into buffers the shim owns
+   and reuses (no per-message string on the send path), and
+   consecutive frames to the same destination are coalesced into one
+   datagram of up to [max_datagram] bytes — a coordinator broadcast
+   burst to one node leaves as one [sendto], not one per message. The
+   receive side mirrors this: one reused receive buffer, and each
+   datagram is burst-decoded frame by frame at offsets ([decode_at]),
+   so a coalesced datagram delivers every message it carries. A decode
+   failure is counted and drops the rest of that datagram (framing is
+   not self-resynchronizing), never fatal — garbage on the port cannot
    take a node down.
 
-   The threaded loop multiplexes with [select] over the socket and a
-   self-pipe: [send] writes one wake byte after enqueueing, so
-   outbound traffic leaves immediately instead of on the next tick
-   boundary, and the loop sleeps (releasing the runtime lock) whenever
-   there is genuinely nothing to do. *)
+   The event loop is either a background systhread, for server nodes
+   whose main domain parks in [wait]; or inline [poll] calls, for
+   client drivers that busy-poll anyway and would starve a sibling
+   systhread of the domain's runtime lock. The threaded loop
+   multiplexes with [select] over the socket and a self-pipe: [send]
+   writes one wake byte after enqueueing, so outbound traffic leaves
+   immediately instead of on the next tick boundary, and the loop
+   sleeps (releasing the runtime lock) whenever there is genuinely
+   nothing to do. *)
 
 module Mailbox = Mk_live.Mailbox
 module Obs = Mk_obs.Obs
@@ -27,8 +35,8 @@ module Obs = Mk_obs.Obs
 module type ARRANGEMENT = sig
   type msg
 
-  val encode : msg -> string
-  val decode : string -> (msg, Mk_wire.Wire.error) result
+  val encode_into : scratch:Buffer.t -> out:Buffer.t -> msg -> unit
+  val decode_at : string -> pos:int -> (msg * int, Mk_wire.Wire.error) result
 end
 
 module Make (A : ARRANGEMENT) = struct
@@ -43,10 +51,23 @@ module Make (A : ARRANGEMENT) = struct
     port : int;
     wake_rd : Unix.file_descr;
     wake_wr : Unix.file_descr;
-    outbox : (Unix.sockaddr * string) Mailbox.t;
+    outbox : (Unix.sockaddr * A.msg) Mailbox.t;
     stop : bool ref;
     mutable thread : Thread.t option;
     mutable obs : Obs.t option;
+    (* Flush-side state, owned by the single outbox consumer (the loop
+       thread, or the polling caller): the payload scratch, the
+       one-frame staging buffer, the accumulating datagram with its
+       destination and frame count, and the reused [sendto] bytes. *)
+    scratch : Buffer.t;
+    frame : Buffer.t;
+    dgram : Buffer.t;
+    mutable dgram_dst : Unix.sockaddr option;
+    mutable dgram_frames : int;
+    send_buf : Bytes.t;
+    (* Receive-side state, owned by the same consumer. *)
+    recv_buf : Bytes.t;
+    wake_buf : Bytes.t;
   }
 
   let bind ?(port = 0) ?(outbox = 4096) () =
@@ -72,6 +93,14 @@ module Make (A : ARRANGEMENT) = struct
         stop = ref false;
         thread = None;
         obs = None;
+        scratch = Buffer.create 512;
+        frame = Buffer.create 512;
+        dgram = Buffer.create 2048;
+        dgram_dst = None;
+        dgram_frames = 0;
+        send_buf = Bytes.create 65535;
+        recv_buf = Bytes.create 65535;
+        wake_buf = Bytes.create 64;
       }
     with
     | t -> Ok t
@@ -82,17 +111,12 @@ module Make (A : ARRANGEMENT) = struct
 
   (* Largest UDP payload over IPv4: 65535 minus IP and UDP headers.
      Anything bigger dies in [sendto] with EMSGSIZE on every attempt,
-     so retransmission can never recover it — reject it up front and
-     count it, or the sender retries forever with no diagnostic. *)
+     so retransmission can never recover it — reject it at flush time
+     and count it, or the sender retries forever with no diagnostic. *)
   let max_datagram = 65507
 
   let send t ~dst msg =
-    let frame = A.encode msg in
-    if String.length frame > max_datagram then (
-      match t.obs with
-      | Some obs -> Obs.note_wire_send_error obs
-      | None -> ())
-    else if Mailbox.try_push t.outbox (dst, frame) then
+    if Mailbox.try_push t.outbox (dst, msg) then
       (* Wake a threaded loop blocked in select. EAGAIN means the pipe
          already holds a pending wakeup; either way the loop will see
          the message. Poll-mode shims have no loop thread to wake. *)
@@ -100,42 +124,76 @@ module Make (A : ARRANGEMENT) = struct
         try ignore (Unix.write_substring t.wake_wr "w" 0 1 : int)
         with Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
 
-  (* A full outbox dropped the frame: UDP semantics, retransmission
+  (* A full outbox dropped the message: UDP semantics, retransmission
      recovers. Nothing else to do. *)
+
+  (* Ship the accumulated datagram: blit into the reused send bytes
+     (no string extraction) and one [sendto] for every coalesced
+     frame in it. *)
+  let flush_dgram t =
+    (match t.dgram_dst with
+    | None -> ()
+    | Some dst -> (
+        let len = Buffer.length t.dgram in
+        Buffer.blit t.dgram 0 t.send_buf 0 len;
+        try
+          ignore (Unix.sendto t.sock t.send_buf 0 len [] dst : int);
+          match t.obs with
+          | Some obs -> Obs.note_wire_tx_burst obs ~msgs:t.dgram_frames ~bytes:len
+          | None -> ()
+        with
+        | Unix.Unix_error (Unix.EMSGSIZE, _, _) -> (
+            (* A datagram too large for the path MTU fails identically
+               on every retransmit: count it so the hang is
+               diagnosable (the flush-side guard caps at
+               [max_datagram]; this covers smaller-MTU paths). *)
+            match t.obs with
+            | Some obs -> Obs.note_wire_send_error obs
+            | None -> ())
+        | Unix.Unix_error (_, _, _) ->
+            (* Unreachable peer (ECONNREFUSED from a dead localhost
+               node, ENETUNREACH, ...): drop, like the network
+               would. *)
+            ()));
+    Buffer.clear t.dgram;
+    t.dgram_dst <- None;
+    t.dgram_frames <- 0
+
+  (* Encode one outbox entry into the staging buffer and pack it onto
+     the accumulating datagram, flushing first when the destination
+     changes or the datagram would overflow. *)
+  let pack t (dst, msg) =
+    Buffer.clear t.frame;
+    A.encode_into ~scratch:t.scratch ~out:t.frame msg;
+    let flen = Buffer.length t.frame in
+    if flen > max_datagram then (
+      match t.obs with
+      | Some obs -> Obs.note_wire_send_error obs
+      | None -> ())
+    else begin
+      (match t.dgram_dst with
+      | Some d when d = dst && Buffer.length t.dgram + flen <= max_datagram ->
+          ()
+      | Some _ -> flush_dgram t
+      | None -> ());
+      t.dgram_dst <- Some dst;
+      t.dgram_frames <- t.dgram_frames + 1;
+      Buffer.add_buffer t.dgram t.frame
+    end
 
   let flush_outbox t =
     let rec go () =
-      match Mailbox.try_pop t.outbox with
-      | None -> ()
-      | Some (dst, frame) ->
-          (try
-             ignore
-               (Unix.sendto_substring t.sock frame 0 (String.length frame) []
-                  dst
-                 : int);
-             match t.obs with
-             | Some obs -> Obs.note_wire_tx obs ~bytes:(String.length frame)
-             | None -> ()
-           with
-          | Unix.Unix_error (Unix.EMSGSIZE, _, _) ->
-             (* A frame too large for one datagram fails identically
-                on every retransmit: count it so the hang is
-                diagnosable (the [send]-side guard catches the common
-                case; this covers paths with a smaller MTU). *)
-             (match t.obs with
-             | Some obs -> Obs.note_wire_send_error obs
-             | None -> ())
-          | Unix.Unix_error (_, _, _) ->
-             (* Unreachable peer (ECONNREFUSED from a dead localhost
-                node, ENETUNREACH, ...): drop, like the network
-                would. *)
-             ());
-          go ()
+      if Mailbox.drain t.outbox ~max:64 (pack t) > 0 then go ()
     in
-    go ()
+    go ();
+    flush_dgram t
 
   let recv_burst t ~deliver =
-    let buf = Bytes.create 65535 in
+    let note_decode_error () =
+      match t.obs with
+      | Some obs -> Obs.note_wire_decode_error obs
+      | None -> ()
+    in
     let delivered = ref 0 in
     let attempts = ref 0 in
     let continue = ref true in
@@ -144,7 +202,7 @@ module Make (A : ARRANGEMENT) = struct
        back to its outbox and timers. *)
     while !continue && !attempts < 512 && !delivered < 256 do
       incr attempts;
-      match Unix.recvfrom t.sock buf 0 (Bytes.length buf) [] with
+      match Unix.recvfrom t.sock t.recv_buf 0 (Bytes.length t.recv_buf) [] with
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           continue := false
       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.EINTR), _, _) ->
@@ -157,27 +215,31 @@ module Make (A : ARRANGEMENT) = struct
              recur on the next recvfrom too: end the burst instead of
              spinning on it at 100% CPU. *)
           continue := false
-      | len, src -> (
-          let datagram = Bytes.sub_string buf 0 len in
-          match A.decode datagram with
-          | Ok msg -> (
-              incr delivered;
-              (match t.obs with
-              | Some obs -> Obs.note_wire_rx obs ~bytes:len
-              | None -> ());
-              (* A [deliver] that raises must not kill the loop thread
-                 (a wedged node looks alive from outside): the frame
-                 decoded but could not be acted on — count it with the
-                 other unusable-input drops. *)
-              try deliver ~src msg
-              with _ -> (
-                match t.obs with
-                | Some obs -> Obs.note_wire_decode_error obs
-                | None -> ()))
-          | Error _ -> (
-              match t.obs with
-              | Some obs -> Obs.note_wire_decode_error obs
-              | None -> ()))
+      | len, src ->
+          (* One datagram, possibly several coalesced frames: decode
+             each at its offset. [decode_at] always advances, so this
+             terminates on any input; a bad frame drops the rest of
+             the datagram (framing cannot resynchronize mid-stream). *)
+          let datagram = Bytes.sub_string t.recv_buf 0 len in
+          let pos = ref 0 in
+          let good = ref true in
+          while !good && !pos < len do
+            match A.decode_at datagram ~pos:!pos with
+            | Ok (msg, next) ->
+                incr delivered;
+                (match t.obs with
+                | Some obs -> Obs.note_wire_rx obs ~bytes:(next - !pos)
+                | None -> ());
+                pos := next;
+                (* A [deliver] that raises must not kill the loop
+                   thread (a wedged node looks alive from outside):
+                   the frame decoded but could not be acted on — count
+                   it with the other unusable-input drops. *)
+                (try deliver ~src msg with _ -> note_decode_error ())
+            | Error _ ->
+                note_decode_error ();
+                good := false
+          done
     done;
     !delivered
 
@@ -186,10 +248,9 @@ module Make (A : ARRANGEMENT) = struct
     recv_burst t ~deliver
 
   let drain_wake t =
-    let scratch = Bytes.create 64 in
     let continue = ref true in
     while !continue do
-      match Unix.read t.wake_rd scratch 0 (Bytes.length scratch) with
+      match Unix.read t.wake_rd t.wake_buf 0 (Bytes.length t.wake_buf) with
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           continue := false
       | 0 -> continue := false

@@ -9,6 +9,13 @@
     recovers), inbound datagrams are decoded totally (garbage is
     counted and dropped, never fatal) and handed to [deliver].
 
+    The message plane is batched: outbound messages queue unencoded
+    and are framed on the flush side into buffers the shim owns and
+    reuses, with consecutive same-destination frames coalesced into
+    one datagram (up to the UDP maximum) per [sendto]; inbound
+    datagrams are burst-decoded frame by frame at offsets. The send
+    fast path allocates no per-message strings.
+
     Two driving modes, never mixed on one shim:
     - {!Make.start} runs the loop on a background systhread
       multiplexing the socket and a self-pipe with [select] — for
@@ -22,12 +29,15 @@
 module type ARRANGEMENT = sig
   type msg
 
-  val encode : msg -> string
-  (** One complete frame, ready for [sendto]. *)
+  val encode_into : scratch:Buffer.t -> out:Buffer.t -> msg -> unit
+  (** Append one complete frame to [out], staging the payload through
+      [scratch] (see {!Mk_wire.Wire.frame_into}). [out] is not
+      cleared: the shim coalesces several frames into one datagram. *)
 
-  val decode : string -> (msg, Mk_wire.Wire.error) result
-  (** Total: truncated or hostile datagrams yield [Error], never an
-      exception. *)
+  val decode_at : string -> pos:int -> (msg * int, Mk_wire.Wire.error) result
+  (** Decode the frame starting at [pos] and return it with the offset
+      just past it (always [> pos]). Total: truncated or hostile
+      datagrams yield [Error], never an exception. *)
 end
 
 module Make (A : ARRANGEMENT) : sig
@@ -72,11 +82,12 @@ module Make (A : ARRANGEMENT) : sig
       to {!start}). *)
 
   val send : t -> dst:Unix.sockaddr -> A.msg -> unit
-  (** Encode and enqueue one message; never blocks. A full outbox
-      drops the frame (UDP semantics); a frame too large for one UDP
-      datagram is dropped and counted under [wire.send_errors], since
-      no retransmit could ever deliver it. Any thread may call
-      this. *)
+  (** Enqueue one message; never blocks and never encodes — framing
+      happens at flush time into the shim's reused buffers. A full
+      outbox drops the message (UDP semantics); a frame too large for
+      one UDP datagram is dropped at flush and counted under
+      [wire.send_errors], since no retransmit could ever deliver it.
+      Any thread may call this. *)
 
   val stop : t -> unit
   (** Stop the loop (joining the thread if one runs), flush the last

@@ -39,6 +39,9 @@ type t = {
   wal_decode_errors : Registry.counter;
   snapshot_count : Registry.counter;
   snapshot_bytes : Registry.counter;
+  gc_minor_words : Registry.counter;
+  gc_majors : Registry.counter;
+  alloc_per_txn : Registry.counter;
 }
 
 (* Track layout of the exported trace. *)
@@ -80,6 +83,9 @@ let create ?(trace = false) ~clock () =
     wal_decode_errors = Registry.counter registry "wal.decode_errors";
     snapshot_count = Registry.counter registry "snapshot.count";
     snapshot_bytes = Registry.counter registry "snapshot.bytes";
+    gc_minor_words = Registry.counter registry "gc.minor_words";
+    gc_majors = Registry.counter registry "gc.majors";
+    alloc_per_txn = Registry.counter registry "alloc.per_txn";
   }
 
 let registry t = t.registry
@@ -117,9 +123,13 @@ let note_fault t ~name =
 
 (* --- Wire counters (cluster backend: socket shim tx/rx). --- *)
 
-let note_wire_tx t ~bytes =
-  Registry.incr t.wire_msgs_tx;
+(* One datagram can now carry several coalesced frames: the burst
+   variant counts them in one call at flush time. *)
+let note_wire_tx_burst t ~msgs ~bytes =
+  Registry.add t.wire_msgs_tx msgs;
   Registry.add t.wire_bytes_tx bytes
+
+let note_wire_tx t ~bytes = note_wire_tx_burst t ~msgs:1 ~bytes
 
 let note_wire_rx t ~bytes =
   Registry.incr t.wire_msgs_rx;
@@ -152,6 +162,17 @@ let note_snapshots t ~count ~bytes =
   Registry.add t.snapshot_bytes bytes
 
 let note_snapshot t ~bytes = note_snapshots t ~count:1 ~bytes
+
+(* --- Allocation counters (batched message plane). Folded in at a
+   quiescent point like the WAL tallies: [minor_words] is the
+   domain-summed Gc delta over the run, [majors] the major-collection
+   count, and [per_txn] the words-per-committed-transaction quotient
+   the CI alloc-regression guard asserts against. --- *)
+
+let note_gc t ~minor_words ~majors ~per_txn =
+  Registry.add t.gc_minor_words minor_words;
+  Registry.add t.gc_majors majors;
+  Registry.add t.alloc_per_txn per_txn
 
 let counter_value t name = Registry.value (Registry.counter t.registry name)
 

@@ -57,6 +57,11 @@ val note_wire_tx : t -> bytes:int -> unit
 (** One frame handed to the socket ([wire.msgs_tx]++,
     [wire.bytes_tx] += frame size). Cluster backend only. *)
 
+val note_wire_tx_burst : t -> msgs:int -> bytes:int -> unit
+(** [msgs] coalesced frames left in one datagram of [bytes] total —
+    the bulk form the shim's flush uses so [wire.msgs_tx] still counts
+    frames, not datagrams. *)
+
 val note_wire_rx : t -> bytes:int -> unit
 (** One datagram received and decoded ([wire.msgs_rx]++,
     [wire.bytes_rx] += datagram size). *)
@@ -109,6 +114,13 @@ val note_snapshot : t -> bytes:int -> unit
 
 val note_snapshots : t -> count:int -> bytes:int -> unit
 (** Bulk fold of a per-core snapshot tally. *)
+
+val note_gc : t -> minor_words:int -> majors:int -> per_txn:int -> unit
+(** Fold one run's allocation footprint at a quiescent point:
+    [gc.minor_words] (domain-summed minor allocation over the run),
+    [gc.majors] (major collections), and [alloc.per_txn] (minor words
+    per committed transaction — the figure the CI alloc-regression
+    guard bounds). *)
 
 val counter_value : t -> string -> int
 (** Current value of the named counter (0 if never incremented). *)

@@ -320,9 +320,8 @@ let r_store_row c =
 (* Message codec                                                       *)
 (* ------------------------------------------------------------------ *)
 
-let payload msg =
-  let b = Buffer.create 64 in
-  (match msg with
+let payload_into b msg =
+  match msg with
   | Get { coord; slot; seq; key } ->
       w_i64 b coord;
       w_i64 b slot;
@@ -400,11 +399,22 @@ let payload msg =
   | Epoch_installed { replica; epoch } ->
       w_i64 b replica;
       w_i64 b epoch
-  | Shutdown -> ());
+  | Shutdown -> ()
+
+let payload msg =
+  let b = Buffer.create 64 in
+  payload_into b msg;
   Buffer.contents b
 
 let encode_shard ~shard msg = frame ~shard ~kind:(kind msg) (payload msg)
 let encode msg = encode_shard ~shard:0 msg
+
+(* Reused-buffer encoding: append one complete frame to [out] (the
+   payload staged through [scratch]) with no intermediate strings —
+   the socket shim encodes every outbound message through this, into
+   buffers it owns, and flushes several frames per datagram. *)
+let encode_shard_into ~scratch ~out ~shard msg =
+  frame_into ~shard ~kind:(kind msg) ~scratch ~out (fun b -> payload_into b msg)
 
 let decode_payload ~kind c =
   match kind with
@@ -512,6 +522,15 @@ let decode_shard s =
 let decode s =
   let* _, msg = decode_shard s in
   Ok msg
+
+(* One frame out of a multi-frame datagram. [Trailing] here means junk
+   inside this frame's own payload; bytes after the frame belong to
+   the next one and are reported through [next]. *)
+let decode_shard_at s ~pos =
+  let* kind, shard, c, next = unframe_at s ~pos in
+  let* msg = decode_payload ~kind c in
+  if remaining c > 0 then Error (Trailing (remaining c))
+  else Ok ((shard, msg), next)
 
 (* ------------------------------------------------------------------ *)
 (* Equality and printing (tests, debug)                                *)

@@ -134,6 +134,12 @@ val encode_shard : shard:int -> t -> string
 (** {!encode} stamped with the sender's shard group (multi-group
     deployments; see {!Wire.frame}). *)
 
+val encode_shard_into : scratch:Buffer.t -> out:Buffer.t -> shard:int -> t -> unit
+(** Append one complete frame to [out] through the reused [scratch]
+    payload buffer, with no intermediate strings (see
+    {!Wire.frame_into}). [out] is not cleared: successive calls
+    coalesce frames into one datagram. *)
+
 val decode : string -> (t, Wire.error) result
 (** Decode exactly one frame, discarding its shard id. Total: never
     raises. *)
@@ -142,6 +148,12 @@ val decode_shard : string -> (int * t, Wire.error) result
 (** Decode exactly one frame, returning [(shard, msg)] so a node can
     refuse traffic addressed to another shard group. Total: never
     raises. *)
+
+val decode_shard_at :
+  string -> pos:int -> ((int * t) * int, Wire.error) result
+(** Decode one frame of a multi-frame datagram starting at [pos],
+    returning the message and the offset just past its frame (always
+    [> pos]). Total: never raises. *)
 
 val equal : t -> t -> bool
 (** Structural equality via the dedicated [Timestamp]/[Tid]

@@ -184,18 +184,36 @@ let version = 2
 let header_bytes = 10
 let max_shard = 0xffff
 
-let frame ?(shard = 0) ~kind payload =
+let check_shard shard =
   if shard < 0 || shard > max_shard then
-    invalid_arg (Printf.sprintf "Wire.frame: shard %d outside [0, %d]" shard max_shard);
-  let b = Buffer.create (header_bytes + String.length payload) in
+    invalid_arg (Printf.sprintf "Wire.frame: shard %d outside [0, %d]" shard max_shard)
+
+let add_header b ~kind ~shard ~len =
   Buffer.add_char b magic0;
   Buffer.add_char b magic1;
   w_u8 b version;
   w_u8 b kind;
   w_u16 b shard;
-  w_u32 b (String.length payload);
+  w_u32 b len
+
+let frame ?(shard = 0) ~kind payload =
+  check_shard shard;
+  let b = Buffer.create (header_bytes + String.length payload) in
+  add_header b ~kind ~shard ~len:(String.length payload);
   Buffer.add_string b payload;
   Buffer.contents b
+
+(* Allocation-free framing for reused buffers: the header carries the
+   payload length, so the payload is staged in [scratch] (cleared
+   here) and appended to [out] after the header. [out] is not cleared
+   — frames accumulate, which is how a sender coalesces several
+   frames into one datagram. *)
+let frame_into ?(shard = 0) ~kind ~scratch ~out writer =
+  check_shard shard;
+  Buffer.clear scratch;
+  writer scratch;
+  add_header out ~kind ~shard ~len:(Buffer.length scratch);
+  Buffer.add_buffer out scratch
 
 let unframe s =
   let c = cursor s in
@@ -215,4 +233,28 @@ let unframe s =
         let* at = take c len in
         if remaining c > 0 then Error (Trailing (remaining c))
         else Ok (kind, shard, cursor ~pos:at ~limit:(at + len) s)
+  end
+
+(* One frame out of a multi-frame datagram: like {!unframe} but bytes
+   after this frame are the next frame, not an error, so the caller
+   also gets the offset where it ends. [next] always advances past
+   [pos] (the header alone is [header_bytes]), so a decode-burst loop
+   over a hostile datagram terminates. *)
+let unframe_at s ~pos =
+  let c = cursor ~pos s in
+  if remaining c < header_bytes then
+    Error (Truncated { need = header_bytes; have = remaining c })
+  else begin
+    let* m0 = r_u8 c in
+    let* m1 = r_u8 c in
+    if m0 <> Char.code magic0 || m1 <> Char.code magic1 then Error Bad_magic
+    else
+      let* v = r_u8 c in
+      if v <> version then Error (Bad_version v)
+      else
+        let* kind = r_u8 c in
+        let* shard = r_u16 c in
+        let* len = r_u32 c in
+        let* at = take c len in
+        Ok (kind, shard, cursor ~pos:at ~limit:(at + len) s, at + len)
   end

@@ -102,8 +102,28 @@ val frame : ?shard:int -> kind:int -> string -> string
     shard group ([0] by default — a single-group deployment).
     Raises [Invalid_argument] outside [0, {!max_shard}]. *)
 
+val frame_into :
+  ?shard:int ->
+  kind:int ->
+  scratch:Buffer.t ->
+  out:Buffer.t ->
+  (Buffer.t -> unit) ->
+  unit
+(** Allocation-free framing over reused buffers: the payload writer
+    fills [scratch] (cleared here first), and the complete frame —
+    header then payload — is {e appended} to [out], which is never
+    cleared, so successive calls coalesce several frames into one
+    datagram. Same shard validation as {!frame}. *)
+
 val unframe : string -> (int * int * cursor, error) result
 (** Validate magic/version, read the kind tag and shard id, and return
     [(kind, shard, cursor)] with the cursor over exactly the payload.
     The input must be exactly one frame ([Trailing] otherwise — a UDP
     datagram carries one frame). *)
+
+val unframe_at : string -> pos:int -> (int * int * cursor * int, error) result
+(** One frame out of a multi-frame datagram, starting at byte [pos]:
+    [(kind, shard, payload_cursor, next)] where [next] is the offset
+    just past this frame (always [> pos], so a burst-decode loop over
+    hostile input terminates). Unlike {!unframe}, bytes after the
+    frame are the next frame, never [Trailing]. *)

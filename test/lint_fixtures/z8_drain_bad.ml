@@ -1,0 +1,16 @@
+(* Z8 fixture: the batched-drain shape gone wrong — the per-message
+   handler the drain loop applies parks on a mutex, so one slow message
+   stalls the whole burst (and the server core behind it). *)
+let m = Mutex.create ()
+
+let handle _msg =
+  Mutex.lock m;
+  Mutex.unlock m
+
+let drain ~max f =
+  for i = 1 to max do
+    handle (f i)
+  done;
+  max
+
+let server_loop () = drain ~max:128 (fun i -> i)

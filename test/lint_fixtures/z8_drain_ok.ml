@@ -1,0 +1,21 @@
+(* Z8 fixture: the batched-drain shape as shipped — the handler stays
+   non-blocking, and the empty-drain fallback to the parking pop is
+   taken under an explicit, justified per-site allow (exactly the real
+   server loop's [Mailbox.pop] idiom). *)
+let m = Mutex.create ()
+
+let pop () =
+  Mutex.lock m;
+  Mutex.unlock m;
+  0
+
+let handle _msg = ()
+
+let drain ~max f =
+  for i = 1 to max do
+    handle (f i)
+  done;
+  0
+
+let server_loop () =
+  if drain ~max:128 (fun i -> i) = 0 then handle (pop () [@mk_lint.allow "Z8"])

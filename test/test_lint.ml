@@ -310,6 +310,37 @@ let test_z8_site_allow () =
     "per-site [@mk_lint.allow] suppresses" []
     (lint z8_cfg (fx "z8_ok.ml"))
 
+let z8_drain_cfg =
+  {
+    Config.default with
+    Config.coordination_allow = [ "lint_fixtures" ];
+    nonblock_entries =
+      [
+        fx "z8_drain_bad.ml" ^ ":server_loop";
+        fx "z8_drain_ok.ml" ^ ":server_loop";
+      ];
+  }
+
+let test_z8_drain_violation () =
+  (* The batched-drain shape: a parking handler is reached through the
+     drain combinator's per-message callback, two hops from the server
+     loop entry. *)
+  match lint_full z8_drain_cfg [ fx "z8_drain_bad.ml" ] with
+  | [ f ] ->
+      check_anchor "parked inside the drained handler" ("Z8", 7, 2) f;
+      Alcotest.(check (list string))
+        "witness crosses the drain"
+        [ "server_loop"; "call to drain"; "call to handle" ]
+        (chain_whats f)
+  | fs -> Alcotest.failf "expected 1 Z8 finding, got %d" (List.length fs)
+
+let test_z8_drain_fallback_allowed () =
+  (* The shipped idiom: non-blocking handler, and the empty-drain
+     fallback to the parking pop suppressed per-site. *)
+  Alcotest.(check (list finding))
+    "drain loop with annotated pop fallback passes" []
+    (lint z8_drain_cfg (fx "z8_drain_ok.ml"))
+
 (* --- report plumbing: --rules filtering and --json rendering --- *)
 
 let contains ~needle hay =
@@ -463,8 +494,11 @@ let test_real_config_scopes_live () =
   let cfg = rebase_cfg cfg in
   Alcotest.(check (list finding)) "lib/live lints clean" []
     (lint cfg "../lib/live");
+  (* batch.ml rides along so the detector's sibling [Batch] reference
+     resolves in this scoped run (in the full-tree CI run it always
+     does); neither file needs an allowlist entry. *)
   Alcotest.(check (list finding)) "detector.ml lints clean" []
-    (lint cfg "../lib/meerkat/detector.ml");
+    (lint_many cfg [ "../lib/meerkat/detector.ml"; "../lib/meerkat/batch.ml" ]);
   (* Dropping the allow entries proves they are load-bearing: the
      mailbox internals and the link delay wheel become Z1 findings —
      while runtime.ml and detector.ml keep linting clean, showing they
@@ -481,7 +515,7 @@ let test_real_config_scopes_live () =
   Alcotest.(check (list finding)) "runtime.ml clean even with empty allowlist" []
     (lint bare "../lib/live/runtime.ml");
   Alcotest.(check (list finding)) "detector.ml clean even with empty allowlist" []
-    (lint bare "../lib/meerkat/detector.ml")
+    (lint_many bare [ "../lib/meerkat/detector.ml"; "../lib/meerkat/batch.ml" ])
 
 let test_real_config_scopes_node () =
   (* The cluster backend gets exactly one allowlist entry: the socket
@@ -538,7 +572,13 @@ let test_real_config_interprocedural () =
     && List.mem "lib/durable/walcodec.ml:read_records" cfg.Config.total_entries
     && List.mem "lib/durable/recover.ml:parse" cfg.Config.total_entries
     && List.mem "lib/node/node.ml:deliver" cfg.Config.nonblock_entries
-    && List.mem "lib/live/runtime.ml:server_loop" cfg.Config.nonblock_entries);
+    && List.mem "lib/live/runtime.ml:server_loop" cfg.Config.nonblock_entries
+    (* The batched message plane's drain/flush paths are hot-path
+       entries too: the server domain's per-message handler and the
+       poll-mode drivers' frame handlers. *)
+    && List.mem "lib/live/runtime.ml:server_handle" cfg.Config.nonblock_entries
+    && List.mem "lib/node/client_driver.ml:deliver" cfg.Config.nonblock_entries
+    && List.mem "lib/node/shard_driver.ml:deliver" cfg.Config.nonblock_entries);
   let cfg = rebase_cfg cfg in
   Alcotest.(check (list finding))
     "protocol core clean under Z5/Z6" []
@@ -685,6 +725,9 @@ let () =
             test_z7_replay_total_shape;
           Alcotest.test_case "Z8 violation" `Quick test_z8_violation;
           Alcotest.test_case "Z8 per-site allow" `Quick test_z8_site_allow;
+          Alcotest.test_case "Z8 drain violation" `Quick test_z8_drain_violation;
+          Alcotest.test_case "Z8 drain fallback allow" `Quick
+            test_z8_drain_fallback_allowed;
           Alcotest.test_case "rules filter" `Quick test_rules_filter;
           Alcotest.test_case "json render" `Quick test_json_render;
           Alcotest.test_case "deterministic output" `Quick test_deterministic;

@@ -41,6 +41,46 @@ let test_mailbox_fifo () =
   done;
   Alcotest.(check (option int)) "drained" None (Mailbox.try_pop mb)
 
+(* The batched drain: partial drains with interleaved pushes must
+   preserve global FIFO, report exact counts, and — because each slot
+   is released before its callback runs — tolerate a handler that
+   pushes back into the same mailbox mid-drain. *)
+let test_mailbox_drain_partial () =
+  let mb = Mailbox.create ~capacity:16 in
+  for i = 1 to 10 do
+    Mailbox.push mb i
+  done;
+  let got = ref [] in
+  let f x = got := x :: !got in
+  Alcotest.(check int) "partial drain spends its budget" 4
+    (Mailbox.drain mb ~max:4 f);
+  Alcotest.(check (list int)) "first burst in order" [ 1; 2; 3; 4 ]
+    (List.rev !got);
+  (* Push more mid-stream: older messages still come out first. *)
+  for i = 11 to 13 do
+    Mailbox.push mb i
+  done;
+  Alcotest.(check int) "second partial drain" 4 (Mailbox.drain mb ~max:4 f);
+  Alcotest.(check int) "oversized budget takes the remainder" 5
+    (Mailbox.drain mb ~max:100 f);
+  Alcotest.(check (list int)) "global FIFO across partial drains"
+    (List.init 13 (fun i -> i + 1))
+    (List.rev !got);
+  Alcotest.(check int) "empty drain consumes nothing" 0
+    (Mailbox.drain mb ~max:8 f);
+  (* Reentrant push: the handler's own push lands behind the head and
+     is picked up by the same drain while budget remains. *)
+  Mailbox.push mb 99;
+  let seen = ref [] in
+  let n =
+    Mailbox.drain mb ~max:8 (fun x ->
+        seen := x :: !seen;
+        if x = 99 then Mailbox.push mb 100)
+  in
+  Alcotest.(check int) "reentrant push drained in the same burst" 2 n;
+  Alcotest.(check (list int)) "in FIFO order" [ 99; 100 ] (List.rev !seen);
+  Alcotest.(check int) "nothing left behind" 0 (Mailbox.length mb)
+
 (* Four producer domains hammer one small (capacity 16, so constantly
    full) mailbox; the consumer checks per-producer FIFO and that every
    message arrives exactly once. A lost message would hang the test,
@@ -505,6 +545,7 @@ let () =
           Alcotest.test_case "bounded backpressure" `Quick
             test_mailbox_backpressure;
           Alcotest.test_case "FIFO" `Quick test_mailbox_fifo;
+          Alcotest.test_case "partial drains" `Quick test_mailbox_drain_partial;
           Alcotest.test_case "4 producers x 1 consumer, no loss/dup" `Quick
             test_mailbox_mpsc;
           Alcotest.test_case "park and wake on empty" `Quick

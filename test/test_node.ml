@@ -261,14 +261,16 @@ let test_cluster_survives_hostile_frames () =
 
 let test_shim_counts_oversized_frames () =
   (* A frame bigger than one UDP datagram fails on every [sendto], so
-     retransmission can never deliver it: the shim must drop it up
-     front and count it under [wire.send_errors], not retry silently
-     forever. *)
+     retransmission can never deliver it: the shim must drop it at
+     flush time and count it under [wire.send_errors], not retry
+     silently forever. *)
   let module Big = Mk_node.Shim.Make (struct
     type msg = int
 
-    let encode n = String.make n 'x'
-    let decode s = Ok (String.length s)
+    (* A frame of [n] filler bytes; decode consumes the rest of the
+       datagram and reports its length. *)
+    let encode_into ~scratch:_ ~out n = Buffer.add_string out (String.make n 'x')
+    let decode_at s ~pos = Ok (String.length s - pos, String.length s)
   end) in
   match Big.bind () with
   | Error e -> Alcotest.failf "bind: %s" e
@@ -277,6 +279,9 @@ let test_shim_counts_oversized_frames () =
       Big.set_obs net obs;
       let dst = Unix.ADDR_INET (Unix.inet_addr_loopback, Big.port net) in
       Big.send net ~dst 70_000;
+      (* Encoding is deferred: the drop is detected when the outbox
+         flushes, i.e. on the first poll. *)
+      ignore (Big.poll net ~deliver:(fun ~src:_ _ -> ()) : int);
       Alcotest.(check int) "oversized frame counted" 1
         (Mk_obs.Obs.counter_value obs "wire.send_errors");
       Big.send net ~dst 100;

@@ -11,6 +11,7 @@ module Txn = Mk_storage.Txn
 module S = Mk_meerkat.Sim_system
 module Replica = Mk_meerkat.Replica
 module Checker = Mk_harness.Checker
+module Batch = Mk_meerkat.Batch
 
 let base_cfg =
   { S.default_config with threads = 4; n_clients = 16; keys = 256; seed = 5 }
@@ -494,6 +495,78 @@ let test_n5_epoch_change () =
       (S.read_committed sys ~replica:r ~key:3)
   done
 
+(* --- the reusable emission batch and its pool (DESIGN.md §14) --- *)
+
+let test_batch_emit_iter_clear () =
+  let b = Batch.create ~capacity:2 () in
+  Alcotest.(check bool) "fresh batch empty" true (Batch.is_empty b);
+  for i = 1 to 5 do
+    Batch.emit b i
+  done;
+  Alcotest.(check int) "length tracks emissions" 5 (Batch.length b);
+  Alcotest.(check (list int)) "order preserved across growth"
+    [ 1; 2; 3; 4; 5 ] (Batch.to_list b);
+  Alcotest.(check int) "indexed access" 3 (Batch.get b 2);
+  (* A follow-up emitted mid-iteration (a driver folding its own steps
+     into the batch it is draining) must be seen by the same pass. *)
+  let seen = ref [] in
+  Batch.iter
+    (fun x ->
+      seen := x :: !seen;
+      if x = 5 then Batch.emit b 6)
+    b;
+  Alcotest.(check (list int)) "mid-iteration emission seen"
+    [ 1; 2; 3; 4; 5; 6 ] (List.rev !seen);
+  Batch.clear b;
+  Alcotest.(check bool) "clear empties" true (Batch.is_empty b);
+  Batch.emit b 9;
+  Alcotest.(check (list int)) "reusable after clear" [ 9 ] (Batch.to_list b)
+
+let test_pool_never_aliases () =
+  let p = Batch.Pool.create () in
+  let a = Batch.Pool.rent p in
+  let b = Batch.Pool.rent p in
+  Alcotest.(check bool) "concurrent rentals are distinct batches" false
+    (a == b);
+  Batch.emit a 1;
+  Batch.emit b 2;
+  Alcotest.(check (list int)) "no cross-talk into a" [ 1 ] (Batch.to_list a);
+  Alcotest.(check (list int)) "no cross-talk into b" [ 2 ] (Batch.to_list b);
+  Batch.Pool.return p a;
+  Batch.Pool.return p b;
+  let c = Batch.Pool.rent p in
+  let d = Batch.Pool.rent p in
+  Alcotest.(check bool) "rentals recycle returned batches" true
+    ((c == a || c == b) && (d == a || d == b));
+  Alcotest.(check bool) "but never the same one twice" false (c == d);
+  Alcotest.(check bool) "recycled batches come back clear" true
+    (Batch.is_empty c && Batch.is_empty d)
+
+let test_pool_with_batch_reentrant () =
+  let p = Batch.Pool.create () in
+  Batch.Pool.with_batch p (fun outer ->
+      Batch.emit outer 10;
+      Batch.Pool.with_batch p (fun inner ->
+          Alcotest.(check bool) "nested rental is a distinct batch" false
+            (inner == outer);
+          Batch.emit inner 99;
+          Alcotest.(check (list int)) "inner sees only its own" [ 99 ]
+            (Batch.to_list inner));
+      Batch.emit outer 20;
+      Alcotest.(check (list int)) "outer intact across nesting" [ 10; 20 ]
+        (Batch.to_list outer));
+  (* The exception path still returns the batch — and returns it
+     cleared, so the next renter never sees stale actions. *)
+  (match Batch.Pool.with_batch p (fun b ->
+       Batch.emit b 1;
+       failwith "boom")
+   with
+  | () -> Alcotest.fail "exception swallowed"
+  | exception Failure _ -> ());
+  let r = Batch.Pool.rent p in
+  Alcotest.(check bool) "batch recovered clean after the exception" true
+    (Batch.is_empty r)
+
 let () =
   Alcotest.run "protocol"
     [
@@ -535,6 +608,15 @@ let () =
             test_async_epoch_change_no_majority;
           Alcotest.test_case "async epoch change under drops" `Quick
             test_async_epoch_change_under_drops;
+        ] );
+      ( "batch-pool",
+        [
+          Alcotest.test_case "emit, iterate, clear" `Quick
+            test_batch_emit_iter_clear;
+          Alcotest.test_case "rentals never aliased" `Quick
+            test_pool_never_aliases;
+          Alcotest.test_case "with_batch reentrant" `Quick
+            test_pool_with_batch_reentrant;
         ] );
       ( "five-replicas",
         [

@@ -274,6 +274,74 @@ let test_shard_range_checked () =
       | exception Invalid_argument _ -> ())
     [ -1; Wire.max_shard + 1; max_int ]
 
+(* --- reused-buffer encoding and multi-frame datagrams --- *)
+
+let test_encode_into_bit_identical () =
+  (* The zero-alloc encode path must be a bitwise clone of the string
+     one: the shim coalesces frames built by [encode_shard_into], and
+     the golden equivalence of the three backends rests on the frames
+     being the same bytes either way. *)
+  let rng = Random.State.make [| 0xB17E |] in
+  let scratch = Buffer.create 16 in
+  let out = Buffer.create 16 in
+  List.iter
+    (fun shard ->
+      for k = 0 to n_kinds - 1 do
+        let m = gen_msg rng k in
+        Buffer.clear out;
+        (* Pre-dirty the scratch: a frame must not depend on what the
+           previous one left behind. *)
+        Buffer.add_string scratch "stale bytes";
+        Codec.encode_shard_into ~scratch ~out ~shard m;
+        Alcotest.(check string)
+          (Codec.kind_name m ^ " into = string encode")
+          (Codec.encode_shard ~shard m)
+          (Buffer.contents out)
+      done)
+    [ 0; 3; Wire.max_shard ]
+
+let test_multi_frame_datagram () =
+  (* Coalescing: successive [encode_shard_into] calls append frames,
+     the result is exactly the concatenation of the per-frame strings,
+     and [decode_shard_at] walks it back to the same message sequence
+     a per-frame [decode_shard] would give. *)
+  let rng = Random.State.make [| 0xD6 |] in
+  let msgs = List.init 20 (fun j -> (j mod 5, gen_msg rng (j mod n_kinds))) in
+  let scratch = Buffer.create 16 in
+  let out = Buffer.create 256 in
+  List.iter (fun (shard, m) -> Codec.encode_shard_into ~scratch ~out ~shard m) msgs;
+  let dgram = Buffer.contents out in
+  let frames = List.map (fun (shard, m) -> Codec.encode_shard ~shard m) msgs in
+  Alcotest.(check string) "coalesced datagram = concatenated frames"
+    (String.concat "" frames) dgram;
+  let rec walk pos acc =
+    if pos = String.length dgram then List.rev acc
+    else
+      match Codec.decode_shard_at dgram ~pos with
+      | Error e ->
+          Alcotest.failf "decode_shard_at %d: %s" pos (Wire.error_to_string e)
+      | Ok (sm, next) ->
+          if next <= pos then Alcotest.failf "cursor stuck at %d" pos;
+          walk next (sm :: acc)
+  in
+  let decoded = walk 0 [] in
+  Alcotest.(check int) "every frame decoded" (List.length msgs)
+    (List.length decoded);
+  List.iter2
+    (fun (shard, m) (shard', m') ->
+      Alcotest.(check int) (Codec.kind_name m ^ " shard kept") shard shard';
+      if not (Codec.equal m m') then
+        Alcotest.failf "%s multi-frame round-trip mismatch" (Codec.kind_name m))
+    msgs decoded;
+  (* A torn tail degrades to Error at the last frame's offset without
+     disturbing the valid prefix. *)
+  let last = List.nth frames (List.length frames - 1) in
+  let last_start = String.length dgram - String.length last in
+  let cut = String.sub dgram 0 (String.length dgram - 3) in
+  match Codec.decode_shard_at cut ~pos:last_start with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated tail frame decoded"
+
 (* --- totality: truncation, corruption, fuzz --- *)
 
 let expect_error what = function
@@ -420,6 +488,10 @@ let () =
             test_shard_header_layout;
           Alcotest.test_case "shard range checked" `Quick
             test_shard_range_checked;
+          Alcotest.test_case "encode_into bit-identical" `Quick
+            test_encode_into_bit_identical;
+          Alcotest.test_case "multi-frame datagram" `Quick
+            test_multi_frame_datagram;
         ] );
       ( "totality",
         [
